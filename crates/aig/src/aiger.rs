@@ -1,0 +1,441 @@
+//! Reader/writer for the ASCII AIGER format (`aag`).
+//!
+//! ```
+//! use step_aig::{aiger, Aig};
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_input("a");
+//! let b = aig.add_input("b");
+//! let f = aig.and(a, b);
+//! aig.add_output("f", f);
+//! let text = aiger::write(&aig);
+//! let back = aiger::parse(&text)?;
+//! assert_eq!(back.eval(&[true, true]), vec![true]);
+//! # Ok::<(), step_aig::ParseError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use crate::error::ParseError;
+use crate::graph::Aig;
+use crate::lit::AigLit;
+
+/// Parses an ASCII AIGER (`aag`) file into an [`Aig`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed headers, out-of-range literals
+/// or cyclic AND definitions.
+pub fn parse(text: &str) -> Result<Aig, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::new(1, "empty file"))?;
+    let head: Vec<&str> = header.split_whitespace().collect();
+    if head.len() != 6 || head[0] != "aag" {
+        return Err(ParseError::new(1, "expected `aag M I L O A` header"));
+    }
+    let parse_n = |s: &str, ln: usize| -> Result<usize, ParseError> {
+        s.parse()
+            .map_err(|_| ParseError::new(ln, format!("bad number `{s}`")))
+    };
+    let m = parse_n(head[1], 1)?;
+    let i = parse_n(head[2], 1)?;
+    let l = parse_n(head[3], 1)?;
+    let o = parse_n(head[4], 1)?;
+    let a = parse_n(head[5], 1)?;
+
+    let mut aig = Aig::new();
+    // AIGER var -> our literal (for the positive literal of that var).
+    let mut var_map: HashMap<u32, AigLit> = HashMap::new();
+    var_map.insert(0, AigLit::FALSE);
+
+    let mut input_vars = Vec::with_capacity(i);
+    for k in 0..i {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| ParseError::new(0, "missing input line"))?;
+        let code: u32 = parse_n(line.trim(), ln + 1)? as u32;
+        if code & 1 == 1 || code == 0 {
+            return Err(ParseError::new(ln + 1, "input literal must be positive"));
+        }
+        let lit = aig.add_input(format!("i{k}"));
+        var_map.insert(code >> 1, lit);
+        input_vars.push(code >> 1);
+    }
+    let mut latch_defs = Vec::with_capacity(l);
+    for k in 0..l {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| ParseError::new(0, "missing latch line"))?;
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() < 2 {
+            return Err(ParseError::new(ln + 1, "latch line needs `lit next`"));
+        }
+        let code: u32 = parse_n(parts[0], ln + 1)? as u32;
+        let next: u32 = parse_n(parts[1], ln + 1)? as u32;
+        if code & 1 == 1 {
+            return Err(ParseError::new(ln + 1, "latch literal must be positive"));
+        }
+        let lit = aig.add_latch(format!("l{k}"), false);
+        var_map.insert(code >> 1, lit);
+        latch_defs.push((k, next));
+    }
+    let mut output_codes = Vec::with_capacity(o);
+    for _ in 0..o {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| ParseError::new(0, "missing output line"))?;
+        output_codes.push(parse_n(line.trim(), ln + 1)? as u32);
+    }
+    // AND gates: AIGER requires lhs > rhs0 >= rhs1, so a single pass in
+    // file order resolves all definitions.
+    for _ in 0..a {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| ParseError::new(0, "missing and line"))?;
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(ParseError::new(ln + 1, "and line needs `lhs rhs0 rhs1`"));
+        }
+        let lhs: u32 = parse_n(parts[0], ln + 1)? as u32;
+        let r0: u32 = parse_n(parts[1], ln + 1)? as u32;
+        let r1: u32 = parse_n(parts[2], ln + 1)? as u32;
+        if lhs & 1 == 1 {
+            return Err(ParseError::new(ln + 1, "and lhs must be positive"));
+        }
+        if (lhs >> 1) as usize > m {
+            return Err(ParseError::new(ln + 1, "lhs exceeds maximum variable"));
+        }
+        let a0 = lookup(&var_map, r0).ok_or_else(|| {
+            ParseError::new(ln + 1, format!("undefined literal {r0} (not topological?)"))
+        })?;
+        let a1 = lookup(&var_map, r1).ok_or_else(|| {
+            ParseError::new(ln + 1, format!("undefined literal {r1} (not topological?)"))
+        })?;
+        let v = aig.and(a0, a1);
+        var_map.insert(lhs >> 1, v);
+    }
+    for (idx, next) in latch_defs {
+        let lit = lookup(&var_map, next)
+            .ok_or_else(|| ParseError::new(0, format!("undefined latch next {next}")))?;
+        aig.set_latch_next(idx, lit)
+            .map_err(|e| ParseError::new(0, e.to_string()))?;
+    }
+    // Optional symbol table.
+    let mut out_names: HashMap<usize, String> = HashMap::new();
+    for (_, line) in lines {
+        let line = line.trim();
+        if line == "c" || line.starts_with("c ") {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix('o') {
+            let mut parts = rest.splitn(2, ' ');
+            if let (Some(idx), Some(name)) = (parts.next(), parts.next()) {
+                if let Ok(idx) = idx.parse::<usize>() {
+                    out_names.insert(idx, name.to_owned());
+                }
+            }
+        }
+        // Input/latch names could be patched in similarly; our
+        // generated names are stable so we keep them.
+    }
+    for (k, code) in output_codes.into_iter().enumerate() {
+        let lit = lookup(&var_map, code)
+            .ok_or_else(|| ParseError::new(0, format!("undefined output literal {code}")))?;
+        let name = out_names.remove(&k).unwrap_or_else(|| format!("o{k}"));
+        aig.add_output(name, lit);
+    }
+    Ok(aig)
+}
+
+fn lookup(var_map: &HashMap<u32, AigLit>, code: u32) -> Option<AigLit> {
+    var_map
+        .get(&(code >> 1))
+        .map(|l| l.xor_complement(code & 1 == 1))
+}
+
+/// Serializes an [`Aig`] in *binary* AIGER (`aig`) format: implicit
+/// input/latch literals and delta-encoded AND gates.
+pub fn write_binary(aig: &Aig) -> Vec<u8> {
+    use crate::graph::AigNode;
+
+    // Renumber exactly like the ASCII writer.
+    let mut var_of: Vec<u32> = vec![0; aig.node_count()];
+    let mut next = 1u32;
+    for pi in 0..aig.num_inputs() {
+        var_of[aig.input_node(pi).index()] = next;
+        next += 1;
+    }
+    for l in aig.latches() {
+        var_of[l.node().index()] = next;
+        next += 1;
+    }
+    let mut ands = Vec::new();
+    for (id, node) in aig.iter_nodes() {
+        if let AigNode::And { .. } = node {
+            var_of[id.index()] = next;
+            next += 1;
+            ands.push(id);
+        }
+    }
+    let code = |lit: AigLit| -> u32 { var_of[lit.node().index()] * 2 + lit.is_complement() as u32 };
+
+    let mut out: Vec<u8> = Vec::new();
+    out.extend_from_slice(
+        format!(
+            "aig {} {} {} {} {}\n",
+            next - 1,
+            aig.num_inputs(),
+            aig.latches().len(),
+            aig.num_outputs(),
+            ands.len()
+        )
+        .as_bytes(),
+    );
+    for l in aig.latches() {
+        let next_code = l.next().map(code).unwrap_or(0);
+        out.extend_from_slice(format!("{next_code}\n").as_bytes());
+    }
+    for o in aig.outputs() {
+        out.extend_from_slice(format!("{}\n", code(o.lit())).as_bytes());
+    }
+    let push_varint = |mut x: u32, out: &mut Vec<u8>| {
+        loop {
+            let byte = (x & 0x7f) as u8;
+            x >>= 7;
+            if x == 0 {
+                out.push(byte);
+                break;
+            }
+            out.push(byte | 0x80);
+        }
+    };
+    for id in ands {
+        if let AigNode::And { f0, f1 } = aig.node(id) {
+            let lhs = var_of[id.index()] * 2;
+            let (c0, c1) = (code(f0), code(f1));
+            let (hi, lo) = if c0 >= c1 { (c0, c1) } else { (c1, c0) };
+            debug_assert!(lhs > hi, "delta encoding needs topological numbering");
+            push_varint(lhs - hi, &mut out);
+            push_varint(hi - lo, &mut out);
+        }
+    }
+    // Symbol table (text, optional per spec).
+    for pi in 0..aig.num_inputs() {
+        out.extend_from_slice(format!("i{pi} {}\n", aig.input_name(pi)).as_bytes());
+    }
+    for (k, l) in aig.latches().iter().enumerate() {
+        out.extend_from_slice(format!("l{k} {}\n", l.name()).as_bytes());
+    }
+    for (k, o) in aig.outputs().iter().enumerate() {
+        out.extend_from_slice(format!("o{k} {}\n", o.name()).as_bytes());
+    }
+    out
+}
+
+/// Parses *binary* AIGER (`aig`) bytes into an [`Aig`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed headers, truncated varints or
+/// non-topological gate definitions.
+pub fn parse_binary(bytes: &[u8]) -> Result<Aig, ParseError> {
+    // Header line.
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| ParseError::new(1, "missing header line"))?;
+    let header = std::str::from_utf8(&bytes[..nl])
+        .map_err(|_| ParseError::new(1, "non-UTF8 header"))?;
+    let head: Vec<&str> = header.split_whitespace().collect();
+    if head.len() != 6 || head[0] != "aig" {
+        return Err(ParseError::new(1, "expected `aig M I L O A` header"));
+    }
+    let parse_n = |s: &str| -> Result<usize, ParseError> {
+        s.parse()
+            .map_err(|_| ParseError::new(1, format!("bad number `{s}`")))
+    };
+    let _m = parse_n(head[1])?;
+    let i = parse_n(head[2])?;
+    let l = parse_n(head[3])?;
+    let o = parse_n(head[4])?;
+    let a = parse_n(head[5])?;
+
+    let mut pos = nl + 1;
+    let read_line = |pos: &mut usize| -> Result<String, ParseError> {
+        let start = *pos;
+        while *pos < bytes.len() && bytes[*pos] != b'\n' {
+            *pos += 1;
+        }
+        let s = std::str::from_utf8(&bytes[start..*pos])
+            .map_err(|_| ParseError::new(0, "non-UTF8 text line"))?
+            .to_owned();
+        *pos += 1;
+        Ok(s)
+    };
+
+    let mut aig = Aig::new();
+    let mut lit_of_var: Vec<AigLit> = Vec::with_capacity(1 + i + l + a);
+    lit_of_var.push(AigLit::FALSE);
+    for k in 0..i {
+        lit_of_var.push(aig.add_input(format!("i{k}")));
+    }
+    for k in 0..l {
+        lit_of_var.push(aig.add_latch(format!("l{k}"), false));
+    }
+    let mut latch_next = Vec::with_capacity(l);
+    for _ in 0..l {
+        let line = read_line(&mut pos)?;
+        let code: u32 = line
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .parse()
+            .map_err(|_| ParseError::new(0, "bad latch next literal"))?;
+        latch_next.push(code);
+    }
+    let mut outputs = Vec::with_capacity(o);
+    for _ in 0..o {
+        let line = read_line(&mut pos)?;
+        let code: u32 = line
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::new(0, "bad output literal"))?;
+        outputs.push(code);
+    }
+    let read_varint = |pos: &mut usize| -> Result<u32, ParseError> {
+        let mut x = 0u32;
+        let mut shift = 0u32;
+        loop {
+            let byte = *bytes
+                .get(*pos)
+                .ok_or_else(|| ParseError::new(0, "truncated varint"))?;
+            *pos += 1;
+            x |= ((byte & 0x7f) as u32) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(x);
+            }
+            shift += 7;
+            if shift > 28 {
+                return Err(ParseError::new(0, "varint overflow"));
+            }
+        }
+    };
+    let resolve = |code: u32, lits: &[AigLit]| -> Result<AigLit, ParseError> {
+        let var = (code >> 1) as usize;
+        let lit = lits
+            .get(var)
+            .ok_or_else(|| ParseError::new(0, format!("undefined variable {var}")))?;
+        Ok(lit.xor_complement(code & 1 == 1))
+    };
+    for k in 0..a {
+        let lhs = 2 * (1 + i + l + k) as u32;
+        let d0 = read_varint(&mut pos)?;
+        let d1 = read_varint(&mut pos)?;
+        let rhs0 = lhs
+            .checked_sub(d0)
+            .ok_or_else(|| ParseError::new(0, "delta0 exceeds lhs"))?;
+        let rhs1 = rhs0
+            .checked_sub(d1)
+            .ok_or_else(|| ParseError::new(0, "delta1 exceeds rhs0"))?;
+        let a0 = resolve(rhs0, &lit_of_var)?;
+        let a1 = resolve(rhs1, &lit_of_var)?;
+        let v = aig.and(a0, a1);
+        lit_of_var.push(v);
+    }
+    for (idx, code) in latch_next.into_iter().enumerate() {
+        let lit = resolve(code, &lit_of_var)?;
+        aig.set_latch_next(idx, lit)
+            .map_err(|e| ParseError::new(0, e.to_string()))?;
+    }
+    // Optional symbol table.
+    let mut out_names: HashMap<usize, String> = HashMap::new();
+    while pos < bytes.len() {
+        let line = read_line(&mut pos)?;
+        let line = line.trim();
+        if line == "c" || line.starts_with("c ") {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix('o') {
+            let mut parts = rest.splitn(2, ' ');
+            if let (Some(idx), Some(name)) = (parts.next(), parts.next()) {
+                if let Ok(idx) = idx.parse::<usize>() {
+                    out_names.insert(idx, name.to_owned());
+                }
+            }
+        }
+    }
+    for (k, code) in outputs.into_iter().enumerate() {
+        let lit = resolve(code, &lit_of_var)?;
+        let name = out_names.remove(&k).unwrap_or_else(|| format!("o{k}"));
+        aig.add_output(name, lit);
+    }
+    Ok(aig)
+}
+
+/// Serializes an [`Aig`] as ASCII AIGER (`aag`), renumbering variables
+/// into the canonical inputs-latches-ands order.
+pub fn write(aig: &Aig) -> String {
+    use crate::graph::AigNode;
+    use std::fmt::Write as _;
+
+    // Renumber: AIGER var per node.
+    let mut var_of: Vec<u32> = vec![0; aig.node_count()];
+    let mut next = 1u32;
+    for pi in 0..aig.num_inputs() {
+        var_of[aig.input_node(pi).index()] = next;
+        next += 1;
+    }
+    for l in aig.latches() {
+        var_of[l.node().index()] = next;
+        next += 1;
+    }
+    let mut ands = Vec::new();
+    for (id, node) in aig.iter_nodes() {
+        if let AigNode::And { .. } = node {
+            var_of[id.index()] = next;
+            next += 1;
+            ands.push(id);
+        }
+    }
+    let code = |lit: AigLit| -> u32 { var_of[lit.node().index()] * 2 + lit.is_complement() as u32 };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "aag {} {} {} {} {}",
+        next - 1,
+        aig.num_inputs(),
+        aig.latches().len(),
+        aig.num_outputs(),
+        ands.len()
+    );
+    for pi in 0..aig.num_inputs() {
+        let _ = writeln!(out, "{}", var_of[aig.input_node(pi).index()] * 2);
+    }
+    for l in aig.latches() {
+        let next_code = l.next().map(code).unwrap_or(0);
+        let _ = writeln!(out, "{} {}", var_of[l.node().index()] * 2, next_code);
+    }
+    for o in aig.outputs() {
+        let _ = writeln!(out, "{}", code(o.lit()));
+    }
+    for id in ands {
+        if let AigNode::And { f0, f1 } = aig.node(id) {
+            let (c0, c1) = (code(f0), code(f1));
+            let (hi, lo) = if c0 >= c1 { (c0, c1) } else { (c1, c0) };
+            let _ = writeln!(out, "{} {} {}", var_of[id.index()] * 2, hi, lo);
+        }
+    }
+    for pi in 0..aig.num_inputs() {
+        let _ = writeln!(out, "i{pi} {}", aig.input_name(pi));
+    }
+    for (k, l) in aig.latches().iter().enumerate() {
+        let _ = writeln!(out, "l{k} {}", l.name());
+    }
+    for (k, o) in aig.outputs().iter().enumerate() {
+        let _ = writeln!(out, "o{k} {}", o.name());
+    }
+    out
+}

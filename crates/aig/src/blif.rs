@@ -1,0 +1,328 @@
+//! Reader/writer for the Berkeley Logic Interchange Format (BLIF),
+//! the input format of the `Bi-dec` tool the paper compares against
+//! (`bi_dec [circuit.blif] or 0 1`).
+//!
+//! Supported constructs: `.model`, `.inputs`, `.outputs`, `.names`
+//! (SOP covers with `0`/`1`/`-` cubes, on-set and off-set), `.latch`
+//! and `.end`, with `\` line continuations and `#` comments.
+//!
+//! ```
+//! let text = "\
+//! .model xor2
+//! .inputs a b
+//! .outputs f
+//! .names a b f
+//! 10 1
+//! 01 1
+//! .end
+//! ";
+//! let aig = step_aig::blif::parse(text)?;
+//! assert_eq!(aig.eval(&[true, false]), vec![true]);
+//! assert_eq!(aig.eval(&[true, true]), vec![false]);
+//! # Ok::<(), step_aig::ParseError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use crate::error::ParseError;
+use crate::graph::Aig;
+use crate::lit::AigLit;
+
+#[derive(Debug)]
+struct NamesDef {
+    line: usize,
+    inputs: Vec<String>,
+    output: String,
+    cubes: Vec<(String, char)>,
+}
+
+/// Parses BLIF text into an [`Aig`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed directives, inconsistent cube
+/// widths, undefined signals or combinational cycles.
+pub fn parse(text: &str) -> Result<Aig, ParseError> {
+    // Join continuation lines, strip comments.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("");
+        let cont = line.trim_end().ends_with('\\');
+        let body = line.trim_end().trim_end_matches('\\');
+        if pending.is_empty() {
+            pending_line = lineno;
+        }
+        pending.push_str(body);
+        pending.push(' ');
+        if !cont {
+            let full = pending.trim().to_owned();
+            if !full.is_empty() {
+                logical.push((pending_line, full));
+            }
+            pending.clear();
+        }
+    }
+
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut latches: Vec<(usize, String, String, bool)> = Vec::new(); // line, in, out, init
+    let mut names: Vec<NamesDef> = Vec::new();
+
+    let mut i = 0;
+    while i < logical.len() {
+        let (lineno, line) = &logical[i];
+        let mut toks = line.split_whitespace();
+        let head = toks.next().unwrap_or("");
+        match head {
+            ".model" => {}
+            ".inputs" => inputs.extend(toks.map(str::to_owned)),
+            ".outputs" => outputs.extend(toks.map(str::to_owned)),
+            ".latch" => {
+                let args: Vec<&str> = toks.collect();
+                if args.len() < 2 {
+                    return Err(ParseError::new(*lineno, ".latch needs input and output"));
+                }
+                // Optional: <type> <control> before the init value.
+                let init = match args.last() {
+                    Some(&"0") | Some(&"2") | Some(&"3") => false,
+                    Some(&"1") => true,
+                    _ => false,
+                };
+                latches.push((*lineno, args[0].to_owned(), args[1].to_owned(), init));
+            }
+            ".names" => {
+                let sig: Vec<String> = toks.map(str::to_owned).collect();
+                if sig.is_empty() {
+                    return Err(ParseError::new(*lineno, ".names needs at least an output"));
+                }
+                let output = sig.last().unwrap().clone();
+                let ins = sig[..sig.len() - 1].to_vec();
+                let mut cubes = Vec::new();
+                while i + 1 < logical.len() && !logical[i + 1].1.starts_with('.') {
+                    i += 1;
+                    let (cl, cube_line) = &logical[i];
+                    let parts: Vec<&str> = cube_line.split_whitespace().collect();
+                    let (cube, val) = if ins.is_empty() {
+                        if parts.len() != 1 {
+                            return Err(ParseError::new(*cl, "constant cover expects one token"));
+                        }
+                        (String::new(), parts[0])
+                    } else {
+                        if parts.len() != 2 {
+                            return Err(ParseError::new(*cl, "cube expects `<mask> <value>`"));
+                        }
+                        (parts[0].to_owned(), parts[1])
+                    };
+                    if cube.len() != ins.len() {
+                        return Err(ParseError::new(*cl, "cube width mismatch"));
+                    }
+                    let val = match val {
+                        "0" => '0',
+                        "1" => '1',
+                        _ => return Err(ParseError::new(*cl, "cube value must be 0 or 1")),
+                    };
+                    cubes.push((cube, val));
+                }
+                names.push(NamesDef { line: *lineno, inputs: ins, output, cubes });
+            }
+            ".end" => break,
+            ".exdc" | ".wire_load_slope" | ".gate" | ".mlatch" => {
+                return Err(ParseError::new(*lineno, format!("unsupported directive {head}")))
+            }
+            _ if head.starts_with('.') => {
+                // Ignore unknown dot-directives (e.g. .default_input_arrival).
+            }
+            _ => {
+                return Err(ParseError::new(*lineno, format!("unexpected line `{line}`")));
+            }
+        }
+        i += 1;
+    }
+
+    let mut aig = Aig::new();
+    let mut sig: HashMap<String, AigLit> = HashMap::new();
+    for name in &inputs {
+        let lit = aig.add_input(name.clone());
+        sig.insert(name.clone(), lit);
+    }
+    let mut latch_next: Vec<(usize, String)> = Vec::new();
+    for (_, input, output, init) in &latches {
+        let idx = aig.latches().len();
+        let lit = aig.add_latch(output.clone(), *init);
+        sig.insert(output.clone(), lit);
+        latch_next.push((idx, input.clone()));
+    }
+    let by_output: HashMap<String, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(k, n)| (n.output.clone(), k))
+        .collect();
+
+    // Resolve .names definitions (any order, cycle detection).
+    fn resolve(
+        target: &str,
+        names: &[NamesDef],
+        by_output: &HashMap<String, usize>,
+        sig: &mut HashMap<String, AigLit>,
+        aig: &mut Aig,
+    ) -> Result<AigLit, ParseError> {
+        if let Some(&l) = sig.get(target) {
+            return Ok(l);
+        }
+        let mut stack = vec![target.to_owned()];
+        let mut visiting: HashMap<String, bool> = HashMap::new();
+        while let Some(name) = stack.last().cloned() {
+            if sig.contains_key(&name) {
+                stack.pop();
+                continue;
+            }
+            let &k = by_output
+                .get(&name)
+                .ok_or_else(|| ParseError::new(0, format!("undefined signal `{name}`")))?;
+            let def = &names[k];
+            let pending: Vec<&String> =
+                def.inputs.iter().filter(|a| !sig.contains_key(*a)).collect();
+            if pending.is_empty() {
+                let lit = build_sop(aig, def, sig)?;
+                sig.insert(name.clone(), lit);
+                visiting.remove(&name);
+                stack.pop();
+            } else {
+                if *visiting.get(&name).unwrap_or(&false) {
+                    return Err(ParseError::new(
+                        def.line,
+                        format!("combinational cycle through `{name}`"),
+                    ));
+                }
+                visiting.insert(name.clone(), true);
+                for p in pending {
+                    stack.push(p.clone());
+                }
+            }
+        }
+        Ok(sig[target])
+    }
+
+    for def in &names {
+        resolve(&def.output, &names, &by_output, &mut sig, &mut aig)?;
+    }
+    for (idx, src) in latch_next {
+        let lit = resolve(&src, &names, &by_output, &mut sig, &mut aig)?;
+        aig.set_latch_next(idx, lit)
+            .map_err(|e| ParseError::new(0, e.to_string()))?;
+    }
+    for name in &outputs {
+        let lit = resolve(name, &names, &by_output, &mut sig, &mut aig)?;
+        aig.add_output(name.clone(), lit);
+    }
+    Ok(aig)
+}
+
+fn build_sop(
+    aig: &mut Aig,
+    def: &NamesDef,
+    sig: &HashMap<String, AigLit>,
+) -> Result<AigLit, ParseError> {
+    if def.cubes.is_empty() {
+        // Empty cover = constant 0.
+        return Ok(AigLit::FALSE);
+    }
+    let polarity = def.cubes[0].1;
+    if def.cubes.iter().any(|(_, v)| *v != polarity) {
+        return Err(ParseError::new(def.line, "mixed on-set/off-set cover"));
+    }
+    let ins: Vec<AigLit> = def.inputs.iter().map(|n| sig[n]).collect();
+    let mut terms = Vec::with_capacity(def.cubes.len());
+    for (cube, _) in &def.cubes {
+        let mut lits = Vec::new();
+        for (ch, &lit) in cube.chars().zip(ins.iter()) {
+            match ch {
+                '1' => lits.push(lit),
+                '0' => lits.push(!lit),
+                '-' => {}
+                other => {
+                    return Err(ParseError::new(
+                        def.line,
+                        format!("invalid cube character `{other}`"),
+                    ))
+                }
+            }
+        }
+        terms.push(aig.and_many(&lits));
+    }
+    let cover = aig.or_many(&terms);
+    Ok(cover.xor_complement(polarity == '0'))
+}
+
+/// Serializes a combinational or sequential [`Aig`] as BLIF.
+pub fn write(aig: &Aig, model: &str) -> String {
+    use crate::graph::AigNode;
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {model}");
+    let _ = write!(out, ".inputs");
+    for pi in 0..aig.num_inputs() {
+        let _ = write!(out, " {}", aig.input_name(pi));
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, ".outputs");
+    for o in aig.outputs() {
+        let _ = write!(out, " {}", o.name());
+    }
+    let _ = writeln!(out);
+    let name_of = |lit: AigLit| -> (String, bool) {
+        let id = lit.node();
+        let base = match aig.node(id) {
+            AigNode::Const => "__const0".to_owned(),
+            AigNode::Input { pi } => aig.input_name(pi as usize).to_owned(),
+            AigNode::Latch { idx } => aig.latches()[idx as usize].name().to_owned(),
+            AigNode::And { .. } => format!("n{}", id.index()),
+        };
+        (base, lit.is_complement())
+    };
+    let mut used_const = false;
+    for l in aig.latches() {
+        if let Some(next) = l.next() {
+            let (src, c) = name_of(next);
+            let drv = format!("{}$in", l.name());
+            let _ = writeln!(out, ".latch {} {} {}", drv, l.name(), u8::from(l.init()));
+            let _ = writeln!(out, ".names {src} {drv}");
+            let _ = writeln!(out, "{} 1", if c { '0' } else { '1' });
+            if next.is_const() {
+                used_const = true;
+            }
+        }
+    }
+    for (id, node) in aig.iter_nodes() {
+        if let AigNode::And { f0, f1 } = node {
+            let (a, ca) = name_of(f0);
+            let (b, cb) = name_of(f1);
+            used_const |= f0.is_const() || f1.is_const();
+            let _ = writeln!(out, ".names {a} {b} n{}", id.index());
+            let _ = writeln!(
+                out,
+                "{}{} 1",
+                if ca { '0' } else { '1' },
+                if cb { '0' } else { '1' }
+            );
+        }
+    }
+    for o in aig.outputs() {
+        let (src, c) = name_of(o.lit());
+        used_const |= o.lit().is_const();
+        if src == o.name() && !c {
+            continue;
+        }
+        let _ = writeln!(out, ".names {} {}", src, o.name());
+        let _ = writeln!(out, "{} 1", if c { '0' } else { '1' });
+    }
+    if used_const {
+        let _ = writeln!(out, ".names __const0");
+    }
+    let _ = writeln!(out, ".end");
+    out
+}

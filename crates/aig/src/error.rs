@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by AIG construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AigError {
+    /// A latch was referenced that does not exist.
+    UnknownLatch(String),
+    /// A primary input index was out of range.
+    InputOutOfRange(usize),
+    /// The operation requires a purely combinational AIG.
+    NotCombinational,
+    /// A latch has no next-state function assigned.
+    DanglingLatch(String),
+}
+
+impl fmt::Display for AigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AigError::UnknownLatch(name) => write!(f, "unknown latch `{name}`"),
+            AigError::InputOutOfRange(i) => write!(f, "primary input index {i} out of range"),
+            AigError::NotCombinational => write!(f, "operation requires a combinational AIG"),
+            AigError::DanglingLatch(name) => {
+                write!(f, "latch `{name}` has no next-state function")
+            }
+        }
+    }
+}
+
+impl Error for AigError {}
+
+/// Errors produced while parsing circuit files (BLIF, `.bench`, AIGER).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    line: usize,
+    message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at 1-based line `line`.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError { line, message: message.into() }
+    }
+
+    /// The 1-based line number the error occurred on (0 if unknown).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The human-readable description of the error.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error: {}", self.message)
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for ParseError {}

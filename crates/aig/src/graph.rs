@@ -1,0 +1,593 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::AigError;
+use crate::lit::AigLit;
+
+/// Index of a node inside an [`Aig`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The constant node, always present at index 0.
+    pub const CONST: NodeId = NodeId(0);
+
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// The raw index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A node of an [`Aig`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AigNode {
+    /// The constant-false node (complement edges give constant true).
+    Const,
+    /// Primary input number `pi` (position in [`Aig::num_inputs`] order).
+    Input {
+        /// Position among the primary inputs.
+        pi: u32,
+    },
+    /// Output of latch number `idx`; a combinational leaf.
+    Latch {
+        /// Position among the latches.
+        idx: u32,
+    },
+    /// Two-input AND of `f0` and `f1` (`f0.code() <= f1.code()`).
+    And {
+        /// First fanin.
+        f0: AigLit,
+        /// Second fanin.
+        f1: AigLit,
+    },
+}
+
+/// A latch (sequential element) of an [`Aig`].
+#[derive(Clone, Debug)]
+pub struct Latch {
+    pub(crate) name: String,
+    pub(crate) node: NodeId,
+    pub(crate) next: Option<AigLit>,
+    pub(crate) init: bool,
+}
+
+impl Latch {
+    /// The latch name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node acting as the latch output (a combinational leaf).
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The next-state function, if assigned.
+    pub fn next(&self) -> Option<AigLit> {
+        self.next
+    }
+
+    /// The initial value of the latch.
+    pub fn init(&self) -> bool {
+        self.init
+    }
+}
+
+/// A named primary output.
+#[derive(Clone, Debug)]
+pub struct Output {
+    pub(crate) name: String,
+    pub(crate) lit: AigLit,
+}
+
+impl Output {
+    /// The output name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The literal driving this output.
+    pub fn lit(&self) -> AigLit {
+        self.lit
+    }
+}
+
+/// An And-Inverter Graph with named inputs, outputs and latches.
+///
+/// Nodes are stored in topological order: the fanins of an AND node
+/// always precede it. AND nodes are structurally hashed and constant
+/// folded on creation, so building `x AND x` twice returns the same
+/// literal and never allocates a second node.
+#[derive(Clone, Default)]
+pub struct Aig {
+    nodes: Vec<AigNode>,
+    strash: HashMap<u64, NodeId>,
+    inputs: Vec<NodeId>,
+    input_names: Vec<String>,
+    latches: Vec<Latch>,
+    outputs: Vec<Output>,
+}
+
+impl Aig {
+    /// Creates an empty AIG (just the constant node).
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![AigNode::Const],
+            strash: HashMap::new(),
+            inputs: Vec::new(),
+            input_names: Vec::new(),
+            latches: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The constant literal with the given value.
+    #[inline]
+    pub fn constant(value: bool) -> AigLit {
+        if value {
+            AigLit::TRUE
+        } else {
+            AigLit::FALSE
+        }
+    }
+
+    /// Number of nodes (including the constant node).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of AND nodes.
+    pub fn and_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, AigNode::And { .. }))
+            .count()
+    }
+
+    /// The node stored at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> AigNode {
+        self.nodes[id.index()]
+    }
+
+    /// Iterates over all nodes in topological order.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, AigNode)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::new(i), *n))
+    }
+
+    // ------------------------------------------------------------------
+    // inputs / outputs / latches
+    // ------------------------------------------------------------------
+
+    /// Adds a primary input and returns its (positive) literal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> AigLit {
+        let pi = self.inputs.len() as u32;
+        let id = self.push_node(AigNode::Input { pi });
+        self.inputs.push(id);
+        self.input_names.push(name.into());
+        AigLit::new(id, false)
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The literal of primary input `pi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi >= self.num_inputs()`.
+    pub fn input(&self, pi: usize) -> AigLit {
+        AigLit::new(self.inputs[pi], false)
+    }
+
+    /// The node id of primary input `pi`.
+    pub fn input_node(&self, pi: usize) -> NodeId {
+        self.inputs[pi]
+    }
+
+    /// The name of primary input `pi`.
+    pub fn input_name(&self, pi: usize) -> &str {
+        &self.input_names[pi]
+    }
+
+    /// Finds a primary input by name.
+    pub fn find_input(&self, name: &str) -> Option<usize> {
+        self.input_names.iter().position(|n| n == name)
+    }
+
+    /// If `id` is an input node, its input position.
+    pub fn input_index_of(&self, id: NodeId) -> Option<usize> {
+        match self.node(id) {
+            AigNode::Input { pi } => Some(pi as usize),
+            _ => None,
+        }
+    }
+
+    /// Adds a named primary output driven by `lit`.
+    pub fn add_output(&mut self, name: impl Into<String>, lit: AigLit) {
+        self.outputs.push(Output { name: name.into(), lit });
+    }
+
+    /// The primary outputs in declaration order.
+    pub fn outputs(&self) -> &[Output] {
+        &self.outputs
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Replaces the literal driving output `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_output_lit(&mut self, index: usize, lit: AigLit) {
+        self.outputs[index].lit = lit;
+    }
+
+    /// Adds a latch with the given initial value; returns the literal of
+    /// its output (a combinational leaf). The next-state function must be
+    /// assigned later with [`Aig::set_latch_next`].
+    pub fn add_latch(&mut self, name: impl Into<String>, init: bool) -> AigLit {
+        let idx = self.latches.len() as u32;
+        let id = self.push_node(AigNode::Latch { idx });
+        self.latches.push(Latch { name: name.into(), node: id, next: None, init });
+        AigLit::new(id, false)
+    }
+
+    /// Assigns the next-state function of latch `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AigError::UnknownLatch`] if `idx` is out of range.
+    pub fn set_latch_next(&mut self, idx: usize, next: AigLit) -> Result<(), AigError> {
+        match self.latches.get_mut(idx) {
+            Some(l) => {
+                l.next = Some(next);
+                Ok(())
+            }
+            None => Err(AigError::UnknownLatch(format!("#{idx}"))),
+        }
+    }
+
+    /// The latches in declaration order.
+    pub fn latches(&self) -> &[Latch] {
+        &self.latches
+    }
+
+    /// Whether the AIG is purely combinational (has no latches).
+    pub fn is_comb(&self) -> bool {
+        self.latches.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // construction
+    // ------------------------------------------------------------------
+
+    fn push_node(&mut self, node: AigNode) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(node);
+        id
+    }
+
+    /// AND of two literals, with constant folding and structural hashing.
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        // Constant folding.
+        if a == AigLit::FALSE || b == AigLit::FALSE || a == !b {
+            return AigLit::FALSE;
+        }
+        if a == AigLit::TRUE {
+            return b;
+        }
+        if b == AigLit::TRUE || a == b {
+            return a;
+        }
+        let (f0, f1) = if a.code() <= b.code() { (a, b) } else { (b, a) };
+        let key = (f0.code() as u64) << 32 | f1.code() as u64;
+        if let Some(&id) = self.strash.get(&key) {
+            return AigLit::new(id, false);
+        }
+        let id = self.push_node(AigNode::And { f0, f1 });
+        self.strash.insert(key, id);
+        AigLit::new(id, false)
+    }
+
+    /// OR of two literals.
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.and(!a, !b)
+    }
+
+    /// XOR of two literals.
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let t0 = self.and(a, !b);
+        let t1 = self.and(!a, b);
+        self.or(t0, t1)
+    }
+
+    /// XNOR (equivalence) of two literals.
+    pub fn xnor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.xor(a, b)
+    }
+
+    /// Implication `a -> b`.
+    pub fn implies(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        self.or(!a, b)
+    }
+
+    /// Multiplexer: `if c then t else e`.
+    pub fn mux(&mut self, c: AigLit, t: AigLit, e: AigLit) -> AigLit {
+        let t1 = self.and(c, t);
+        let t0 = self.and(!c, e);
+        self.or(t1, t0)
+    }
+
+    /// Balanced AND over any number of literals (`TRUE` when empty).
+    pub fn and_many(&mut self, lits: &[AigLit]) -> AigLit {
+        self.reduce(lits, true)
+    }
+
+    /// Balanced OR over any number of literals (`FALSE` when empty).
+    pub fn or_many(&mut self, lits: &[AigLit]) -> AigLit {
+        self.reduce(lits, false)
+    }
+
+    /// XOR over any number of literals (`FALSE` when empty).
+    pub fn xor_many(&mut self, lits: &[AigLit]) -> AigLit {
+        let mut acc = AigLit::FALSE;
+        for &l in lits {
+            acc = self.xor(acc, l);
+        }
+        acc
+    }
+
+    fn reduce(&mut self, lits: &[AigLit], is_and: bool) -> AigLit {
+        match lits.len() {
+            0 => Aig::constant(is_and),
+            1 => lits[0],
+            _ => {
+                let mut layer: Vec<AigLit> = lits.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for chunk in layer.chunks(2) {
+                        if chunk.len() == 2 {
+                            let v = if is_and {
+                                self.and(chunk[0], chunk[1])
+                            } else {
+                                self.or(chunk[0], chunk[1])
+                            };
+                            next.push(v);
+                        } else {
+                            next.push(chunk[0]);
+                        }
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // import / comb
+    // ------------------------------------------------------------------
+
+    /// Copies the cone of `root` in `src` into `self`.
+    ///
+    /// `map` gives, for already-translated `src` nodes, the literal in
+    /// `self` they map to; it is extended with every node visited. Leaves
+    /// of `src` (inputs, latches) must be pre-seeded in `map`, otherwise
+    /// they are created as fresh inputs of `self` with their `src` names.
+    pub fn import(
+        &mut self,
+        src: &Aig,
+        root: AigLit,
+        map: &mut HashMap<NodeId, AigLit>,
+    ) -> AigLit {
+        // Iterative post-order over the cone.
+        let mut stack = vec![root.node()];
+        while let Some(&id) = stack.last() {
+            if map.contains_key(&id) {
+                stack.pop();
+                continue;
+            }
+            match src.node(id) {
+                AigNode::Const => {
+                    map.insert(id, AigLit::FALSE);
+                    stack.pop();
+                }
+                AigNode::Input { pi } => {
+                    let name = src.input_name(pi as usize).to_owned();
+                    let lit = self.add_input(name);
+                    map.insert(id, lit);
+                    stack.pop();
+                }
+                AigNode::Latch { idx } => {
+                    let name = src.latches[idx as usize].name.clone();
+                    let lit = self.add_input(name);
+                    map.insert(id, lit);
+                    stack.pop();
+                }
+                AigNode::And { f0, f1 } => {
+                    let m0 = map.get(&f0.node()).copied();
+                    let m1 = map.get(&f1.node()).copied();
+                    match (m0, m1) {
+                        (Some(a), Some(b)) => {
+                            let a = a.xor_complement(f0.is_complement());
+                            let b = b.xor_complement(f1.is_complement());
+                            let v = self.and(a, b);
+                            map.insert(id, v);
+                            stack.pop();
+                        }
+                        _ => {
+                            if m0.is_none() {
+                                stack.push(f0.node());
+                            }
+                            if m1.is_none() {
+                                stack.push(f1.node());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        map[&root.node()].xor_complement(root.is_complement())
+    }
+
+    /// Converts a sequential AIG into a combinational one (the ABC
+    /// `comb` command): every latch output becomes a primary input and
+    /// every latch next-state function becomes a primary output named
+    /// `<latch>$next`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AigError::DanglingLatch`] if a latch has no next-state
+    /// function.
+    pub fn comb(&self) -> Result<Aig, AigError> {
+        for l in &self.latches {
+            if l.next.is_none() {
+                return Err(AigError::DanglingLatch(l.name.clone()));
+            }
+        }
+        let mut dst = Aig::new();
+        let mut map: HashMap<NodeId, AigLit> = HashMap::new();
+        // Keep input order: original PIs first, then latch outputs.
+        for (pi, &node) in self.inputs.iter().enumerate() {
+            let lit = dst.add_input(self.input_names[pi].clone());
+            map.insert(node, lit);
+        }
+        for l in &self.latches {
+            let lit = dst.add_input(l.name.clone());
+            map.insert(l.node, lit);
+        }
+        for o in &self.outputs {
+            let lit = dst.import(self, o.lit, &mut map);
+            dst.add_output(o.name.clone(), lit);
+        }
+        for l in &self.latches {
+            let lit = dst.import(self, l.next.expect("checked above"), &mut map);
+            dst.add_output(format!("{}$next", l.name), lit);
+        }
+        Ok(dst)
+    }
+
+    /// Extracts the combinational cone feeding `root` as a standalone
+    /// AIG whose inputs are exactly the structural support of `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cone contains latch outputs (convert with
+    /// [`Aig::comb`] first).
+    pub fn cone(&self, root: AigLit) -> Cone {
+        let sup = self.support(root);
+        let mut dst = Aig::new();
+        let mut map: HashMap<NodeId, AigLit> = HashMap::new();
+        let mut leaves = Vec::with_capacity(sup.len());
+        for &pi in &sup {
+            let lit = dst.add_input(self.input_name(pi).to_owned());
+            map.insert(self.inputs[pi], lit);
+            leaves.push(pi);
+        }
+        // Any latch leaf in the cone is a bug in the caller.
+        let out = dst.import_checked(self, root, &mut map);
+        Cone { aig: dst, leaves, root: out }
+    }
+
+    fn import_checked(
+        &mut self,
+        src: &Aig,
+        root: AigLit,
+        map: &mut HashMap<NodeId, AigLit>,
+    ) -> AigLit {
+        // Like `import` but panics on unseeded leaves.
+        let mut stack = vec![root.node()];
+        while let Some(&id) = stack.last() {
+            if map.contains_key(&id) {
+                stack.pop();
+                continue;
+            }
+            match src.node(id) {
+                AigNode::Const => {
+                    map.insert(id, AigLit::FALSE);
+                    stack.pop();
+                }
+                AigNode::Input { .. } | AigNode::Latch { .. } => {
+                    panic!("cone extraction hit an unseeded leaf; run comb() first")
+                }
+                AigNode::And { f0, f1 } => {
+                    let m0 = map.get(&f0.node()).copied();
+                    let m1 = map.get(&f1.node()).copied();
+                    match (m0, m1) {
+                        (Some(a), Some(b)) => {
+                            let a = a.xor_complement(f0.is_complement());
+                            let b = b.xor_complement(f1.is_complement());
+                            let v = self.and(a, b);
+                            map.insert(id, v);
+                            stack.pop();
+                        }
+                        _ => {
+                            if m0.is_none() {
+                                stack.push(f0.node());
+                            }
+                            if m1.is_none() {
+                                stack.push(f1.node());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        map[&root.node()].xor_complement(root.is_complement())
+    }
+}
+
+impl fmt::Debug for Aig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Aig {{ inputs: {}, outputs: {}, latches: {}, ands: {} }}",
+            self.num_inputs(),
+            self.num_outputs(),
+            self.latches.len(),
+            self.and_count()
+        )
+    }
+}
+
+/// A combinational cone extracted from an [`Aig`] with [`Aig::cone`].
+///
+/// `leaves[i]` is the primary-input index (in the source AIG) that input
+/// `i` of `aig` corresponds to.
+#[derive(Clone, Debug)]
+pub struct Cone {
+    /// The standalone cone.
+    pub aig: Aig,
+    /// Source primary-input index per cone input.
+    pub leaves: Vec<usize>,
+    /// The root literal inside `aig`.
+    pub root: AigLit,
+}
+
+impl Cone {
+    /// Number of support variables of the cone.
+    pub fn support_size(&self) -> usize {
+        self.leaves.len()
+    }
+}

@@ -1,0 +1,52 @@
+//! And-Inverter Graph (AIG) package.
+//!
+//! This crate plays the role that ABC plays for the original STEP tool
+//! (DATE 2012): it is the circuit representation every other crate works
+//! on. An [`Aig`] is a DAG of two-input AND nodes with complemented
+//! edges ([`AigLit`]), built with structural hashing and constant
+//! folding, plus named primary inputs, primary outputs and latches.
+//!
+//! Features:
+//!
+//! * construction API: [`Aig::and`], [`Aig::or`], [`Aig::xor`],
+//!   [`Aig::mux`], n-ary balanced trees, …
+//! * combinational conversion of sequential circuits ([`Aig::comb`],
+//!   the ABC `comb` command used by the paper);
+//! * cofactoring, composition and Boolean quantification
+//!   ([`Aig::cofactor`], [`Aig::substitute`], [`Aig::exists`],
+//!   [`Aig::forall`]);
+//! * structural support and cone extraction ([`Aig::support`],
+//!   [`Cone`]);
+//! * bit-parallel simulation ([`Aig::sim64`]) and scalar evaluation;
+//! * I/O: BLIF, ISCAS `.bench` and (ascii) AIGER.
+//!
+//! # Example
+//!
+//! ```
+//! use step_aig::Aig;
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_input("a");
+//! let b = aig.add_input("b");
+//! let f = aig.xor(a, b);
+//! aig.add_output("f", f);
+//! assert_eq!(aig.eval(&[true, false]), vec![true]);
+//! assert_eq!(aig.eval(&[true, true]), vec![false]);
+//! ```
+
+mod error;
+mod graph;
+mod lit;
+mod ops;
+mod sim;
+
+pub mod bench_io;
+pub mod blif;
+pub mod aiger;
+
+pub use error::{AigError, ParseError};
+pub use graph::{Aig, AigNode, Cone, Latch, NodeId, Output};
+pub use lit::AigLit;
+
+#[cfg(test)]
+mod tests;

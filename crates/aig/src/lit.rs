@@ -1,0 +1,116 @@
+use std::fmt;
+
+use crate::graph::NodeId;
+
+/// A literal: an edge into an AIG node, possibly complemented.
+///
+/// Encoded as `node_index << 1 | complement`, matching the AIGER
+/// convention. `AigLit::FALSE` and `AigLit::TRUE` are the two edges into
+/// the constant node (node 0).
+///
+/// ```
+/// use step_aig::AigLit;
+/// let t = AigLit::TRUE;
+/// assert_eq!(!t, AigLit::FALSE);
+/// assert!(t.is_const());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    /// Constant false (complemented edge into the constant node).
+    pub const FALSE: AigLit = AigLit(0);
+    /// Constant true.
+    pub const TRUE: AigLit = AigLit(1);
+
+    /// Builds a literal from a node id and a complement flag.
+    #[inline]
+    pub fn new(node: NodeId, complement: bool) -> Self {
+        AigLit(node.index() as u32 * 2 + complement as u32)
+    }
+
+    /// Builds a literal from its AIGER integer code.
+    #[inline]
+    pub fn from_code(code: u32) -> Self {
+        AigLit(code)
+    }
+
+    /// The AIGER integer code of this literal.
+    #[inline]
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// The node this literal points to.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId::new((self.0 >> 1) as usize)
+    }
+
+    /// Whether the edge is complemented.
+    #[inline]
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether this is one of the two constant literals.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.0 < 2
+    }
+
+    /// Whether this is exactly the constant `value`.
+    #[inline]
+    pub fn is_const_val(self, value: bool) -> bool {
+        self.0 == value as u32
+    }
+
+    /// This literal with its complement flag set to `c`.
+    #[inline]
+    pub fn with_complement(self, c: bool) -> Self {
+        AigLit(self.0 & !1 | c as u32)
+    }
+
+    /// XORs the complement flag with `c` (`lit ^ false == lit`).
+    #[inline]
+    pub fn xor_complement(self, c: bool) -> Self {
+        AigLit(self.0 ^ c as u32)
+    }
+
+    /// The non-complemented literal for the same node.
+    #[inline]
+    pub fn abs(self) -> Self {
+        AigLit(self.0 & !1)
+    }
+}
+
+impl std::ops::Not for AigLit {
+    type Output = AigLit;
+    #[inline]
+    fn not(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for AigLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == AigLit::FALSE {
+            write!(f, "lit(0)")
+        } else if *self == AigLit::TRUE {
+            write!(f, "lit(1)")
+        } else {
+            write!(
+                f,
+                "lit({}n{})",
+                if self.is_complement() { "!" } else { "" },
+                self.node().index()
+            )
+        }
+    }
+}
+
+impl fmt::Display for AigLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}

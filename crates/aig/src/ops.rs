@@ -1,0 +1,280 @@
+//! Structural and functional operations: support, substitution,
+//! cofactors, Boolean quantification, levels.
+
+use std::collections::HashMap;
+
+use crate::graph::{Aig, AigNode, NodeId};
+use crate::lit::AigLit;
+
+impl Aig {
+    /// The structural support of `root`: the sorted list of primary-input
+    /// indices reachable from it. Latch leaves are reported through
+    /// [`Aig::support_nodes`]; this method ignores them.
+    pub fn support(&self, root: AigLit) -> Vec<usize> {
+        let mut sup: Vec<usize> = self
+            .support_nodes(root)
+            .into_iter()
+            .filter_map(|id| self.input_index_of(id))
+            .collect();
+        sup.sort_unstable();
+        sup
+    }
+
+    /// The leaf nodes (inputs and latch outputs) reachable from `root`.
+    pub fn support_nodes(&self, root: AigLit) -> Vec<NodeId> {
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![root.node()];
+        let mut leaves = Vec::new();
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            match self.node(id) {
+                AigNode::Const => {}
+                AigNode::Input { .. } | AigNode::Latch { .. } => leaves.push(id),
+                AigNode::And { f0, f1 } => {
+                    stack.push(f0.node());
+                    stack.push(f1.node());
+                }
+            }
+        }
+        leaves.sort_unstable();
+        leaves
+    }
+
+    /// Joint structural support of several roots (sorted input indices).
+    pub fn support_many(&self, roots: &[AigLit]) -> Vec<usize> {
+        let mut seen = vec![false; self.node_count()];
+        let mut stack: Vec<NodeId> = roots.iter().map(|l| l.node()).collect();
+        let mut sup = Vec::new();
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            match self.node(id) {
+                AigNode::Const | AigNode::Latch { .. } => {}
+                AigNode::Input { pi } => sup.push(pi as usize),
+                AigNode::And { f0, f1 } => {
+                    stack.push(f0.node());
+                    stack.push(f1.node());
+                }
+            }
+        }
+        sup.sort_unstable();
+        sup
+    }
+
+    /// Rebuilds the cone of `root` with the leaves in `subs` replaced by
+    /// the given literals. Nodes not reachable from `root` are untouched;
+    /// new nodes are appended (strashing keeps duplicates away).
+    pub fn substitute(&mut self, root: AigLit, subs: &HashMap<NodeId, AigLit>) -> AigLit {
+        let mut memo: HashMap<NodeId, AigLit> = subs.clone();
+        let mut stack = vec![root.node()];
+        while let Some(&id) = stack.last() {
+            if memo.contains_key(&id) {
+                stack.pop();
+                continue;
+            }
+            match self.node(id) {
+                AigNode::Const => {
+                    memo.insert(id, AigLit::FALSE);
+                    stack.pop();
+                }
+                AigNode::Input { .. } | AigNode::Latch { .. } => {
+                    memo.insert(id, AigLit::new(id, false));
+                    stack.pop();
+                }
+                AigNode::And { f0, f1 } => {
+                    let m0 = memo.get(&f0.node()).copied();
+                    let m1 = memo.get(&f1.node()).copied();
+                    match (m0, m1) {
+                        (Some(a), Some(b)) => {
+                            let a = a.xor_complement(f0.is_complement());
+                            let b = b.xor_complement(f1.is_complement());
+                            let v = self.and(a, b);
+                            memo.insert(id, v);
+                            stack.pop();
+                        }
+                        _ => {
+                            if m0.is_none() {
+                                stack.push(f0.node());
+                            }
+                            if m1.is_none() {
+                                stack.push(f1.node());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        memo[&root.node()].xor_complement(root.is_complement())
+    }
+
+    /// The cofactor of `root` with primary input `pi` fixed to `value`.
+    pub fn cofactor(&mut self, root: AigLit, pi: usize, value: bool) -> AigLit {
+        let mut subs = HashMap::new();
+        subs.insert(self.input_node(pi), Aig::constant(value));
+        self.substitute(root, &subs)
+    }
+
+    /// Simultaneous cofactor over several inputs.
+    pub fn cofactor_many(&mut self, root: AigLit, assignment: &[(usize, bool)]) -> AigLit {
+        let subs: HashMap<NodeId, AigLit> = assignment
+            .iter()
+            .map(|&(pi, v)| (self.input_node(pi), Aig::constant(v)))
+            .collect();
+        self.substitute(root, &subs)
+    }
+
+    /// Existential quantification `∃ pis . root` by cofactor expansion.
+    ///
+    /// Worst-case cost is exponential in `pis.len()`; intended for small
+    /// variable sets (reference implementations, tests).
+    pub fn exists(&mut self, root: AigLit, pis: &[usize]) -> AigLit {
+        let mut cur = root;
+        for &pi in pis {
+            let hi = self.cofactor(cur, pi, true);
+            let lo = self.cofactor(cur, pi, false);
+            cur = self.or(hi, lo);
+        }
+        cur
+    }
+
+    /// Universal quantification `∀ pis . root` by cofactor expansion.
+    ///
+    /// Worst-case cost is exponential in `pis.len()`; intended for small
+    /// variable sets (reference implementations, tests).
+    pub fn forall(&mut self, root: AigLit, pis: &[usize]) -> AigLit {
+        let mut cur = root;
+        for &pi in pis {
+            let hi = self.cofactor(cur, pi, true);
+            let lo = self.cofactor(cur, pi, false);
+            cur = self.and(hi, lo);
+        }
+        cur
+    }
+
+    /// The logic level (longest leaf-to-root path, leaves at level 0) of
+    /// `root`.
+    pub fn level(&self, root: AigLit) -> usize {
+        let mut levels: Vec<u32> = vec![0; self.node_count()];
+        // Nodes are in topological order, so one forward pass suffices,
+        // but only nodes in the cone matter; a full pass is simpler and
+        // the graph is compact.
+        for (i, node) in self.iter_nodes() {
+            if let AigNode::And { f0, f1 } = node {
+                levels[i.index()] =
+                    1 + levels[f0.node().index()].max(levels[f1.node().index()]);
+            }
+        }
+        levels[root.node().index()] as usize
+    }
+
+    /// Returns a copy with all nodes unreachable from the outputs and
+    /// latch next-state functions removed (garbage collection after
+    /// heavy cofactoring/substitution). Inputs and latches are kept —
+    /// also unused ones, so input indexing is stable.
+    pub fn compact(&self) -> Aig {
+        let mut dst = Aig::new();
+        let mut map: HashMap<NodeId, AigLit> = HashMap::new();
+        for pi in 0..self.num_inputs() {
+            let lit = dst.add_input(self.input_name(pi).to_owned());
+            map.insert(self.input_node(pi), lit);
+        }
+        for l in self.latches() {
+            let lit = dst.add_latch(l.name().to_owned(), l.init());
+            map.insert(l.node(), lit);
+        }
+        let outputs: Vec<(String, AigLit)> = self
+            .outputs()
+            .iter()
+            .map(|o| (o.name().to_owned(), o.lit()))
+            .collect();
+        for (name, lit) in outputs {
+            let new_lit = dst.import(self, lit, &mut map);
+            dst.add_output(name, new_lit);
+        }
+        for (idx, l) in self.latches().iter().enumerate() {
+            if let Some(next) = l.next() {
+                let new_next = dst.import(self, next, &mut map);
+                dst.set_latch_next(idx, new_next).expect("latch exists");
+            }
+        }
+        dst
+    }
+
+    /// Renders the AIG as a Graphviz DOT digraph (dashed edges =
+    /// complemented), for debugging and documentation.
+    pub fn to_dot(&self, name: &str) -> String {
+        use crate::graph::AigNode;
+        use std::fmt::Write as _;
+
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{name}\" {{");
+        let _ = writeln!(out, "  rankdir=BT;");
+        for (id, node) in self.iter_nodes() {
+            match node {
+                AigNode::Const => {
+                    let _ = writeln!(out, "  n{} [label=\"0\" shape=box];", id.index());
+                }
+                AigNode::Input { pi } => {
+                    let _ = writeln!(
+                        out,
+                        "  n{} [label=\"{}\" shape=triangle];",
+                        id.index(),
+                        self.input_name(pi as usize)
+                    );
+                }
+                AigNode::Latch { idx } => {
+                    let _ = writeln!(
+                        out,
+                        "  n{} [label=\"{}\" shape=diamond];",
+                        id.index(),
+                        self.latches()[idx as usize].name()
+                    );
+                }
+                AigNode::And { f0, f1 } => {
+                    let _ = writeln!(out, "  n{} [label=\"∧\"];", id.index());
+                    for f in [f0, f1] {
+                        let style = if f.is_complement() { " [style=dashed]" } else { "" };
+                        let _ = writeln!(
+                            out,
+                            "  n{} -> n{}{};",
+                            f.node().index(),
+                            id.index(),
+                            style
+                        );
+                    }
+                }
+            }
+        }
+        for (k, o) in self.outputs().iter().enumerate() {
+            let _ = writeln!(out, "  o{k} [label=\"{}\" shape=invtriangle];", o.name());
+            let style = if o.lit().is_complement() { " [style=dashed]" } else { "" };
+            let _ = writeln!(out, "  n{} -> o{k}{};", o.lit().node().index(), style);
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Counts the AND nodes in the cone of `root`.
+    pub fn cone_size(&self, root: AigLit) -> usize {
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![root.node()];
+        let mut n = 0;
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            if let AigNode::And { f0, f1 } = self.node(id) {
+                n += 1;
+                stack.push(f0.node());
+                stack.push(f1.node());
+            }
+        }
+        n
+    }
+}

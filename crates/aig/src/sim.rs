@@ -1,0 +1,115 @@
+//! Scalar evaluation and 64-way bit-parallel simulation.
+
+use crate::graph::{Aig, AigNode};
+use crate::lit::AigLit;
+
+impl Aig {
+    /// Evaluates all primary outputs under a primary-input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AIG has latches (use [`Aig::eval_seq_step`]) or if
+    /// `inputs.len() != self.num_inputs()`.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert!(self.is_comb(), "eval requires a combinational AIG");
+        let values = self.eval_nodes(inputs, &[]);
+        self.outputs()
+            .iter()
+            .map(|o| values[o.lit().node().index()] ^ o.lit().is_complement())
+            .collect()
+    }
+
+    /// Evaluates a single literal under a primary-input assignment
+    /// (combinational AIGs only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AIG has latches or on input-length mismatch.
+    pub fn eval_lit(&self, root: AigLit, inputs: &[bool]) -> bool {
+        assert!(self.is_comb(), "eval_lit requires a combinational AIG");
+        let values = self.eval_nodes(inputs, &[]);
+        values[root.node().index()] ^ root.is_complement()
+    }
+
+    /// One step of sequential evaluation: given input and current latch
+    /// values, returns `(outputs, next latch values)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input/latch length mismatch or dangling latches.
+    pub fn eval_seq_step(&self, inputs: &[bool], state: &[bool]) -> (Vec<bool>, Vec<bool>) {
+        assert_eq!(state.len(), self.latches().len(), "latch state length mismatch");
+        let values = self.eval_nodes(inputs, state);
+        let outs = self
+            .outputs()
+            .iter()
+            .map(|o| values[o.lit().node().index()] ^ o.lit().is_complement())
+            .collect();
+        let next = self
+            .latches()
+            .iter()
+            .map(|l| {
+                let n = l.next().expect("dangling latch");
+                values[n.node().index()] ^ n.is_complement()
+            })
+            .collect();
+        (outs, next)
+    }
+
+    fn eval_nodes(&self, inputs: &[bool], state: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs(), "input length mismatch");
+        let mut values = vec![false; self.node_count()];
+        for (id, node) in self.iter_nodes() {
+            values[id.index()] = match node {
+                AigNode::Const => false,
+                AigNode::Input { pi } => inputs[pi as usize],
+                AigNode::Latch { idx } => state[idx as usize],
+                AigNode::And { f0, f1 } => {
+                    (values[f0.node().index()] ^ f0.is_complement())
+                        && (values[f1.node().index()] ^ f1.is_complement())
+                }
+            };
+        }
+        values
+    }
+
+    /// 64-way bit-parallel simulation: bit `k` of `words[pi]` is the
+    /// value of input `pi` in pattern `k`. Returns one word per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AIG has latches or on input-length mismatch.
+    pub fn sim64(&self, words: &[u64]) -> Vec<u64> {
+        assert!(self.is_comb(), "sim64 requires a combinational AIG");
+        assert_eq!(words.len(), self.num_inputs(), "input word count mismatch");
+        let mut values = vec![0u64; self.node_count()];
+        for (id, node) in self.iter_nodes() {
+            values[id.index()] = match node {
+                AigNode::Const => 0,
+                AigNode::Input { pi } => words[pi as usize],
+                AigNode::Latch { .. } => unreachable!("checked is_comb"),
+                AigNode::And { f0, f1 } => {
+                    let a = values[f0.node().index()] ^ neg64(f0.is_complement());
+                    let b = values[f1.node().index()] ^ neg64(f1.is_complement());
+                    a & b
+                }
+            };
+        }
+        values
+    }
+
+    /// The simulated word of `root` given per-node words from
+    /// [`Aig::sim64`].
+    pub fn sim_word(&self, root: AigLit, node_words: &[u64]) -> u64 {
+        node_words[root.node().index()] ^ neg64(root.is_complement())
+    }
+}
+
+#[inline]
+fn neg64(c: bool) -> u64 {
+    if c {
+        !0
+    } else {
+        0
+    }
+}

@@ -1,0 +1,137 @@
+//! Ablation benchmarks for the design choices the paper (and
+//! DESIGN.md §3.3) call out:
+//!
+//! * **symmetry breaking** `|XA| ≥ |XB|` — the paper: "this
+//!   optimization reduces substantially the search space";
+//! * **forbidding `(α,β) = (1,1)`** — never loses solutions, shrinks
+//!   the candidate space;
+//! * **the simulation pre-filter** for seed pairs;
+//! * **`k`-search strategy**: MI vs the paper's MD→Bin→MI pipeline for
+//!   disjointness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use step_aig::{Aig, AigLit};
+use step_core::optimum::{self, Metric};
+use step_core::oracle::{sim_filter_pairs, CoreFormula, PartitionOracle};
+use step_core::qbf_model::{solve_partition, ModelOptions, QbfModelOutcome, Target};
+use step_core::{mg, GateOp, SearchStrategy};
+
+/// A 12-input function with one shared variable and several valid
+/// partitions — large enough that ablation effects are visible.
+fn testbed() -> (Aig, AigLit) {
+    let mut aig = Aig::new();
+    let s = aig.add_input("s");
+    let xs: Vec<AigLit> = (0..11).map(|i| aig.add_input(format!("x{i}"))).collect();
+    let c1 = aig.and_many(&xs[0..5]);
+    let c2 = aig.and_many(&xs[5..11]);
+    let t1 = aig.and(s, c1);
+    let t2 = aig.and(s, c2);
+    let f = aig.or(t1, t2);
+    (aig, f)
+}
+
+fn bench_symmetry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_symmetry");
+    g.sample_size(10);
+    let (aig, f) = testbed();
+    let core = CoreFormula::build(&aig, f, GateOp::Or);
+    for (label, sym) in [("with_symmetry", true), ("without_symmetry", false)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let opts = ModelOptions {
+                    symmetry_breaking: sym,
+                    ..ModelOptions::default()
+                };
+                let (outcome, _) =
+                    solve_partition(&core, Target::DisjointAtMost(1), &opts);
+                assert!(matches!(outcome, QbfModelOutcome::Partition(_)));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_allow_both(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_allow_both");
+    g.sample_size(10);
+    let (aig, f) = testbed();
+    let core = CoreFormula::build(&aig, f, GateOp::Or);
+    for (label, both) in [("pairs_forbidden", false), ("pairs_allowed", true)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let opts = ModelOptions { allow_both: both, ..ModelOptions::default() };
+                let (outcome, _) =
+                    solve_partition(&core, Target::DisjointAtMost(1), &opts);
+                assert!(matches!(outcome, QbfModelOutcome::Partition(_)));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sim_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sim_filter");
+    g.sample_size(10);
+    let (aig, f) = testbed();
+    g.bench_function("mg_with_filter", |b| {
+        b.iter(|| {
+            let core = CoreFormula::build(&aig, f, GateOp::Or);
+            let candidates = sim_filter_pairs(&aig, f, GateOp::Or, 4, 7);
+            let mut oracle = PartitionOracle::new(core);
+            let r = mg::decompose(&mut oracle, Some(&candidates), None);
+            assert!(matches!(r, mg::MgOutcome::Partition(_)));
+        })
+    });
+    g.bench_function("mg_without_filter", |b| {
+        b.iter(|| {
+            let core = CoreFormula::build(&aig, f, GateOp::Or);
+            let mut oracle = PartitionOracle::new(core);
+            let r = mg::decompose(&mut oracle, None, None);
+            assert!(matches!(r, mg::MgOutcome::Partition(_)));
+        })
+    });
+    g.finish();
+}
+
+fn bench_strategy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_strategy");
+    g.sample_size(10);
+    let (aig, f) = testbed();
+    let core = CoreFormula::build(&aig, f, GateOp::Or);
+    let bootstrap = {
+        let mut oracle = PartitionOracle::new(core.clone());
+        match mg::decompose(&mut oracle, None, None) {
+            mg::MgOutcome::Partition(p) => p,
+            other => panic!("{other:?}"),
+        }
+    };
+    for (label, strategy) in [
+        ("mi", SearchStrategy::MonotoneIncreasing),
+        ("md", SearchStrategy::MonotoneDecreasing),
+        ("bin", SearchStrategy::Binary),
+        ("md_bin_mi", SearchStrategy::MdBinMi),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let r = optimum::search(
+                    &core,
+                    Metric::Disjointness,
+                    Some(&bootstrap),
+                    strategy,
+                    &ModelOptions::default(),
+                );
+                assert!(r.proved_optimal);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_symmetry,
+    bench_allow_both,
+    bench_sim_filter,
+    bench_strategy
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion kernels for the CEGAR 2QBF engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use step_aig::Aig;
+use step_qbf::{ExistsForall, Qbf2Result};
+
+/// ∃x₀..xₙ₋₁ ∀y₀..yₙ₋₁ . ∧ᵢ (xᵢ ∨ yᵢ): valid (all xᵢ = 1), needs
+/// refinement to discover.
+fn cover_instance(n: usize) -> (Aig, step_aig::AigLit, Vec<usize>, Vec<usize>) {
+    let mut aig = Aig::new();
+    let xs: Vec<_> = (0..n).map(|i| aig.add_input(format!("x{i}"))).collect();
+    let ys: Vec<_> = (0..n).map(|i| aig.add_input(format!("y{i}"))).collect();
+    let cl: Vec<_> = (0..n).map(|i| aig.or(xs[i], ys[i])).collect();
+    let m = aig.and_many(&cl);
+    (aig, m, (0..n).collect(), (n..2 * n).collect())
+}
+
+/// ∃x ∀y . ∧ᵢ (xᵢ ≡ yᵢ): invalid; CEGAR must exhaust candidates.
+fn matching_instance(n: usize) -> (Aig, step_aig::AigLit, Vec<usize>, Vec<usize>) {
+    let mut aig = Aig::new();
+    let xs: Vec<_> = (0..n).map(|i| aig.add_input(format!("x{i}"))).collect();
+    let ys: Vec<_> = (0..n).map(|i| aig.add_input(format!("y{i}"))).collect();
+    let eq: Vec<_> = (0..n).map(|i| aig.xnor(xs[i], ys[i])).collect();
+    let m = aig.and_many(&eq);
+    (aig, m, (0..n).collect(), (n..2 * n).collect())
+}
+
+fn bench_qbf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qbf_kernels");
+    g.sample_size(10);
+
+    g.bench_function("cover10_valid", |b| {
+        b.iter(|| {
+            let (aig, m, e, u) = cover_instance(10);
+            let mut s = ExistsForall::new(aig, m, e, u);
+            assert!(matches!(s.solve(), Qbf2Result::Valid(_)));
+        })
+    });
+
+    g.bench_function("matching6_invalid", |b| {
+        b.iter(|| {
+            let (aig, m, e, u) = matching_instance(6);
+            let mut s = ExistsForall::new(aig, m, e, u);
+            assert_eq!(s.solve(), Qbf2Result::Invalid);
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_qbf);
+criterion_main!(benches);

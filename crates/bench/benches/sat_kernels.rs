@@ -1,0 +1,91 @@
+//! Criterion kernels for the CDCL SAT solver substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use step_cnf::{Lit, Var};
+use step_sat::{SolveResult, Solver};
+
+fn pigeonhole(n: usize) -> (usize, Vec<Vec<Lit>>) {
+    let pigeons = n + 1;
+    let var = |p: usize, h: usize| Lit::pos(Var::new(p * n + h));
+    let mut clauses = Vec::new();
+    for p in 0..pigeons {
+        clauses.push((0..n).map(|h| var(p, h)).collect());
+    }
+    for h in 0..n {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                clauses.push(vec![!var(p1, h), !var(p2, h)]);
+            }
+        }
+    }
+    (pigeons * n, clauses)
+}
+
+fn random_3sat(nvars: usize, nclauses: usize, seed: u64) -> Vec<Vec<Lit>> {
+    let mut s = seed | 1;
+    let mut rnd = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    (0..nclauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| {
+                    let v = (rnd() % nvars as u64) as usize;
+                    Lit::new(Var::new(v), rnd() % 2 == 0)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat_kernels");
+    g.sample_size(10);
+
+    g.bench_function("php6_unsat", |b| {
+        let (nv, clauses) = pigeonhole(6);
+        b.iter(|| {
+            let mut s = Solver::new();
+            s.ensure_vars(nv);
+            for cl in &clauses {
+                s.add_clause(cl.iter().copied());
+            }
+            assert_eq!(s.solve(), SolveResult::Unsat);
+        })
+    });
+
+    g.bench_function("random3sat_sat_phase", |b| {
+        // Clause ratio 3.5: almost surely satisfiable.
+        let clauses = random_3sat(120, 420, 42);
+        b.iter(|| {
+            let mut s = Solver::new();
+            s.ensure_vars(120);
+            for cl in &clauses {
+                s.add_clause(cl.iter().copied());
+            }
+            let _ = s.solve();
+        })
+    });
+
+    g.bench_function("php4_with_proof", |b| {
+        let (nv, clauses) = pigeonhole(4);
+        b.iter(|| {
+            let mut s = Solver::new();
+            s.enable_proof();
+            s.ensure_vars(nv);
+            for cl in &clauses {
+                s.add_clause(cl.iter().copied());
+            }
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            assert!(s.proof().unwrap().empty_clause().is_some());
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sat);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Regenerates **Figure 1**: CPU-time scatter plots between models over
+//! the full 145-circuit population — LJH vs STEP-{QD,QB,QDB} (top row)
+//! and STEP-MG vs STEP-{QD,QB,QDB} (bottom row).
+//!
+//! Prints a CSV of per-circuit runtimes followed by six ASCII log-log
+//! scatter panels.
+//!
+//! Usage: `fig1 [--scale smoke|default|full] [--op ...]`
+
+use step_bench::{ascii_scatter, run_model, HarnessOpts};
+use step_circuits::registry_all;
+use step_core::Model;
+
+fn main() {
+    let mut opts = HarnessOpts::from_args();
+    // Figure 1 sweeps 145 circuits; default to the cheap partition-only
+    // mode so the full sweep stays tractable.
+    opts.partitions_only = true;
+    let entries = opts.selected(registry_all());
+
+    println!(
+        "# FIGURE 1 data: per-circuit CPU seconds per model ({} circuits)",
+        entries.len()
+    );
+    println!("circuit,ljh,mg,qd,qb,qdb");
+    let mut rows: Vec<(String, [f64; 5])> = Vec::with_capacity(entries.len());
+    for entry in &entries {
+        let times = [
+            run_model(entry, Model::Ljh, &opts).cpu.as_secs_f64(),
+            run_model(entry, Model::MusGroup, &opts).cpu.as_secs_f64(),
+            run_model(entry, Model::QbfDisjoint, &opts).cpu.as_secs_f64(),
+            run_model(entry, Model::QbfBalanced, &opts).cpu.as_secs_f64(),
+            run_model(entry, Model::QbfCombined, &opts).cpu.as_secs_f64(),
+        ];
+        println!(
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            entry.name, times[0], times[1], times[2], times[3], times[4]
+        );
+        rows.push((entry.name.to_owned(), times));
+    }
+
+    let panel = |y_idx: usize, x_idx: usize, title: &str| {
+        let pts: Vec<(f64, f64)> = rows.iter().map(|(_, t)| (t[x_idx], t[y_idx])).collect();
+        println!("\n{}", ascii_scatter(&pts, title));
+    };
+    // x-axis = STEP-Q*, y-axis = baseline, matching the paper's panels.
+    panel(0, 2, "LJH (y) vs STEP-QD (x)");
+    panel(0, 3, "LJH (y) vs STEP-QB (x)");
+    panel(0, 4, "LJH (y) vs STEP-QDB (x)");
+    panel(1, 2, "STEP-MG (y) vs STEP-QD (x)");
+    panel(1, 3, "STEP-MG (y) vs STEP-QB (x)");
+    panel(1, 4, "STEP-MG (y) vs STEP-QDB (x)");
+
+    // Headline shape statistics.
+    let geo = |idx: usize| -> f64 {
+        let s: f64 = rows.iter().map(|(_, t)| (t[idx].max(1e-6)).ln()).sum();
+        (s / rows.len().max(1) as f64).exp()
+    };
+    println!(
+        "geometric-mean CPU(s): LJH {:.4}  MG {:.4}  QD {:.4}  QB {:.4}  QDB {:.4}",
+        geo(0),
+        geo(1),
+        geo(2),
+        geo(3),
+        geo(4)
+    );
+    println!("expected shape (paper): MG fastest, LJH slowest, QD/QB/QDB between them");
+}

@@ -1,0 +1,68 @@
+//! Regenerates **Table I**: per-circuit quality-metric comparison
+//! between the OR bi-decomposition models — LJH vs STEP-{QD,QB,QDB}
+//! and STEP-MG vs STEP-{QD,QB,QDB}.
+//!
+//! Usage: `table1 [--scale smoke|default|full] [--op or|and|xor]
+//! [--filter <name>] [--fast] [--paper]`
+
+use step_bench::{compare_quality, run_model, HarnessOpts, QualityMetric};
+use step_circuits::registry_table1;
+use step_core::Model;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let entries = opts.selected(registry_table1());
+
+    println!(
+        "TABLE I: COMPARISON OF QUALITY METRICS BETWEEN {} MODELS (scale {:?})",
+        opts.op, opts.scale
+    );
+    println!(
+        "{:<10} {:>4} {:>4} {:>4} | {:>7} {:>7} | {:>7} {:>7} | {:>8} {:>8} |\
+         | {:>7} {:>7} | {:>7} {:>7} | {:>8} {:>8}",
+        "Circuit", "#In", "#InM", "#Out",
+        "QD>LJH", "QD=LJH", "QB>LJH", "QB=LJH", "QDB>LJH", "QDB=LJH",
+        "QD>MG", "QD=MG", "QB>MG", "QB=MG", "QDB>MG", "QDB=MG",
+    );
+    println!("{}", "-".repeat(152));
+
+    for entry in &entries {
+        let aig = entry.build(opts.scale);
+        let inm = aig
+            .outputs()
+            .iter()
+            .map(|o| aig.support(o.lit()).len())
+            .max()
+            .unwrap_or(0);
+
+        let ljh = run_model(entry, Model::Ljh, &opts);
+        let mg = run_model(entry, Model::MusGroup, &opts);
+        let qd = run_model(entry, Model::QbfDisjoint, &opts);
+        let qb = run_model(entry, Model::QbfBalanced, &opts);
+        let qdb = run_model(entry, Model::QbfCombined, &opts);
+
+        let c = |pair: (f64, f64)| format!("{:>7.2} {:>7.2}", pair.0, pair.1);
+        println!(
+            "{:<10} {:>4} {:>4} {:>4} | {} | {} | {} || {} | {} | {}",
+            entry.name,
+            aig.num_inputs(),
+            inm,
+            aig.num_outputs(),
+            c(compare_quality(&qd, &ljh, QualityMetric::Disjointness)),
+            c(compare_quality(&qb, &ljh, QualityMetric::Balancedness)),
+            c(compare_quality(&qdb, &ljh, QualityMetric::Sum)),
+            c(compare_quality(&qd, &mg, QualityMetric::Disjointness)),
+            c(compare_quality(&qb, &mg, QualityMetric::Balancedness)),
+            c(compare_quality(&qdb, &mg, QualityMetric::Sum)),
+        );
+    }
+    println!();
+    println!(
+        "paper stats for reference (original circuits): {}",
+        entries
+            .iter()
+            .map(|e| format!("{} {}/{}/{}", e.name, e.paper.inputs, e.paper.inm, e.paper.outputs))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -1,0 +1,60 @@
+//! Regenerates **Table III**: performance data for OR bi-decomposition —
+//! per circuit, `#Dec` (decomposed POs) and CPU seconds for LJH,
+//! STEP-MG and STEP-{QD,QB,QDB}.
+//!
+//! Usage: `table3 [--scale ...] [--op ...] [--filter <name>] [--fast]`
+
+use step_bench::{run_model, secs, HarnessOpts};
+use step_circuits::registry_table1;
+use step_core::Model;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let entries = opts.selected(registry_table1());
+
+    println!(
+        "TABLE III: PERFORMANCE DATA FOR {} BI-DECOMPOSITION (scale {:?})",
+        opts.op, opts.scale
+    );
+    println!(
+        "{:<10} | {:>5} {:>9} | {:>5} {:>9} | {:>5} {:>9} | {:>5} {:>9} | {:>5} {:>9}",
+        "Circuit", "#Dec", "LJH(s)", "#Dec", "MG(s)", "#Dec", "QD(s)", "#Dec", "QB(s)", "#Dec", "QDB(s)"
+    );
+    println!("{}", "-".repeat(104));
+
+    let mut totals = [0.0f64; 5];
+    for entry in &entries {
+        let runs = [
+            run_model(entry, Model::Ljh, &opts),
+            run_model(entry, Model::MusGroup, &opts),
+            run_model(entry, Model::QbfDisjoint, &opts),
+            run_model(entry, Model::QbfBalanced, &opts),
+            run_model(entry, Model::QbfCombined, &opts),
+        ];
+        for (t, r) in totals.iter_mut().zip(&runs) {
+            *t += r.cpu.as_secs_f64();
+        }
+        let cell = |r: &step_core::CircuitResult| {
+            let cpu = if r.timed_out { format!("TO@{}", secs(r.cpu)) } else { secs(r.cpu) };
+            format!("{:>5} {:>9}", r.num_decomposed(), cpu)
+        };
+        println!(
+            "{:<10} | {} | {} | {} | {} | {}",
+            entry.name,
+            cell(&runs[0]),
+            cell(&runs[1]),
+            cell(&runs[2]),
+            cell(&runs[3]),
+            cell(&runs[4]),
+        );
+    }
+    println!("{}", "-".repeat(104));
+    println!(
+        "{:<10} | {:>15.2} | {:>15.2} | {:>15.2} | {:>15.2} | {:>15.2}",
+        "TOTAL(s)", totals[0], totals[1], totals[2], totals[3], totals[4]
+    );
+    println!(
+        "\nexpected shape (paper): MG fastest, LJH slowest, QD/QB/QDB in between \
+         with #Dec equal to MG"
+    );
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Table IV**: percentage of POs solved (optimum proved
+//! within the per-call/per-output budgets) by STEP-{QD,QB,QDB} for OR
+//! bi-decomposition.
+//!
+//! Usage: `table4 [--scale ...] [--op ...] [--filter <name>] [--fast]`
+
+use step_bench::{run_model, HarnessOpts};
+use step_circuits::registry_table1;
+use step_core::Model;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let entries = opts.selected(registry_table1());
+
+    let mut total_pos = 0usize;
+    let mut solved = [0usize; 3];
+    for entry in &entries {
+        for (k, model) in [Model::QbfDisjoint, Model::QbfBalanced, Model::QbfCombined]
+            .into_iter()
+            .enumerate()
+        {
+            let r = run_model(entry, model, &opts);
+            solved[k] += r.outputs.iter().filter(|o| o.solved).count();
+            if k == 0 {
+                total_pos += r.outputs.len();
+            }
+        }
+    }
+
+    println!(
+        "TABLE IV: PERCENTAGE OF SOLVED POS WITH STEP-{{QD,QB,QDB}} FOR {} \
+         BI-DECOMPOSITION (scale {:?})",
+        opts.op, opts.scale
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "#Out", "STEP-QD(%)", "STEP-QB(%)", "STEP-QDB(%)"
+    );
+    let pct = |s: usize| 100.0 * s as f64 / total_pos.max(1) as f64;
+    println!(
+        "{:>8} {:>12.2} {:>12.2} {:>12.2}",
+        total_pos,
+        pct(solved[0]),
+        pct(solved[1]),
+        pct(solved[2])
+    );
+    println!("\npaper (38582 POs, 4s/QBF-call): QD 91.97, QB 97.81, QDB 84.42");
+    println!("expected shape: QB >= QD >= QDB");
+}

@@ -1,0 +1,346 @@
+//! Harness regenerating the paper's evaluation: Tables I–IV and
+//! Figure 1.
+//!
+//! Every table/figure has a dedicated binary (`table1` … `table4`,
+//! `fig1`) that prints the same rows/series the paper reports, computed
+//! on the registry stand-ins (see `step-circuits`). Shared plumbing
+//! lives here: CLI options, model runners and the quality-comparison
+//! arithmetic used by Tables I and II.
+//!
+//! Absolute numbers differ from the paper (different hardware, solvers
+//! and — necessarily — circuits); the *shape* is what the harness
+//! reproduces: STEP-QD/QB/QDB never lose to LJH or STEP-MG on their
+//! target metric and frequently win (Tables I/II), LJH is the slowest
+//! model and STEP-MG the fastest with the QBF models in between
+//! (Table III, Figure 1), and under per-call budgets QB solves the most
+//! POs, then QD, then QDB (Table IV).
+
+use std::time::Duration;
+
+use step_circuits::{CircuitEntry, Scale};
+use step_core::{
+    BiDecomposer, BudgetPolicy, CircuitResult, DecompConfig, GateOp, Model, OutputResult,
+};
+
+/// Command-line options shared by the harness binaries.
+#[derive(Clone, Debug)]
+pub struct HarnessOpts {
+    /// Circuit generation scale.
+    pub scale: Scale,
+    /// Engine budgets.
+    pub budget: BudgetPolicy,
+    /// Root operator (Tables I/III/IV are OR in the paper).
+    pub op: GateOp,
+    /// Substring filter on circuit names.
+    pub filter: Option<String>,
+    /// Disable extraction+verification for speed (partitions only).
+    pub partitions_only: bool,
+    /// Deterministic conflicts-per-SAT-call budget for the QBF models
+    /// (`--conflicts`), the reproducible analogue of the paper's
+    /// 4-second per-call timeout.
+    pub conflicts_per_call: Option<u64>,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            scale: Scale::Default,
+            budget: BudgetPolicy {
+                per_qbf_call: Duration::from_millis(500),
+                per_output: Duration::from_secs(10),
+                per_circuit: Duration::from_secs(120),
+            },
+            op: GateOp::Or,
+            filter: None,
+            partitions_only: false,
+            conflicts_per_call: None,
+        }
+    }
+}
+
+impl HarnessOpts {
+    /// Parses harness options from `std::env::args`.
+    ///
+    /// Flags: `--scale smoke|default|full`, `--paper` (paper budgets),
+    /// `--op or|and|xor`, `--filter <substr>`, `--fast`
+    /// (partitions only), `--help`.
+    pub fn from_args() -> HarnessOpts {
+        let mut opts = HarnessOpts::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    opts.scale = match args.get(i).map(String::as_str) {
+                        Some("smoke") => Scale::Smoke,
+                        Some("default") => Scale::Default,
+                        Some("full") => Scale::Full,
+                        other => {
+                            eprintln!("unknown scale {other:?}");
+                            std::process::exit(2);
+                        }
+                    };
+                }
+                "--paper" => opts.budget = BudgetPolicy::paper(),
+                "--op" => {
+                    i += 1;
+                    opts.op = match args.get(i).map(String::as_str) {
+                        Some("or") => GateOp::Or,
+                        Some("and") => GateOp::And,
+                        Some("xor") => GateOp::Xor,
+                        other => {
+                            eprintln!("unknown op {other:?}");
+                            std::process::exit(2);
+                        }
+                    };
+                }
+                "--filter" => {
+                    i += 1;
+                    opts.filter = args.get(i).cloned();
+                }
+                "--fast" => opts.partitions_only = true,
+                "--conflicts" => {
+                    i += 1;
+                    opts.conflicts_per_call = args.get(i).and_then(|s| s.parse().ok());
+                    if opts.conflicts_per_call.is_none() {
+                        eprintln!("--conflicts needs a number");
+                        std::process::exit(2);
+                    }
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --scale smoke|default|full  --paper  --op or|and|xor  \
+                         --filter <substr>  --fast  --conflicts <n>"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown option `{other}` (try --help)");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// Applies the name filter.
+    pub fn selected(&self, entries: Vec<CircuitEntry>) -> Vec<CircuitEntry> {
+        match &self.filter {
+            None => entries,
+            Some(f) => entries.into_iter().filter(|e| e.name.contains(f)).collect(),
+        }
+    }
+
+    /// The engine configuration for `model` under these options.
+    ///
+    /// The LJH baseline runs without the 64-bit simulation pre-filter:
+    /// the original `Bi-dec` tool has no such filter, and its quadratic
+    /// seed-pair search is precisely what makes LJH the slowest model
+    /// in the paper's Table III.
+    pub fn config(&self, model: Model) -> DecompConfig {
+        let mut c = DecompConfig::new(model);
+        c.budget = self.budget;
+        if model == Model::Ljh {
+            c.sim_filter = false;
+        }
+        if self.partitions_only {
+            c.extract = false;
+            c.verify = false;
+        }
+        c.conflicts_per_call = self.conflicts_per_call;
+        c
+    }
+}
+
+/// Runs one model over one circuit entry.
+pub fn run_model(entry: &CircuitEntry, model: Model, opts: &HarnessOpts) -> CircuitResult {
+    run_model_op(entry, model, opts.op, opts)
+}
+
+/// Runs one model over one circuit entry with an explicit operator.
+pub fn run_model_op(
+    entry: &CircuitEntry,
+    model: Model,
+    op: GateOp,
+    opts: &HarnessOpts,
+) -> CircuitResult {
+    let aig = entry.build(opts.scale);
+    let mut engine = BiDecomposer::new(opts.config(model));
+    engine
+        .decompose_circuit(&aig, op)
+        .expect("stand-in circuits are well-formed")
+}
+
+/// Which quality metric a Table I/II column compares.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QualityMetric {
+    /// Disjointness `εD`.
+    Disjointness,
+    /// Balancedness `εB`.
+    Balancedness,
+    /// `εD + εB` (the paper's "Disjointness+Balancedness").
+    Sum,
+}
+
+impl QualityMetric {
+    fn of(self, r: &OutputResult) -> Option<f64> {
+        let p = r.partition.as_ref()?;
+        Some(match self {
+            QualityMetric::Disjointness => p.disjointness(),
+            QualityMetric::Balancedness => p.balancedness(),
+            QualityMetric::Sum => p.disjointness() + p.balancedness(),
+        })
+    }
+}
+
+/// The better/equal percentages of a Table I cell: how often
+/// `challenger` strictly improves on `baseline`, and how often they
+/// tie, over the POs both models decomposed.
+pub fn compare_quality(
+    challenger: &CircuitResult,
+    baseline: &CircuitResult,
+    metric: QualityMetric,
+) -> (f64, f64) {
+    let mut agg = QualityAggregate::default();
+    agg.add(challenger, baseline, metric);
+    agg.percentages()
+}
+
+/// Accumulates better/equal counts across circuits (Table II).
+#[derive(Default, Clone, Copy, Debug)]
+pub struct QualityAggregate {
+    /// POs where the challenger strictly improved.
+    pub better: usize,
+    /// POs with equal metric.
+    pub equal: usize,
+    /// POs decomposed by both models.
+    pub total: usize,
+}
+
+impl QualityAggregate {
+    /// Folds one circuit's comparison into the aggregate.
+    pub fn add(
+        &mut self,
+        challenger: &CircuitResult,
+        baseline: &CircuitResult,
+        metric: QualityMetric,
+    ) {
+        for (c, b) in challenger.outputs.iter().zip(&baseline.outputs) {
+            let (Some(mc), Some(mb)) = (metric.of(c), metric.of(b)) else {
+                continue;
+            };
+            self.total += 1;
+            if mc + 1e-12 < mb {
+                self.better += 1;
+            } else if (mc - mb).abs() <= 1e-12 {
+                self.equal += 1;
+            }
+        }
+    }
+
+    /// `(better %, equal %)`.
+    pub fn percentages(&self) -> (f64, f64) {
+        if self.total == 0 {
+            return (0.0, 100.0);
+        }
+        (
+            100.0 * self.better as f64 / self.total as f64,
+            100.0 * self.equal as f64 / self.total as f64,
+        )
+    }
+}
+
+/// Renders a simple ASCII log-log scatter plot (for Figure 1): one
+/// character cell per point bucket, `x` = baseline seconds, `y` =
+/// challenger seconds.
+pub fn ascii_scatter(points: &[(f64, f64)], title: &str) -> String {
+    const W: usize = 44;
+    const H: usize = 18;
+    let mut grid = vec![vec![' '; W]; H];
+    let lo = 1e-4f64;
+    let hi = 1e3f64;
+    let to_cell = |v: f64, cells: usize| -> usize {
+        let v = v.clamp(lo, hi);
+        let t = (v.ln() - lo.ln()) / (hi.ln() - lo.ln());
+        ((t * (cells - 1) as f64).round() as usize).min(cells - 1)
+    };
+    for &(x, y) in points {
+        let cx = to_cell(x, W);
+        let cy = H - 1 - to_cell(y, H);
+        grid[cy][cx] = '*';
+    }
+    // Diagonal y = x.
+    for cx in 0..W {
+        let v = (lo.ln() + (hi.ln() - lo.ln()) * cx as f64 / (W - 1) as f64).exp();
+        let cy = H - 1 - to_cell(v, H);
+        if grid[cy][cx] == ' ' {
+            grid[cy][cx] = '.';
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{title}  (log-log, {lo:.0e}..{hi:.0e} s, '.' = diagonal)\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(W));
+    out.push('\n');
+    out
+}
+
+/// Formats a duration in seconds with two decimals (table cells).
+pub fn secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use step_circuits::registry_table1;
+
+    fn smoke_opts() -> HarnessOpts {
+        HarnessOpts {
+            scale: Scale::Smoke,
+            budget: BudgetPolicy::quick(),
+            op: GateOp::Or,
+            filter: None,
+            partitions_only: true,
+        conflicts_per_call: None,
+        }
+    }
+
+    #[test]
+    fn quality_comparison_never_negative_for_bootstrapped_models() {
+        // STEP-QD is bootstrapped with STEP-MG, so on the POs both
+        // decompose it can only be better or equal on disjointness.
+        let entry = &registry_table1()[16]; // mm9a: small
+        let opts = smoke_opts();
+        let mg = run_model(entry, Model::MusGroup, &opts);
+        let qd = run_model(entry, Model::QbfDisjoint, &opts);
+        let (better, equal) = compare_quality(&qd, &mg, QualityMetric::Disjointness);
+        assert!(better + equal > 99.9, "QD must never lose to MG: {better} {equal}");
+    }
+
+    #[test]
+    fn aggregate_percentages_sum_sanely() {
+        let mut agg = QualityAggregate::default();
+        let entry = &registry_table1()[17];
+        let opts = smoke_opts();
+        let mg = run_model(entry, Model::MusGroup, &opts);
+        let qb = run_model(entry, Model::QbfBalanced, &opts);
+        agg.add(&qb, &mg, QualityMetric::Balancedness);
+        let (better, equal) = agg.percentages();
+        assert!(better >= 0.0 && equal >= 0.0 && better + equal <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn scatter_renders() {
+        let s = ascii_scatter(&[(0.1, 0.2), (1.0, 0.5)], "test");
+        assert!(s.contains('*'));
+        assert!(s.lines().count() > 10);
+    }
+}

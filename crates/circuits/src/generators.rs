@@ -1,0 +1,403 @@
+//! Parameterized structural circuit generators.
+//!
+//! Every generator returns a self-contained [`Aig`] with named inputs
+//! and outputs. The families are chosen so their primary-output cones
+//! exercise the decomposability regimes of the paper's benchmarks:
+//!
+//! | family | cone behaviour |
+//! |---|---|
+//! | [`ripple_adder`] sums | XOR-decomposable chains, growing support |
+//! | [`ripple_adder`] carry | OR-decomposable with shared variables |
+//! | [`equality_comparator`] | disjointly AND-decomposable |
+//! | [`less_than_comparator`] | OR-decomposable with shared tail |
+//! | [`parity`] | disjointly XOR-decomposable at every split |
+//! | [`decoder`] | disjointly AND-decomposable minterms |
+//! | [`mux_tree`] | shared select variables (`XC` pressure) |
+//! | [`majority`] | **not** bi-decomposable (control-dominated) |
+//! | [`random_dag`] | mixed, like LGSYNTH control logic |
+//! | [`array_multiplier`] | large mixed-regime arithmetic cones |
+//! | [`lfsr`], [`counter`] | sequential: exercised through `comb()` |
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use step_aig::{Aig, AigLit};
+
+fn input_vec(aig: &mut Aig, name: &str, n: usize) -> Vec<AigLit> {
+    (0..n).map(|i| aig.add_input(format!("{name}{i}"))).collect()
+}
+
+/// Full adder on three bits: returns `(sum, carry)`.
+fn full_adder(aig: &mut Aig, a: AigLit, b: AigLit, c: AigLit) -> (AigLit, AigLit) {
+    let axb = aig.xor(a, b);
+    let sum = aig.xor(axb, c);
+    let ab = aig.and(a, b);
+    let axb_c = aig.and(axb, c);
+    let carry = aig.or(ab, axb_c);
+    (sum, carry)
+}
+
+/// An `n`-bit ripple-carry adder: inputs `a0..`, `b0..`, `cin`;
+/// outputs `s0..`, `cout`.
+pub fn ripple_adder(n: usize) -> Aig {
+    let mut aig = Aig::new();
+    let a = input_vec(&mut aig, "a", n);
+    let b = input_vec(&mut aig, "b", n);
+    let mut carry = aig.add_input("cin");
+    let mut sums = Vec::with_capacity(n);
+    for i in 0..n {
+        let (s, c) = full_adder(&mut aig, a[i], b[i], carry);
+        sums.push(s);
+        carry = c;
+    }
+    for (i, s) in sums.into_iter().enumerate() {
+        aig.add_output(format!("s{i}"), s);
+    }
+    aig.add_output("cout", carry);
+    aig
+}
+
+/// An `n×n` array multiplier: inputs `a0..`, `b0..`; outputs `p0..p2n-1`.
+pub fn array_multiplier(n: usize) -> Aig {
+    let mut aig = Aig::new();
+    let a = input_vec(&mut aig, "a", n);
+    let b = input_vec(&mut aig, "b", n);
+    // Partial products accumulated column-wise with full adders.
+    let mut columns: Vec<Vec<AigLit>> = vec![Vec::new(); 2 * n];
+    for i in 0..n {
+        for j in 0..n {
+            let pp = aig.and(a[i], b[j]);
+            columns[i + j].push(pp);
+        }
+    }
+    let mut outputs = Vec::with_capacity(2 * n);
+    for col in 0..2 * n {
+        let mut bits = std::mem::take(&mut columns[col]);
+        while bits.len() > 1 {
+            if bits.len() == 2 {
+                let (s, c) = {
+                    let x = bits[0];
+                    let y = bits[1];
+                    let s = aig.xor(x, y);
+                    let c = aig.and(x, y);
+                    (s, c)
+                };
+                bits = vec![s];
+                if col + 1 < 2 * n {
+                    columns[col + 1].push(c);
+                }
+            } else {
+                let (x, y, z) = (bits[0], bits[1], bits[2]);
+                let (s, c) = full_adder(&mut aig, x, y, z);
+                let mut rest = bits.split_off(3);
+                rest.push(s);
+                bits = rest;
+                if col + 1 < 2 * n {
+                    columns[col + 1].push(c);
+                }
+            }
+        }
+        outputs.push(bits.first().copied().unwrap_or(AigLit::FALSE));
+    }
+    for (i, p) in outputs.into_iter().enumerate() {
+        aig.add_output(format!("p{i}"), p);
+    }
+    aig
+}
+
+/// An `n`-bit equality comparator: output `eq = ∧ (aᵢ ≡ bᵢ)` —
+/// disjointly AND-decomposable at every split.
+pub fn equality_comparator(n: usize) -> Aig {
+    let mut aig = Aig::new();
+    let a = input_vec(&mut aig, "a", n);
+    let b = input_vec(&mut aig, "b", n);
+    let eqs: Vec<AigLit> = (0..n).map(|i| aig.xnor(a[i], b[i])).collect();
+    let eq = aig.and_many(&eqs);
+    aig.add_output("eq", eq);
+    aig
+}
+
+/// An `n`-bit unsigned less-than comparator: output `lt = (a < b)`.
+pub fn less_than_comparator(n: usize) -> Aig {
+    let mut aig = Aig::new();
+    let a = input_vec(&mut aig, "a", n);
+    let b = input_vec(&mut aig, "b", n);
+    // lt_i: a[i..] < b[i..]; built MSB-down.
+    let mut lt = AigLit::FALSE;
+    for i in 0..n {
+        // Process from LSB to MSB: lt = (¬a∧b) ∨ ((a≡b) ∧ lt).
+        let nb = aig.and(!a[i], b[i]);
+        let eq = aig.xnor(a[i], b[i]);
+        let keep = aig.and(eq, lt);
+        lt = aig.or(nb, keep);
+    }
+    aig.add_output("lt", lt);
+    aig
+}
+
+/// An `n`-input parity (XOR) tree: disjointly XOR-decomposable.
+pub fn parity(n: usize) -> Aig {
+    let mut aig = Aig::new();
+    let x = input_vec(&mut aig, "x", n);
+    let p = aig.xor_many(&x);
+    aig.add_output("parity", p);
+    aig
+}
+
+/// An `n`-to-`2^n` decoder: each output is a minterm of the inputs.
+pub fn decoder(n: usize) -> Aig {
+    let mut aig = Aig::new();
+    let x = input_vec(&mut aig, "x", n);
+    for m in 0..1usize << n {
+        let lits: Vec<AigLit> = (0..n)
+            .map(|i| x[i].xor_complement(m >> i & 1 == 0))
+            .collect();
+        let minterm = aig.and_many(&lits);
+        aig.add_output(format!("d{m}"), minterm);
+    }
+    aig
+}
+
+/// A multiplexer tree with `k` select bits and `2^k` data inputs — the
+/// selects end up shared between any partition (high `XC` pressure).
+pub fn mux_tree(k: usize) -> Aig {
+    let mut aig = Aig::new();
+    let sel = input_vec(&mut aig, "s", k);
+    let data = input_vec(&mut aig, "d", 1 << k);
+    let mut layer = data;
+    for s in sel {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            next.push(aig.mux(s, pair[1], pair[0]));
+        }
+        layer = next;
+    }
+    aig.add_output("y", layer[0]);
+    aig
+}
+
+/// Majority of `n` (odd) inputs — not bi-decomposable for any operator
+/// when `n = 3`, and control-dominated in general.
+pub fn majority(n: usize) -> Aig {
+    assert!(n % 2 == 1, "majority needs an odd input count");
+    let mut aig = Aig::new();
+    let x = input_vec(&mut aig, "x", n);
+    // Sum the bits with a small counter and compare against n/2.
+    // For moderate n a cube-based majority is fine.
+    let threshold = n / 2 + 1;
+    let mut terms = Vec::new();
+    let mut idx: Vec<usize> = (0..threshold).collect();
+    loop {
+        let lits: Vec<AigLit> = idx.iter().map(|&i| x[i]).collect();
+        terms.push(aig.and_many(&lits));
+        // Next combination of size `threshold`.
+        let mut i = threshold;
+        loop {
+            if i == 0 {
+                let maj = aig.or_many(&terms);
+                aig.add_output("maj", maj);
+                return aig;
+            }
+            i -= 1;
+            if idx[i] != i + n - threshold {
+                break;
+            }
+            if i == 0 {
+                let maj = aig.or_many(&terms);
+                aig.add_output("maj", maj);
+                return aig;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..threshold {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// A random AIG DAG over `n_in` inputs with `n_gates` gates and one
+/// output per `outs` gates from the end (deterministic in `seed`).
+pub fn random_dag(n_in: usize, n_gates: usize, outs: usize, seed: u64) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut aig = Aig::new();
+    let mut pool: Vec<AigLit> = input_vec(&mut aig, "x", n_in);
+    for _ in 0..n_gates {
+        let a = pool[rng.gen_range(0..pool.len())];
+        let b = pool[rng.gen_range(0..pool.len())];
+        let v = match rng.gen_range(0..4u8) {
+            0 => aig.and(a, b),
+            1 => aig.or(a, b),
+            2 => aig.xor(a, b),
+            _ => {
+                let c = pool[rng.gen_range(0..pool.len())];
+                aig.mux(a, b, c)
+            }
+        };
+        pool.push(v);
+    }
+    let outs = outs.max(1);
+    for k in 0..outs {
+        let lit = pool[pool.len() - 1 - (k * 7 % pool.len().min(n_gates.max(1)))];
+        aig.add_output(format!("o{k}"), lit);
+    }
+    aig
+}
+
+/// A random sum-of-products function: `n_cubes` cubes of width
+/// `cube_width` over `n_in` inputs — OR-decomposable whenever two cube
+/// groups have (nearly) disjoint support.
+pub fn random_sop(n_in: usize, n_cubes: usize, cube_width: usize, seed: u64) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut aig = Aig::new();
+    let x = input_vec(&mut aig, "x", n_in);
+    let mut cubes = Vec::with_capacity(n_cubes);
+    for _ in 0..n_cubes {
+        let mut lits = Vec::with_capacity(cube_width);
+        for _ in 0..cube_width {
+            let v = x[rng.gen_range(0..n_in)];
+            lits.push(v.xor_complement(rng.gen_bool(0.5)));
+        }
+        cubes.push(aig.and_many(&lits));
+    }
+    let f = aig.or_many(&cubes);
+    aig.add_output("sop", f);
+    aig
+}
+
+/// An OR of AND-cubes over *disjoint* input windows — guaranteed
+/// disjointly OR-decomposable, with known optimum metrics (used by the
+/// expected-shape tests).
+pub fn disjoint_or(widths: &[usize]) -> Aig {
+    let mut aig = Aig::new();
+    let mut terms = Vec::with_capacity(widths.len());
+    for (k, &w) in widths.iter().enumerate() {
+        let ins = input_vec(&mut aig, &format!("g{k}_x"), w);
+        terms.push(aig.and_many(&ins));
+    }
+    let f = aig.or_many(&terms);
+    aig.add_output("f", f);
+    aig
+}
+
+/// An `n`-bit LFSR with the given feedback taps (sequential; convert
+/// with `comb()` for decomposition, as the paper does).
+pub fn lfsr(n: usize, taps: &[usize]) -> Aig {
+    let mut aig = Aig::new();
+    let en = aig.add_input("en");
+    let q: Vec<AigLit> = (0..n).map(|i| aig.add_latch(format!("q{i}"), i == 0)).collect();
+    let fb_taps: Vec<AigLit> = taps.iter().map(|&t| q[t % n]).collect();
+    let fb = aig.xor_many(&fb_taps);
+    for i in 0..n {
+        let shifted = if i == 0 { fb } else { q[i - 1] };
+        let next = aig.mux(en, shifted, q[i]);
+        aig.set_latch_next(i, next).expect("latch exists");
+    }
+    aig.add_output("msb", q[n - 1]);
+    aig
+}
+
+/// An `n`-bit synchronous counter with enable and synchronous clear.
+pub fn counter(n: usize) -> Aig {
+    let mut aig = Aig::new();
+    let en = aig.add_input("en");
+    let clr = aig.add_input("clr");
+    let q: Vec<AigLit> = (0..n).map(|i| aig.add_latch(format!("q{i}"), false)).collect();
+    let mut carry = en;
+    for i in 0..n {
+        let toggled = aig.xor(q[i], carry);
+        carry = aig.and(carry, q[i]);
+        let next = aig.and(toggled, !clr);
+        aig.set_latch_next(i, next).expect("latch exists");
+    }
+    aig.add_output("tc", carry);
+    aig
+}
+
+/// An `n`-input priority encoder: outputs the one-hot grant vector
+/// (`gi` = request `i` is the highest-priority active request).
+pub fn priority_encoder(n: usize) -> Aig {
+    let mut aig = Aig::new();
+    let req = input_vec(&mut aig, "r", n);
+    let mut none_higher = AigLit::TRUE;
+    for i in 0..n {
+        let grant = aig.and(req[i], none_higher);
+        aig.add_output(format!("g{i}"), grant);
+        none_higher = aig.and(none_higher, !req[i]);
+    }
+    aig
+}
+
+/// A logical-left barrel shifter: `2^k`-bit data, `k`-bit shift amount.
+pub fn barrel_shifter(k: usize) -> Aig {
+    let mut aig = Aig::new();
+    let w = 1usize << k;
+    let data = input_vec(&mut aig, "d", w);
+    let sh = input_vec(&mut aig, "s", k);
+    let mut layer = data;
+    for (stage, &s) in sh.iter().enumerate() {
+        let dist = 1usize << stage;
+        let mut next = Vec::with_capacity(w);
+        for i in 0..w {
+            let shifted = if i >= dist { layer[i - dist] } else { AigLit::FALSE };
+            next.push(aig.mux(s, shifted, layer[i]));
+        }
+        layer = next;
+    }
+    for (i, bit) in layer.into_iter().enumerate() {
+        aig.add_output(format!("y{i}"), bit);
+    }
+    aig
+}
+
+/// An `n`-bit carry-lookahead adder (two-level generate/propagate):
+/// same function as [`ripple_adder`], different structure — useful for
+/// structural-robustness tests.
+pub fn carry_lookahead_adder(n: usize) -> Aig {
+    let mut aig = Aig::new();
+    let a = input_vec(&mut aig, "a", n);
+    let b = input_vec(&mut aig, "b", n);
+    let cin = aig.add_input("cin");
+    let g: Vec<AigLit> = (0..n).map(|i| aig.and(a[i], b[i])).collect();
+    let p: Vec<AigLit> = (0..n).map(|i| aig.xor(a[i], b[i])).collect();
+    // c[i+1] = g[i] ∨ (p[i] ∧ c[i]), flattened.
+    let mut carries = vec![cin];
+    for i in 0..n {
+        // c_{i+1} = g_i ∨ p_i g_{i-1} ∨ … ∨ p_i…p_0 cin
+        let mut terms = vec![g[i]];
+        let mut prefix = p[i];
+        for j in (0..i).rev() {
+            terms.push(aig.and(prefix, g[j]));
+            prefix = aig.and(prefix, p[j]);
+        }
+        terms.push(aig.and(prefix, cin));
+        carries.push(aig.or_many(&terms));
+    }
+    for i in 0..n {
+        let s = aig.xor(p[i], carries[i]);
+        aig.add_output(format!("s{i}"), s);
+    }
+    aig.add_output("cout", carries[n]);
+    aig
+}
+
+/// A small ALU: two `n`-bit operands, 2-bit opcode selecting
+/// ADD / AND / OR / XOR; outputs the `n`-bit result.
+pub fn alu(n: usize) -> Aig {
+    let mut aig = Aig::new();
+    let a = input_vec(&mut aig, "a", n);
+    let b = input_vec(&mut aig, "b", n);
+    let op0 = aig.add_input("op0");
+    let op1 = aig.add_input("op1");
+    let mut carry = AigLit::FALSE;
+    for i in 0..n {
+        let (sum, c) = full_adder(&mut aig, a[i], b[i], carry);
+        carry = c;
+        let and = aig.and(a[i], b[i]);
+        let or = aig.or(a[i], b[i]);
+        let xor = aig.xor(a[i], b[i]);
+        let sel0 = aig.mux(op0, and, sum);
+        let sel1 = aig.mux(op0, xor, or);
+        let y = aig.mux(op1, sel1, sel0);
+        aig.add_output(format!("y{i}"), y);
+    }
+    aig
+}

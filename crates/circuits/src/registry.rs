@@ -1,0 +1,390 @@
+//! Named stand-ins for the paper's evaluation circuits.
+//!
+//! Every row of Tables I/III gets a [`CircuitEntry`] carrying the
+//! original circuit statistics (`#In`, `#InM`, `#Out` as printed in
+//! Table I) and a deterministic synthetic builder. The builder
+//! composes, per primary output, a cone drawn from the circuit's
+//! family profile (arithmetic / sequential-control / random-logic),
+//! over a sliding input window — reproducing the *population* of
+//! decomposable, partially-decomposable and undecomposable cones that
+//! the real benchmarks exhibit, at a [`Scale`] the pure-Rust solvers
+//! handle in reasonable time. See DESIGN.md §4 for the substitution
+//! rationale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use step_aig::{Aig, AigLit};
+
+/// Generation scale: caps on inputs, per-cone support and outputs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Tiny circuits for unit tests and CI smoke runs.
+    Smoke,
+    /// The default for the table/figure harnesses.
+    Default,
+    /// Larger circuits for `--full` harness runs.
+    Full,
+}
+
+impl Scale {
+    fn caps(self) -> (usize, usize, usize) {
+        // (max inputs, max cone support, max outputs)
+        match self {
+            Scale::Smoke => (12, 8, 4),
+            Scale::Default => (24, 12, 8),
+            Scale::Full => (64, 20, 24),
+        }
+    }
+}
+
+/// The circuit statistics printed in the paper's Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PaperStats {
+    /// `#In`: primary inputs (after `comb`).
+    pub inputs: usize,
+    /// `#InM`: maximum support among the PO functions.
+    pub inm: usize,
+    /// `#Out`: PO functions to decompose.
+    pub outputs: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Family {
+    /// Arithmetic-dominated (ISCAS'85 adders/ALUs, mm9*).
+    Arith,
+    /// Sequential control converted with `comb` (s-series, ITC b*).
+    Seq,
+    /// Random/control logic (LGSYNTH, i10, C2670).
+    Control,
+}
+
+/// A registry entry: a named circuit with paper statistics and a
+/// deterministic synthetic builder.
+#[derive(Clone, Debug)]
+pub struct CircuitEntry {
+    /// Circuit name as printed in the paper.
+    pub name: &'static str,
+    /// Benchmark suite the original came from.
+    pub suite: &'static str,
+    /// Statistics of the original (Table I).
+    pub paper: PaperStats,
+    family: Family,
+    seed: u64,
+}
+
+impl CircuitEntry {
+    /// Builds the synthetic stand-in at the given scale. The result is
+    /// combinational (the `comb` conversion the paper applies is
+    /// already folded in for sequential families).
+    ///
+    /// Statistics are scaled *proportionally* to the paper's, so the
+    /// relative ordering of the rows (C7552 has the widest cones, mm9b
+    /// the narrowest, s38417 the most outputs, …) is preserved.
+    pub fn build(&self, scale: Scale) -> Aig {
+        let (cap_in, cap_sup, cap_out) = scale.caps();
+        // Reference maxima over Table I: #In 1664, #InM 194, #Out 1742.
+        let n_in = scale_stat(self.paper.inputs, 1664, 6, cap_in);
+        let support = scale_stat(self.paper.inm, 194, 4, cap_sup).min(n_in);
+        let n_out = scale_stat(self.paper.outputs, 1742, 2, cap_out);
+        build_standin(self.family, self.seed, n_in, support, n_out)
+    }
+}
+
+/// Maps a paper statistic `v ∈ [0, vmax]` into `[lo, hi]`, compressing
+/// with a square root so mid-sized circuits stay distinguishable.
+fn scale_stat(v: usize, vmax: usize, lo: usize, hi: usize) -> usize {
+    let t = ((v.min(vmax) as f64) / vmax as f64).sqrt();
+    lo + ((hi - lo) as f64 * t).round() as usize
+}
+
+/// The 18 circuits of Tables I and III (`#InM > 30`), in table order.
+pub fn registry_table1() -> Vec<CircuitEntry> {
+    let rows: [(&'static str, &'static str, usize, usize, usize, Family); 18] = [
+        ("C7552", "ISCAS'85", 207, 194, 108, Family::Arith),
+        ("s15850.1", "ISCAS'89", 611, 183, 684, Family::Seq),
+        ("s38584.1", "ISCAS'89", 1464, 147, 1730, Family::Seq),
+        ("C2670", "ISCAS'85", 233, 119, 140, Family::Control),
+        ("i10", "LGSYNTH", 257, 108, 224, Family::Control),
+        ("s38417", "ISCAS'89", 1664, 99, 1742, Family::Seq),
+        ("s9234.1", "ISCAS'89", 247, 83, 250, Family::Seq),
+        ("rot", "LGSYNTH", 135, 63, 107, Family::Control),
+        ("s5378", "ISCAS'89", 199, 60, 213, Family::Seq),
+        ("s1423", "ISCAS'89", 91, 59, 79, Family::Seq),
+        ("pair", "LGSYNTH", 173, 53, 137, Family::Control),
+        ("C880", "ISCAS'85", 60, 45, 26, Family::Arith),
+        ("clma", "LGSYNTH", 415, 42, 115, Family::Control),
+        ("ITC b07", "ITC'99", 49, 42, 57, Family::Seq),
+        ("ITC b12", "ITC'99", 125, 37, 127, Family::Seq),
+        ("sbc", "LGSYNTH", 68, 35, 84, Family::Control),
+        ("mm9a", "LGSYNTH", 39, 31, 36, Family::Arith),
+        ("mm9b", "LGSYNTH", 38, 31, 35, Family::Arith),
+    ];
+    rows.iter()
+        .enumerate()
+        .map(|(k, &(name, suite, inputs, inm, outputs, family))| CircuitEntry {
+            name,
+            suite,
+            paper: PaperStats { inputs, inm, outputs },
+            family,
+            seed: 0xC1C0 + k as u64,
+        })
+        .collect()
+}
+
+/// The full 145-circuit population of Figure 1: the Table I circuits
+/// plus 127 smaller synthetic circuits (the paper's rows with
+/// `#InM ≤ 30` are not itemized, so these take their place with small
+/// statistics).
+pub fn registry_all() -> Vec<CircuitEntry> {
+    let mut all = registry_table1();
+    static SMALL_NAMES: [&str; 127] = {
+        // Generated names small001..small127.
+        [
+            "small001", "small002", "small003", "small004", "small005", "small006",
+            "small007", "small008", "small009", "small010", "small011", "small012",
+            "small013", "small014", "small015", "small016", "small017", "small018",
+            "small019", "small020", "small021", "small022", "small023", "small024",
+            "small025", "small026", "small027", "small028", "small029", "small030",
+            "small031", "small032", "small033", "small034", "small035", "small036",
+            "small037", "small038", "small039", "small040", "small041", "small042",
+            "small043", "small044", "small045", "small046", "small047", "small048",
+            "small049", "small050", "small051", "small052", "small053", "small054",
+            "small055", "small056", "small057", "small058", "small059", "small060",
+            "small061", "small062", "small063", "small064", "small065", "small066",
+            "small067", "small068", "small069", "small070", "small071", "small072",
+            "small073", "small074", "small075", "small076", "small077", "small078",
+            "small079", "small080", "small081", "small082", "small083", "small084",
+            "small085", "small086", "small087", "small088", "small089", "small090",
+            "small091", "small092", "small093", "small094", "small095", "small096",
+            "small097", "small098", "small099", "small100", "small101", "small102",
+            "small103", "small104", "small105", "small106", "small107", "small108",
+            "small109", "small110", "small111", "small112", "small113", "small114",
+            "small115", "small116", "small117", "small118", "small119", "small120",
+            "small121", "small122", "small123", "small124", "small125", "small126",
+            "small127",
+        ]
+    };
+    for (k, name) in SMALL_NAMES.iter().enumerate() {
+        let family = match k % 3 {
+            0 => Family::Arith,
+            1 => Family::Seq,
+            _ => Family::Control,
+        };
+        let inputs = 6 + k % 18;
+        let inm = 4 + k % 10;
+        let outputs = 1 + k % 6;
+        all.push(CircuitEntry {
+            name,
+            suite: "synthetic",
+            paper: PaperStats { inputs, inm: inm.min(inputs), outputs },
+            family,
+            seed: 0xBEEF + k as u64,
+        });
+    }
+    all
+}
+
+// ---------------------------------------------------------------------
+// stand-in construction
+// ---------------------------------------------------------------------
+
+fn build_standin(family: Family, seed: u64, n_in: usize, support: usize, n_out: usize) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut aig = Aig::new();
+    let inputs: Vec<AigLit> = (0..n_in).map(|i| aig.add_input(format!("x{i}"))).collect();
+    // Family profiles: a cycle of cone constructors weighted toward
+    // the regimes the original circuits exhibit.
+    let profile: &[ConeKind] = match family {
+        Family::Arith => &[
+            ConeKind::DisjointCubes,
+            ConeKind::AdderSum,
+            ConeKind::SharedCubes,
+            ConeKind::Parity,
+            ConeKind::Equality,
+            ConeKind::AdderCarry,
+            ConeKind::RandomSop,
+            ConeKind::LessThan,
+        ],
+        Family::Seq => &[
+            ConeKind::DisjointCubes,
+            ConeKind::Mux,
+            ConeKind::RandomSop,
+            ConeKind::SharedCubes,
+            ConeKind::Parity,
+            ConeKind::Majority,
+            ConeKind::RandomDag,
+            ConeKind::RandomSop,
+        ],
+        Family::Control => &[
+            ConeKind::RandomSop,
+            ConeKind::SharedCubes,
+            ConeKind::Mux,
+            ConeKind::RandomDag,
+            ConeKind::Majority,
+            ConeKind::DisjointCubes,
+            ConeKind::Equality,
+            ConeKind::RandomSop,
+        ],
+    };
+    for k in 0..n_out {
+        let kind = profile[k % profile.len()];
+        // Sliding window of `support` inputs.
+        let w = support.min(n_in);
+        let start = (k * 3) % (n_in - w + 1).max(1);
+        let window: Vec<AigLit> = inputs[start..start + w].to_vec();
+        let cone = build_cone(&mut aig, kind, &window, &mut rng);
+        aig.add_output(format!("o{k}"), cone);
+    }
+    aig
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ConeKind {
+    AdderSum,
+    AdderCarry,
+    Equality,
+    LessThan,
+    Parity,
+    Mux,
+    Majority,
+    RandomSop,
+    RandomDag,
+    DisjointCubes,
+    /// Two AND-cubes sharing a small set of window variables:
+    /// OR-decomposable with `|XC| ≥ 1`, and with *several* valid
+    /// partitions of different quality — the case where the QBF
+    /// models beat the heuristics.
+    SharedCubes,
+}
+
+fn build_cone(aig: &mut Aig, kind: ConeKind, window: &[AigLit], rng: &mut StdRng) -> AigLit {
+    let w = window.len();
+    match kind {
+        ConeKind::AdderSum | ConeKind::AdderCarry => {
+            // Interpret the window as interleaved a/b operands.
+            let half = w / 2;
+            let mut carry = AigLit::FALSE;
+            let mut sum = AigLit::FALSE;
+            for i in 0..half {
+                let a = window[2 * i];
+                let b = window[2 * i + 1];
+                let axb = aig.xor(a, b);
+                sum = aig.xor(axb, carry);
+                let ab = aig.and(a, b);
+                let axc = aig.and(axb, carry);
+                carry = aig.or(ab, axc);
+            }
+            if matches!(kind, ConeKind::AdderSum) {
+                sum
+            } else {
+                carry
+            }
+        }
+        ConeKind::Equality => {
+            let half = w / 2;
+            let eqs: Vec<AigLit> =
+                (0..half).map(|i| aig.xnor(window[i], window[half + i])).collect();
+            aig.and_many(&eqs)
+        }
+        ConeKind::LessThan => {
+            let half = w / 2;
+            let mut lt = AigLit::FALSE;
+            for i in 0..half {
+                let a = window[i];
+                let b = window[half + i];
+                let nb = aig.and(!a, b);
+                let eq = aig.xnor(a, b);
+                let keep = aig.and(eq, lt);
+                lt = aig.or(nb, keep);
+            }
+            lt
+        }
+        ConeKind::Parity => aig.xor_many(window),
+        ConeKind::Mux => {
+            // 2 selects + up to 4 data lines from the window.
+            if w < 6 {
+                return aig.xor_many(window);
+            }
+            let s0 = window[0];
+            let s1 = window[1];
+            let d: Vec<AigLit> = window[2..6].to_vec();
+            let m0 = aig.mux(s0, d[1], d[0]);
+            let m1 = aig.mux(s0, d[3], d[2]);
+            aig.mux(s1, m1, m0)
+        }
+        ConeKind::Majority => {
+            let a = window[0];
+            let b = window[w / 2];
+            let c = window[w - 1];
+            let ab = aig.and(a, b);
+            let ac = aig.and(a, c);
+            let bc = aig.and(b, c);
+            let t = aig.or(ab, ac);
+            aig.or(t, bc)
+        }
+        ConeKind::RandomSop => {
+            let n_cubes = 2 + rng.gen_range(0..3);
+            let cube_w = (w / 2).clamp(2, 4);
+            let mut cubes = Vec::with_capacity(n_cubes);
+            for _ in 0..n_cubes {
+                let lits: Vec<AigLit> = (0..cube_w)
+                    .map(|_| {
+                        let v = window[rng.gen_range(0..w)];
+                        v.xor_complement(rng.gen_bool(0.5))
+                    })
+                    .collect();
+                cubes.push(aig.and_many(&lits));
+            }
+            aig.or_many(&cubes)
+        }
+        ConeKind::RandomDag => {
+            let mut pool = window.to_vec();
+            for _ in 0..w * 2 {
+                let a = pool[rng.gen_range(0..pool.len())];
+                let b = pool[rng.gen_range(0..pool.len())];
+                let v = match rng.gen_range(0..3u8) {
+                    0 => aig.and(a, b),
+                    1 => aig.or(a, b),
+                    _ => aig.xor(a, b),
+                };
+                pool.push(v);
+            }
+            *pool.last().expect("non-empty pool")
+        }
+        ConeKind::DisjointCubes => {
+            // OR of AND-cubes over disjoint window halves: guaranteed
+            // disjointly OR-decomposable.
+            let half = (w / 2).max(1);
+            let c1 = aig.and_many(&window[..half]);
+            let c2 = aig.and_many(&window[half..]);
+            aig.or(c1, c2)
+        }
+        ConeKind::SharedCubes => {
+            // (s ∧ left-cube) ∨ (s ∧ right-cube) ∨ small extra cube:
+            // OR-decomposable with the shared variable(s) in XC; the
+            // extra cube creates several valid partitions of unequal
+            // disjointness/balance.
+            if w < 5 {
+                let half = (w / 2).max(1);
+                let c1 = aig.and_many(&window[..half]);
+                let c2 = aig.and_many(&window[half..]);
+                return aig.or(c1, c2);
+            }
+            let s = window[0];
+            let rest = &window[1..];
+            let half = rest.len() / 2;
+            let left = aig.and_many(&rest[..half]);
+            let right = aig.and_many(&rest[half..]);
+            let c1 = aig.and(s, left);
+            let c2 = aig.and(s, right);
+            let extra = aig.and(rest[0], rest[1]);
+            let t = aig.or(c1, c2);
+            let pick = rng.gen_bool(0.5);
+            if pick {
+                aig.or(t, extra)
+            } else {
+                t
+            }
+        }
+    }
+}

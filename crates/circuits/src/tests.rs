@@ -1,0 +1,316 @@
+use crate::generators::*;
+use crate::registry::{registry_all, registry_table1, Scale};
+
+fn to_u64(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b)) << i)
+}
+
+fn from_u64(v: u64, n: usize) -> Vec<bool> {
+    (0..n).map(|i| v >> i & 1 == 1).collect()
+}
+
+#[test]
+fn ripple_adder_adds() {
+    let n = 4;
+    let aig = ripple_adder(n);
+    for a in 0..1u64 << n {
+        for b in 0..1u64 << n {
+            for cin in 0..2u64 {
+                let mut ins = from_u64(a, n);
+                ins.extend(from_u64(b, n));
+                ins.push(cin == 1);
+                let outs = aig.eval(&ins);
+                let got = to_u64(&outs);
+                assert_eq!(got, a + b + cin, "a={a} b={b} cin={cin}");
+            }
+        }
+    }
+}
+
+#[test]
+fn array_multiplier_multiplies() {
+    let n = 3;
+    let aig = array_multiplier(n);
+    assert_eq!(aig.num_outputs(), 2 * n);
+    for a in 0..1u64 << n {
+        for b in 0..1u64 << n {
+            let mut ins = from_u64(a, n);
+            ins.extend(from_u64(b, n));
+            let outs = aig.eval(&ins);
+            assert_eq!(to_u64(&outs), a * b, "a={a} b={b}");
+        }
+    }
+}
+
+#[test]
+fn comparators_compare() {
+    let n = 3;
+    let eq = equality_comparator(n);
+    let lt = less_than_comparator(n);
+    for a in 0..1u64 << n {
+        for b in 0..1u64 << n {
+            let mut ins = from_u64(a, n);
+            ins.extend(from_u64(b, n));
+            assert_eq!(eq.eval(&ins)[0], a == b, "eq a={a} b={b}");
+            assert_eq!(lt.eval(&ins)[0], a < b, "lt a={a} b={b}");
+        }
+    }
+}
+
+#[test]
+fn parity_is_parity() {
+    let n = 5;
+    let aig = parity(n);
+    for m in 0..1u64 << n {
+        let ins = from_u64(m, n);
+        assert_eq!(aig.eval(&ins)[0], m.count_ones() % 2 == 1);
+    }
+}
+
+#[test]
+fn decoder_is_one_hot() {
+    let n = 3;
+    let aig = decoder(n);
+    assert_eq!(aig.num_outputs(), 8);
+    for m in 0..1u64 << n {
+        let outs = aig.eval(&from_u64(m, n));
+        for (k, &o) in outs.iter().enumerate() {
+            assert_eq!(o, k as u64 == m);
+        }
+    }
+}
+
+#[test]
+fn mux_tree_selects() {
+    let k = 2;
+    let aig = mux_tree(k);
+    // Inputs: s0, s1, then d0..d3.
+    for sel in 0..4u64 {
+        for data in 0..16u64 {
+            let mut ins = from_u64(sel, k);
+            ins.extend(from_u64(data, 4));
+            let out = aig.eval(&ins)[0];
+            assert_eq!(out, data >> sel & 1 == 1, "sel={sel} data={data:04b}");
+        }
+    }
+}
+
+#[test]
+fn majority_votes() {
+    let aig = majority(5);
+    for m in 0..32u64 {
+        let ins = from_u64(m, 5);
+        assert_eq!(aig.eval(&ins)[0], m.count_ones() >= 3, "m={m:05b}");
+    }
+}
+
+#[test]
+fn alu_ops() {
+    let n = 3;
+    let aig = alu(n);
+    let mask = (1u64 << n) - 1;
+    for a in 0..1u64 << n {
+        for b in 0..1u64 << n {
+            for op in 0..4u64 {
+                let mut ins = from_u64(a, n);
+                ins.extend(from_u64(b, n));
+                ins.push(op & 1 == 1);
+                ins.push(op >> 1 & 1 == 1);
+                let out = to_u64(&aig.eval(&ins));
+                let want = match op {
+                    0 => (a + b) & mask,
+                    1 => a & b,
+                    2 => a | b,
+                    _ => a ^ b,
+                };
+                assert_eq!(out, want, "op={op} a={a} b={b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn priority_encoder_grants_highest_priority() {
+    let n = 4;
+    let aig = priority_encoder(n);
+    for m in 0..1u64 << n {
+        let ins = from_u64(m, n);
+        let outs = aig.eval(&ins);
+        let first = (0..n).find(|&i| m >> i & 1 == 1);
+        for (i, &g) in outs.iter().enumerate() {
+            assert_eq!(g, Some(i) == first, "m={m:04b} g{i}");
+        }
+    }
+}
+
+#[test]
+fn barrel_shifter_shifts() {
+    let k = 2;
+    let w = 4;
+    let aig = barrel_shifter(k);
+    for data in 0..1u64 << w {
+        for sh in 0..1u64 << k {
+            let mut ins = from_u64(data, w);
+            ins.extend(from_u64(sh, k));
+            let out = to_u64(&aig.eval(&ins));
+            assert_eq!(out, (data << sh) & 0xF, "data={data:04b} sh={sh}");
+        }
+    }
+}
+
+#[test]
+fn carry_lookahead_matches_ripple() {
+    let n = 4;
+    let cla = carry_lookahead_adder(n);
+    let rip = ripple_adder(n);
+    for a in 0..1u64 << n {
+        for b in 0..1u64 << n {
+            for cin in 0..2u64 {
+                let mut ins = from_u64(a, n);
+                ins.extend(from_u64(b, n));
+                ins.push(cin == 1);
+                assert_eq!(
+                    cla.eval(&ins),
+                    rip.eval(&ins),
+                    "a={a} b={b} cin={cin}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lfsr_shifts_when_enabled() {
+    let aig = lfsr(4, &[0, 3]);
+    assert_eq!(aig.latches().len(), 4);
+    let state = vec![true, false, false, false];
+    let (_, next) = aig.eval_seq_step(&[true], &state);
+    // Shift: q1 <- q0, q2 <- q1, q3 <- q2, q0 <- q0 XOR q3.
+    assert_eq!(next[1], state[0]);
+    assert_eq!(next[2], state[1]);
+    assert_eq!(next[3], state[2]);
+    assert_eq!(next[0], state[0] ^ state[3]);
+    // Disabled: state holds.
+    let (_, hold) = aig.eval_seq_step(&[false], &state);
+    assert_eq!(hold, state);
+}
+
+#[test]
+fn counter_counts() {
+    let n = 3;
+    let aig = counter(n);
+    let mut state = vec![false; n];
+    for step in 1..10u64 {
+        let (_, next) = aig.eval_seq_step(&[true, false], &state);
+        state = next;
+        assert_eq!(to_u64(&state), step % 8, "step {step}");
+    }
+    // Clear wins.
+    let (_, cleared) = aig.eval_seq_step(&[true, true], &state);
+    assert_eq!(to_u64(&cleared), 0);
+}
+
+#[test]
+fn random_generators_are_deterministic() {
+    let a = random_dag(6, 30, 3, 42);
+    let b = random_dag(6, 30, 3, 42);
+    let c = random_dag(6, 30, 3, 43);
+    assert_eq!(step_aig::aiger::write(&a), step_aig::aiger::write(&b));
+    assert_ne!(step_aig::aiger::write(&a), step_aig::aiger::write(&c));
+    let s = random_sop(8, 5, 3, 7);
+    let s2 = random_sop(8, 5, 3, 7);
+    assert_eq!(step_aig::aiger::write(&s), step_aig::aiger::write(&s2));
+}
+
+#[test]
+fn disjoint_or_structure() {
+    let aig = disjoint_or(&[2, 3]);
+    assert_eq!(aig.num_inputs(), 5);
+    let ins = vec![true, true, false, false, false];
+    assert!(aig.eval(&ins)[0], "first cube set");
+    let ins = vec![false, true, true, true, true];
+    assert!(aig.eval(&ins)[0], "second cube set");
+    let ins = vec![false, true, true, false, true];
+    assert!(!aig.eval(&ins)[0]);
+}
+
+// ---------------------------------------------------------------------
+// registry
+// ---------------------------------------------------------------------
+
+#[test]
+fn registry_matches_paper_rows() {
+    let reg = registry_table1();
+    assert_eq!(reg.len(), 18);
+    assert_eq!(reg[0].name, "C7552");
+    assert_eq!(reg[0].paper.inputs, 207);
+    assert_eq!(reg[0].paper.inm, 194);
+    assert_eq!(reg[0].paper.outputs, 108);
+    assert_eq!(reg[17].name, "mm9b");
+    // Table I is sorted by decreasing #InM.
+    for w in reg.windows(2) {
+        assert!(w[0].paper.inm >= w[1].paper.inm);
+    }
+}
+
+#[test]
+fn registry_all_has_145_circuits() {
+    let all = registry_all();
+    assert_eq!(all.len(), 145, "Figure 1 population");
+    let mut names: Vec<&str> = all.iter().map(|e| e.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), 145, "names must be unique");
+}
+
+#[test]
+fn standins_build_and_respect_caps() {
+    for scale in [Scale::Smoke, Scale::Default] {
+        let (cap_in, cap_sup, cap_out) = match scale {
+            Scale::Smoke => (12, 8, 4),
+            Scale::Default => (24, 12, 8),
+            Scale::Full => unreachable!(),
+        };
+        for entry in registry_table1() {
+            let aig = entry.build(scale);
+            assert!(aig.is_comb(), "{}: stand-ins are combinational", entry.name);
+            assert!(aig.num_inputs() <= cap_in, "{}", entry.name);
+            assert!(aig.num_outputs() <= cap_out, "{}", entry.name);
+            assert!(aig.num_outputs() >= 1);
+            for o in aig.outputs() {
+                assert!(
+                    aig.support(o.lit()).len() <= cap_sup,
+                    "{}: cone support exceeds cap",
+                    entry.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn standins_are_deterministic() {
+    let e = &registry_table1()[0];
+    let a = e.build(Scale::Default);
+    let b = e.build(Scale::Default);
+    assert_eq!(step_aig::aiger::write(&a), step_aig::aiger::write(&b));
+}
+
+#[test]
+fn load_file_rejects_unknown_extension() {
+    let p = std::path::Path::new("/tmp/who.xyz");
+    assert!(crate::load_file(p).is_err());
+}
+
+#[test]
+fn load_file_parses_bench() {
+    let dir = std::env::temp_dir().join("step_circuits_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join("c17.bench");
+    std::fs::write(&p, "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = NAND(a, b)\n").unwrap();
+    let aig = crate::load_file(&p).unwrap();
+    assert_eq!(aig.num_inputs(), 2);
+    assert_eq!(aig.eval(&[true, true]), vec![false]);
+}

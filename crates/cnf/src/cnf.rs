@@ -1,0 +1,132 @@
+use std::fmt;
+
+use crate::lit::{Lit, Var};
+
+/// A CNF formula: a growable variable pool and a list of clauses.
+///
+/// Clauses are stored as given (no implicit simplification); tautologies
+/// and duplicates can be removed explicitly with [`Cnf::simplified`].
+#[derive(Clone, Default)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula with no variables.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Creates a formula with `num_vars` pre-allocated variables.
+    pub fn with_vars(num_vars: usize) -> Self {
+        Cnf { num_vars, clauses: Vec::new() }
+    }
+
+    /// Allocates and returns a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Allocates `n` fresh variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn ensure_vars(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a clause (any `IntoIterator` of literals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        for l in &clause {
+            assert!(
+                l.var().index() < self.num_vars,
+                "literal {l} references unallocated variable"
+            );
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Adds a unit clause.
+    pub fn add_unit(&mut self, lit: Lit) {
+        self.add_clause([lit]);
+    }
+
+    /// Adds `a → b` as a binary clause.
+    pub fn add_implies(&mut self, a: Lit, b: Lit) {
+        self.add_clause([!a, b]);
+    }
+
+    /// Adds `a ↔ b` (two binary clauses).
+    pub fn add_iff(&mut self, a: Lit, b: Lit) {
+        self.add_clause([!a, b]);
+        self.add_clause([a, !b]);
+    }
+
+    /// The clauses in insertion order.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Appends all clauses of `other` (variables must already be
+    /// allocated in `self`).
+    pub fn extend_clauses(&mut self, other: &Cnf) {
+        self.ensure_vars(other.num_vars);
+        self.clauses.extend(other.clauses.iter().cloned());
+    }
+
+    /// Evaluates the formula under a full assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < self.num_vars()`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars, "assignment too short");
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment)))
+    }
+
+    /// Returns a copy with tautological clauses dropped and duplicate
+    /// literals removed inside each clause.
+    pub fn simplified(&self) -> Cnf {
+        let mut out = Cnf::with_vars(self.num_vars);
+        'next: for clause in &self.clauses {
+            let mut c = clause.clone();
+            c.sort_unstable();
+            c.dedup();
+            for w in c.windows(2) {
+                if w[0].var() == w[1].var() {
+                    continue 'next; // x ∨ ¬x
+                }
+            }
+            out.clauses.push(c);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cnf {{ vars: {}, clauses: {} }}", self.num_vars, self.clauses.len())
+    }
+}

@@ -1,0 +1,169 @@
+//! DIMACS CNF and QDIMACS readers/writers.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::cnf::Cnf;
+use crate::lit::Lit;
+
+/// Error raised on malformed DIMACS/QDIMACS input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError(String);
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs error: {}", self.0)
+    }
+}
+
+impl Error for DimacsError {}
+
+/// Quantifier kind for QDIMACS prefixes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Quant {
+    /// Existential (`e` line).
+    Exists,
+    /// Universal (`a` line).
+    Forall,
+}
+
+/// A parsed QDIMACS file: a quantifier prefix over a CNF matrix.
+#[derive(Clone, Debug)]
+pub struct QdimacsFile {
+    /// Quantifier blocks, outermost first. Variables are 0-based.
+    pub prefix: Vec<(Quant, Vec<usize>)>,
+    /// The matrix.
+    pub matrix: Cnf,
+}
+
+/// Parses a DIMACS CNF file.
+///
+/// # Errors
+///
+/// Returns [`DimacsError`] if the header is missing/ill-formed or a
+/// clause is not 0-terminated.
+pub fn parse_dimacs(text: &str) -> Result<Cnf, DimacsError> {
+    let parsed = parse_inner(text, false)?;
+    Ok(parsed.matrix)
+}
+
+/// Parses a QDIMACS file (quantifier lines `a`/`e` after the header).
+///
+/// # Errors
+///
+/// Returns [`DimacsError`] on malformed headers, prefixes or clauses.
+pub fn parse_qdimacs(text: &str) -> Result<QdimacsFile, DimacsError> {
+    parse_inner(text, true)
+}
+
+fn parse_inner(text: &str, allow_prefix: bool) -> Result<QdimacsFile, DimacsError> {
+    let mut cnf: Option<Cnf> = None;
+    let mut prefix: Vec<(Quant, Vec<usize>)> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() != 3 || toks[0] != "cnf" {
+                return Err(DimacsError("expected `p cnf V C`".into()));
+            }
+            let v: usize = toks[1]
+                .parse()
+                .map_err(|_| DimacsError(format!("bad variable count `{}`", toks[1])))?;
+            cnf = Some(Cnf::with_vars(v));
+            continue;
+        }
+        let Some(cnf) = cnf.as_mut() else {
+            return Err(DimacsError("clause before `p cnf` header".into()));
+        };
+        if (line.starts_with('a') || line.starts_with('e'))
+            && line[1..].trim_start().starts_with(|c: char| c.is_ascii_digit() || c == '-')
+        {
+            if !allow_prefix {
+                return Err(DimacsError("quantifier line in plain CNF".into()));
+            }
+            let quant = if line.starts_with('a') { Quant::Forall } else { Quant::Exists };
+            let mut vars = Vec::new();
+            for tok in line[1..].split_whitespace() {
+                let n: i64 = tok
+                    .parse()
+                    .map_err(|_| DimacsError(format!("bad prefix token `{tok}`")))?;
+                if n == 0 {
+                    break;
+                }
+                if n < 0 {
+                    return Err(DimacsError("negative variable in prefix".into()));
+                }
+                let idx = n as usize - 1;
+                cnf.ensure_vars(idx + 1);
+                vars.push(idx);
+            }
+            prefix.push((quant, vars));
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let n: i64 = tok
+                .parse()
+                .map_err(|_| DimacsError(format!("bad literal `{tok}`")))?;
+            if n == 0 {
+                cnf.ensure_vars(
+                    current
+                        .iter()
+                        .map(|l| l.var().index() + 1)
+                        .max()
+                        .unwrap_or(0),
+                );
+                cnf.add_clause(current.drain(..));
+            } else {
+                current.push(Lit::from_dimacs(n));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(DimacsError("last clause not 0-terminated".into()));
+    }
+    let matrix = cnf.ok_or_else(|| DimacsError("missing `p cnf` header".into()))?;
+    Ok(QdimacsFile { prefix, matrix })
+}
+
+/// Serializes a [`Cnf`] in DIMACS format.
+pub fn write_dimacs(cnf: &Cnf) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses());
+    for clause in cnf.clauses() {
+        for l in clause {
+            let _ = write!(out, "{} ", l.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+/// Serializes a prefix + matrix in QDIMACS format.
+pub fn write_qdimacs(prefix: &[(Quant, Vec<usize>)], matrix: &Cnf) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", matrix.num_vars(), matrix.num_clauses());
+    for (q, vars) in prefix {
+        let c = match q {
+            Quant::Exists => 'e',
+            Quant::Forall => 'a',
+        };
+        let _ = write!(out, "{c}");
+        for v in vars {
+            let _ = write!(out, " {}", v + 1);
+        }
+        let _ = writeln!(out, " 0");
+    }
+    for clause in matrix.clauses() {
+        for l in clause {
+            let _ = write!(out, "{} ", l.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}

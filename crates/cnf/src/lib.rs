@@ -1,0 +1,39 @@
+//! CNF layer shared by the SAT, QBF and MUS engines.
+//!
+//! Provides:
+//!
+//! * [`Var`] / [`Lit`] — 0-based variables and sign-encoded literals;
+//! * [`Cnf`] — a clause database with DIMACS/QDIMACS I/O;
+//! * [`tseitin`] — Tseitin encoding of AIG cones into CNF;
+//! * [`card`] — cardinality encodings (pairwise, sequential counter,
+//!   totalizer with sorted unary outputs), the building blocks of the
+//!   paper's target constraints `fT` (equations (5), (6) and (8)).
+//!
+//! # Example
+//!
+//! ```
+//! use step_cnf::{Cnf, Lit};
+//!
+//! let mut cnf = Cnf::new();
+//! let x = cnf.new_var();
+//! let y = cnf.new_var();
+//! cnf.add_clause([Lit::pos(x), Lit::pos(y)]);
+//! cnf.add_clause([Lit::neg(x)]);
+//! assert_eq!(cnf.num_clauses(), 2);
+//! ```
+
+mod cnf;
+mod dimacs;
+mod lit;
+
+pub mod card;
+pub mod tseitin;
+
+pub use cnf::Cnf;
+pub use dimacs::{
+    parse_dimacs, parse_qdimacs, write_dimacs, write_qdimacs, DimacsError, Quant, QdimacsFile,
+};
+pub use lit::{Lit, Var};
+
+#[cfg(test)]
+mod tests;

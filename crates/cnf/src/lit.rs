@@ -1,0 +1,148 @@
+use std::fmt;
+
+/// A 0-based Boolean variable.
+///
+/// ```
+/// use step_cnf::Var;
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its 0-based index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        Var(index as u32)
+    }
+
+    /// The 0-based index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable with a sign, encoded as `var*2 + negated`.
+///
+/// ```
+/// use step_cnf::{Lit, Var};
+/// let x = Var::new(0);
+/// assert_eq!(!Lit::pos(x), Lit::neg(x));
+/// assert_eq!(Lit::pos(x).to_dimacs(), 1);
+/// assert_eq!(Lit::neg(x).to_dimacs(), -1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    #[inline]
+    pub fn pos(var: Var) -> Self {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    #[inline]
+    pub fn neg(var: Var) -> Self {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// A literal of `var` with the given negation flag.
+    #[inline]
+    pub fn new(var: Var, negated: bool) -> Self {
+        Lit(var.0 << 1 | negated as u32)
+    }
+
+    /// Builds a literal from its `var*2+sign` code.
+    #[inline]
+    pub fn from_code(code: u32) -> Self {
+        Lit(code)
+    }
+
+    /// The `var*2+sign` code.
+    #[inline]
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this literal is negated.
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// This literal with the sign XORed by `flip`.
+    #[inline]
+    pub fn xor_sign(self, flip: bool) -> Self {
+        Lit(self.0 ^ flip as u32)
+    }
+
+    /// Parses a non-zero DIMACS integer (`-3` = ¬v2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == 0`.
+    #[inline]
+    pub fn from_dimacs(value: i64) -> Self {
+        assert!(value != 0, "DIMACS literal cannot be 0");
+        let var = Var::new(value.unsigned_abs() as usize - 1);
+        Lit::new(var, value < 0)
+    }
+
+    /// The DIMACS representation (1-based, negative = negated).
+    #[inline]
+    pub fn to_dimacs(self) -> i64 {
+        let v = (self.var().index() + 1) as i64;
+        if self.is_neg() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Evaluates the literal under an assignment indexed by variable.
+    #[inline]
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var().index()] ^ self.is_neg()
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}v{}", if self.is_neg() { "¬" } else { "" }, self.var().index())
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}

@@ -1,0 +1,251 @@
+//! Tseitin encoding of AIG cones into CNF.
+//!
+//! [`AigCnf`] tracks the AIG-node → CNF-variable mapping so several
+//! circuit copies (the `f(X)`, `f(X')`, `f(X'')` copies of the paper's
+//! formulations) can share one incremental solver instance.
+//!
+//! ```
+//! use step_aig::Aig;
+//! use step_cnf::{tseitin::AigCnf, Cnf};
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_input("a");
+//! let b = aig.add_input("b");
+//! let f = aig.and(a, b);
+//!
+//! let mut cnf = Cnf::new();
+//! let mut enc = AigCnf::new();
+//! let f_lit = enc.encode(&mut cnf, &aig, f);
+//! cnf.add_unit(f_lit); // assert f
+//! assert!(cnf.num_clauses() >= 3);
+//! ```
+
+use std::collections::HashMap;
+
+use step_aig::{Aig, AigLit, AigNode, NodeId};
+
+use crate::cnf::Cnf;
+use crate::lit::Lit;
+
+/// An AIG→CNF encoder with a persistent node-to-variable map.
+#[derive(Default, Debug, Clone)]
+pub struct AigCnf {
+    map: HashMap<NodeId, Lit>,
+    const_lit: Option<Lit>,
+}
+
+impl AigCnf {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        AigCnf::default()
+    }
+
+    /// Pre-assigns AIG node `node` to CNF literal `lit` (used to alias
+    /// the same circuit leaf across copies, or to bind inputs to
+    /// existing solver variables).
+    pub fn bind(&mut self, node: NodeId, lit: Lit) {
+        self.map.insert(node, lit);
+    }
+
+    /// The CNF literal already assigned to `node`, if any.
+    pub fn lookup(&self, node: NodeId) -> Option<Lit> {
+        self.map.get(&node).copied()
+    }
+
+    /// The CNF literal for an AIG literal whose node is already encoded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has not been encoded or bound.
+    pub fn lit(&self, lit: AigLit) -> Lit {
+        self.map[&lit.node()].xor_sign(lit.is_complement())
+    }
+
+    /// Encodes the cone of `root` into `cnf` and returns the CNF literal
+    /// equal to `root`. Nodes already in the map are reused; fresh
+    /// variables are allocated for unbound leaves and AND gates.
+    pub fn encode(&mut self, cnf: &mut Cnf, aig: &Aig, root: AigLit) -> Lit {
+        let mut stack = vec![root.node()];
+        while let Some(&id) = stack.last() {
+            if self.map.contains_key(&id) {
+                stack.pop();
+                continue;
+            }
+            match aig.node(id) {
+                AigNode::Const => {
+                    let l = self.const_false(cnf);
+                    self.map.insert(id, l);
+                    stack.pop();
+                }
+                AigNode::Input { .. } | AigNode::Latch { .. } => {
+                    let v = cnf.new_var();
+                    self.map.insert(id, Lit::pos(v));
+                    stack.pop();
+                }
+                AigNode::And { f0, f1 } => {
+                    let m0 = self.map.get(&f0.node()).copied();
+                    let m1 = self.map.get(&f1.node()).copied();
+                    match (m0, m1) {
+                        (Some(a), Some(b)) => {
+                            let a = a.xor_sign(f0.is_complement());
+                            let b = b.xor_sign(f1.is_complement());
+                            let g = Lit::pos(cnf.new_var());
+                            // g ↔ a ∧ b
+                            cnf.add_clause([!g, a]);
+                            cnf.add_clause([!g, b]);
+                            cnf.add_clause([g, !a, !b]);
+                            self.map.insert(id, g);
+                            stack.pop();
+                        }
+                        _ => {
+                            if m0.is_none() {
+                                stack.push(f0.node());
+                            }
+                            if m1.is_none() {
+                                stack.push(f1.node());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.map[&root.node()].xor_sign(root.is_complement())
+    }
+
+    /// A literal constrained to false (allocated once per encoder).
+    pub fn const_false(&mut self, cnf: &mut Cnf) -> Lit {
+        if let Some(l) = self.const_lit {
+            return l;
+        }
+        let l = Lit::pos(cnf.new_var());
+        cnf.add_unit(!l);
+        self.const_lit = Some(l);
+        l
+    }
+}
+
+/// Polarity-aware (Plaisted–Greenbaum) encoding of `root` **to be
+/// asserted true**: for every AND node only the implication directions
+/// reachable under its polarity are emitted, roughly halving the
+/// clause count of one-shot queries such as miter checks.
+///
+/// The returned literal is only *equisatisfiable* in the asserted
+/// direction: add `cnf.add_unit(lit)` and solve; models restricted to
+/// the bound input variables agree with full Tseitin. Do **not** reuse
+/// nodes encoded this way under the opposite polarity.
+///
+/// `bind` maps AIG leaves to existing CNF literals (like
+/// [`AigCnf::bind`]); unbound leaves get fresh variables, returned in
+/// the map.
+pub fn encode_plaisted_greenbaum(
+    cnf: &mut Cnf,
+    aig: &Aig,
+    root: AigLit,
+    bind: &HashMap<NodeId, Lit>,
+) -> (Lit, HashMap<NodeId, Lit>) {
+    // 1. Polarity marking: 1 = positive, 2 = negative, 3 = both.
+    let mut pol = vec![0u8; aig.node_count()];
+    let mut stack = vec![(root.node(), if root.is_complement() { 2u8 } else { 1u8 })];
+    while let Some((id, p)) = stack.pop() {
+        if pol[id.index()] & p == p {
+            continue;
+        }
+        pol[id.index()] |= p;
+        if let AigNode::And { f0, f1 } = aig.node(id) {
+            for f in [f0, f1] {
+                let child_p = if f.is_complement() { flip_pol(p) } else { p };
+                stack.push((f.node(), child_p));
+            }
+        }
+    }
+    // 2. Emit clauses per polarity, bottom-up.
+    let mut map: HashMap<NodeId, Lit> = bind.clone();
+    let mut order = vec![root.node()];
+    let mut visit = vec![false; aig.node_count()];
+    let mut topo = Vec::new();
+    while let Some(&id) = order.last() {
+        if visit[id.index()] {
+            order.pop();
+            continue;
+        }
+        match aig.node(id) {
+            AigNode::And { f0, f1 } => {
+                let pending: Vec<NodeId> = [f0.node(), f1.node()]
+                    .into_iter()
+                    .filter(|n| !visit[n.index()])
+                    .collect();
+                if pending.is_empty() {
+                    visit[id.index()] = true;
+                    topo.push(id);
+                    order.pop();
+                } else {
+                    order.extend(pending);
+                }
+            }
+            _ => {
+                visit[id.index()] = true;
+                topo.push(id);
+                order.pop();
+            }
+        }
+    }
+    for id in topo {
+        if map.contains_key(&id) {
+            continue;
+        }
+        match aig.node(id) {
+            AigNode::Const => {
+                let l = Lit::pos(cnf.new_var());
+                cnf.add_unit(!l);
+                map.insert(id, l);
+            }
+            AigNode::Input { .. } | AigNode::Latch { .. } => {
+                map.insert(id, Lit::pos(cnf.new_var()));
+            }
+            AigNode::And { f0, f1 } => {
+                let a = map[&f0.node()].xor_sign(f0.is_complement());
+                let b = map[&f1.node()].xor_sign(f1.is_complement());
+                let g = Lit::pos(cnf.new_var());
+                let p = pol[id.index()];
+                if p & 1 != 0 {
+                    // g → a ∧ b
+                    cnf.add_clause([!g, a]);
+                    cnf.add_clause([!g, b]);
+                }
+                if p & 2 != 0 {
+                    // a ∧ b → g
+                    cnf.add_clause([g, !a, !b]);
+                }
+                map.insert(id, g);
+            }
+        }
+    }
+    let l = map[&root.node()].xor_sign(root.is_complement());
+    (l, map)
+}
+
+#[inline]
+fn flip_pol(p: u8) -> u8 {
+    match p {
+        1 => 2,
+        2 => 1,
+        _ => 3,
+    }
+}
+
+/// Convenience: encodes `root` with all AIG inputs bound to freshly
+/// allocated variables, returning `(cnf, input CNF literals, root
+/// literal)` — inputs in AIG input order.
+pub fn encode_standalone(aig: &Aig, root: AigLit) -> (Cnf, Vec<Lit>, Lit) {
+    let mut cnf = Cnf::new();
+    let mut enc = AigCnf::new();
+    let inputs: Vec<Lit> = (0..aig.num_inputs())
+        .map(|pi| {
+            let l = Lit::pos(cnf.new_var());
+            enc.bind(aig.input_node(pi), l);
+            l
+        })
+        .collect();
+    let r = enc.encode(&mut cnf, aig, root);
+    (cnf, inputs, r)
+}

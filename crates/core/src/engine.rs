@@ -1,0 +1,384 @@
+//! The STEP driver: per-output and whole-circuit bi-decomposition with
+//! budgets, statistics and the model roster of the paper's evaluation
+//! (LJH, STEP-MG, STEP-QD, STEP-QB, STEP-QDB).
+
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use step_aig::Aig;
+
+use crate::extract::{extract, Decomposition, ExtractError};
+use crate::ljh::{self, LjhOutcome};
+use crate::mg::{self, MgOutcome};
+use crate::optimum::{self, Metric};
+use crate::oracle::{sim_filter_pairs, CoreFormula, PartitionOracle};
+use crate::partition::VarPartition;
+use crate::qbf_model::ModelOptions;
+use crate::spec::{DecompConfig, GateOp, Model};
+use crate::verify::verify;
+
+/// Errors from the decomposition driver.
+#[derive(Debug)]
+pub enum StepError {
+    /// The circuit has latches; convert with [`Aig::comb`] first (the
+    /// circuit-level API does this automatically).
+    NotCombinational,
+    /// The output index is out of range.
+    OutputOutOfRange(usize),
+    /// An internal invariant failed (a bug — e.g. a verified partition
+    /// failed extraction).
+    Internal(String),
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::NotCombinational => write!(f, "circuit has latches; run comb() first"),
+            StepError::OutputOutOfRange(i) => write!(f, "output index {i} out of range"),
+            StepError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl Error for StepError {}
+
+/// Result of decomposing one primary output.
+#[derive(Clone, Debug)]
+pub struct OutputResult {
+    /// Output name.
+    pub name: String,
+    /// Output index in the circuit.
+    pub output_index: usize,
+    /// Support size of the output cone.
+    pub support: usize,
+    /// The best partition found (`None` = not decomposable or budget
+    /// expired before any partition was found).
+    pub partition: Option<VarPartition>,
+    /// The extracted functions, when requested and within budget.
+    pub decomposition: Option<Decomposition>,
+    /// The QBF models proved this partition metric-optimal (always
+    /// `false` for LJH/STEP-MG, which are heuristic).
+    pub proved_optimal: bool,
+    /// The model reached a definite answer within budget: an optimum
+    /// (QBF models), a heuristic partition (LJH/MG), or a proof of
+    /// non-decomposability.
+    pub solved: bool,
+    /// A budget expired somewhere.
+    pub timed_out: bool,
+    /// Wall-clock time spent on this output.
+    pub cpu: Duration,
+    /// SAT oracle calls (seed search, LJH growth, checks).
+    pub sat_calls: u64,
+    /// QBF solves in the optimum search.
+    pub qbf_calls: u32,
+    /// Total CEGAR iterations across QBF solves.
+    pub cegar_iterations: u64,
+}
+
+impl OutputResult {
+    /// Whether a (non-trivial) decomposition exists for this output.
+    pub fn is_decomposed(&self) -> bool {
+        self.partition.is_some()
+    }
+}
+
+/// Result of decomposing every primary output of a circuit.
+#[derive(Clone, Debug)]
+pub struct CircuitResult {
+    /// Per-output results, in output order.
+    pub outputs: Vec<OutputResult>,
+    /// Total wall-clock time.
+    pub cpu: Duration,
+    /// The per-circuit budget expired before all outputs were tried.
+    pub timed_out: bool,
+}
+
+impl CircuitResult {
+    /// Number of decomposed outputs (the `#Dec` column of Table III).
+    pub fn num_decomposed(&self) -> usize {
+        self.outputs.iter().filter(|o| o.is_decomposed()).count()
+    }
+
+    /// Fraction of solved outputs (Table IV).
+    pub fn solved_ratio(&self) -> f64 {
+        if self.outputs.is_empty() {
+            return 1.0;
+        }
+        self.outputs.iter().filter(|o| o.solved).count() as f64 / self.outputs.len() as f64
+    }
+}
+
+/// The STEP bi-decomposition engine.
+///
+/// ```
+/// use step_aig::Aig;
+/// use step_core::{BiDecomposer, DecompConfig, GateOp, Model};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let c = aig.add_input("c");
+/// let d = aig.add_input("d");
+/// let ab = aig.and(a, b);
+/// let cd = aig.and(c, d);
+/// let f = aig.or(ab, cd);
+/// aig.add_output("f", f);
+///
+/// let mut engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
+/// let r = engine.decompose_output(&aig, 0, GateOp::Or).unwrap();
+/// let p = r.partition.expect("decomposable");
+/// assert_eq!(p.num_shared(), 0, "(ab)|(cd) splits disjointly");
+/// assert!(r.proved_optimal);
+/// ```
+#[derive(Debug)]
+pub struct BiDecomposer {
+    config: DecompConfig,
+    sim_seed: u64,
+}
+
+impl BiDecomposer {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: DecompConfig) -> Self {
+        BiDecomposer { config, sim_seed: 0x5DEECE66D }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DecompConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration.
+    pub fn config_mut(&mut self) -> &mut DecompConfig {
+        &mut self.config
+    }
+
+    /// Decomposes primary output `out_idx` of `aig` under `op`.
+    ///
+    /// # Errors
+    ///
+    /// [`StepError::NotCombinational`] if the AIG has latches,
+    /// [`StepError::OutputOutOfRange`] for a bad index,
+    /// [`StepError::Internal`] on internal inconsistencies.
+    pub fn decompose_output(
+        &mut self,
+        aig: &Aig,
+        out_idx: usize,
+        op: GateOp,
+    ) -> Result<OutputResult, StepError> {
+        if !aig.is_comb() {
+            return Err(StepError::NotCombinational);
+        }
+        let output = aig
+            .outputs()
+            .get(out_idx)
+            .ok_or(StepError::OutputOutOfRange(out_idx))?;
+        let name = output.name().to_owned();
+        let lit = output.lit();
+        let start = Instant::now();
+        let deadline = Some(start + self.config.budget.per_output);
+
+        let cone = aig.cone(lit);
+        let n = cone.support_size();
+        let mut result = OutputResult {
+            name,
+            output_index: out_idx,
+            support: n,
+            partition: None,
+            decomposition: None,
+            proved_optimal: false,
+            solved: false,
+            timed_out: false,
+            cpu: Duration::ZERO,
+            sat_calls: 0,
+            qbf_calls: 0,
+            cegar_iterations: 0,
+        };
+        if n < 2 {
+            // Constant or single-input function: no non-trivial
+            // bi-decomposition exists by definition.
+            result.solved = true;
+            result.cpu = start.elapsed();
+            return Ok(result);
+        }
+
+        let candidates = if self.config.sim_filter {
+            self.sim_seed = self.sim_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            Some(sim_filter_pairs(
+                &cone.aig,
+                cone.root,
+                op,
+                self.config.sim_rounds,
+                self.sim_seed,
+            ))
+        } else {
+            None
+        };
+        let core = CoreFormula::build(&cone.aig, cone.root, op);
+        let mut oracle = PartitionOracle::new(core);
+
+        let partition = match self.config.model {
+            Model::Ljh => match ljh::decompose(&mut oracle, candidates.as_deref(), deadline) {
+                LjhOutcome::Partition(p) => {
+                    result.solved = true;
+                    Some(p)
+                }
+                LjhOutcome::NotDecomposable => {
+                    result.solved = true;
+                    None
+                }
+                LjhOutcome::Timeout => {
+                    result.timed_out = true;
+                    None
+                }
+            },
+            Model::MusGroup => match mg::decompose(&mut oracle, candidates.as_deref(), deadline) {
+                MgOutcome::Partition(p) => {
+                    result.solved = true;
+                    Some(p)
+                }
+                MgOutcome::NotDecomposable => {
+                    result.solved = true;
+                    None
+                }
+                MgOutcome::Timeout => {
+                    result.timed_out = true;
+                    None
+                }
+            },
+            Model::QbfDisjoint | Model::QbfBalanced | Model::QbfCombined => {
+                // Bootstrap from STEP-MG, as in the paper.
+                let bootstrap =
+                    match mg::decompose(&mut oracle, candidates.as_deref(), deadline) {
+                        MgOutcome::Partition(p) => Some(p),
+                        MgOutcome::NotDecomposable => {
+                            // Proved undecomposable — the QBF search is
+                            // unnecessary.
+                            result.solved = true;
+                            result.proved_optimal = true;
+                            result.sat_calls = oracle.sat_calls;
+                            result.cpu = start.elapsed();
+                            return Ok(result);
+                        }
+                        MgOutcome::Timeout => None,
+                    };
+                if bootstrap.is_none() {
+                    result.timed_out = true;
+                    None
+                } else {
+                    let metric = match self.config.model {
+                        Model::QbfDisjoint => Metric::Disjointness,
+                        Model::QbfBalanced => Metric::Balancedness,
+                        _ => Metric::Combined,
+                    };
+                    let opts = ModelOptions {
+                        symmetry_breaking: self.config.symmetry_breaking,
+                        allow_both: self.config.allow_both,
+                        deadline,
+                        per_call_timeout: Some(self.config.budget.per_qbf_call),
+                        conflicts_per_call: self.config.conflicts_per_call,
+                    };
+                    let search = optimum::search(
+                        oracle.core(),
+                        metric,
+                        bootstrap.as_ref(),
+                        self.config.effective_strategy(),
+                        &opts,
+                    );
+                    result.qbf_calls = search.qbf_calls;
+                    result.cegar_iterations = search.cegar_iterations;
+                    result.proved_optimal = search.proved_optimal;
+                    result.solved = search.proved_optimal;
+                    result.timed_out = search.timeouts > 0;
+                    search.partition.or(bootstrap)
+                }
+            }
+        };
+        result.sat_calls = oracle.sat_calls;
+
+        if let Some(p) = partition {
+            debug_assert!(p.is_nontrivial(), "partition must be non-trivial");
+            if self.config.extract {
+                match extract(&cone.aig, cone.root, op, &p, deadline) {
+                    Ok(d) => {
+                        if self.config.verify {
+                            verify(&d, deadline).map_err(|e| {
+                                StepError::Internal(format!(
+                                    "extracted decomposition failed verification: {e}"
+                                ))
+                            })?;
+                        }
+                        result.decomposition = Some(d);
+                    }
+                    Err(ExtractError::Budget) => {
+                        result.timed_out = true;
+                    }
+                    Err(e) => {
+                        return Err(StepError::Internal(format!(
+                            "extraction failed on a valid partition: {e}"
+                        )))
+                    }
+                }
+            }
+            result.partition = Some(p);
+        }
+        result.cpu = start.elapsed();
+        Ok(result)
+    }
+
+    /// Decomposes every primary output of `circuit` under `op`,
+    /// converting sequential circuits combinationally (the paper's ABC
+    /// `comb` step) and enforcing the per-circuit budget.
+    ///
+    /// # Errors
+    ///
+    /// [`StepError::Internal`] on internal inconsistencies (dangling
+    /// latches surface here too).
+    pub fn decompose_circuit(&mut self, circuit: &Aig, op: GateOp) -> Result<CircuitResult, StepError> {
+        let start = Instant::now();
+        let comb;
+        let aig = if circuit.is_comb() {
+            circuit
+        } else {
+            comb = circuit
+                .comb()
+                .map_err(|e| StepError::Internal(format!("comb conversion failed: {e}")))?;
+            &comb
+        };
+        let circuit_deadline = start + self.config.budget.per_circuit;
+        let mut outputs = Vec::with_capacity(aig.num_outputs());
+        let mut timed_out = false;
+        for idx in 0..aig.num_outputs() {
+            let now = Instant::now();
+            if now >= circuit_deadline {
+                timed_out = true;
+                outputs.push(OutputResult {
+                    name: aig.outputs()[idx].name().to_owned(),
+                    output_index: idx,
+                    support: 0,
+                    partition: None,
+                    decomposition: None,
+                    proved_optimal: false,
+                    solved: false,
+                    timed_out: true,
+                    cpu: Duration::ZERO,
+                    sat_calls: 0,
+                    qbf_calls: 0,
+                    cegar_iterations: 0,
+                });
+                continue;
+            }
+            // Shrink the per-output budget to the remaining circuit
+            // budget.
+            let saved = self.config.budget.per_output;
+            let remaining = circuit_deadline - now;
+            self.config.budget.per_output = saved.min(remaining);
+            let r = self.decompose_output(aig, idx, op);
+            self.config.budget.per_output = saved;
+            let r = r?;
+            timed_out |= r.timed_out;
+            outputs.push(r);
+        }
+        Ok(CircuitResult { outputs, cpu: start.elapsed(), timed_out })
+    }
+}

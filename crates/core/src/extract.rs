@@ -1,0 +1,315 @@
+//! Extraction of the decomposition functions `fA` and `fB`.
+//!
+//! For OR (and, by duality, AND) the functions are obtained by **Craig
+//! interpolation**, following the interpolation-based construction of
+//! the original SAT-based bi-decomposition (\[16\], DAC'08) that the
+//! paper reuses:
+//!
+//! * `fA = ITP( f(X) ∧ ¬f(X'_A,XB,XC) ; ¬f(XA,X''_B,XC) )` — an
+//!   interpolant over the shared variables `XA ∪ XC`;
+//! * `fB = ITP( f(X) ∧ ¬fA(XA,XC) ; ¬f(X'_A,XB,XC) )` — computed
+//!   **relative to fA**, over `XB ∪ XC`.
+//!
+//! The second step must be relative: an interpolant pair computed
+//! independently need not cover `f`. Proof of correctness (both steps
+//! assume formulation (1) is UNSAT for the partition):
+//!
+//! 1. *Soundness of fA*: `fA ∧ ¬f(XA,X''_B,XC)` UNSAT means
+//!    `fA ≤ ∀XB.f ≤ f`.
+//! 2. *Step-2 premise is UNSAT*: suppose `f(a,b,c) ∧ ¬fA(a,c) ∧
+//!    ¬f(a',b,c)` were satisfiable; then `(a,b,c,a')` satisfies step
+//!    1's A-part, forcing `fA(a,c) = 1` — contradiction.
+//! 3. *Soundness of fB*: `fB ∧ ¬f(X'_A..)` UNSAT means `fB ≤ ∀XA.f ≤ f`.
+//! 4. *Coverage*: if `f(a,b,c) = 1` and `fA(a,c) = 0`, then `(a,b,c)`
+//!    satisfies step 2's A-part, so `fB(b,c) = 1`. Hence
+//!    `f = fA ∨ fB`.
+//!
+//! XOR uses the classical cofactor construction
+//! (`fA = f|XB←0`, `fB = f|XA←0 ⊕ f|XA←0,XB←0`), valid exactly under
+//! the rectangle-parity condition the XOR core enforces. A
+//! quantification-based reference extractor is provided for
+//! cross-checking.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use step_aig::{Aig, AigLit};
+use step_cnf::{tseitin::AigCnf, Cnf, Lit, Var};
+use step_itp::{mcmillan, Interpolant, ItpError};
+use step_sat::{ClauseId, SolveResult, Solver};
+
+use crate::partition::VarPartition;
+use crate::spec::GateOp;
+
+/// A completed bi-decomposition: `f = fa <op> fb` inside `aig`.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    /// The cone circuit extended with the extracted functions. Inputs
+    /// are identical (same order) to the cone the partition refers to.
+    pub aig: Aig,
+    /// The original function.
+    pub f: AigLit,
+    /// `fA(XA, XC)`.
+    pub fa: AigLit,
+    /// `fB(XB, XC)`.
+    pub fb: AigLit,
+    /// The root operator.
+    pub op: GateOp,
+    /// The variable partition used.
+    pub partition: VarPartition,
+}
+
+impl Decomposition {
+    /// Rebuilds `fa <op> fb` (adds the root gate to `aig`).
+    pub fn combine(&mut self) -> AigLit {
+        match self.op {
+            GateOp::Or => self.aig.or(self.fa, self.fb),
+            GateOp::And => self.aig.and(self.fa, self.fb),
+            GateOp::Xor => self.aig.xor(self.fa, self.fb),
+        }
+    }
+}
+
+/// Errors during extraction.
+#[derive(Debug)]
+pub enum ExtractError {
+    /// The partition does not decompose the function (the premise
+    /// formula was satisfiable).
+    InvalidPartition,
+    /// A SAT call exhausted its budget.
+    Budget,
+    /// Interpolation failed (malformed proof — indicates a bug).
+    Interpolation(ItpError),
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::InvalidPartition => write!(f, "partition does not decompose f"),
+            ExtractError::Budget => write!(f, "budget expired during extraction"),
+            ExtractError::Interpolation(e) => write!(f, "interpolation failed: {e}"),
+        }
+    }
+}
+
+impl Error for ExtractError {}
+
+impl From<ItpError> for ExtractError {
+    fn from(e: ItpError) -> Self {
+        ExtractError::Interpolation(e)
+    }
+}
+
+/// Extracts `fA`/`fB` for `root` of `cone` under `op` and `partition`.
+///
+/// # Errors
+///
+/// [`ExtractError::InvalidPartition`] if the partition is not a valid
+/// bi-decomposition partition, [`ExtractError::Budget`] on timeout.
+pub fn extract(
+    cone: &Aig,
+    root: AigLit,
+    op: GateOp,
+    partition: &VarPartition,
+    deadline: Option<Instant>,
+) -> Result<Decomposition, ExtractError> {
+    match op {
+        GateOp::Or => extract_or(cone, root, partition, deadline, false),
+        GateOp::And => extract_or(cone, root, partition, deadline, true),
+        GateOp::Xor => Ok(extract_xor(cone, root, partition)),
+    }
+}
+
+/// OR extraction by two relative interpolations; with `dual`, extracts
+/// AND via `f = ¬(gA ∨ gB)` for `g = ¬f`.
+fn extract_or(
+    cone: &Aig,
+    root: AigLit,
+    partition: &VarPartition,
+    deadline: Option<Instant>,
+    dual: bool,
+) -> Result<Decomposition, ExtractError> {
+    let g = if dual { !root } else { root };
+    let xa = partition.xa();
+    let xb = partition.xb();
+    let n = cone.num_inputs();
+
+    let mut result = cone.clone();
+
+    // ---- Step 1: fA = ITP(g(X) ∧ ¬g(X'), ¬g(X'')).
+    let itp_a = {
+        let mut cnf = Cnf::new();
+        let x_vars: Vec<Var> = (0..n).map(|_| cnf.new_var()).collect();
+        let xp_vars: HashMap<usize, Var> =
+            xa.iter().map(|&i| (i, cnf.new_var())).collect();
+        let xpp_vars: HashMap<usize, Var> =
+            xb.iter().map(|&i| (i, cnf.new_var())).collect();
+
+        // Copy 1: g over X.
+        let mut enc1 = AigCnf::new();
+        for i in 0..n {
+            enc1.bind(cone.input_node(i), Lit::pos(x_vars[i]));
+        }
+        let r1 = enc1.encode(&mut cnf, cone, g);
+        cnf.add_unit(r1);
+        // Copy 2: ¬g over (X'_A, XB, XC).
+        let mut enc2 = AigCnf::new();
+        for i in 0..n {
+            let v = xp_vars.get(&i).copied().unwrap_or(x_vars[i]);
+            enc2.bind(cone.input_node(i), Lit::pos(v));
+        }
+        let r2 = enc2.encode(&mut cnf, cone, g);
+        cnf.add_unit(!r2);
+        let a_end = cnf.num_clauses();
+        // Copy 3 (B-part): ¬g over (XA, X''_B, XC).
+        let mut enc3 = AigCnf::new();
+        for i in 0..n {
+            let v = xpp_vars.get(&i).copied().unwrap_or(x_vars[i]);
+            enc3.bind(cone.input_node(i), Lit::pos(v));
+        }
+        let r3 = enc3.encode(&mut cnf, cone, g);
+        cnf.add_unit(!r3);
+
+        interpolate(&cnf, a_end, deadline)?
+    };
+    let fa = graft_interpolant(&mut result, &itp_a, |v| v.index());
+
+    // ---- Step 2: fB = ITP(g(X) ∧ ¬fA(XA,XC), ¬g(X'_A, XB, XC)).
+    let itp_b = {
+        let mut cnf = Cnf::new();
+        let x_vars: Vec<Var> = (0..n).map(|_| cnf.new_var()).collect();
+        let xp_vars: HashMap<usize, Var> =
+            xa.iter().map(|&i| (i, cnf.new_var())).collect();
+
+        let mut enc1 = AigCnf::new();
+        for i in 0..n {
+            enc1.bind(cone.input_node(i), Lit::pos(x_vars[i]));
+        }
+        let r1 = enc1.encode(&mut cnf, cone, g);
+        cnf.add_unit(r1);
+        // ¬fA over the same X variables (fA lives in `result`).
+        let mut enc_fa = AigCnf::new();
+        for i in 0..n {
+            enc_fa.bind(result.input_node(i), Lit::pos(x_vars[i]));
+        }
+        let ra = enc_fa.encode(&mut cnf, &result, fa);
+        cnf.add_unit(!ra);
+        let a_end = cnf.num_clauses();
+        // B-part: ¬g over (X'_A, XB, XC).
+        let mut enc2 = AigCnf::new();
+        for i in 0..n {
+            let v = xp_vars.get(&i).copied().unwrap_or(x_vars[i]);
+            enc2.bind(cone.input_node(i), Lit::pos(v));
+        }
+        let r2 = enc2.encode(&mut cnf, cone, g);
+        cnf.add_unit(!r2);
+
+        interpolate(&cnf, a_end, deadline)?
+    };
+    let fb = graft_interpolant(&mut result, &itp_b, |v| v.index());
+
+    let (fa, fb) = if dual { (!fa, !fb) } else { (fa, fb) };
+    Ok(Decomposition {
+        aig: result,
+        f: root,
+        fa,
+        fb,
+        op: if dual { GateOp::And } else { GateOp::Or },
+        partition: partition.clone(),
+    })
+}
+
+/// Solves the (A = clauses before `a_end`, B = rest) split with proof
+/// logging and returns the interpolant.
+fn interpolate(
+    cnf: &Cnf,
+    a_end: usize,
+    deadline: Option<Instant>,
+) -> Result<Interpolant, ExtractError> {
+    let mut solver = Solver::new();
+    solver.enable_proof();
+    solver.ensure_vars(cnf.num_vars());
+    solver.set_deadline(deadline);
+    let mut a_ids: Vec<ClauseId> = Vec::with_capacity(a_end);
+    for (k, clause) in cnf.clauses().iter().enumerate() {
+        let id = solver
+            .add_clause(clause.iter().copied())
+            .expect("proof logging is on");
+        if k < a_end {
+            a_ids.push(id);
+        }
+    }
+    match solver.solve() {
+        SolveResult::Unsat => {}
+        SolveResult::Sat => return Err(ExtractError::InvalidPartition),
+        SolveResult::Unknown => return Err(ExtractError::Budget),
+    }
+    let proof = solver.proof().expect("proof logging is on");
+    Ok(mcmillan(proof, &a_ids)?)
+}
+
+/// Imports an interpolant into `dst`, mapping its global CNF variables
+/// through `var_to_input` (CNF var → `dst` input index).
+fn graft_interpolant(
+    dst: &mut Aig,
+    itp: &Interpolant,
+    var_to_input: impl Fn(Var) -> usize,
+) -> AigLit {
+    let mut map = HashMap::new();
+    for (k, &gvar) in itp.globals.iter().enumerate() {
+        let input = var_to_input(gvar);
+        map.insert(itp.aig.input_node(k), dst.input(input));
+    }
+    dst.import(&itp.aig, itp.root, &mut map)
+}
+
+/// XOR extraction by cofactoring: `fA = f|XB←0`,
+/// `fB = f|XA←0 ⊕ f|XA←0,XB←0`.
+fn extract_xor(cone: &Aig, root: AigLit, partition: &VarPartition) -> Decomposition {
+    let mut result = cone.clone();
+    let zero_b: Vec<(usize, bool)> = partition.xb().iter().map(|&i| (i, false)).collect();
+    let zero_a: Vec<(usize, bool)> = partition.xa().iter().map(|&i| (i, false)).collect();
+    let fa = result.cofactor_many(root, &zero_b);
+    let t1 = result.cofactor_many(root, &zero_a);
+    let t2 = result.cofactor_many(t1, &zero_b);
+    let fb = result.xor(t1, t2);
+    Decomposition {
+        aig: result,
+        f: root,
+        fa,
+        fb,
+        op: GateOp::Xor,
+        partition: partition.clone(),
+    }
+}
+
+/// Reference extractor by Boolean quantification (exponential in the
+/// quantified block; for tests and small cones):
+/// OR: `fA = ∀XB.f`, `fB = ∀XA.f`; AND: `fA = ∃XB.f`, `fB = ∃XA.f`;
+/// XOR: same as [`extract`].
+pub fn extract_by_quantification(
+    cone: &Aig,
+    root: AigLit,
+    op: GateOp,
+    partition: &VarPartition,
+) -> Decomposition {
+    let mut result = cone.clone();
+    let xa = partition.xa();
+    let xb = partition.xb();
+    let (fa, fb) = match op {
+        GateOp::Or => {
+            let fa = result.forall(root, &xb);
+            let fb = result.forall(root, &xa);
+            (fa, fb)
+        }
+        GateOp::And => {
+            let fa = result.exists(root, &xb);
+            let fb = result.exists(root, &xa);
+            (fa, fb)
+        }
+        GateOp::Xor => return extract_xor(cone, root, partition),
+    };
+    Decomposition { aig: result, f: root, fa, fb, op, partition: partition.clone() }
+}

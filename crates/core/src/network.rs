@@ -1,0 +1,390 @@
+//! Recursive multi-level bi-decomposition.
+//!
+//! The paper's introduction motivates bi-decomposition as the engine of
+//! multi-level logic synthesis: a complex `f(X)` is split into two
+//! simpler sub-functions, which are split again, until the leaves are
+//! simple — producing a network of two-input OR/AND/XOR gates over
+//! small leaf functions. This module iterates the single-step engine
+//! ([`crate::BiDecomposer`]) into that flow:
+//!
+//! * [`decompose_tree`] recursively decomposes a primary output,
+//!   trying the given operators in order at every level;
+//! * the result is a [`DecompTree`] whose internal nodes are the
+//!   chosen gates and whose leaves are (small) undecomposable
+//!   functions with their own input supports;
+//! * [`DecompTree::to_aig`] rebuilds the network as an AIG for
+//!   verification ([`crate::verify`]-style miter checks are exercised
+//!   in the tests) and [`DecompTree::render`] pretty-prints the
+//!   structure.
+
+use step_aig::{Aig, AigLit};
+
+use crate::engine::{BiDecomposer, StepError};
+use crate::spec::GateOp;
+
+/// A node of a multi-level decomposition tree.
+#[derive(Clone, Debug)]
+pub enum TreeNode {
+    /// An undecomposable (or depth-limited) leaf function.
+    Leaf {
+        /// Single-output AIG computing the leaf.
+        func: Aig,
+        /// For each input of `func`: the index of the original input
+        /// it reads.
+        inputs: Vec<usize>,
+    },
+    /// A two-input gate over two sub-trees.
+    Gate {
+        /// The gate operator chosen at this level.
+        op: GateOp,
+        /// Left child (`fA`).
+        left: Box<TreeNode>,
+        /// Right child (`fB`).
+        right: Box<TreeNode>,
+    },
+}
+
+/// A multi-level bi-decomposition of one output function.
+#[derive(Clone, Debug)]
+pub struct DecompTree {
+    /// The tree root.
+    pub root: TreeNode,
+    /// Number of original circuit inputs (leaf `inputs` index these).
+    pub num_inputs: usize,
+}
+
+impl DecompTree {
+    /// Number of gate (internal) nodes.
+    pub fn num_gates(&self) -> usize {
+        fn rec(n: &TreeNode) -> usize {
+            match n {
+                TreeNode::Leaf { .. } => 0,
+                TreeNode::Gate { left, right, .. } => 1 + rec(left) + rec(right),
+            }
+        }
+        rec(&self.root)
+    }
+
+    /// Number of leaf functions.
+    pub fn num_leaves(&self) -> usize {
+        fn rec(n: &TreeNode) -> usize {
+            match n {
+                TreeNode::Leaf { .. } => 1,
+                TreeNode::Gate { left, right, .. } => rec(left) + rec(right),
+            }
+        }
+        rec(&self.root)
+    }
+
+    /// Depth of the gate tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn rec(n: &TreeNode) -> usize {
+            match n {
+                TreeNode::Leaf { .. } => 0,
+                TreeNode::Gate { left, right, .. } => 1 + rec(left).max(rec(right)),
+            }
+        }
+        rec(&self.root)
+    }
+
+    /// The maximum leaf support size — the "simplicity" measure the
+    /// decomposition drives down.
+    pub fn max_leaf_support(&self) -> usize {
+        fn rec(n: &TreeNode) -> usize {
+            match n {
+                TreeNode::Leaf { inputs, .. } => inputs.len(),
+                TreeNode::Gate { left, right, .. } => rec(left).max(rec(right)),
+            }
+        }
+        rec(&self.root)
+    }
+
+    /// Evaluates the tree under an assignment of the original inputs.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        fn rec(n: &TreeNode, a: &[bool]) -> bool {
+            match n {
+                TreeNode::Leaf { func, inputs } => {
+                    let ins: Vec<bool> = inputs.iter().map(|&i| a[i]).collect();
+                    func.eval(&ins)[0]
+                }
+                TreeNode::Gate { op, left, right } => {
+                    let l = rec(left, a);
+                    let r = rec(right, a);
+                    match op {
+                        GateOp::Or => l || r,
+                        GateOp::And => l && r,
+                        GateOp::Xor => l ^ r,
+                    }
+                }
+            }
+        }
+        rec(&self.root, assignment)
+    }
+
+    /// Rebuilds the whole network as a single-output AIG over
+    /// `num_inputs` inputs (named `x<i>`).
+    pub fn to_aig(&self) -> Aig {
+        let mut aig = Aig::new();
+        let inputs: Vec<AigLit> =
+            (0..self.num_inputs).map(|i| aig.add_input(format!("x{i}"))).collect();
+        fn rec(n: &TreeNode, aig: &mut Aig, inputs: &[AigLit]) -> AigLit {
+            match n {
+                TreeNode::Leaf { func, inputs: leaf_ins } => {
+                    let mut map = std::collections::HashMap::new();
+                    for (k, &orig) in leaf_ins.iter().enumerate() {
+                        map.insert(func.input_node(k), inputs[orig]);
+                    }
+                    let root = func.outputs()[0].lit();
+                    aig.import(func, root, &mut map)
+                }
+                TreeNode::Gate { op, left, right } => {
+                    let l = rec(left, aig, inputs);
+                    let r = rec(right, aig, inputs);
+                    match op {
+                        GateOp::Or => aig.or(l, r),
+                        GateOp::And => aig.and(l, r),
+                        GateOp::Xor => aig.xor(l, r),
+                    }
+                }
+            }
+        }
+        let root = rec(&self.root, &mut aig, &inputs);
+        aig.add_output("f", root);
+        aig
+    }
+
+    /// Pretty-prints the tree structure.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        fn rec(n: &TreeNode, indent: usize, out: &mut String) {
+            let pad = "  ".repeat(indent);
+            match n {
+                TreeNode::Leaf { inputs, func } => {
+                    out.push_str(&format!(
+                        "{pad}leaf({} vars: {:?}, {} ands)\n",
+                        inputs.len(),
+                        inputs,
+                        func.and_count()
+                    ));
+                }
+                TreeNode::Gate { op, left, right } => {
+                    out.push_str(&format!("{pad}{op}\n"));
+                    rec(left, indent + 1, out);
+                    rec(right, indent + 1, out);
+                }
+            }
+        }
+        rec(&self.root, 0, &mut out);
+        out
+    }
+}
+
+/// Options for the recursive flow.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeOptions {
+    /// Operators to try, in preference order, at every level.
+    pub ops: [GateOp; 3],
+    /// Stop recursing below this support size.
+    pub min_support: usize,
+    /// Maximum recursion depth (`None` = until undecomposable).
+    pub max_depth: Option<usize>,
+}
+
+impl Default for TreeOptions {
+    fn default() -> Self {
+        TreeOptions {
+            ops: [GateOp::Or, GateOp::And, GateOp::Xor],
+            min_support: 2,
+            max_depth: None,
+        }
+    }
+}
+
+/// Recursively bi-decomposes output `out_idx` of `aig`.
+///
+/// At every level the engine tries `opts.ops` in order and recurses on
+/// the extracted `fA`/`fB`. Functions that no operator decomposes
+/// become leaves.
+///
+/// # Errors
+///
+/// Propagates [`StepError`] from the underlying engine.
+pub fn decompose_tree(
+    engine: &mut BiDecomposer,
+    aig: &Aig,
+    out_idx: usize,
+    opts: &TreeOptions,
+) -> Result<DecompTree, StepError> {
+    if !aig.is_comb() {
+        return Err(StepError::NotCombinational);
+    }
+    let output = aig
+        .outputs()
+        .get(out_idx)
+        .ok_or(StepError::OutputOutOfRange(out_idx))?;
+    let cone = aig.cone(output.lit());
+    let identity: Vec<usize> = cone.leaves.clone();
+    let root = rec(engine, &cone.aig, cone.root, &identity, opts, 0)?;
+    Ok(DecompTree { root, num_inputs: aig.num_inputs() })
+}
+
+fn rec(
+    engine: &mut BiDecomposer,
+    func: &Aig,
+    root: AigLit,
+    orig_inputs: &[usize],
+    opts: &TreeOptions,
+    depth: usize,
+) -> Result<TreeNode, StepError> {
+    let make_leaf = |func: &Aig, root: AigLit, orig: &[usize]| -> TreeNode {
+        let cone = func.cone(root);
+        let inputs: Vec<usize> = cone.leaves.iter().map(|&l| orig[l]).collect();
+        let mut leaf = cone.aig;
+        leaf.add_output("leaf", cone.root);
+        TreeNode::Leaf { func: leaf.compact(), inputs }
+    };
+
+    let support = func.support(root);
+    if support.len() < opts.min_support.max(2)
+        || opts.max_depth.is_some_and(|d| depth >= d)
+    {
+        return Ok(make_leaf(func, root, orig_inputs));
+    }
+
+    // One standalone circuit for the engine: the cone with one output.
+    let cone = func.cone(root);
+    let mapped: Vec<usize> = cone.leaves.iter().map(|&l| orig_inputs[l]).collect();
+    let mut sub = cone.aig.clone();
+    sub.add_output("f", cone.root);
+
+    for &op in &opts.ops {
+        // Extraction must stay on for recursion.
+        let saved_extract = engine.config().extract;
+        engine.config_mut().extract = true;
+        let r = engine.decompose_output(&sub, 0, op)?;
+        engine.config_mut().extract = saved_extract;
+        let Some(d) = r.decomposition else {
+            continue;
+        };
+        let left = rec(engine, &d.aig, d.fa, &mapped, opts, depth + 1)?;
+        let right = rec(engine, &d.aig, d.fb, &mapped, opts, depth + 1)?;
+        return Ok(TreeNode::Gate { op, left: Box::new(left), right: Box::new(right) });
+    }
+    Ok(make_leaf(func, root, orig_inputs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DecompConfig, Model};
+
+    fn engine() -> BiDecomposer {
+        BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint))
+    }
+
+    fn all_inputs(n: usize) -> impl Iterator<Item = Vec<bool>> {
+        (0..1usize << n).map(move |m| (0..n).map(|i| m >> i & 1 == 1).collect())
+    }
+
+    #[test]
+    fn tree_of_disjoint_cubes_is_fully_decomposed() {
+        // f = (x0 x1) | (x2 x3) | (x4 x5): two OR levels, AND leaves
+        // that decompose again into single literals.
+        let mut aig = Aig::new();
+        let xs: Vec<AigLit> = (0..6).map(|i| aig.add_input(format!("x{i}"))).collect();
+        let c0 = aig.and(xs[0], xs[1]);
+        let c1 = aig.and(xs[2], xs[3]);
+        let c2 = aig.and(xs[4], xs[5]);
+        let t = aig.or(c0, c1);
+        let f = aig.or(t, c2);
+        aig.add_output("f", f);
+
+        let tree = decompose_tree(&mut engine(), &aig, 0, &TreeOptions::default()).unwrap();
+        assert!(tree.num_gates() >= 3, "at least the three cube joins: \n{}", tree.render());
+        assert_eq!(tree.max_leaf_support(), 1, "leaves must be literals:\n{}", tree.render());
+        // Exhaustive functional equivalence.
+        for v in all_inputs(6) {
+            assert_eq!(tree.eval(&v), aig.eval(&v)[0], "at {v:?}");
+        }
+        // Rebuilt AIG is equivalent too.
+        let net = tree.to_aig();
+        for v in all_inputs(6) {
+            assert_eq!(net.eval(&v)[0], aig.eval(&v)[0]);
+        }
+    }
+
+    #[test]
+    fn parity_decomposes_into_xor_tree() {
+        let mut aig = Aig::new();
+        let xs: Vec<AigLit> = (0..5).map(|i| aig.add_input(format!("x{i}"))).collect();
+        let f = aig.xor_many(&xs);
+        aig.add_output("f", f);
+        let opts = TreeOptions { ops: [GateOp::Xor, GateOp::Or, GateOp::And], ..TreeOptions::default() };
+        let tree = decompose_tree(&mut engine(), &aig, 0, &opts).unwrap();
+        assert_eq!(tree.num_gates(), 4, "n-input parity needs n-1 XORs:\n{}", tree.render());
+        assert_eq!(tree.max_leaf_support(), 1);
+        for v in all_inputs(5) {
+            assert_eq!(tree.eval(&v), aig.eval(&v)[0]);
+        }
+    }
+
+    #[test]
+    fn undecomposable_function_is_a_single_leaf() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ab = aig.and(a, b);
+        let ac = aig.and(a, c);
+        let bc = aig.and(b, c);
+        let t = aig.or(ab, ac);
+        let f = aig.or(t, bc);
+        aig.add_output("maj", f);
+        let tree = decompose_tree(&mut engine(), &aig, 0, &TreeOptions::default()).unwrap();
+        assert_eq!(tree.num_gates(), 0);
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.max_leaf_support(), 3);
+        for v in all_inputs(3) {
+            assert_eq!(tree.eval(&v), aig.eval(&v)[0]);
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let mut aig = Aig::new();
+        let xs: Vec<AigLit> = (0..8).map(|i| aig.add_input(format!("x{i}"))).collect();
+        let f = aig.xor_many(&xs);
+        aig.add_output("f", f);
+        let opts = TreeOptions {
+            ops: [GateOp::Xor, GateOp::Or, GateOp::And],
+            min_support: 2,
+            max_depth: Some(2),
+        };
+        let tree = decompose_tree(&mut engine(), &aig, 0, &opts).unwrap();
+        assert!(tree.depth() <= 2, "\n{}", tree.render());
+        for v in all_inputs(8) {
+            assert_eq!(tree.eval(&v), aig.eval(&v)[0]);
+        }
+    }
+
+    #[test]
+    fn mixed_structure_round_trips() {
+        // f = ((x0 ^ x1) & x2) | (x3 & x4): OR at top, then AND/XOR.
+        let mut aig = Aig::new();
+        let xs: Vec<AigLit> = (0..5).map(|i| aig.add_input(format!("x{i}"))).collect();
+        let x01 = aig.xor(xs[0], xs[1]);
+        let l = aig.and(x01, xs[2]);
+        let r = aig.and(xs[3], xs[4]);
+        let f = aig.or(l, r);
+        aig.add_output("f", f);
+        let tree = decompose_tree(&mut engine(), &aig, 0, &TreeOptions::default()).unwrap();
+        assert!(tree.num_gates() >= 2, "\n{}", tree.render());
+        for v in all_inputs(5) {
+            assert_eq!(tree.eval(&v), aig.eval(&v)[0]);
+        }
+        let net = tree.to_aig();
+        for v in all_inputs(5) {
+            assert_eq!(net.eval(&v)[0], aig.eval(&v)[0]);
+        }
+    }
+}

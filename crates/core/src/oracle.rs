@@ -1,0 +1,334 @@
+//! The *core formula* of the paper's formulations and the incremental
+//! SAT oracle built on it.
+//!
+//! For a completely specified function `f` (an AIG cone) and operator
+//! `<OP>`, [`CoreFormula::build`] constructs, as one AIG:
+//!
+//! * OR (formulation (2)):
+//!   `f(X) ∧ ¬f(X') ∧ ∧ᵢ((xᵢ≡x'ᵢ)∨αᵢ) ∧ ¬f(X'') ∧ ∧ᵢ((xᵢ≡x''ᵢ)∨βᵢ)`
+//! * AND: the OR core of `¬f` (duality, Section IV-B);
+//! * XOR: the four-copy rectangle-parity core
+//!   `(f(X)⊕f(X')⊕f(X'')⊕f(X''')) ∧ equalities`, with `X'''` tied to
+//!   `X''` modulo `α` and to `X'` modulo `β`.
+//!
+//! An assignment of the `α`/`β` control inputs encodes a variable
+//! partition (`(1,0)→XA`, `(0,1)→XB`, `(0,0)→XC`); the partition yields
+//! a valid bi-decomposition iff the core is **unsatisfiable** under it
+//! (Proposition 1 and its AND/XOR analogues).
+//!
+//! [`PartitionOracle`] Tseitin-encodes the core once into an
+//! incremental SAT solver and answers per-partition queries through
+//! assumptions — the engine behind the LJH baseline, seed-pair search
+//! and decomposability checks. [`sim_filter_pairs`] is the 64-bit
+//! random-simulation pre-filter that discards seed pairs with a
+//! simulated counterexample before any SAT call.
+
+use std::time::Instant;
+
+use step_aig::{Aig, AigLit};
+use step_cnf::{tseitin::AigCnf, Cnf, Lit};
+use step_sat::{SolveResult, Solver};
+
+use crate::partition::{VarClass, VarPartition};
+use crate::spec::GateOp;
+
+/// The paper's core formula as an AIG with designated control inputs.
+#[derive(Clone, Debug)]
+pub struct CoreFormula {
+    /// The formula graph.
+    pub aig: Aig,
+    /// The core: satisfiable under `(α,β)` iff that partition fails.
+    pub root: AigLit,
+    /// Support size of the decomposed function.
+    pub n: usize,
+    /// The operator this core tests.
+    pub op: GateOp,
+    /// Primary-input indices of the `X` copy.
+    pub x: Vec<usize>,
+    /// Primary-input indices of the `X'` copy (α-relaxed).
+    pub xp: Vec<usize>,
+    /// Primary-input indices of the `X''` copy (β-relaxed).
+    pub xpp: Vec<usize>,
+    /// Primary-input indices of the `X'''` copy (XOR only; empty
+    /// otherwise).
+    pub xppp: Vec<usize>,
+    /// Primary-input indices of the `α` controls.
+    pub alpha: Vec<usize>,
+    /// Primary-input indices of the `β` controls.
+    pub beta: Vec<usize>,
+}
+
+impl CoreFormula {
+    /// Builds the core for `root` of `cone` under `op`.
+    ///
+    /// `cone` must be a combinational AIG whose inputs are exactly the
+    /// support of `root` (use [`step_aig::Aig::cone`]).
+    pub fn build(cone: &Aig, root: AigLit, op: GateOp) -> Self {
+        let n = cone.num_inputs();
+        let mut aig = Aig::new();
+        let add_block = |aig: &mut Aig, tag: &str| -> Vec<usize> {
+            (0..n)
+                .map(|i| {
+                    aig.add_input(format!("{tag}{i}"));
+                    aig.num_inputs() - 1
+                })
+                .collect()
+        };
+        let x = add_block(&mut aig, "x");
+        let xp = add_block(&mut aig, "xp");
+        let xpp = add_block(&mut aig, "xpp");
+        let xppp = if op == GateOp::Xor { add_block(&mut aig, "xppp") } else { Vec::new() };
+        let alpha = add_block(&mut aig, "a");
+        let beta = add_block(&mut aig, "b");
+
+        let import_copy = |aig: &mut Aig, block: &[usize]| -> AigLit {
+            let mut map = std::collections::HashMap::new();
+            for i in 0..n {
+                map.insert(cone.input_node(i), aig.input(block[i]));
+            }
+            aig.import(cone, root, &mut map)
+        };
+        let f1 = import_copy(&mut aig, &x);
+        let f2 = import_copy(&mut aig, &xp);
+        let f3 = import_copy(&mut aig, &xpp);
+
+        let body = match op {
+            GateOp::Or => {
+                let t = aig.and(f1, !f2);
+                aig.and(t, !f3)
+            }
+            GateOp::And => {
+                // OR core of ¬f.
+                let t = aig.and(!f1, f2);
+                aig.and(t, f3)
+            }
+            GateOp::Xor => {
+                let f4 = import_copy(&mut aig, &xppp);
+                let t = aig.xor(f1, f2);
+                let u = aig.xor(f3, f4);
+                aig.xor(t, u)
+            }
+        };
+
+        let mut eqs = Vec::with_capacity(2 * n + 2 * xppp.len());
+        for i in 0..n {
+            let xi = aig.input(x[i]);
+            let xpi = aig.input(xp[i]);
+            let xppi = aig.input(xpp[i]);
+            let ai = aig.input(alpha[i]);
+            let bi = aig.input(beta[i]);
+            let e1 = aig.xnor(xi, xpi);
+            eqs.push(aig.or(e1, ai));
+            let e2 = aig.xnor(xi, xppi);
+            eqs.push(aig.or(e2, bi));
+            if op == GateOp::Xor {
+                let x3 = aig.input(xppp[i]);
+                let e3 = aig.xnor(x3, xppi);
+                eqs.push(aig.or(e3, ai));
+                let e4 = aig.xnor(x3, xpi);
+                eqs.push(aig.or(e4, bi));
+            }
+        }
+        let eq_all = aig.and_many(&eqs);
+        let core = aig.and(body, eq_all);
+
+        CoreFormula { aig, root: core, n, op, x, xp, xpp, xppp, alpha, beta }
+    }
+
+    /// All universal (`Y`) inputs: the circuit copies.
+    pub fn y_pis(&self) -> Vec<usize> {
+        let mut v = Vec::with_capacity(4 * self.n);
+        v.extend_from_slice(&self.x);
+        v.extend_from_slice(&self.xp);
+        v.extend_from_slice(&self.xpp);
+        v.extend_from_slice(&self.xppp);
+        v
+    }
+
+    /// All existential inputs: `α` then `β`.
+    pub fn e_pis(&self) -> Vec<usize> {
+        let mut v = Vec::with_capacity(2 * self.n);
+        v.extend_from_slice(&self.alpha);
+        v.extend_from_slice(&self.beta);
+        v
+    }
+}
+
+/// Incremental SAT oracle answering "is partition `p` a valid
+/// bi-decomposition partition?" through assumptions on the `α`/`β`
+/// literals of one persistent CNF.
+pub struct PartitionOracle {
+    core: CoreFormula,
+    solver: Solver,
+    alpha_lits: Vec<Lit>,
+    beta_lits: Vec<Lit>,
+    /// SAT calls made so far (statistics for the evaluation tables).
+    pub sat_calls: u64,
+}
+
+impl PartitionOracle {
+    /// Encodes `core` into a fresh incremental solver.
+    pub fn new(core: CoreFormula) -> Self {
+        let mut cnf = Cnf::new();
+        let mut enc = AigCnf::new();
+        let alpha_lits: Vec<Lit> = core
+            .alpha
+            .iter()
+            .map(|&pi| {
+                let l = Lit::pos(cnf.new_var());
+                enc.bind(core.aig.input_node(pi), l);
+                l
+            })
+            .collect();
+        let beta_lits: Vec<Lit> = core
+            .beta
+            .iter()
+            .map(|&pi| {
+                let l = Lit::pos(cnf.new_var());
+                enc.bind(core.aig.input_node(pi), l);
+                l
+            })
+            .collect();
+        let r = enc.encode(&mut cnf, &core.aig, core.root);
+        cnf.add_unit(r);
+        let mut solver = Solver::new();
+        solver.add_cnf(&cnf);
+        PartitionOracle { core, solver, alpha_lits, beta_lits, sat_calls: 0 }
+    }
+
+    /// The underlying core formula.
+    pub fn core(&self) -> &CoreFormula {
+        &self.core
+    }
+
+    /// Checks a full partition. `Some(true)` = valid bi-decomposition
+    /// partition (core UNSAT), `Some(false)` = invalid, `None` = budget
+    /// expired.
+    pub fn check(&mut self, p: &VarPartition, deadline: Option<Instant>) -> Option<bool> {
+        debug_assert_eq!(p.len(), self.core.n);
+        let alpha: Vec<bool> = p.classes().iter().map(|&c| c == VarClass::A).collect();
+        let beta: Vec<bool> = p.classes().iter().map(|&c| c == VarClass::B).collect();
+        self.check_raw(&alpha, &beta, deadline)
+    }
+
+    /// Checks raw `α`/`β` vectors (a variable may be relaxed in both
+    /// copies).
+    pub fn check_raw(
+        &mut self,
+        alpha: &[bool],
+        beta: &[bool],
+        deadline: Option<Instant>,
+    ) -> Option<bool> {
+        let assumptions: Vec<Lit> = self
+            .alpha_lits
+            .iter()
+            .zip(alpha)
+            .map(|(&l, &v)| l.xor_sign(!v))
+            .chain(self.beta_lits.iter().zip(beta).map(|(&l, &v)| l.xor_sign(!v)))
+            .collect();
+        self.solver.set_deadline(deadline);
+        self.sat_calls += 1;
+        match self.solver.solve_with_assumptions(&assumptions) {
+            SolveResult::Unsat => Some(true),
+            SolveResult::Sat => Some(false),
+            SolveResult::Unknown => None,
+        }
+    }
+
+    /// Checks the seed partition `XA = {i}`, `XB = {j}`, rest shared.
+    pub fn check_seed(&mut self, i: usize, j: usize, deadline: Option<Instant>) -> Option<bool> {
+        let mut alpha = vec![false; self.core.n];
+        let mut beta = vec![false; self.core.n];
+        alpha[i] = true;
+        beta[j] = true;
+        self.check_raw(&alpha, &beta, deadline)
+    }
+}
+
+/// 64-bit random-simulation pre-filter: returns an `n×n` matrix where
+/// `m[i][j] == false` means the seed pair `(i ∈ XA, j ∈ XB)` was
+/// refuted by a simulated counterexample (the pair cannot seed a valid
+/// partition). Surviving pairs still need the SAT oracle.
+pub fn sim_filter_pairs(
+    cone: &Aig,
+    root: AigLit,
+    op: GateOp,
+    rounds: usize,
+    seed: u64,
+) -> Vec<Vec<bool>> {
+    let n = cone.num_inputs();
+    let mut alive = vec![vec![true; n]; n];
+    let mut state = seed | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..rounds {
+        let base: Vec<u64> = (0..n).map(|_| rnd()).collect();
+        let base_words = cone.sim64(&base);
+        let f0 = cone.sim_word(root, &base_words);
+        // f with input i flipped, for every i.
+        let mut flips = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut w = base.clone();
+            w[i] = !w[i];
+            let words = cone.sim64(&w);
+            flips.push(cone.sim_word(root, &words));
+        }
+        match op {
+            GateOp::Or => {
+                // Kill (i,j) when ∃ pattern: f=1 ∧ f^i=0 ∧ f^j=0.
+                for i in 0..n {
+                    let wi = f0 & !flips[i];
+                    if wi == 0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        if i != j && alive[i][j] && wi & !flips[j] != 0 {
+                            alive[i][j] = false;
+                        }
+                    }
+                }
+            }
+            GateOp::And => {
+                // Dual: f=0 ∧ f^i=1 ∧ f^j=1.
+                for i in 0..n {
+                    let wi = !f0 & flips[i];
+                    if wi == 0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        if i != j && alive[i][j] && wi & flips[j] != 0 {
+                            alive[i][j] = false;
+                        }
+                    }
+                }
+            }
+            GateOp::Xor => {
+                // Rectangle parity: f ⊕ f^i ⊕ f^j ⊕ f^{ij} = 1 kills.
+                for i in 0..n {
+                    for j in i + 1..n {
+                        if !alive[i][j] && !alive[j][i] {
+                            continue;
+                        }
+                        let mut w = base.clone();
+                        w[i] = !w[i];
+                        w[j] = !w[j];
+                        let words = cone.sim64(&w);
+                        let fij = cone.sim_word(root, &words);
+                        if (f0 ^ flips[i] ^ flips[j] ^ fij) != 0 {
+                            alive[i][j] = false;
+                            alive[j][i] = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..n {
+        alive[i][i] = false;
+    }
+    alive
+}

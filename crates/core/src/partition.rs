@@ -1,0 +1,210 @@
+//! Variable partitions `X = {XA | XB | XC}` and their quality metrics
+//! (Definitions 2–4 of the paper).
+
+use std::fmt;
+
+/// Which block of the partition a variable belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VarClass {
+    /// Exclusive input of `fA`.
+    A,
+    /// Exclusive input of `fB`.
+    B,
+    /// Shared input (common to `fA` and `fB`).
+    C,
+}
+
+/// A partition of the `n` support variables of a function into
+/// `{XA | XB | XC}`.
+///
+/// ```
+/// use step_core::{VarClass, VarPartition};
+/// let p = VarPartition::new(vec![
+///     VarClass::A, VarClass::A, VarClass::B, VarClass::C,
+/// ]);
+/// assert_eq!(p.num_a(), 2);
+/// assert!((p.disjointness() - 0.25).abs() < 1e-9);
+/// assert!((p.balancedness() - 0.25).abs() < 1e-9);
+/// assert!(p.is_nontrivial());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct VarPartition {
+    classes: Vec<VarClass>,
+}
+
+impl VarPartition {
+    /// Creates a partition from per-variable classes.
+    pub fn new(classes: Vec<VarClass>) -> Self {
+        VarPartition { classes }
+    }
+
+    /// Builds a partition from index lists (`xa`, `xb`; the rest is
+    /// shared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or appears in both lists.
+    pub fn from_sets(n: usize, xa: &[usize], xb: &[usize]) -> Self {
+        let mut classes = vec![VarClass::C; n];
+        for &i in xa {
+            classes[i] = VarClass::A;
+        }
+        for &i in xb {
+            assert!(classes[i] != VarClass::A, "variable {i} in both XA and XB");
+            classes[i] = VarClass::B;
+        }
+        VarPartition { classes }
+    }
+
+    /// Number of support variables.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the partition is over zero variables.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The class of variable `i`.
+    pub fn class(&self, i: usize) -> VarClass {
+        self.classes[i]
+    }
+
+    /// The per-variable classes.
+    pub fn classes(&self) -> &[VarClass] {
+        &self.classes
+    }
+
+    fn count(&self, c: VarClass) -> usize {
+        self.classes.iter().filter(|&&x| x == c).count()
+    }
+
+    /// `|XA|`.
+    pub fn num_a(&self) -> usize {
+        self.count(VarClass::A)
+    }
+
+    /// `|XB|`.
+    pub fn num_b(&self) -> usize {
+        self.count(VarClass::B)
+    }
+
+    /// `|XC|` — the number of shared variables.
+    pub fn num_shared(&self) -> usize {
+        self.count(VarClass::C)
+    }
+
+    /// Indices in `XA`.
+    pub fn xa(&self) -> Vec<usize> {
+        self.indices(VarClass::A)
+    }
+
+    /// Indices in `XB`.
+    pub fn xb(&self) -> Vec<usize> {
+        self.indices(VarClass::B)
+    }
+
+    /// Indices in `XC`.
+    pub fn xc(&self) -> Vec<usize> {
+        self.indices(VarClass::C)
+    }
+
+    fn indices(&self, c: VarClass) -> Vec<usize> {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Disjointness `εD = |XC| / |X|` (Definition 2); 0 is best.
+    pub fn disjointness(&self) -> f64 {
+        if self.classes.is_empty() {
+            return 0.0;
+        }
+        self.num_shared() as f64 / self.classes.len() as f64
+    }
+
+    /// Balancedness `εB = ||XA| − |XB|| / |X|` (Definition 3); 0 is
+    /// best.
+    pub fn balancedness(&self) -> f64 {
+        if self.classes.is_empty() {
+            return 0.0;
+        }
+        (self.num_a() as f64 - self.num_b() as f64).abs() / self.classes.len() as f64
+    }
+
+    /// Weighted cost `ϖD·εD + ϖB·εB` (Definition 4).
+    pub fn cost(&self, weight_d: f64, weight_b: f64) -> f64 {
+        weight_d * self.disjointness() + weight_b * self.balancedness()
+    }
+
+    /// Integer disjointness count `|XC|` — the `k` of constraint (5).
+    pub fn k_disjoint(&self) -> usize {
+        self.num_shared()
+    }
+
+    /// Integer balance difference `||XA| − |XB||` — the `k` of (6).
+    pub fn k_balance(&self) -> usize {
+        self.num_a().abs_diff(self.num_b())
+    }
+
+    /// Integer combined objective `|XC| + ||XA| − |XB||` — the `k` of
+    /// (8) when `|XA| ≥ |XB|`.
+    pub fn k_combined(&self) -> usize {
+        self.k_disjoint() + self.k_balance()
+    }
+
+    /// Non-trivial per the paper: both `XA` and `XB` non-empty.
+    pub fn is_nontrivial(&self) -> bool {
+        self.num_a() > 0 && self.num_b() > 0
+    }
+
+    /// Swaps the roles of `XA` and `XB` (the paper's symmetry) so that
+    /// `|XA| ≥ |XB|`.
+    pub fn normalized(&self) -> VarPartition {
+        if self.num_a() >= self.num_b() {
+            return self.clone();
+        }
+        let classes = self
+            .classes
+            .iter()
+            .map(|c| match c {
+                VarClass::A => VarClass::B,
+                VarClass::B => VarClass::A,
+                VarClass::C => VarClass::C,
+            })
+            .collect();
+        VarPartition { classes }
+    }
+}
+
+impl fmt::Debug for VarPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "VarPartition {{ |XA|={}, |XB|={}, |XC|={}, εD={:.3}, εB={:.3} }}",
+            self.num_a(),
+            self.num_b(),
+            self.num_shared(),
+            self.disjointness(),
+            self.balancedness()
+        )
+    }
+}
+
+impl fmt::Display for VarPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.classes {
+            let ch = match c {
+                VarClass::A => 'A',
+                VarClass::B => 'B',
+                VarClass::C => 'C',
+            };
+            write!(f, "{ch}")?;
+        }
+        Ok(())
+    }
+}

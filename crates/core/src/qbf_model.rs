@@ -1,0 +1,273 @@
+//! The QBF formulations (Section IV) and their CEGAR solving.
+//!
+//! Formulation (4) of the paper:
+//!
+//! ```text
+//!   ∃α,β ∀X,X',X''. ¬core(α,β,X,X',X'') ∧ fN(α,β) ∧ fT(α,β)
+//! ```
+//!
+//! where `core` is [`crate::oracle::CoreFormula`], `fN` enforces
+//! non-triviality (`AtLeast1(α) ∧ AtLeast1(β)`) and `fT` the metric
+//! target:
+//!
+//! * disjointness (5):  `Σ ᾱᵢβ̄ᵢ ≤ k`
+//! * balancedness (6):  `0 ≤ Σ αᵢβ̄ᵢ − Σ ᾱᵢβᵢ ≤ k`
+//! * combined (8):      `0 ≤ Σ ᾱᵢβ̄ᵢ + Σ αᵢβ̄ᵢ − Σ ᾱᵢβᵢ ≤ k`
+//!
+//! plus the `|XA| ≥ |XB|` symmetry-breaking constraint (Section
+//! IV-A-2). The paper hands the *negated* prenex form (9) to AReQS and
+//! reads the partition from the counterexample; our CEGAR engine
+//! (`step-qbf`) solves the ∃∀ form directly and returns the witness,
+//! which is the same object.
+
+use std::time::Instant;
+
+use step_cnf::card::{
+    assert_count_dominates, assert_diff_le, at_least_one, Totalizer,
+};
+use step_cnf::{Cnf, Lit};
+use step_qbf::{ExistsForall, Qbf2Config, Qbf2Result};
+
+use crate::oracle::CoreFormula;
+use crate::partition::{VarClass, VarPartition};
+
+/// The `fT` target constraint attached to formulation (4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Target {
+    /// No target — plain existence, formulation (3) + `fN`.
+    Any,
+    /// Equation (5): at most `k` shared variables.
+    DisjointAtMost(usize),
+    /// Equation (6): `0 ≤ |XA| − |XB| ≤ k`.
+    BalancedWindow(usize),
+    /// Equation (8): `0 ≤ |XC| + |XA| − |XB| ≤ k`.
+    CombinedAtMost(usize),
+    /// The general cost function of Definition 4 with integer weights:
+    /// `0 ≤ wd·|XC| + wb·(|XA| − |XB|) ≤ k` under `|XA| ≥ |XB|`.
+    /// `Weighted { wd: 1, wb: 1, .. }` coincides with
+    /// [`Target::CombinedAtMost`]; other weights trade the two metrics
+    /// off (the paper's "user-specified cost functions").
+    Weighted {
+        /// Weight `ϖD` of the disjointness count.
+        wd: u32,
+        /// Weight `ϖB` of the balance difference.
+        wb: u32,
+        /// The bound.
+        k: usize,
+    },
+}
+
+/// Options shared by all QBF model solves.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelOptions {
+    /// Add `|XA| ≥ |XB|` (implied by the balanced/combined windows).
+    pub symmetry_breaking: bool,
+    /// Allow `(αᵢ, βᵢ) = (1,1)` (see DESIGN.md §3.3).
+    pub allow_both: bool,
+    /// Overall wall-clock deadline (e.g. the per-output budget).
+    pub deadline: Option<Instant>,
+    /// Wall-clock limit for one QBF solve — the paper's 4-second
+    /// per-call timeout.
+    pub per_call_timeout: Option<std::time::Duration>,
+    /// Conflict budget per inner SAT call.
+    pub conflicts_per_call: Option<u64>,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions {
+            symmetry_breaking: true,
+            allow_both: false,
+            deadline: None,
+            per_call_timeout: None,
+            conflicts_per_call: None,
+        }
+    }
+}
+
+impl ModelOptions {
+    /// The deadline for a QBF solve starting now: the tighter of the
+    /// global deadline and the per-call timeout.
+    fn call_deadline(&self) -> Option<Instant> {
+        let per_call = self.per_call_timeout.map(|d| Instant::now() + d);
+        match (self.deadline, per_call) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// Outcome of one QBF model solve (one point of the `k` search).
+#[derive(Clone, Debug, PartialEq)]
+pub enum QbfModelOutcome {
+    /// A partition meeting the target.
+    Partition(VarPartition),
+    /// No partition meets the target.
+    NoPartition,
+    /// Budget expired.
+    Timeout,
+}
+
+/// Statistics of a QBF model solve.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QbfModelStats {
+    /// CEGAR iterations of the underlying 2QBF engine.
+    pub cegar_iterations: u64,
+}
+
+/// Solves formulation (4) for the given target.
+pub fn solve_partition(
+    core: &CoreFormula,
+    target: Target,
+    opts: &ModelOptions,
+) -> (QbfModelOutcome, QbfModelStats) {
+    let n = core.n;
+    let matrix = !core.root; // ∀Y. ¬core
+    let mut solver =
+        ExistsForall::new(core.aig.clone(), matrix, core.e_pis(), core.y_pis());
+    solver.set_config(Qbf2Config {
+        max_iterations: None,
+        deadline: opts.call_deadline(),
+        conflicts_per_call: opts.conflicts_per_call,
+    });
+
+    let symmetry = opts.symmetry_breaking;
+    let allow_both = opts.allow_both;
+    solver.add_exists_cnf(|cnf, e| {
+        let alpha = &e[..n];
+        let beta = &e[n..];
+        // fN: non-trivial partition.
+        at_least_one(cnf, alpha);
+        at_least_one(cnf, beta);
+        if !allow_both {
+            for i in 0..n {
+                cnf.add_clause([!alpha[i], !beta[i]]);
+            }
+        }
+        // Product literals for the three pair kinds.
+        let shared: Vec<Lit> = (0..n)
+            .map(|i| define_and(cnf, !alpha[i], !beta[i]))
+            .collect();
+        let in_a: Vec<Lit> = (0..n)
+            .map(|i| define_and(cnf, alpha[i], !beta[i]))
+            .collect();
+        let in_b: Vec<Lit> = (0..n)
+            .map(|i| define_and(cnf, !alpha[i], beta[i]))
+            .collect();
+        match target {
+            Target::Any => {
+                if symmetry {
+                    let ta = Totalizer::new(cnf, &in_a);
+                    let tb = Totalizer::new(cnf, &in_b);
+                    assert_count_dominates(cnf, &ta, &tb);
+                }
+            }
+            Target::DisjointAtMost(k) => {
+                let tc = Totalizer::new(cnf, &shared);
+                tc.assert_le(cnf, k);
+                if symmetry {
+                    let ta = Totalizer::new(cnf, &in_a);
+                    let tb = Totalizer::new(cnf, &in_b);
+                    assert_count_dominates(cnf, &ta, &tb);
+                }
+            }
+            Target::BalancedWindow(k) => {
+                // 0 ≤ |XA| − |XB| ≤ k (symmetry inherent).
+                let ta = Totalizer::new(cnf, &in_a);
+                let tb = Totalizer::new(cnf, &in_b);
+                assert_count_dominates(cnf, &ta, &tb);
+                assert_diff_le(cnf, &ta, &tb, k);
+            }
+            Target::CombinedAtMost(k) => {
+                // 0 ≤ |XC| + |XA| − |XB| ≤ k; lower bound and symmetry
+                // come from |XA| ≥ |XB|.
+                let ta = Totalizer::new(cnf, &in_a);
+                let tb = Totalizer::new(cnf, &in_b);
+                assert_count_dominates(cnf, &ta, &tb);
+                let mut plus = shared.clone();
+                plus.extend_from_slice(&in_a);
+                let tplus = Totalizer::new(cnf, &plus);
+                assert_diff_le(cnf, &tplus, &tb, k);
+            }
+            Target::Weighted { wd, wb, k } => {
+                // Integer weights by literal repetition inside the
+                // totalizers: wd·|XC| + wb·|XA| − wb·|XB| ≤ k with
+                // |XA| ≥ |XB|.
+                let ta = Totalizer::new(cnf, &in_a);
+                let tb = Totalizer::new(cnf, &in_b);
+                assert_count_dominates(cnf, &ta, &tb);
+                let mut plus = Vec::new();
+                for _ in 0..wd {
+                    plus.extend_from_slice(&shared);
+                }
+                for _ in 0..wb {
+                    plus.extend_from_slice(&in_a);
+                }
+                let mut minus = Vec::new();
+                for _ in 0..wb {
+                    minus.extend_from_slice(&in_b);
+                }
+                let tplus = Totalizer::new(cnf, &plus);
+                let tminus = Totalizer::new(cnf, &minus);
+                assert_diff_le(cnf, &tplus, &tminus, k);
+            }
+        }
+    });
+
+    let outcome = match solver.solve() {
+        Qbf2Result::Valid(witness) => {
+            QbfModelOutcome::Partition(witness_to_partition(&witness, n))
+        }
+        Qbf2Result::Invalid => QbfModelOutcome::NoPartition,
+        Qbf2Result::Unknown => QbfModelOutcome::Timeout,
+    };
+    let stats = QbfModelStats { cegar_iterations: solver.stats().iterations };
+    (outcome, stats)
+}
+
+/// Defines `t ↔ a ∧ b` with a fresh variable; returns `t`.
+fn define_and(cnf: &mut Cnf, a: Lit, b: Lit) -> Lit {
+    let t = Lit::pos(cnf.new_var());
+    cnf.add_clause([!t, a]);
+    cnf.add_clause([!t, b]);
+    cnf.add_clause([t, !a, !b]);
+    t
+}
+
+/// Maps a QBF witness over `[α₀..αₙ₋₁, β₀..βₙ₋₁]` to a partition.
+/// `(1,1)` variables (possible only with `allow_both`) are assigned
+/// greedily to the smaller block.
+fn witness_to_partition(witness: &[bool], n: usize) -> VarPartition {
+    let mut classes = Vec::with_capacity(n);
+    let mut num_a = 0usize;
+    let mut num_b = 0usize;
+    let mut both = Vec::new();
+    for i in 0..n {
+        let (a, b) = (witness[i], witness[n + i]);
+        classes.push(match (a, b) {
+            (true, false) => {
+                num_a += 1;
+                VarClass::A
+            }
+            (false, true) => {
+                num_b += 1;
+                VarClass::B
+            }
+            (false, false) => VarClass::C,
+            (true, true) => {
+                both.push(i);
+                VarClass::C // placeholder, fixed below
+            }
+        });
+    }
+    for i in both {
+        if num_a <= num_b {
+            classes[i] = VarClass::A;
+            num_a += 1;
+        } else {
+            classes[i] = VarClass::B;
+            num_b += 1;
+        }
+    }
+    VarPartition::new(classes)
+}

@@ -1,0 +1,182 @@
+//! Configuration types: gate operators, models, targets, budgets and
+//! search strategies.
+
+use std::time::Duration;
+
+/// The two-input gate at the root of the bi-decomposition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum GateOp {
+    /// `f = fA ∨ fB`.
+    Or,
+    /// `f = fA ∧ fB` (the dual of OR, Section IV-B).
+    And,
+    /// `f = fA ⊕ fB`.
+    Xor,
+}
+
+impl GateOp {
+    /// All three operators, in the paper's order.
+    pub const ALL: [GateOp; 3] = [GateOp::Or, GateOp::And, GateOp::Xor];
+}
+
+impl std::fmt::Display for GateOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateOp::Or => write!(f, "OR"),
+            GateOp::And => write!(f, "AND"),
+            GateOp::Xor => write!(f, "XOR"),
+        }
+    }
+}
+
+/// Which bi-decomposition engine to run — the tools compared in the
+/// paper's evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Model {
+    /// `LJH` — the SAT-based enumeration of Lee–Jiang–Hung (DAC'08),
+    /// reimplementing the `Bi-dec` tool's best-quality mode.
+    Ljh,
+    /// `STEP-MG` — group-oriented MUS-based partitioning.
+    MusGroup,
+    /// `STEP-QD` — QBF model targeting optimum disjointness (5).
+    QbfDisjoint,
+    /// `STEP-QB` — QBF model targeting optimum balancedness (6).
+    QbfBalanced,
+    /// `STEP-QDB` — QBF model with the combined cost function (8),
+    /// `1·disjointness + 1·balancedness`.
+    QbfCombined,
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Model::Ljh => write!(f, "LJH"),
+            Model::MusGroup => write!(f, "STEP-MG"),
+            Model::QbfDisjoint => write!(f, "STEP-QD"),
+            Model::QbfBalanced => write!(f, "STEP-QB"),
+            Model::QbfCombined => write!(f, "STEP-QDB"),
+        }
+    }
+}
+
+/// Strategy for searching the optimum bound `k` (Section IV-A-6).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SearchStrategy {
+    /// Monotonically increasing `k` (the paper's best for
+    /// balancedness).
+    MonotoneIncreasing,
+    /// Monotonically decreasing `k`.
+    MonotoneDecreasing,
+    /// Dichotomic divide-and-conquer (binary search).
+    Binary,
+    /// The paper's best pipeline for disjointness: a few MD steps, a
+    /// binary-search phase, then MI to close the interval.
+    MdBinMi,
+}
+
+/// Wall-clock budgets mirroring the paper's experimental setup
+/// (4 s per QBF call, 6000 s per circuit on their hardware; scaled
+/// defaults here).
+#[derive(Clone, Copy, Debug)]
+pub struct BudgetPolicy {
+    /// Limit per QBF (CEGAR) solve.
+    pub per_qbf_call: Duration,
+    /// Limit per primary output.
+    pub per_output: Duration,
+    /// Limit per circuit.
+    pub per_circuit: Duration,
+}
+
+impl Default for BudgetPolicy {
+    fn default() -> Self {
+        BudgetPolicy {
+            per_qbf_call: Duration::from_secs(4),
+            per_output: Duration::from_secs(60),
+            per_circuit: Duration::from_secs(6000),
+        }
+    }
+}
+
+impl BudgetPolicy {
+    /// The paper's exact setup.
+    pub fn paper() -> Self {
+        BudgetPolicy {
+            per_qbf_call: Duration::from_secs(4),
+            per_output: Duration::from_secs(6000),
+            per_circuit: Duration::from_secs(6000),
+        }
+    }
+
+    /// A tight budget for smoke tests and CI.
+    pub fn quick() -> Self {
+        BudgetPolicy {
+            per_qbf_call: Duration::from_millis(500),
+            per_output: Duration::from_secs(5),
+            per_circuit: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Full engine configuration.
+#[derive(Clone, Debug)]
+pub struct DecompConfig {
+    /// Which engine/model to run.
+    pub model: Model,
+    /// Budgets.
+    pub budget: BudgetPolicy,
+    /// `k`-search strategy for the QBF models. Defaults to the paper's
+    /// best choice per metric (MD→Bin→MI for disjointness, MI for
+    /// balancedness and combined).
+    pub strategy: Option<SearchStrategy>,
+    /// Add the `|XA| ≥ |XB|` symmetry-breaking constraint (paper
+    /// Section IV-A-2). Always implied by the balancedness window.
+    pub symmetry_breaking: bool,
+    /// Permit `(αx, βx) = (1,1)` assignments (a variable usable in
+    /// either block). Off by default: it never enables an otherwise
+    /// impossible partition and shrinks the search space (see
+    /// DESIGN.md §3.3).
+    pub allow_both: bool,
+    /// Extract `fA`/`fB` (interpolation / cofactoring) after
+    /// partitioning.
+    pub extract: bool,
+    /// Verify extracted decompositions by SAT equivalence checking.
+    pub verify: bool,
+    /// Use 64-bit random simulation to pre-filter candidate seed pairs.
+    pub sim_filter: bool,
+    /// Random-simulation rounds for the pre-filter.
+    pub sim_rounds: usize,
+    /// Deterministic budget: conflicts per inner SAT call of the QBF
+    /// models (`None` = unlimited). Complements the wall-clock budgets
+    /// for reproducible Table-IV-style experiments.
+    pub conflicts_per_call: Option<u64>,
+}
+
+impl DecompConfig {
+    /// A configuration for `model` with defaults matching the paper's
+    /// experimental setup (scaled budgets).
+    pub fn new(model: Model) -> Self {
+        DecompConfig {
+            model,
+            budget: BudgetPolicy::default(),
+            strategy: None,
+            symmetry_breaking: true,
+            allow_both: false,
+            extract: true,
+            verify: true,
+            sim_filter: true,
+            sim_rounds: 4,
+            conflicts_per_call: None,
+        }
+    }
+
+    /// The effective `k`-search strategy for this configuration.
+    pub fn effective_strategy(&self) -> SearchStrategy {
+        if let Some(s) = self.strategy {
+            return s;
+        }
+        match self.model {
+            Model::QbfDisjoint => SearchStrategy::MdBinMi,
+            _ => SearchStrategy::MonotoneIncreasing,
+        }
+    }
+}

@@ -1,0 +1,729 @@
+use step_aig::{Aig, AigLit};
+use step_bdd::Manager;
+
+use crate::engine::BiDecomposer;
+use crate::extract::{extract, extract_by_quantification};
+use crate::ljh::{self, LjhOutcome};
+use crate::mg::{self, MgOutcome};
+use crate::optimum::{self, Metric};
+use crate::oracle::{sim_filter_pairs, CoreFormula, PartitionOracle};
+use crate::partition::{VarClass, VarPartition};
+use crate::qbf_model::{solve_partition, ModelOptions, QbfModelOutcome, Target};
+use crate::spec::{BudgetPolicy, DecompConfig, GateOp, Model, SearchStrategy};
+use crate::verify::verify;
+
+/// f = (a∧b) ∨ (c∧d): disjointly OR-decomposable.
+fn or_of_ands() -> (Aig, AigLit) {
+    let mut aig = Aig::new();
+    let a = aig.add_input("a");
+    let b = aig.add_input("b");
+    let c = aig.add_input("c");
+    let d = aig.add_input("d");
+    let ab = aig.and(a, b);
+    let cd = aig.and(c, d);
+    let f = aig.or(ab, cd);
+    (aig, f)
+}
+
+/// f = s∧(a∨b) = (s∧a)∨(s∧b): OR-decomposable with |XC| ≥ 1.
+fn shared_var_fn() -> (Aig, AigLit) {
+    let mut aig = Aig::new();
+    let s = aig.add_input("s");
+    let a = aig.add_input("a");
+    let b = aig.add_input("b");
+    let t = aig.or(a, b);
+    let f = aig.and(s, t);
+    (aig, f)
+}
+
+/// Majority of three: not bi-decomposable for any operator.
+fn maj3() -> (Aig, AigLit) {
+    let mut aig = Aig::new();
+    let a = aig.add_input("a");
+    let b = aig.add_input("b");
+    let c = aig.add_input("c");
+    let ab = aig.and(a, b);
+    let ac = aig.and(a, c);
+    let bc = aig.and(b, c);
+    let t = aig.or(ab, ac);
+    let f = aig.or(t, bc);
+    (aig, f)
+}
+
+/// 4-input parity: XOR-decomposable along any split.
+fn parity4() -> (Aig, AigLit) {
+    let mut aig = Aig::new();
+    let ins: Vec<AigLit> = (0..4).map(|i| aig.add_input(format!("x{i}"))).collect();
+    let f = aig.xor_many(&ins);
+    (aig, f)
+}
+
+/// Brute-force bi-decomposability of `root` under `p` using the BDD
+/// oracle.
+fn bdd_decomposable(aig: &Aig, root: AigLit, op: GateOp, p: &VarPartition) -> bool {
+    let mut m = Manager::new(aig.num_inputs());
+    let f = m.from_aig(aig, root);
+    let xa = p.xa();
+    let xb = p.xb();
+    match op {
+        GateOp::Or => m.or_decomposable(f, &xa, &xb).is_some(),
+        GateOp::And => m.and_decomposable(f, &xa, &xb).is_some(),
+        GateOp::Xor => m.xor_decomposable(f, &xa, &xb).is_some(),
+    }
+}
+
+/// Enumerates all 3^n class assignments and returns the non-trivial
+/// partitions under which `root` is decomposable (BDD ground truth).
+fn bdd_all_partitions(aig: &Aig, root: AigLit, op: GateOp) -> Vec<VarPartition> {
+    let n = aig.num_inputs();
+    let mut found = Vec::new();
+    let mut classes = vec![VarClass::C; n];
+    fn rec(
+        i: usize,
+        n: usize,
+        classes: &mut Vec<VarClass>,
+        aig: &Aig,
+        root: AigLit,
+        op: GateOp,
+        found: &mut Vec<VarPartition>,
+    ) {
+        if i == n {
+            let p = VarPartition::new(classes.clone());
+            if p.is_nontrivial() && bdd_decomposable(aig, root, op, &p) {
+                found.push(p);
+            }
+            return;
+        }
+        for c in [VarClass::A, VarClass::B, VarClass::C] {
+            classes[i] = c;
+            rec(i + 1, n, classes, aig, root, op, found);
+        }
+        classes[i] = VarClass::C;
+    }
+    rec(0, n, &mut classes, aig, root, op, &mut found);
+    found
+}
+
+// ---------------------------------------------------------------------
+// partitions & metrics
+// ---------------------------------------------------------------------
+
+#[test]
+fn partition_metrics() {
+    let p = VarPartition::from_sets(6, &[0, 1, 2], &[3]);
+    assert_eq!(p.num_a(), 3);
+    assert_eq!(p.num_b(), 1);
+    assert_eq!(p.num_shared(), 2);
+    assert!((p.disjointness() - 2.0 / 6.0).abs() < 1e-12);
+    assert!((p.balancedness() - 2.0 / 6.0).abs() < 1e-12);
+    assert!((p.cost(1.0, 1.0) - 4.0 / 6.0).abs() < 1e-12);
+    assert_eq!(p.k_disjoint(), 2);
+    assert_eq!(p.k_balance(), 2);
+    assert_eq!(p.k_combined(), 4);
+    assert!(p.is_nontrivial());
+    assert!(!VarPartition::from_sets(3, &[0], &[]).is_nontrivial());
+}
+
+#[test]
+fn partition_normalization_swaps_blocks() {
+    let p = VarPartition::from_sets(4, &[0], &[1, 2, 3]);
+    let q = p.normalized();
+    assert_eq!(q.num_a(), 3);
+    assert_eq!(q.num_b(), 1);
+    assert_eq!(p.k_balance(), q.k_balance());
+}
+
+#[test]
+fn spec_types_behave() {
+    use std::time::Duration;
+    assert_eq!(GateOp::Or.to_string(), "OR");
+    assert_eq!(GateOp::And.to_string(), "AND");
+    assert_eq!(GateOp::Xor.to_string(), "XOR");
+    assert_eq!(Model::Ljh.to_string(), "LJH");
+    assert_eq!(Model::QbfCombined.to_string(), "STEP-QDB");
+    let paper = BudgetPolicy::paper();
+    assert_eq!(paper.per_qbf_call, Duration::from_secs(4));
+    assert_eq!(paper.per_circuit, Duration::from_secs(6000));
+    // Default strategy follows the paper: MD→Bin→MI for QD, MI else.
+    let qd = DecompConfig::new(Model::QbfDisjoint);
+    assert_eq!(qd.effective_strategy(), SearchStrategy::MdBinMi);
+    let qb = DecompConfig::new(Model::QbfBalanced);
+    assert_eq!(qb.effective_strategy(), SearchStrategy::MonotoneIncreasing);
+    let mut custom = DecompConfig::new(Model::QbfDisjoint);
+    custom.strategy = Some(SearchStrategy::Binary);
+    assert_eq!(custom.effective_strategy(), SearchStrategy::Binary);
+}
+
+#[test]
+fn partition_display_and_from_sets() {
+    let p = VarPartition::from_sets(4, &[0], &[3]);
+    assert_eq!(p.to_string(), "ACCB");
+    assert_eq!(p.xa(), vec![0]);
+    assert_eq!(p.xb(), vec![3]);
+    assert_eq!(p.xc(), vec![1, 2]);
+    assert_eq!(p.class(2), VarClass::C);
+}
+
+#[test]
+#[should_panic]
+fn from_sets_rejects_overlap() {
+    let _ = VarPartition::from_sets(3, &[0, 1], &[1]);
+}
+
+#[test]
+fn weighted_metric_arithmetic() {
+    let p = VarPartition::from_sets(6, &[0, 1, 2], &[3]); // |XC|=2, diff=2
+    let m = Metric::Weighted { wd: 3, wb: 2 };
+    assert_eq!(m.k_of(&p), 3 * 2 + 2 * 2);
+    assert_eq!(m.k_max(6), (3 + 2) * 4);
+    assert_eq!(Metric::Disjointness.k_of(&p), 2);
+    assert_eq!(Metric::Balancedness.k_of(&p), 2);
+    assert_eq!(Metric::Combined.k_of(&p), 4);
+}
+
+// ---------------------------------------------------------------------
+// core formula & oracle
+// ---------------------------------------------------------------------
+
+#[test]
+fn oracle_matches_bdd_on_known_functions() {
+    for (aig, f, op) in [
+        (or_of_ands().0, or_of_ands().1, GateOp::Or),
+        (shared_var_fn().0, shared_var_fn().1, GateOp::Or),
+        (maj3().0, maj3().1, GateOp::Or),
+        (parity4().0, parity4().1, GateOp::Xor),
+    ] {
+        let core = CoreFormula::build(&aig, f, op);
+        let mut oracle = PartitionOracle::new(core);
+        // Try a handful of partitions exhaustively for n ≤ 4.
+        for p in enumerate_partitions(aig.num_inputs()) {
+            if !p.is_nontrivial() {
+                continue;
+            }
+            let want = bdd_decomposable(&aig, f, op, &p);
+            let got = oracle.check(&p, None).expect("no budget set");
+            assert_eq!(got, want, "op={op} partition={p}");
+        }
+    }
+}
+
+fn enumerate_partitions(n: usize) -> Vec<VarPartition> {
+    let mut out = Vec::new();
+    let mut total = 1usize;
+    for _ in 0..n {
+        total *= 3;
+    }
+    for mut code in 0..total {
+        let mut classes = Vec::with_capacity(n);
+        for _ in 0..n {
+            classes.push(match code % 3 {
+                0 => VarClass::A,
+                1 => VarClass::B,
+                _ => VarClass::C,
+            });
+            code /= 3;
+        }
+        out.push(VarPartition::new(classes));
+    }
+    out
+}
+
+#[test]
+fn and_core_is_dual_of_or() {
+    // f = (a∨b)∧(c∨d) is AND-decomposable disjointly.
+    let mut aig = Aig::new();
+    let a = aig.add_input("a");
+    let b = aig.add_input("b");
+    let c = aig.add_input("c");
+    let d = aig.add_input("d");
+    let ab = aig.or(a, b);
+    let cd = aig.or(c, d);
+    let f = aig.and(ab, cd);
+    let core = CoreFormula::build(&aig, f, GateOp::And);
+    let mut oracle = PartitionOracle::new(core);
+    let p = VarPartition::from_sets(4, &[0, 1], &[2, 3]);
+    assert_eq!(oracle.check(&p, None), Some(true));
+    let bad = VarPartition::from_sets(4, &[0, 2], &[1, 3]);
+    assert_eq!(oracle.check(&bad, None), Some(false));
+}
+
+#[test]
+fn sim_filter_is_sound() {
+    // Any pair the simulation kills must be refuted by the oracle too.
+    for (aig, f, op) in [
+        (maj3().0, maj3().1, GateOp::Or),
+        (or_of_ands().0, or_of_ands().1, GateOp::Or),
+        (parity4().0, parity4().1, GateOp::Xor),
+    ] {
+        let n = aig.num_inputs();
+        let alive = sim_filter_pairs(&aig, f, op, 8, 12345);
+        let core = CoreFormula::build(&aig, f, op);
+        let mut oracle = PartitionOracle::new(core);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && !alive[i][j] {
+                    assert_eq!(
+                        oracle.check_seed(i, j, None),
+                        Some(false),
+                        "sim killed a valid seed ({i},{j}) op={op}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// LJH & MG
+// ---------------------------------------------------------------------
+
+#[test]
+fn ljh_finds_disjoint_partition() {
+    let (aig, f) = or_of_ands();
+    let core = CoreFormula::build(&aig, f, GateOp::Or);
+    let mut oracle = PartitionOracle::new(core);
+    match ljh::decompose(&mut oracle, None, None) {
+        LjhOutcome::Partition(p) => {
+            assert!(p.is_nontrivial());
+            assert!(bdd_decomposable(&aig, f, GateOp::Or, &p));
+            // Greedy growth must empty XC here.
+            assert_eq!(p.num_shared(), 0, "LJH should fully grow {p}");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn ljh_rejects_undecomposable() {
+    let (aig, f) = maj3();
+    let core = CoreFormula::build(&aig, f, GateOp::Or);
+    let mut oracle = PartitionOracle::new(core);
+    assert_eq!(ljh::decompose(&mut oracle, None, None), LjhOutcome::NotDecomposable);
+}
+
+#[test]
+fn mg_finds_valid_partition() {
+    for (aig, f, op) in [
+        (or_of_ands().0, or_of_ands().1, GateOp::Or),
+        (shared_var_fn().0, shared_var_fn().1, GateOp::Or),
+        (parity4().0, parity4().1, GateOp::Xor),
+    ] {
+        let core = CoreFormula::build(&aig, f, op);
+        let mut oracle = PartitionOracle::new(core);
+        match mg::decompose(&mut oracle, None, None) {
+            MgOutcome::Partition(p) => {
+                assert!(p.is_nontrivial());
+                assert!(bdd_decomposable(&aig, f, op, &p), "op={op} partition={p}");
+            }
+            other => panic!("op={op}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn mg_rejects_undecomposable() {
+    let (aig, f) = maj3();
+    let core = CoreFormula::build(&aig, f, GateOp::Or);
+    let mut oracle = PartitionOracle::new(core);
+    assert_eq!(mg::decompose(&mut oracle, None, None), MgOutcome::NotDecomposable);
+}
+
+// ---------------------------------------------------------------------
+// QBF models
+// ---------------------------------------------------------------------
+
+#[test]
+fn qbf_any_finds_partition_or_proves_none() {
+    let (aig, f) = or_of_ands();
+    let core = CoreFormula::build(&aig, f, GateOp::Or);
+    let (outcome, stats) = solve_partition(&core, Target::Any, &ModelOptions::default());
+    match outcome {
+        QbfModelOutcome::Partition(p) => {
+            assert!(p.is_nontrivial());
+            assert!(bdd_decomposable(&aig, f, GateOp::Or, &p));
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(stats.cegar_iterations >= 1);
+
+    let (aig, f) = maj3();
+    let core = CoreFormula::build(&aig, f, GateOp::Or);
+    let (outcome, _) = solve_partition(&core, Target::Any, &ModelOptions::default());
+    assert_eq!(outcome, QbfModelOutcome::NoPartition);
+}
+
+#[test]
+fn qbf_disjointness_bound_is_respected() {
+    let (aig, f) = shared_var_fn();
+    let core = CoreFormula::build(&aig, f, GateOp::Or);
+    // k = 1: partition with at most one shared variable exists ({s}).
+    let (outcome, _) =
+        solve_partition(&core, Target::DisjointAtMost(1), &ModelOptions::default());
+    match outcome {
+        QbfModelOutcome::Partition(p) => {
+            assert!(p.num_shared() <= 1);
+            assert!(bdd_decomposable(&aig, f, GateOp::Or, &p));
+            assert_eq!(p.class(0), VarClass::C, "the shared var must be s: {p}");
+        }
+        other => panic!("{other:?}"),
+    }
+    // k = 0: no disjoint partition exists for s∧(a∨b).
+    let (outcome, _) =
+        solve_partition(&core, Target::DisjointAtMost(0), &ModelOptions::default());
+    assert_eq!(outcome, QbfModelOutcome::NoPartition);
+}
+
+#[test]
+fn qbf_balancedness_window() {
+    // f = (a∧b∧c)∨(d∧e): diff-0 partition exists with c shared.
+    let mut aig = Aig::new();
+    let ins: Vec<AigLit> = (0..5).map(|i| aig.add_input(format!("x{i}"))).collect();
+    let t1 = aig.and_many(&ins[0..3]);
+    let t2 = aig.and(ins[3], ins[4]);
+    let f = aig.or(t1, t2);
+    let core = CoreFormula::build(&aig, f, GateOp::Or);
+    let (outcome, _) =
+        solve_partition(&core, Target::BalancedWindow(0), &ModelOptions::default());
+    match outcome {
+        QbfModelOutcome::Partition(p) => {
+            assert_eq!(p.k_balance(), 0, "{p}");
+            assert!(bdd_decomposable(&aig, f, GateOp::Or, &p));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn qbf_combined_target() {
+    let (aig, f) = or_of_ands();
+    let core = CoreFormula::build(&aig, f, GateOp::Or);
+    // (ab)|(cd): k = 0 achievable (|XC|=0, |XA|=|XB|=2).
+    let (outcome, _) =
+        solve_partition(&core, Target::CombinedAtMost(0), &ModelOptions::default());
+    match outcome {
+        QbfModelOutcome::Partition(p) => {
+            assert_eq!(p.k_combined(), 0, "{p}");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// optimum search
+// ---------------------------------------------------------------------
+
+#[test]
+fn all_strategies_agree_on_optimum() {
+    let (aig, f) = shared_var_fn();
+    let core = CoreFormula::build(&aig, f, GateOp::Or);
+    let bootstrap = {
+        let mut oracle = PartitionOracle::new(core.clone());
+        match mg::decompose(&mut oracle, None, None) {
+            MgOutcome::Partition(p) => p,
+            other => panic!("{other:?}"),
+        }
+    };
+    let mut optima = Vec::new();
+    for strategy in [
+        SearchStrategy::MonotoneIncreasing,
+        SearchStrategy::MonotoneDecreasing,
+        SearchStrategy::Binary,
+        SearchStrategy::MdBinMi,
+    ] {
+        let r = optimum::search(
+            &core,
+            Metric::Disjointness,
+            Some(&bootstrap),
+            strategy,
+            &ModelOptions::default(),
+        );
+        assert!(r.proved_optimal, "{strategy:?}");
+        optima.push(Metric::Disjointness.k_of(r.partition.as_ref().unwrap()));
+    }
+    assert!(optima.windows(2).all(|w| w[0] == w[1]), "optima differ: {optima:?}");
+    assert_eq!(optima[0], 1, "s∧(a∨b) needs exactly one shared variable");
+}
+
+#[test]
+fn optimum_without_bootstrap_detects_undecomposable() {
+    let (aig, f) = maj3();
+    let core = CoreFormula::build(&aig, f, GateOp::Or);
+    let r = optimum::search(
+        &core,
+        Metric::Disjointness,
+        None,
+        SearchStrategy::MonotoneIncreasing,
+        &ModelOptions::default(),
+    );
+    assert!(r.partition.is_none());
+    assert!(r.proved_optimal);
+}
+
+// ---------------------------------------------------------------------
+// extraction & verification
+// ---------------------------------------------------------------------
+
+#[test]
+fn interpolation_extraction_or() {
+    let (aig, f) = or_of_ands();
+    let p = VarPartition::from_sets(4, &[0, 1], &[2, 3]);
+    let d = extract(&aig, f, GateOp::Or, &p, None).unwrap();
+    verify(&d, None).unwrap();
+}
+
+#[test]
+fn interpolation_extraction_or_with_shared() {
+    let (aig, f) = shared_var_fn();
+    let p = VarPartition::from_sets(3, &[1], &[2]);
+    let d = extract(&aig, f, GateOp::Or, &p, None).unwrap();
+    verify(&d, None).unwrap();
+}
+
+#[test]
+fn interpolation_extraction_and() {
+    let mut aig = Aig::new();
+    let a = aig.add_input("a");
+    let b = aig.add_input("b");
+    let c = aig.add_input("c");
+    let d_in = aig.add_input("d");
+    let ab = aig.or(a, b);
+    let cd = aig.or(c, d_in);
+    let f = aig.and(ab, cd);
+    let p = VarPartition::from_sets(4, &[0, 1], &[2, 3]);
+    let d = extract(&aig, f, GateOp::And, &p, None).unwrap();
+    verify(&d, None).unwrap();
+}
+
+#[test]
+fn cofactor_extraction_xor() {
+    let (aig, f) = parity4();
+    for (xa, xb) in [(vec![0], vec![1, 2, 3]), (vec![0, 1], vec![2, 3])] {
+        let p = VarPartition::from_sets(4, &xa, &xb);
+        let d = extract(&aig, f, GateOp::Xor, &p, None).unwrap();
+        verify(&d, None).unwrap();
+    }
+}
+
+#[test]
+fn quantification_extraction_agrees() {
+    let (aig, f) = or_of_ands();
+    let p = VarPartition::from_sets(4, &[0, 1], &[2, 3]);
+    let d = extract_by_quantification(&aig, f, GateOp::Or, &p);
+    verify(&d, None).unwrap();
+}
+
+#[test]
+fn extraction_rejects_invalid_partition() {
+    let (aig, f) = maj3();
+    let p = VarPartition::from_sets(3, &[0], &[1]);
+    assert!(matches!(
+        extract(&aig, f, GateOp::Or, &p, None),
+        Err(crate::extract::ExtractError::InvalidPartition)
+    ));
+}
+
+// ---------------------------------------------------------------------
+// engine end-to-end
+// ---------------------------------------------------------------------
+
+#[test]
+fn engine_qd_proves_optimum() {
+    let (aig_raw, f) = shared_var_fn();
+    let mut aig = aig_raw;
+    aig.add_output("f", f);
+    let mut engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
+    let r = engine.decompose_output(&aig, 0, GateOp::Or).unwrap();
+    let p = r.partition.expect("decomposable");
+    assert_eq!(p.num_shared(), 1);
+    assert!(r.proved_optimal);
+    assert!(r.solved);
+    let d = r.decomposition.expect("extraction on");
+    verify(&d, None).unwrap();
+}
+
+#[test]
+fn engine_all_models_on_multi_output_circuit() {
+    // Circuit with one decomposable, one undecomposable and one
+    // single-input output.
+    let mut aig = Aig::new();
+    let ins: Vec<AigLit> = (0..4).map(|i| aig.add_input(format!("x{i}"))).collect();
+    let ab = aig.and(ins[0], ins[1]);
+    let cd = aig.and(ins[2], ins[3]);
+    let f = aig.or(ab, cd);
+    aig.add_output("dec", f);
+    let m01 = aig.and(ins[0], ins[1]);
+    let m02 = aig.and(ins[0], ins[2]);
+    let m12 = aig.and(ins[1], ins[2]);
+    let t = aig.or(m01, m02);
+    let maj = aig.or(t, m12);
+    aig.add_output("maj", maj);
+    aig.add_output("buf", ins[3]);
+
+    for model in [
+        Model::Ljh,
+        Model::MusGroup,
+        Model::QbfDisjoint,
+        Model::QbfBalanced,
+        Model::QbfCombined,
+    ] {
+        let mut engine = BiDecomposer::new(DecompConfig::new(model));
+        let r = engine.decompose_circuit(&aig, GateOp::Or).unwrap();
+        assert_eq!(r.outputs.len(), 3, "{model}");
+        assert!(r.outputs[0].is_decomposed(), "{model} must decompose `dec`");
+        assert!(!r.outputs[1].is_decomposed(), "{model} must reject maj3");
+        assert!(!r.outputs[2].is_decomposed(), "{model}: single-input PO");
+        assert_eq!(r.num_decomposed(), 1);
+        if let Some(d) = &r.outputs[0].decomposition {
+            verify(d, None).unwrap();
+        }
+    }
+}
+
+#[test]
+fn engine_handles_sequential_circuits() {
+    let mut aig = Aig::new();
+    let a = aig.add_input("a");
+    let b = aig.add_input("b");
+    let q = aig.add_latch("q", false);
+    let t = aig.and(a, b);
+    let n = aig.or(t, q);
+    aig.set_latch_next(0, n).unwrap();
+    aig.add_output("f", q);
+    let mut engine = BiDecomposer::new(DecompConfig::new(Model::MusGroup));
+    // comb conversion: PO `f` (= q, single input) plus q$next = (a∧b)∨q.
+    let r = engine.decompose_circuit(&aig, GateOp::Or).unwrap();
+    assert_eq!(r.outputs.len(), 2);
+    assert!(r.outputs[1].is_decomposed(), "q$next = (a∧b)∨q decomposes");
+}
+
+#[test]
+fn engine_respects_output_budget() {
+    let (mut aig, f) = or_of_ands();
+    aig.add_output("f", f);
+    let mut config = DecompConfig::new(Model::QbfDisjoint);
+    config.budget = BudgetPolicy {
+        per_qbf_call: std::time::Duration::ZERO,
+        per_output: std::time::Duration::ZERO,
+        per_circuit: std::time::Duration::from_secs(60),
+    };
+    let mut engine = BiDecomposer::new(config);
+    let r = engine.decompose_output(&aig, 0, GateOp::Or).unwrap();
+    assert!(r.timed_out);
+    assert!(!r.solved);
+}
+
+#[test]
+fn engine_rejects_bad_inputs() {
+    let mut seq = Aig::new();
+    let _ = seq.add_input("a");
+    let q = seq.add_latch("q", false);
+    seq.add_output("f", q);
+    let mut engine = BiDecomposer::new(DecompConfig::new(Model::Ljh));
+    assert!(matches!(
+        engine.decompose_output(&seq, 0, GateOp::Or),
+        Err(crate::StepError::NotCombinational)
+    ));
+    let (mut aig, f) = or_of_ands();
+    aig.add_output("f", f);
+    assert!(matches!(
+        engine.decompose_output(&aig, 5, GateOp::Or),
+        Err(crate::StepError::OutputOutOfRange(5))
+    ));
+}
+
+// ---------------------------------------------------------------------
+// randomized cross-checks
+// ---------------------------------------------------------------------
+
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn build_random(ops: &[(u8, usize, usize)], n: usize) -> (Aig, AigLit) {
+        let mut aig = Aig::new();
+        let mut pool: Vec<AigLit> = (0..n).map(|i| aig.add_input(format!("x{i}"))).collect();
+        for &(op, i, j) in ops {
+            let a = pool[i % pool.len()];
+            let b = pool[j % pool.len()];
+            let v = match op {
+                0 => aig.and(a, b),
+                1 => aig.or(a, b),
+                2 => aig.xor(a, b),
+                _ => !a,
+            };
+            pool.push(v);
+        }
+        (aig, *pool.last().copied().as_ref().unwrap())
+    }
+
+    fn arb_ops() -> impl Strategy<Value = Vec<(u8, usize, usize)>> {
+        proptest::collection::vec((0u8..4, 0usize..64, 0usize..64), 3..25)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The oracle must agree with the BDD ground truth on every
+        /// partition of random 4-input functions, for all operators.
+        #[test]
+        fn oracle_vs_bdd(ops in arb_ops()) {
+            let (aig, f) = build_random(&ops, 4);
+            // Skip functions whose support shrank (cone inputs differ).
+            if aig.support(f).len() != 4 {
+                return Ok(());
+            }
+            for op in GateOp::ALL {
+                let core = CoreFormula::build(&aig, f, op);
+                let mut oracle = PartitionOracle::new(core);
+                for p in enumerate_partitions(4) {
+                    if !p.is_nontrivial() {
+                        continue;
+                    }
+                    let want = bdd_decomposable(&aig, f, op, &p);
+                    let got = oracle.check(&p, None).unwrap();
+                    prop_assert_eq!(got, want, "op={} p={}", op, p);
+                }
+            }
+        }
+
+        /// End-to-end: whenever the engine decomposes a random
+        /// function, the extraction verifies; whenever it declines,
+        /// the BDD enumeration finds no partition either.
+        #[test]
+        fn engine_sound_and_complete(ops in arb_ops()) {
+            let (mut aig, f) = build_random(&ops, 4);
+            if aig.support(f).len() != 4 {
+                return Ok(());
+            }
+            aig.add_output("f", f);
+            for op in GateOp::ALL {
+                let mut engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
+                let r = engine.decompose_output(&aig, 0, op).unwrap();
+                let ground = bdd_all_partitions(&aig, f, op);
+                match &r.partition {
+                    Some(p) => {
+                        prop_assert!(
+                            bdd_decomposable(&aig, f, op, p),
+                            "op={} invalid partition {}", op, p
+                        );
+                        let d = r.decomposition.as_ref().expect("extraction on");
+                        prop_assert!(verify(d, None).is_ok());
+                        // Optimality: no ground-truth partition has
+                        // strictly fewer shared variables.
+                        let best = ground.iter().map(|g| g.num_shared()).min().unwrap();
+                        prop_assert_eq!(
+                            p.num_shared(), best,
+                            "op={} claimed optimum {} vs true {}", op, p.num_shared(), best
+                        );
+                    }
+                    None => {
+                        prop_assert!(
+                            ground.is_empty(),
+                            "op={} engine missed {:?}", op, ground.first().map(|p| p.to_string())
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

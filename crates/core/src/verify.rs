@@ -1,0 +1,88 @@
+//! Independent verification of computed decompositions.
+//!
+//! Every decomposition can be checked on two axes:
+//!
+//! * **support**: `fA` may only depend on `XA ∪ XC` and `fB` on
+//!   `XB ∪ XC` (structural check on the AIG);
+//! * **function**: `f ≡ fA <op> fB`, checked by a SAT call on the
+//!   miter (and optionally cross-checked canonically with the BDD
+//!   package in tests).
+
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use step_cnf::tseitin::encode_standalone;
+use step_sat::{SolveResult, Solver};
+
+use crate::extract::Decomposition;
+use crate::partition::VarClass;
+
+/// Why a decomposition failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// `fA` (side `'A'`) or `fB` (side `'B'`) depends on a variable
+    /// outside its block.
+    SupportViolation {
+        /// `'A'` or `'B'`.
+        side: char,
+        /// The offending input index.
+        input: usize,
+    },
+    /// `f` and `fA <op> fB` differ (a counterexample exists).
+    NotEquivalent,
+    /// The SAT check ran out of budget.
+    Budget,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::SupportViolation { side, input } => {
+                write!(f, "f{} depends on out-of-block input {}", side.to_lowercase(), input)
+            }
+            VerifyError::NotEquivalent => write!(f, "f differs from fA <op> fB"),
+            VerifyError::Budget => write!(f, "verification budget expired"),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies a decomposition (support + SAT equivalence).
+///
+/// # Errors
+///
+/// See [`VerifyError`].
+pub fn verify(decomp: &Decomposition, deadline: Option<Instant>) -> Result<(), VerifyError> {
+    let p = &decomp.partition;
+    for &i in &decomp.aig.support(decomp.fa) {
+        if p.class(i) == VarClass::B {
+            return Err(VerifyError::SupportViolation { side: 'A', input: i });
+        }
+    }
+    for &i in &decomp.aig.support(decomp.fb) {
+        if p.class(i) == VarClass::A {
+            return Err(VerifyError::SupportViolation { side: 'B', input: i });
+        }
+    }
+
+    // Miter f ⊕ (fA <op> fB); UNSAT ⟺ equivalent.
+    let mut scratch = decomp.aig.clone();
+    let combined = match decomp.op {
+        crate::spec::GateOp::Or => scratch.or(decomp.fa, decomp.fb),
+        crate::spec::GateOp::And => scratch.and(decomp.fa, decomp.fb),
+        crate::spec::GateOp::Xor => scratch.xor(decomp.fa, decomp.fb),
+    };
+    let miter = scratch.xor(decomp.f, combined);
+    let (mut cnf, _inputs, root) = encode_standalone(&scratch, miter);
+    cnf.add_unit(root);
+    let mut solver = Solver::new();
+    solver.set_deadline(deadline);
+    solver.add_cnf(&cnf);
+    match solver.solve() {
+        SolveResult::Unsat => Ok(()),
+        SolveResult::Sat => Err(VerifyError::NotEquivalent),
+        SolveResult::Unknown => Err(VerifyError::Budget),
+    }
+}

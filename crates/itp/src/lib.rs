@@ -1,0 +1,319 @@
+//! Craig interpolation from resolution proofs (McMillan's system).
+//!
+//! Given an unsatisfiable formula whose clauses are partitioned into an
+//! *A-part* and a *B-part*, and a resolution refutation logged by
+//! `step-sat`, [`mcmillan`] constructs an interpolant `I` as an AIG:
+//!
+//! * `A → I`,
+//! * `I ∧ B` is unsatisfiable,
+//! * `I` only mentions *global* variables (those occurring in both
+//!   parts).
+//!
+//! This is the mechanism the original SAT-based bi-decomposition (Lee,
+//! Jiang, Hung — DAC 2008, the paper's reference \[16\]) uses to extract
+//! the decomposition functions `fA` and `fB`, and `step-core` uses it
+//! the same way.
+//!
+//! The construction is the standard one: an A-clause is labelled with
+//! the disjunction of its global literals, a B-clause with constant
+//! true; a resolution on an A-local pivot ORs the labels, any other
+//! pivot ANDs them; the label of the empty clause is the interpolant.
+//!
+//! # Example
+//!
+//! ```
+//! use step_cnf::Lit;
+//! use step_itp::mcmillan;
+//! use step_sat::{SolveResult, Solver};
+//!
+//! // A = (a) (¬a ∨ s), B = (¬s): interpolant over global var s.
+//! let mut solver = Solver::new();
+//! solver.enable_proof();
+//! let a = Lit::pos(solver.new_var());
+//! let s = Lit::pos(solver.new_var());
+//! let id1 = solver.add_clause([a]).unwrap();
+//! let id2 = solver.add_clause([!a, s]).unwrap();
+//! let _id3 = solver.add_clause([!s]).unwrap();
+//! assert_eq!(solver.solve(), SolveResult::Unsat);
+//! let itp = mcmillan(solver.proof().unwrap(), &[id1, id2]).unwrap();
+//! // I must be exactly `s` here: check on both assignments.
+//! let v = itp.globals.iter().position(|&g| g == s.var()).unwrap();
+//! let mut input = vec![false; itp.globals.len()];
+//! assert!(!itp.aig.eval_lit(itp.root, &input));
+//! input[v] = true;
+//! assert!(itp.aig.eval_lit(itp.root, &input));
+//! ```
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use step_aig::{Aig, AigLit};
+use step_cnf::Var;
+use step_sat::{ClauseId, Proof, ProofStep};
+
+/// Errors from interpolant construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItpError {
+    /// The proof does not derive the empty clause.
+    NoRefutation,
+    /// A chain references a step id that does not exist.
+    DanglingReference(ClauseId),
+}
+
+impl fmt::Display for ItpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ItpError::NoRefutation => write!(f, "proof has no empty-clause derivation"),
+            ItpError::DanglingReference(id) => write!(f, "chain references unknown step {id}"),
+        }
+    }
+}
+
+impl Error for ItpError {}
+
+/// An interpolant as an AIG: input `i` of [`Interpolant::aig`]
+/// corresponds to CNF variable [`Interpolant::globals`]`[i]`.
+#[derive(Debug, Clone)]
+pub struct Interpolant {
+    /// Circuit whose inputs are the global variables, in
+    /// [`Interpolant::globals`] order.
+    pub aig: Aig,
+    /// The interpolant function.
+    pub root: AigLit,
+    /// The global (shared) CNF variables, sorted.
+    pub globals: Vec<Var>,
+}
+
+impl Interpolant {
+    /// Evaluates the interpolant under an assignment of *all* CNF
+    /// variables (indexed by variable number).
+    pub fn eval_under(&self, full_assignment: &[bool]) -> bool {
+        let ins: Vec<bool> = self
+            .globals
+            .iter()
+            .map(|v| full_assignment[v.index()])
+            .collect();
+        self.aig.eval_lit(self.root, &ins)
+    }
+}
+
+/// Computes a McMillan interpolant from `proof` for the clause
+/// partition where `a_clauses` lists the [`ClauseId`]s of the A-part
+/// (all other original clauses form the B-part).
+///
+/// # Errors
+///
+/// Returns [`ItpError::NoRefutation`] if the proof lacks an empty
+/// clause, or [`ItpError::DanglingReference`] on a malformed chain.
+pub fn mcmillan(proof: &Proof, a_clauses: &[ClauseId]) -> Result<Interpolant, ItpError> {
+    let a_set: HashSet<ClauseId> = a_clauses.iter().copied().collect();
+    let empty = proof.empty_clause().ok_or(ItpError::NoRefutation)?;
+
+    // Classify variables: A-local, B-occurring, global.
+    let mut in_a: HashSet<Var> = HashSet::new();
+    let mut in_b: HashSet<Var> = HashSet::new();
+    for (id, step) in proof.steps().iter().enumerate() {
+        if let ProofStep::Original { lits } = step {
+            let target = if a_set.contains(&(id as ClauseId)) { &mut in_a } else { &mut in_b };
+            for l in lits {
+                target.insert(l.var());
+            }
+        }
+    }
+    let mut globals: Vec<Var> = in_a.intersection(&in_b).copied().collect();
+    globals.sort_unstable();
+    let global_set: HashSet<Var> = globals.iter().copied().collect();
+
+    let mut aig = Aig::new();
+    let var_input: std::collections::HashMap<Var, AigLit> = globals
+        .iter()
+        .map(|&v| (v, aig.add_input(format!("g{}", v.index()))))
+        .collect();
+
+    // Partial interpolant per proof step, computed in order (chains only
+    // reference earlier steps).
+    let mut label: Vec<AigLit> = Vec::with_capacity(proof.steps().len());
+    for (id, step) in proof.steps().iter().enumerate() {
+        let lit = match step {
+            ProofStep::Original { lits } => {
+                if a_set.contains(&(id as ClauseId)) {
+                    let gl: Vec<AigLit> = lits
+                        .iter()
+                        .filter(|l| global_set.contains(&l.var()))
+                        .map(|l| var_input[&l.var()].xor_complement(l.is_neg()))
+                        .collect();
+                    aig.or_many(&gl)
+                } else {
+                    AigLit::TRUE
+                }
+            }
+            ProofStep::Chain { start, resolutions, .. } => {
+                let get = |cid: ClauseId, label: &[AigLit]| -> Result<AigLit, ItpError> {
+                    label
+                        .get(cid as usize)
+                        .copied()
+                        .ok_or(ItpError::DanglingReference(cid))
+                };
+                let mut cur = get(*start, &label)?;
+                for &(pivot, cid) in resolutions {
+                    let other = get(cid, &label)?;
+                    let a_local = in_a.contains(&pivot) && !global_set.contains(&pivot);
+                    cur = if a_local {
+                        aig.or(cur, other)
+                    } else {
+                        aig.and(cur, other)
+                    };
+                }
+                cur
+            }
+        };
+        label.push(lit);
+    }
+
+    let root = label[empty as usize];
+    aig.add_output("interpolant", root);
+    Ok(Interpolant { aig, root, globals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use step_cnf::Lit;
+    use step_sat::{SolveResult, Solver};
+
+    /// Builds a proof-logging solver over `nvars` variables, adds the
+    /// clauses of `a` then `b`, solves (must be UNSAT) and returns the
+    /// interpolant plus the original clause lists.
+    fn interpolate(nvars: usize, a: &[Vec<i64>], b: &[Vec<i64>]) -> Interpolant {
+        let mut s = Solver::new();
+        s.enable_proof();
+        s.ensure_vars(nvars);
+        let mut a_ids = Vec::new();
+        for c in a {
+            a_ids.push(s.add_clause(c.iter().map(|&v| Lit::from_dimacs(v))).unwrap());
+        }
+        for c in b {
+            s.add_clause(c.iter().map(|&v| Lit::from_dimacs(v)));
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat, "instance must be UNSAT");
+        assert!(s.proof().unwrap().check(), "proof must replay");
+        mcmillan(s.proof().unwrap(), &a_ids).unwrap()
+    }
+
+    fn clause_sat(c: &[i64], assignment: &[bool]) -> bool {
+        c.iter().any(|&v| {
+            let val = assignment[v.unsigned_abs() as usize - 1];
+            if v > 0 {
+                val
+            } else {
+                !val
+            }
+        })
+    }
+
+    /// Exhaustively verifies the interpolant contract.
+    fn assert_interpolant(nvars: usize, a: &[Vec<i64>], b: &[Vec<i64>], itp: &Interpolant) {
+        for m in 0..1usize << nvars {
+            let assignment: Vec<bool> = (0..nvars).map(|i| m >> i & 1 == 1).collect();
+            let a_sat = a.iter().all(|c| clause_sat(c, &assignment));
+            let b_sat = b.iter().all(|c| clause_sat(c, &assignment));
+            let i_val = itp.eval_under(&assignment);
+            assert!(!(a_sat && !i_val), "A → I violated at {assignment:?}");
+            assert!(!(i_val && b_sat), "I ∧ B must be UNSAT, violated at {assignment:?}");
+        }
+    }
+
+    #[test]
+    fn textbook_example() {
+        // A = (a)(¬a ∨ s), B = (¬s ∨ b)(¬b): I over {s}.
+        let a = vec![vec![1], vec![-1, 2]];
+        let b = vec![vec![-2, 3], vec![-3]];
+        let itp = interpolate(3, &a, &b);
+        assert_eq!(itp.globals, vec![Var::new(1)]);
+        assert_interpolant(3, &a, &b, &itp);
+    }
+
+    #[test]
+    fn a_part_unsat_alone_gives_false() {
+        let a = vec![vec![1], vec![-1]];
+        let b = vec![vec![2]];
+        let itp = interpolate(2, &a, &b);
+        assert_interpolant(2, &a, &b, &itp);
+        // I must be constant false (A unsat, B sat).
+        for m in 0..4usize {
+            let assignment: Vec<bool> = (0..2).map(|i| m >> i & 1 == 1).collect();
+            assert!(!itp.eval_under(&assignment));
+        }
+    }
+
+    #[test]
+    fn b_part_unsat_alone_gives_true() {
+        let a = vec![vec![1]];
+        let b = vec![vec![2], vec![-2]];
+        let itp = interpolate(2, &a, &b);
+        assert_interpolant(2, &a, &b, &itp);
+        for m in 0..4usize {
+            let assignment: Vec<bool> = (0..2).map(|i| m >> i & 1 == 1).collect();
+            assert!(itp.eval_under(&assignment));
+        }
+    }
+
+    #[test]
+    fn shared_conflict_interpolant_depends_on_globals() {
+        // A forces s0 ∧ s1; B forbids s0 ∧ s1.
+        let a = vec![vec![1], vec![2]];
+        let b = vec![vec![-1, -2]];
+        let itp = interpolate(2, &a, &b);
+        assert_eq!(itp.globals.len(), 2);
+        assert_interpolant(2, &a, &b, &itp);
+    }
+
+    #[test]
+    fn no_refutation_is_error() {
+        let mut s = Solver::new();
+        s.enable_proof();
+        let x = Lit::pos(s.new_var());
+        let id = s.add_clause([x]).unwrap();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(matches!(
+            mcmillan(s.proof().unwrap(), &[id]),
+            Err(ItpError::NoRefutation)
+        ));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_cnf(nvars: usize, max: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
+            let lit = (1i64..=nvars as i64, proptest::bool::ANY)
+                .prop_map(|(v, neg)| if neg { -v } else { v });
+            let clause = proptest::collection::vec(lit, 1..3);
+            proptest::collection::vec(clause, 1..max)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            #[test]
+            fn interpolants_always_satisfy_contract(
+                a in arb_cnf(6, 10),
+                b in arb_cnf(6, 10),
+            ) {
+                // Only meaningful when A ∧ B is UNSAT.
+                let nvars = 6;
+                let joint_unsat = !(0..1usize << nvars).any(|m| {
+                    let assignment: Vec<bool> =
+                        (0..nvars).map(|i| m >> i & 1 == 1).collect();
+                    a.iter().all(|c| clause_sat(c, &assignment))
+                        && b.iter().all(|c| clause_sat(c, &assignment))
+                });
+                if joint_unsat {
+                    let itp = interpolate(nvars, &a, &b);
+                    assert_interpolant(nvars, &a, &b, &itp);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+use std::time::Instant;
+
+use step_aig::{Aig, AigLit};
+use step_cnf::{tseitin::AigCnf, Cnf, Lit, Var};
+use step_sat::{SolveResult, Solver};
+
+/// Result of a 2QBF solve.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Qbf2Result {
+    /// `∃E ∀U. φ` holds; the witness assigns the existential block
+    /// (indexed like the `e_pis` passed to [`ExistsForall::new`]).
+    Valid(Vec<bool>),
+    /// No assignment of the existential block works.
+    Invalid,
+    /// A budget expired first.
+    Unknown,
+}
+
+/// Budgets for a 2QBF solve, mirroring the paper's per-QBF-call limits.
+#[derive(Clone, Copy, Debug)]
+#[derive(Default)]
+pub struct Qbf2Config {
+    /// Maximum CEGAR iterations (`None` = unlimited).
+    pub max_iterations: Option<u64>,
+    /// Wall-clock deadline (`None` = unlimited).
+    pub deadline: Option<Instant>,
+    /// Conflict budget per underlying SAT call (`None` = unlimited).
+    pub conflicts_per_call: Option<u64>,
+}
+
+
+/// Counters from a CEGAR run.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Qbf2Stats {
+    /// Candidate/counterexample iterations performed.
+    pub iterations: u64,
+    /// AND nodes added to the matrix AIG by refinement cofactoring.
+    pub refinement_nodes: usize,
+}
+
+/// CEGAR solver for `∃E ∀U. φ(E,U)` with an AIG matrix.
+///
+/// See the [crate docs](crate) for the algorithm and an example.
+pub struct ExistsForall {
+    aig: Aig,
+    matrix: AigLit,
+    e_pis: Vec<usize>,
+    u_pis: Vec<usize>,
+    abs: Solver,
+    abs_cnf: Cnf,
+    abs_sent: usize,
+    abs_enc: AigCnf,
+    e_vars: Vec<Var>,
+    check: Solver,
+    check_e_vars: Vec<Var>,
+    check_u_vars: Vec<Var>,
+    config: Qbf2Config,
+    stats: Qbf2Stats,
+}
+
+impl ExistsForall {
+    /// Creates a solver for `∃E ∀U. φ` where `matrix` = φ is a literal
+    /// of `aig`, and `e_pis`/`u_pis` are the primary-input indices of
+    /// the existential and universal blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks overlap or do not cover the structural
+    /// support of `matrix`.
+    pub fn new(aig: Aig, matrix: AigLit, e_pis: Vec<usize>, u_pis: Vec<usize>) -> Self {
+        let mut covered = vec![false; aig.num_inputs()];
+        for &p in &e_pis {
+            assert!(!covered[p], "input {p} in both blocks");
+            covered[p] = true;
+        }
+        for &p in &u_pis {
+            assert!(!covered[p], "input {p} in both blocks");
+            covered[p] = true;
+        }
+        for p in aig.support(matrix) {
+            assert!(covered[p], "matrix support input {p} not quantified");
+        }
+
+        // Abstraction solver: one stable variable per existential input.
+        let mut abs = Solver::new();
+        let mut abs_cnf = Cnf::new();
+        let mut abs_enc = AigCnf::new();
+        let e_vars: Vec<Var> = e_pis
+            .iter()
+            .map(|&p| {
+                let v = abs_cnf.new_var();
+                abs.ensure_vars(abs_cnf.num_vars());
+                abs_enc.bind(aig.input_node(p), Lit::pos(v));
+                v
+            })
+            .collect();
+
+        // Check solver: ¬φ(E,U), solved under assumptions E = candidate.
+        let mut check = Solver::new();
+        let mut ccnf = Cnf::new();
+        let mut cenc = AigCnf::new();
+        let check_e_vars: Vec<Var> = e_pis
+            .iter()
+            .map(|&p| {
+                let v = ccnf.new_var();
+                cenc.bind(aig.input_node(p), Lit::pos(v));
+                v
+            })
+            .collect();
+        let check_u_vars: Vec<Var> = u_pis
+            .iter()
+            .map(|&p| {
+                let v = ccnf.new_var();
+                cenc.bind(aig.input_node(p), Lit::pos(v));
+                v
+            })
+            .collect();
+        let r = cenc.encode(&mut ccnf, &aig, matrix);
+        ccnf.add_unit(!r);
+        check.add_cnf(&ccnf);
+
+        ExistsForall {
+            aig,
+            matrix,
+            e_pis,
+            u_pis,
+            abs,
+            abs_cnf,
+            abs_sent: 0,
+            abs_enc,
+            e_vars,
+            check,
+            check_e_vars,
+            check_u_vars,
+            config: Qbf2Config::default(),
+            stats: Qbf2Stats::default(),
+        }
+    }
+
+    /// Replaces the solve budgets.
+    pub fn set_config(&mut self, config: Qbf2Config) {
+        self.config = config;
+    }
+
+    /// Counters from the CEGAR run so far.
+    pub fn stats(&self) -> Qbf2Stats {
+        self.stats
+    }
+
+    /// The abstraction-solver variable carrying existential input
+    /// `e_index` (position in the `e_pis` vector).
+    pub fn exists_var(&self, e_index: usize) -> Var {
+        self.e_vars[e_index]
+    }
+
+    /// The primary-input indices of the existential block.
+    pub fn exists_pis(&self) -> &[usize] {
+        &self.e_pis
+    }
+
+    /// The primary-input indices of the universal block.
+    pub fn forall_pis(&self) -> &[usize] {
+        &self.u_pis
+    }
+
+    /// Adds side constraints over the existential block (and fresh
+    /// auxiliary variables) to the abstraction. The closure receives a
+    /// CNF whose variable pool already contains every abstraction
+    /// variable, plus the literals of the existential inputs in block
+    /// order; clauses and variables it adds are transferred to the
+    /// abstraction solver.
+    ///
+    /// This is how STEP attaches the paper's `fN` (non-triviality) and
+    /// `fT` (cardinality target) constraints.
+    pub fn add_exists_cnf(&mut self, build: impl FnOnce(&mut Cnf, &[Lit])) {
+        let e_lits: Vec<Lit> = self.e_vars.iter().map(|&v| Lit::pos(v)).collect();
+        let before = self.abs_cnf.num_clauses();
+        build(&mut self.abs_cnf, &e_lits);
+        self.abs.ensure_vars(self.abs_cnf.num_vars());
+        for i in before..self.abs_cnf.num_clauses() {
+            self.abs.add_clause(self.abs_cnf.clauses()[i].iter().copied());
+        }
+        self.abs_sent = self.abs_cnf.num_clauses();
+    }
+
+    /// Runs CEGAR to completion (or budget exhaustion).
+    pub fn solve(&mut self) -> Qbf2Result {
+        self.abs.set_deadline(self.config.deadline);
+        self.check.set_deadline(self.config.deadline);
+        loop {
+            if let Some(max) = self.config.max_iterations {
+                if self.stats.iterations >= max {
+                    return Qbf2Result::Unknown;
+                }
+            }
+            if let Some(d) = self.config.deadline {
+                if Instant::now() >= d {
+                    return Qbf2Result::Unknown;
+                }
+            }
+            self.stats.iterations += 1;
+
+            // 1. Candidate from the abstraction.
+            self.abs.set_conflict_budget(self.config.conflicts_per_call);
+            let candidate = match self.abs.solve() {
+                SolveResult::Unsat => return Qbf2Result::Invalid,
+                SolveResult::Unknown => return Qbf2Result::Unknown,
+                SolveResult::Sat => {
+                    let m: Vec<bool> = self
+                        .e_vars
+                        .iter()
+                        .map(|&v| self.abs.model_value(Lit::pos(v)).unwrap_or(false))
+                        .collect();
+                    m
+                }
+            };
+
+            // 2. Counterexample check: ∃U. ¬φ(candidate, U)?
+            self.check.set_conflict_budget(self.config.conflicts_per_call);
+            let assumptions: Vec<Lit> = self
+                .check_e_vars
+                .iter()
+                .zip(&candidate)
+                .map(|(&v, &val)| Lit::new(v, !val))
+                .collect();
+            match self.check.solve_with_assumptions(&assumptions) {
+                SolveResult::Unsat => return Qbf2Result::Valid(candidate),
+                SolveResult::Unknown => return Qbf2Result::Unknown,
+                SolveResult::Sat => {
+                    let u_star: Vec<(usize, bool)> = self
+                        .u_pis
+                        .iter()
+                        .zip(&self.check_u_vars)
+                        .map(|(&pi, &v)| {
+                            (pi, self.check.model_value(Lit::pos(v)).unwrap_or(false))
+                        })
+                        .collect();
+                    self.refine(&u_star);
+                }
+            }
+        }
+    }
+
+    /// Adds the expansion copy `φ(E, u★)` to the abstraction.
+    fn refine(&mut self, u_star: &[(usize, bool)]) {
+        let nodes_before = self.aig.node_count();
+        let cof = self.aig.cofactor_many(self.matrix, u_star);
+        self.stats.refinement_nodes += self.aig.node_count() - nodes_before;
+        let lit = self.abs_enc.encode(&mut self.abs_cnf, &self.aig, cof);
+        self.abs_cnf.add_unit(lit);
+        self.abs.ensure_vars(self.abs_cnf.num_vars());
+        for i in self.abs_sent..self.abs_cnf.num_clauses() {
+            self.abs.add_clause(self.abs_cnf.clauses()[i].iter().copied());
+        }
+        self.abs_sent = self.abs_cnf.num_clauses();
+    }
+}

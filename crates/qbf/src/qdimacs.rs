@@ -1,0 +1,134 @@
+//! QDIMACS front-end for (up to) two quantifier blocks.
+
+use std::error::Error;
+use std::fmt;
+
+use step_aig::{Aig, AigLit};
+use step_cnf::{parse_qdimacs, Quant};
+
+use crate::cegar::{ExistsForall, Qbf2Config, Qbf2Result};
+
+/// Truth value of a closed QBF.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QbfOutcome {
+    /// The formula is true.
+    True,
+    /// The formula is false.
+    False,
+    /// A budget expired.
+    Unknown,
+}
+
+/// Error for unsupported or malformed QDIMACS input.
+#[derive(Debug)]
+pub struct QdimacsError(String);
+
+impl fmt::Display for QdimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qdimacs error: {}", self.0)
+    }
+}
+
+impl Error for QdimacsError {}
+
+/// Solves a (≤2)-block QDIMACS formula with the CEGAR engine.
+///
+/// Free (unquantified) variables are bound to an outermost existential
+/// block, per QDIMACS convention.
+///
+/// # Errors
+///
+/// Returns [`QdimacsError`] on parse failures, more than two blocks, or
+/// two blocks with the same quantifier.
+pub fn solve_qdimacs(text: &str, config: Qbf2Config) -> Result<QbfOutcome, QdimacsError> {
+    let file = parse_qdimacs(text).map_err(|e| QdimacsError(e.to_string()))?;
+    let n = file.matrix.num_vars();
+
+    // Normalize the prefix: collapse adjacent same-quantifier blocks,
+    // attach free variables to an outermost ∃ block.
+    let mut blocks: Vec<(Quant, Vec<usize>)> = Vec::new();
+    let mut quantified = vec![false; n];
+    for (q, vars) in &file.prefix {
+        for &v in vars {
+            quantified[v] = true;
+        }
+        match blocks.last_mut() {
+            Some((lq, lv)) if *lq == *q => lv.extend(vars.iter().copied()),
+            _ => blocks.push((*q, vars.clone())),
+        }
+    }
+    let free: Vec<usize> = (0..n).filter(|&v| !quantified[v]).collect();
+    if !free.is_empty() {
+        match blocks.first_mut() {
+            Some((Quant::Exists, vars)) => vars.extend(free),
+            _ => blocks.insert(0, (Quant::Exists, free)),
+        }
+    }
+    if blocks.len() > 2 {
+        return Err(QdimacsError(format!("{} quantifier blocks; only 2QBF supported", blocks.len())));
+    }
+
+    // Build the matrix AIG.
+    let mut aig = Aig::new();
+    let inputs: Vec<AigLit> = (0..n).map(|v| aig.add_input(format!("x{v}"))).collect();
+    let mut clause_lits = Vec::with_capacity(file.matrix.num_clauses());
+    for clause in file.matrix.clauses() {
+        let ls: Vec<AigLit> = clause
+            .iter()
+            .map(|l| inputs[l.var().index()].xor_complement(l.is_neg()))
+            .collect();
+        clause_lits.push(aig.or_many(&ls));
+    }
+    let matrix = aig.and_many(&clause_lits);
+
+    match blocks.as_slice() {
+        [] => {
+            // Ground formula.
+            Ok(if matrix == AigLit::TRUE { QbfOutcome::True } else { QbfOutcome::False })
+        }
+        [(Quant::Exists, evars)] => {
+            run(aig, matrix, evars.clone(), Vec::new(), config, false)
+        }
+        [(Quant::Forall, uvars)] => {
+            // ∀U.φ ≡ ¬∃U.¬φ
+            run(aig, !matrix, uvars.clone(), Vec::new(), config, true)
+        }
+        [(Quant::Exists, evars), (Quant::Forall, uvars)] => {
+            run(aig, matrix, evars.clone(), uvars.clone(), config, false)
+        }
+        [(Quant::Forall, uvars), (Quant::Exists, evars)] => {
+            // ∀U ∃E.φ ≡ ¬(∃U ∀E.¬φ)
+            run(aig, !matrix, uvars.clone(), evars.clone(), config, true)
+        }
+        _ => Err(QdimacsError("two blocks with the same quantifier".into())),
+    }
+}
+
+fn run(
+    aig: Aig,
+    matrix: AigLit,
+    e: Vec<usize>,
+    u: Vec<usize>,
+    config: Qbf2Config,
+    negate: bool,
+) -> Result<QbfOutcome, QdimacsError> {
+    let mut solver = ExistsForall::new(aig, matrix, e, u);
+    solver.set_config(config);
+    Ok(match solver.solve() {
+        Qbf2Result::Valid(_) => {
+            if negate {
+                QbfOutcome::False
+            } else {
+                QbfOutcome::True
+            }
+        }
+        Qbf2Result::Invalid => {
+            if negate {
+                QbfOutcome::True
+            } else {
+                QbfOutcome::False
+            }
+        }
+        Qbf2Result::Unknown => QbfOutcome::Unknown,
+    })
+}

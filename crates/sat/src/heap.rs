@@ -1,0 +1,96 @@
+//! Max-heap over variables ordered by VSIDS activity.
+
+use step_cnf::Var;
+
+/// Binary max-heap keyed by an external activity array.
+#[derive(Default, Debug, Clone)]
+pub(crate) struct VarHeap {
+    heap: Vec<u32>,
+    /// position of var in `heap`, or `u32::MAX` when absent
+    index: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl VarHeap {
+    pub fn new() -> Self {
+        VarHeap::default()
+    }
+
+    pub fn grow(&mut self, num_vars: usize) {
+        self.index.resize(num_vars, ABSENT);
+    }
+
+    pub fn contains(&self, v: Var) -> bool {
+        self.index[v.index()] != ABSENT
+    }
+
+    pub fn insert(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(v.index() as u32);
+        self.index[v.index()] = i as u32;
+        self.sift_up(i, act);
+    }
+
+    pub fn pop(&mut self, act: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.index[top as usize] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.index[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(Var::new(top as usize))
+    }
+
+    /// Restores heap order for `v` after its activity increased.
+    pub fn decrease_key(&mut self, v: Var, act: &[f64]) {
+        let i = self.index[v.index()];
+        if i != ABSENT {
+            self.sift_up(i as usize, act);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i] as usize] <= act[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.index[self.heap[i] as usize] = i as u32;
+        self.index[self.heap[j] as usize] = j as u32;
+    }
+}

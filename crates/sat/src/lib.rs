@@ -1,0 +1,44 @@
+//! A CDCL SAT solver.
+//!
+//! This crate plays the role of the MiniSat-class engine underneath the
+//! original STEP tool: conflict-driven clause learning with two-watched
+//! literals, VSIDS branching with phase saving, Luby restarts and
+//! LBD-based learnt-clause database reduction.
+//!
+//! Features the rest of the workspace builds on:
+//!
+//! * **incremental solving under assumptions** with failed-assumption
+//!   cores ([`Solver::solve_with_assumptions`],
+//!   [`Solver::failed_assumptions`]) — the engine behind the paper's
+//!   LJH baseline, the group-MUS bootstrap and the CEGAR 2QBF loop;
+//! * **resolution proof logging** ([`Solver::enable_proof`],
+//!   [`Proof`]) — the input to Craig interpolation (`step-itp`),
+//!   which extracts the decomposition functions `fA`/`fB`;
+//! * **budgets** (conflict budget, wall-clock deadline) mirroring the
+//!   paper's 4-second per-QBF-call and 6000-second per-circuit limits.
+//!
+//! # Example
+//!
+//! ```
+//! use step_cnf::{Lit, Var};
+//! use step_sat::{SolveResult, Solver};
+//!
+//! let mut s = Solver::new();
+//! let x = s.new_var();
+//! let y = s.new_var();
+//! s.add_clause([Lit::pos(x), Lit::pos(y)]);
+//! s.add_clause([Lit::neg(x)]);
+//! assert_eq!(s.solve(), SolveResult::Sat);
+//! assert_eq!(s.model_value(Lit::pos(y)), Some(true));
+//! ```
+
+mod heap;
+mod solver;
+
+pub mod proof;
+
+pub use proof::{ClauseId, Proof, ProofStep};
+pub use solver::{SolveResult, Solver, SolverStats};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,144 @@
+//! Resolution proof logging.
+//!
+//! When enabled with [`crate::Solver::enable_proof`], the solver records
+//! every original clause and, for every learnt clause, the *trivial
+//! resolution chain* that derives it (the sequence of reason clauses
+//! resolved during first-UIP conflict analysis, extended with the
+//! level-0 unit resolutions that conflict analysis performs
+//! implicitly). A refutation ends with a derivation of the empty
+//! clause, from which `step-itp` computes Craig interpolants.
+
+use step_cnf::{Lit, Var};
+
+/// Identifier of a clause inside a [`Proof`] (index into the steps).
+pub type ClauseId = u32;
+
+/// One step of a resolution proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// A clause added by the user through `add_clause`.
+    Original {
+        /// The clause literals as given (after de-duplication).
+        lits: Vec<Lit>,
+    },
+    /// A clause derived by a trivial resolution chain: starting from
+    /// clause `start`, resolve successively with each `(pivot, clause)`
+    /// in order. The result is `lits`.
+    Chain {
+        /// The derived clause (empty for the final refutation step).
+        lits: Vec<Lit>,
+        /// The first antecedent.
+        start: ClauseId,
+        /// Pivoted resolutions applied in order.
+        resolutions: Vec<(Var, ClauseId)>,
+    },
+}
+
+impl ProofStep {
+    /// The literals of the clause this step derives or introduces.
+    pub fn lits(&self) -> &[Lit] {
+        match self {
+            ProofStep::Original { lits } => lits,
+            ProofStep::Chain { lits, .. } => lits,
+        }
+    }
+}
+
+/// A logged resolution proof.
+#[derive(Clone, Debug, Default)]
+pub struct Proof {
+    steps: Vec<ProofStep>,
+    empty: Option<ClauseId>,
+}
+
+impl Proof {
+    pub(crate) fn new() -> Self {
+        Proof::default()
+    }
+
+    pub(crate) fn push(&mut self, step: ProofStep) -> ClauseId {
+        let id = self.steps.len() as ClauseId;
+        if step.lits().is_empty() {
+            self.empty.get_or_insert(id);
+        }
+        self.steps.push(step);
+        id
+    }
+
+    /// All proof steps; a step's [`ClauseId`] is its index here.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// The step deriving (or stating) the empty clause, if the solver
+    /// concluded UNSAT with proof logging on.
+    pub fn empty_clause(&self) -> Option<ClauseId> {
+        self.empty
+    }
+
+    /// Replays the chain of step `id` and checks it derives exactly the
+    /// recorded literals. Returns `false` on any mismatch — a debugging
+    /// aid used heavily in tests.
+    pub fn check_step(&self, id: ClauseId) -> bool {
+        match &self.steps[id as usize] {
+            ProofStep::Original { .. } => true,
+            ProofStep::Chain { lits, start, resolutions } => {
+                let mut cur: Vec<Lit> = self.steps[*start as usize].lits().to_vec();
+                for &(pivot, cid) in resolutions {
+                    let other = self.steps[cid as usize].lits();
+                    let pos = Lit::pos(pivot);
+                    let neg = Lit::neg(pivot);
+                    let cur_has_pos = cur.contains(&pos);
+                    let cur_has_neg = cur.contains(&neg);
+                    let oth_has_pos = other.contains(&pos);
+                    let oth_has_neg = other.contains(&neg);
+                    let ok = (cur_has_pos && oth_has_neg) || (cur_has_neg && oth_has_pos);
+                    if !ok {
+                        return false;
+                    }
+                    let mut next: Vec<Lit> = cur
+                        .iter()
+                        .copied()
+                        .filter(|l| l.var() != pivot)
+                        .collect();
+                    for &l in other {
+                        if l.var() != pivot && !next.contains(&l) {
+                            next.push(l);
+                        }
+                    }
+                    cur = next;
+                }
+                let mut a = cur;
+                let mut b = lits.clone();
+                a.sort_unstable();
+                a.dedup();
+                b.sort_unstable();
+                b.dedup();
+                a == b
+            }
+        }
+    }
+
+    /// Replays every step; `true` iff the whole proof is well-formed.
+    pub fn check(&self) -> bool {
+        (0..self.steps.len() as ClauseId).all(|id| self.check_step(id))
+    }
+
+    /// Emits the derived clauses in DRAT format (each learnt clause in
+    /// derivation order, `0`-terminated; the final line is the empty
+    /// clause for refutations). Chains are RUP steps, so the output is
+    /// checkable by standard DRAT checkers.
+    pub fn to_drat(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for step in &self.steps {
+            if let ProofStep::Chain { lits, .. } = step {
+                for l in lits {
+                    let _ = write!(out, "{} ", l.to_dimacs());
+                }
+                let _ = writeln!(out, "0");
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,880 @@
+use std::time::Instant;
+
+use step_cnf::{Cnf, Lit, Var};
+
+use crate::heap::VarHeap;
+use crate::proof::{ClauseId, Proof, ProofStep};
+
+/// Result of a (possibly budgeted) solver call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A model was found; read it with [`Solver::model_value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable;
+    /// read the assumption core with [`Solver::failed_assumptions`].
+    Unsat,
+    /// A conflict budget or deadline expired before an answer.
+    Unknown,
+}
+
+/// Counters exposed for benchmarking and tuning.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SolverStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnts: u64,
+}
+
+const LBOOL_TRUE: u8 = 1;
+const LBOOL_FALSE: u8 = 0;
+const LBOOL_UNDEF: u8 = 2;
+
+type ClauseRef = u32;
+const NO_REASON: ClauseRef = u32::MAX;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+    lbd: u32,
+    proof_id: ClauseId,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct VarData {
+    reason: ClauseRef,
+    level: u32,
+}
+
+/// A CDCL SAT solver with assumptions, cores, budgets and optional
+/// resolution proof logging. See the [crate docs](crate) for an
+/// overview and an example.
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<u8>,
+    vardata: Vec<VarData>,
+    polarity: Vec<bool>,
+    activity: Vec<f64>,
+    heap: VarHeap,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    ok: bool,
+    var_inc: f64,
+    cla_inc: f64,
+    seen: Vec<bool>,
+    model: Vec<u8>,
+    conflict_core: Vec<Lit>,
+    learnt_refs: Vec<ClauseRef>,
+    max_learnts: f64,
+    stats: SolverStats,
+    conflict_budget: Option<u64>,
+    deadline: Option<Instant>,
+    proof: Option<Proof>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            vardata: Vec::new(),
+            polarity: Vec::new(),
+            activity: Vec::new(),
+            heap: VarHeap::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            ok: true,
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            seen: Vec::new(),
+            model: Vec::new(),
+            conflict_core: Vec::new(),
+            learnt_refs: Vec::new(),
+            max_learnts: 8000.0,
+            stats: SolverStats::default(),
+            conflict_budget: None,
+            deadline: None,
+            proof: None,
+        }
+    }
+
+    /// Turns on resolution proof logging (must be called before any
+    /// clause is added). Disables learnt-clause minimization and
+    /// level-0 clause strengthening so recorded chains stay exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if clauses have already been added.
+    pub fn enable_proof(&mut self) {
+        assert!(
+            self.clauses.is_empty(),
+            "enable_proof must be called before adding clauses"
+        );
+        self.proof = Some(Proof::new());
+    }
+
+    /// The logged proof, if proof logging is enabled.
+    pub fn proof(&self) -> Option<&Proof> {
+        self.proof.as_ref()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.assigns.len());
+        self.assigns.push(LBOOL_UNDEF);
+        self.vardata.push(VarData { reason: NO_REASON, level: 0 });
+        self.polarity.push(false);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.grow(self.assigns.len());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Ensures variables `0..n` exist.
+    pub fn ensure_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    /// Whether the clause set is still possibly satisfiable (false once
+    /// a top-level conflict has been derived).
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// Solver statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Limits the *next* solve call to roughly `conflicts` conflicts
+    /// (`None` = unlimited). The budget is consumed per call.
+    pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
+        self.conflict_budget = conflicts;
+    }
+
+    /// Sets a wall-clock deadline for subsequent solve calls
+    /// (`None` = no deadline).
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    fn value_lit(&self, l: Lit) -> u8 {
+        let a = self.assigns[l.var().index()];
+        if a == LBOOL_UNDEF {
+            LBOOL_UNDEF
+        } else {
+            a ^ l.is_neg() as u8
+        }
+    }
+
+    fn level(&self, v: Var) -> u32 {
+        self.vardata[v.index()].level
+    }
+
+    fn reason(&self, v: Var) -> ClauseRef {
+        self.vardata[v.index()].reason
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    // ------------------------------------------------------------------
+    // clause management
+    // ------------------------------------------------------------------
+
+    /// Adds a clause. Returns the proof [`ClauseId`] when proof logging
+    /// is on (also for clauses that are simplified away), else `None`.
+    ///
+    /// Once the solver is in an unsatisfiable top-level state
+    /// ([`Solver::is_ok`] is `false`), further clauses are recorded in
+    /// the proof but otherwise ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called between `solve` calls at a non-zero decision
+    /// level (cannot happen through the public API) or if a literal
+    /// references an unallocated variable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> Option<ClauseId> {
+        assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        let mut c: Vec<Lit> = lits.into_iter().collect();
+        for l in &c {
+            assert!(l.var().index() < self.num_vars(), "unallocated variable in clause");
+        }
+        c.sort_unstable();
+        c.dedup();
+        let tautology = c.windows(2).any(|w| w[0].var() == w[1].var());
+        let pid = self
+            .proof
+            .as_mut()
+            .map(|p| p.push(ProofStep::Original { lits: c.clone() }));
+        if !self.ok || tautology {
+            return pid;
+        }
+        if self.proof.is_none() {
+            // Strengthen with the top-level assignment.
+            if c.iter().any(|&l| self.value_lit(l) == LBOOL_TRUE) {
+                return pid;
+            }
+            c.retain(|&l| self.value_lit(l) != LBOOL_FALSE);
+        }
+        if c.is_empty() {
+            // Either the clause was empty as given, or (proof off) all
+            // literals were false at level 0. In proof mode clauses are
+            // never strengthened, so an empty `c` is an empty input
+            // clause — the proof already marks it as the refutation.
+            self.ok = false;
+            return pid;
+        }
+        // Order literals: non-false first so watches are sound.
+        c.sort_by_key(|&l| self.value_lit(l) == LBOOL_FALSE);
+        let n_watchable = c.iter().filter(|&&l| self.value_lit(l) != LBOOL_FALSE).count();
+        let cref = self.alloc_clause(c, false, pid.unwrap_or(0));
+        match n_watchable {
+            0 => {
+                // Conflict at level 0.
+                self.record_level0_refutation_from(cref);
+                self.ok = false;
+            }
+            1 => {
+                let unit = self.clauses[cref as usize].lits[0];
+                if self.clauses[cref as usize].lits.len() >= 2 {
+                    self.attach(cref);
+                }
+                if self.value_lit(unit) == LBOOL_UNDEF {
+                    self.enqueue(unit, cref);
+                    if let Some(confl) = self.propagate() {
+                        self.record_level0_refutation_from(confl);
+                        self.ok = false;
+                    }
+                }
+            }
+            _ => {
+                self.attach(cref);
+            }
+        }
+        pid
+    }
+
+    /// Adds every clause of a [`Cnf`] (allocating variables as needed).
+    pub fn add_cnf(&mut self, cnf: &Cnf) {
+        self.ensure_vars(cnf.num_vars());
+        for clause in cnf.clauses() {
+            self.add_clause(clause.iter().copied());
+        }
+    }
+
+    fn alloc_clause(&mut self, lits: Vec<Lit>, learnt: bool, proof_id: ClauseId) -> ClauseRef {
+        let cref = self.clauses.len() as ClauseRef;
+        self.clauses.push(Clause { lits, learnt, deleted: false, activity: 0.0, lbd: 0, proof_id });
+        if learnt {
+            self.learnt_refs.push(cref);
+            self.stats.learnts += 1;
+        }
+        cref
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let (w0, w1) = {
+            let c = &self.clauses[cref as usize];
+            debug_assert!(c.lits.len() >= 2);
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!w0).code() as usize].push(Watcher { cref, blocker: w1 });
+        self.watches[(!w1).code() as usize].push(Watcher { cref, blocker: w0 });
+    }
+
+    // ------------------------------------------------------------------
+    // trail
+    // ------------------------------------------------------------------
+
+    fn enqueue(&mut self, l: Lit, reason: ClauseRef) {
+        debug_assert_eq!(self.value_lit(l), LBOOL_UNDEF);
+        self.assigns[l.var().index()] = (!l.is_neg()) as u8;
+        self.vardata[l.var().index()] = VarData { reason, level: self.decision_level() };
+        self.trail.push(l);
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.assigns[v.index()] = LBOOL_UNDEF;
+            self.polarity[v.index()] = !l.is_neg();
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = lim;
+    }
+
+    // ------------------------------------------------------------------
+    // propagation
+    // ------------------------------------------------------------------
+
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let ws = std::mem::take(&mut self.watches[p.code() as usize]);
+            let mut kept = Vec::with_capacity(ws.len());
+            let mut i = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.clauses[w.cref as usize].deleted {
+                    continue;
+                }
+                if self.value_lit(w.blocker) == LBOOL_TRUE {
+                    kept.push(w);
+                    continue;
+                }
+                let false_lit = !p;
+                // Normalize: watched false literal at position 1.
+                {
+                    let c = &mut self.clauses[w.cref as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[w.cref as usize].lits[0];
+                let w = Watcher { cref: w.cref, blocker: first };
+                if self.value_lit(first) == LBOOL_TRUE {
+                    kept.push(w);
+                    continue;
+                }
+                // Find a replacement watch.
+                let len = self.clauses[w.cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[w.cref as usize].lits[k];
+                    if self.value_lit(lk) != LBOOL_FALSE {
+                        self.clauses[w.cref as usize].lits.swap(1, k);
+                        self.watches[(!lk).code() as usize].push(w);
+                        continue 'watchers;
+                    }
+                }
+                // Unit or conflict.
+                kept.push(w);
+                if self.value_lit(first) == LBOOL_FALSE {
+                    conflict = Some(w.cref);
+                    self.qhead = self.trail.len();
+                    kept.extend_from_slice(&ws[i..]);
+                    break;
+                } else {
+                    self.enqueue(first, w.cref);
+                }
+            }
+            self.watches[p.code() as usize] = kept;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    // ------------------------------------------------------------------
+    // conflict analysis
+    // ------------------------------------------------------------------
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.decrease_key(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for &lr in &self.learnt_refs {
+                self.clauses[lr as usize].activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP analysis. Returns (learnt clause with asserting literal
+    /// first, backtrack level, proof chain pieces).
+    #[allow(clippy::type_complexity)]
+    fn analyze(
+        &mut self,
+        confl: ClauseRef,
+    ) -> (Vec<Lit>, u32, Option<(ClauseId, Vec<(Var, ClauseId)>)>) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var::new(0))]; // placeholder slot 0
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut cref = confl;
+        let proof_on = self.proof.is_some();
+        let chain_start = self.clauses[confl as usize].proof_id;
+        let mut resolutions: Vec<(Var, ClauseId)> = Vec::new();
+        let mut zero_vars: Vec<Var> = Vec::new();
+        let mut zero_seen = vec![false; if proof_on { self.num_vars() } else { 0 }];
+        let cur_level = self.decision_level();
+
+        loop {
+            if self.clauses[cref as usize].learnt {
+                self.bump_clause(cref);
+            }
+            let lits = self.clauses[cref as usize].lits.clone();
+            for &q in &lits {
+                // Skip the pivot literal of this resolution step.
+                if let Some(pl) = p {
+                    if q.var() == pl.var() {
+                        continue;
+                    }
+                }
+                let v = q.var();
+                if self.seen[v.index()] {
+                    continue;
+                }
+                if self.level(v) > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level(v) >= cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                } else if proof_on && !zero_seen[v.index()] {
+                    zero_seen[v.index()] = true;
+                    zero_vars.push(v);
+                }
+            }
+            // Find next literal to resolve on.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found pivot").var();
+            self.seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.expect("asserting literal");
+                break;
+            }
+            cref = self.reason(pv);
+            debug_assert_ne!(cref, NO_REASON, "non-decision must have a reason");
+            if proof_on {
+                resolutions.push((pv, self.clauses[cref as usize].proof_id));
+            }
+        }
+
+        // Learnt-clause minimization (proof off only: removing a literal
+        // is an implicit resolution we would otherwise have to log).
+        let all_vars: Vec<Var> = learnt.iter().map(|l| l.var()).collect();
+        if !proof_on {
+            let keep: Vec<bool> = learnt
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| i == 0 || !self.literal_redundant(l))
+                .collect();
+            let mut k = 0;
+            learnt.retain(|_| {
+                k += 1;
+                keep[k - 1]
+            });
+        }
+
+        // Clear `seen` for every marked literal (including minimized-away
+        // ones, which must not pollute the next analysis).
+        for v in all_vars {
+            self.seen[v.index()] = false;
+        }
+
+        // Backtrack level = highest level among learnt[1..].
+        let mut bt = 0;
+        if learnt.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level(learnt[i].var()) > self.level(learnt[max_i].var()) {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            bt = self.level(learnt[1].var());
+        }
+
+        let chain = if proof_on {
+            // Resolve away the level-0 literals dropped above.
+            let extra = self.level0_resolutions(&mut zero_seen, zero_vars);
+            let mut res = resolutions;
+            res.extend(extra);
+            Some((chain_start, res))
+        } else {
+            None
+        };
+        (learnt, bt, chain)
+    }
+
+    /// Cheap self-subsumption: `l` is redundant if its reason's other
+    /// literals are all already in the learnt clause (marked seen) or at
+    /// level 0.
+    fn literal_redundant(&self, l: Lit) -> bool {
+        let r = self.reason(l.var());
+        if r == NO_REASON {
+            return false;
+        }
+        self.clauses[r as usize].lits.iter().all(|&q| {
+            q.var() == l.var() || self.seen[q.var().index()] || self.level(q.var()) == 0
+        })
+    }
+
+    /// Appends resolutions eliminating all marked level-0 variables, in
+    /// reverse trail order. `zero_seen` marks the variables; reasons may
+    /// introduce further level-0 variables, which are marked too.
+    fn level0_resolutions(
+        &self,
+        zero_seen: &mut [bool],
+        mut worklist: Vec<Var>,
+    ) -> Vec<(Var, ClauseId)> {
+        let mut res = Vec::new();
+        if worklist.is_empty() {
+            return res;
+        }
+        let zero_end = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        for i in (0..zero_end).rev() {
+            let v = self.trail[i].var();
+            if !zero_seen[v.index()] {
+                continue;
+            }
+            let r = self.reason(v);
+            debug_assert_ne!(r, NO_REASON, "level-0 assignments always have reasons");
+            res.push((v, self.clauses[r as usize].proof_id));
+            for &q in &self.clauses[r as usize].lits {
+                if q.var() != v && !zero_seen[q.var().index()] {
+                    debug_assert_eq!(self.level(q.var()), 0);
+                    zero_seen[q.var().index()] = true;
+                    worklist.push(q.var());
+                }
+            }
+        }
+        res
+    }
+
+    /// Records the derivation of the empty clause from a conflict at
+    /// decision level 0.
+    fn record_level0_refutation_from(&mut self, confl: ClauseRef) {
+        if self.proof.is_none() {
+            return;
+        }
+        let start = self.clauses[confl as usize].proof_id;
+        let mut zero_seen = vec![false; self.num_vars()];
+        let mut worklist = Vec::new();
+        for &q in &self.clauses[confl as usize].lits {
+            if !zero_seen[q.var().index()] {
+                zero_seen[q.var().index()] = true;
+                worklist.push(q.var());
+            }
+        }
+        let res = self.level0_resolutions(&mut zero_seen, worklist);
+        if let Some(p) = self.proof.as_mut() {
+            p.push(ProofStep::Chain { lits: Vec::new(), start, resolutions: res });
+        }
+    }
+
+    /// The subset of the assumptions responsible for `p` being false
+    /// (MiniSat's `analyzeFinal`): stored into `conflict_core` as the
+    /// assumption literals themselves.
+    fn analyze_final(&mut self, p: Lit) {
+        self.conflict_core.clear();
+        self.conflict_core.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            let r = self.reason(v);
+            if r == NO_REASON {
+                // An assumption decision: trail literal is the
+                // assumption itself.
+                self.conflict_core.push(self.trail[i]);
+            } else {
+                for &q in &self.clauses[r as usize].lits {
+                    if q.var() != v && self.level(q.var()) > 0 {
+                        self.seen[q.var().index()] = true;
+                    }
+                }
+            }
+            self.seen[v.index()] = false;
+        }
+        self.seen[p.var().index()] = false;
+    }
+
+    // ------------------------------------------------------------------
+    // search
+    // ------------------------------------------------------------------
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assigns[v.index()] == LBOOL_UNDEF {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        let act = |c: &Clause| c.activity;
+        self.learnt_refs.retain(|&r| !self.clauses[r as usize].deleted);
+        let mut refs = self.learnt_refs.clone();
+        refs.sort_by(|&a, &b| {
+            let (ca, cb) = (&self.clauses[a as usize], &self.clauses[b as usize]);
+            ca.lbd
+                .cmp(&cb.lbd)
+                .then(act(cb).partial_cmp(&act(ca)).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        // Delete the worse half, keeping locked clauses and LBD <= 2.
+        let keep_from = refs.len() / 2;
+        for &r in &refs[keep_from..] {
+            let locked = {
+                let c = &self.clauses[r as usize];
+                let l0 = c.lits[0];
+                self.value_lit(l0) == LBOOL_TRUE && self.reason(l0.var()) == r
+            };
+            let c = &mut self.clauses[r as usize];
+            if !locked && c.lbd > 2 && c.lits.len() > 2 {
+                c.deleted = true;
+                self.stats.learnts -= 1;
+            }
+        }
+        self.learnt_refs.retain(|&r| !self.clauses[r as usize].deleted);
+    }
+
+    fn luby(mut x: u64) -> u64 {
+        // Luby sequence: 1 1 2 1 1 2 4 ...
+        let mut size = 1u64;
+        let mut seq = 0u64;
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        while size - 1 != x {
+            size = (size - 1) / 2;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    fn out_of_budget(&self, conflicts_at_start: u64) -> bool {
+        if let Some(b) = self.conflict_budget {
+            if self.stats.conflicts - conflicts_at_start >= b {
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Solves the current formula without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// On [`SolveResult::Unsat`], [`Solver::failed_assumptions`] holds a
+    /// subset of `assumptions` that is already contradictory with the
+    /// clauses (the *core*; empty when the clauses alone are UNSAT).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.conflict_core.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.backtrack(0);
+        if let Some(confl) = self.propagate() {
+            self.record_level0_refutation_from(confl);
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        let conflicts_at_start = self.stats.conflicts;
+        let mut restart_num = 0u64;
+        let mut restart_budget = 100 * Self::luby(restart_num);
+        let mut conflicts_this_restart = 0u64;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_restart += 1;
+                if self.decision_level() == 0 {
+                    self.record_level0_refutation_from(confl);
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt, chain) = self.analyze(confl);
+                self.backtrack(bt);
+                let pid = match (self.proof.as_mut(), chain) {
+                    (Some(p), Some((start, resolutions))) => p.push(ProofStep::Chain {
+                        lits: learnt.clone(),
+                        start,
+                        resolutions,
+                    }),
+                    _ => 0,
+                };
+                let lbd = self.compute_lbd(&learnt);
+                let asserting = learnt[0];
+                let len = learnt.len();
+                let cref = self.alloc_clause(learnt, true, pid);
+                self.clauses[cref as usize].lbd = lbd;
+                if len >= 2 {
+                    self.attach(cref);
+                }
+                self.enqueue(asserting, cref);
+                self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
+                if self.out_of_budget(conflicts_at_start) {
+                    self.backtrack(0);
+                    return SolveResult::Unknown;
+                }
+                if self.stats.learnts as f64 > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.3;
+                }
+            } else {
+                if conflicts_this_restart >= restart_budget {
+                    restart_num += 1;
+                    restart_budget = 100 * Self::luby(restart_num);
+                    conflicts_this_restart = 0;
+                    self.stats.restarts += 1;
+                    self.backtrack(0);
+                    continue;
+                }
+                // Establish assumptions as pseudo-decisions.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.value_lit(a) {
+                        LBOOL_TRUE => {
+                            // Already implied: open an empty level.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBOOL_FALSE => {
+                            self.analyze_final(a);
+                            return SolveResult::Unsat;
+                        }
+                        _ => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, NO_REASON);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        // Full model.
+                        self.model = self.assigns.clone();
+                        self.backtrack(0);
+                        return SolveResult::Sat;
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        if self.out_of_budget(conflicts_at_start) {
+                            self.backtrack(0);
+                            return SolveResult::Unknown;
+                        }
+                        let l = Lit::new(v, !self.polarity[v.index()]);
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level(l.var())).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    // ------------------------------------------------------------------
+    // results
+    // ------------------------------------------------------------------
+
+    /// The value of `l` in the last model (after [`SolveResult::Sat`]).
+    /// `None` if no model is stored or the variable is out of range.
+    pub fn model_value(&self, l: Lit) -> Option<bool> {
+        let a = *self.model.get(l.var().index())?;
+        if a == LBOOL_UNDEF {
+            None
+        } else {
+            Some((a == LBOOL_TRUE) ^ l.is_neg())
+        }
+    }
+
+    /// The last model as a `Vec<bool>` indexed by variable (unassigned
+    /// variables default to `false`).
+    pub fn model(&self) -> Vec<bool> {
+        self.model.iter().map(|&a| a == LBOOL_TRUE).collect()
+    }
+
+    /// After an UNSAT answer from [`Solver::solve_with_assumptions`],
+    /// the subset of assumption literals forming a contradictory core
+    /// (empty when the clause set alone is UNSAT).
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+}

@@ -1,0 +1,491 @@
+use step_cnf::{Cnf, Lit, Var};
+
+use crate::{SolveResult, Solver};
+
+fn lit(v: i64) -> Lit {
+    Lit::from_dimacs(v)
+}
+
+fn solver_with(nvars: usize, clauses: &[&[i64]]) -> Solver {
+    let mut s = Solver::new();
+    s.ensure_vars(nvars);
+    for c in clauses {
+        s.add_clause(c.iter().map(|&v| lit(v)));
+    }
+    s
+}
+
+/// Brute-force satisfiability of a clause list.
+fn brute_force_sat(nvars: usize, clauses: &[Vec<Lit>]) -> bool {
+    assert!(nvars <= 20);
+    (0..1usize << nvars).any(|m| {
+        let a: Vec<bool> = (0..nvars).map(|i| m >> i & 1 == 1).collect();
+        clauses.iter().all(|c| c.iter().any(|l| l.eval(&a)))
+    })
+}
+
+#[test]
+fn empty_formula_is_sat() {
+    let mut s = Solver::new();
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn empty_clause_is_unsat() {
+    let mut s = Solver::new();
+    s.add_clause([]);
+    assert!(!s.is_ok());
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn unit_propagation_only() {
+    let mut s = solver_with(3, &[&[1], &[-1, 2], &[-2, 3]]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.model_value(lit(1)), Some(true));
+    assert_eq!(s.model_value(lit(2)), Some(true));
+    assert_eq!(s.model_value(lit(3)), Some(true));
+}
+
+#[test]
+fn simple_unsat_chain() {
+    let mut s = solver_with(2, &[&[1], &[-1, 2], &[-2], &[1, 2]]);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    // Subsequent calls remain UNSAT.
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn contradictory_units() {
+    let mut s = solver_with(1, &[&[1], &[-1]]);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn tautology_is_ignored() {
+    let mut s = solver_with(2, &[&[1, -1], &[2]]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.model_value(lit(2)), Some(true));
+}
+
+#[test]
+fn duplicate_literals_are_merged() {
+    let mut s = solver_with(1, &[&[1, 1, 1]]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.model_value(lit(1)), Some(true));
+}
+
+#[test]
+fn requires_search() {
+    // XOR-ish constraints force actual branching + learning.
+    let mut s = solver_with(
+        4,
+        &[
+            &[1, 2],
+            &[-1, -2],
+            &[2, 3],
+            &[-2, -3],
+            &[3, 4],
+            &[-3, -4],
+            &[1, 4],
+        ],
+    );
+    assert_eq!(s.solve(), SolveResult::Sat);
+    let m: Vec<bool> = (1..=4).map(|v| s.model_value(lit(v)).unwrap()).collect();
+    assert!(m[0] ^ m[1]);
+    assert!(m[1] ^ m[2]);
+    assert!(m[2] ^ m[3]);
+    assert!(m[0] || m[3]);
+}
+
+/// Pigeonhole principle: n+1 pigeons into n holes — UNSAT and hard
+/// enough to exercise learning, restarts and DB reduction.
+fn pigeonhole(n: usize) -> (usize, Vec<Vec<Lit>>) {
+    let pigeons = n + 1;
+    let var = |p: usize, h: usize| Lit::pos(Var::new(p * n + h));
+    let mut clauses = Vec::new();
+    for p in 0..pigeons {
+        clauses.push((0..n).map(|h| var(p, h)).collect());
+    }
+    for h in 0..n {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                clauses.push(vec![!var(p1, h), !var(p2, h)]);
+            }
+        }
+    }
+    (pigeons * n, clauses)
+}
+
+#[test]
+fn pigeonhole_unsat() {
+    for n in 2..=5 {
+        let (nv, clauses) = pigeonhole(n);
+        let mut s = Solver::new();
+        s.ensure_vars(nv);
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat, "PHP({}) must be UNSAT", n);
+    }
+}
+
+#[test]
+fn pigeonhole_n_pigeons_sat() {
+    // n pigeons into n holes is satisfiable.
+    let n = 4;
+    let var = |p: usize, h: usize| Lit::pos(Var::new(p * n + h));
+    let mut s = Solver::new();
+    s.ensure_vars(n * n);
+    for p in 0..n {
+        s.add_clause((0..n).map(|h| var(p, h)));
+    }
+    for h in 0..n {
+        for p1 in 0..n {
+            for p2 in p1 + 1..n {
+                s.add_clause([!var(p1, h), !var(p2, h)]);
+            }
+        }
+    }
+    assert_eq!(s.solve(), SolveResult::Sat);
+    // Verify the model is a valid assignment.
+    for p in 0..n {
+        assert!((0..n).any(|h| s.model_value(var(p, h)) == Some(true)));
+    }
+}
+
+#[test]
+fn add_cnf_interface() {
+    let mut cnf = Cnf::new();
+    let x = Lit::pos(cnf.new_var());
+    let y = Lit::pos(cnf.new_var());
+    cnf.add_clause([x, y]);
+    cnf.add_clause([!x, y]);
+    let mut s = Solver::new();
+    s.add_cnf(&cnf);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.model_value(y), Some(true));
+}
+
+// ---------------------------------------------------------------------
+// assumptions & cores
+// ---------------------------------------------------------------------
+
+#[test]
+fn assumptions_flip_result() {
+    let mut s = solver_with(2, &[&[1, 2]]);
+    assert_eq!(s.solve_with_assumptions(&[lit(-1), lit(-2)]), SolveResult::Unsat);
+    assert_eq!(s.solve_with_assumptions(&[lit(-1)]), SolveResult::Sat);
+    assert_eq!(s.model_value(lit(2)), Some(true));
+    assert_eq!(s.solve_with_assumptions(&[lit(1), lit(2)]), SolveResult::Sat);
+    // Solver stays reusable.
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn failed_assumptions_form_core() {
+    // x1 -> x2, x2 -> x3, assume x1 and ¬x3: core must contain both.
+    let mut s = solver_with(4, &[&[-1, 2], &[-2, 3]]);
+    let r = s.solve_with_assumptions(&[lit(1), lit(4), lit(-3)]);
+    assert_eq!(r, SolveResult::Unsat);
+    let core = s.failed_assumptions().to_vec();
+    assert!(core.contains(&lit(1)), "core {core:?} must contain x1");
+    assert!(core.contains(&lit(-3)), "core {core:?} must contain ¬x3");
+    assert!(!core.contains(&lit(4)), "x4 is irrelevant: {core:?}");
+    // The core itself must be contradictory with the clauses.
+    let r2 = s.solve_with_assumptions(&core);
+    assert_eq!(r2, SolveResult::Unsat);
+}
+
+#[test]
+fn core_empty_when_clauses_unsat() {
+    let mut s = solver_with(2, &[&[1], &[-1]]);
+    assert_eq!(s.solve_with_assumptions(&[lit(2)]), SolveResult::Unsat);
+    assert!(s.failed_assumptions().is_empty());
+}
+
+#[test]
+fn assumption_of_level0_implied_literal() {
+    let mut s = solver_with(2, &[&[1], &[-1, 2]]);
+    assert_eq!(s.solve_with_assumptions(&[lit(1), lit(2)]), SolveResult::Sat);
+    assert_eq!(s.solve_with_assumptions(&[lit(-2)]), SolveResult::Unsat);
+    let core = s.failed_assumptions();
+    assert_eq!(core, &[lit(-2)], "already-false assumption is its own core");
+}
+
+#[test]
+fn incremental_clause_addition() {
+    let mut s = solver_with(3, &[&[1, 2]]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    s.add_clause([lit(-1)]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.model_value(lit(2)), Some(true));
+    s.add_clause([lit(-2)]);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn directly_contradictory_assumptions() {
+    let mut s = solver_with(2, &[&[1, 2]]);
+    let r = s.solve_with_assumptions(&[lit(1), lit(-1)]);
+    assert_eq!(r, SolveResult::Unsat);
+    let core = s.failed_assumptions();
+    assert!(core.contains(&lit(1)) && core.contains(&lit(-1)), "core {core:?}");
+    // Still reusable afterwards.
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn duplicate_assumptions_are_harmless() {
+    let mut s = solver_with(2, &[&[-1, 2]]);
+    assert_eq!(
+        s.solve_with_assumptions(&[lit(1), lit(1), lit(2), lit(1)]),
+        SolveResult::Sat
+    );
+    assert_eq!(s.model_value(lit(2)), Some(true));
+}
+
+#[test]
+fn many_assumptions_deep_chain() {
+    // x1 -> x2 -> ... -> x20; assume x1 and ¬x20.
+    let n = 20;
+    let mut s = Solver::new();
+    s.ensure_vars(n);
+    for i in 1..n {
+        s.add_clause([lit(-(i as i64)), lit(i as i64 + 1)]);
+    }
+    let r = s.solve_with_assumptions(&[lit(1), lit(-(n as i64))]);
+    assert_eq!(r, SolveResult::Unsat);
+    let core = s.failed_assumptions();
+    assert_eq!(core.len(), 2, "exactly the two ends: {core:?}");
+}
+
+#[test]
+fn model_is_total_over_allocated_vars() {
+    let mut s = solver_with(3, &[&[1]]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    for v in 1..=3 {
+        assert!(s.model_value(lit(v)).is_some(), "x{v} must be assigned");
+    }
+}
+
+#[test]
+fn stats_accumulate() {
+    let (nv, clauses) = pigeonhole(5);
+    let mut s = Solver::new();
+    s.ensure_vars(nv);
+    for c in &clauses {
+        s.add_clause(c.iter().copied());
+    }
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let st = s.stats();
+    assert!(st.conflicts > 0);
+    assert!(st.decisions > 0);
+    assert!(st.propagations > 0);
+}
+
+// ---------------------------------------------------------------------
+// budgets
+// ---------------------------------------------------------------------
+
+#[test]
+fn conflict_budget_reports_unknown() {
+    let (nv, clauses) = pigeonhole(7);
+    let mut s = Solver::new();
+    s.ensure_vars(nv);
+    for c in &clauses {
+        s.add_clause(c.iter().copied());
+    }
+    s.set_conflict_budget(Some(5));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    // Remove the budget: solvable again.
+    s.set_conflict_budget(None);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn deadline_in_past_reports_unknown() {
+    let (nv, clauses) = pigeonhole(6);
+    let mut s = Solver::new();
+    s.ensure_vars(nv);
+    for c in &clauses {
+        s.add_clause(c.iter().copied());
+    }
+    s.set_deadline(Some(std::time::Instant::now()));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    s.set_deadline(None);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+// ---------------------------------------------------------------------
+// proof logging
+// ---------------------------------------------------------------------
+
+#[test]
+fn proof_of_simple_unsat_checks() {
+    let mut s = Solver::new();
+    s.enable_proof();
+    s.ensure_vars(2);
+    s.add_clause([lit(1), lit(2)]);
+    s.add_clause([lit(-1), lit(2)]);
+    s.add_clause([lit(1), lit(-2)]);
+    s.add_clause([lit(-1), lit(-2)]);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let proof = s.proof().expect("proof enabled");
+    let empty = proof.empty_clause().expect("refutation recorded");
+    assert!(proof.steps()[empty as usize].lits().is_empty());
+    assert!(proof.check(), "all chains must replay");
+}
+
+#[test]
+fn proof_of_unit_conflict() {
+    let mut s = Solver::new();
+    s.enable_proof();
+    s.ensure_vars(1);
+    s.add_clause([lit(1)]);
+    s.add_clause([lit(-1)]);
+    assert!(!s.is_ok());
+    let proof = s.proof().unwrap();
+    assert!(proof.empty_clause().is_some());
+    assert!(proof.check());
+}
+
+#[test]
+fn proof_of_pigeonhole() {
+    for n in 2..=4 {
+        let (nv, clauses) = pigeonhole(n);
+        let mut s = Solver::new();
+        s.enable_proof();
+        s.ensure_vars(nv);
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let proof = s.proof().unwrap();
+        assert!(proof.empty_clause().is_some(), "PHP({n}) refutation");
+        assert!(proof.check(), "PHP({n}) proof must replay");
+    }
+}
+
+#[test]
+#[should_panic]
+fn enable_proof_after_clauses_panics() {
+    let mut s = solver_with(1, &[&[1]]);
+    s.enable_proof();
+}
+
+#[test]
+fn drat_output_ends_with_empty_clause() {
+    let mut s = Solver::new();
+    s.enable_proof();
+    s.ensure_vars(2);
+    s.add_clause([lit(1), lit(2)]);
+    s.add_clause([lit(-1), lit(2)]);
+    s.add_clause([lit(1), lit(-2)]);
+    s.add_clause([lit(-1), lit(-2)]);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let drat = s.proof().unwrap().to_drat();
+    let lines: Vec<&str> = drat.lines().collect();
+    assert!(!lines.is_empty());
+    assert_eq!(*lines.last().unwrap(), "0", "refutation ends in the empty clause");
+    for line in &lines {
+        assert!(line.ends_with('0'), "every DRAT line is 0-terminated: {line}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// randomized cross-checking
+// ---------------------------------------------------------------------
+
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_clauses(nvars: usize) -> impl Strategy<Value = Vec<Vec<Lit>>> {
+        let clause = proptest::collection::vec(
+            (0..nvars, proptest::bool::ANY).prop_map(|(v, neg)| Lit::new(Var::new(v), neg)),
+            1..4,
+        );
+        proptest::collection::vec(clause, 1..40)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn matches_brute_force(clauses in arb_clauses(8)) {
+            let want = brute_force_sat(8, &clauses);
+            let mut s = Solver::new();
+            s.ensure_vars(8);
+            for c in &clauses {
+                s.add_clause(c.iter().copied());
+            }
+            let got = s.solve();
+            prop_assert_eq!(
+                got,
+                if want { SolveResult::Sat } else { SolveResult::Unsat }
+            );
+            if got == SolveResult::Sat {
+                let m = s.model();
+                for c in &clauses {
+                    prop_assert!(c.iter().any(|l| l.eval(&m)), "model violates {c:?}");
+                }
+            }
+        }
+
+        #[test]
+        fn unsat_proofs_replay(clauses in arb_clauses(6)) {
+            if !brute_force_sat(6, &clauses) {
+                let mut s = Solver::new();
+                s.enable_proof();
+                s.ensure_vars(6);
+                for c in &clauses {
+                    s.add_clause(c.iter().copied());
+                }
+                prop_assert_eq!(s.solve(), SolveResult::Unsat);
+                let proof = s.proof().unwrap();
+                prop_assert!(proof.empty_clause().is_some());
+                prop_assert!(proof.check());
+            }
+        }
+
+        #[test]
+        fn cores_are_sound(clauses in arb_clauses(6), n_assume in 1usize..5) {
+            let mut s = Solver::new();
+            s.ensure_vars(6);
+            for c in &clauses {
+                s.add_clause(c.iter().copied());
+            }
+            let assumptions: Vec<Lit> =
+                (0..n_assume).map(|i| Lit::new(Var::new(i), i % 2 == 0)).collect();
+            if s.solve_with_assumptions(&assumptions) == SolveResult::Unsat {
+                let core = s.failed_assumptions().to_vec();
+                for l in &core {
+                    prop_assert!(assumptions.contains(l), "core lit {l} not assumed");
+                }
+                // Core assumptions alone must still be UNSAT.
+                prop_assert_eq!(s.solve_with_assumptions(&core), SolveResult::Unsat);
+            }
+        }
+
+        #[test]
+        fn incremental_equals_oneshot(clauses in arb_clauses(7)) {
+            // Adding clauses one by one with solves in between must agree
+            // with a fresh solver at every step.
+            let mut inc = Solver::new();
+            inc.ensure_vars(7);
+            for (i, c) in clauses.iter().enumerate() {
+                inc.add_clause(c.iter().copied());
+                if i % 3 == 0 {
+                    let want = brute_force_sat(7, &clauses[..=i]);
+                    let got = inc.solve();
+                    prop_assert_eq!(
+                        got,
+                        if want { SolveResult::Sat } else { SolveResult::Unsat },
+                        "step {}", i
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Multi-level logic synthesis by recursive bi-decomposition — the use
+//! case the paper's introduction motivates: a complex PO function is
+//! iteratively split with two-input OR/AND/XOR gates until the leaves
+//! are simple, yielding a gate network.
+//!
+//! Run with: `cargo run --release --example multilevel_synthesis`
+
+use qbf_bidec::circuits::generators;
+use qbf_bidec::step::{decompose_tree, BiDecomposer, DecompConfig, Model, TreeOptions};
+
+fn main() {
+    // An 8-cube DNF over 12 variables with block structure.
+    let mut aig = qbf_bidec::aig::Aig::new();
+    let xs: Vec<_> = (0..12).map(|i| aig.add_input(format!("x{i}"))).collect();
+    let mut cubes = Vec::new();
+    for b in 0..4 {
+        let lo = 3 * b;
+        let c1 = aig.and(xs[lo], xs[lo + 1]);
+        let c2 = aig.and(c1, xs[lo + 2]);
+        cubes.push(c2);
+    }
+    let f = aig.or_many(&cubes);
+    aig.add_output("f", f);
+
+    let mut engine = BiDecomposer::new(DecompConfig::new(Model::QbfCombined));
+    let tree = decompose_tree(&mut engine, &aig, 0, &TreeOptions::default())
+        .expect("engine run");
+
+    println!("original: single PO over {} inputs, {} AND nodes", 12, aig.and_count());
+    println!(
+        "network:  {} two-input gates, {} leaves, depth {}, max leaf support {}",
+        tree.num_gates(),
+        tree.num_leaves(),
+        tree.depth(),
+        tree.max_leaf_support()
+    );
+    println!("\nstructure:\n{}", tree.render());
+
+    // Rebuild and spot-check equivalence.
+    let net = tree.to_aig();
+    let mut mismatch = 0;
+    for m in 0..1u32 << 12 {
+        let v: Vec<bool> = (0..12).map(|i| m >> i & 1 == 1).collect();
+        if net.eval(&v)[0] != aig.eval(&v)[0] {
+            mismatch += 1;
+        }
+    }
+    assert_eq!(mismatch, 0);
+    println!("rebuilt network verified equivalent on all 4096 input patterns");
+
+    // The adder carry chain is a harder customer: leaves stay wider.
+    let adder = generators::ripple_adder(4);
+    let cout = adder.outputs().iter().position(|o| o.name() == "cout").unwrap();
+    let tree = decompose_tree(&mut engine, &adder, cout, &TreeOptions::default())
+        .expect("engine run");
+    println!(
+        "\n4-bit adder carry-out: {} gates, max leaf support {} (majority cores resist \
+         bi-decomposition)",
+        tree.num_gates(),
+        tree.max_leaf_support()
+    );
+}

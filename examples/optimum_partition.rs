@@ -1,0 +1,71 @@
+//! Compares all five models of the paper (LJH, STEP-MG, STEP-QD,
+//! STEP-QB, STEP-QDB) on one function, showing why the QBF models
+//! matter: the heuristics return *some* valid partition, the QBF
+//! models return partitions with **optimum** disjointness /
+//! balancedness / combined cost, and prove it.
+//!
+//! Run with: `cargo run --release --example optimum_partition`
+
+use qbf_bidec::aig::{Aig, AigLit};
+use qbf_bidec::step::{BiDecomposer, DecompConfig, GateOp, Model};
+
+/// A function with many valid OR-partitions of different quality:
+/// f = (s ∧ x0 ∧ x1 ∧ x2 ∧ x3) ∨ (s ∧ x4 ∧ x5) ∨ (x0 ∧ x1).
+fn build() -> Aig {
+    let mut aig = Aig::new();
+    let s = aig.add_input("s");
+    let xs: Vec<AigLit> = (0..6).map(|i| aig.add_input(format!("x{i}"))).collect();
+    let big = aig.and_many(&xs[0..4]);
+    let c1 = aig.and(s, big);
+    let small = aig.and(xs[4], xs[5]);
+    let c2 = aig.and(s, small);
+    let extra = aig.and(xs[0], xs[1]);
+    let t = aig.or(c1, c2);
+    let f = aig.or(t, extra);
+    aig.add_output("f", f);
+    aig
+}
+
+fn main() {
+    let aig = build();
+    println!(
+        "f(s, x0..x5) = (s·x0·x1·x2·x3) ∨ (s·x4·x5) ∨ (x0·x1), {} inputs\n",
+        aig.num_inputs()
+    );
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "model", "|XA|", "|XB|", "|XC|", "εD", "εB", "εD+εB", "optimal?", "QBFcalls"
+    );
+    for model in [
+        Model::Ljh,
+        Model::MusGroup,
+        Model::QbfDisjoint,
+        Model::QbfBalanced,
+        Model::QbfCombined,
+    ] {
+        let mut engine = BiDecomposer::new(DecompConfig::new(model));
+        let r = engine
+            .decompose_output(&aig, 0, GateOp::Or)
+            .expect("engine run");
+        match &r.partition {
+            Some(p) => println!(
+                "{:<10} {:>6} {:>6} {:>6} {:>8.3} {:>8.3} {:>8.3} {:>9} {:>9}",
+                model.to_string(),
+                p.num_a(),
+                p.num_b(),
+                p.num_shared(),
+                p.disjointness(),
+                p.balancedness(),
+                p.disjointness() + p.balancedness(),
+                r.proved_optimal,
+                r.qbf_calls
+            ),
+            None => println!("{model:<10} not decomposable"),
+        }
+    }
+    println!(
+        "\nSTEP-QD minimizes εD, STEP-QB minimizes εB, STEP-QDB minimizes the sum \
+         (Definition 4 with ϖD = ϖB = 1); all three prove optimality, the \
+         heuristics cannot."
+    );
+}

@@ -1,0 +1,47 @@
+//! Quickstart: decompose one function with the QBF model and inspect
+//! the result.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use qbf_bidec::aig::Aig;
+use qbf_bidec::step::{verify, BiDecomposer, DecompConfig, GateOp, Model};
+
+fn main() {
+    // f(a,b,c,d,s) = (s ∧ a ∧ b) ∨ (s ∧ c ∧ d): OR-decomposable with
+    // exactly one shared variable (s).
+    let mut aig = Aig::new();
+    let s = aig.add_input("s");
+    let a = aig.add_input("a");
+    let b = aig.add_input("b");
+    let c = aig.add_input("c");
+    let d = aig.add_input("d");
+    let ab = aig.and(a, b);
+    let cd = aig.and(c, d);
+    let left = aig.and(s, ab);
+    let right = aig.and(s, cd);
+    let f = aig.or(left, right);
+    aig.add_output("f", f);
+
+    // STEP-QD: optimum disjointness via the QBF model.
+    let mut engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
+    let result = engine
+        .decompose_output(&aig, 0, GateOp::Or)
+        .expect("well-formed circuit");
+
+    let partition = result.partition.expect("f is OR-decomposable");
+    println!("partition (one letter per input s,a,b,c,d): {partition}");
+    println!("|XA| = {}, |XB| = {}, |XC| = {}", partition.num_a(), partition.num_b(), partition.num_shared());
+    println!("disjointness εD = {:.3}", partition.disjointness());
+    println!("balancedness εB = {:.3}", partition.balancedness());
+    println!("optimum proved: {}", result.proved_optimal);
+    assert_eq!(partition.num_shared(), 1, "s is the only shared variable");
+
+    // The engine also extracted fA/fB by Craig interpolation and
+    // verified f ≡ fA ∨ fB; re-verify here for demonstration.
+    let decomp = result.decomposition.expect("extraction enabled by default");
+    verify(&decomp, None).expect("f must equal fA OR fB");
+    println!(
+        "extracted: fA over XA∪XC ({} AND nodes), fB over XB∪XC — verified f = fA ∨ fB",
+        decomp.aig.and_count()
+    );
+}

@@ -1,0 +1,284 @@
+//! `step` — the command-line front-end of the reproduction, mirroring
+//! the original STEP tool's usage (and the `bi_dec circuit.blif or 0 1`
+//! interface of the Bi-dec baseline).
+//!
+//! ```text
+//! step <circuit.{bench,blif,aag}> [options]
+//!   --model ljh|mg|qd|qb|qdb    engine (default qd)
+//!   --op or|and|xor             root operator (default or)
+//!   --weights <wd> <wb>         weighted cost target (implies QBF model)
+//!   --output <index>            decompose a single PO
+//!   --emit-qdimacs              print the 3QCNF of formulation (4) and exit
+//!   --emit-blif                 print decomposed netlists as BLIF
+//!   --per-call-ms <n>           per-QBF-call budget (default 4000, paper)
+//!   --per-output-s <n>          per-output budget (default 60)
+//! ```
+
+use std::path::Path;
+use std::time::Duration;
+
+use qbf_bidec::circuits::load_file;
+use qbf_bidec::step::optimum::Metric;
+use qbf_bidec::step::oracle::CoreFormula;
+use qbf_bidec::step::qbf_model::Target;
+use qbf_bidec::step::qdimacs_export::{export_qdimacs, ExportOptions};
+use qbf_bidec::step::{BiDecomposer, DecompConfig, GateOp, Model};
+
+struct Cli {
+    path: String,
+    model: Model,
+    op: GateOp,
+    weights: Option<(u32, u32)>,
+    output: Option<usize>,
+    emit_qdimacs: bool,
+    emit_blif: bool,
+    per_call: Duration,
+    per_output: Duration,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: step <circuit.{{bench,blif,aag}}> [--model ljh|mg|qd|qb|qdb] \
+         [--op or|and|xor] [--weights wd wb] [--output idx] [--emit-qdimacs] \
+         [--emit-blif] [--per-call-ms n] [--per-output-s n]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_cli() -> Cli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = Cli {
+        path: String::new(),
+        model: Model::QbfDisjoint,
+        op: GateOp::Or,
+        weights: None,
+        output: None,
+        emit_qdimacs: false,
+        emit_blif: false,
+        per_call: Duration::from_millis(4000),
+        per_output: Duration::from_secs(60),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--model" => {
+                i += 1;
+                cli.model = match args.get(i).map(String::as_str) {
+                    Some("ljh") => Model::Ljh,
+                    Some("mg") => Model::MusGroup,
+                    Some("qd") => Model::QbfDisjoint,
+                    Some("qb") => Model::QbfBalanced,
+                    Some("qdb") => Model::QbfCombined,
+                    _ => usage(),
+                };
+            }
+            "--op" => {
+                i += 1;
+                cli.op = match args.get(i).map(String::as_str) {
+                    Some("or") => GateOp::Or,
+                    Some("and") => GateOp::And,
+                    Some("xor") => GateOp::Xor,
+                    _ => usage(),
+                };
+            }
+            "--weights" => {
+                let wd = args.get(i + 1).and_then(|s| s.parse().ok());
+                let wb = args.get(i + 2).and_then(|s| s.parse().ok());
+                match (wd, wb) {
+                    (Some(wd), Some(wb)) => cli.weights = Some((wd, wb)),
+                    _ => usage(),
+                }
+                i += 2;
+            }
+            "--output" => {
+                i += 1;
+                cli.output = args.get(i).and_then(|s| s.parse().ok());
+                if cli.output.is_none() {
+                    usage();
+                }
+            }
+            "--emit-qdimacs" => cli.emit_qdimacs = true,
+            "--emit-blif" => cli.emit_blif = true,
+            "--per-call-ms" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(ms) => cli.per_call = Duration::from_millis(ms),
+                    None => usage(),
+                }
+            }
+            "--per-output-s" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => cli.per_output = Duration::from_secs(s),
+                    None => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            other if cli.path.is_empty() && !other.starts_with('-') => {
+                cli.path = other.to_owned();
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if cli.path.is_empty() {
+        usage();
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    let circuit = match load_file(Path::new(&cli.path)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let comb = if circuit.is_comb() {
+        circuit
+    } else {
+        eprintln!("note: sequential circuit, applying comb conversion");
+        match circuit.comb() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    println!(
+        "circuit: {} — {} inputs, {} outputs, {} AND nodes",
+        cli.path,
+        comb.num_inputs(),
+        comb.num_outputs(),
+        comb.and_count()
+    );
+
+    if cli.emit_qdimacs {
+        let idx = cli.output.unwrap_or(0);
+        let Some(out) = comb.outputs().get(idx) else {
+            eprintln!("error: output {idx} out of range");
+            std::process::exit(1);
+        };
+        let cone = comb.cone(out.lit());
+        let core = CoreFormula::build(&cone.aig, cone.root, cli.op);
+        let target = match cli.weights {
+            Some((wd, wb)) => Target::Weighted { wd, wb, k: core.n.saturating_sub(2) },
+            None => Target::Any,
+        };
+        let model = export_qdimacs(&core, target, &ExportOptions::default());
+        print!("{}", model.text);
+        return;
+    }
+
+    let mut config = DecompConfig::new(cli.model);
+    config.budget.per_qbf_call = cli.per_call;
+    config.budget.per_output = cli.per_output;
+    let mut engine = BiDecomposer::new(config);
+
+    let indices: Vec<usize> = match cli.output {
+        Some(i) => vec![i],
+        None => (0..comb.num_outputs()).collect(),
+    };
+    println!(
+        "{:<16} {:>8} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9} {:>9}",
+        "output", "support", "|XA|", "|XB|", "|XC|", "eD", "eB", "optimal?", "cpu(ms)"
+    );
+    let mut decomposed = 0usize;
+    for idx in indices {
+        let r = match cli.weights {
+            None => engine.decompose_output(&comb, idx, cli.op),
+            Some((wd, wb)) => {
+                // Weighted run: bootstrap with MG then search the
+                // weighted metric directly.
+                let out = &comb.outputs()[idx];
+                let cone = comb.cone(out.lit());
+                let core = CoreFormula::build(&cone.aig, cone.root, cli.op);
+                let mut oracle = qbf_bidec::step::oracle::PartitionOracle::new(core.clone());
+                use qbf_bidec::step::mg;
+                let start = std::time::Instant::now();
+                let boot = match mg::decompose(&mut oracle, None, None) {
+                    mg::MgOutcome::Partition(p) => Some(p),
+                    _ => None,
+                };
+                let search = qbf_bidec::step::optimum::search(
+                    &core,
+                    Metric::Weighted { wd, wb },
+                    boot.as_ref(),
+                    qbf_bidec::step::SearchStrategy::MonotoneIncreasing,
+                    &qbf_bidec::step::qbf_model::ModelOptions::default(),
+                );
+                match search.partition {
+                    Some(p) => {
+                        println!(
+                            "{:<16} {:>8} {:>6} {:>6} {:>6} {:>8.3} {:>8.3} {:>9} {:>9}",
+                            out.name(),
+                            cone.support_size(),
+                            p.num_a(),
+                            p.num_b(),
+                            p.num_shared(),
+                            p.disjointness(),
+                            p.balancedness(),
+                            search.proved_optimal,
+                            start.elapsed().as_millis()
+                        );
+                        decomposed += 1;
+                    }
+                    None => println!("{:<16} not decomposable", out.name()),
+                }
+                continue;
+            }
+        };
+        match r {
+            Ok(out) => match &out.partition {
+                Some(p) => {
+                    decomposed += 1;
+                    println!(
+                        "{:<16} {:>8} {:>6} {:>6} {:>6} {:>8.3} {:>8.3} {:>9} {:>9}",
+                        out.name,
+                        out.support,
+                        p.num_a(),
+                        p.num_b(),
+                        p.num_shared(),
+                        p.disjointness(),
+                        p.balancedness(),
+                        out.proved_optimal,
+                        out.cpu.as_millis()
+                    );
+                    if cli.emit_blif {
+                        if let Some(d) = &out.decomposition {
+                            let mut d = d.clone();
+                            let combined = d.combine();
+                            let mut net = d.aig.clone();
+                            net.add_output(format!("{}_rebuilt", out.name), combined);
+                            net.add_output(format!("{}_fA", out.name), d.fa);
+                            net.add_output(format!("{}_fB", out.name), d.fb);
+                            println!(
+                                "{}",
+                                qbf_bidec::aig::blif::write(
+                                    &net.compact(),
+                                    &format!("{}_decomposed", out.name)
+                                )
+                            );
+                        }
+                    }
+                }
+                None => {
+                    println!(
+                        "{:<16} {:>8} {}",
+                        out.name,
+                        out.support,
+                        if out.timed_out { "timeout" } else { "not decomposable" }
+                    );
+                }
+            },
+            Err(e) => {
+                eprintln!("error on output {idx}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("\ndecomposed {decomposed} output function(s) with {}", cli.model);
+}

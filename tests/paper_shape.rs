@@ -1,0 +1,133 @@
+//! Assertions of the paper's qualitative claims, at test scale:
+//! the relations the evaluation tables report must hold on the
+//! stand-in population too (not the absolute numbers — the shape).
+
+use qbf_bidec::circuits::{registry_all, registry_table1, Scale};
+use qbf_bidec::step::{BiDecomposer, BudgetPolicy, DecompConfig, GateOp, Model};
+
+fn run(
+    entry: &qbf_bidec::circuits::CircuitEntry,
+    model: Model,
+    op: GateOp,
+) -> qbf_bidec::step::CircuitResult {
+    let mut c = DecompConfig::new(model);
+    c.budget = BudgetPolicy::default();
+    c.extract = false;
+    c.verify = false;
+    let aig = entry.build(Scale::Smoke);
+    BiDecomposer::new(c).decompose_circuit(&aig, op).expect("run")
+}
+
+/// Table III shape: every model decomposes the same POs (all engines
+/// are complete for existence).
+#[test]
+fn num_decomposed_agrees_across_models() {
+    for entry in registry_table1().iter().take(8) {
+        let counts: Vec<usize> = [
+            Model::Ljh,
+            Model::MusGroup,
+            Model::QbfDisjoint,
+            Model::QbfBalanced,
+            Model::QbfCombined,
+        ]
+        .into_iter()
+        .map(|m| run(entry, m, GateOp::Or).num_decomposed())
+        .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "{}: #Dec differs across models: {counts:?}",
+            entry.name
+        );
+    }
+}
+
+/// Tables I/II shape: on each decomposed PO the QBF model is better or
+/// equal on its target metric, and strictly better somewhere in the
+/// population (otherwise the QBF contribution would be vacuous).
+#[test]
+fn qbf_models_improve_somewhere() {
+    let mut qb_strictly_better = 0usize;
+    let mut compared = 0usize;
+    for entry in registry_table1().iter().take(10) {
+        let mg = run(entry, Model::MusGroup, GateOp::Or);
+        let qb = run(entry, Model::QbfBalanced, GateOp::Or);
+        for (q, m) in qb.outputs.iter().zip(&mg.outputs) {
+            if let (Some(qp), Some(mp)) = (&q.partition, &m.partition) {
+                compared += 1;
+                assert!(
+                    qp.balancedness() <= mp.balancedness() + 1e-9,
+                    "{}/{}: QB worse than MG",
+                    entry.name,
+                    q.name
+                );
+                if qp.balancedness() + 1e-9 < mp.balancedness() {
+                    qb_strictly_better += 1;
+                }
+            }
+        }
+    }
+    assert!(compared > 0, "population must contain decomposable POs");
+    assert!(
+        qb_strictly_better > 0,
+        "STEP-QB must strictly improve on STEP-MG somewhere ({compared} comparisons)"
+    );
+}
+
+/// Table IV shape: with generous budgets every PO is solved; with a
+/// zero budget none are. (The paper's 92/98/84% sit between these
+/// extremes; the ordering QB ≥ QD ≥ QDB is checked by the table4
+/// binary on the full population.)
+#[test]
+fn solved_ratio_tracks_budget() {
+    let entry = &registry_table1()[15]; // sbc
+    let generous = run(entry, Model::QbfDisjoint, GateOp::Or);
+    assert!(
+        generous.outputs.iter().all(|o| o.solved),
+        "generous budget must solve every PO"
+    );
+
+    let mut c = DecompConfig::new(Model::QbfDisjoint);
+    c.budget = BudgetPolicy {
+        per_qbf_call: std::time::Duration::ZERO,
+        per_output: std::time::Duration::ZERO,
+        per_circuit: std::time::Duration::from_secs(30),
+    };
+    c.extract = false;
+    c.verify = false;
+    let aig = entry.build(Scale::Smoke);
+    let starved = BiDecomposer::new(c)
+        .decompose_circuit(&aig, GateOp::Or)
+        .expect("run");
+    assert!(
+        starved.outputs.iter().filter(|o| o.support >= 2).all(|o| !o.solved),
+        "zero budget cannot solve non-trivial POs"
+    );
+}
+
+/// Figure 1 population: 145 circuits, and every one of them builds and
+/// runs through the fastest model without timing out.
+#[test]
+fn fig1_population_is_runnable() {
+    let all = registry_all();
+    assert_eq!(all.len(), 145);
+    for entry in all.iter().step_by(12) {
+        let r = run(entry, Model::MusGroup, GateOp::Or);
+        assert!(!r.timed_out, "{} timed out", entry.name);
+    }
+}
+
+/// The paper's AND/XOR claims: the same engine handles all three
+/// operators (Table II lists MG vs Q* for OR, AND and XOR).
+#[test]
+fn all_operators_run_on_population_sample() {
+    let entry = &registry_table1()[16]; // mm9a (arith: has AND/XOR cones)
+    for op in [GateOp::Or, GateOp::And, GateOp::Xor] {
+        let mg = run(entry, Model::MusGroup, op);
+        let qd = run(entry, Model::QbfDisjoint, op);
+        assert_eq!(
+            mg.num_decomposed(),
+            qd.num_decomposed(),
+            "{op}: #Dec must agree"
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end integration: registry circuits → every model → verified
+//! decompositions, spanning `step-circuits`, `step-core` and all solver
+//! substrates.
+
+use qbf_bidec::circuits::{registry_table1, Scale};
+use qbf_bidec::step::{
+    verify, BiDecomposer, BudgetPolicy, DecompConfig, GateOp, Model, VarClass,
+};
+
+fn quick_config(model: Model) -> DecompConfig {
+    let mut c = DecompConfig::new(model);
+    c.budget = BudgetPolicy::default();
+    c
+}
+
+#[test]
+fn every_model_full_pipeline_on_smoke_circuits() {
+    // Three representative registry rows, all five models, extraction
+    // and verification on.
+    let entries = registry_table1();
+    let picks = ["C880", "sbc", "ITC b07"];
+    for name in picks {
+        let entry = entries.iter().find(|e| e.name == name).expect("registry row");
+        let aig = entry.build(Scale::Smoke);
+        for model in [
+            Model::Ljh,
+            Model::MusGroup,
+            Model::QbfDisjoint,
+            Model::QbfBalanced,
+            Model::QbfCombined,
+        ] {
+            let mut engine = BiDecomposer::new(quick_config(model));
+            let r = engine.decompose_circuit(&aig, GateOp::Or).expect("run");
+            assert!(!r.timed_out, "{name}/{model}: generous budget must not expire");
+            for out in &r.outputs {
+                if let Some(p) = &out.partition {
+                    assert!(p.is_nontrivial(), "{name}/{model}/{}", out.name);
+                    let d = out
+                        .decomposition
+                        .as_ref()
+                        .expect("extraction enabled by default");
+                    verify(d, None).unwrap_or_else(|e| {
+                        panic!("{name}/{model}/{}: verification failed: {e}", out.name)
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn qbf_models_never_worse_than_mg_on_their_metric() {
+    // The bootstrap guarantee of the paper: STEP-{QD,QB,QDB} cannot
+    // yield metrics worse than STEP-MG.
+    let entries = registry_table1();
+    for entry in entries.iter().take(6) {
+        let aig = entry.build(Scale::Smoke);
+        let mg = BiDecomposer::new(quick_config(Model::MusGroup))
+            .decompose_circuit(&aig, GateOp::Or)
+            .expect("run");
+        for (model, metric) in [
+            (Model::QbfDisjoint, 0usize),
+            (Model::QbfBalanced, 1),
+            (Model::QbfCombined, 2),
+        ] {
+            let q = BiDecomposer::new(quick_config(model))
+                .decompose_circuit(&aig, GateOp::Or)
+                .expect("run");
+            for (qo, mo) in q.outputs.iter().zip(&mg.outputs) {
+                let (Some(qp), Some(mp)) = (&qo.partition, &mo.partition) else {
+                    // Decomposability must agree.
+                    assert_eq!(
+                        qo.partition.is_some(),
+                        mo.partition.is_some(),
+                        "{}/{model}/{}",
+                        entry.name,
+                        qo.name
+                    );
+                    continue;
+                };
+                let value = |p: &qbf_bidec::step::VarPartition| match metric {
+                    0 => p.disjointness(),
+                    1 => p.balancedness(),
+                    _ => p.disjointness() + p.balancedness(),
+                };
+                assert!(
+                    value(qp) <= value(mp) + 1e-9,
+                    "{}/{model}/{}: {} > {}",
+                    entry.name,
+                    qo.name,
+                    value(qp),
+                    value(mp)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_three_operators_round_trip() {
+    let entry = registry_table1()
+        .into_iter()
+        .find(|e| e.name == "mm9a")
+        .expect("registry row");
+    let aig = entry.build(Scale::Smoke);
+    for op in [GateOp::Or, GateOp::And, GateOp::Xor] {
+        let mut engine = BiDecomposer::new(quick_config(Model::QbfDisjoint));
+        let r = engine.decompose_circuit(&aig, op).expect("run");
+        for out in &r.outputs {
+            if let Some(d) = &out.decomposition {
+                verify(d, None)
+                    .unwrap_or_else(|e| panic!("{op}/{}: {e}", out.name));
+                // Support discipline.
+                for &i in &d.aig.support(d.fa) {
+                    assert_ne!(d.partition.class(i), VarClass::B);
+                }
+                for &i in &d.aig.support(d.fb) {
+                    assert_ne!(d.partition.class(i), VarClass::A);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn decomposition_rebuild_equals_original_semantics() {
+    // Exhaustive functional check of an extracted decomposition.
+    let mut aig = qbf_bidec::aig::Aig::new();
+    let ins: Vec<_> = (0..5).map(|i| aig.add_input(format!("x{i}"))).collect();
+    let t1 = aig.and_many(&ins[0..2]);
+    let t2 = aig.and_many(&ins[2..5]);
+    let f = aig.or(t1, t2);
+    aig.add_output("f", f);
+    let mut engine = BiDecomposer::new(quick_config(Model::QbfCombined));
+    let r = engine.decompose_output(&aig, 0, GateOp::Or).expect("run");
+    let mut d = r.decomposition.expect("decomposable");
+    let combined = d.combine();
+    for m in 0..32u32 {
+        let v: Vec<bool> = (0..5).map(|i| m >> i & 1 == 1).collect();
+        assert_eq!(
+            d.aig.eval_lit(combined, &v),
+            aig.eval(&v)[0],
+            "mismatch at {v:?}"
+        );
+    }
+}
