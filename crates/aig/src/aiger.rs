@@ -200,16 +200,14 @@ pub fn write_binary(aig: &Aig) -> Vec<u8> {
     for o in aig.outputs() {
         out.extend_from_slice(format!("{}\n", code(o.lit())).as_bytes());
     }
-    let push_varint = |mut x: u32, out: &mut Vec<u8>| {
-        loop {
-            let byte = (x & 0x7f) as u8;
-            x >>= 7;
-            if x == 0 {
-                out.push(byte);
-                break;
-            }
-            out.push(byte | 0x80);
+    let push_varint = |mut x: u32, out: &mut Vec<u8>| loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            break;
         }
+        out.push(byte | 0x80);
     };
     for id in ands {
         if let AigNode::And { f0, f1 } = aig.node(id) {
@@ -246,8 +244,8 @@ pub fn parse_binary(bytes: &[u8]) -> Result<Aig, ParseError> {
         .iter()
         .position(|&b| b == b'\n')
         .ok_or_else(|| ParseError::new(1, "missing header line"))?;
-    let header = std::str::from_utf8(&bytes[..nl])
-        .map_err(|_| ParseError::new(1, "non-UTF8 header"))?;
+    let header =
+        std::str::from_utf8(&bytes[..nl]).map_err(|_| ParseError::new(1, "non-UTF8 header"))?;
     let head: Vec<&str> = header.split_whitespace().collect();
     if head.len() != 6 || head[0] != "aig" {
         return Err(ParseError::new(1, "expected `aig M I L O A` header"));

@@ -67,12 +67,28 @@ pub fn parse(text: &str) -> Result<Aig, ParseError> {
             if args.is_empty() {
                 return Err(ParseError::new(lineno, "gate with no operands"));
             }
-            if gates.insert(name.clone(), GateDef { line: lineno, kind, args }).is_some() {
-                return Err(ParseError::new(lineno, format!("signal `{name}` redefined")));
+            if gates
+                .insert(
+                    name.clone(),
+                    GateDef {
+                        line: lineno,
+                        kind,
+                        args,
+                    },
+                )
+                .is_some()
+            {
+                return Err(ParseError::new(
+                    lineno,
+                    format!("signal `{name}` redefined"),
+                ));
             }
             order.push(name);
         } else {
-            return Err(ParseError::new(lineno, format!("unrecognized line `{line}`")));
+            return Err(ParseError::new(
+                lineno,
+                format!("unrecognized line `{line}`"),
+            ));
         }
     }
 
@@ -80,7 +96,10 @@ pub fn parse(text: &str) -> Result<Aig, ParseError> {
     let mut sig: HashMap<String, AigLit> = HashMap::new();
     for (lineno, name) in &inputs {
         if sig.contains_key(name) {
-            return Err(ParseError::new(*lineno, format!("input `{name}` redefined")));
+            return Err(ParseError::new(
+                *lineno,
+                format!("input `{name}` redefined"),
+            ));
         }
         let lit = aig.add_input(name.clone());
         sig.insert(name.clone(), lit);
@@ -148,8 +167,7 @@ fn resolve(
         let def = gates
             .get(&name)
             .ok_or_else(|| ParseError::new(0, format!("undefined signal `{name}`")))?;
-        let pending: Vec<&String> =
-            def.args.iter().filter(|a| !sig.contains_key(*a)).collect();
+        let pending: Vec<&String> = def.args.iter().filter(|a| !sig.contains_key(*a)).collect();
         if pending.is_empty() {
             let args: Vec<AigLit> = def.args.iter().map(|a| sig[a]).collect();
             let lit = build_gate(aig, &def.kind, &args, def.line)?;
@@ -182,7 +200,10 @@ fn build_gate(
         if args.len() == n {
             Ok(())
         } else {
-            Err(ParseError::new(line, format!("{kind} expects {n} operand(s)")))
+            Err(ParseError::new(
+                line,
+                format!("{kind} expects {n} operand(s)"),
+            ))
         }
     };
     Ok(match kind {

@@ -126,17 +126,28 @@ pub fn parse(text: &str) -> Result<Aig, ParseError> {
                     };
                     cubes.push((cube, val));
                 }
-                names.push(NamesDef { line: *lineno, inputs: ins, output, cubes });
+                names.push(NamesDef {
+                    line: *lineno,
+                    inputs: ins,
+                    output,
+                    cubes,
+                });
             }
             ".end" => break,
             ".exdc" | ".wire_load_slope" | ".gate" | ".mlatch" => {
-                return Err(ParseError::new(*lineno, format!("unsupported directive {head}")))
+                return Err(ParseError::new(
+                    *lineno,
+                    format!("unsupported directive {head}"),
+                ))
             }
             _ if head.starts_with('.') => {
                 // Ignore unknown dot-directives (e.g. .default_input_arrival).
             }
             _ => {
-                return Err(ParseError::new(*lineno, format!("unexpected line `{line}`")));
+                return Err(ParseError::new(
+                    *lineno,
+                    format!("unexpected line `{line}`"),
+                ));
             }
         }
         i += 1;
@@ -183,8 +194,11 @@ pub fn parse(text: &str) -> Result<Aig, ParseError> {
                 .get(&name)
                 .ok_or_else(|| ParseError::new(0, format!("undefined signal `{name}`")))?;
             let def = &names[k];
-            let pending: Vec<&String> =
-                def.inputs.iter().filter(|a| !sig.contains_key(*a)).collect();
+            let pending: Vec<&String> = def
+                .inputs
+                .iter()
+                .filter(|a| !sig.contains_key(*a))
+                .collect();
             if pending.is_empty() {
                 let lit = build_sop(aig, def, sig)?;
                 sig.insert(name.clone(), lit);

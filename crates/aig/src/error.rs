@@ -39,7 +39,10 @@ pub struct ParseError {
 impl ParseError {
     /// Creates a parse error at 1-based line `line`.
     pub fn new(line: usize, message: impl Into<String>) -> Self {
-        ParseError { line, message: message.into() }
+        ParseError {
+            line,
+            message: message.into(),
+        }
     }
 
     /// The 1-based line number the error occurred on (0 if unknown).

@@ -221,7 +221,10 @@ impl Aig {
 
     /// Adds a named primary output driven by `lit`.
     pub fn add_output(&mut self, name: impl Into<String>, lit: AigLit) {
-        self.outputs.push(Output { name: name.into(), lit });
+        self.outputs.push(Output {
+            name: name.into(),
+            lit,
+        });
     }
 
     /// The primary outputs in declaration order.
@@ -249,7 +252,12 @@ impl Aig {
     pub fn add_latch(&mut self, name: impl Into<String>, init: bool) -> AigLit {
         let idx = self.latches.len() as u32;
         let id = self.push_node(AigNode::Latch { idx });
-        self.latches.push(Latch { name: name.into(), node: id, next: None, init });
+        self.latches.push(Latch {
+            name: name.into(),
+            node: id,
+            next: None,
+            init,
+        });
         AigLit::new(id, false)
     }
 
@@ -395,12 +403,7 @@ impl Aig {
     /// `self` they map to; it is extended with every node visited. Leaves
     /// of `src` (inputs, latches) must be pre-seeded in `map`, otherwise
     /// they are created as fresh inputs of `self` with their `src` names.
-    pub fn import(
-        &mut self,
-        src: &Aig,
-        root: AigLit,
-        map: &mut HashMap<NodeId, AigLit>,
-    ) -> AigLit {
+    pub fn import(&mut self, src: &Aig, root: AigLit, map: &mut HashMap<NodeId, AigLit>) -> AigLit {
         // Iterative post-order over the cone.
         let mut stack = vec![root.node()];
         while let Some(&id) = stack.last() {
@@ -507,7 +510,11 @@ impl Aig {
         }
         // Any latch leaf in the cone is a bug in the caller.
         let out = dst.import_checked(self, root, &mut map);
-        Cone { aig: dst, leaves, root: out }
+        Cone {
+            aig: dst,
+            leaves,
+            root: out,
+        }
     }
 
     fn import_checked(

@@ -40,9 +40,9 @@ mod lit;
 mod ops;
 mod sim;
 
+pub mod aiger;
 pub mod bench_io;
 pub mod blif;
-pub mod aiger;
 
 pub use error::{AigError, ParseError};
 pub use graph::{Aig, AigNode, Cone, Latch, NodeId, Output};

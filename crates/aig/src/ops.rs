@@ -165,8 +165,7 @@ impl Aig {
         // the graph is compact.
         for (i, node) in self.iter_nodes() {
             if let AigNode::And { f0, f1 } = node {
-                levels[i.index()] =
-                    1 + levels[f0.node().index()].max(levels[f1.node().index()]);
+                levels[i.index()] = 1 + levels[f0.node().index()].max(levels[f1.node().index()]);
             }
         }
         levels[root.node().index()] as usize
@@ -238,21 +237,24 @@ impl Aig {
                 AigNode::And { f0, f1 } => {
                     let _ = writeln!(out, "  n{} [label=\"∧\"];", id.index());
                     for f in [f0, f1] {
-                        let style = if f.is_complement() { " [style=dashed]" } else { "" };
-                        let _ = writeln!(
-                            out,
-                            "  n{} -> n{}{};",
-                            f.node().index(),
-                            id.index(),
-                            style
-                        );
+                        let style = if f.is_complement() {
+                            " [style=dashed]"
+                        } else {
+                            ""
+                        };
+                        let _ =
+                            writeln!(out, "  n{} -> n{}{};", f.node().index(), id.index(), style);
                     }
                 }
             }
         }
         for (k, o) in self.outputs().iter().enumerate() {
             let _ = writeln!(out, "  o{k} [label=\"{}\" shape=invtriangle];", o.name());
-            let style = if o.lit().is_complement() { " [style=dashed]" } else { "" };
+            let style = if o.lit().is_complement() {
+                " [style=dashed]"
+            } else {
+                ""
+            };
             let _ = writeln!(out, "  n{} -> o{k}{};", o.lit().node().index(), style);
         }
         out.push_str("}\n");

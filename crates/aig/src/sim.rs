@@ -38,7 +38,11 @@ impl Aig {
     ///
     /// Panics on input/latch length mismatch or dangling latches.
     pub fn eval_seq_step(&self, inputs: &[bool], state: &[bool]) -> (Vec<bool>, Vec<bool>) {
-        assert_eq!(state.len(), self.latches().len(), "latch state length mismatch");
+        assert_eq!(
+            state.len(),
+            self.latches().len(),
+            "latch state length mismatch"
+        );
         let values = self.eval_nodes(inputs, state);
         let outs = self
             .outputs()

@@ -454,7 +454,10 @@ fn blif_rejects_malformed() {
     assert!(blif::parse(".model m\n.inputs a\n.outputs f\n.names a f\n1\n.end").is_err());
     assert!(blif::parse(".model m\n.inputs a\n.outputs f\n.names a f\n11 1\n.end").is_err());
     assert!(blif::parse(".model m\n.inputs a\n.outputs f\n.names a f\n1 2\n.end").is_err());
-    assert!(blif::parse(".model m\n.outputs f\n.end").is_err(), "undefined output");
+    assert!(
+        blif::parse(".model m\n.outputs f\n.end").is_err(),
+        "undefined output"
+    );
     // Mixed polarity cover.
     assert!(blif::parse(".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n0 0\n.end").is_err());
 }
@@ -534,8 +537,14 @@ fn aiger_binary_round_trip_sequential() {
 #[test]
 fn aiger_binary_rejects_malformed() {
     assert!(aiger::parse_binary(b"").is_err());
-    assert!(aiger::parse_binary(b"aag 1 1 0 1 0\n2\n").is_err(), "ascii header");
-    assert!(aiger::parse_binary(b"aig 2 1 0 1 1\n4\n\xff").is_err(), "truncated varint");
+    assert!(
+        aiger::parse_binary(b"aag 1 1 0 1 0\n2\n").is_err(),
+        "ascii header"
+    );
+    assert!(
+        aiger::parse_binary(b"aig 2 1 0 1 1\n4\n\xff").is_err(),
+        "truncated varint"
+    );
 }
 
 #[test]
@@ -543,7 +552,10 @@ fn aiger_rejects_malformed() {
     assert!(aiger::parse("").is_err());
     assert!(aiger::parse("aig 1 1 0 0 0").is_err(), "binary header");
     assert!(aiger::parse("aag 1 1 0").is_err(), "short header");
-    assert!(aiger::parse("aag 1 1 0 1 0\n3\n2").is_err(), "odd input literal");
+    assert!(
+        aiger::parse("aag 1 1 0 1 0\n3\n2").is_err(),
+        "odd input literal"
+    );
 }
 
 #[test]
@@ -557,7 +569,10 @@ fn dot_export_mentions_every_node() {
     assert!(dot.starts_with("digraph"));
     assert!(dot.contains("label=\"a\""));
     assert!(dot.contains("label=\"∧\""));
-    assert!(dot.contains("style=dashed"), "complement edges must be dashed");
+    assert!(
+        dot.contains("style=dashed"),
+        "complement edges must be dashed"
+    );
     assert!(dot.contains("invtriangle"), "outputs rendered");
 }
 

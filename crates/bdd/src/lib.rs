@@ -77,8 +77,16 @@ impl Manager {
             num_vars,
         };
         // Index 0/1 are the constants (var = sentinel past all vars).
-        m.nodes.push(Node { var: u32::MAX, lo: BddRef::ZERO, hi: BddRef::ZERO });
-        m.nodes.push(Node { var: u32::MAX, lo: BddRef::ONE, hi: BddRef::ONE });
+        m.nodes.push(Node {
+            var: u32::MAX,
+            lo: BddRef::ZERO,
+            hi: BddRef::ZERO,
+        });
+        m.nodes.push(Node {
+            var: u32::MAX,
+            lo: BddRef::ONE,
+            hi: BddRef::ONE,
+        });
         m
     }
 
@@ -233,7 +241,11 @@ impl Manager {
         let mut cur = f;
         while !cur.is_const() {
             let n = self.nodes[cur.0 as usize];
-            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+            cur = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         cur == BddRef::ONE
     }
@@ -268,7 +280,11 @@ impl Manager {
         // Count over the full variable set by scaling per skipped level.
         fn rec(m: &Manager, f: BddRef, memo: &mut HashMap<BddRef, u64>) -> (u64, u32) {
             // Returns (count below this node, var index of node or n).
-            let var = if f.is_const() { m.num_vars as u32 } else { m.var_of(f) };
+            let var = if f.is_const() {
+                m.num_vars as u32
+            } else {
+                m.var_of(f)
+            };
             if f == BddRef::ZERO {
                 return (0, var);
             }
@@ -297,7 +313,10 @@ impl Manager {
     /// Panics if the AIG has more inputs than the manager has variables
     /// or contains latch leaves.
     pub fn from_aig(&mut self, aig: &Aig, root: AigLit) -> BddRef {
-        assert!(aig.num_inputs() <= self.num_vars, "manager too small for AIG inputs");
+        assert!(
+            aig.num_inputs() <= self.num_vars,
+            "manager too small for AIG inputs"
+        );
         let mut memo: Vec<Option<BddRef>> = vec![None; aig.node_count()];
         let mut stack = vec![root.node()];
         while let Some(&id) = stack.last() {
@@ -519,7 +538,9 @@ mod tests {
         let l = m.and(x0, x1);
         let r = m.and(x2, x3);
         let f = m.or(l, r);
-        let (fa, fb) = m.or_decomposable(f, &[0, 1], &[2, 3]).expect("decomposable");
+        let (fa, fb) = m
+            .or_decomposable(f, &[0, 1], &[2, 3])
+            .expect("decomposable");
         assert_eq!(fa, l);
         assert_eq!(fb, r);
         // XOR function is not OR-decomposable.

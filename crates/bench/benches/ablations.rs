@@ -42,8 +42,7 @@ fn bench_symmetry(c: &mut Criterion) {
                     symmetry_breaking: sym,
                     ..ModelOptions::default()
                 };
-                let (outcome, _) =
-                    solve_partition(&core, Target::DisjointAtMost(1), &opts);
+                let (outcome, _) = solve_partition(&core, Target::DisjointAtMost(1), &opts);
                 assert!(matches!(outcome, QbfModelOutcome::Partition(_)));
             })
         });
@@ -59,9 +58,11 @@ fn bench_allow_both(c: &mut Criterion) {
     for (label, both) in [("pairs_forbidden", false), ("pairs_allowed", true)] {
         g.bench_function(label, |b| {
             b.iter(|| {
-                let opts = ModelOptions { allow_both: both, ..ModelOptions::default() };
-                let (outcome, _) =
-                    solve_partition(&core, Target::DisjointAtMost(1), &opts);
+                let opts = ModelOptions {
+                    allow_both: both,
+                    ..ModelOptions::default()
+                };
+                let (outcome, _) = solve_partition(&core, Target::DisjointAtMost(1), &opts);
                 assert!(matches!(outcome, QbfModelOutcome::Partition(_)));
             })
         });

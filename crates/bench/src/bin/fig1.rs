@@ -28,9 +28,15 @@ fn main() {
         let times = [
             run_model(entry, Model::Ljh, &opts).cpu.as_secs_f64(),
             run_model(entry, Model::MusGroup, &opts).cpu.as_secs_f64(),
-            run_model(entry, Model::QbfDisjoint, &opts).cpu.as_secs_f64(),
-            run_model(entry, Model::QbfBalanced, &opts).cpu.as_secs_f64(),
-            run_model(entry, Model::QbfCombined, &opts).cpu.as_secs_f64(),
+            run_model(entry, Model::QbfDisjoint, &opts)
+                .cpu
+                .as_secs_f64(),
+            run_model(entry, Model::QbfBalanced, &opts)
+                .cpu
+                .as_secs_f64(),
+            run_model(entry, Model::QbfCombined, &opts)
+                .cpu
+                .as_secs_f64(),
         ];
         println!(
             "{},{:.4},{:.4},{:.4},{:.4},{:.4}",

@@ -20,9 +20,22 @@ fn main() {
     println!(
         "{:<10} {:>4} {:>4} {:>4} | {:>7} {:>7} | {:>7} {:>7} | {:>8} {:>8} |\
          | {:>7} {:>7} | {:>7} {:>7} | {:>8} {:>8}",
-        "Circuit", "#In", "#InM", "#Out",
-        "QD>LJH", "QD=LJH", "QB>LJH", "QB=LJH", "QDB>LJH", "QDB=LJH",
-        "QD>MG", "QD=MG", "QB>MG", "QB=MG", "QDB>MG", "QDB=MG",
+        "Circuit",
+        "#In",
+        "#InM",
+        "#Out",
+        "QD>LJH",
+        "QD=LJH",
+        "QB>LJH",
+        "QB=LJH",
+        "QDB>LJH",
+        "QDB=LJH",
+        "QD>MG",
+        "QD=MG",
+        "QB>MG",
+        "QB=MG",
+        "QDB>MG",
+        "QDB=MG",
     );
     println!("{}", "-".repeat(152));
 
@@ -61,7 +74,10 @@ fn main() {
         "paper stats for reference (original circuits): {}",
         entries
             .iter()
-            .map(|e| format!("{} {}/{}/{}", e.name, e.paper.inputs, e.paper.inm, e.paper.outputs))
+            .map(|e| format!(
+                "{} {}/{}/{}",
+                e.name, e.paper.inputs, e.paper.inm, e.paper.outputs
+            ))
             .collect::<Vec<_>>()
             .join(", ")
     );

@@ -18,7 +18,17 @@ fn main() {
     );
     println!(
         "{:<10} | {:>5} {:>9} | {:>5} {:>9} | {:>5} {:>9} | {:>5} {:>9} | {:>5} {:>9}",
-        "Circuit", "#Dec", "LJH(s)", "#Dec", "MG(s)", "#Dec", "QD(s)", "#Dec", "QB(s)", "#Dec", "QDB(s)"
+        "Circuit",
+        "#Dec",
+        "LJH(s)",
+        "#Dec",
+        "MG(s)",
+        "#Dec",
+        "QD(s)",
+        "#Dec",
+        "QB(s)",
+        "#Dec",
+        "QDB(s)"
     );
     println!("{}", "-".repeat(104));
 
@@ -35,7 +45,11 @@ fn main() {
             *t += r.cpu.as_secs_f64();
         }
         let cell = |r: &step_core::CircuitResult| {
-            let cpu = if r.timed_out { format!("TO@{}", secs(r.cpu)) } else { secs(r.cpu) };
+            let cpu = if r.timed_out {
+                format!("TO@{}", secs(r.cpu))
+            } else {
+                secs(r.cpu)
+            };
             format!("{:>5} {:>9}", r.num_decomposed(), cpu)
         };
         println!(

@@ -280,7 +280,9 @@ pub fn ascii_scatter(points: &[(f64, f64)], title: &str) -> String {
         }
     }
     let mut out = String::new();
-    out.push_str(&format!("{title}  (log-log, {lo:.0e}..{hi:.0e} s, '.' = diagonal)\n"));
+    out.push_str(&format!(
+        "{title}  (log-log, {lo:.0e}..{hi:.0e} s, '.' = diagonal)\n"
+    ));
     for row in grid {
         out.push('|');
         out.extend(row);
@@ -309,7 +311,7 @@ mod tests {
             op: GateOp::Or,
             filter: None,
             partitions_only: true,
-        conflicts_per_call: None,
+            conflicts_per_call: None,
         }
     }
 
@@ -322,7 +324,10 @@ mod tests {
         let mg = run_model(entry, Model::MusGroup, &opts);
         let qd = run_model(entry, Model::QbfDisjoint, &opts);
         let (better, equal) = compare_quality(&qd, &mg, QualityMetric::Disjointness);
-        assert!(better + equal > 99.9, "QD must never lose to MG: {better} {equal}");
+        assert!(
+            better + equal > 99.9,
+            "QD must never lose to MG: {better} {equal}"
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@ use rand::{Rng, SeedableRng};
 use step_aig::{Aig, AigLit};
 
 fn input_vec(aig: &mut Aig, name: &str, n: usize) -> Vec<AigLit> {
-    (0..n).map(|i| aig.add_input(format!("{name}{i}"))).collect()
+    (0..n)
+        .map(|i| aig.add_input(format!("{name}{i}")))
+        .collect()
 }
 
 /// Full adder on three bits: returns `(sum, carry)`.
@@ -283,7 +285,9 @@ pub fn disjoint_or(widths: &[usize]) -> Aig {
 pub fn lfsr(n: usize, taps: &[usize]) -> Aig {
     let mut aig = Aig::new();
     let en = aig.add_input("en");
-    let q: Vec<AigLit> = (0..n).map(|i| aig.add_latch(format!("q{i}"), i == 0)).collect();
+    let q: Vec<AigLit> = (0..n)
+        .map(|i| aig.add_latch(format!("q{i}"), i == 0))
+        .collect();
     let fb_taps: Vec<AigLit> = taps.iter().map(|&t| q[t % n]).collect();
     let fb = aig.xor_many(&fb_taps);
     for i in 0..n {
@@ -300,7 +304,9 @@ pub fn counter(n: usize) -> Aig {
     let mut aig = Aig::new();
     let en = aig.add_input("en");
     let clr = aig.add_input("clr");
-    let q: Vec<AigLit> = (0..n).map(|i| aig.add_latch(format!("q{i}"), false)).collect();
+    let q: Vec<AigLit> = (0..n)
+        .map(|i| aig.add_latch(format!("q{i}"), false))
+        .collect();
     let mut carry = en;
     for i in 0..n {
         let toggled = aig.xor(q[i], carry);
@@ -337,7 +343,11 @@ pub fn barrel_shifter(k: usize) -> Aig {
         let dist = 1usize << stage;
         let mut next = Vec::with_capacity(w);
         for i in 0..w {
-            let shifted = if i >= dist { layer[i - dist] } else { AigLit::FALSE };
+            let shifted = if i >= dist {
+                layer[i - dist]
+            } else {
+                AigLit::FALSE
+            };
             next.push(aig.mux(s, shifted, layer[i]));
         }
         layer = next;

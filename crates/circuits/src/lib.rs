@@ -55,7 +55,10 @@ pub fn load_file(path: &Path) -> Result<Aig, ParseError> {
         Some("aig") => step_aig::aiger::parse_binary(&bytes),
         other => Err(ParseError::new(
             0,
-            format!("unsupported circuit extension {other:?} for {}", path.display()),
+            format!(
+                "unsupported circuit extension {other:?} for {}",
+                path.display()
+            ),
         )),
     }
 }

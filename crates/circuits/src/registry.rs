@@ -121,13 +121,19 @@ pub fn registry_table1() -> Vec<CircuitEntry> {
     ];
     rows.iter()
         .enumerate()
-        .map(|(k, &(name, suite, inputs, inm, outputs, family))| CircuitEntry {
-            name,
-            suite,
-            paper: PaperStats { inputs, inm, outputs },
-            family,
-            seed: 0xC1C0 + k as u64,
-        })
+        .map(
+            |(k, &(name, suite, inputs, inm, outputs, family))| CircuitEntry {
+                name,
+                suite,
+                paper: PaperStats {
+                    inputs,
+                    inm,
+                    outputs,
+                },
+                family,
+                seed: 0xC1C0 + k as u64,
+            },
+        )
         .collect()
 }
 
@@ -140,27 +146,24 @@ pub fn registry_all() -> Vec<CircuitEntry> {
     static SMALL_NAMES: [&str; 127] = {
         // Generated names small001..small127.
         [
-            "small001", "small002", "small003", "small004", "small005", "small006",
-            "small007", "small008", "small009", "small010", "small011", "small012",
-            "small013", "small014", "small015", "small016", "small017", "small018",
-            "small019", "small020", "small021", "small022", "small023", "small024",
-            "small025", "small026", "small027", "small028", "small029", "small030",
-            "small031", "small032", "small033", "small034", "small035", "small036",
-            "small037", "small038", "small039", "small040", "small041", "small042",
-            "small043", "small044", "small045", "small046", "small047", "small048",
-            "small049", "small050", "small051", "small052", "small053", "small054",
-            "small055", "small056", "small057", "small058", "small059", "small060",
-            "small061", "small062", "small063", "small064", "small065", "small066",
-            "small067", "small068", "small069", "small070", "small071", "small072",
-            "small073", "small074", "small075", "small076", "small077", "small078",
-            "small079", "small080", "small081", "small082", "small083", "small084",
-            "small085", "small086", "small087", "small088", "small089", "small090",
-            "small091", "small092", "small093", "small094", "small095", "small096",
-            "small097", "small098", "small099", "small100", "small101", "small102",
-            "small103", "small104", "small105", "small106", "small107", "small108",
-            "small109", "small110", "small111", "small112", "small113", "small114",
-            "small115", "small116", "small117", "small118", "small119", "small120",
-            "small121", "small122", "small123", "small124", "small125", "small126",
+            "small001", "small002", "small003", "small004", "small005", "small006", "small007",
+            "small008", "small009", "small010", "small011", "small012", "small013", "small014",
+            "small015", "small016", "small017", "small018", "small019", "small020", "small021",
+            "small022", "small023", "small024", "small025", "small026", "small027", "small028",
+            "small029", "small030", "small031", "small032", "small033", "small034", "small035",
+            "small036", "small037", "small038", "small039", "small040", "small041", "small042",
+            "small043", "small044", "small045", "small046", "small047", "small048", "small049",
+            "small050", "small051", "small052", "small053", "small054", "small055", "small056",
+            "small057", "small058", "small059", "small060", "small061", "small062", "small063",
+            "small064", "small065", "small066", "small067", "small068", "small069", "small070",
+            "small071", "small072", "small073", "small074", "small075", "small076", "small077",
+            "small078", "small079", "small080", "small081", "small082", "small083", "small084",
+            "small085", "small086", "small087", "small088", "small089", "small090", "small091",
+            "small092", "small093", "small094", "small095", "small096", "small097", "small098",
+            "small099", "small100", "small101", "small102", "small103", "small104", "small105",
+            "small106", "small107", "small108", "small109", "small110", "small111", "small112",
+            "small113", "small114", "small115", "small116", "small117", "small118", "small119",
+            "small120", "small121", "small122", "small123", "small124", "small125", "small126",
             "small127",
         ]
     };
@@ -176,7 +179,11 @@ pub fn registry_all() -> Vec<CircuitEntry> {
         all.push(CircuitEntry {
             name,
             suite: "synthetic",
-            paper: PaperStats { inputs, inm: inm.min(inputs), outputs },
+            paper: PaperStats {
+                inputs,
+                inm: inm.min(inputs),
+                outputs,
+            },
             family,
             seed: 0xBEEF + k as u64,
         });
@@ -282,8 +289,9 @@ fn build_cone(aig: &mut Aig, kind: ConeKind, window: &[AigLit], rng: &mut StdRng
         }
         ConeKind::Equality => {
             let half = w / 2;
-            let eqs: Vec<AigLit> =
-                (0..half).map(|i| aig.xnor(window[i], window[half + i])).collect();
+            let eqs: Vec<AigLit> = (0..half)
+                .map(|i| aig.xnor(window[i], window[half + i]))
+                .collect();
             aig.and_many(&eqs)
         }
         ConeKind::LessThan => {

@@ -171,11 +171,7 @@ fn carry_lookahead_matches_ripple() {
                 let mut ins = from_u64(a, n);
                 ins.extend(from_u64(b, n));
                 ins.push(cin == 1);
-                assert_eq!(
-                    cla.eval(&ins),
-                    rip.eval(&ins),
-                    "a={a} b={b} cin={cin}"
-                );
+                assert_eq!(cla.eval(&ins), rip.eval(&ins), "a={a} b={b} cin={cin}");
             }
         }
     }

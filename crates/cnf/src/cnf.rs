@@ -20,7 +20,10 @@ impl Cnf {
 
     /// Creates a formula with `num_vars` pre-allocated variables.
     pub fn with_vars(num_vars: usize) -> Self {
-        Cnf { num_vars, clauses: Vec::new() }
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
     }
 
     /// Allocates and returns a fresh variable.
@@ -127,6 +130,11 @@ impl Cnf {
 
 impl fmt::Debug for Cnf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Cnf {{ vars: {}, clauses: {} }}", self.num_vars, self.clauses.len())
+        write!(
+            f,
+            "Cnf {{ vars: {}, clauses: {} }}",
+            self.num_vars,
+            self.clauses.len()
+        )
     }
 }

@@ -80,12 +80,18 @@ fn parse_inner(text: &str, allow_prefix: bool) -> Result<QdimacsFile, DimacsErro
             return Err(DimacsError("clause before `p cnf` header".into()));
         };
         if (line.starts_with('a') || line.starts_with('e'))
-            && line[1..].trim_start().starts_with(|c: char| c.is_ascii_digit() || c == '-')
+            && line[1..]
+                .trim_start()
+                .starts_with(|c: char| c.is_ascii_digit() || c == '-')
         {
             if !allow_prefix {
                 return Err(DimacsError("quantifier line in plain CNF".into()));
             }
-            let quant = if line.starts_with('a') { Quant::Forall } else { Quant::Exists };
+            let quant = if line.starts_with('a') {
+                Quant::Forall
+            } else {
+                Quant::Exists
+            };
             let mut vars = Vec::new();
             for tok in line[1..].split_whitespace() {
                 let n: i64 = tok

@@ -31,7 +31,7 @@ pub mod tseitin;
 
 pub use cnf::Cnf;
 pub use dimacs::{
-    parse_dimacs, parse_qdimacs, write_dimacs, write_qdimacs, DimacsError, Quant, QdimacsFile,
+    parse_dimacs, parse_qdimacs, write_dimacs, write_qdimacs, DimacsError, QdimacsFile, Quant,
 };
 pub use lit::{Lit, Var};
 

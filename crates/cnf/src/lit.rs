@@ -137,7 +137,12 @@ impl std::ops::Not for Lit {
 
 impl fmt::Debug for Lit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}v{}", if self.is_neg() { "¬" } else { "" }, self.var().index())
+        write!(
+            f,
+            "{}v{}",
+            if self.is_neg() { "¬" } else { "" },
+            self.var().index()
+        )
     }
 }
 

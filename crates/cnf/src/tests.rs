@@ -97,8 +97,14 @@ fn dimacs_round_trip() {
 fn dimacs_rejects_malformed() {
     assert!(parse_dimacs("1 2 0").is_err(), "missing header");
     assert!(parse_dimacs("p cnf x 2\n").is_err(), "bad header");
-    assert!(parse_dimacs("p cnf 2 1\n1 2\n").is_err(), "unterminated clause");
-    assert!(parse_dimacs("p cnf 2 1\na 1 0\n1 0").is_err(), "prefix in plain cnf");
+    assert!(
+        parse_dimacs("p cnf 2 1\n1 2\n").is_err(),
+        "unterminated clause"
+    );
+    assert!(
+        parse_dimacs("p cnf 2 1\na 1 0\n1 0").is_err(),
+        "prefix in plain cnf"
+    );
 }
 
 #[test]
@@ -176,12 +182,18 @@ fn tseitin_constant_root() {
     let mut enc = AigCnf::new();
     let l = enc.encode(&mut cnf, &aig, step_aig::AigLit::TRUE);
     cnf.add_unit(l);
-    assert!(!projected_models(&cnf, 0).is_empty(), "TRUE must be satisfiable");
+    assert!(
+        !projected_models(&cnf, 0).is_empty(),
+        "TRUE must be satisfiable"
+    );
     let mut cnf2 = Cnf::new();
     let mut enc2 = AigCnf::new();
     let l2 = enc2.encode(&mut cnf2, &aig, step_aig::AigLit::FALSE);
     cnf2.add_unit(l2);
-    assert!(projected_models(&cnf2, 0).is_empty(), "FALSE must be unsatisfiable");
+    assert!(
+        projected_models(&cnf2, 0).is_empty(),
+        "FALSE must be unsatisfiable"
+    );
 }
 
 #[test]
@@ -224,11 +236,21 @@ fn plaisted_greenbaum_equisatisfiable() {
     assert!(pg.num_clauses() < full.num_clauses(), "PG must be smaller");
     let full_models: std::collections::HashSet<Vec<bool>> = projected_models(&full, 3)
         .into_iter()
-        .map(|m| in_full.iter().map(|l| l.eval(&[m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1])).collect())
+        .map(|m| {
+            in_full
+                .iter()
+                .map(|l| l.eval(&[m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1]))
+                .collect()
+        })
         .collect();
     let pg_models: std::collections::HashSet<Vec<bool>> = projected_models(&pg, 3)
         .into_iter()
-        .map(|m| in_pg.iter().map(|l| l.eval(&[m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1])).collect())
+        .map(|m| {
+            in_pg
+                .iter()
+                .map(|l| l.eval(&[m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1]))
+                .collect()
+        })
         .collect();
     assert_eq!(full_models, pg_models);
     // Ground truth: assignments with f = 1.

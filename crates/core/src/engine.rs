@@ -140,7 +140,10 @@ pub struct BiDecomposer {
 impl BiDecomposer {
     /// Creates an engine with the given configuration.
     pub fn new(config: DecompConfig) -> Self {
-        BiDecomposer { config, sim_seed: 0x5DEECE66D }
+        BiDecomposer {
+            config,
+            sim_seed: 0x5DEECE66D,
+        }
     }
 
     /// The active configuration.
@@ -203,7 +206,10 @@ impl BiDecomposer {
         }
 
         let candidates = if self.config.sim_filter {
-            self.sim_seed = self.sim_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.sim_seed = self
+                .sim_seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1);
             Some(sim_filter_pairs(
                 &cone.aig,
                 cone.root,
@@ -248,20 +254,19 @@ impl BiDecomposer {
             },
             Model::QbfDisjoint | Model::QbfBalanced | Model::QbfCombined => {
                 // Bootstrap from STEP-MG, as in the paper.
-                let bootstrap =
-                    match mg::decompose(&mut oracle, candidates.as_deref(), deadline) {
-                        MgOutcome::Partition(p) => Some(p),
-                        MgOutcome::NotDecomposable => {
-                            // Proved undecomposable — the QBF search is
-                            // unnecessary.
-                            result.solved = true;
-                            result.proved_optimal = true;
-                            result.sat_calls = oracle.sat_calls;
-                            result.cpu = start.elapsed();
-                            return Ok(result);
-                        }
-                        MgOutcome::Timeout => None,
-                    };
+                let bootstrap = match mg::decompose(&mut oracle, candidates.as_deref(), deadline) {
+                    MgOutcome::Partition(p) => Some(p),
+                    MgOutcome::NotDecomposable => {
+                        // Proved undecomposable — the QBF search is
+                        // unnecessary.
+                        result.solved = true;
+                        result.proved_optimal = true;
+                        result.sat_calls = oracle.sat_calls;
+                        result.cpu = start.elapsed();
+                        return Ok(result);
+                    }
+                    MgOutcome::Timeout => None,
+                };
                 if bootstrap.is_none() {
                     result.timed_out = true;
                     None
@@ -334,7 +339,11 @@ impl BiDecomposer {
     ///
     /// [`StepError::Internal`] on internal inconsistencies (dangling
     /// latches surface here too).
-    pub fn decompose_circuit(&mut self, circuit: &Aig, op: GateOp) -> Result<CircuitResult, StepError> {
+    pub fn decompose_circuit(
+        &mut self,
+        circuit: &Aig,
+        op: GateOp,
+    ) -> Result<CircuitResult, StepError> {
         let start = Instant::now();
         let comb;
         let aig = if circuit.is_comb() {
@@ -379,6 +388,10 @@ impl BiDecomposer {
             timed_out |= r.timed_out;
             outputs.push(r);
         }
-        Ok(CircuitResult { outputs, cpu: start.elapsed(), timed_out })
+        Ok(CircuitResult {
+            outputs,
+            cpu: start.elapsed(),
+            timed_out,
+        })
     }
 }

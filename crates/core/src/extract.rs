@@ -142,10 +142,8 @@ fn extract_or(
     let itp_a = {
         let mut cnf = Cnf::new();
         let x_vars: Vec<Var> = (0..n).map(|_| cnf.new_var()).collect();
-        let xp_vars: HashMap<usize, Var> =
-            xa.iter().map(|&i| (i, cnf.new_var())).collect();
-        let xpp_vars: HashMap<usize, Var> =
-            xb.iter().map(|&i| (i, cnf.new_var())).collect();
+        let xp_vars: HashMap<usize, Var> = xa.iter().map(|&i| (i, cnf.new_var())).collect();
+        let xpp_vars: HashMap<usize, Var> = xb.iter().map(|&i| (i, cnf.new_var())).collect();
 
         // Copy 1: g over X.
         let mut enc1 = AigCnf::new();
@@ -180,8 +178,7 @@ fn extract_or(
     let itp_b = {
         let mut cnf = Cnf::new();
         let x_vars: Vec<Var> = (0..n).map(|_| cnf.new_var()).collect();
-        let xp_vars: HashMap<usize, Var> =
-            xa.iter().map(|&i| (i, cnf.new_var())).collect();
+        let xp_vars: HashMap<usize, Var> = xa.iter().map(|&i| (i, cnf.new_var())).collect();
 
         let mut enc1 = AigCnf::new();
         for i in 0..n {
@@ -311,5 +308,12 @@ pub fn extract_by_quantification(
         }
         GateOp::Xor => return extract_xor(cone, root, partition),
     };
-    Decomposition { aig: result, f: root, fa, fb, op, partition: partition.clone() }
+    Decomposition {
+        aig: result,
+        f: root,
+        fa,
+        fb,
+        op,
+        partition: partition.clone(),
+    }
 }

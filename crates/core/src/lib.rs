@@ -26,8 +26,9 @@
 //!   (Section IV-A-6);
 //! * [`ljh`] / [`mg`] — the two baselines the evaluation compares
 //!   against;
-//! * [`extract`] — interpolation/cofactor extraction of `fA`, `fB`;
-//! * [`verify`] — support + SAT equivalence checking;
+//! * [`extract`](mod@extract) — interpolation/cofactor extraction of
+//!   `fA`, `fB`;
+//! * [`verify`](mod@verify) — support + SAT equivalence checking;
 //! * [`engine`] — the per-output / per-circuit driver with the
 //!   paper's budget structure.
 //!

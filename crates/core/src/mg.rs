@@ -146,7 +146,10 @@ fn partition_from_mus(
         }
     }
 
-    let config = MusConfig { deadline, conflicts_per_call: None };
+    let config = MusConfig {
+        deadline,
+        conflicts_per_call: None,
+    };
     let mus = group_mus(&cnf, &groups, &config)?;
 
     // Kept group ⇒ the equality stays ⇒ the variable is NOT freed on

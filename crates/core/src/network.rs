@@ -13,7 +13,7 @@
 //!   chosen gates and whose leaves are (small) undecomposable
 //!   functions with their own input supports;
 //! * [`DecompTree::to_aig`] rebuilds the network as an AIG for
-//!   verification ([`crate::verify`]-style miter checks are exercised
+//!   verification ([`crate::verify()`]-style miter checks are exercised
 //!   in the tests) and [`DecompTree::render`] pretty-prints the
 //!   structure.
 
@@ -125,11 +125,15 @@ impl DecompTree {
     /// `num_inputs` inputs (named `x<i>`).
     pub fn to_aig(&self) -> Aig {
         let mut aig = Aig::new();
-        let inputs: Vec<AigLit> =
-            (0..self.num_inputs).map(|i| aig.add_input(format!("x{i}"))).collect();
+        let inputs: Vec<AigLit> = (0..self.num_inputs)
+            .map(|i| aig.add_input(format!("x{i}")))
+            .collect();
         fn rec(n: &TreeNode, aig: &mut Aig, inputs: &[AigLit]) -> AigLit {
             match n {
-                TreeNode::Leaf { func, inputs: leaf_ins } => {
+                TreeNode::Leaf {
+                    func,
+                    inputs: leaf_ins,
+                } => {
                     let mut map = std::collections::HashMap::new();
                     for (k, &orig) in leaf_ins.iter().enumerate() {
                         map.insert(func.input_node(k), inputs[orig]);
@@ -225,7 +229,10 @@ pub fn decompose_tree(
     let cone = aig.cone(output.lit());
     let identity: Vec<usize> = cone.leaves.clone();
     let root = rec(engine, &cone.aig, cone.root, &identity, opts, 0)?;
-    Ok(DecompTree { root, num_inputs: aig.num_inputs() })
+    Ok(DecompTree {
+        root,
+        num_inputs: aig.num_inputs(),
+    })
 }
 
 fn rec(
@@ -241,13 +248,14 @@ fn rec(
         let inputs: Vec<usize> = cone.leaves.iter().map(|&l| orig[l]).collect();
         let mut leaf = cone.aig;
         leaf.add_output("leaf", cone.root);
-        TreeNode::Leaf { func: leaf.compact(), inputs }
+        TreeNode::Leaf {
+            func: leaf.compact(),
+            inputs,
+        }
     };
 
     let support = func.support(root);
-    if support.len() < opts.min_support.max(2)
-        || opts.max_depth.is_some_and(|d| depth >= d)
-    {
+    if support.len() < opts.min_support.max(2) || opts.max_depth.is_some_and(|d| depth >= d) {
         return Ok(make_leaf(func, root, orig_inputs));
     }
 
@@ -268,7 +276,11 @@ fn rec(
         };
         let left = rec(engine, &d.aig, d.fa, &mapped, opts, depth + 1)?;
         let right = rec(engine, &d.aig, d.fb, &mapped, opts, depth + 1)?;
-        return Ok(TreeNode::Gate { op, left: Box::new(left), right: Box::new(right) });
+        return Ok(TreeNode::Gate {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        });
     }
     Ok(make_leaf(func, root, orig_inputs))
 }
@@ -300,8 +312,17 @@ mod tests {
         aig.add_output("f", f);
 
         let tree = decompose_tree(&mut engine(), &aig, 0, &TreeOptions::default()).unwrap();
-        assert!(tree.num_gates() >= 3, "at least the three cube joins: \n{}", tree.render());
-        assert_eq!(tree.max_leaf_support(), 1, "leaves must be literals:\n{}", tree.render());
+        assert!(
+            tree.num_gates() >= 3,
+            "at least the three cube joins: \n{}",
+            tree.render()
+        );
+        assert_eq!(
+            tree.max_leaf_support(),
+            1,
+            "leaves must be literals:\n{}",
+            tree.render()
+        );
         // Exhaustive functional equivalence.
         for v in all_inputs(6) {
             assert_eq!(tree.eval(&v), aig.eval(&v)[0], "at {v:?}");
@@ -319,9 +340,17 @@ mod tests {
         let xs: Vec<AigLit> = (0..5).map(|i| aig.add_input(format!("x{i}"))).collect();
         let f = aig.xor_many(&xs);
         aig.add_output("f", f);
-        let opts = TreeOptions { ops: [GateOp::Xor, GateOp::Or, GateOp::And], ..TreeOptions::default() };
+        let opts = TreeOptions {
+            ops: [GateOp::Xor, GateOp::Or, GateOp::And],
+            ..TreeOptions::default()
+        };
         let tree = decompose_tree(&mut engine(), &aig, 0, &opts).unwrap();
-        assert_eq!(tree.num_gates(), 4, "n-input parity needs n-1 XORs:\n{}", tree.render());
+        assert_eq!(
+            tree.num_gates(),
+            4,
+            "n-input parity needs n-1 XORs:\n{}",
+            tree.render()
+        );
         assert_eq!(tree.max_leaf_support(), 1);
         for v in all_inputs(5) {
             assert_eq!(tree.eval(&v), aig.eval(&v)[0]);

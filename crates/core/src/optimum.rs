@@ -53,9 +53,7 @@ impl Metric {
     /// non-trivial partition satisfies it).
     pub fn k_max(self, n: usize) -> usize {
         match self {
-            Metric::Weighted { wd, wb } => {
-                (wd as usize + wb as usize) * n.saturating_sub(2)
-            }
+            Metric::Weighted { wd, wb } => (wd as usize + wb as usize) * n.saturating_sub(2),
             _ => n.saturating_sub(2),
         }
     }

@@ -77,7 +77,11 @@ impl CoreFormula {
         let x = add_block(&mut aig, "x");
         let xp = add_block(&mut aig, "xp");
         let xpp = add_block(&mut aig, "xpp");
-        let xppp = if op == GateOp::Xor { add_block(&mut aig, "xppp") } else { Vec::new() };
+        let xppp = if op == GateOp::Xor {
+            add_block(&mut aig, "xppp")
+        } else {
+            Vec::new()
+        };
         let alpha = add_block(&mut aig, "a");
         let beta = add_block(&mut aig, "b");
 
@@ -132,7 +136,18 @@ impl CoreFormula {
         let eq_all = aig.and_many(&eqs);
         let core = aig.and(body, eq_all);
 
-        CoreFormula { aig, root: core, n, op, x, xp, xpp, xppp, alpha, beta }
+        CoreFormula {
+            aig,
+            root: core,
+            n,
+            op,
+            x,
+            xp,
+            xpp,
+            xppp,
+            alpha,
+            beta,
+        }
     }
 
     /// All universal (`Y`) inputs: the circuit copies.
@@ -193,7 +208,13 @@ impl PartitionOracle {
         cnf.add_unit(r);
         let mut solver = Solver::new();
         solver.add_cnf(&cnf);
-        PartitionOracle { core, solver, alpha_lits, beta_lits, sat_calls: 0 }
+        PartitionOracle {
+            core,
+            solver,
+            alpha_lits,
+            beta_lits,
+            sat_calls: 0,
+        }
     }
 
     /// The underlying core formula.
@@ -224,7 +245,12 @@ impl PartitionOracle {
             .iter()
             .zip(alpha)
             .map(|(&l, &v)| l.xor_sign(!v))
-            .chain(self.beta_lits.iter().zip(beta).map(|(&l, &v)| l.xor_sign(!v)))
+            .chain(
+                self.beta_lits
+                    .iter()
+                    .zip(beta)
+                    .map(|(&l, &v)| l.xor_sign(!v)),
+            )
             .collect();
         self.solver.set_deadline(deadline);
         self.sat_calls += 1;

@@ -22,9 +22,7 @@
 
 use std::time::Instant;
 
-use step_cnf::card::{
-    assert_count_dominates, assert_diff_le, at_least_one, Totalizer,
-};
+use step_cnf::card::{assert_count_dominates, assert_diff_le, at_least_one, Totalizer};
 use step_cnf::{Cnf, Lit};
 use step_qbf::{ExistsForall, Qbf2Config, Qbf2Result};
 
@@ -123,8 +121,7 @@ pub fn solve_partition(
 ) -> (QbfModelOutcome, QbfModelStats) {
     let n = core.n;
     let matrix = !core.root; // ∀Y. ¬core
-    let mut solver =
-        ExistsForall::new(core.aig.clone(), matrix, core.e_pis(), core.y_pis());
+    let mut solver = ExistsForall::new(core.aig.clone(), matrix, core.e_pis(), core.y_pis());
     solver.set_config(Qbf2Config {
         max_iterations: None,
         deadline: opts.call_deadline(),
@@ -215,13 +212,13 @@ pub fn solve_partition(
     });
 
     let outcome = match solver.solve() {
-        Qbf2Result::Valid(witness) => {
-            QbfModelOutcome::Partition(witness_to_partition(&witness, n))
-        }
+        Qbf2Result::Valid(witness) => QbfModelOutcome::Partition(witness_to_partition(&witness, n)),
         Qbf2Result::Invalid => QbfModelOutcome::NoPartition,
         Qbf2Result::Unknown => QbfModelOutcome::Timeout,
     };
-    let stats = QbfModelStats { cegar_iterations: solver.stats().iterations };
+    let stats = QbfModelStats {
+        cegar_iterations: solver.stats().iterations,
+    };
     (outcome, stats)
 }
 

@@ -16,9 +16,7 @@
 //! * the `fT` cardinality clauses for the requested [`Target`];
 //! * the symmetry-breaking constraint when enabled.
 
-use step_cnf::card::{
-    assert_count_dominates, assert_diff_le, at_least_one, Totalizer,
-};
+use step_cnf::card::{assert_count_dominates, assert_diff_le, at_least_one, Totalizer};
 use step_cnf::{tseitin::AigCnf, write_qdimacs, Cnf, Lit, Quant};
 
 use crate::oracle::CoreFormula;
@@ -35,7 +33,10 @@ pub struct ExportOptions {
 
 impl Default for ExportOptions {
     fn default() -> Self {
-        ExportOptions { symmetry_breaking: true, allow_both: false }
+        ExportOptions {
+            symmetry_breaking: true,
+            allow_both: false,
+        }
     }
 }
 
@@ -241,7 +242,10 @@ mod tests {
         let (aig, f) = or_of_ands();
         let core = CoreFormula::build(&aig, f, crate::GateOp::Or);
         let target = Target::DisjointAtMost(0);
-        let opts = ExportOptions { symmetry_breaking: false, allow_both: false };
+        let opts = ExportOptions {
+            symmetry_breaking: false,
+            allow_both: false,
+        };
         let model = export_qdimacs(&core, target, &opts);
         let parsed = parse_qdimacs(&model.text).expect("parse");
 
@@ -256,14 +260,8 @@ mod tests {
             for pattern in 0..64u32 {
                 let mut assumptions = Vec::new();
                 for i in 0..4 {
-                    assumptions.push(Lit::new(
-                        step_cnf::Var::new(model.alpha_vars[i]),
-                        !alpha[i],
-                    ));
-                    assumptions.push(Lit::new(
-                        step_cnf::Var::new(model.beta_vars[i]),
-                        !beta[i],
-                    ));
+                    assumptions.push(Lit::new(step_cnf::Var::new(model.alpha_vars[i]), !alpha[i]));
+                    assumptions.push(Lit::new(step_cnf::Var::new(model.beta_vars[i]), !beta[i]));
                 }
                 let mut uvals = Vec::new();
                 for (k, &uv) in model.universal_vars.iter().enumerate() {
@@ -277,13 +275,7 @@ mod tests {
                 // Semantic ground truth: core must be FALSE under this
                 // assignment (and fN/fT hold for the partition).
                 let mut full = vec![false; core.aig.num_inputs()];
-                for (k, &pi) in core
-                    .x
-                    .iter()
-                    .chain(&core.xp)
-                    .chain(&core.xpp)
-                    .enumerate()
-                {
+                for (k, &pi) in core.x.iter().chain(&core.xp).chain(&core.xpp).enumerate() {
                     full[pi] = uvals[k];
                 }
                 for i in 0..4 {

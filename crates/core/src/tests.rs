@@ -298,7 +298,10 @@ fn ljh_rejects_undecomposable() {
     let (aig, f) = maj3();
     let core = CoreFormula::build(&aig, f, GateOp::Or);
     let mut oracle = PartitionOracle::new(core);
-    assert_eq!(ljh::decompose(&mut oracle, None, None), LjhOutcome::NotDecomposable);
+    assert_eq!(
+        ljh::decompose(&mut oracle, None, None),
+        LjhOutcome::NotDecomposable
+    );
 }
 
 #[test]
@@ -325,7 +328,10 @@ fn mg_rejects_undecomposable() {
     let (aig, f) = maj3();
     let core = CoreFormula::build(&aig, f, GateOp::Or);
     let mut oracle = PartitionOracle::new(core);
-    assert_eq!(mg::decompose(&mut oracle, None, None), MgOutcome::NotDecomposable);
+    assert_eq!(
+        mg::decompose(&mut oracle, None, None),
+        MgOutcome::NotDecomposable
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -357,8 +363,7 @@ fn qbf_disjointness_bound_is_respected() {
     let (aig, f) = shared_var_fn();
     let core = CoreFormula::build(&aig, f, GateOp::Or);
     // k = 1: partition with at most one shared variable exists ({s}).
-    let (outcome, _) =
-        solve_partition(&core, Target::DisjointAtMost(1), &ModelOptions::default());
+    let (outcome, _) = solve_partition(&core, Target::DisjointAtMost(1), &ModelOptions::default());
     match outcome {
         QbfModelOutcome::Partition(p) => {
             assert!(p.num_shared() <= 1);
@@ -368,8 +373,7 @@ fn qbf_disjointness_bound_is_respected() {
         other => panic!("{other:?}"),
     }
     // k = 0: no disjoint partition exists for s∧(a∨b).
-    let (outcome, _) =
-        solve_partition(&core, Target::DisjointAtMost(0), &ModelOptions::default());
+    let (outcome, _) = solve_partition(&core, Target::DisjointAtMost(0), &ModelOptions::default());
     assert_eq!(outcome, QbfModelOutcome::NoPartition);
 }
 
@@ -382,8 +386,7 @@ fn qbf_balancedness_window() {
     let t2 = aig.and(ins[3], ins[4]);
     let f = aig.or(t1, t2);
     let core = CoreFormula::build(&aig, f, GateOp::Or);
-    let (outcome, _) =
-        solve_partition(&core, Target::BalancedWindow(0), &ModelOptions::default());
+    let (outcome, _) = solve_partition(&core, Target::BalancedWindow(0), &ModelOptions::default());
     match outcome {
         QbfModelOutcome::Partition(p) => {
             assert_eq!(p.k_balance(), 0, "{p}");
@@ -398,8 +401,7 @@ fn qbf_combined_target() {
     let (aig, f) = or_of_ands();
     let core = CoreFormula::build(&aig, f, GateOp::Or);
     // (ab)|(cd): k = 0 achievable (|XC|=0, |XA|=|XB|=2).
-    let (outcome, _) =
-        solve_partition(&core, Target::CombinedAtMost(0), &ModelOptions::default());
+    let (outcome, _) = solve_partition(&core, Target::CombinedAtMost(0), &ModelOptions::default());
     match outcome {
         QbfModelOutcome::Partition(p) => {
             assert_eq!(p.k_combined(), 0, "{p}");
@@ -440,7 +442,10 @@ fn all_strategies_agree_on_optimum() {
         assert!(r.proved_optimal, "{strategy:?}");
         optima.push(Metric::Disjointness.k_of(r.partition.as_ref().unwrap()));
     }
-    assert!(optima.windows(2).all(|w| w[0] == w[1]), "optima differ: {optima:?}");
+    assert!(
+        optima.windows(2).all(|w| w[0] == w[1]),
+        "optima differ: {optima:?}"
+    );
     assert_eq!(optima[0], 1, "s∧(a∨b) needs exactly one shared variable");
 }
 

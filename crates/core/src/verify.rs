@@ -39,7 +39,12 @@ impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VerifyError::SupportViolation { side, input } => {
-                write!(f, "f{} depends on out-of-block input {}", side.to_lowercase(), input)
+                write!(
+                    f,
+                    "f{} depends on out-of-block input {}",
+                    side.to_lowercase(),
+                    input
+                )
             }
             VerifyError::NotEquivalent => write!(f, "f differs from fA <op> fB"),
             VerifyError::Budget => write!(f, "verification budget expired"),
@@ -58,12 +63,18 @@ pub fn verify(decomp: &Decomposition, deadline: Option<Instant>) -> Result<(), V
     let p = &decomp.partition;
     for &i in &decomp.aig.support(decomp.fa) {
         if p.class(i) == VarClass::B {
-            return Err(VerifyError::SupportViolation { side: 'A', input: i });
+            return Err(VerifyError::SupportViolation {
+                side: 'A',
+                input: i,
+            });
         }
     }
     for &i in &decomp.aig.support(decomp.fb) {
         if p.class(i) == VarClass::A {
-            return Err(VerifyError::SupportViolation { side: 'B', input: i });
+            return Err(VerifyError::SupportViolation {
+                side: 'B',
+                input: i,
+            });
         }
     }
 

@@ -115,7 +115,11 @@ pub fn mcmillan(proof: &Proof, a_clauses: &[ClauseId]) -> Result<Interpolant, It
     let mut in_b: HashSet<Var> = HashSet::new();
     for (id, step) in proof.steps().iter().enumerate() {
         if let ProofStep::Original { lits } = step {
-            let target = if a_set.contains(&(id as ClauseId)) { &mut in_a } else { &mut in_b };
+            let target = if a_set.contains(&(id as ClauseId)) {
+                &mut in_a
+            } else {
+                &mut in_b
+            };
             for l in lits {
                 target.insert(l.var());
             }
@@ -148,7 +152,9 @@ pub fn mcmillan(proof: &Proof, a_clauses: &[ClauseId]) -> Result<Interpolant, It
                     AigLit::TRUE
                 }
             }
-            ProofStep::Chain { start, resolutions, .. } => {
+            ProofStep::Chain {
+                start, resolutions, ..
+            } => {
                 let get = |cid: ClauseId, label: &[AigLit]| -> Result<AigLit, ItpError> {
                     label
                         .get(cid as usize)
@@ -191,7 +197,10 @@ mod tests {
         s.ensure_vars(nvars);
         let mut a_ids = Vec::new();
         for c in a {
-            a_ids.push(s.add_clause(c.iter().map(|&v| Lit::from_dimacs(v))).unwrap());
+            a_ids.push(
+                s.add_clause(c.iter().map(|&v| Lit::from_dimacs(v)))
+                    .unwrap(),
+            );
         }
         for c in b {
             s.add_clause(c.iter().map(|&v| Lit::from_dimacs(v)));
@@ -220,7 +229,10 @@ mod tests {
             let b_sat = b.iter().all(|c| clause_sat(c, &assignment));
             let i_val = itp.eval_under(&assignment);
             assert!(!(a_sat && !i_val), "A → I violated at {assignment:?}");
-            assert!(!(i_val && b_sat), "I ∧ B must be UNSAT, violated at {assignment:?}");
+            assert!(
+                !(i_val && b_sat),
+                "I ∧ B must be UNSAT, violated at {assignment:?}"
+            );
         }
     }
 

@@ -138,7 +138,10 @@ pub fn group_mus(hard: &Cnf, groups: &[Vec<Vec<Lit>>], config: &MusConfig) -> Op
             }
         }
     }
-    Some(MusResult { groups: current, minimal })
+    Some(MusResult {
+        groups: current,
+        minimal,
+    })
 }
 
 fn core_groups(solver: &Solver, selectors: &[Lit]) -> Vec<usize> {
@@ -189,11 +192,13 @@ mod tests {
     /// Checks the MUS contract: unsat as returned, and removing any
     /// single group restores satisfiability.
     fn assert_is_mus(hard: &Cnf, groups: &[Vec<Vec<Lit>>], result: &MusResult) {
-        assert!(is_unsat(hard, groups, &result.groups), "kept groups must be UNSAT");
+        assert!(
+            is_unsat(hard, groups, &result.groups),
+            "kept groups must be UNSAT"
+        );
         assert!(result.minimal);
         for &g in &result.groups {
-            let rest: Vec<usize> =
-                result.groups.iter().copied().filter(|&x| x != g).collect();
+            let rest: Vec<usize> = result.groups.iter().copied().filter(|&x| x != g).collect();
             assert!(
                 !is_unsat(hard, groups, &rest),
                 "dropping group {g} must make it SAT"
@@ -272,10 +277,7 @@ mod tests {
         let mut hard = Cnf::new();
         hard.ensure_vars(3);
         hard.add_clause([lit(1), lit(2)]);
-        let groups = vec![
-            vec![vec![lit(-1)], vec![lit(-2)]],
-            vec![vec![lit(3)]],
-        ];
+        let groups = vec![vec![vec![lit(-1)], vec![lit(-2)]], vec![vec![lit(3)]]];
         let r = group_mus(&hard, &groups, &MusConfig::default()).unwrap();
         assert_eq!(r.groups, vec![0]);
         assert_is_mus(&hard, &groups, &r);

@@ -42,7 +42,10 @@ fn main() {
             std::process::exit(1);
         })
     };
-    let config = Qbf2Config { max_iterations: max_iters, ..Qbf2Config::default() };
+    let config = Qbf2Config {
+        max_iterations: max_iters,
+        ..Qbf2Config::default()
+    };
     match solve_qdimacs(&text, config) {
         Ok(QbfOutcome::True) => {
             println!("s cnf 1");

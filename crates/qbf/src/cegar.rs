@@ -17,8 +17,7 @@ pub enum Qbf2Result {
 }
 
 /// Budgets for a 2QBF solve, mirroring the paper's per-QBF-call limits.
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Qbf2Config {
     /// Maximum CEGAR iterations (`None` = unlimited).
     pub max_iterations: Option<u64>,
@@ -27,7 +26,6 @@ pub struct Qbf2Config {
     /// Conflict budget per underlying SAT call (`None` = unlimited).
     pub conflicts_per_call: Option<u64>,
 }
-
 
 /// Counters from a CEGAR run.
 #[derive(Clone, Copy, Default, Debug)]
@@ -178,7 +176,8 @@ impl ExistsForall {
         build(&mut self.abs_cnf, &e_lits);
         self.abs.ensure_vars(self.abs_cnf.num_vars());
         for i in before..self.abs_cnf.num_clauses() {
-            self.abs.add_clause(self.abs_cnf.clauses()[i].iter().copied());
+            self.abs
+                .add_clause(self.abs_cnf.clauses()[i].iter().copied());
         }
         self.abs_sent = self.abs_cnf.num_clauses();
     }
@@ -216,7 +215,8 @@ impl ExistsForall {
             };
 
             // 2. Counterexample check: ∃U. ¬φ(candidate, U)?
-            self.check.set_conflict_budget(self.config.conflicts_per_call);
+            self.check
+                .set_conflict_budget(self.config.conflicts_per_call);
             let assumptions: Vec<Lit> = self
                 .check_e_vars
                 .iter()
@@ -231,9 +231,7 @@ impl ExistsForall {
                         .u_pis
                         .iter()
                         .zip(&self.check_u_vars)
-                        .map(|(&pi, &v)| {
-                            (pi, self.check.model_value(Lit::pos(v)).unwrap_or(false))
-                        })
+                        .map(|(&pi, &v)| (pi, self.check.model_value(Lit::pos(v)).unwrap_or(false)))
                         .collect();
                     self.refine(&u_star);
                 }
@@ -250,7 +248,8 @@ impl ExistsForall {
         self.abs_cnf.add_unit(lit);
         self.abs.ensure_vars(self.abs_cnf.num_vars());
         for i in self.abs_sent..self.abs_cnf.num_clauses() {
-            self.abs.add_clause(self.abs_cnf.clauses()[i].iter().copied());
+            self.abs
+                .add_clause(self.abs_cnf.clauses()[i].iter().copied());
         }
         self.abs_sent = self.abs_cnf.num_clauses();
     }

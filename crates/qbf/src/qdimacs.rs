@@ -65,7 +65,10 @@ pub fn solve_qdimacs(text: &str, config: Qbf2Config) -> Result<QbfOutcome, Qdima
         }
     }
     if blocks.len() > 2 {
-        return Err(QdimacsError(format!("{} quantifier blocks; only 2QBF supported", blocks.len())));
+        return Err(QdimacsError(format!(
+            "{} quantifier blocks; only 2QBF supported",
+            blocks.len()
+        )));
     }
 
     // Build the matrix AIG.
@@ -84,11 +87,13 @@ pub fn solve_qdimacs(text: &str, config: Qbf2Config) -> Result<QbfOutcome, Qdima
     match blocks.as_slice() {
         [] => {
             // Ground formula.
-            Ok(if matrix == AigLit::TRUE { QbfOutcome::True } else { QbfOutcome::False })
+            Ok(if matrix == AigLit::TRUE {
+                QbfOutcome::True
+            } else {
+                QbfOutcome::False
+            })
         }
-        [(Quant::Exists, evars)] => {
-            run(aig, matrix, evars.clone(), Vec::new(), config, false)
-        }
+        [(Quant::Exists, evars)] => run(aig, matrix, evars.clone(), Vec::new(), config, false),
         [(Quant::Forall, uvars)] => {
             // ∀U.φ ≡ ¬∃U.¬φ
             run(aig, !matrix, uvars.clone(), Vec::new(), config, true)

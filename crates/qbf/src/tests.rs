@@ -150,7 +150,10 @@ fn iteration_budget_reports_unknown() {
     let eqs: Vec<_> = (0..4).map(|i| aig.xnor(xs[i], ys[i])).collect();
     let m = aig.and_many(&eqs);
     let mut s = ExistsForall::new(aig, m, (0..4).collect(), (4..8).collect());
-    s.set_config(Qbf2Config { max_iterations: Some(1), ..Qbf2Config::default() });
+    s.set_config(Qbf2Config {
+        max_iterations: Some(1),
+        ..Qbf2Config::default()
+    });
     assert_eq!(s.solve(), Qbf2Result::Unknown);
 }
 
@@ -176,31 +179,49 @@ fn deadline_reports_unknown() {
 fn qdimacs_forall_exists_true() {
     // ∀x ∃y. (x ∨ y) ∧ (¬x ∨ ¬y): y = ¬x always works.
     let text = "p cnf 2 2\na 1 0\ne 2 0\n1 2 0\n-1 -2 0\n";
-    assert_eq!(solve_qdimacs(text, Qbf2Config::default()).unwrap(), QbfOutcome::True);
+    assert_eq!(
+        solve_qdimacs(text, Qbf2Config::default()).unwrap(),
+        QbfOutcome::True
+    );
 }
 
 #[test]
 fn qdimacs_exists_forall_false() {
     // ∃y ∀x. (x ∨ y) ∧ (¬x ∨ ¬y): no fixed y works for both x values.
     let text = "p cnf 2 2\ne 2 0\na 1 0\n1 2 0\n-1 -2 0\n";
-    assert_eq!(solve_qdimacs(text, Qbf2Config::default()).unwrap(), QbfOutcome::False);
+    assert_eq!(
+        solve_qdimacs(text, Qbf2Config::default()).unwrap(),
+        QbfOutcome::False
+    );
 }
 
 #[test]
 fn qdimacs_free_variables_are_existential() {
     // Free var 1 with clause (1): satisfiable.
     let text = "p cnf 1 1\n1 0\n";
-    assert_eq!(solve_qdimacs(text, Qbf2Config::default()).unwrap(), QbfOutcome::True);
+    assert_eq!(
+        solve_qdimacs(text, Qbf2Config::default()).unwrap(),
+        QbfOutcome::True
+    );
     let text2 = "p cnf 1 2\n1 0\n-1 0\n";
-    assert_eq!(solve_qdimacs(text2, Qbf2Config::default()).unwrap(), QbfOutcome::False);
+    assert_eq!(
+        solve_qdimacs(text2, Qbf2Config::default()).unwrap(),
+        QbfOutcome::False
+    );
 }
 
 #[test]
 fn qdimacs_pure_forall() {
     let taut = "p cnf 1 1\na 1 0\n1 -1 0\n";
-    assert_eq!(solve_qdimacs(taut, Qbf2Config::default()).unwrap(), QbfOutcome::True);
+    assert_eq!(
+        solve_qdimacs(taut, Qbf2Config::default()).unwrap(),
+        QbfOutcome::True
+    );
     let not_taut = "p cnf 1 1\na 1 0\n1 0\n";
-    assert_eq!(solve_qdimacs(not_taut, Qbf2Config::default()).unwrap(), QbfOutcome::False);
+    assert_eq!(
+        solve_qdimacs(not_taut, Qbf2Config::default()).unwrap(),
+        QbfOutcome::False
+    );
 }
 
 #[test]

@@ -64,7 +64,10 @@ fn main() {
             for v in 0..cnf.num_vars() {
                 let lit = Lit::pos(Var::new(v));
                 let val = solver.model_value(lit).unwrap_or(false);
-                line.push_str(&format!(" {}", if val { v as i64 + 1 } else { -(v as i64 + 1) }));
+                line.push_str(&format!(
+                    " {}",
+                    if val { v as i64 + 1 } else { -(v as i64 + 1) }
+                ));
             }
             line.push_str(" 0");
             println!("{line}");

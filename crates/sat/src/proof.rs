@@ -82,7 +82,11 @@ impl Proof {
     pub fn check_step(&self, id: ClauseId) -> bool {
         match &self.steps[id as usize] {
             ProofStep::Original { .. } => true,
-            ProofStep::Chain { lits, start, resolutions } => {
+            ProofStep::Chain {
+                lits,
+                start,
+                resolutions,
+            } => {
                 let mut cur: Vec<Lit> = self.steps[*start as usize].lits().to_vec();
                 for &(pivot, cid) in resolutions {
                     let other = self.steps[cid as usize].lits();
@@ -96,11 +100,8 @@ impl Proof {
                     if !ok {
                         return false;
                     }
-                    let mut next: Vec<Lit> = cur
-                        .iter()
-                        .copied()
-                        .filter(|l| l.var() != pivot)
-                        .collect();
+                    let mut next: Vec<Lit> =
+                        cur.iter().copied().filter(|l| l.var() != pivot).collect();
                     for &l in other {
                         if l.var() != pivot && !next.contains(&l) {
                             next.push(l);

@@ -148,7 +148,10 @@ impl Solver {
     pub fn new_var(&mut self) -> Var {
         let v = Var::new(self.assigns.len());
         self.assigns.push(LBOOL_UNDEF);
-        self.vardata.push(VarData { reason: NO_REASON, level: 0 });
+        self.vardata.push(VarData {
+            reason: NO_REASON,
+            level: 0,
+        });
         self.polarity.push(false);
         self.activity.push(0.0);
         self.seen.push(false);
@@ -235,7 +238,10 @@ impl Solver {
         assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
         let mut c: Vec<Lit> = lits.into_iter().collect();
         for l in &c {
-            assert!(l.var().index() < self.num_vars(), "unallocated variable in clause");
+            assert!(
+                l.var().index() < self.num_vars(),
+                "unallocated variable in clause"
+            );
         }
         c.sort_unstable();
         c.dedup();
@@ -264,7 +270,10 @@ impl Solver {
         }
         // Order literals: non-false first so watches are sound.
         c.sort_by_key(|&l| self.value_lit(l) == LBOOL_FALSE);
-        let n_watchable = c.iter().filter(|&&l| self.value_lit(l) != LBOOL_FALSE).count();
+        let n_watchable = c
+            .iter()
+            .filter(|&&l| self.value_lit(l) != LBOOL_FALSE)
+            .count();
         let cref = self.alloc_clause(c, false, pid.unwrap_or(0));
         match n_watchable {
             0 => {
@@ -302,7 +311,14 @@ impl Solver {
 
     fn alloc_clause(&mut self, lits: Vec<Lit>, learnt: bool, proof_id: ClauseId) -> ClauseRef {
         let cref = self.clauses.len() as ClauseRef;
-        self.clauses.push(Clause { lits, learnt, deleted: false, activity: 0.0, lbd: 0, proof_id });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+            lbd: 0,
+            proof_id,
+        });
         if learnt {
             self.learnt_refs.push(cref);
             self.stats.learnts += 1;
@@ -327,7 +343,10 @@ impl Solver {
     fn enqueue(&mut self, l: Lit, reason: ClauseRef) {
         debug_assert_eq!(self.value_lit(l), LBOOL_UNDEF);
         self.assigns[l.var().index()] = (!l.is_neg()) as u8;
-        self.vardata[l.var().index()] = VarData { reason, level: self.decision_level() };
+        self.vardata[l.var().index()] = VarData {
+            reason,
+            level: self.decision_level(),
+        };
         self.trail.push(l);
     }
 
@@ -381,7 +400,10 @@ impl Solver {
                     debug_assert_eq!(c.lits[1], false_lit);
                 }
                 let first = self.clauses[w.cref as usize].lits[0];
-                let w = Watcher { cref: w.cref, blocker: first };
+                let w = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
                 if self.value_lit(first) == LBOOL_TRUE {
                     kept.push(w);
                     continue;
@@ -567,9 +589,10 @@ impl Solver {
         if r == NO_REASON {
             return false;
         }
-        self.clauses[r as usize].lits.iter().all(|&q| {
-            q.var() == l.var() || self.seen[q.var().index()] || self.level(q.var()) == 0
-        })
+        self.clauses[r as usize]
+            .lits
+            .iter()
+            .all(|&q| q.var() == l.var() || self.seen[q.var().index()] || self.level(q.var()) == 0)
     }
 
     /// Appends resolutions eliminating all marked level-0 variables, in
@@ -621,7 +644,11 @@ impl Solver {
         }
         let res = self.level0_resolutions(&mut zero_seen, worklist);
         if let Some(p) = self.proof.as_mut() {
-            p.push(ProofStep::Chain { lits: Vec::new(), start, resolutions: res });
+            p.push(ProofStep::Chain {
+                lits: Vec::new(),
+                start,
+                resolutions: res,
+            });
         }
     }
 
@@ -672,13 +699,16 @@ impl Solver {
 
     fn reduce_db(&mut self) {
         let act = |c: &Clause| c.activity;
-        self.learnt_refs.retain(|&r| !self.clauses[r as usize].deleted);
+        self.learnt_refs
+            .retain(|&r| !self.clauses[r as usize].deleted);
         let mut refs = self.learnt_refs.clone();
         refs.sort_by(|&a, &b| {
             let (ca, cb) = (&self.clauses[a as usize], &self.clauses[b as usize]);
-            ca.lbd
-                .cmp(&cb.lbd)
-                .then(act(cb).partial_cmp(&act(ca)).unwrap_or(std::cmp::Ordering::Equal))
+            ca.lbd.cmp(&cb.lbd).then(
+                act(cb)
+                    .partial_cmp(&act(ca))
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         // Delete the worse half, keeping locked clauses and LBD <= 2.
         let keep_from = refs.len() / 2;
@@ -694,7 +724,8 @@ impl Solver {
                 self.stats.learnts -= 1;
             }
         }
-        self.learnt_refs.retain(|&r| !self.clauses[r as usize].deleted);
+        self.learnt_refs
+            .retain(|&r| !self.clauses[r as usize].deleted);
     }
 
     fn luby(mut x: u64) -> u64 {

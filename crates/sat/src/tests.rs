@@ -174,10 +174,16 @@ fn add_cnf_interface() {
 #[test]
 fn assumptions_flip_result() {
     let mut s = solver_with(2, &[&[1, 2]]);
-    assert_eq!(s.solve_with_assumptions(&[lit(-1), lit(-2)]), SolveResult::Unsat);
+    assert_eq!(
+        s.solve_with_assumptions(&[lit(-1), lit(-2)]),
+        SolveResult::Unsat
+    );
     assert_eq!(s.solve_with_assumptions(&[lit(-1)]), SolveResult::Sat);
     assert_eq!(s.model_value(lit(2)), Some(true));
-    assert_eq!(s.solve_with_assumptions(&[lit(1), lit(2)]), SolveResult::Sat);
+    assert_eq!(
+        s.solve_with_assumptions(&[lit(1), lit(2)]),
+        SolveResult::Sat
+    );
     // Solver stays reusable.
     assert_eq!(s.solve(), SolveResult::Sat);
 }
@@ -207,7 +213,10 @@ fn core_empty_when_clauses_unsat() {
 #[test]
 fn assumption_of_level0_implied_literal() {
     let mut s = solver_with(2, &[&[1], &[-1, 2]]);
-    assert_eq!(s.solve_with_assumptions(&[lit(1), lit(2)]), SolveResult::Sat);
+    assert_eq!(
+        s.solve_with_assumptions(&[lit(1), lit(2)]),
+        SolveResult::Sat
+    );
     assert_eq!(s.solve_with_assumptions(&[lit(-2)]), SolveResult::Unsat);
     let core = s.failed_assumptions();
     assert_eq!(core, &[lit(-2)], "already-false assumption is its own core");
@@ -230,7 +239,10 @@ fn directly_contradictory_assumptions() {
     let r = s.solve_with_assumptions(&[lit(1), lit(-1)]);
     assert_eq!(r, SolveResult::Unsat);
     let core = s.failed_assumptions();
-    assert!(core.contains(&lit(1)) && core.contains(&lit(-1)), "core {core:?}");
+    assert!(
+        core.contains(&lit(1)) && core.contains(&lit(-1)),
+        "core {core:?}"
+    );
     // Still reusable afterwards.
     assert_eq!(s.solve(), SolveResult::Sat);
 }
@@ -387,9 +399,16 @@ fn drat_output_ends_with_empty_clause() {
     let drat = s.proof().unwrap().to_drat();
     let lines: Vec<&str> = drat.lines().collect();
     assert!(!lines.is_empty());
-    assert_eq!(*lines.last().unwrap(), "0", "refutation ends in the empty clause");
+    assert_eq!(
+        *lines.last().unwrap(),
+        "0",
+        "refutation ends in the empty clause"
+    );
     for line in &lines {
-        assert!(line.ends_with('0'), "every DRAT line is 0-terminated: {line}");
+        assert!(
+            line.ends_with('0'),
+            "every DRAT line is 0-terminated: {line}"
+        );
     }
 }
 

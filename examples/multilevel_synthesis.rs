@@ -23,10 +23,13 @@ fn main() {
     aig.add_output("f", f);
 
     let mut engine = BiDecomposer::new(DecompConfig::new(Model::QbfCombined));
-    let tree = decompose_tree(&mut engine, &aig, 0, &TreeOptions::default())
-        .expect("engine run");
+    let tree = decompose_tree(&mut engine, &aig, 0, &TreeOptions::default()).expect("engine run");
 
-    println!("original: single PO over {} inputs, {} AND nodes", 12, aig.and_count());
+    println!(
+        "original: single PO over {} inputs, {} AND nodes",
+        12,
+        aig.and_count()
+    );
     println!(
         "network:  {} two-input gates, {} leaves, depth {}, max leaf support {}",
         tree.num_gates(),
@@ -50,9 +53,13 @@ fn main() {
 
     // The adder carry chain is a harder customer: leaves stay wider.
     let adder = generators::ripple_adder(4);
-    let cout = adder.outputs().iter().position(|o| o.name() == "cout").unwrap();
-    let tree = decompose_tree(&mut engine, &adder, cout, &TreeOptions::default())
-        .expect("engine run");
+    let cout = adder
+        .outputs()
+        .iter()
+        .position(|o| o.name() == "cout")
+        .unwrap();
+    let tree =
+        decompose_tree(&mut engine, &adder, cout, &TreeOptions::default()).expect("engine run");
     println!(
         "\n4-bit adder carry-out: {} gates, max leaf support {} (majority cores resist \
          bi-decomposition)",

@@ -30,7 +30,12 @@ fn main() {
 
     let partition = result.partition.expect("f is OR-decomposable");
     println!("partition (one letter per input s,a,b,c,d): {partition}");
-    println!("|XA| = {}, |XB| = {}, |XC| = {}", partition.num_a(), partition.num_b(), partition.num_shared());
+    println!(
+        "|XA| = {}, |XB| = {}, |XC| = {}",
+        partition.num_a(),
+        partition.num_b(),
+        partition.num_shared()
+    );
     println!("disjointness εD = {:.3}", partition.disjointness());
     println!("balancedness εB = {:.3}", partition.balancedness());
     println!("optimum proved: {}", result.proved_optimal);

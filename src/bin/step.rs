@@ -36,13 +36,20 @@ struct Cli {
     per_output: Duration,
 }
 
+const USAGE: &str = "usage: step <circuit.{bench,blif,aag}> [--model ljh|mg|qd|qb|qdb] \
+                     [--op or|and|xor] [--weights wd wb] [--output idx] [--emit-qdimacs] \
+                     [--emit-blif] [--per-call-ms n] [--per-output-s n]";
+
+/// Bad invocation: usage on stderr, exit 2.
 fn usage() -> ! {
-    eprintln!(
-        "usage: step <circuit.{{bench,blif,aag}}> [--model ljh|mg|qd|qb|qdb] \
-         [--op or|and|xor] [--weights wd wb] [--output idx] [--emit-qdimacs] \
-         [--emit-blif] [--per-call-ms n] [--per-output-s n]"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2)
+}
+
+/// Explicitly requested help: usage on stdout, exit 0.
+fn help() -> ! {
+    println!("{USAGE}");
+    std::process::exit(0)
 }
 
 fn parse_cli() -> Cli {
@@ -113,7 +120,7 @@ fn parse_cli() -> Cli {
                     None => usage(),
                 }
             }
-            "--help" | "-h" => usage(),
+            "--help" | "-h" => help(),
             other if cli.path.is_empty() && !other.starts_with('-') => {
                 cli.path = other.to_owned();
             }
@@ -165,7 +172,11 @@ fn main() {
         let cone = comb.cone(out.lit());
         let core = CoreFormula::build(&cone.aig, cone.root, cli.op);
         let target = match cli.weights {
-            Some((wd, wb)) => Target::Weighted { wd, wb, k: core.n.saturating_sub(2) },
+            Some((wd, wb)) => Target::Weighted {
+                wd,
+                wb,
+                k: core.n.saturating_sub(2),
+            },
             None => Target::Any,
         };
         let model = export_qdimacs(&core, target, &ExportOptions::default());
@@ -270,7 +281,11 @@ fn main() {
                         "{:<16} {:>8} {}",
                         out.name,
                         out.support,
-                        if out.timed_out { "timeout" } else { "not decomposable" }
+                        if out.timed_out {
+                            "timeout"
+                        } else {
+                            "not decomposable"
+                        }
                     );
                 }
             },
@@ -280,5 +295,8 @@ fn main() {
             }
         }
     }
-    println!("\ndecomposed {decomposed} output function(s) with {}", cli.model);
+    println!(
+        "\ndecomposed {decomposed} output function(s) with {}",
+        cli.model
+    );
 }

@@ -1,0 +1,102 @@
+//! Smoke tests pinning the `step` binary's command-line surface: the
+//! usage text, a basic end-to-end decomposition run, and the QDIMACS
+//! emission mode.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn step() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_step"))
+}
+
+fn run(cmd: &mut Command) -> Output {
+    cmd.output().expect("spawn step binary")
+}
+
+/// `(a & b) | (c & d)`: disjointly OR-decomposable, written to a
+/// uniquely-named BENCH file under the target tmp dir.
+fn write_or_of_ands(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    let path = dir.join(format!("cli_smoke_{tag}.bench"));
+    std::fs::write(
+        &path,
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\n\
+         OUTPUT(f)\n\
+         t1 = AND(a, b)\nt2 = AND(c, d)\nf = OR(t1, t2)\n",
+    )
+    .expect("write bench file");
+    path
+}
+
+#[test]
+fn help_prints_usage_to_stdout_and_exits_0() {
+    for flag in ["--help", "-h"] {
+        let out = run(step().arg(flag));
+        assert_eq!(out.status.code(), Some(0), "step {flag} exit code");
+        let usage = String::from_utf8(out.stdout).unwrap();
+        assert!(usage.contains("usage: step"), "usage header: {usage}");
+        // Pin the advertised option surface.
+        for opt in [
+            "--model",
+            "--op",
+            "--weights",
+            "--output",
+            "--emit-qdimacs",
+            "--emit-blif",
+            "--per-call-ms",
+            "--per-output-s",
+        ] {
+            assert!(usage.contains(opt), "usage must mention {opt}: {usage}");
+        }
+    }
+}
+
+#[test]
+fn no_arguments_is_an_error() {
+    let out = run(&mut step());
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unknown_flag_is_an_error() {
+    let out = run(step().arg("--frobnicate"));
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = run(step().arg("/nonexistent/not_here.bench"));
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error"), "stderr: {err}");
+}
+
+#[test]
+fn decomposes_a_bench_circuit() {
+    let path = write_or_of_ands("decompose");
+    let out = run(step().arg(&path).args(["--model", "qd", "--op", "or"]));
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("4 inputs, 1 outputs"),
+        "circuit banner: {text}"
+    );
+    // (a&b)|(c&d) splits {a,b} | {c,d} with an empty shared set.
+    assert!(text.contains("output"), "table header: {text}");
+    let row = text
+        .lines()
+        .find(|l| l.starts_with('f') || l.contains("f "))
+        .unwrap_or_else(|| panic!("row for output f in: {text}"));
+    assert!(row.contains('2'), "|XA|=|XB|=2 in: {row}");
+}
+
+#[test]
+fn emit_qdimacs_prints_a_3qbf_prefix() {
+    let path = write_or_of_ands("qdimacs");
+    let out = run(step().arg(&path).arg("--emit-qdimacs"));
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("p cnf "), "QDIMACS header in: {text}");
+    assert!(text.contains("e ") && text.contains("a "), "prefix: {text}");
+}

@@ -15,7 +15,9 @@ fn run(
     c.extract = false;
     c.verify = false;
     let aig = entry.build(Scale::Smoke);
-    BiDecomposer::new(c).decompose_circuit(&aig, op).expect("run")
+    BiDecomposer::new(c)
+        .decompose_circuit(&aig, op)
+        .expect("run")
 }
 
 /// Table III shape: every model decomposes the same POs (all engines
@@ -99,7 +101,11 @@ fn solved_ratio_tracks_budget() {
         .decompose_circuit(&aig, GateOp::Or)
         .expect("run");
     assert!(
-        starved.outputs.iter().filter(|o| o.support >= 2).all(|o| !o.solved),
+        starved
+            .outputs
+            .iter()
+            .filter(|o| o.support >= 2)
+            .all(|o| !o.solved),
         "zero budget cannot solve non-trivial POs"
     );
 }

@@ -3,9 +3,7 @@
 //! substrates.
 
 use qbf_bidec::circuits::{registry_table1, Scale};
-use qbf_bidec::step::{
-    verify, BiDecomposer, BudgetPolicy, DecompConfig, GateOp, Model, VarClass,
-};
+use qbf_bidec::step::{verify, BiDecomposer, BudgetPolicy, DecompConfig, GateOp, Model, VarClass};
 
 fn quick_config(model: Model) -> DecompConfig {
     let mut c = DecompConfig::new(model);
@@ -20,7 +18,10 @@ fn every_model_full_pipeline_on_smoke_circuits() {
     let entries = registry_table1();
     let picks = ["C880", "sbc", "ITC b07"];
     for name in picks {
-        let entry = entries.iter().find(|e| e.name == name).expect("registry row");
+        let entry = entries
+            .iter()
+            .find(|e| e.name == name)
+            .expect("registry row");
         let aig = entry.build(Scale::Smoke);
         for model in [
             Model::Ljh,
@@ -31,7 +32,10 @@ fn every_model_full_pipeline_on_smoke_circuits() {
         ] {
             let mut engine = BiDecomposer::new(quick_config(model));
             let r = engine.decompose_circuit(&aig, GateOp::Or).expect("run");
-            assert!(!r.timed_out, "{name}/{model}: generous budget must not expire");
+            assert!(
+                !r.timed_out,
+                "{name}/{model}: generous budget must not expire"
+            );
             for out in &r.outputs {
                 if let Some(p) = &out.partition {
                     assert!(p.is_nontrivial(), "{name}/{model}/{}", out.name);
@@ -108,8 +112,7 @@ fn all_three_operators_round_trip() {
         let r = engine.decompose_circuit(&aig, op).expect("run");
         for out in &r.outputs {
             if let Some(d) = &out.decomposition {
-                verify(d, None)
-                    .unwrap_or_else(|e| panic!("{op}/{}: {e}", out.name));
+                verify(d, None).unwrap_or_else(|e| panic!("{op}/{}: {e}", out.name));
                 // Support discipline.
                 for &i in &d.aig.support(d.fa) {
                     assert_ne!(d.partition.class(i), VarClass::B);

@@ -1,0 +1,148 @@
+//! Offline, in-tree shim for the subset of the [`criterion`] crate API
+//! this workspace's bench targets use (see the repository README's
+//! "Dependency policy" section).
+//!
+//! Provided surface:
+//!
+//! * [`Criterion`], [`Criterion::benchmark_group`]
+//! * [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::bench_function`],
+//!   [`BenchmarkGroup::finish`]
+//! * [`Bencher::iter`]
+//! * [`black_box`]
+//! * [`criterion_group!`] / [`criterion_main!`]
+//!
+//! Instead of criterion's full statistical pipeline, each benchmark
+//! runs `sample_size` timed iterations (after one warm-up iteration)
+//! and prints the minimum, mean and maximum wall-clock time. That is
+//! enough to compare the workspace's kernels locally and to keep the
+//! bench targets compiling and runnable without crates.io access.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark: time `f`'s [`Bencher::iter`] body.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&self.name, &id, &bencher.samples);
+        self
+    }
+
+    /// End the group. (The shim reports per-benchmark, so this is a
+    /// no-op kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `routine` once as warm-up, then `sample_size` timed times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples (Bencher::iter never called)");
+        return;
+    }
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{group}/{id}: [{min:?} {mean:?} {max:?}] ({} samples)",
+        samples.len()
+    );
+}
+
+/// Declare a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut calls = 0u32;
+        g.bench_function("counting", |b| b.iter(|| calls += 1));
+        g.finish();
+        // one warm-up + three timed iterations
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,370 @@
+//! Offline, in-tree shim for the subset of the [`proptest`] crate API
+//! this workspace's property tests use (see the repository README's
+//! "Dependency policy" section).
+//!
+//! Provided surface:
+//!
+//! * the [`proptest!`] macro, with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`]
+//! * [`Strategy`] implemented for half-open and inclusive integer
+//!   ranges, tuples of strategies, [`collection::vec`] and
+//!   [`bool::ANY`], plus [`Strategy::prop_map`]
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! seeds: each test function draws its cases from a deterministic
+//! generator seeded from the test's name, so failures reproduce
+//! exactly on every run and platform. The failure message includes the
+//! case index.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+use core::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+pub mod test_runner {
+    //! Mirror of `proptest::test_runner`: the per-test configuration
+    //! and the deterministic RNG driving value generation.
+
+    pub use rand::rngs::StdRng as TestRng;
+    pub use rand::SeedableRng;
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Same default as real proptest.
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// A failed test case, produced by the `prop_assert*` macros.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given explanation.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A recipe for generating random values of an associated type.
+///
+/// The shim collapses proptest's `Strategy`/`ValueTree` pair into one
+/// generation method — there is no shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value from `rng`.
+    fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+
+    /// A strategy producing `f(value)` for each generated `value`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut test_runner::TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $ty {
+                rng.gen_range_inclusive(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+pub mod collection {
+    //! Mirror of `proptest::collection`: strategies for collections.
+
+    use super::{test_runner::TestRng, Strategy};
+    use core::ops::Range;
+    use rand::Rng;
+
+    /// A `Vec` strategy with length drawn from `size` and elements
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    /// Strategy returned by [`vec`](fn@vec).
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Mirror of `proptest::bool`: the unbiased boolean strategy.
+
+    use super::{test_runner::TestRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true` and `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Mirror of `proptest::prelude`: the glob-import surface.
+
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Strategy, TestCaseError};
+}
+
+/// Fails the current test case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} (`{:?}` vs `{:?}`)",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l != *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} (`{:?}` vs `{:?}`)",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)`
+/// becomes a `#[test]` running `Config::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            // FNV-1a over the test name: a stable per-test seed, so
+            // every run and platform draws the same case sequence.
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in stringify!($name).bytes() {
+                seed ^= byte as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut rng = <$crate::test_runner::TestRng as
+                $crate::test_runner::SeedableRng>::seed_from_u64(seed);
+            for case in 0..config.cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    panic!(
+                        "proptest case {case} of {} failed: {err}",
+                        stringify!($name)
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_compose() {
+        use crate::test_runner::{SeedableRng, TestRng};
+        let mut rng = TestRng::seed_from_u64(1);
+        let s = crate::collection::vec(
+            (0usize..5, crate::bool::ANY).prop_map(|(v, b)| if b { v + 10 } else { v }),
+            2..6,
+        );
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5 || (10..15).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_covers_endpoints() {
+        use crate::test_runner::{SeedableRng, TestRng};
+        let mut rng = TestRng::seed_from_u64(2);
+        let s = 1i64..=3i64;
+        let mut seen = [false; 3];
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((1..=3).contains(&v));
+            seen[(v - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_and_asserts(xs in crate::collection::vec(0u8..4, 1..10), n in 1usize..5) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(n >= 1, "n = {}", n);
+            for x in xs {
+                prop_assert!(x < 4);
+            }
+            if n == 0 {
+                return Ok(());
+            }
+            prop_assert_eq!(n * 2 / 2, n, "round trip {}", n);
+            prop_assert_ne!(n, 0);
+        }
+    }
+}

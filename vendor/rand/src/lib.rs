@@ -1,0 +1,223 @@
+//! Offline, in-tree shim for the tiny subset of the [`rand`] crate API
+//! this workspace uses (see the repository README's "Dependency
+//! policy" section).
+//!
+//! Provided surface:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator
+//! * [`SeedableRng::seed_from_u64`]
+//! * [`Rng::gen_range`] over half-open integer ranges (plus
+//!   [`Rng::gen_range_inclusive`], which real rand spells
+//!   `gen_range(low..=high)`)
+//! * [`Rng::gen_bool`]
+//!
+//! The stream is fixed by the seed and identical on every platform,
+//! which is exactly what the benchmark-circuit registry needs for
+//! reproducible stand-in circuits. It is **not** the same stream as
+//! the real `rand` crate, and it is not cryptographically secure.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+use core::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a stream of `u64` words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Sampling helpers layered over any [`RngCore`], mirroring
+/// `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open integer range `low..high`.
+    ///
+    /// (Real rand takes any range shape here; the shim keeps `Range`
+    /// in the signature so integer-literal inference at call sites
+    /// like `2 + rng.gen_range(0..3)` resolves through the expected
+    /// result type, and offers [`Rng::gen_range_inclusive`]
+    /// separately.)
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(range, self)
+    }
+
+    /// Uniform sample from an inclusive integer range `low..=high`.
+    ///
+    /// Panics if the range is empty.
+    fn gen_range_inclusive<T: SampleUniform>(&mut self, range: RangeInclusive<T>) -> T {
+        T::sample_inclusive(range, self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        // 53 uniform mantissa bits, same construction as rand's
+        // `Standard` distribution for f64.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Deterministically build a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `range` using `rng`.
+    fn sample<R: RngCore + ?Sized>(range: Range<Self>, rng: &mut R) -> Self;
+
+    /// Uniform sample from the inclusive `range` using `rng`.
+    fn sample_inclusive<R: RngCore + ?Sized>(range: RangeInclusive<Self>, rng: &mut R) -> Self;
+}
+
+/// Uniform draw from `[start, end)`, both already widened to `i128`
+/// (every supported integer fits, including `u64::MAX + 1` as an
+/// exclusive end). Multiply-shift range reduction (Lemire); the bias
+/// is < 2^-64 per draw, irrelevant for circuit generation.
+fn sample_span<R: RngCore + ?Sized>(rng: &mut R, start: i128, end: i128) -> i128 {
+    let span = (end - start) as u128;
+    let offset = ((rng.next_u64() as u128 * span) >> 64) as i128;
+    start + offset
+}
+
+macro_rules! impl_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample<R: RngCore + ?Sized>(range: Range<Self>, rng: &mut R) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                sample_span(rng, range.start as i128, range.end as i128) as $ty
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(
+                range: RangeInclusive<Self>,
+                rng: &mut R,
+            ) -> Self {
+                let (start, end) = (*range.start(), *range.end());
+                assert!(start <= end, "gen_range: empty inclusive range");
+                sample_span(rng, start as i128, end as i128 + 1) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator seeded via splitmix64 —
+    /// the shim's stand-in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, as recommended by the xoshiro
+            // authors for seeding from a single word.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17u8);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_covers_endpoints() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            let v = rng.gen_range_inclusive(1u8..=3);
+            assert!((1..=3).contains(&v));
+            seen[(v - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Extreme span: the widened arithmetic must not overflow.
+        let _ = rng.gen_range_inclusive(0u64..=u64::MAX);
+        assert_eq!(rng.gen_range_inclusive(7usize..=7), 7);
+    }
+
+    #[test]
+    fn gen_range_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+}
