@@ -48,5 +48,14 @@ pub use error::{AigError, ParseError};
 pub use graph::{Aig, AigNode, Cone, Latch, NodeId, Output};
 pub use lit::AigLit;
 
+// Compile-time audit: one shared `&Aig` is read concurrently by every
+// worker of the parallel circuit driver (step-core) while owned cones
+// move into sessions, so both must stay `Send + Sync`.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Aig>();
+    assert_send_sync::<Cone>();
+};
+
 #[cfg(test)]
 mod tests;

@@ -21,14 +21,9 @@ fn bench(c: &mut Criterion) {
         filter: None,
         partitions_only: true,
         conflicts_per_call: None,
+        jobs: 1,
     };
-    for model in [
-        Model::Ljh,
-        Model::MusGroup,
-        Model::QbfDisjoint,
-        Model::QbfBalanced,
-        Model::QbfCombined,
-    ] {
+    for model in Model::ALL {
         g.bench_function(format!("small001_{model}"), |b| {
             b.iter(|| {
                 let r = run_model(&entry, model, &opts);

@@ -15,6 +15,7 @@ fn opts() -> HarnessOpts {
         filter: None,
         partitions_only: true,
         conflicts_per_call: None,
+        jobs: 1,
     }
 }
 

@@ -21,6 +21,7 @@ fn bench(c: &mut Criterion) {
         filter: None,
         partitions_only: true,
         conflicts_per_call: None,
+        jobs: 1,
     };
     g.bench_function("mm9a_all_ops_mg_vs_qd", |b| {
         b.iter(|| {

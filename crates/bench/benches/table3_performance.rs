@@ -21,6 +21,7 @@ fn bench(c: &mut Criterion) {
         filter: None,
         partitions_only: true,
         conflicts_per_call: None,
+        jobs: 1,
     };
     for model in [Model::Ljh, Model::MusGroup, Model::QbfDisjoint] {
         g.bench_function(format!("C880_{model}"), |b| {

@@ -7,9 +7,12 @@
 //!
 //! Usage: `fig1 [--scale smoke|default|full] [--op ...]`
 
-use step_bench::{ascii_scatter, run_model, HarnessOpts};
+use step_bench::{ascii_scatter, run_model, write_bench_json, BenchRecord, HarnessOpts};
 use step_circuits::registry_all;
 use step_core::Model;
+
+/// Machine-readable mirror of the CSV (perf trajectory).
+const JSON_OUT: &str = "BENCH_fig1.json";
 
 fn main() {
     let mut opts = HarnessOpts::from_args();
@@ -24,20 +27,19 @@ fn main() {
     );
     println!("circuit,ljh,mg,qd,qb,qdb");
     let mut rows: Vec<(String, [f64; 5])> = Vec::with_capacity(entries.len());
+    let mut records: Vec<BenchRecord> = Vec::new();
     for entry in &entries {
+        let runs = Model::ALL.map(|m| run_model(entry, m, &opts));
         let times = [
-            run_model(entry, Model::Ljh, &opts).cpu.as_secs_f64(),
-            run_model(entry, Model::MusGroup, &opts).cpu.as_secs_f64(),
-            run_model(entry, Model::QbfDisjoint, &opts)
-                .cpu
-                .as_secs_f64(),
-            run_model(entry, Model::QbfBalanced, &opts)
-                .cpu
-                .as_secs_f64(),
-            run_model(entry, Model::QbfCombined, &opts)
-                .cpu
-                .as_secs_f64(),
+            runs[0].cpu.as_secs_f64(),
+            runs[1].cpu.as_secs_f64(),
+            runs[2].cpu.as_secs_f64(),
+            runs[3].cpu.as_secs_f64(),
+            runs[4].cpu.as_secs_f64(),
         ];
+        for (m, r) in Model::ALL.iter().zip(&runs) {
+            records.push(BenchRecord::of(*m, entry.name, r));
+        }
         println!(
             "{},{:.4},{:.4},{:.4},{:.4},{:.4}",
             entry.name, times[0], times[1], times[2], times[3], times[4]
@@ -71,4 +73,5 @@ fn main() {
         geo(4)
     );
     println!("expected shape (paper): MG fastest, LJH slowest, QD/QB/QDB between them");
+    write_bench_json(JSON_OUT, &records);
 }

@@ -4,13 +4,17 @@
 //!
 //! Usage: `table3 [--scale ...] [--op ...] [--filter <name>] [--fast]`
 
-use step_bench::{run_model, secs, HarnessOpts};
+use step_bench::{run_model, secs, write_bench_json, BenchRecord, HarnessOpts};
 use step_circuits::registry_table1;
 use step_core::Model;
+
+/// Machine-readable mirror of the printed table (perf trajectory).
+const JSON_OUT: &str = "BENCH_table3.json";
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let entries = opts.selected(registry_table1());
+    let mut records: Vec<BenchRecord> = Vec::new();
 
     println!(
         "TABLE III: PERFORMANCE DATA FOR {} BI-DECOMPOSITION (scale {:?})",
@@ -34,15 +38,12 @@ fn main() {
 
     let mut totals = [0.0f64; 5];
     for entry in &entries {
-        let runs = [
-            run_model(entry, Model::Ljh, &opts),
-            run_model(entry, Model::MusGroup, &opts),
-            run_model(entry, Model::QbfDisjoint, &opts),
-            run_model(entry, Model::QbfBalanced, &opts),
-            run_model(entry, Model::QbfCombined, &opts),
-        ];
+        let runs = Model::ALL.map(|m| run_model(entry, m, &opts));
         for (t, r) in totals.iter_mut().zip(&runs) {
             *t += r.cpu.as_secs_f64();
+        }
+        for (m, r) in Model::ALL.iter().zip(&runs) {
+            records.push(BenchRecord::of(*m, entry.name, r));
         }
         let cell = |r: &step_core::CircuitResult| {
             let cpu = if r.timed_out {
@@ -71,4 +72,5 @@ fn main() {
         "\nexpected shape (paper): MG fastest, LJH slowest, QD/QB/QDB in between \
          with #Dec equal to MG"
     );
+    write_bench_json(JSON_OUT, &records);
 }

@@ -39,6 +39,10 @@ pub struct HarnessOpts {
     /// (`--conflicts`), the reproducible analogue of the paper's
     /// 4-second per-call timeout.
     pub conflicts_per_call: Option<u64>,
+    /// Worker threads per circuit run (`--jobs`): the engine's parallel
+    /// work-queue driver decomposes a circuit's outputs concurrently.
+    /// Per-output results are identical for any value.
+    pub jobs: usize,
 }
 
 impl Default for HarnessOpts {
@@ -54,6 +58,7 @@ impl Default for HarnessOpts {
             filter: None,
             partitions_only: false,
             conflicts_per_call: None,
+            jobs: 1,
         }
     }
 }
@@ -63,7 +68,8 @@ impl HarnessOpts {
     ///
     /// Flags: `--scale smoke|default|full`, `--paper` (paper budgets),
     /// `--op or|and|xor`, `--filter <substr>`, `--fast`
-    /// (partitions only), `--help`.
+    /// (partitions only), `--jobs <n>` (parallel output workers),
+    /// `--help`.
     pub fn from_args() -> HarnessOpts {
         let mut opts = HarnessOpts::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -100,6 +106,16 @@ impl HarnessOpts {
                     opts.filter = args.get(i).cloned();
                 }
                 "--fast" => opts.partitions_only = true,
+                "--jobs" => {
+                    i += 1;
+                    opts.jobs = match args.get(i).and_then(|s| s.parse().ok()) {
+                        Some(n) if n >= 1 => n,
+                        _ => {
+                            eprintln!("--jobs needs a positive integer");
+                            std::process::exit(2);
+                        }
+                    };
+                }
                 "--conflicts" => {
                     i += 1;
                     opts.conflicts_per_call = args.get(i).and_then(|s| s.parse().ok());
@@ -111,7 +127,7 @@ impl HarnessOpts {
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --scale smoke|default|full  --paper  --op or|and|xor  \
-                         --filter <substr>  --fast  --conflicts <n>"
+                         --filter <substr>  --fast  --conflicts <n>  --jobs <n>"
                     );
                     std::process::exit(0);
                 }
@@ -150,6 +166,7 @@ impl HarnessOpts {
             c.verify = false;
         }
         c.conflicts_per_call = self.conflicts_per_call;
+        c.jobs = self.jobs;
         c
     }
 }
@@ -167,7 +184,7 @@ pub fn run_model_op(
     opts: &HarnessOpts,
 ) -> CircuitResult {
     let aig = entry.build(opts.scale);
-    let mut engine = BiDecomposer::new(opts.config(model));
+    let engine = BiDecomposer::new(opts.config(model));
     engine
         .decompose_circuit(&aig, op)
         .expect("stand-in circuits are well-formed")
@@ -299,6 +316,94 @@ pub fn secs(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
 }
 
+/// One machine-readable row of a harness run: model × circuit with
+/// wall-clock and solver-call statistics. Serialized to the
+/// `BENCH_table3.json` / `BENCH_fig1.json` files that track the perf
+/// trajectory across commits.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Model name (`LJH`, `STEP-MG`, …).
+    pub model: String,
+    /// Circuit name.
+    pub circuit: String,
+    /// Wall-clock seconds for the whole circuit.
+    pub wall_s: f64,
+    /// Outputs decomposed.
+    pub decomposed: usize,
+    /// Total outputs.
+    pub outputs: usize,
+    /// SAT oracle calls across all outputs.
+    pub sat_calls: u64,
+    /// QBF solves across all outputs.
+    pub qbf_calls: u64,
+    /// Whether any budget expired.
+    pub timed_out: bool,
+}
+
+impl BenchRecord {
+    /// Builds the record for one model run over one circuit.
+    pub fn of(model: Model, circuit: &str, r: &CircuitResult) -> Self {
+        BenchRecord {
+            model: model.to_string(),
+            circuit: circuit.to_owned(),
+            wall_s: r.cpu.as_secs_f64(),
+            decomposed: r.num_decomposed(),
+            outputs: r.outputs.len(),
+            sat_calls: r.total_sat_calls(),
+            qbf_calls: r.total_qbf_calls(),
+            timed_out: r.timed_out,
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders records as a JSON array (one object per model × circuit).
+pub fn bench_records_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"model\": \"{}\", \"circuit\": \"{}\", \"wall_s\": {:.6}, \
+             \"decomposed\": {}, \"outputs\": {}, \"sat_calls\": {}, \
+             \"qbf_calls\": {}, \"timed_out\": {}}}{}\n",
+            json_escape(&r.model),
+            json_escape(&r.circuit),
+            r.wall_s,
+            r.decomposed,
+            r.outputs,
+            r.sat_calls,
+            r.qbf_calls,
+            r.timed_out,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Writes records to `path` as JSON, reporting the destination on
+/// stderr (stdout stays reserved for the human-readable table).
+pub fn write_bench_json(path: &str, records: &[BenchRecord]) {
+    match std::fs::write(path, bench_records_json(records)) {
+        Ok(()) => eprintln!("wrote {} records to {path}", records.len()),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +417,7 @@ mod tests {
             filter: None,
             partitions_only: true,
             conflicts_per_call: None,
+            jobs: 1,
         }
     }
 
@@ -347,5 +453,38 @@ mod tests {
         let s = ascii_scatter(&[(0.1, 0.2), (1.0, 0.5)], "test");
         assert!(s.contains('*'));
         assert!(s.lines().count() > 10);
+    }
+
+    #[test]
+    fn bench_records_serialize_to_json() {
+        let entry = &registry_table1()[16]; // mm9a: small
+        let opts = smoke_opts();
+        let r = run_model(entry, Model::MusGroup, &opts);
+        let rec = BenchRecord::of(Model::MusGroup, entry.name, &r);
+        assert_eq!(rec.model, "STEP-MG");
+        assert_eq!(rec.outputs, r.outputs.len());
+        assert!(rec.sat_calls > 0, "MG makes SAT calls");
+        let json = bench_records_json(&[rec.clone(), rec]);
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"), "{json}");
+        assert_eq!(json.matches("\"circuit\": \"mm9a\"").count(), 2);
+        assert!(json.matches(',').count() >= 1);
+    }
+
+    #[test]
+    fn parallel_jobs_match_sequential() {
+        let entry = &registry_table1()[17]; // mm9b: small
+        let seq = smoke_opts();
+        let par = HarnessOpts {
+            jobs: 4,
+            ..smoke_opts()
+        };
+        let a = run_model(entry, Model::QbfDisjoint, &seq);
+        let b = run_model(entry, Model::QbfDisjoint, &par);
+        assert_eq!(a.outputs.len(), b.outputs.len());
+        for (x, y) in a.outputs.iter().zip(&b.outputs) {
+            assert_eq!(x.partition, y.partition, "output {}", x.name);
+            assert_eq!(x.solved, y.solved);
+            assert_eq!(x.proved_optimal, y.proved_optimal);
+        }
     }
 }

@@ -1,0 +1,86 @@
+//! `gen_circuit` — dumps a registry stand-in circuit to stdout so the
+//! `step` CLI (and CI) can run on the exact circuits the evaluation
+//! harness uses.
+//!
+//! ```text
+//! gen_circuit <name> [--scale smoke|default|full] [--format bench|blif] [--list]
+//! ```
+//!
+//! `<name>` is a registry entry (`C7552`, `mm9a`, `small042`, …; see
+//! `--list`). The default format is BENCH, which `step` reads back
+//! directly.
+
+use step_circuits::{registry_all, Scale};
+
+const USAGE: &str =
+    "usage: gen_circuit <name> [--scale smoke|default|full] [--format bench|blif] [--list]";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name: Option<String> = None;
+    let mut scale = Scale::Default;
+    let mut blif = false;
+    let mut list = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("smoke") => Scale::Smoke,
+                    Some("default") => Scale::Default,
+                    Some("full") => Scale::Full,
+                    _ => usage(),
+                };
+            }
+            "--format" => {
+                i += 1;
+                blif = match args.get(i).map(String::as_str) {
+                    Some("bench") => false,
+                    Some("blif") => true,
+                    _ => usage(),
+                };
+            }
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if name.is_none() && !other.starts_with('-') => name = Some(other.to_owned()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let entries = registry_all();
+    if list {
+        for e in &entries {
+            let aig = e.build(scale);
+            println!(
+                "{:<12} {:<10} {:>4} inputs {:>4} outputs {:>6} ANDs",
+                e.name,
+                e.suite,
+                aig.num_inputs(),
+                aig.num_outputs(),
+                aig.and_count()
+            );
+        }
+        return;
+    }
+    let Some(name) = name else { usage() };
+    let Some(entry) = entries.iter().find(|e| e.name == name) else {
+        eprintln!("unknown circuit {name:?} (try --list)");
+        std::process::exit(1);
+    };
+    let aig = entry.build(scale);
+    if blif {
+        print!("{}", step_aig::blif::write(&aig, entry.name));
+    } else {
+        print!("{}", step_aig::bench_io::write(&aig));
+    }
+}

@@ -1,22 +1,39 @@
-//! The STEP driver: per-output and whole-circuit bi-decomposition with
-//! budgets, statistics and the model roster of the paper's evaluation
+//! The STEP circuit driver: a work-queue over per-output
+//! [`SolveSession`]s with the model roster of the paper's evaluation
 //! (LJH, STEP-MG, STEP-QD, STEP-QB, STEP-QDB).
+//!
+//! The engine layer is split in three:
+//!
+//! * [`OutputJob`] — the pure description of one
+//!   unit of work (output index, operator, budgets, seed);
+//! * [`SolveSession`] — the per-output state (cone, core formula,
+//!   oracle, stats) that executes a job;
+//! * [`ModelStrategy`](crate::strategy::ModelStrategy) — the pluggable
+//!   per-model search, selected by
+//!   [`strategy_for`](crate::strategy::strategy_for).
+//!
+//! [`BiDecomposer::decompose_circuit`] runs the queue with
+//! [`DecompConfig::jobs`] worker threads (`std::thread::scope`):
+//! workers claim output indices from a shared atomic counter, all
+//! workers honor one shared circuit deadline, results land in output
+//! order, and statistics aggregate at join. Per-output results are a
+//! pure function of `(circuit, output, op, config)` — the simulation
+//! seed derives from [`output_seed`](crate::job::output_seed), not
+//! from visitation order — so `jobs = 1` and `jobs = N` produce
+//! identical results (wall-clock timeouts aside).
 
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use step_aig::Aig;
 
-use crate::extract::{extract, Decomposition, ExtractError};
-use crate::ljh::{self, LjhOutcome};
-use crate::mg::{self, MgOutcome};
-use crate::optimum::{self, Metric};
-use crate::oracle::{sim_filter_pairs, CoreFormula, PartitionOracle};
+use crate::extract::Decomposition;
+use crate::job::OutputJob;
 use crate::partition::VarPartition;
-use crate::qbf_model::ModelOptions;
-use crate::spec::{DecompConfig, GateOp, Model};
-use crate::verify::verify;
+use crate::session::SolveSession;
+use crate::spec::{DecompConfig, GateOp};
 
 /// Errors from the decomposition driver.
 #[derive(Debug)]
@@ -77,6 +94,32 @@ pub struct OutputResult {
 }
 
 impl OutputResult {
+    /// An empty result shell for output `output_index` (all statistics
+    /// zero, nothing solved yet).
+    pub(crate) fn pending(name: String, output_index: usize, support: usize) -> Self {
+        OutputResult {
+            name,
+            output_index,
+            support,
+            partition: None,
+            decomposition: None,
+            proved_optimal: false,
+            solved: false,
+            timed_out: false,
+            cpu: Duration::ZERO,
+            sat_calls: 0,
+            qbf_calls: 0,
+            cegar_iterations: 0,
+        }
+    }
+
+    /// The placeholder for an output the circuit budget never reached.
+    fn budget_exhausted(name: String, output_index: usize) -> Self {
+        let mut r = OutputResult::pending(name, output_index, 0);
+        r.timed_out = true;
+        r
+    }
+
     /// Whether a (non-trivial) decomposition exists for this output.
     pub fn is_decomposed(&self) -> bool {
         self.partition.is_some()
@@ -86,11 +129,13 @@ impl OutputResult {
 /// Result of decomposing every primary output of a circuit.
 #[derive(Clone, Debug)]
 pub struct CircuitResult {
-    /// Per-output results, in output order.
+    /// Per-output results, in output order (regardless of which worker
+    /// solved which output).
     pub outputs: Vec<OutputResult>,
     /// Total wall-clock time.
     pub cpu: Duration,
-    /// The per-circuit budget expired before all outputs were tried.
+    /// A budget expired somewhere (the circuit deadline, or any
+    /// per-output budget).
     pub timed_out: bool,
 }
 
@@ -106,6 +151,21 @@ impl CircuitResult {
             return 1.0;
         }
         self.outputs.iter().filter(|o| o.solved).count() as f64 / self.outputs.len() as f64
+    }
+
+    /// Total SAT oracle calls across all outputs.
+    pub fn total_sat_calls(&self) -> u64 {
+        self.outputs.iter().map(|o| o.sat_calls).sum()
+    }
+
+    /// Total QBF solves across all outputs.
+    pub fn total_qbf_calls(&self) -> u64 {
+        self.outputs.iter().map(|o| u64::from(o.qbf_calls)).sum()
+    }
+
+    /// Total CEGAR iterations across all outputs.
+    pub fn total_cegar_iterations(&self) -> u64 {
+        self.outputs.iter().map(|o| o.cegar_iterations).sum()
     }
 }
 
@@ -125,7 +185,7 @@ impl CircuitResult {
 /// let f = aig.or(ab, cd);
 /// aig.add_output("f", f);
 ///
-/// let mut engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
+/// let engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
 /// let r = engine.decompose_output(&aig, 0, GateOp::Or).unwrap();
 /// let p = r.partition.expect("decomposable");
 /// assert_eq!(p.num_shared(), 0, "(ab)|(cd) splits disjointly");
@@ -134,16 +194,12 @@ impl CircuitResult {
 #[derive(Debug)]
 pub struct BiDecomposer {
     config: DecompConfig,
-    sim_seed: u64,
 }
 
 impl BiDecomposer {
     /// Creates an engine with the given configuration.
     pub fn new(config: DecompConfig) -> Self {
-        BiDecomposer {
-            config,
-            sim_seed: 0x5DEECE66D,
-        }
+        BiDecomposer { config }
     }
 
     /// The active configuration.
@@ -164,186 +220,58 @@ impl BiDecomposer {
     /// [`StepError::OutputOutOfRange`] for a bad index,
     /// [`StepError::Internal`] on internal inconsistencies.
     pub fn decompose_output(
-        &mut self,
+        &self,
         aig: &Aig,
         out_idx: usize,
         op: GateOp,
     ) -> Result<OutputResult, StepError> {
-        if !aig.is_comb() {
-            return Err(StepError::NotCombinational);
+        let job = OutputJob::new(&self.config, out_idx, op);
+        SolveSession::new(aig, job, &self.config)?.run()
+    }
+
+    /// Claims and runs one output of a circuit-wide run. Internal
+    /// errors are tagged with the output they came from, so a failure
+    /// deep in a many-output circuit stays locatable.
+    fn run_queued(
+        &self,
+        aig: &Aig,
+        out_idx: usize,
+        op: GateOp,
+        circuit_deadline: Instant,
+    ) -> Result<OutputResult, StepError> {
+        let name = aig.outputs()[out_idx].name().to_owned();
+        if Instant::now() >= circuit_deadline {
+            return Ok(OutputResult::budget_exhausted(name, out_idx));
         }
-        let output = aig
-            .outputs()
-            .get(out_idx)
-            .ok_or(StepError::OutputOutOfRange(out_idx))?;
-        let name = output.name().to_owned();
-        let lit = output.lit();
-        let start = Instant::now();
-        let deadline = Some(start + self.config.budget.per_output);
-
-        let cone = aig.cone(lit);
-        let n = cone.support_size();
-        let mut result = OutputResult {
-            name,
-            output_index: out_idx,
-            support: n,
-            partition: None,
-            decomposition: None,
-            proved_optimal: false,
-            solved: false,
-            timed_out: false,
-            cpu: Duration::ZERO,
-            sat_calls: 0,
-            qbf_calls: 0,
-            cegar_iterations: 0,
-        };
-        if n < 2 {
-            // Constant or single-input function: no non-trivial
-            // bi-decomposition exists by definition.
-            result.solved = true;
-            result.cpu = start.elapsed();
-            return Ok(result);
-        }
-
-        let candidates = if self.config.sim_filter {
-            self.sim_seed = self
-                .sim_seed
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1);
-            Some(sim_filter_pairs(
-                &cone.aig,
-                cone.root,
-                op,
-                self.config.sim_rounds,
-                self.sim_seed,
-            ))
-        } else {
-            None
-        };
-        let core = CoreFormula::build(&cone.aig, cone.root, op);
-        let mut oracle = PartitionOracle::new(core);
-
-        let partition = match self.config.model {
-            Model::Ljh => match ljh::decompose(&mut oracle, candidates.as_deref(), deadline) {
-                LjhOutcome::Partition(p) => {
-                    result.solved = true;
-                    Some(p)
+        let job = OutputJob::new(&self.config, out_idx, op).with_circuit_deadline(circuit_deadline);
+        SolveSession::new(aig, job, &self.config)?
+            .run()
+            .map_err(|e| match e {
+                StepError::Internal(m) => {
+                    StepError::Internal(format!("output {out_idx} ({name}): {m}"))
                 }
-                LjhOutcome::NotDecomposable => {
-                    result.solved = true;
-                    None
-                }
-                LjhOutcome::Timeout => {
-                    result.timed_out = true;
-                    None
-                }
-            },
-            Model::MusGroup => match mg::decompose(&mut oracle, candidates.as_deref(), deadline) {
-                MgOutcome::Partition(p) => {
-                    result.solved = true;
-                    Some(p)
-                }
-                MgOutcome::NotDecomposable => {
-                    result.solved = true;
-                    None
-                }
-                MgOutcome::Timeout => {
-                    result.timed_out = true;
-                    None
-                }
-            },
-            Model::QbfDisjoint | Model::QbfBalanced | Model::QbfCombined => {
-                // Bootstrap from STEP-MG, as in the paper.
-                let bootstrap = match mg::decompose(&mut oracle, candidates.as_deref(), deadline) {
-                    MgOutcome::Partition(p) => Some(p),
-                    MgOutcome::NotDecomposable => {
-                        // Proved undecomposable — the QBF search is
-                        // unnecessary.
-                        result.solved = true;
-                        result.proved_optimal = true;
-                        result.sat_calls = oracle.sat_calls;
-                        result.cpu = start.elapsed();
-                        return Ok(result);
-                    }
-                    MgOutcome::Timeout => None,
-                };
-                if bootstrap.is_none() {
-                    result.timed_out = true;
-                    None
-                } else {
-                    let metric = match self.config.model {
-                        Model::QbfDisjoint => Metric::Disjointness,
-                        Model::QbfBalanced => Metric::Balancedness,
-                        _ => Metric::Combined,
-                    };
-                    let opts = ModelOptions {
-                        symmetry_breaking: self.config.symmetry_breaking,
-                        allow_both: self.config.allow_both,
-                        deadline,
-                        per_call_timeout: Some(self.config.budget.per_qbf_call),
-                        conflicts_per_call: self.config.conflicts_per_call,
-                    };
-                    let search = optimum::search(
-                        oracle.core(),
-                        metric,
-                        bootstrap.as_ref(),
-                        self.config.effective_strategy(),
-                        &opts,
-                    );
-                    result.qbf_calls = search.qbf_calls;
-                    result.cegar_iterations = search.cegar_iterations;
-                    result.proved_optimal = search.proved_optimal;
-                    result.solved = search.proved_optimal;
-                    result.timed_out = search.timeouts > 0;
-                    search.partition.or(bootstrap)
-                }
-            }
-        };
-        result.sat_calls = oracle.sat_calls;
-
-        if let Some(p) = partition {
-            debug_assert!(p.is_nontrivial(), "partition must be non-trivial");
-            if self.config.extract {
-                match extract(&cone.aig, cone.root, op, &p, deadline) {
-                    Ok(d) => {
-                        if self.config.verify {
-                            verify(&d, deadline).map_err(|e| {
-                                StepError::Internal(format!(
-                                    "extracted decomposition failed verification: {e}"
-                                ))
-                            })?;
-                        }
-                        result.decomposition = Some(d);
-                    }
-                    Err(ExtractError::Budget) => {
-                        result.timed_out = true;
-                    }
-                    Err(e) => {
-                        return Err(StepError::Internal(format!(
-                            "extraction failed on a valid partition: {e}"
-                        )))
-                    }
-                }
-            }
-            result.partition = Some(p);
-        }
-        result.cpu = start.elapsed();
-        Ok(result)
+                other => other,
+            })
     }
 
     /// Decomposes every primary output of `circuit` under `op`,
     /// converting sequential circuits combinationally (the paper's ABC
     /// `comb` step) and enforcing the per-circuit budget.
     ///
+    /// With [`DecompConfig::jobs`] ` > 1`, outputs are claimed by a
+    /// pool of scoped worker threads from a shared atomic counter; the
+    /// per-output computation is deterministic regardless of scheduling
+    /// (see the module docs), results are returned in output order, and
+    /// the shared circuit deadline bounds all workers.
+    ///
     /// # Errors
     ///
     /// [`StepError::Internal`] on internal inconsistencies (dangling
-    /// latches surface here too).
-    pub fn decompose_circuit(
-        &mut self,
-        circuit: &Aig,
-        op: GateOp,
-    ) -> Result<CircuitResult, StepError> {
+    /// latches surface here too). Errors fail fast: the sequential
+    /// path returns at the first failing output, and parallel workers
+    /// stop claiming new outputs once any worker has failed (the error
+    /// reported is the one from the lowest-indexed failing output).
+    pub fn decompose_circuit(&self, circuit: &Aig, op: GateOp) -> Result<CircuitResult, StepError> {
         let start = Instant::now();
         let comb;
         let aig = if circuit.is_comb() {
@@ -355,36 +283,70 @@ impl BiDecomposer {
             &comb
         };
         let circuit_deadline = start + self.config.budget.per_circuit;
-        let mut outputs = Vec::with_capacity(aig.num_outputs());
-        let mut timed_out = false;
-        for idx in 0..aig.num_outputs() {
-            let now = Instant::now();
-            if now >= circuit_deadline {
-                timed_out = true;
-                outputs.push(OutputResult {
-                    name: aig.outputs()[idx].name().to_owned(),
-                    output_index: idx,
-                    support: 0,
-                    partition: None,
-                    decomposition: None,
-                    proved_optimal: false,
-                    solved: false,
-                    timed_out: true,
-                    cpu: Duration::ZERO,
-                    sat_calls: 0,
-                    qbf_calls: 0,
-                    cegar_iterations: 0,
-                });
-                continue;
+        let n_out = aig.num_outputs();
+        let workers = self.config.jobs.max(1).min(n_out.max(1));
+
+        let mut slots: Vec<Option<Result<OutputResult, StepError>>> =
+            (0..n_out).map(|_| None).collect();
+        if workers <= 1 {
+            for (idx, slot) in slots.iter_mut().enumerate() {
+                match self.run_queued(aig, idx, op, circuit_deadline) {
+                    Err(e) => return Err(e),
+                    r => *slot = Some(r),
+                }
             }
-            // Shrink the per-output budget to the remaining circuit
-            // budget.
-            let saved = self.config.budget.per_output;
-            let remaining = circuit_deadline - now;
-            self.config.budget.per_output = saved.min(remaining);
-            let r = self.decompose_output(aig, idx, op);
-            self.config.budget.per_output = saved;
-            let r = r?;
+        } else {
+            // Work queue: each worker claims the next unclaimed output
+            // index; claimed results come back tagged and land in their
+            // output-order slot after the join. A failure poisons the
+            // queue so other workers stop claiming (in-flight sessions
+            // still run to completion before the join).
+            let next = AtomicUsize::new(0);
+            let poisoned = AtomicBool::new(false);
+            let completed = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                if poisoned.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                let idx = next.fetch_add(1, Ordering::Relaxed);
+                                if idx >= n_out {
+                                    break;
+                                }
+                                let r = self.run_queued(aig, idx, op, circuit_deadline);
+                                if r.is_err() {
+                                    poisoned.store(true, Ordering::Relaxed);
+                                }
+                                local.push((idx, r));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("decomposition worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (idx, r) in completed {
+                slots[idx] = Some(r);
+            }
+            // Deterministic error reporting: the lowest-indexed failure
+            // wins, regardless of which worker hit it first.
+            for slot in &mut slots {
+                if let Some(Err(_)) = slot {
+                    return Err(slot.take().unwrap().unwrap_err());
+                }
+            }
+        }
+
+        let mut outputs = Vec::with_capacity(n_out);
+        let mut timed_out = false;
+        for slot in slots {
+            let r = slot.expect("every output index was claimed")?;
             timed_out |= r.timed_out;
             outputs.push(r);
         }

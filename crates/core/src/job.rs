@@ -1,0 +1,110 @@
+//! [`OutputJob`] — the pure, immutable description of one unit of
+//! decomposition work.
+//!
+//! A job carries everything a worker needs to decompose one primary
+//! output — the output index, the root operator, the wall-clock
+//! budgets and the per-output simulation seed — and nothing else. Jobs
+//! are `Copy`, contain no solver state, and are safe to hand to any
+//! thread; the mutable solving machinery lives in
+//! [`crate::session::SolveSession`].
+
+use std::time::{Duration, Instant};
+
+use crate::spec::{DecompConfig, GateOp};
+
+/// Derives the per-output simulation seed from the engine's base seed.
+///
+/// The seed is a pure function `hash(base, output_index)` (a
+/// SplitMix64 finalizer over the golden-ratio-spread index), so a given
+/// output always simulates the same random patterns regardless of the
+/// order — or the thread — in which outputs are visited. This is what
+/// makes [`crate::BiDecomposer::decompose_circuit`] deterministic
+/// under `jobs > 1`.
+pub fn output_seed(base: u64, output_index: usize) -> u64 {
+    let mut z = base
+        ^ (output_index as u64)
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A unit of work for the circuit driver: decompose one primary output.
+///
+/// Pure description only — no cone, no formulas, no solvers. Workers
+/// turn a job into a [`crate::session::SolveSession`] when they claim
+/// it from the queue.
+#[derive(Clone, Copy, Debug)]
+pub struct OutputJob {
+    /// Index of the primary output to decompose.
+    pub output_index: usize,
+    /// Root operator of the bi-decomposition.
+    pub op: GateOp,
+    /// Wall-clock budget for this output (the session anchors its
+    /// deadline at construction time).
+    pub per_output: Duration,
+    /// Shared whole-circuit deadline, if the job is part of a circuit
+    /// run; the effective per-output deadline is capped by it.
+    pub circuit_deadline: Option<Instant>,
+    /// Seed for the 64-bit random-simulation pre-filter, derived via
+    /// [`output_seed`] so it depends only on the engine seed and the
+    /// output index.
+    pub sim_seed: u64,
+}
+
+impl OutputJob {
+    /// Builds the job for output `output_index` under `config`.
+    pub fn new(config: &DecompConfig, output_index: usize, op: GateOp) -> Self {
+        OutputJob {
+            output_index,
+            op,
+            per_output: config.budget.per_output,
+            circuit_deadline: None,
+            sim_seed: output_seed(config.seed, output_index),
+        }
+    }
+
+    /// Caps the job by a shared whole-circuit deadline.
+    pub fn with_circuit_deadline(mut self, deadline: Instant) -> Self {
+        self.circuit_deadline = Some(deadline);
+        self
+    }
+
+    /// The effective deadline for a session starting at `start`.
+    pub fn deadline_from(&self, start: Instant) -> Instant {
+        let own = start + self.per_output;
+        match self.circuit_deadline {
+            Some(c) => own.min(c),
+            None => own,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_seed_is_order_free_and_spread() {
+        let a = output_seed(42, 0);
+        let b = output_seed(42, 1);
+        let c = output_seed(42, 0);
+        assert_eq!(a, c, "pure function of (base, index)");
+        assert_ne!(a, b, "distinct indices get distinct seeds");
+        assert_ne!(output_seed(43, 0), a, "distinct bases get distinct seeds");
+    }
+
+    #[test]
+    fn deadline_capped_by_circuit() {
+        let start = Instant::now();
+        let job = OutputJob {
+            output_index: 0,
+            op: GateOp::Or,
+            per_output: Duration::from_secs(60),
+            circuit_deadline: Some(start + Duration::from_secs(1)),
+            sim_seed: 1,
+        };
+        assert_eq!(job.deadline_from(start), start + Duration::from_secs(1));
+    }
+}

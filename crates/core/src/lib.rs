@@ -29,13 +29,17 @@
 //! * [`extract`](mod@extract) — interpolation/cofactor extraction of
 //!   `fA`, `fB`;
 //! * [`verify`](mod@verify) — support + SAT equivalence checking;
-//! * [`engine`] — the per-output / per-circuit driver with the
-//!   paper's budget structure.
+//! * [`engine`] — the circuit driver with the paper's budget
+//!   structure, built as a solve-session pipeline: a pure [`job`]
+//!   description per output, a stateful [`session`] that executes it,
+//!   a pluggable [`strategy`] per roster model, and a work-queue
+//!   parallel driver ([`DecompConfig::jobs`]).
 //!
 //! See the crate-level example on [`BiDecomposer`].
 
 pub mod engine;
 pub mod extract;
+pub mod job;
 pub mod ljh;
 pub mod mg;
 pub mod network;
@@ -44,15 +48,33 @@ pub mod oracle;
 pub mod partition;
 pub mod qbf_model;
 pub mod qdimacs_export;
+pub mod session;
 pub mod spec;
+pub mod strategy;
 pub mod verify;
 
 pub use engine::{BiDecomposer, CircuitResult, OutputResult, StepError};
 pub use extract::{extract, extract_by_quantification, Decomposition, ExtractError};
+pub use job::{output_seed, OutputJob};
 pub use network::{decompose_tree, DecompTree, TreeNode, TreeOptions};
 pub use partition::{VarClass, VarPartition};
+pub use session::SolveSession;
 pub use spec::{BudgetPolicy, DecompConfig, GateOp, Model, SearchStrategy};
+pub use strategy::{strategy_for, ModelStrategy, StrategyOutcome};
 pub use verify::{verify, VerifyError};
+
+// Compile-time audit of the parallel solve path: workers share one
+// `&BiDecomposer` (`Sync`), own a `PartitionOracle` each, and send
+// `OutputResult`s / `StepError`s back across the join.
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    fn assert_send<T: Send>() {}
+    assert_sync::<BiDecomposer>();
+    assert_sync::<spec::DecompConfig>();
+    assert_send::<oracle::PartitionOracle>();
+    assert_send::<OutputResult>();
+    assert_send::<StepError>();
+};
 
 #[cfg(test)]
 mod tests;

@@ -1,0 +1,188 @@
+//! [`SolveSession`] — the per-output solving state machine.
+//!
+//! A session is the stateful counterpart of a pure
+//! [`OutputJob`]: it owns the extracted cone,
+//! the core formula, the incremental [`PartitionOracle`], the
+//! simulation pre-filter and the per-output statistics, and drives one
+//! output from job to [`OutputResult`]. Model-specific search lives
+//! behind the [`ModelStrategy`](crate::strategy::ModelStrategy) trait;
+//! the session supplies it the oracle, candidate filter and deadline,
+//! then finishes with extraction and verification.
+//!
+//! Sessions are created and consumed by one worker thread; nothing in
+//! them is shared, which is what lets the circuit driver run many of
+//! them concurrently.
+
+use std::time::Instant;
+
+use step_aig::{Aig, Cone};
+
+use crate::engine::{OutputResult, StepError};
+use crate::extract::{extract, ExtractError};
+use crate::job::OutputJob;
+use crate::oracle::{sim_filter_pairs, CoreFormula, PartitionOracle};
+use crate::spec::DecompConfig;
+use crate::strategy::strategy_for;
+use crate::verify::verify;
+
+/// Per-output solving state: cone, core formula, oracle, seed-pair
+/// candidates and budgets. See the module docs.
+pub struct SolveSession<'a> {
+    config: &'a DecompConfig,
+    job: OutputJob,
+    name: String,
+    cone: Cone,
+    start: Instant,
+    deadline: Option<Instant>,
+    candidates: Option<Vec<Vec<bool>>>,
+    oracle: Option<PartitionOracle>,
+}
+
+impl<'a> SolveSession<'a> {
+    /// Opens a session for `job` on `aig`.
+    ///
+    /// Validates the circuit and output index and extracts the cone;
+    /// the core formula and oracle are built lazily by [`run`] (trivial
+    /// cones never need them).
+    ///
+    /// # Errors
+    ///
+    /// [`StepError::NotCombinational`] if the AIG has latches,
+    /// [`StepError::OutputOutOfRange`] for a bad index.
+    ///
+    /// [`run`]: SolveSession::run
+    pub fn new(aig: &Aig, job: OutputJob, config: &'a DecompConfig) -> Result<Self, StepError> {
+        if !aig.is_comb() {
+            return Err(StepError::NotCombinational);
+        }
+        let output = aig
+            .outputs()
+            .get(job.output_index)
+            .ok_or(StepError::OutputOutOfRange(job.output_index))?;
+        let name = output.name().to_owned();
+        let cone = aig.cone(output.lit());
+        let start = Instant::now();
+        let deadline = Some(job.deadline_from(start));
+        Ok(SolveSession {
+            config,
+            job,
+            name,
+            cone,
+            start,
+            deadline,
+            candidates: None,
+            oracle: None,
+        })
+    }
+
+    /// The job this session executes.
+    pub fn job(&self) -> &OutputJob {
+        &self.job
+    }
+
+    /// The engine configuration (decoupled from the session borrow, so
+    /// strategies can read it while holding the oracle mutably).
+    pub fn config(&self) -> &'a DecompConfig {
+        self.config
+    }
+
+    /// The effective per-output deadline.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Support size of the output cone.
+    pub fn support(&self) -> usize {
+        self.cone.support_size()
+    }
+
+    /// Splits the session into the pieces a strategy needs: the
+    /// incremental oracle (mutable) and the surviving seed-pair
+    /// candidates (shared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`run`](SolveSession::run) has built the
+    /// oracle — strategies are only ever invoked from `run`.
+    pub fn oracle_parts(&mut self) -> (&mut PartitionOracle, Option<&[Vec<bool>]>) {
+        let oracle = self
+            .oracle
+            .as_mut()
+            .expect("oracle is built before the strategy runs");
+        (oracle, self.candidates.as_deref())
+    }
+
+    /// Runs the session to completion: sim-filter, core construction,
+    /// model strategy, then extraction and verification.
+    ///
+    /// # Errors
+    ///
+    /// [`StepError::Internal`] on internal inconsistencies (e.g. a
+    /// verified partition failing extraction).
+    pub fn run(mut self) -> Result<OutputResult, StepError> {
+        let n = self.cone.support_size();
+        let mut result = OutputResult::pending(self.name.clone(), self.job.output_index, n);
+        if n < 2 {
+            // Constant or single-input function: no non-trivial
+            // bi-decomposition exists by definition.
+            result.solved = true;
+            result.cpu = self.start.elapsed();
+            return Ok(result);
+        }
+
+        if self.config.sim_filter {
+            self.candidates = Some(sim_filter_pairs(
+                &self.cone.aig,
+                self.cone.root,
+                self.job.op,
+                self.config.sim_rounds,
+                self.job.sim_seed,
+            ));
+        }
+        let core = CoreFormula::build(&self.cone.aig, self.cone.root, self.job.op);
+        self.oracle = Some(PartitionOracle::new(core));
+
+        let outcome = strategy_for(self.config.model).solve(&mut self);
+        result.sat_calls = self.oracle.as_ref().map_or(0, |o| o.sat_calls);
+        result.qbf_calls = outcome.qbf_calls;
+        result.cegar_iterations = outcome.cegar_iterations;
+        result.proved_optimal = outcome.proved_optimal;
+        result.solved = outcome.solved;
+        result.timed_out = outcome.timed_out;
+
+        if let Some(p) = outcome.partition {
+            debug_assert!(p.is_nontrivial(), "partition must be non-trivial");
+            if self.config.extract {
+                match extract(
+                    &self.cone.aig,
+                    self.cone.root,
+                    self.job.op,
+                    &p,
+                    self.deadline,
+                ) {
+                    Ok(d) => {
+                        if self.config.verify {
+                            verify(&d, self.deadline).map_err(|e| {
+                                StepError::Internal(format!(
+                                    "extracted decomposition failed verification: {e}"
+                                ))
+                            })?;
+                        }
+                        result.decomposition = Some(d);
+                    }
+                    Err(ExtractError::Budget) => {
+                        result.timed_out = true;
+                    }
+                    Err(e) => {
+                        return Err(StepError::Internal(format!(
+                            "extraction failed on a valid partition: {e}"
+                        )))
+                    }
+                }
+            }
+            result.partition = Some(p);
+        }
+        result.cpu = self.start.elapsed();
+        Ok(result)
+    }
+}

@@ -47,6 +47,17 @@ pub enum Model {
     QbfCombined,
 }
 
+impl Model {
+    /// The full roster of the paper's evaluation, in table order.
+    pub const ALL: [Model; 5] = [
+        Model::Ljh,
+        Model::MusGroup,
+        Model::QbfDisjoint,
+        Model::QbfBalanced,
+        Model::QbfCombined,
+    ];
+}
+
 impl std::fmt::Display for Model {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -149,6 +160,17 @@ pub struct DecompConfig {
     /// models (`None` = unlimited). Complements the wall-clock budgets
     /// for reproducible Table-IV-style experiments.
     pub conflicts_per_call: Option<u64>,
+    /// Worker threads for [`decompose_circuit`]: outputs are claimed
+    /// from a shared work queue by `jobs` scoped threads. `1` (the
+    /// default) runs inline with no threads. Per-output results are
+    /// identical for any value (see [`crate::job::output_seed`]).
+    ///
+    /// [`decompose_circuit`]: crate::BiDecomposer::decompose_circuit
+    pub jobs: usize,
+    /// Base seed of the engine. Per-output simulation seeds derive as
+    /// `hash(seed, output_index)`, so results do not depend on the
+    /// order (or thread) in which outputs are visited.
+    pub seed: u64,
 }
 
 impl DecompConfig {
@@ -166,6 +188,8 @@ impl DecompConfig {
             sim_filter: true,
             sim_rounds: 4,
             conflicts_per_call: None,
+            jobs: 1,
+            seed: 0x5DEECE66D,
         }
     }
 

@@ -1,0 +1,35 @@
+//! Strategy wrapper for the LJH baseline ([`crate::ljh`]).
+
+use super::{ModelStrategy, StrategyOutcome};
+use crate::ljh::{self, LjhOutcome};
+use crate::session::SolveSession;
+use crate::spec::Model;
+
+/// `LJH` — SAT-based enumeration with greedy growth (heuristic, never
+/// proves optimality).
+pub struct LjhStrategy;
+
+impl ModelStrategy for LjhStrategy {
+    fn model(&self) -> Model {
+        Model::Ljh
+    }
+
+    fn name(&self) -> &'static str {
+        "LJH"
+    }
+
+    fn solve(&self, session: &mut SolveSession<'_>) -> StrategyOutcome {
+        let deadline = session.deadline();
+        let (oracle, candidates) = session.oracle_parts();
+        let mut out = StrategyOutcome::default();
+        match ljh::decompose(oracle, candidates, deadline) {
+            LjhOutcome::Partition(p) => {
+                out.solved = true;
+                out.partition = Some(p);
+            }
+            LjhOutcome::NotDecomposable => out.solved = true,
+            LjhOutcome::Timeout => out.timed_out = true,
+        }
+        out
+    }
+}

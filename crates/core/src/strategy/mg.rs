@@ -1,0 +1,35 @@
+//! Strategy wrapper for STEP-MG ([`crate::mg`]).
+
+use super::{ModelStrategy, StrategyOutcome};
+use crate::mg::{self, MgOutcome};
+use crate::session::SolveSession;
+use crate::spec::Model;
+
+/// `STEP-MG` — group-MUS partitioning (heuristic, fastest model in the
+/// paper's Table III).
+pub struct MgStrategy;
+
+impl ModelStrategy for MgStrategy {
+    fn model(&self) -> Model {
+        Model::MusGroup
+    }
+
+    fn name(&self) -> &'static str {
+        "STEP-MG"
+    }
+
+    fn solve(&self, session: &mut SolveSession<'_>) -> StrategyOutcome {
+        let deadline = session.deadline();
+        let (oracle, candidates) = session.oracle_parts();
+        let mut out = StrategyOutcome::default();
+        match mg::decompose(oracle, candidates, deadline) {
+            MgOutcome::Partition(p) => {
+                out.solved = true;
+                out.partition = Some(p);
+            }
+            MgOutcome::NotDecomposable => out.solved = true,
+            MgOutcome::Timeout => out.timed_out = true,
+        }
+        out
+    }
+}

@@ -1,0 +1,95 @@
+//! [`ModelStrategy`] — one pluggable search strategy per roster model.
+//!
+//! The paper's evaluation compares five tools (LJH, STEP-MG, STEP-QD,
+//! STEP-QB, STEP-QDB). Each lives in its own module here behind the
+//! common [`ModelStrategy`] trait: a strategy receives a
+//! [`SolveSession`] (oracle, candidate filter, budgets) and returns a
+//! [`StrategyOutcome`] (partition + solve flags + QBF statistics).
+//! [`strategy_for`] maps a [`Model`] to its singleton strategy — the
+//! single dispatch point replacing the old `match config.model` block
+//! in the driver.
+//!
+//! Strategies are stateless (`&'static` singletons shared across
+//! worker threads); all mutable state lives in the session.
+
+mod ljh;
+mod mg;
+mod qb;
+mod qbf;
+mod qd;
+mod qdb;
+
+pub use ljh::LjhStrategy;
+pub use mg::MgStrategy;
+pub use qb::QbStrategy;
+pub use qd::QdStrategy;
+pub use qdb::QdbStrategy;
+
+use crate::partition::VarPartition;
+use crate::session::SolveSession;
+use crate::spec::Model;
+
+/// What a model strategy concluded about one output.
+#[derive(Clone, Debug, Default)]
+pub struct StrategyOutcome {
+    /// The best partition found (`None` = not decomposable, or the
+    /// budget expired before any partition was found).
+    pub partition: Option<VarPartition>,
+    /// The model reached a definite answer within budget.
+    pub solved: bool,
+    /// The partition was proved metric-optimal (QBF models only).
+    pub proved_optimal: bool,
+    /// A budget expired somewhere along the way.
+    pub timed_out: bool,
+    /// QBF solves performed.
+    pub qbf_calls: u32,
+    /// Total CEGAR iterations across QBF solves.
+    pub cegar_iterations: u64,
+}
+
+/// A per-model search strategy. See the module docs.
+pub trait ModelStrategy: Sync {
+    /// The roster model this strategy implements.
+    fn model(&self) -> Model;
+
+    /// The paper's name for the model (`LJH`, `STEP-MG`, …).
+    fn name(&self) -> &'static str;
+
+    /// Searches for a partition of the session's output.
+    fn solve(&self, session: &mut SolveSession<'_>) -> StrategyOutcome;
+}
+
+/// The singleton strategy implementing `model`.
+pub fn strategy_for(model: Model) -> &'static dyn ModelStrategy {
+    match model {
+        Model::Ljh => &LjhStrategy,
+        Model::MusGroup => &MgStrategy,
+        Model::QbfDisjoint => &QdStrategy,
+        Model::QbfBalanced => &QbStrategy,
+        Model::QbfCombined => &QdbStrategy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_maps_to_distinct_named_strategies() {
+        let names: Vec<&str> = [
+            Model::Ljh,
+            Model::MusGroup,
+            Model::QbfDisjoint,
+            Model::QbfBalanced,
+            Model::QbfCombined,
+        ]
+        .into_iter()
+        .map(|m| {
+            let s = strategy_for(m);
+            assert_eq!(s.model(), m, "strategy reports its own model");
+            s.name()
+        })
+        .collect();
+        assert_eq!(names, ["LJH", "STEP-MG", "STEP-QD", "STEP-QB", "STEP-QDB"]);
+    }
+}

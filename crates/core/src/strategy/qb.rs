@@ -1,0 +1,24 @@
+//! Strategy for STEP-QB: optimum balancedness (equation (6)).
+
+use super::qbf::solve_with_metric;
+use super::{ModelStrategy, StrategyOutcome};
+use crate::optimum::Metric;
+use crate::session::SolveSession;
+use crate::spec::Model;
+
+/// `STEP-QB` — QBF search minimizing `|XA| − |XB|` under `|XA| ≥ |XB|`.
+pub struct QbStrategy;
+
+impl ModelStrategy for QbStrategy {
+    fn model(&self) -> Model {
+        Model::QbfBalanced
+    }
+
+    fn name(&self) -> &'static str {
+        "STEP-QB"
+    }
+
+    fn solve(&self, session: &mut SolveSession<'_>) -> StrategyOutcome {
+        solve_with_metric(session, Metric::Balancedness)
+    }
+}

@@ -1,0 +1,50 @@
+//! Shared machinery of the three QBF strategies: the STEP-MG bootstrap
+//! followed by the optimum `k`-search of Section IV-A-6.
+
+use super::StrategyOutcome;
+use crate::mg::{self, MgOutcome};
+use crate::optimum::{self, Metric};
+use crate::qbf_model::ModelOptions;
+use crate::session::SolveSession;
+
+/// Bootstraps with STEP-MG (as in the paper), then searches the
+/// optimum bound for `metric`.
+pub(super) fn solve_with_metric(session: &mut SolveSession<'_>, metric: Metric) -> StrategyOutcome {
+    let deadline = session.deadline();
+    let mut out = StrategyOutcome::default();
+    let bootstrap = {
+        let (oracle, candidates) = session.oracle_parts();
+        match mg::decompose(oracle, candidates, deadline) {
+            MgOutcome::Partition(p) => Some(p),
+            MgOutcome::NotDecomposable => {
+                // Proved undecomposable — the QBF search is unnecessary.
+                out.solved = true;
+                out.proved_optimal = true;
+                return out;
+            }
+            MgOutcome::Timeout => {
+                out.timed_out = true;
+                return out;
+            }
+        }
+    };
+
+    let config = session.config();
+    let opts = ModelOptions {
+        symmetry_breaking: config.symmetry_breaking,
+        allow_both: config.allow_both,
+        deadline,
+        per_call_timeout: Some(config.budget.per_qbf_call),
+        conflicts_per_call: config.conflicts_per_call,
+    };
+    let strategy = config.effective_strategy();
+    let (oracle, _) = session.oracle_parts();
+    let search = optimum::search(oracle.core(), metric, bootstrap.as_ref(), strategy, &opts);
+    out.qbf_calls = search.qbf_calls;
+    out.cegar_iterations = search.cegar_iterations;
+    out.proved_optimal = search.proved_optimal;
+    out.solved = search.proved_optimal;
+    out.timed_out = search.timeouts > 0;
+    out.partition = search.partition.or(bootstrap);
+    out
+}

@@ -1,0 +1,24 @@
+//! Strategy for STEP-QD: optimum disjointness (equation (5)).
+
+use super::qbf::solve_with_metric;
+use super::{ModelStrategy, StrategyOutcome};
+use crate::optimum::Metric;
+use crate::session::SolveSession;
+use crate::spec::Model;
+
+/// `STEP-QD` — QBF search minimizing `|XC|`.
+pub struct QdStrategy;
+
+impl ModelStrategy for QdStrategy {
+    fn model(&self) -> Model {
+        Model::QbfDisjoint
+    }
+
+    fn name(&self) -> &'static str {
+        "STEP-QD"
+    }
+
+    fn solve(&self, session: &mut SolveSession<'_>) -> StrategyOutcome {
+        solve_with_metric(session, Metric::Disjointness)
+    }
+}

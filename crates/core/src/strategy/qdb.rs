@@ -1,0 +1,24 @@
+//! Strategy for STEP-QDB: the combined cost function (equation (8)).
+
+use super::qbf::solve_with_metric;
+use super::{ModelStrategy, StrategyOutcome};
+use crate::optimum::Metric;
+use crate::session::SolveSession;
+use crate::spec::Model;
+
+/// `STEP-QDB` — QBF search minimizing `|XC| + |XA| − |XB|`.
+pub struct QdbStrategy;
+
+impl ModelStrategy for QdbStrategy {
+    fn model(&self) -> Model {
+        Model::QbfCombined
+    }
+
+    fn name(&self) -> &'static str {
+        "STEP-QDB"
+    }
+
+    fn solve(&self, session: &mut SolveSession<'_>) -> StrategyOutcome {
+        solve_with_metric(session, Metric::Combined)
+    }
+}

@@ -536,7 +536,7 @@ fn engine_qd_proves_optimum() {
     let (aig_raw, f) = shared_var_fn();
     let mut aig = aig_raw;
     aig.add_output("f", f);
-    let mut engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
+    let engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
     let r = engine.decompose_output(&aig, 0, GateOp::Or).unwrap();
     let p = r.partition.expect("decomposable");
     assert_eq!(p.num_shared(), 1);
@@ -564,14 +564,8 @@ fn engine_all_models_on_multi_output_circuit() {
     aig.add_output("maj", maj);
     aig.add_output("buf", ins[3]);
 
-    for model in [
-        Model::Ljh,
-        Model::MusGroup,
-        Model::QbfDisjoint,
-        Model::QbfBalanced,
-        Model::QbfCombined,
-    ] {
-        let mut engine = BiDecomposer::new(DecompConfig::new(model));
+    for model in Model::ALL {
+        let engine = BiDecomposer::new(DecompConfig::new(model));
         let r = engine.decompose_circuit(&aig, GateOp::Or).unwrap();
         assert_eq!(r.outputs.len(), 3, "{model}");
         assert!(r.outputs[0].is_decomposed(), "{model} must decompose `dec`");
@@ -594,7 +588,7 @@ fn engine_handles_sequential_circuits() {
     let n = aig.or(t, q);
     aig.set_latch_next(0, n).unwrap();
     aig.add_output("f", q);
-    let mut engine = BiDecomposer::new(DecompConfig::new(Model::MusGroup));
+    let engine = BiDecomposer::new(DecompConfig::new(Model::MusGroup));
     // comb conversion: PO `f` (= q, single input) plus q$next = (a∧b)∨q.
     let r = engine.decompose_circuit(&aig, GateOp::Or).unwrap();
     assert_eq!(r.outputs.len(), 2);
@@ -611,7 +605,7 @@ fn engine_respects_output_budget() {
         per_output: std::time::Duration::ZERO,
         per_circuit: std::time::Duration::from_secs(60),
     };
-    let mut engine = BiDecomposer::new(config);
+    let engine = BiDecomposer::new(config);
     let r = engine.decompose_output(&aig, 0, GateOp::Or).unwrap();
     assert!(r.timed_out);
     assert!(!r.solved);
@@ -623,7 +617,7 @@ fn engine_rejects_bad_inputs() {
     let _ = seq.add_input("a");
     let q = seq.add_latch("q", false);
     seq.add_output("f", q);
-    let mut engine = BiDecomposer::new(DecompConfig::new(Model::Ljh));
+    let engine = BiDecomposer::new(DecompConfig::new(Model::Ljh));
     assert!(matches!(
         engine.decompose_output(&seq, 0, GateOp::Or),
         Err(crate::StepError::NotCombinational)
@@ -702,7 +696,7 @@ mod props {
             }
             aig.add_output("f", f);
             for op in GateOp::ALL {
-                let mut engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
+                let engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
                 let r = engine.decompose_output(&aig, 0, op).unwrap();
                 let ground = bdd_all_partitions(&aig, f, op);
                 match &r.partition {

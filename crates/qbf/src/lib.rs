@@ -47,5 +47,13 @@ mod qdimacs;
 pub use cegar::{ExistsForall, Qbf2Config, Qbf2Result, Qbf2Stats};
 pub use qdimacs::{solve_qdimacs, QbfOutcome, QdimacsError};
 
+// Compile-time audit: CEGAR solvers run inside worker threads of the
+// parallel circuit driver (step-core), so they must stay
+// `Send + Sync` — no `Rc` or thread-bound state on the solve path.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ExistsForall>();
+};
+
 #[cfg(test)]
 mod tests;

@@ -23,7 +23,17 @@ fn main() {
             }
             "--conflicts" => {
                 i += 1;
-                conflicts = args.get(i).and_then(|s| s.parse().ok());
+                match args.get(i).map(|s| s.parse::<u64>()) {
+                    Some(Ok(n)) => conflicts = Some(n),
+                    _ => {
+                        eprintln!(
+                            "--conflicts needs a non-negative integer, got {:?}",
+                            args.get(i).map(String::as_str).unwrap_or("<missing>")
+                        );
+                        eprintln!("usage: dimacs_sat <file.cnf|-> [--drat out] [--conflicts n]");
+                        std::process::exit(2);
+                    }
+                }
             }
             p if path.is_none() => path = Some(p.to_owned()),
             _ => {

@@ -40,5 +40,15 @@ pub mod proof;
 pub use proof::{ClauseId, Proof, ProofStep};
 pub use solver::{SolveResult, Solver, SolverStats};
 
+// Compile-time audit: solver instances are created and driven inside
+// worker threads of the parallel circuit driver (step-core), so they
+// must stay `Send + Sync` — no `Rc`, raw pointers or thread-bound
+// interior mutability may creep onto the solve path.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Solver>();
+    assert_send_sync::<Proof>();
+};
+
 #[cfg(test)]
 mod tests;

@@ -1,0 +1,60 @@
+//! CLI smoke tests for the `dimacs_sat` front-end, pinning the
+//! `--conflicts` argument validation (a bad value must be a usage
+//! error, not silently ignored).
+
+use std::process::Command;
+
+fn dimacs_sat() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dimacs_sat"))
+}
+
+fn tmp_cnf(tag: &str, text: &str) -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    let path = dir.join(format!("dimacs_cli_{tag}.cnf"));
+    std::fs::write(&path, text).expect("write cnf");
+    path
+}
+
+#[test]
+fn bad_conflicts_value_is_a_usage_error() {
+    let path = tmp_cnf("bad", "p cnf 1 1\n1 0\n");
+    for bad in ["abc", "-3", "1.5", ""] {
+        let out = dimacs_sat()
+            .arg(&path)
+            .args(["--conflicts", bad])
+            .output()
+            .expect("spawn dimacs_sat");
+        assert_eq!(out.status.code(), Some(2), "--conflicts {bad:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains("--conflicts") && err.contains("usage:"),
+            "stderr for {bad:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn missing_conflicts_value_is_a_usage_error() {
+    let path = tmp_cnf("missing", "p cnf 1 1\n1 0\n");
+    let out = dimacs_sat()
+        .arg(&path)
+        .arg("--conflicts")
+        .output()
+        .expect("spawn dimacs_sat");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn good_conflicts_value_still_solves() {
+    let path = tmp_cnf("good", "p cnf 2 2\n1 2 0\n-1 0\n");
+    let out = dimacs_sat()
+        .arg(&path)
+        .args(["--conflicts", "1000"])
+        .output()
+        .expect("spawn dimacs_sat");
+    // SAT competition convention: exit 10 = satisfiable.
+    assert_eq!(out.status.code(), Some(10), "stderr: {:?}", out.stderr);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("s SATISFIABLE"), "{text}");
+}

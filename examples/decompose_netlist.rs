@@ -45,7 +45,7 @@ fn main() {
         comb.and_count()
     );
 
-    let mut engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
+    let engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
     let result = engine.decompose_circuit(&comb, op).expect("engine run");
 
     println!(

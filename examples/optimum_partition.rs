@@ -43,7 +43,7 @@ fn main() {
         Model::QbfBalanced,
         Model::QbfCombined,
     ] {
-        let mut engine = BiDecomposer::new(DecompConfig::new(model));
+        let engine = BiDecomposer::new(DecompConfig::new(model));
         let r = engine
             .decompose_output(&aig, 0, GateOp::Or)
             .expect("engine run");

@@ -23,7 +23,7 @@ fn main() {
     aig.add_output("f", f);
 
     // STEP-QD: optimum disjointness via the QBF model.
-    let mut engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
+    let engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
     let result = engine
         .decompose_output(&aig, 0, GateOp::Or)
         .expect("well-formed circuit");

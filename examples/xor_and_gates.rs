@@ -16,7 +16,7 @@ fn main() {
         .iter()
         .position(|o| o.name() == "s3")
         .expect("adder has s3");
-    let mut engine = BiDecomposer::new(DecompConfig::new(Model::QbfBalanced));
+    let engine = BiDecomposer::new(DecompConfig::new(Model::QbfBalanced));
     let r = engine
         .decompose_output(&adder, sum3, GateOp::Xor)
         .expect("engine run");
@@ -35,7 +35,7 @@ fn main() {
 
     // ---- AND: an 8-bit equality comparator.
     let cmp = generators::equality_comparator(8);
-    let mut engine = BiDecomposer::new(DecompConfig::new(Model::QbfCombined));
+    let engine = BiDecomposer::new(DecompConfig::new(Model::QbfCombined));
     let r = engine
         .decompose_output(&cmp, 0, GateOp::And)
         .expect("engine run");
@@ -56,7 +56,7 @@ fn main() {
 
     // ---- And a negative case: majority is not bi-decomposable.
     let maj = generators::majority(3);
-    let mut engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
+    let engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
     for op in [GateOp::Or, GateOp::And, GateOp::Xor] {
         let r = engine.decompose_output(&maj, 0, op).expect("engine run");
         assert!(r.partition.is_none());

@@ -8,11 +8,19 @@
 //!   --op or|and|xor             root operator (default or)
 //!   --weights <wd> <wb>         weighted cost target (implies QBF model)
 //!   --output <index>            decompose a single PO
+//!   --jobs <n>                  worker threads for whole-circuit runs (default 1)
+//!   --seed <n>                  engine base seed (default 0x5DEECE66D)
+//!   --no-timing                 suppress wall-clock cells (stable output)
 //!   --emit-qdimacs              print the 3QCNF of formulation (4) and exit
 //!   --emit-blif                 print decomposed netlists as BLIF
 //!   --per-call-ms <n>           per-QBF-call budget (default 4000, paper)
 //!   --per-output-s <n>          per-output budget (default 60)
 //! ```
+//!
+//! Whole-circuit runs go through the parallel work-queue driver;
+//! per-output results are identical for any `--jobs` value, so
+//! `--no-timing` output can be diffed across worker counts (the CI
+//! smoke step does exactly that).
 
 use std::path::Path;
 use std::time::Duration;
@@ -22,7 +30,7 @@ use qbf_bidec::step::optimum::Metric;
 use qbf_bidec::step::oracle::CoreFormula;
 use qbf_bidec::step::qbf_model::Target;
 use qbf_bidec::step::qdimacs_export::{export_qdimacs, ExportOptions};
-use qbf_bidec::step::{BiDecomposer, DecompConfig, GateOp, Model};
+use qbf_bidec::step::{BiDecomposer, DecompConfig, GateOp, Model, OutputResult};
 
 struct Cli {
     path: String,
@@ -30,6 +38,9 @@ struct Cli {
     op: GateOp,
     weights: Option<(u32, u32)>,
     output: Option<usize>,
+    jobs: usize,
+    seed: Option<u64>,
+    no_timing: bool,
     emit_qdimacs: bool,
     emit_blif: bool,
     per_call: Duration,
@@ -37,8 +48,9 @@ struct Cli {
 }
 
 const USAGE: &str = "usage: step <circuit.{bench,blif,aag}> [--model ljh|mg|qd|qb|qdb] \
-                     [--op or|and|xor] [--weights wd wb] [--output idx] [--emit-qdimacs] \
-                     [--emit-blif] [--per-call-ms n] [--per-output-s n]";
+                     [--op or|and|xor] [--weights wd wb] [--output idx] [--jobs n] \
+                     [--seed n] [--no-timing] [--emit-qdimacs] [--emit-blif] \
+                     [--per-call-ms n] [--per-output-s n]";
 
 /// Bad invocation: usage on stderr, exit 2.
 fn usage() -> ! {
@@ -60,6 +72,9 @@ fn parse_cli() -> Cli {
         op: GateOp::Or,
         weights: None,
         output: None,
+        jobs: 1,
+        seed: None,
+        no_timing: false,
         emit_qdimacs: false,
         emit_blif: false,
         per_call: Duration::from_millis(4000),
@@ -104,6 +119,21 @@ fn parse_cli() -> Cli {
                     usage();
                 }
             }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => cli.jobs = n,
+                    _ => usage(),
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => cli.seed = Some(s),
+                    None => usage(),
+                }
+            }
+            "--no-timing" => cli.no_timing = true,
             "--emit-qdimacs" => cli.emit_qdimacs = true,
             "--emit-blif" => cli.emit_blif = true,
             "--per-call-ms" => {
@@ -132,6 +162,67 @@ fn parse_cli() -> Cli {
         usage();
     }
     cli
+}
+
+/// The wall-clock cell: milliseconds, or `-` under `--no-timing` so
+/// output is byte-identical across runs and `--jobs` values.
+fn cpu_cell(cpu: Duration, no_timing: bool) -> String {
+    if no_timing {
+        "-".to_owned()
+    } else {
+        cpu.as_millis().to_string()
+    }
+}
+
+/// Prints one per-output row; returns whether the output decomposed.
+fn print_result(cli: &Cli, out: &OutputResult) -> bool {
+    match &out.partition {
+        Some(p) => {
+            println!(
+                "{:<16} {:>8} {:>6} {:>6} {:>6} {:>8.3} {:>8.3} {:>9} {:>9}",
+                out.name,
+                out.support,
+                p.num_a(),
+                p.num_b(),
+                p.num_shared(),
+                p.disjointness(),
+                p.balancedness(),
+                out.proved_optimal,
+                cpu_cell(out.cpu, cli.no_timing)
+            );
+            if cli.emit_blif {
+                if let Some(d) = &out.decomposition {
+                    let mut d = d.clone();
+                    let combined = d.combine();
+                    let mut net = d.aig.clone();
+                    net.add_output(format!("{}_rebuilt", out.name), combined);
+                    net.add_output(format!("{}_fA", out.name), d.fa);
+                    net.add_output(format!("{}_fB", out.name), d.fb);
+                    println!(
+                        "{}",
+                        qbf_bidec::aig::blif::write(
+                            &net.compact(),
+                            &format!("{}_decomposed", out.name)
+                        )
+                    );
+                }
+            }
+            true
+        }
+        None => {
+            println!(
+                "{:<16} {:>8} {}",
+                out.name,
+                out.support,
+                if out.timed_out {
+                    "timeout"
+                } else {
+                    "not decomposable"
+                }
+            );
+            false
+        }
+    }
 }
 
 fn main() {
@@ -184,11 +275,66 @@ fn main() {
         return;
     }
 
+    if let Some((wd, wb)) = cli.weights {
+        if cli.jobs > 1 {
+            eprintln!("note: the --weights path runs sequentially; --jobs has no effect");
+        }
+        run_weighted(&cli, &comb, wd, wb);
+        return;
+    }
+
     let mut config = DecompConfig::new(cli.model);
     config.budget.per_qbf_call = cli.per_call;
     config.budget.per_output = cli.per_output;
-    let mut engine = BiDecomposer::new(config);
+    config.jobs = cli.jobs;
+    if let Some(seed) = cli.seed {
+        config.seed = seed;
+    }
+    let engine = BiDecomposer::new(config);
 
+    println!(
+        "{:<16} {:>8} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9} {:>9}",
+        "output", "support", "|XA|", "|XB|", "|XC|", "eD", "eB", "optimal?", "cpu(ms)"
+    );
+    let mut decomposed = 0usize;
+    match cli.output {
+        // Single output: one session, no queue.
+        Some(idx) => match engine.decompose_output(&comb, idx, cli.op) {
+            Ok(out) => {
+                if print_result(&cli, &out) {
+                    decomposed += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("error on output {idx}: {e}");
+                std::process::exit(1);
+            }
+        },
+        // Whole circuit: the work-queue driver with `--jobs` workers.
+        None => match engine.decompose_circuit(&comb, cli.op) {
+            Ok(result) => {
+                for out in &result.outputs {
+                    if print_result(&cli, out) {
+                        decomposed += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+    }
+    println!(
+        "\ndecomposed {decomposed} output function(s) with {}",
+        cli.model
+    );
+}
+
+/// Weighted run: bootstrap with MG then search the weighted metric
+/// directly on each selected output.
+fn run_weighted(cli: &Cli, comb: &qbf_bidec::aig::Aig, wd: u32, wb: u32) {
+    use qbf_bidec::step::mg;
     let indices: Vec<usize> = match cli.output {
         Some(i) => vec![i],
         None => (0..comb.num_outputs()).collect(),
@@ -199,100 +345,42 @@ fn main() {
     );
     let mut decomposed = 0usize;
     for idx in indices {
-        let r = match cli.weights {
-            None => engine.decompose_output(&comb, idx, cli.op),
-            Some((wd, wb)) => {
-                // Weighted run: bootstrap with MG then search the
-                // weighted metric directly.
-                let out = &comb.outputs()[idx];
-                let cone = comb.cone(out.lit());
-                let core = CoreFormula::build(&cone.aig, cone.root, cli.op);
-                let mut oracle = qbf_bidec::step::oracle::PartitionOracle::new(core.clone());
-                use qbf_bidec::step::mg;
-                let start = std::time::Instant::now();
-                let boot = match mg::decompose(&mut oracle, None, None) {
-                    mg::MgOutcome::Partition(p) => Some(p),
-                    _ => None,
-                };
-                let search = qbf_bidec::step::optimum::search(
-                    &core,
-                    Metric::Weighted { wd, wb },
-                    boot.as_ref(),
-                    qbf_bidec::step::SearchStrategy::MonotoneIncreasing,
-                    &qbf_bidec::step::qbf_model::ModelOptions::default(),
-                );
-                match search.partition {
-                    Some(p) => {
-                        println!(
-                            "{:<16} {:>8} {:>6} {:>6} {:>6} {:>8.3} {:>8.3} {:>9} {:>9}",
-                            out.name(),
-                            cone.support_size(),
-                            p.num_a(),
-                            p.num_b(),
-                            p.num_shared(),
-                            p.disjointness(),
-                            p.balancedness(),
-                            search.proved_optimal,
-                            start.elapsed().as_millis()
-                        );
-                        decomposed += 1;
-                    }
-                    None => println!("{:<16} not decomposable", out.name()),
-                }
-                continue;
-            }
+        let Some(out) = comb.outputs().get(idx) else {
+            eprintln!("error: output {idx} out of range");
+            std::process::exit(1);
         };
-        match r {
-            Ok(out) => match &out.partition {
-                Some(p) => {
-                    decomposed += 1;
-                    println!(
-                        "{:<16} {:>8} {:>6} {:>6} {:>6} {:>8.3} {:>8.3} {:>9} {:>9}",
-                        out.name,
-                        out.support,
-                        p.num_a(),
-                        p.num_b(),
-                        p.num_shared(),
-                        p.disjointness(),
-                        p.balancedness(),
-                        out.proved_optimal,
-                        out.cpu.as_millis()
-                    );
-                    if cli.emit_blif {
-                        if let Some(d) = &out.decomposition {
-                            let mut d = d.clone();
-                            let combined = d.combine();
-                            let mut net = d.aig.clone();
-                            net.add_output(format!("{}_rebuilt", out.name), combined);
-                            net.add_output(format!("{}_fA", out.name), d.fa);
-                            net.add_output(format!("{}_fB", out.name), d.fb);
-                            println!(
-                                "{}",
-                                qbf_bidec::aig::blif::write(
-                                    &net.compact(),
-                                    &format!("{}_decomposed", out.name)
-                                )
-                            );
-                        }
-                    }
-                }
-                None => {
-                    println!(
-                        "{:<16} {:>8} {}",
-                        out.name,
-                        out.support,
-                        if out.timed_out {
-                            "timeout"
-                        } else {
-                            "not decomposable"
-                        }
-                    );
-                }
-            },
-            Err(e) => {
-                eprintln!("error on output {idx}: {e}");
-                std::process::exit(1);
+        let cone = comb.cone(out.lit());
+        let core = CoreFormula::build(&cone.aig, cone.root, cli.op);
+        let mut oracle = qbf_bidec::step::oracle::PartitionOracle::new(core.clone());
+        let start = std::time::Instant::now();
+        let boot = match mg::decompose(&mut oracle, None, None) {
+            mg::MgOutcome::Partition(p) => Some(p),
+            _ => None,
+        };
+        let search = qbf_bidec::step::optimum::search(
+            &core,
+            Metric::Weighted { wd, wb },
+            boot.as_ref(),
+            qbf_bidec::step::SearchStrategy::MonotoneIncreasing,
+            &qbf_bidec::step::qbf_model::ModelOptions::default(),
+        );
+        match search.partition {
+            Some(p) => {
+                println!(
+                    "{:<16} {:>8} {:>6} {:>6} {:>6} {:>8.3} {:>8.3} {:>9} {:>9}",
+                    out.name(),
+                    cone.support_size(),
+                    p.num_a(),
+                    p.num_b(),
+                    p.num_shared(),
+                    p.disjointness(),
+                    p.balancedness(),
+                    search.proved_optimal,
+                    cpu_cell(start.elapsed(), cli.no_timing)
+                );
+                decomposed += 1;
             }
+            None => println!("{:<16} not decomposable", out.name()),
         }
     }
     println!(

@@ -33,7 +33,7 @@
 //! aig.add_output("f", f);
 //!
 //! let config = DecompConfig::new(Model::QbfDisjoint);
-//! let mut engine = BiDecomposer::new(config);
+//! let engine = BiDecomposer::new(config);
 //! let result = engine.decompose_output(&aig, 0, GateOp::Or).unwrap();
 //! let decomp = result.decomposition.expect("decomposable");
 //! assert_eq!(decomp.partition.num_shared(), 0, "optimally disjoint");

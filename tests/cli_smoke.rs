@@ -42,6 +42,9 @@ fn help_prints_usage_to_stdout_and_exits_0() {
             "--op",
             "--weights",
             "--output",
+            "--jobs",
+            "--seed",
+            "--no-timing",
             "--emit-qdimacs",
             "--emit-blif",
             "--per-call-ms",
@@ -89,6 +92,61 @@ fn decomposes_a_bench_circuit() {
         .find(|l| l.starts_with('f') || l.contains("f "))
         .unwrap_or_else(|| panic!("row for output f in: {text}"));
     assert!(row.contains('2'), "|XA|=|XB|=2 in: {row}");
+}
+
+/// A two-output circuit: `f = (a&b)|(c&d)` and `g = (a&c)|(b&d)`.
+fn write_two_outputs(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    let path = dir.join(format!("cli_smoke_{tag}.bench"));
+    std::fs::write(
+        &path,
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\n\
+         OUTPUT(f)\nOUTPUT(g)\n\
+         t1 = AND(a, b)\nt2 = AND(c, d)\nf = OR(t1, t2)\n\
+         u1 = AND(a, c)\nu2 = AND(b, d)\ng = OR(u1, u2)\n",
+    )
+    .expect("write bench file");
+    path
+}
+
+#[test]
+fn jobs_flag_is_output_stable() {
+    let path = write_two_outputs("jobs");
+    let run_with = |jobs: &str| -> String {
+        let out = run(step()
+            .arg(&path)
+            .args(["--model", "qd", "--no-timing", "--jobs", jobs]));
+        assert!(out.status.success(), "stderr: {:?}", out.stderr);
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let one = run_with("1");
+    let four = run_with("4");
+    assert_eq!(one, four, "--jobs must not change per-output results");
+    assert!(
+        one.contains("decomposed 2 output function(s)"),
+        "both outputs decompose: {one}"
+    );
+    // --no-timing replaces the cpu cell with `-`.
+    assert!(one.contains(" -"), "stable cpu cell: {one}");
+}
+
+#[test]
+fn bad_jobs_value_is_an_error() {
+    let path = write_two_outputs("badjobs");
+    for bad in ["0", "many", ""] {
+        let out = run(step().arg(&path).args(["--jobs", bad]));
+        assert_eq!(out.status.code(), Some(2), "--jobs {bad:?}");
+    }
+}
+
+#[test]
+fn seed_flag_parses_and_runs() {
+    let path = write_two_outputs("seed");
+    let out = run(step().arg(&path).args(["--model", "mg", "--seed", "12345"]));
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let out = run(step().arg(&path).args(["--seed", "nope"]));
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

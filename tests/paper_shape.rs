@@ -25,16 +25,10 @@ fn run(
 #[test]
 fn num_decomposed_agrees_across_models() {
     for entry in registry_table1().iter().take(8) {
-        let counts: Vec<usize> = [
-            Model::Ljh,
-            Model::MusGroup,
-            Model::QbfDisjoint,
-            Model::QbfBalanced,
-            Model::QbfCombined,
-        ]
-        .into_iter()
-        .map(|m| run(entry, m, GateOp::Or).num_decomposed())
-        .collect();
+        let counts: Vec<usize> = Model::ALL
+            .into_iter()
+            .map(|m| run(entry, m, GateOp::Or).num_decomposed())
+            .collect();
         assert!(
             counts.windows(2).all(|w| w[0] == w[1]),
             "{}: #Dec differs across models: {counts:?}",

@@ -1,0 +1,168 @@
+//! Determinism of the parallel circuit driver: `decompose_circuit`
+//! with `jobs = 1` and `jobs = N` must return identical per-output
+//! partitions, `solved`/`proved_optimal` flags and decomposition
+//! verdicts, because per-output work is a pure function of
+//! `(circuit, output, op, config)` — the simulation seed derives from
+//! `hash(config.seed, output_index)`, never from visitation order.
+
+use qbf_bidec::circuits::{registry_table1, Scale};
+use qbf_bidec::step::{
+    output_seed, BiDecomposer, CircuitResult, DecompConfig, GateOp, Model, OutputResult,
+};
+
+fn config(model: Model, jobs: usize) -> DecompConfig {
+    let mut c = DecompConfig::new(model);
+    c.jobs = jobs;
+    c
+}
+
+fn run(aig: &qbf_bidec::aig::Aig, model: Model, jobs: usize, op: GateOp) -> CircuitResult {
+    BiDecomposer::new(config(model, jobs))
+        .decompose_circuit(aig, op)
+        .expect("circuit run")
+}
+
+/// Everything that must match between runs (wall-clock aside).
+fn assert_same_outputs(a: &CircuitResult, b: &CircuitResult, tag: &str) {
+    assert_eq!(a.outputs.len(), b.outputs.len(), "{tag}: output count");
+    for (x, y) in a.outputs.iter().zip(&b.outputs) {
+        let t = format!("{tag}: output {} ({})", x.output_index, x.name);
+        assert_eq!(x.name, y.name, "{t}: name");
+        assert_eq!(x.support, y.support, "{t}: support");
+        assert_eq!(x.partition, y.partition, "{t}: partition");
+        assert_eq!(x.solved, y.solved, "{t}: solved");
+        assert_eq!(x.proved_optimal, y.proved_optimal, "{t}: proved_optimal");
+        assert_eq!(x.is_decomposed(), y.is_decomposed(), "{t}: verdict");
+        assert_eq!(x.sat_calls, y.sat_calls, "{t}: sat_calls");
+        assert_eq!(x.qbf_calls, y.qbf_calls, "{t}: qbf_calls");
+        assert_eq!(
+            x.decomposition.is_some(),
+            y.decomposition.is_some(),
+            "{t}: extraction"
+        );
+    }
+}
+
+#[test]
+fn registry_circuit_is_deterministic_across_worker_counts() {
+    // s38584.1 at default scale: 8 primary outputs, a mix of
+    // decomposable / non-decomposable cones.
+    let entry = &registry_table1()[2];
+    let aig = entry.build(Scale::Default);
+    assert!(aig.num_outputs() >= 4, "need a multi-output circuit");
+    for model in [Model::MusGroup, Model::QbfDisjoint] {
+        let seq = run(&aig, model, 1, GateOp::Or);
+        let par = run(&aig, model, 4, GateOp::Or);
+        assert_same_outputs(&seq, &par, &format!("{model}"));
+        assert!(seq.num_decomposed() > 0, "{model}: something decomposes");
+    }
+}
+
+#[test]
+fn oversubscribed_workers_are_harmless() {
+    // More workers than outputs: the driver clamps the pool.
+    let entry = &registry_table1()[16]; // mm9a (2 outputs)
+    let aig = entry.build(Scale::Smoke);
+    let seq = run(&aig, Model::QbfBalanced, 1, GateOp::Or);
+    let par = run(&aig, Model::QbfBalanced, 64, GateOp::Or);
+    assert_same_outputs(&seq, &par, "oversubscribed");
+}
+
+#[test]
+fn single_output_runs_match_circuit_runs() {
+    // The per-output seed depends only on (config.seed, output_index),
+    // so decomposing one output in isolation gives the same answer as
+    // the same output inside a (parallel) whole-circuit run.
+    let entry = &registry_table1()[4]; // i10
+    let aig = entry.build(Scale::Smoke);
+    let whole = run(&aig, Model::QbfDisjoint, 3, GateOp::Or);
+    let engine = BiDecomposer::new(config(Model::QbfDisjoint, 1));
+    for idx in 0..aig.num_outputs() {
+        let single: OutputResult = engine.decompose_output(&aig, idx, GateOp::Or).unwrap();
+        let in_circuit = &whole.outputs[idx];
+        assert_eq!(single.partition, in_circuit.partition, "output {idx}");
+        assert_eq!(single.solved, in_circuit.solved, "output {idx}");
+    }
+}
+
+#[test]
+fn seed_changes_are_scoped_to_the_engine_seed() {
+    // Different engine seeds may pick different (equally valid)
+    // partitions, but each seed remains internally deterministic.
+    let entry = &registry_table1()[16];
+    let aig = entry.build(Scale::Smoke);
+    for seed in [0u64, 1, 0xDEAD_BEEF] {
+        let mut c1 = config(Model::MusGroup, 1);
+        c1.seed = seed;
+        let mut c4 = config(Model::MusGroup, 4);
+        c4.seed = seed;
+        let a = BiDecomposer::new(c1)
+            .decompose_circuit(&aig, GateOp::Or)
+            .unwrap();
+        let b = BiDecomposer::new(c4)
+            .decompose_circuit(&aig, GateOp::Or)
+            .unwrap();
+        assert_same_outputs(&a, &b, &format!("seed {seed}"));
+    }
+    assert_ne!(
+        output_seed(0, 0),
+        output_seed(1, 0),
+        "engine seed feeds the per-output hash"
+    );
+}
+
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds a small combinational AIG with two primary outputs from a
+    /// list of gate descriptors over `n` inputs.
+    fn build_random(ops: &[(u8, usize, usize)], n: usize) -> qbf_bidec::aig::Aig {
+        let mut aig = qbf_bidec::aig::Aig::new();
+        let mut pool: Vec<qbf_bidec::aig::AigLit> =
+            (0..n).map(|i| aig.add_input(format!("x{i}"))).collect();
+        for &(op, i, j) in ops {
+            let a = pool[i % pool.len()];
+            let b = pool[j % pool.len()];
+            let v = match op {
+                0 => aig.and(a, b),
+                1 => aig.or(a, b),
+                2 => aig.xor(a, b),
+                _ => !a,
+            };
+            pool.push(v);
+        }
+        let f = pool[pool.len() - 1];
+        let g = pool[pool.len() / 2];
+        aig.add_output("f", f);
+        aig.add_output("g", g);
+        aig
+    }
+
+    fn arb_ops() -> impl Strategy<Value = Vec<(u8, usize, usize)>> {
+        proptest::collection::vec((0u8..4, 0usize..64, 0usize..64), 4..20)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Random small AIGs: sequential and parallel circuit runs
+        /// agree output-for-output, for the heuristic and the QBF
+        /// model alike.
+        #[test]
+        fn random_aigs_are_deterministic_across_jobs(ops in arb_ops()) {
+            let aig = build_random(&ops, 4);
+            for model in [Model::MusGroup, Model::QbfDisjoint] {
+                let seq = run(&aig, model, 1, GateOp::Or);
+                let par = run(&aig, model, 3, GateOp::Or);
+                prop_assert_eq!(seq.outputs.len(), par.outputs.len());
+                for (x, y) in seq.outputs.iter().zip(&par.outputs) {
+                    prop_assert_eq!(&x.partition, &y.partition, "{} {}", model, x.name);
+                    prop_assert_eq!(x.solved, y.solved);
+                    prop_assert_eq!(x.proved_optimal, y.proved_optimal);
+                    prop_assert_eq!(x.sat_calls, y.sat_calls);
+                }
+            }
+        }
+    }
+}

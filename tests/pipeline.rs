@@ -23,14 +23,8 @@ fn every_model_full_pipeline_on_smoke_circuits() {
             .find(|e| e.name == name)
             .expect("registry row");
         let aig = entry.build(Scale::Smoke);
-        for model in [
-            Model::Ljh,
-            Model::MusGroup,
-            Model::QbfDisjoint,
-            Model::QbfBalanced,
-            Model::QbfCombined,
-        ] {
-            let mut engine = BiDecomposer::new(quick_config(model));
+        for model in Model::ALL {
+            let engine = BiDecomposer::new(quick_config(model));
             let r = engine.decompose_circuit(&aig, GateOp::Or).expect("run");
             assert!(
                 !r.timed_out,
@@ -108,7 +102,7 @@ fn all_three_operators_round_trip() {
         .expect("registry row");
     let aig = entry.build(Scale::Smoke);
     for op in [GateOp::Or, GateOp::And, GateOp::Xor] {
-        let mut engine = BiDecomposer::new(quick_config(Model::QbfDisjoint));
+        let engine = BiDecomposer::new(quick_config(Model::QbfDisjoint));
         let r = engine.decompose_circuit(&aig, op).expect("run");
         for out in &r.outputs {
             if let Some(d) = &out.decomposition {
@@ -134,7 +128,7 @@ fn decomposition_rebuild_equals_original_semantics() {
     let t2 = aig.and_many(&ins[2..5]);
     let f = aig.or(t1, t2);
     aig.add_output("f", f);
-    let mut engine = BiDecomposer::new(quick_config(Model::QbfCombined));
+    let engine = BiDecomposer::new(quick_config(Model::QbfCombined));
     let r = engine.decompose_output(&aig, 0, GateOp::Or).expect("run");
     let mut d = r.decomposition.expect("decomposable");
     let combined = d.combine();
