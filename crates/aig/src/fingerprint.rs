@@ -1,0 +1,589 @@
+//! Canonical cone fingerprints: a support-permutation-invariant
+//! structural hash with the input permutation that realizes it.
+//!
+//! Two primary-output cones that compute the same function over
+//! *renamed* inputs (the common case in synthetic benchmark families,
+//! where one generator stamps out the same sub-circuit over sliding
+//! input windows) extract to [`Cone`](crate::Cone)s that differ only in
+//! how their support variables are numbered. [`canonicalize`] maps a
+//! cone to a canonical form that erases that numbering:
+//!
+//! 1. a **shape pass** computes, bottom-up, a complement-sensitive but
+//!    fanin-order-insensitive hash per node (all leaves identical);
+//! 2. a **canonical traversal** walks the cone depth-first from the
+//!    root, visiting each AND node's fanins ordered by their shape key,
+//!    and numbers inputs in first-visit order;
+//! 3. the traversal is re-emitted as a canonical node sequence, which
+//!    is both hashed (the [`ConeFingerprint`]) and replayed into a
+//!    fresh [`Aig`] (the canonical cone).
+//!
+//! Equal fingerprints imply — up to 128-bit hash collision — equal
+//! canonical sequences, hence *byte-identical* canonical AIGs: any
+//! deterministic computation on the canonical cone (SAT search,
+//! simulation, QBF optimum search) produces the same answer for every
+//! cone in the equivalence class. The returned permutation translates
+//! results between the cone's own input order and the canonical order,
+//! which is what lets a result cache keyed by fingerprints hand a
+//! partition computed for one cone to a permuted twin.
+//!
+//! The canonical form is a cheap structural normalization, not a
+//! graph-canonization: two cones whose AND nodes have shape-identical
+//! fanins in swapped stored order can (rarely) canonicalize
+//! differently. That costs a cache miss, never a wrong hit — equal
+//! fingerprints still guarantee equal canonical cones.
+
+use crate::graph::{Aig, AigNode};
+use crate::lit::AigLit;
+
+/// The support-permutation-invariant identity of a cone.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ConeFingerprint {
+    /// 128-bit hash of the canonical node sequence.
+    pub hash: u128,
+    /// Number of support variables.
+    pub inputs: u32,
+    /// Number of AND nodes in the cone.
+    pub ands: u32,
+}
+
+/// A cone rewritten into canonical input order. See the module docs.
+#[derive(Clone, Debug)]
+pub struct CanonicalCone {
+    /// The structural fingerprint (cache key material).
+    pub fingerprint: ConeFingerprint,
+    /// `perm[i]` is the canonical index of the source cone's input `i`.
+    /// Results computed on the canonical cone translate back as
+    /// `original[i] = canonical[perm[i]]`.
+    pub perm: Vec<usize>,
+    /// The canonical cone: inputs `v0..v{n-1}` in canonical order,
+    /// AND nodes in canonical emission order. Byte-identical across
+    /// every cone with the same fingerprint.
+    pub aig: Aig,
+    /// The root literal inside [`CanonicalCone::aig`].
+    pub root: AigLit,
+}
+
+// Canonical child references, packed into a u64 for hashing:
+// bits 63..62 = kind (0 const, 1 input, 2 and), 61..1 = index,
+// bit 0 = complement.
+const KIND_CONST: u64 = 0;
+const KIND_INPUT: u64 = 1 << 62;
+const KIND_AND: u64 = 2 << 62;
+
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The per-node shape hashes of pass 1: complement-sensitive,
+/// fanin-order-insensitive, permutation-invariant.
+///
+/// Ties in pass 2 cost cache misses, so the shape folds in every cheap
+/// invariant that survives input renaming: each leaf is distinguished
+/// by its positive/negative fanin-occurrence profile within the cone,
+/// and each AND node by its structural support size.
+fn shape_pass(aig: &Aig, root: AigLit) -> Vec<u64> {
+    let nn = aig.node_count();
+    let mut reach = vec![false; nn];
+    let mut stack = vec![root.node()];
+    while let Some(id) = stack.pop() {
+        if reach[id.index()] {
+            continue;
+        }
+        reach[id.index()] = true;
+        if let AigNode::And { f0, f1 } = aig.node(id) {
+            stack.push(f0.node());
+            stack.push(f1.node());
+        }
+    }
+    // Per-leaf fanin-occurrence profile: (positive, complemented)
+    // counts over the cone's AND edges (plus the root edge). Preserved
+    // by any isomorphism, so it safely tells support variables apart.
+    let mut occ = vec![(0u32, 0u32); nn];
+    let mut tally = |edge: AigLit| {
+        let o = &mut occ[edge.node().index()];
+        if edge.is_complement() {
+            o.1 += 1;
+        } else {
+            o.0 += 1;
+        }
+    };
+    for (id, node) in aig.iter_nodes() {
+        if !reach[id.index()] {
+            continue;
+        }
+        if let AigNode::And { f0, f1 } = node {
+            tally(f0);
+            tally(f1);
+        }
+    }
+    tally(root);
+
+    // Per-node structural support, as a bitset over the AIG's inputs.
+    let words = aig.num_inputs().div_ceil(64).max(1);
+    let mut support = vec![0u64; nn * words];
+    let mut sup_count = vec![0u32; nn];
+    for (id, node) in aig.iter_nodes() {
+        if !reach[id.index()] {
+            continue;
+        }
+        let i = id.index();
+        match node {
+            AigNode::Input { pi } => {
+                support[i * words + pi as usize / 64] |= 1 << (pi % 64);
+                sup_count[i] = 1;
+            }
+            AigNode::And { f0, f1 } => {
+                let (i0, i1) = (f0.node().index(), f1.node().index());
+                let mut count = 0u32;
+                for w in 0..words {
+                    let merged = support[i0 * words + w] | support[i1 * words + w];
+                    support[i * words + w] = merged;
+                    count += merged.count_ones();
+                }
+                sup_count[i] = count;
+            }
+            AigNode::Const | AigNode::Latch { .. } => {}
+        }
+    }
+
+    // Initial leaf colors from the occurrence profiles; then a few
+    // Weisfeiler–Lehman-style sweeps: a downward pass folds fanin
+    // shapes up, an upward pass folds each node's parent contexts
+    // (parent shape, own edge polarity, sibling edge) back into it.
+    // Every ingredient is preserved by input renaming, and each sweep
+    // lets a leaf see one level more of its surroundings — which is
+    // what keeps genuinely different inputs from tying in pass 2.
+    let mut shape = vec![0u64; nn];
+    for (id, node) in aig.iter_nodes() {
+        if !reach[id.index()] {
+            continue;
+        }
+        let i = id.index();
+        let (pos, neg) = occ[i];
+        shape[i] = match node {
+            AigNode::Const => splitmix(0xC0C0),
+            AigNode::Input { .. } => splitmix(0x1EAF ^ u64::from(pos) << 20 ^ u64::from(neg)),
+            AigNode::Latch { .. } => splitmix(0x1A7C ^ u64::from(pos) << 20 ^ u64::from(neg)),
+            AigNode::And { .. } => 0,
+        };
+    }
+    const SWEEPS: usize = 2;
+    for sweep in 0..=SWEEPS {
+        // Downward: AND shapes from (refined) fanin shapes, commutative
+        // over the sorted pair so stored fanin order cannot leak in.
+        for (id, node) in aig.iter_nodes() {
+            if !reach[id.index()] {
+                continue;
+            }
+            if let AigNode::And { f0, f1 } = node {
+                let c0 = edge_shape(&shape, f0);
+                let c1 = edge_shape(&shape, f1);
+                let (lo, hi) = if c0 <= c1 { (c0, c1) } else { (c1, c0) };
+                shape[id.index()] = splitmix(
+                    lo ^ hi.rotate_left(23) ^ u64::from(sup_count[id.index()]) << 17 ^ 0xA11D,
+                );
+            }
+        }
+        if sweep == SWEEPS {
+            break;
+        }
+        // Upward: accumulate each node's parent contexts commutatively
+        // (wrapping add is multiset-stable), then fold them in.
+        let mut up = vec![0u64; nn];
+        let mut see = |child: AigLit, parent_shape: u64, sibling: u64| {
+            up[child.node().index()] = up[child.node().index()].wrapping_add(splitmix(
+                parent_shape
+                    ^ sibling.rotate_left(11)
+                    ^ if child.is_complement() { 0x5EE1 } else { 0 },
+            ));
+        };
+        for (id, node) in aig.iter_nodes() {
+            if !reach[id.index()] {
+                continue;
+            }
+            if let AigNode::And { f0, f1 } = node {
+                let s = shape[id.index()];
+                see(f0, s, edge_shape(&shape, f1));
+                see(f1, s, edge_shape(&shape, f0));
+            }
+        }
+        see(root, 0x2007, 0);
+        for i in 0..nn {
+            if reach[i] && up[i] != 0 {
+                shape[i] = splitmix(shape[i] ^ up[i]);
+            }
+        }
+    }
+    shape
+}
+
+#[inline]
+fn edge_shape(shape: &[u64], edge: AigLit) -> u64 {
+    let s = shape[edge.node().index()];
+    if edge.is_complement() {
+        splitmix(s ^ 0x10_0BAD)
+    } else {
+        s
+    }
+}
+
+/// Deterministic subtree comparison for shape-tied fanins.
+///
+/// Shape hashes cannot separate automorphic-looking twins like the
+/// XNOR pattern `AND(x,¬y)` vs `AND(¬x,y)`: their relative order must
+/// be decided *consistently with the input numbering assigned so far*,
+/// or two isomorphic cones canonicalize differently. This comparator
+/// recursively orders subtrees by `(shape, complement)` per edge and,
+/// at the leaves, by the inputs' already-assigned canonical numbers
+/// (unassigned inputs compare equal — at that point the choice is
+/// genuinely symmetric and either order extends consistently).
+struct FaninOrder<'a> {
+    aig: &'a Aig,
+    shape: &'a [u64],
+    /// Canonical number per primary input, `usize::MAX` = unassigned;
+    /// the DFS fills it in first-visit order as it runs.
+    perm: Vec<usize>,
+    memo: std::collections::HashMap<(u32, u32), std::cmp::Ordering>,
+}
+
+impl FaninOrder<'_> {
+    /// Compares two edges; the `bool` is true when the verdict is
+    /// *definitive* — it never passed through an unassigned-input
+    /// comparison, so it can be memoized. Provisional verdicts become
+    /// stale the moment the DFS numbers another input and must be
+    /// recomputed (caching them desynchronizes isomorphic twins, whose
+    /// memo keys differ in `(u,v)` orientation).
+    fn cmp_edges(&mut self, a: AigLit, b: AigLit) -> (std::cmp::Ordering, bool) {
+        let ka = (self.shape[a.node().index()], a.is_complement());
+        let kb = (self.shape[b.node().index()], b.is_complement());
+        match ka.cmp(&kb) {
+            std::cmp::Ordering::Equal => self.cmp_nodes(a.node(), b.node()),
+            o => (o, true),
+        }
+    }
+
+    fn cmp_nodes(&mut self, u: crate::NodeId, v: crate::NodeId) -> (std::cmp::Ordering, bool) {
+        use std::cmp::Ordering;
+        if u == v {
+            return (Ordering::Equal, true);
+        }
+        let key = (u.index() as u32, v.index() as u32);
+        if let Some(&o) = self.memo.get(&key) {
+            return (o, true);
+        }
+        let (o, definitive) = match (self.aig.node(u), self.aig.node(v)) {
+            (AigNode::Input { pi: pu }, AigNode::Input { pi: pv }) => {
+                let (nu, nv) = (self.perm[pu as usize], self.perm[pv as usize]);
+                (nu.cmp(&nv), nu != usize::MAX && nv != usize::MAX)
+            }
+            (AigNode::And { f0: a0, f1: a1 }, AigNode::And { f0: b0, f1: b1 }) => {
+                let (a0, a1) = self.ordered(a0, a1);
+                let (b0, b1) = self.ordered(b0, b1);
+                let (o0, d0) = self.cmp_edges(a0, b0);
+                if o0 != Ordering::Equal {
+                    (o0, d0)
+                } else {
+                    let (o1, d1) = self.cmp_edges(a1, b1);
+                    (o1, d0 && d1)
+                }
+            }
+            // Distinct kinds already differ in shape; anything left is
+            // order-indifferent.
+            _ => (Ordering::Equal, true),
+        };
+        if definitive {
+            self.memo.insert(key, o);
+        }
+        (o, definitive)
+    }
+
+    /// Orders an AND node's fanins: `(shape, complement)` first, then
+    /// the recursive content comparison; full ties keep stored order.
+    fn ordered(&mut self, f0: AigLit, f1: AigLit) -> (AigLit, AigLit) {
+        if self.cmp_edges(f1, f0).0 == std::cmp::Ordering::Less {
+            (f1, f0)
+        } else {
+            (f0, f1)
+        }
+    }
+}
+
+/// Computes the canonical form of the cone of `root` in `aig`.
+///
+/// `aig` must be combinational on the cone (no latch leaves — extract
+/// with [`Aig::cone`] first). Inputs of `aig` outside the structural
+/// support of `root` get no canonical number (their `perm` entry is
+/// `usize::MAX`); for [`Aig::cone`]-extracted cones the support is
+/// exactly the input set, so `perm` is a full permutation.
+///
+/// # Panics
+///
+/// Panics if the cone contains a latch leaf.
+pub fn canonicalize(aig: &Aig, root: AigLit) -> CanonicalCone {
+    let shape = shape_pass(aig, root);
+    let nn = aig.node_count();
+
+    // Canonical DFS: children visited in shape/content order (frozen
+    // per node at expansion time), inputs numbered in first-visit
+    // order, AND nodes emitted in post-order.
+    let mut refs: Vec<u64> = vec![u64::MAX; nn]; // canonical ref per done node
+    let mut frozen: Vec<Option<(AigLit, AigLit)>> = vec![None; nn];
+    let mut order = FaninOrder {
+        aig,
+        shape: &shape,
+        perm: vec![usize::MAX; aig.num_inputs()],
+        memo: std::collections::HashMap::new(),
+    };
+    let mut n_inputs = 0u64;
+    let mut ands: Vec<(u64, u64)> = Vec::new();
+    let mut stack = vec![root.node()];
+    while let Some(&id) = stack.last() {
+        if refs[id.index()] != u64::MAX {
+            stack.pop();
+            continue;
+        }
+        match aig.node(id) {
+            AigNode::Const => {
+                refs[id.index()] = KIND_CONST;
+                stack.pop();
+            }
+            AigNode::Input { pi } => {
+                order.perm[pi as usize] = n_inputs as usize;
+                refs[id.index()] = KIND_INPUT | n_inputs << 1;
+                n_inputs += 1;
+                stack.pop();
+            }
+            AigNode::Latch { .. } => {
+                panic!("canonicalize hit a latch leaf; extract the cone with comb()+cone() first")
+            }
+            AigNode::And { f0, f1 } => {
+                if let Some((a, b)) = frozen[id.index()] {
+                    let ea = refs[a.node().index()] | a.is_complement() as u64;
+                    let eb = refs[b.node().index()] | b.is_complement() as u64;
+                    refs[id.index()] = KIND_AND | (ands.len() as u64) << 1;
+                    ands.push((ea, eb));
+                    stack.pop();
+                } else {
+                    let (a, b) = order.ordered(f0, f1);
+                    frozen[id.index()] = Some((a, b));
+                    // Push in reverse so the order-first fanin pops
+                    // (and numbers its inputs) first.
+                    if refs[b.node().index()] == u64::MAX {
+                        stack.push(b.node());
+                    }
+                    if refs[a.node().index()] == u64::MAX {
+                        stack.push(a.node());
+                    }
+                }
+            }
+        }
+    }
+    let root_ref = refs[root.node().index()] | root.is_complement() as u64;
+    let perm = order.perm;
+
+    // Hash the canonical sequence: two independently-mixed 64-bit lanes.
+    let mut h0: u64 = 0x5157_4254_4649_4E47; // lane seeds, arbitrary
+    let mut h1: u64 = 0x6269_6465_6373_7465;
+    let mut feed = |v: u64| {
+        h0 = splitmix(h0 ^ v);
+        h1 = splitmix(h1.rotate_left(29) ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    };
+    for &(ea, eb) in &ands {
+        feed(ea);
+        feed(eb);
+    }
+    feed(root_ref);
+    feed(n_inputs);
+    feed(ands.len() as u64);
+    let fingerprint = ConeFingerprint {
+        hash: (h1 as u128) << 64 | h0 as u128,
+        inputs: n_inputs as u32,
+        ands: ands.len() as u32,
+    };
+
+    // Replay the sequence into the canonical AIG. The source is
+    // strashed and constant-folded, so every emission creates exactly
+    // one fresh node and the rebuild is a pure function of the
+    // sequence.
+    let mut caig = Aig::new();
+    let ins: Vec<AigLit> = (0..n_inputs)
+        .map(|i| caig.add_input(format!("v{i}")))
+        .collect();
+    let mut alits: Vec<AigLit> = Vec::with_capacity(ands.len());
+    let decode = |ins: &[AigLit], alits: &[AigLit], e: u64| -> AigLit {
+        let idx = ((e & !(3 << 62)) >> 1) as usize;
+        let base = match e & (3 << 62) {
+            KIND_INPUT => ins[idx],
+            KIND_AND => alits[idx],
+            _ => AigLit::FALSE,
+        };
+        base.xor_complement(e & 1 == 1)
+    };
+    for &(ea, eb) in &ands {
+        let a = decode(&ins, &alits, ea);
+        let b = decode(&ins, &alits, eb);
+        alits.push(caig.and(a, b));
+    }
+    let croot = decode(&ins, &alits, root_ref);
+    debug_assert_eq!(
+        caig.and_count(),
+        ands.len(),
+        "canonical replay must not fold or dedupe"
+    );
+
+    CanonicalCone {
+        fingerprint,
+        perm,
+        aig: caig,
+        root: croot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `(a ∧ b) ∨ ¬c`, with the inputs declared in the given order and
+    /// the roles assigned by position in `roles`.
+    fn sample(order: [&str; 3], roles: [usize; 3]) -> (Aig, AigLit) {
+        let mut aig = Aig::new();
+        let lits: Vec<AigLit> = order.iter().map(|n| aig.add_input(*n)).collect();
+        let (a, b, c) = (lits[roles[0]], lits[roles[1]], lits[roles[2]]);
+        let ab = aig.and(a, b);
+        let f = aig.or(ab, !c);
+        aig.add_output("f", f);
+        (aig, f)
+    }
+
+    fn cone_canon(aig: &Aig, root: AigLit) -> CanonicalCone {
+        let cone = aig.cone(root);
+        canonicalize(&cone.aig, cone.root)
+    }
+
+    #[test]
+    fn permuted_inputs_share_a_fingerprint() {
+        let (g1, f1) = sample(["a", "b", "c"], [0, 1, 2]);
+        // Same function with the support roles rotated across the
+        // declaration order: a↦role c, b↦role a, c↦role b.
+        let (g2, f2) = sample(["a", "b", "c"], [1, 2, 0]);
+        let c1 = cone_canon(&g1, f1);
+        let c2 = cone_canon(&g2, f2);
+        assert_eq!(c1.fingerprint, c2.fingerprint);
+        assert_eq!(c1.fingerprint.inputs, 3);
+        // Equal fingerprints must mean byte-identical canonical cones.
+        assert_eq!(c1.aig.node_count(), c2.aig.node_count());
+        for v in 0u32..8 {
+            let bits: Vec<bool> = (0..3).map(|i| v >> i & 1 == 1).collect();
+            assert_eq!(
+                c1.aig.eval_lit(c1.root, &bits),
+                c2.aig.eval_lit(c2.root, &bits),
+                "canonical cones diverge on {bits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn perm_translates_canonical_results_back() {
+        let (g, f) = sample(["a", "b", "c"], [2, 0, 1]);
+        let cone = g.cone(f);
+        let canon = canonicalize(&cone.aig, cone.root);
+        // cone(x) == canon(y) where y[perm[i]] = x[i].
+        for v in 0u32..8 {
+            let x: Vec<bool> = (0..3).map(|i| v >> i & 1 == 1).collect();
+            let mut y = vec![false; 3];
+            for i in 0..3 {
+                y[canon.perm[i]] = x[i];
+            }
+            assert_eq!(
+                cone.aig.eval_lit(cone.root, &x),
+                canon.aig.eval_lit(canon.root, &y),
+                "perm mismatch on {x:?}"
+            );
+        }
+        let mut sorted = canon.perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2], "perm is a permutation");
+    }
+
+    #[test]
+    fn different_functions_differ() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let and3 = {
+            let t = aig.and(a, b);
+            aig.and(t, c)
+        };
+        let or3 = {
+            let t = aig.or(a, b);
+            aig.or(t, c)
+        };
+        let maj = {
+            let ab = aig.and(a, b);
+            let ac = aig.and(a, c);
+            let bc = aig.and(b, c);
+            let t = aig.or(ab, ac);
+            aig.or(t, bc)
+        };
+        let fps: Vec<ConeFingerprint> = [and3, or3, maj, !and3]
+            .iter()
+            .map(|&r| cone_canon(&aig, r).fingerprint)
+            .collect();
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "functions {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_input_structure_is_distinguished() {
+        // (a∧b) ∨ (a∧c) and (a∧b) ∨ (c∧d) have the same gate shape but
+        // different input sharing; the canonical numbering tells them
+        // apart (input counts aside, the sequence differs).
+        let mut g1 = Aig::new();
+        let a = g1.add_input("a");
+        let b = g1.add_input("b");
+        let c = g1.add_input("c");
+        let ab = g1.and(a, b);
+        let ac = g1.and(a, c);
+        let f1 = g1.or(ab, ac);
+
+        let mut g2 = Aig::new();
+        let a2 = g2.add_input("a");
+        let b2 = g2.add_input("b");
+        let c2 = g2.add_input("c");
+        let d2 = g2.add_input("d");
+        let ab2 = g2.and(a2, b2);
+        let cd2 = g2.and(c2, d2);
+        let f2 = g2.or(ab2, cd2);
+
+        assert_ne!(
+            cone_canon(&g1, f1).fingerprint,
+            cone_canon(&g2, f2).fingerprint
+        );
+    }
+
+    #[test]
+    fn trivial_cones_fingerprint_without_panicking() {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let cone = aig.cone(a);
+        let single = canonicalize(&cone.aig, cone.root);
+        assert_eq!(single.fingerprint.inputs, 1);
+        assert_eq!(single.fingerprint.ands, 0);
+
+        let constant = canonicalize(&aig, AigLit::TRUE);
+        assert_eq!(constant.fingerprint.inputs, 0);
+        assert_ne!(
+            canonicalize(&aig, AigLit::TRUE).fingerprint,
+            canonicalize(&aig, AigLit::FALSE).fingerprint,
+            "root complement is part of the hash"
+        );
+    }
+}

@@ -17,6 +17,9 @@
 //!   [`Aig::forall`]);
 //! * structural support and cone extraction ([`Aig::support`],
 //!   [`Cone`]);
+//! * canonical cone fingerprints ([`canonicalize`]): a
+//!   support-permutation-invariant structural hash with the input
+//!   permutation, the key material of the engine's result cache;
 //! * bit-parallel simulation ([`Aig::sim64`]) and scalar evaluation;
 //! * I/O: BLIF, ISCAS `.bench` and (ascii) AIGER.
 //!
@@ -35,6 +38,7 @@
 //! ```
 
 mod error;
+mod fingerprint;
 mod graph;
 mod lit;
 mod ops;
@@ -45,6 +49,7 @@ pub mod bench_io;
 pub mod blif;
 
 pub use error::{AigError, ParseError};
+pub use fingerprint::{canonicalize, CanonicalCone, ConeFingerprint};
 pub use graph::{Aig, AigNode, Cone, Latch, NodeId, Output};
 pub use lit::AigLit;
 
@@ -55,6 +60,7 @@ const _: fn() = || {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Aig>();
     assert_send_sync::<Cone>();
+    assert_send_sync::<CanonicalCone>();
 };
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ fn opts() -> HarnessOpts {
         partitions_only: true,
         conflicts_per_call: None,
         jobs: 1,
+        cache: None,
     }
 }
 

@@ -22,6 +22,7 @@ fn bench(c: &mut Criterion) {
         partitions_only: true,
         conflicts_per_call: None,
         jobs: 1,
+        cache: None,
     };
     g.bench_function("mm9a_all_ops_mg_vs_qd", |b| {
         b.iter(|| {

@@ -22,6 +22,7 @@ fn bench(c: &mut Criterion) {
         partitions_only: true,
         conflicts_per_call: None,
         jobs: 1,
+        cache: None,
     };
     for model in [Model::Ljh, Model::MusGroup, Model::QbfDisjoint] {
         g.bench_function(format!("C880_{model}"), |b| {

@@ -22,6 +22,7 @@ fn bench(c: &mut Criterion) {
         partitions_only: true,
         conflicts_per_call: None,
         jobs: 1,
+        cache: None,
     };
     for model in [Model::QbfDisjoint, Model::QbfBalanced, Model::QbfCombined] {
         g.bench_function(format!("sbc_solved_ratio_{model}"), |b| {

@@ -5,7 +5,11 @@
 //! Prints a CSV of per-circuit runtimes followed by six ASCII log-log
 //! scatter panels.
 //!
-//! Usage: `fig1 [--scale smoke|default|full] [--op ...]`
+//! Usage: `fig1 [--scale smoke|default|full] [--op ...] [--no-cache]
+//! [--cache-cap n]`
+//!
+//! The 145-circuit sweep shares one result cache across every model ×
+//! circuit run; per-run hit/miss counts land in the JSON records.
 
 use step_bench::{ascii_scatter, run_model, write_bench_json, BenchRecord, HarnessOpts};
 use step_circuits::registry_all;
@@ -73,5 +77,6 @@ fn main() {
         geo(4)
     );
     println!("expected shape (paper): MG fastest, LJH slowest, QD/QB/QDB between them");
+    opts.report_cache_stats();
     write_bench_json(JSON_OUT, &records);
 }

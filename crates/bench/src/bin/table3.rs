@@ -2,7 +2,13 @@
 //! per circuit, `#Dec` (decomposed POs) and CPU seconds for LJH,
 //! STEP-MG and STEP-{QD,QB,QDB}.
 //!
-//! Usage: `table3 [--scale ...] [--op ...] [--filter <name>] [--fast]`
+//! Usage: `table3 [--scale ...] [--op ...] [--filter <name>] [--fast]
+//! [--no-cache] [--cache-cap n]`
+//!
+//! All five model sweeps share one result cache (keyed by canonical
+//! cone fingerprint × model × config), so repeated cones across the
+//! circuit population are solved once per model; per-run hit/miss
+//! counts land in the JSON records.
 
 use step_bench::{run_model, secs, write_bench_json, BenchRecord, HarnessOpts};
 use step_circuits::registry_table1;
@@ -72,5 +78,6 @@ fn main() {
         "\nexpected shape (paper): MG fastest, LJH slowest, QD/QB/QDB in between \
          with #Dec equal to MG"
     );
+    opts.report_cache_stats();
     write_bench_json(JSON_OUT, &records);
 }

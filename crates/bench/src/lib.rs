@@ -15,11 +15,13 @@
 //! (Table III, Figure 1), and under per-call budgets QB solves the most
 //! POs, then QD, then QDB (Table IV).
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use step_circuits::{CircuitEntry, Scale};
 use step_core::{
     BiDecomposer, BudgetPolicy, CircuitResult, DecompConfig, GateOp, Model, OutputResult,
+    ResultCache,
 };
 
 /// Command-line options shared by the harness binaries.
@@ -43,6 +45,13 @@ pub struct HarnessOpts {
     /// work-queue driver decomposes a circuit's outputs concurrently.
     /// Per-output results are identical for any value.
     pub jobs: usize,
+    /// One result cache shared by every engine the harness builds, so
+    /// the whole model × circuit sweep reuses solved cones (repeated
+    /// cones are common in the synthetic families; the cache key keeps
+    /// models and configs apart). `None` disables caching
+    /// (`--no-cache`); [`HarnessOpts::from_args`] enables it by
+    /// default.
+    pub cache: Option<Arc<ResultCache>>,
 }
 
 impl Default for HarnessOpts {
@@ -59,6 +68,7 @@ impl Default for HarnessOpts {
             partitions_only: false,
             conflicts_per_call: None,
             jobs: 1,
+            cache: None,
         }
     }
 }
@@ -69,9 +79,12 @@ impl HarnessOpts {
     /// Flags: `--scale smoke|default|full`, `--paper` (paper budgets),
     /// `--op or|and|xor`, `--filter <substr>`, `--fast`
     /// (partitions only), `--jobs <n>` (parallel output workers),
-    /// `--help`.
+    /// `--cache`/`--no-cache` (sweep-wide result cache, default on),
+    /// `--cache-cap <n>` (bound it), `--help`.
     pub fn from_args() -> HarnessOpts {
         let mut opts = HarnessOpts::default();
+        let mut cache_on = true;
+        let mut cache_cap: Option<usize> = None;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -124,10 +137,24 @@ impl HarnessOpts {
                         std::process::exit(2);
                     }
                 }
+                "--cache" => cache_on = true,
+                "--no-cache" => cache_on = false,
+                "--cache-cap" => {
+                    i += 1;
+                    cache_cap = match args.get(i).and_then(|s| s.parse().ok()) {
+                        Some(n) if n >= 1 => Some(n),
+                        _ => {
+                            eprintln!("--cache-cap needs a positive integer");
+                            std::process::exit(2);
+                        }
+                    };
+                    cache_on = true;
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --scale smoke|default|full  --paper  --op or|and|xor  \
-                         --filter <substr>  --fast  --conflicts <n>  --jobs <n>"
+                         --filter <substr>  --fast  --conflicts <n>  --jobs <n>  \
+                         --cache  --no-cache  --cache-cap <n>"
                     );
                     std::process::exit(0);
                 }
@@ -138,6 +165,12 @@ impl HarnessOpts {
             }
             i += 1;
         }
+        if cache_on {
+            opts.cache = Some(Arc::new(match cache_cap {
+                Some(cap) => ResultCache::with_capacity(cap),
+                None => ResultCache::new(),
+            }));
+        }
         opts
     }
 
@@ -146,6 +179,20 @@ impl HarnessOpts {
         match &self.filter {
             None => entries,
             Some(f) => entries.into_iter().filter(|e| e.name.contains(f)).collect(),
+        }
+    }
+
+    /// Reports the sweep-wide cache totals on stderr (no-op when
+    /// caching is disabled); table/figure binaries call this once after
+    /// their sweep, keeping stdout reserved for the tables.
+    pub fn report_cache_stats(&self) {
+        if let Some(cache) = &self.cache {
+            eprintln!(
+                "result cache: {} hits, {} misses, {} entries",
+                cache.hits(),
+                cache.misses(),
+                cache.len()
+            );
         }
     }
 
@@ -184,7 +231,10 @@ pub fn run_model_op(
     opts: &HarnessOpts,
 ) -> CircuitResult {
     let aig = entry.build(opts.scale);
-    let engine = BiDecomposer::new(opts.config(model));
+    let mut engine = BiDecomposer::new(opts.config(model));
+    if let Some(cache) = &opts.cache {
+        engine.set_cache(cache.clone());
+    }
     engine
         .decompose_circuit(&aig, op)
         .expect("stand-in circuits are well-formed")
@@ -336,6 +386,11 @@ pub struct BenchRecord {
     pub sat_calls: u64,
     /// QBF solves across all outputs.
     pub qbf_calls: u64,
+    /// Outputs served by the result cache in this run (0 when caching
+    /// is disabled).
+    pub cache_hits: u64,
+    /// Outputs that consulted the cache and missed (0 when disabled).
+    pub cache_misses: u64,
     /// Whether any budget expired.
     pub timed_out: bool,
 }
@@ -351,6 +406,8 @@ impl BenchRecord {
             outputs: r.outputs.len(),
             sat_calls: r.total_sat_calls(),
             qbf_calls: r.total_qbf_calls(),
+            cache_hits: r.cache_hits(),
+            cache_misses: r.cache_misses(),
             timed_out: r.timed_out,
         }
     }
@@ -376,7 +433,8 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
         out.push_str(&format!(
             "  {{\"model\": \"{}\", \"circuit\": \"{}\", \"wall_s\": {:.6}, \
              \"decomposed\": {}, \"outputs\": {}, \"sat_calls\": {}, \
-             \"qbf_calls\": {}, \"timed_out\": {}}}{}\n",
+             \"qbf_calls\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"timed_out\": {}}}{}\n",
             json_escape(&r.model),
             json_escape(&r.circuit),
             r.wall_s,
@@ -384,6 +442,8 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
             r.outputs,
             r.sat_calls,
             r.qbf_calls,
+            r.cache_hits,
+            r.cache_misses,
             r.timed_out,
             if i + 1 < records.len() { "," } else { "" }
         ));
@@ -418,6 +478,7 @@ mod tests {
             partitions_only: true,
             conflicts_per_call: None,
             jobs: 1,
+            cache: None,
         }
     }
 
@@ -467,7 +528,34 @@ mod tests {
         let json = bench_records_json(&[rec.clone(), rec]);
         assert!(json.starts_with("[\n") && json.ends_with("]\n"), "{json}");
         assert_eq!(json.matches("\"circuit\": \"mm9a\"").count(), 2);
+        assert_eq!(json.matches("\"cache_hits\": 0").count(), 2);
+        assert_eq!(json.matches("\"cache_misses\": 0").count(), 2);
         assert!(json.matches(',').count() >= 1);
+    }
+
+    #[test]
+    fn sweep_shares_one_cache_across_runs() {
+        // Two runs of the same circuit through one HarnessOpts cache:
+        // the second run's records report hits, and the outputs match
+        // the cold run exactly.
+        let entry = &registry_table1()[16]; // mm9a: small
+        let opts = HarnessOpts {
+            cache: Some(Arc::new(ResultCache::new())),
+            ..smoke_opts()
+        };
+        let cold = run_model(entry, Model::MusGroup, &opts);
+        let warm = run_model(entry, Model::MusGroup, &opts);
+        let rec = BenchRecord::of(Model::MusGroup, entry.name, &warm);
+        assert_eq!(rec.cache_hits as usize, warm.outputs.len());
+        assert_eq!(rec.cache_misses, 0, "everything was cached by run 1");
+        assert!(warm.total_sat_calls() < cold.total_sat_calls());
+        for (c, w) in cold.outputs.iter().zip(&warm.outputs) {
+            assert_eq!(c.partition, w.partition, "output {}", c.name);
+            assert_eq!(c.solved, w.solved);
+        }
+        // A different model must not see the MG entries.
+        let other = run_model(entry, Model::QbfDisjoint, &opts);
+        assert_eq!(other.cache_hits(), 0, "cache keys separate models");
     }
 
     #[test]

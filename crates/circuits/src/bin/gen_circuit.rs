@@ -3,17 +3,21 @@
 //! harness uses.
 //!
 //! ```text
-//! gen_circuit <name> [--scale smoke|default|full] [--format bench|blif] [--list]
+//! gen_circuit <name> [--scale smoke|default|full] [--format bench|blif]
+//!             [--copies k] [--list]
 //! ```
 //!
 //! `<name>` is a registry entry (`C7552`, `mm9a`, `small042`, …; see
 //! `--list`). The default format is BENCH, which `step` reads back
-//! directly.
+//! directly. `--copies k` appends `k−1` permuted-input twins of every
+//! output cone (see [`step_circuits::with_permuted_copies`]) — the
+//! repeated-cone population the engine's result cache exploits, used
+//! by the CI cache smoke step.
 
-use step_circuits::{registry_all, Scale};
+use step_circuits::{registry_all, with_permuted_copies, Scale};
 
-const USAGE: &str =
-    "usage: gen_circuit <name> [--scale smoke|default|full] [--format bench|blif] [--list]";
+const USAGE: &str = "usage: gen_circuit <name> [--scale smoke|default|full] \
+                     [--format bench|blif] [--copies k] [--list]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -26,6 +30,7 @@ fn main() {
     let mut scale = Scale::Default;
     let mut blif = false;
     let mut list = false;
+    let mut copies = 1usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -43,6 +48,13 @@ fn main() {
                 blif = match args.get(i).map(String::as_str) {
                     Some("bench") => false,
                     Some("blif") => true,
+                    _ => usage(),
+                };
+            }
+            "--copies" => {
+                i += 1;
+                copies = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(k) if k >= 1 => k,
                     _ => usage(),
                 };
             }
@@ -77,7 +89,10 @@ fn main() {
         eprintln!("unknown circuit {name:?} (try --list)");
         std::process::exit(1);
     };
-    let aig = entry.build(scale);
+    let mut aig = entry.build(scale);
+    if copies > 1 {
+        aig = with_permuted_copies(&aig, copies);
+    }
     if blif {
         print!("{}", step_aig::blif::write(&aig, entry.name));
     } else {

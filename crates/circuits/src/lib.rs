@@ -63,5 +63,35 @@ pub fn load_file(path: &Path) -> Result<Aig, ParseError> {
     }
 }
 
+/// Extends `aig` with `copies − 1` permuted-input twins of every
+/// primary output: copy `j` rebuilds each output cone with every input
+/// `i` replaced by input `(i + j) mod #inputs`, added as output
+/// `<name>_p<j>`.
+///
+/// The twins are structurally identical to their originals up to a
+/// support permutation — exactly the cone population the engine's
+/// result cache is built for — which makes the result a deterministic
+/// repeated-cone stress circuit for cache smoke tests and benchmarks
+/// (`gen_circuit --copies`).
+pub fn with_permuted_copies(aig: &Aig, copies: usize) -> Aig {
+    let mut out = aig.clone();
+    let n = aig.num_inputs();
+    let originals: Vec<(String, step_aig::AigLit)> = aig
+        .outputs()
+        .iter()
+        .map(|o| (o.name().to_owned(), o.lit()))
+        .collect();
+    for j in 1..copies.max(1) {
+        let rotate: std::collections::HashMap<_, _> = (0..n)
+            .map(|i| (aig.input_node(i), out.input((i + j) % n)))
+            .collect();
+        for (name, lit) in &originals {
+            let twin = out.substitute(*lit, &rotate);
+            out.add_output(format!("{name}_p{j}"), twin);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests;

@@ -310,3 +310,26 @@ fn load_file_parses_bench() {
     assert_eq!(aig.num_inputs(), 2);
     assert_eq!(aig.eval(&[true, true]), vec![false]);
 }
+
+#[test]
+fn permuted_copies_are_fingerprint_twins_of_their_originals() {
+    let e = &registry_table1()[16]; // mm9a: small
+    let base = e.build(Scale::Smoke);
+    let tripled = crate::with_permuted_copies(&base, 3);
+    let n_out = base.num_outputs();
+    assert_eq!(tripled.num_outputs(), 3 * n_out);
+    assert_eq!(tripled.num_inputs(), base.num_inputs());
+    for (k, out) in tripled.outputs().iter().enumerate().skip(n_out) {
+        let original = &tripled.outputs()[k % n_out];
+        assert!(out.name().contains("_p"), "copy names are tagged");
+        let cone = tripled.cone(out.lit());
+        let orig_cone = tripled.cone(original.lit());
+        assert_eq!(
+            step_aig::canonicalize(&cone.aig, cone.root).fingerprint,
+            step_aig::canonicalize(&orig_cone.aig, orig_cone.root).fingerprint,
+            "output {} must be a structural twin of {}",
+            out.name(),
+            original.name()
+        );
+    }
+}

@@ -17,18 +17,24 @@
 //! workers claim output indices from a shared atomic counter, all
 //! workers honor one shared circuit deadline, results land in output
 //! order, and statistics aggregate at join. Per-output results are a
-//! pure function of `(circuit, output, op, config)` — the simulation
-//! seed derives from [`output_seed`](crate::job::output_seed), not
-//! from visitation order — so `jobs = 1` and `jobs = N` produce
-//! identical results (wall-clock timeouts aside).
+//! pure function of `(cone, op, config)` — every cone is solved in
+//! canonical input order and the simulation seed derives from
+//! [`cone_seed`](crate::job::cone_seed) over the cone's canonical
+//! fingerprint, never from visitation order — so `jobs = 1` and
+//! `jobs = N` produce identical results (wall-clock timeouts aside),
+//! and structurally identical cones produce identical results wherever
+//! they appear. The optional [`ResultCache`] exploits exactly that
+//! purity (see [`crate::cache`]).
 
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use step_aig::Aig;
 
+use crate::cache::{CacheLookup, ResultCache};
 use crate::extract::Decomposition;
 use crate::job::OutputJob;
 use crate::partition::VarPartition;
@@ -85,12 +91,15 @@ pub struct OutputResult {
     pub timed_out: bool,
     /// Wall-clock time spent on this output.
     pub cpu: Duration,
-    /// SAT oracle calls (seed search, LJH growth, checks).
+    /// SAT oracle calls (seed search, LJH growth, checks). Zero when
+    /// the result was served from the cache.
     pub sat_calls: u64,
     /// QBF solves in the optimum search.
     pub qbf_calls: u32,
     /// Total CEGAR iterations across QBF solves.
     pub cegar_iterations: u64,
+    /// How this output's solve interacted with the result cache.
+    pub cache: CacheLookup,
 }
 
 impl OutputResult {
@@ -110,12 +119,15 @@ impl OutputResult {
             sat_calls: 0,
             qbf_calls: 0,
             cegar_iterations: 0,
+            cache: CacheLookup::Bypass,
         }
     }
 
     /// The placeholder for an output the circuit budget never reached.
-    fn budget_exhausted(name: String, output_index: usize) -> Self {
-        let mut r = OutputResult::pending(name, output_index, 0);
+    /// `support` is the real cone support size, so skipped outputs are
+    /// not mistaken for constant functions in per-support statistics.
+    fn budget_exhausted(name: String, output_index: usize, support: usize) -> Self {
+        let mut r = OutputResult::pending(name, output_index, support);
         r.timed_out = true;
         r
     }
@@ -146,9 +158,13 @@ impl CircuitResult {
     }
 
     /// Fraction of solved outputs (Table IV).
+    ///
+    /// A circuit with no primary outputs has no well-defined ratio and
+    /// returns [`f64::NAN`] — aggregations merging sweep shards must
+    /// skip it (averaging in a fake `1.0` would inflate the totals).
     pub fn solved_ratio(&self) -> f64 {
         if self.outputs.is_empty() {
-            return 1.0;
+            return f64::NAN;
         }
         self.outputs.iter().filter(|o| o.solved).count() as f64 / self.outputs.len() as f64
     }
@@ -166,6 +182,20 @@ impl CircuitResult {
     /// Total CEGAR iterations across all outputs.
     pub fn total_cegar_iterations(&self) -> u64 {
         self.outputs.iter().map(|o| o.cegar_iterations).sum()
+    }
+
+    /// Outputs served from the result cache in this run.
+    pub fn cache_hits(&self) -> u64 {
+        self.count_cache(CacheLookup::Hit)
+    }
+
+    /// Outputs that consulted the result cache and missed in this run.
+    pub fn cache_misses(&self) -> u64 {
+        self.count_cache(CacheLookup::Miss)
+    }
+
+    fn count_cache(&self, want: CacheLookup) -> u64 {
+        self.outputs.iter().filter(|o| o.cache == want).count() as u64
     }
 }
 
@@ -194,12 +224,30 @@ impl CircuitResult {
 #[derive(Debug)]
 pub struct BiDecomposer {
     config: DecompConfig,
+    cache: Option<Arc<ResultCache>>,
 }
 
 impl BiDecomposer {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration (no result
+    /// cache; attach one with [`BiDecomposer::set_cache`]).
     pub fn new(config: DecompConfig) -> Self {
-        BiDecomposer { config }
+        BiDecomposer {
+            config,
+            cache: None,
+        }
+    }
+
+    /// Attaches a result cache. Sessions consult it before solving and
+    /// deposit definitive outcomes; the same `Arc` can be shared by
+    /// many engines (e.g. a whole benchmark sweep) — the cache key
+    /// includes every result-relevant config field.
+    pub fn set_cache(&mut self, cache: Arc<ResultCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// The attached result cache, if any.
+    pub fn cache(&self) -> Option<&Arc<ResultCache>> {
+        self.cache.as_ref()
     }
 
     /// The active configuration.
@@ -226,7 +274,7 @@ impl BiDecomposer {
         op: GateOp,
     ) -> Result<OutputResult, StepError> {
         let job = OutputJob::new(&self.config, out_idx, op);
-        SolveSession::new(aig, job, &self.config)?.run()
+        SolveSession::new(aig, job, &self.config, self.cache.as_deref())?.run()
     }
 
     /// Claims and runs one output of a circuit-wide run. Internal
@@ -239,12 +287,18 @@ impl BiDecomposer {
         op: GateOp,
         circuit_deadline: Instant,
     ) -> Result<OutputResult, StepError> {
-        let name = aig.outputs()[out_idx].name().to_owned();
+        let output = &aig.outputs()[out_idx];
+        let name = output.name().to_owned();
         if Instant::now() >= circuit_deadline {
-            return Ok(OutputResult::budget_exhausted(name, out_idx));
+            // Skipped, not solved: report the real cone support so the
+            // output doesn't masquerade as a constant function in
+            // per-support statistics (the support walk is linear in the
+            // cone, cheap next to what was just saved).
+            let support = aig.support(output.lit()).len();
+            return Ok(OutputResult::budget_exhausted(name, out_idx, support));
         }
         let job = OutputJob::new(&self.config, out_idx, op).with_circuit_deadline(circuit_deadline);
-        SolveSession::new(aig, job, &self.config)?
+        SolveSession::new(aig, job, &self.config, self.cache.as_deref())?
             .run()
             .map_err(|e| match e {
                 StepError::Internal(m) => {

@@ -2,29 +2,30 @@
 //! decomposition work.
 //!
 //! A job carries everything a worker needs to decompose one primary
-//! output — the output index, the root operator, the wall-clock
-//! budgets and the per-output simulation seed — and nothing else. Jobs
-//! are `Copy`, contain no solver state, and are safe to hand to any
-//! thread; the mutable solving machinery lives in
-//! [`crate::session::SolveSession`].
+//! output — the output index, the root operator and the wall-clock
+//! budgets — and nothing else. Jobs are `Copy`, contain no solver
+//! state, and are safe to hand to any thread; the mutable solving
+//! machinery lives in [`crate::session::SolveSession`].
 
 use std::time::{Duration, Instant};
 
 use crate::spec::{DecompConfig, GateOp};
 
-/// Derives the per-output simulation seed from the engine's base seed.
+/// Derives the simulation seed for a cone from the engine's base seed
+/// and the cone's canonical fingerprint hash.
 ///
-/// The seed is a pure function `hash(base, output_index)` (a
-/// SplitMix64 finalizer over the golden-ratio-spread index), so a given
-/// output always simulates the same random patterns regardless of the
-/// order — or the thread — in which outputs are visited. This is what
-/// makes [`crate::BiDecomposer::decompose_circuit`] deterministic
-/// under `jobs > 1`.
-pub fn output_seed(base: u64, output_index: usize) -> u64 {
+/// The seed is a pure function `hash(base, fingerprint)` (a SplitMix64
+/// finalizer folding both 64-bit halves of the fingerprint), so a given
+/// cone always simulates the same random patterns regardless of which
+/// output, circuit, thread or visitation order it was reached through —
+/// and two structurally identical cones simulate *identical* patterns.
+/// This is what makes [`crate::BiDecomposer::decompose_circuit`]
+/// deterministic under `jobs > 1` *and* makes solved outcomes a pure
+/// function of the result-cache key ([`crate::cache::CacheKey`]).
+pub fn cone_seed(base: u64, fingerprint: u128) -> u64 {
     let mut z = base
-        ^ (output_index as u64)
-            .wrapping_add(1)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ^ (fingerprint as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ ((fingerprint >> 64) as u64).rotate_left(31);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -42,15 +43,11 @@ pub struct OutputJob {
     /// Root operator of the bi-decomposition.
     pub op: GateOp,
     /// Wall-clock budget for this output (the session anchors its
-    /// deadline at construction time).
+    /// deadline at construction time, before cone extraction).
     pub per_output: Duration,
     /// Shared whole-circuit deadline, if the job is part of a circuit
     /// run; the effective per-output deadline is capped by it.
     pub circuit_deadline: Option<Instant>,
-    /// Seed for the 64-bit random-simulation pre-filter, derived via
-    /// [`output_seed`] so it depends only on the engine seed and the
-    /// output index.
-    pub sim_seed: u64,
 }
 
 impl OutputJob {
@@ -61,7 +58,6 @@ impl OutputJob {
             op,
             per_output: config.budget.per_output,
             circuit_deadline: None,
-            sim_seed: output_seed(config.seed, output_index),
         }
     }
 
@@ -86,13 +82,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn output_seed_is_order_free_and_spread() {
-        let a = output_seed(42, 0);
-        let b = output_seed(42, 1);
-        let c = output_seed(42, 0);
-        assert_eq!(a, c, "pure function of (base, index)");
-        assert_ne!(a, b, "distinct indices get distinct seeds");
-        assert_ne!(output_seed(43, 0), a, "distinct bases get distinct seeds");
+    fn cone_seed_is_a_pure_spread_function() {
+        let fp = 0xDEAD_BEEF_0123_4567_89AB_CDEF_0011_2233u128;
+        let a = cone_seed(42, fp);
+        assert_eq!(a, cone_seed(42, fp), "pure function of (base, fingerprint)");
+        assert_ne!(
+            a,
+            cone_seed(42, fp ^ 1),
+            "distinct cones get distinct seeds"
+        );
+        assert_ne!(a, cone_seed(43, fp), "distinct bases get distinct seeds");
+        assert_ne!(
+            cone_seed(0, 1u128 << 64),
+            cone_seed(0, 1),
+            "both fingerprint halves feed the seed"
+        );
     }
 
     #[test]
@@ -103,7 +107,6 @@ mod tests {
             op: GateOp::Or,
             per_output: Duration::from_secs(60),
             circuit_deadline: Some(start + Duration::from_secs(1)),
-            sim_seed: 1,
         };
         assert_eq!(job.deadline_from(start), start + Duration::from_secs(1));
     }

@@ -33,10 +33,15 @@
 //!   structure, built as a solve-session pipeline: a pure [`job`]
 //!   description per output, a stateful [`session`] that executes it,
 //!   a pluggable [`strategy`] per roster model, and a work-queue
-//!   parallel driver ([`DecompConfig::jobs`]).
+//!   parallel driver ([`DecompConfig::jobs`]);
+//! * [`cache`] — the per-op result cache: sessions solve every cone in
+//!   canonical input order (`step_aig::canonicalize`), so definitive
+//!   outcomes are memoizable by `(fingerprint, op, config)` and
+//!   translate to any permuted-input twin of the cone.
 //!
 //! See the crate-level example on [`BiDecomposer`].
 
+pub mod cache;
 pub mod engine;
 pub mod extract;
 pub mod job;
@@ -53,9 +58,10 @@ pub mod spec;
 pub mod strategy;
 pub mod verify;
 
+pub use cache::{CacheKey, CacheLookup, CachedResult, ResultCache};
 pub use engine::{BiDecomposer, CircuitResult, OutputResult, StepError};
 pub use extract::{extract, extract_by_quantification, Decomposition, ExtractError};
-pub use job::{output_seed, OutputJob};
+pub use job::{cone_seed, OutputJob};
 pub use network::{decompose_tree, DecompTree, TreeNode, TreeOptions};
 pub use partition::{VarClass, VarPartition};
 pub use session::SolveSession;
@@ -71,6 +77,7 @@ const _: fn() = || {
     fn assert_send<T: Send>() {}
     assert_sync::<BiDecomposer>();
     assert_sync::<spec::DecompConfig>();
+    assert_sync::<ResultCache>();
     assert_send::<oracle::PartitionOracle>();
     assert_send::<OutputResult>();
     assert_send::<StepError>();

@@ -9,18 +9,34 @@
 //! the session supplies it the oracle, candidate filter and deadline,
 //! then finishes with extraction and verification.
 //!
+//! **Canonical solving.** The session never searches on the cone as
+//! extracted: it first rewrites it into canonical input order
+//! ([`step_aig::canonicalize`]) and runs the sim filter, core formula
+//! and strategy there, translating the winning partition back through
+//! the canonical permutation. Because the canonical cone — and the
+//! simulation seed, which derives from the canonical fingerprint
+//! ([`cone_seed`]) — is byte-identical for every structurally identical
+//! cone, solved outcomes are a pure function of
+//! `(fingerprint, op, config)`. That purity is what the result cache
+//! ([`crate::cache::ResultCache`]) keys on: a session consults it
+//! before building the core formula and oracle, and a hit skips the
+//! entire search (the dominant cost) while producing the same
+//! `OutputResult` the search would have.
+//!
 //! Sessions are created and consumed by one worker thread; nothing in
-//! them is shared, which is what lets the circuit driver run many of
-//! them concurrently.
+//! them is shared except the (internally synchronized) cache, which is
+//! what lets the circuit driver run many of them concurrently.
 
 use std::time::Instant;
 
-use step_aig::{Aig, Cone};
+use step_aig::{canonicalize, Aig, CanonicalCone, Cone};
 
+use crate::cache::{CacheKey, CacheLookup, CachedResult, ResultCache};
 use crate::engine::{OutputResult, StepError};
 use crate::extract::{extract, ExtractError};
-use crate::job::OutputJob;
+use crate::job::{cone_seed, OutputJob};
 use crate::oracle::{sim_filter_pairs, CoreFormula, PartitionOracle};
+use crate::partition::VarPartition;
 use crate::spec::DecompConfig;
 use crate::strategy::strategy_for;
 use crate::verify::verify;
@@ -29,6 +45,7 @@ use crate::verify::verify;
 /// candidates and budgets. See the module docs.
 pub struct SolveSession<'a> {
     config: &'a DecompConfig,
+    cache: Option<&'a ResultCache>,
     job: OutputJob,
     name: String,
     cone: Cone,
@@ -39,11 +56,14 @@ pub struct SolveSession<'a> {
 }
 
 impl<'a> SolveSession<'a> {
-    /// Opens a session for `job` on `aig`.
+    /// Opens a session for `job` on `aig`, consulting `cache` (if any)
+    /// before solving.
     ///
-    /// Validates the circuit and output index and extracts the cone;
-    /// the core formula and oracle are built lazily by [`run`] (trivial
-    /// cones never need them).
+    /// The wall clock anchors **first**, so cone extraction — which can
+    /// dominate on huge outputs — is charged against the per-output
+    /// budget rather than running outside it. The core formula and
+    /// oracle are built lazily by [`run`] (trivial and cache-hit cones
+    /// never need them).
     ///
     /// # Errors
     ///
@@ -51,7 +71,13 @@ impl<'a> SolveSession<'a> {
     /// [`StepError::OutputOutOfRange`] for a bad index.
     ///
     /// [`run`]: SolveSession::run
-    pub fn new(aig: &Aig, job: OutputJob, config: &'a DecompConfig) -> Result<Self, StepError> {
+    pub fn new(
+        aig: &Aig,
+        job: OutputJob,
+        config: &'a DecompConfig,
+        cache: Option<&'a ResultCache>,
+    ) -> Result<Self, StepError> {
+        let start = Instant::now();
         if !aig.is_comb() {
             return Err(StepError::NotCombinational);
         }
@@ -60,11 +86,11 @@ impl<'a> SolveSession<'a> {
             .get(job.output_index)
             .ok_or(StepError::OutputOutOfRange(job.output_index))?;
         let name = output.name().to_owned();
-        let cone = aig.cone(output.lit());
-        let start = Instant::now();
         let deadline = Some(job.deadline_from(start));
+        let cone = aig.cone(output.lit());
         Ok(SolveSession {
             config,
+            cache,
             job,
             name,
             cone,
@@ -112,8 +138,63 @@ impl<'a> SolveSession<'a> {
         (oracle, self.candidates.as_deref())
     }
 
-    /// Runs the session to completion: sim-filter, core construction,
-    /// model strategy, then extraction and verification.
+    /// Translates a canonical-order partition into this session's cone
+    /// input order (`original[i] = canonical[perm[i]]`).
+    fn translate(
+        &self,
+        canon: &CanonicalCone,
+        classes: &[crate::partition::VarClass],
+    ) -> VarPartition {
+        VarPartition::new(
+            (0..self.cone.support_size())
+                .map(|i| classes[canon.perm[i]])
+                .collect(),
+        )
+    }
+
+    /// Extraction + verification of a found partition, shared by the
+    /// cold and cache-hit paths.
+    fn finish_partition(
+        &mut self,
+        p: VarPartition,
+        result: &mut OutputResult,
+    ) -> Result<(), StepError> {
+        debug_assert!(p.is_nontrivial(), "partition must be non-trivial");
+        if self.config.extract {
+            match extract(
+                &self.cone.aig,
+                self.cone.root,
+                self.job.op,
+                &p,
+                self.deadline,
+            ) {
+                Ok(d) => {
+                    if self.config.verify {
+                        verify(&d, self.deadline).map_err(|e| {
+                            StepError::Internal(format!(
+                                "extracted decomposition failed verification: {e}"
+                            ))
+                        })?;
+                    }
+                    result.decomposition = Some(d);
+                }
+                Err(ExtractError::Budget) => {
+                    result.timed_out = true;
+                }
+                Err(e) => {
+                    return Err(StepError::Internal(format!(
+                        "extraction failed on a valid partition: {e}"
+                    )))
+                }
+            }
+        }
+        result.partition = Some(p);
+        Ok(())
+    }
+
+    /// Runs the session to completion: canonicalization, cache lookup,
+    /// then (on a miss) sim-filter, core construction and the model
+    /// strategy, then extraction and verification.
     ///
     /// # Errors
     ///
@@ -129,17 +210,46 @@ impl<'a> SolveSession<'a> {
             result.cpu = self.start.elapsed();
             return Ok(result);
         }
+        // The budget (anchored before cone extraction) may already be
+        // gone — typically a shared circuit deadline that expired while
+        // this output waited in the queue. Report it honestly instead
+        // of opening solvers that would only confirm the timeout.
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            result.timed_out = true;
+            result.cpu = self.start.elapsed();
+            return Ok(result);
+        }
+
+        let canon = canonicalize(&self.cone.aig, self.cone.root);
+        let key = self
+            .cache
+            .map(|_| CacheKey::new(canon.fingerprint, self.job.op, self.config));
+
+        if let (Some(cache), Some(key)) = (self.cache, &key) {
+            if let Some(hit) = cache.lookup(key) {
+                result.cache = CacheLookup::Hit;
+                result.solved = true;
+                result.proved_optimal = hit.proved_optimal;
+                if let Some(classes) = &hit.partition {
+                    let p = self.translate(&canon, classes);
+                    self.finish_partition(p, &mut result)?;
+                }
+                result.cpu = self.start.elapsed();
+                return Ok(result);
+            }
+            result.cache = CacheLookup::Miss;
+        }
 
         if self.config.sim_filter {
             self.candidates = Some(sim_filter_pairs(
-                &self.cone.aig,
-                self.cone.root,
+                &canon.aig,
+                canon.root,
                 self.job.op,
                 self.config.sim_rounds,
-                self.job.sim_seed,
+                cone_seed(self.config.seed, canon.fingerprint.hash),
             ));
         }
-        let core = CoreFormula::build(&self.cone.aig, self.cone.root, self.job.op);
+        let core = CoreFormula::build(&canon.aig, canon.root, self.job.op);
         self.oracle = Some(PartitionOracle::new(core));
 
         let outcome = strategy_for(self.config.model).solve(&mut self);
@@ -150,37 +260,25 @@ impl<'a> SolveSession<'a> {
         result.solved = outcome.solved;
         result.timed_out = outcome.timed_out;
 
-        if let Some(p) = outcome.partition {
-            debug_assert!(p.is_nontrivial(), "partition must be non-trivial");
-            if self.config.extract {
-                match extract(
-                    &self.cone.aig,
-                    self.cone.root,
-                    self.job.op,
-                    &p,
-                    self.deadline,
-                ) {
-                    Ok(d) => {
-                        if self.config.verify {
-                            verify(&d, self.deadline).map_err(|e| {
-                                StepError::Internal(format!(
-                                    "extracted decomposition failed verification: {e}"
-                                ))
-                            })?;
-                        }
-                        result.decomposition = Some(d);
-                    }
-                    Err(ExtractError::Budget) => {
-                        result.timed_out = true;
-                    }
-                    Err(e) => {
-                        return Err(StepError::Internal(format!(
-                            "extraction failed on a valid partition: {e}"
-                        )))
-                    }
-                }
+        // Only definitive, budget-free outcomes enter the cache: they
+        // are pure functions of the key, a timeout is not.
+        if let (Some(cache), Some(key)) = (self.cache, key) {
+            if outcome.solved && !outcome.timed_out {
+                cache.insert(
+                    key,
+                    CachedResult {
+                        partition: outcome.partition.as_ref().map(|p| p.classes().to_vec()),
+                        proved_optimal: outcome.proved_optimal,
+                    },
+                );
             }
-            result.partition = Some(p);
+        }
+
+        if let Some(p) = outcome.partition {
+            // The strategy searched the canonical cone; translate its
+            // partition back to this cone's own input order.
+            let p = self.translate(&canon, p.classes());
+            self.finish_partition(p, &mut result)?;
         }
         result.cpu = self.start.elapsed();
         Ok(result)

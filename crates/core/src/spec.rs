@@ -71,7 +71,7 @@ impl std::fmt::Display for Model {
 }
 
 /// Strategy for searching the optimum bound `k` (Section IV-A-6).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum SearchStrategy {
     /// Monotonically increasing `k` (the paper's best for
     /// balancedness).
@@ -163,13 +163,15 @@ pub struct DecompConfig {
     /// Worker threads for [`decompose_circuit`]: outputs are claimed
     /// from a shared work queue by `jobs` scoped threads. `1` (the
     /// default) runs inline with no threads. Per-output results are
-    /// identical for any value (see [`crate::job::output_seed`]).
+    /// identical for any value (see [`crate::job::cone_seed`]).
     ///
     /// [`decompose_circuit`]: crate::BiDecomposer::decompose_circuit
     pub jobs: usize,
-    /// Base seed of the engine. Per-output simulation seeds derive as
-    /// `hash(seed, output_index)`, so results do not depend on the
-    /// order (or thread) in which outputs are visited.
+    /// Base seed of the engine. Per-cone simulation seeds derive as
+    /// `hash(seed, cone fingerprint)` ([`crate::job::cone_seed`]), so
+    /// results depend neither on the order (or thread) in which outputs
+    /// are visited nor on where in a circuit a cone appears —
+    /// structurally identical cones always simulate the same patterns.
     pub seed: u64,
 }
 

@@ -631,6 +631,160 @@ fn engine_rejects_bad_inputs() {
 }
 
 // ---------------------------------------------------------------------
+// result cache and accounting
+// ---------------------------------------------------------------------
+
+#[test]
+fn permuted_twin_cones_share_a_cache_entry() {
+    use crate::cache::{CacheLookup, ResultCache};
+    use std::sync::Arc;
+
+    // f = (a∧b)∨(c∧d) and g = the same structure with the input roles
+    // rotated (a→b→c→d→a): structurally identical cones, permuted
+    // support.
+    let mut aig = Aig::new();
+    let ins: Vec<AigLit> = ["a", "b", "c", "d"].map(|n| aig.add_input(n)).into();
+    let ab = aig.and(ins[0], ins[1]);
+    let cd = aig.and(ins[2], ins[3]);
+    let f = aig.or(ab, cd);
+    let bc = aig.and(ins[1], ins[2]);
+    let da = aig.and(ins[3], ins[0]);
+    let g = aig.or(bc, da);
+    aig.add_output("f", f);
+    aig.add_output("g", g);
+
+    let cache = Arc::new(ResultCache::new());
+    let mut engine = BiDecomposer::new(DecompConfig::new(Model::QbfDisjoint));
+    engine.set_cache(cache.clone());
+    let r = engine.decompose_circuit(&aig, GateOp::Or).unwrap();
+
+    assert_eq!(r.outputs[0].cache, CacheLookup::Miss);
+    assert_eq!(r.outputs[1].cache, CacheLookup::Hit, "g reuses f's entry");
+    assert_eq!((r.cache_hits(), r.cache_misses()), (1, 1));
+    assert_eq!((cache.hits(), cache.misses(), cache.inserts()), (1, 1, 1));
+    assert_eq!(cache.len(), 1);
+
+    // The hit costs no solver work, and the translated partition is a
+    // real optimum for g's own variable order: it extracts, verifies
+    // (config.verify is on — run() would have failed otherwise) and
+    // passes the BDD ground truth.
+    assert_eq!(r.outputs[1].sat_calls, 0);
+    for out in &r.outputs {
+        assert!(out.solved && out.proved_optimal, "{}", out.name);
+        let p = out.partition.as_ref().expect("decomposable");
+        assert_eq!(p.num_shared(), 0);
+        let root = if out.output_index == 0 { f } else { g };
+        assert!(bdd_decomposable(&aig, root, GateOp::Or, p), "{p}");
+        assert!(out.decomposition.is_some());
+    }
+}
+
+#[test]
+fn cached_runs_match_cold_runs_exactly() {
+    use crate::cache::ResultCache;
+    use std::sync::Arc;
+
+    let mut aig = Aig::new();
+    let ins: Vec<AigLit> = (0..5).map(|i| aig.add_input(format!("x{i}"))).collect();
+    for k in 0..4 {
+        // Sliding-window copies of the same cone shape.
+        let t = aig.and(ins[k], !ins[k + 1]);
+        let u = aig.or(t, ins[(k + 2) % 5]);
+        aig.add_output(format!("o{k}"), u);
+    }
+    for model in [Model::MusGroup, Model::QbfDisjoint, Model::Ljh] {
+        let cold = BiDecomposer::new(DecompConfig::new(model))
+            .decompose_circuit(&aig, GateOp::Or)
+            .unwrap();
+        let mut engine = BiDecomposer::new(DecompConfig::new(model));
+        engine.set_cache(Arc::new(ResultCache::new()));
+        let warm = engine.decompose_circuit(&aig, GateOp::Or).unwrap();
+        assert!(warm.cache_hits() > 0, "{model}: twins must hit");
+        for (c, w) in cold.outputs.iter().zip(&warm.outputs) {
+            assert_eq!(c.partition, w.partition, "{model} {}", c.name);
+            assert_eq!(c.solved, w.solved, "{model} {}", c.name);
+            assert_eq!(c.proved_optimal, w.proved_optimal, "{model} {}", c.name);
+            assert_eq!(
+                c.decomposition.is_some(),
+                w.decomposition.is_some(),
+                "{model} {}",
+                c.name
+            );
+        }
+    }
+}
+
+#[test]
+fn skipped_outputs_report_their_real_support() {
+    let mut aig = Aig::new();
+    let ins: Vec<AigLit> = (0..4).map(|i| aig.add_input(format!("x{i}"))).collect();
+    let ab = aig.and(ins[0], ins[1]);
+    let cd = aig.and(ins[2], ins[3]);
+    let f = aig.or(ab, cd);
+    aig.add_output("f", f);
+    let g = aig.and(ins[1], ins[2]);
+    aig.add_output("g", g);
+
+    let mut config = DecompConfig::new(Model::MusGroup);
+    config.budget.per_circuit = std::time::Duration::ZERO;
+    let r = BiDecomposer::new(config)
+        .decompose_circuit(&aig, GateOp::Or)
+        .unwrap();
+    assert!(r.timed_out);
+    // Outputs the deadline skipped must not masquerade as constants.
+    assert_eq!(r.outputs[0].support, 4, "f has 4 support variables");
+    assert_eq!(r.outputs[1].support, 2, "g has 2 support variables");
+    for out in &r.outputs {
+        assert!(out.timed_out && !out.solved, "{}", out.name);
+        assert_eq!(out.sat_calls, 0, "no solver ran for {}", out.name);
+    }
+}
+
+#[test]
+fn expired_deadline_short_circuits_before_any_solver_work() {
+    use crate::job::OutputJob;
+    use crate::session::SolveSession;
+
+    let (mut aig, f) = or_of_ands();
+    aig.add_output("f", f);
+    let config = DecompConfig::new(Model::QbfDisjoint);
+    // The clock anchors at session construction, before cone
+    // extraction; a circuit deadline that already passed must surface
+    // as a timeout with the real support and zero oracle calls.
+    let job =
+        OutputJob::new(&config, 0, GateOp::Or).with_circuit_deadline(std::time::Instant::now());
+    let r = SolveSession::new(&aig, job, &config, None)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(r.timed_out && !r.solved);
+    assert_eq!(r.support, 4);
+    assert_eq!(r.sat_calls, 0);
+    assert_eq!(r.qbf_calls, 0);
+    assert!(r.partition.is_none());
+}
+
+#[test]
+fn solved_ratio_of_an_empty_circuit_is_nan() {
+    let aig = Aig::new();
+    let r = BiDecomposer::new(DecompConfig::new(Model::MusGroup))
+        .decompose_circuit(&aig, GateOp::Or)
+        .unwrap();
+    assert!(r.outputs.is_empty());
+    assert!(
+        r.solved_ratio().is_nan(),
+        "no outputs means no ratio, not a perfect score"
+    );
+    // Non-empty circuits keep their well-defined ratio.
+    let (mut aig, f) = or_of_ands();
+    aig.add_output("f", f);
+    let r = BiDecomposer::new(DecompConfig::new(Model::MusGroup))
+        .decompose_circuit(&aig, GateOp::Or)
+        .unwrap();
+    assert_eq!(r.solved_ratio(), 1.0);
+}
+
+// ---------------------------------------------------------------------
 // randomized cross-checks
 // ---------------------------------------------------------------------
 

@@ -10,7 +10,12 @@
 //!   --output <index>            decompose a single PO
 //!   --jobs <n>                  worker threads for whole-circuit runs (default 1)
 //!   --seed <n>                  engine base seed (default 0x5DEECE66D)
-//!   --no-timing                 suppress wall-clock cells (stable output)
+//!   --cache / --no-cache        per-op result cache keyed by canonical cone
+//!                               fingerprints (default on)
+//!   --cache-cap <n>             bound the cache to n entries (second-chance
+//!                               eviction; default unbounded)
+//!   --no-timing                 suppress wall-clock cells and the cache stats
+//!                               line (stable output)
 //!   --emit-qdimacs              print the 3QCNF of formulation (4) and exit
 //!   --emit-blif                 print decomposed netlists as BLIF
 //!   --per-call-ms <n>           per-QBF-call budget (default 4000, paper)
@@ -20,7 +25,10 @@
 //! Whole-circuit runs go through the parallel work-queue driver;
 //! per-output results are identical for any `--jobs` value, so
 //! `--no-timing` output can be diffed across worker counts (the CI
-//! smoke step does exactly that).
+//! smoke step does exactly that). The engine solves every cone in
+//! canonical input order whether or not the cache is on, so `--cache`
+//! and `--no-cache` are byte-identical under `--no-timing` too — the
+//! cache changes how much work a run does, never what it answers.
 
 use std::path::Path;
 use std::time::Duration;
@@ -30,7 +38,7 @@ use qbf_bidec::step::optimum::Metric;
 use qbf_bidec::step::oracle::CoreFormula;
 use qbf_bidec::step::qbf_model::Target;
 use qbf_bidec::step::qdimacs_export::{export_qdimacs, ExportOptions};
-use qbf_bidec::step::{BiDecomposer, DecompConfig, GateOp, Model, OutputResult};
+use qbf_bidec::step::{BiDecomposer, DecompConfig, GateOp, Model, OutputResult, ResultCache};
 
 struct Cli {
     path: String,
@@ -40,6 +48,8 @@ struct Cli {
     output: Option<usize>,
     jobs: usize,
     seed: Option<u64>,
+    cache: bool,
+    cache_cap: Option<usize>,
     no_timing: bool,
     emit_qdimacs: bool,
     emit_blif: bool,
@@ -49,8 +59,8 @@ struct Cli {
 
 const USAGE: &str = "usage: step <circuit.{bench,blif,aag}> [--model ljh|mg|qd|qb|qdb] \
                      [--op or|and|xor] [--weights wd wb] [--output idx] [--jobs n] \
-                     [--seed n] [--no-timing] [--emit-qdimacs] [--emit-blif] \
-                     [--per-call-ms n] [--per-output-s n]";
+                     [--seed n] [--cache] [--no-cache] [--cache-cap n] [--no-timing] \
+                     [--emit-qdimacs] [--emit-blif] [--per-call-ms n] [--per-output-s n]";
 
 /// Bad invocation: usage on stderr, exit 2.
 fn usage() -> ! {
@@ -74,6 +84,8 @@ fn parse_cli() -> Cli {
         output: None,
         jobs: 1,
         seed: None,
+        cache: true,
+        cache_cap: None,
         no_timing: false,
         emit_qdimacs: false,
         emit_blif: false,
@@ -131,6 +143,18 @@ fn parse_cli() -> Cli {
                 match args.get(i).and_then(|s| s.parse().ok()) {
                     Some(s) => cli.seed = Some(s),
                     None => usage(),
+                }
+            }
+            "--cache" => cli.cache = true,
+            "--no-cache" => cli.cache = false,
+            "--cache-cap" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => {
+                        cli.cache = true;
+                        cli.cache_cap = Some(n);
+                    }
+                    _ => usage(),
                 }
             }
             "--no-timing" => cli.no_timing = true,
@@ -290,7 +314,13 @@ fn main() {
     if let Some(seed) = cli.seed {
         config.seed = seed;
     }
-    let engine = BiDecomposer::new(config);
+    let mut engine = BiDecomposer::new(config);
+    if cli.cache {
+        engine.set_cache(std::sync::Arc::new(match cli.cache_cap {
+            Some(cap) => ResultCache::with_capacity(cap),
+            None => ResultCache::new(),
+        }));
+    }
 
     println!(
         "{:<16} {:>8} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9} {:>9}",
@@ -329,6 +359,20 @@ fn main() {
         "\ndecomposed {decomposed} output function(s) with {}",
         cli.model
     );
+    // Cache statistics vary with what earlier runs populated, so the
+    // line hides behind --no-timing together with the wall clocks.
+    if !cli.no_timing {
+        if let Some(cache) = engine.cache() {
+            println!(
+                "cache: {} hits, {} misses, {} inserts, {} evictions, {} entries",
+                cache.hits(),
+                cache.misses(),
+                cache.inserts(),
+                cache.evictions(),
+                cache.len()
+            );
+        }
+    }
 }
 
 /// Weighted run: bootstrap with MG then search the weighted metric

@@ -44,6 +44,9 @@ fn help_prints_usage_to_stdout_and_exits_0() {
             "--output",
             "--jobs",
             "--seed",
+            "--cache",
+            "--no-cache",
+            "--cache-cap",
             "--no-timing",
             "--emit-qdimacs",
             "--emit-blif",
@@ -146,6 +149,43 @@ fn seed_flag_parses_and_runs() {
     let out = run(step().arg(&path).args(["--model", "mg", "--seed", "12345"]));
     assert!(out.status.success(), "stderr: {:?}", out.stderr);
     let out = run(step().arg(&path).args(["--seed", "nope"]));
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn cache_flags_report_stats_and_never_change_output() {
+    // f and g in the fixture are permuted-input twins, so the default
+    // cache serves g from f's entry and says so on the stats line.
+    let path = write_two_outputs("cache");
+    let out = run(step().arg(&path).args(["--model", "qd"]));
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("cache: 1 hits, 1 misses, 1 inserts"),
+        "twin cones must hit: {text}"
+    );
+
+    // The stats line hides with the timing cells, and the cache can
+    // only change work done, never answers: --cache and --no-cache are
+    // byte-identical under --no-timing.
+    let stable = |flag: &str| -> String {
+        let out = run(step()
+            .arg(&path)
+            .args(["--model", "qd", "--no-timing", flag]));
+        assert!(out.status.success(), "stderr: {:?}", out.stderr);
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let cached = stable("--cache");
+    let cold = stable("--no-cache");
+    assert!(!cached.contains("cache:"), "stats hidden: {cached}");
+    assert_eq!(cached, cold, "--cache must not change per-output results");
+
+    // --cache-cap parses (and bad values are usage errors).
+    let out = run(step()
+        .arg(&path)
+        .args(["--model", "qd", "--cache-cap", "64"]));
+    assert!(out.status.success());
+    let out = run(step().arg(&path).args(["--cache-cap", "0"]));
     assert_eq!(out.status.code(), Some(2));
 }
 

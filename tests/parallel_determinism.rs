@@ -2,12 +2,13 @@
 //! with `jobs = 1` and `jobs = N` must return identical per-output
 //! partitions, `solved`/`proved_optimal` flags and decomposition
 //! verdicts, because per-output work is a pure function of
-//! `(circuit, output, op, config)` — the simulation seed derives from
-//! `hash(config.seed, output_index)`, never from visitation order.
+//! `(cone, op, config)` — every cone is solved in canonical input
+//! order and the simulation seed derives from
+//! `hash(config.seed, cone fingerprint)`, never from visitation order.
 
 use qbf_bidec::circuits::{registry_table1, Scale};
 use qbf_bidec::step::{
-    output_seed, BiDecomposer, CircuitResult, DecompConfig, GateOp, Model, OutputResult,
+    cone_seed, BiDecomposer, CircuitResult, DecompConfig, GateOp, Model, OutputResult,
 };
 
 fn config(model: Model, jobs: usize) -> DecompConfig {
@@ -70,9 +71,10 @@ fn oversubscribed_workers_are_harmless() {
 
 #[test]
 fn single_output_runs_match_circuit_runs() {
-    // The per-output seed depends only on (config.seed, output_index),
-    // so decomposing one output in isolation gives the same answer as
-    // the same output inside a (parallel) whole-circuit run.
+    // The per-cone seed depends only on (config.seed, cone
+    // fingerprint), so decomposing one output in isolation gives the
+    // same answer as the same output inside a (parallel) whole-circuit
+    // run.
     let entry = &registry_table1()[4]; // i10
     let aig = entry.build(Scale::Smoke);
     let whole = run(&aig, Model::QbfDisjoint, 3, GateOp::Or);
@@ -105,9 +107,9 @@ fn seed_changes_are_scoped_to_the_engine_seed() {
         assert_same_outputs(&a, &b, &format!("seed {seed}"));
     }
     assert_ne!(
-        output_seed(0, 0),
-        output_seed(1, 0),
-        "engine seed feeds the per-output hash"
+        cone_seed(0, 7),
+        cone_seed(1, 7),
+        "engine seed feeds the per-cone hash"
     );
 }
 

@@ -1,0 +1,209 @@
+//! End-to-end guarantees of the per-op result cache.
+//!
+//! The engine solves every cone in canonical input order, so the cache
+//! can only change *how much work* a run does, never what it answers:
+//! `--cache` runs must be byte-identical to `--no-cache` runs, warm
+//! caches must strictly reduce solver calls, and permuted-input twin
+//! cones must share entries. These properties are asserted here on
+//! registry circuits and on random AIGs with planted permuted twins.
+
+use std::sync::Arc;
+
+use qbf_bidec::aig::Aig;
+use qbf_bidec::circuits::{registry_table1, with_permuted_copies, Scale};
+use qbf_bidec::step::{BiDecomposer, CircuitResult, DecompConfig, GateOp, Model, ResultCache};
+
+fn engine(model: Model, jobs: usize, cache: Option<Arc<ResultCache>>) -> BiDecomposer {
+    let mut c = DecompConfig::new(model);
+    c.jobs = jobs;
+    let mut e = BiDecomposer::new(c);
+    if let Some(cache) = cache {
+        e.set_cache(cache);
+    }
+    e
+}
+
+/// Everything result-shaped must match; work counters may not.
+fn assert_same_answers(a: &CircuitResult, b: &CircuitResult, tag: &str) {
+    assert_eq!(a.outputs.len(), b.outputs.len(), "{tag}: output count");
+    for (x, y) in a.outputs.iter().zip(&b.outputs) {
+        let t = format!("{tag}: output {} ({})", x.output_index, x.name);
+        assert_eq!(x.name, y.name, "{t}: name");
+        assert_eq!(x.support, y.support, "{t}: support");
+        assert_eq!(x.partition, y.partition, "{t}: partition");
+        assert_eq!(x.solved, y.solved, "{t}: solved");
+        assert_eq!(x.proved_optimal, y.proved_optimal, "{t}: proved_optimal");
+        assert_eq!(
+            x.decomposition.is_some(),
+            y.decomposition.is_some(),
+            "{t}: extraction"
+        );
+    }
+}
+
+/// The acceptance scenario: on a registry circuit with repeated
+/// (permuted) cones, a warm-cache whole-circuit run performs strictly
+/// fewer SAT+QBF calls than the cold run and produces the identical
+/// partition/flag/verdict set.
+#[test]
+fn warm_cache_run_saves_calls_and_changes_nothing() {
+    let entry = &registry_table1()[2]; // s38584.1: 8 outputs
+    let aig = with_permuted_copies(&entry.build(Scale::Default), 2);
+    for model in [Model::MusGroup, Model::QbfDisjoint] {
+        let cold = engine(model, 2, None)
+            .decompose_circuit(&aig, GateOp::Or)
+            .unwrap();
+
+        let cache = Arc::new(ResultCache::new());
+        let first = engine(model, 2, Some(cache.clone()))
+            .decompose_circuit(&aig, GateOp::Or)
+            .unwrap();
+        assert!(
+            first.cache_hits() > 0,
+            "{model}: the permuted twins must hit within one run"
+        );
+        let warm = engine(model, 2, Some(cache.clone()))
+            .decompose_circuit(&aig, GateOp::Or)
+            .unwrap();
+
+        assert_same_answers(&cold, &first, &format!("{model} cold vs first"));
+        assert_same_answers(&cold, &warm, &format!("{model} cold vs warm"));
+        let calls = |r: &CircuitResult| r.total_sat_calls() + r.total_qbf_calls();
+        assert!(
+            calls(&first) < calls(&cold),
+            "{model}: intra-run hits must already save calls ({} vs {})",
+            calls(&first),
+            calls(&cold)
+        );
+        assert!(
+            calls(&warm) < calls(&first),
+            "{model}: a fully warm cache must save more ({} vs {})",
+            calls(&warm),
+            calls(&first)
+        );
+        assert_eq!(
+            warm.cache_misses(),
+            0,
+            "{model}: run 2 must be served entirely from the cache"
+        );
+    }
+}
+
+/// Canonicalization quality floor: across the whole Table-I registry,
+/// at least 90% of planted permuted-input twins must land on their
+/// original's cache entry (the canonical form is a normalization, not
+/// a full graph canonization — rare symmetric tie-breaks may miss, but
+/// they must stay rare).
+#[test]
+fn twin_recognition_rate_stays_high() {
+    let mut hits = 0u64;
+    let mut total = 0u64;
+    for entry in registry_table1() {
+        let aig = with_permuted_copies(&entry.build(Scale::Smoke), 2);
+        let cache = Arc::new(ResultCache::new());
+        let r = engine(Model::MusGroup, 1, Some(cache))
+            .decompose_circuit(&aig, GateOp::Or)
+            .unwrap();
+        // Each twin of a solved non-trivial cone should hit.
+        hits += r.cache_hits();
+        total += (r.outputs.len() / 2) as u64;
+    }
+    assert!(total >= 20, "population sanity");
+    assert!(
+        hits * 10 >= total * 9,
+        "twin recognition degraded: {hits}/{total}"
+    );
+}
+
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds one cone from gate descriptors over the given input
+    /// literals (the same structure for any input permutation).
+    fn build_cone(
+        aig: &mut Aig,
+        inputs: &[qbf_bidec::aig::AigLit],
+        ops: &[(u8, usize, usize)],
+    ) -> qbf_bidec::aig::AigLit {
+        let mut pool = inputs.to_vec();
+        for &(op, i, j) in ops {
+            let a = pool[i % pool.len()];
+            let b = pool[j % pool.len()];
+            let v = match op {
+                0 => aig.and(a, b),
+                1 => aig.or(a, b),
+                2 => aig.xor(a, b),
+                _ => !a,
+            };
+            pool.push(v);
+        }
+        *pool.last().unwrap()
+    }
+
+    /// A circuit whose outputs are the same random cone instantiated
+    /// over the identity and over a permuted input order.
+    fn twin_circuit(ops: &[(u8, usize, usize)], perm: &[usize; 4]) -> Aig {
+        let mut aig = Aig::new();
+        let ins: Vec<qbf_bidec::aig::AigLit> =
+            (0..4).map(|i| aig.add_input(format!("x{i}"))).collect();
+        let f = build_cone(&mut aig, &ins, ops);
+        let shuffled: Vec<qbf_bidec::aig::AigLit> = perm.iter().map(|&i| ins[i]).collect();
+        let g = build_cone(&mut aig, &shuffled, ops);
+        aig.add_output("f", f);
+        aig.add_output("g", g);
+        aig
+    }
+
+    fn arb_ops() -> impl Strategy<Value = Vec<(u8, usize, usize)>> {
+        proptest::collection::vec((0u8..4, 0usize..64, 0usize..64), 4..20)
+    }
+
+    fn arb_perm() -> impl Strategy<Value = [usize; 4]> {
+        (0usize..24).prop_map(|k| {
+            let mut items = vec![0, 1, 2, 3];
+            let mut perm = [0usize; 4];
+            let mut k = k;
+            for slot in &mut perm {
+                *slot = items.remove(k % items.len());
+                k /= 4;
+            }
+            perm
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Random AIGs with duplicated/permuted-input cones: cached
+        /// runs produce byte-identical partitions and flags to cold
+        /// runs, at every jobs count, for a heuristic and a QBF model.
+        #[test]
+        fn cached_runs_equal_cold_runs(ops in arb_ops(), perm in arb_perm()) {
+            let aig = twin_circuit(&ops, &perm);
+            for model in [Model::MusGroup, Model::QbfDisjoint] {
+                let cold = engine(model, 1, None)
+                    .decompose_circuit(&aig, GateOp::Or)
+                    .unwrap();
+                for jobs in [1usize, 2, 3] {
+                    let cache = Arc::new(ResultCache::new());
+                    let cached = engine(model, jobs, Some(cache))
+                        .decompose_circuit(&aig, GateOp::Or)
+                        .unwrap();
+                    prop_assert_eq!(cold.outputs.len(), cached.outputs.len());
+                    for (x, y) in cold.outputs.iter().zip(&cached.outputs) {
+                        prop_assert_eq!(&x.partition, &y.partition,
+                            "{} jobs={} {}", model, jobs, x.name);
+                        prop_assert_eq!(x.solved, y.solved);
+                        prop_assert_eq!(x.proved_optimal, y.proved_optimal);
+                        prop_assert_eq!(x.support, y.support);
+                        prop_assert_eq!(
+                            x.decomposition.is_some(),
+                            y.decomposition.is_some()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
