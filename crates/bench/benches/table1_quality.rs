@@ -17,6 +17,7 @@ fn opts() -> HarnessOpts {
         conflicts_per_call: None,
         jobs: 1,
         cache: None,
+        ..HarnessOpts::default()
     }
 }
 

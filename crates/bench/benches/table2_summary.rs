@@ -23,6 +23,7 @@ fn bench(c: &mut Criterion) {
         conflicts_per_call: None,
         jobs: 1,
         cache: None,
+        ..HarnessOpts::default()
     };
     g.bench_function("mm9a_all_ops_mg_vs_qd", |b| {
         b.iter(|| {

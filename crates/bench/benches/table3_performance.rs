@@ -23,6 +23,7 @@ fn bench(c: &mut Criterion) {
         conflicts_per_call: None,
         jobs: 1,
         cache: None,
+        ..HarnessOpts::default()
     };
     for model in [Model::Ljh, Model::MusGroup, Model::QbfDisjoint] {
         g.bench_function(format!("C880_{model}"), |b| {

@@ -23,6 +23,7 @@ fn bench(c: &mut Criterion) {
         conflicts_per_call: None,
         jobs: 1,
         cache: None,
+        ..HarnessOpts::default()
     };
     for model in [Model::QbfDisjoint, Model::QbfBalanced, Model::QbfCombined] {
         g.bench_function(format!("sbc_solved_ratio_{model}"), |b| {

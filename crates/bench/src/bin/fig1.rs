@@ -5,13 +5,20 @@
 //! Prints a CSV of per-circuit runtimes followed by six ASCII log-log
 //! scatter panels.
 //!
-//! Usage: `fig1 [--scale smoke|default|full] [--op ...] [--no-cache]
-//! [--cache-cap n]`
+//! Usage: `fig1 [--scale smoke|default|full] [--op ...] [--jobs n]
+//! [--seed n] [--no-cache] [--cache-cap n]`
 //!
-//! The 145-circuit sweep shares one result cache across every model ×
-//! circuit run; per-run hit/miss counts land in the JSON records.
+//! The 145-circuit × 5-model product is sharded over one shared
+//! [`StepService`](step_core::StepService) with `--jobs` workers and
+//! one result cache (circuits submitted through a bounded look-ahead
+//! window); CSV rows print in registry order as their submissions
+//! complete, and per-run hit/miss counts land in the JSON records
+//! together with the seed/jobs/op/cache provenance.
+//! Answers are deterministic for any `--jobs`; the per-record work
+//! counters are scheduling-dependent under `--jobs > 1` — use
+//! `--jobs 1` when diffing those across commits.
 
-use step_bench::{ascii_scatter, run_model, write_bench_json, BenchRecord, HarnessOpts};
+use step_bench::{ascii_scatter, submit_sweep_entry, write_bench_json, BenchRecord, HarnessOpts};
 use step_circuits::registry_all;
 use step_core::Model;
 
@@ -30,10 +37,24 @@ fn main() {
         entries.len()
     );
     println!("circuit,ljh,mg,qd,qb,qdb");
+
+    // Shard the model × circuit product over one service with a
+    // bounded submit-ahead window (the 145-circuit corpus would
+    // otherwise be resident all at once).
+    let service = opts.service();
+    let window = opts.jobs.saturating_mul(2).max(4).min(entries.len());
+    let mut pending: std::collections::VecDeque<_> = Vec::new().into();
+    let mut next_submit = 0usize;
+
     let mut rows: Vec<(String, [f64; 5])> = Vec::with_capacity(entries.len());
     let mut records: Vec<BenchRecord> = Vec::new();
     for entry in &entries {
-        let runs = Model::ALL.map(|m| run_model(entry, m, &opts));
+        while next_submit < entries.len() && pending.len() < window {
+            pending.push_back(submit_sweep_entry(&service, &entries[next_submit], &opts));
+            next_submit += 1;
+        }
+        let handles = pending.pop_front().expect("window stays primed");
+        let runs = handles.map(|h| h.join().expect("stand-in circuits are well-formed"));
         let times = [
             runs[0].cpu.as_secs_f64(),
             runs[1].cpu.as_secs_f64(),
@@ -42,7 +63,7 @@ fn main() {
             runs[4].cpu.as_secs_f64(),
         ];
         for (m, r) in Model::ALL.iter().zip(&runs) {
-            records.push(BenchRecord::of(*m, entry.name, r));
+            records.push(BenchRecord::of(*m, entry.name, r, &opts));
         }
         println!(
             "{},{:.4},{:.4},{:.4},{:.4},{:.4}",

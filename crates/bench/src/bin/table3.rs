@@ -3,14 +3,24 @@
 //! STEP-MG and STEP-{QD,QB,QDB}.
 //!
 //! Usage: `table3 [--scale ...] [--op ...] [--filter <name>] [--fast]
-//! [--no-cache] [--cache-cap n]`
+//! [--jobs n] [--seed n] [--no-cache] [--cache-cap n]`
 //!
-//! All five model sweeps share one result cache (keyed by canonical
-//! cone fingerprint × model × config), so repeated cones across the
-//! circuit population are solved once per model; per-run hit/miss
-//! counts land in the JSON records.
+//! The model × circuit product is sharded over one shared
+//! [`StepService`](step_core::StepService) with `--jobs` workers
+//! (circuits submitted through a bounded look-ahead window), so the
+//! pool crosses circuit and model boundaries instead of parallelizing
+//! only within a circuit; rows print in table order as their
+//! submissions complete. Every submission shares one result
+//! cache (keyed by canonical cone fingerprint × model × config), so
+//! repeated cones across the circuit population are solved once per
+//! model; per-run hit/miss counts land in the JSON records, along
+//! with the seed/jobs/op/cache provenance that makes sharded sweep
+//! outputs mergeable. Answers are deterministic for any `--jobs`;
+//! the per-record *work* counters (sat_calls, cache hits/misses) are
+//! scheduling-dependent under `--jobs > 1` — use `--jobs 1` when
+//! diffing those across commits.
 
-use step_bench::{run_model, secs, write_bench_json, BenchRecord, HarnessOpts};
+use step_bench::{secs, submit_sweep_entry, write_bench_json, BenchRecord, HarnessOpts};
 use step_circuits::registry_table1;
 use step_core::Model;
 
@@ -42,14 +52,29 @@ fn main() {
     );
     println!("{}", "-".repeat(104));
 
+    // Shard the model × circuit product over one service, keeping a
+    // bounded window of circuits submitted ahead of the join cursor —
+    // enough to keep every worker busy across row boundaries without
+    // holding the whole corpus in memory at once. Rows join (and
+    // print) in table order.
+    let service = opts.service();
+    let window = opts.jobs.saturating_mul(2).max(4).min(entries.len());
+    let mut pending: std::collections::VecDeque<_> = Vec::new().into();
+    let mut next_submit = 0usize;
+
     let mut totals = [0.0f64; 5];
     for entry in &entries {
-        let runs = Model::ALL.map(|m| run_model(entry, m, &opts));
+        while next_submit < entries.len() && pending.len() < window {
+            pending.push_back(submit_sweep_entry(&service, &entries[next_submit], &opts));
+            next_submit += 1;
+        }
+        let handles = pending.pop_front().expect("window stays primed");
+        let runs = handles.map(|h| h.join().expect("stand-in circuits are well-formed"));
         for (t, r) in totals.iter_mut().zip(&runs) {
             *t += r.cpu.as_secs_f64();
         }
         for (m, r) in Model::ALL.iter().zip(&runs) {
-            records.push(BenchRecord::of(*m, entry.name, r));
+            records.push(BenchRecord::of(*m, entry.name, r, &opts));
         }
         let cell = |r: &step_core::CircuitResult| {
             let cpu = if r.timed_out {

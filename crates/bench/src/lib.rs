@@ -21,7 +21,7 @@ use std::time::Duration;
 use step_circuits::{CircuitEntry, Scale};
 use step_core::{
     BiDecomposer, BudgetPolicy, CircuitResult, DecompConfig, GateOp, Model, OutputResult,
-    ResultCache,
+    ResultCache, StepService, SubmissionHandle,
 };
 
 /// Command-line options shared by the harness binaries.
@@ -41,10 +41,15 @@ pub struct HarnessOpts {
     /// (`--conflicts`), the reproducible analogue of the paper's
     /// 4-second per-call timeout.
     pub conflicts_per_call: Option<u64>,
-    /// Worker threads per circuit run (`--jobs`): the engine's parallel
-    /// work-queue driver decomposes a circuit's outputs concurrently.
+    /// Worker threads (`--jobs`) of the shared [`StepService`] the
+    /// sweep harnesses submit to: the outer model × circuit product is
+    /// sharded over one persistent pool, so workers cross circuit
+    /// boundaries instead of parallelizing only within a circuit.
     /// Per-output results are identical for any value.
     pub jobs: usize,
+    /// Engine base seed (`--seed`), recorded in the BENCH JSON so
+    /// sharded sweep records can only be merged when they agree on it.
+    pub seed: u64,
     /// One result cache shared by every engine the harness builds, so
     /// the whole model × circuit sweep reuses solved cones (repeated
     /// cones are common in the synthetic families; the cache key keeps
@@ -68,6 +73,7 @@ impl Default for HarnessOpts {
             partitions_only: false,
             conflicts_per_call: None,
             jobs: 1,
+            seed: DecompConfig::new(Model::QbfDisjoint).seed,
             cache: None,
         }
     }
@@ -137,6 +143,16 @@ impl HarnessOpts {
                         std::process::exit(2);
                     }
                 }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = match args.get(i).and_then(|s| s.parse().ok()) {
+                        Some(s) => s,
+                        None => {
+                            eprintln!("--seed needs a number");
+                            std::process::exit(2);
+                        }
+                    };
+                }
                 "--cache" => cache_on = true,
                 "--no-cache" => cache_on = false,
                 "--cache-cap" => {
@@ -154,7 +170,7 @@ impl HarnessOpts {
                     eprintln!(
                         "options: --scale smoke|default|full  --paper  --op or|and|xor  \
                          --filter <substr>  --fast  --conflicts <n>  --jobs <n>  \
-                         --cache  --no-cache  --cache-cap <n>"
+                         --seed <n>  --cache  --no-cache  --cache-cap <n>"
                     );
                     std::process::exit(0);
                 }
@@ -214,8 +230,48 @@ impl HarnessOpts {
         }
         c.conflicts_per_call = self.conflicts_per_call;
         c.jobs = self.jobs;
+        c.seed = self.seed;
         c
     }
+
+    /// Spawns the shared [`StepService`] a sweep harness submits to:
+    /// `jobs` persistent workers, sharing this option set's result
+    /// cache across every model × circuit submission.
+    pub fn service(&self) -> StepService {
+        StepService::spawn(self.jobs, self.cache.clone())
+    }
+}
+
+/// Submits one model × circuit run to a shared sweep service; pair
+/// with [`SubmissionHandle::join`] (or stream events) to consume.
+pub fn submit_model(
+    service: &StepService,
+    entry: &CircuitEntry,
+    model: Model,
+    opts: &HarnessOpts,
+) -> SubmissionHandle {
+    let aig = entry.build(opts.scale);
+    service
+        .submit(&aig, opts.op, opts.config(model))
+        .expect("stand-in circuits are well-formed")
+}
+
+/// Submits one circuit entry for the whole five-model roster (in
+/// [`Model::ALL`] order), building the circuit **once** and sharing
+/// one combinational copy across all five submissions — the sweep
+/// harnesses' unit of work.
+pub fn submit_sweep_entry(
+    service: &StepService,
+    entry: &CircuitEntry,
+    opts: &HarnessOpts,
+) -> [SubmissionHandle; 5] {
+    let aig = StepService::comb_arc(&entry.build(opts.scale))
+        .expect("stand-in circuits convert combinationally");
+    Model::ALL.map(|m| {
+        service
+            .submit_shared(Arc::clone(&aig), opts.op, opts.config(m))
+            .expect("stand-in circuits are well-formed")
+    })
 }
 
 /// Runs one model over one circuit entry.
@@ -366,17 +422,43 @@ pub fn secs(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
 }
 
+/// Version of the `BENCH_*.json` record layout. Bump whenever fields
+/// change meaning or shape, so tooling that merges sharded sweep
+/// outputs can reject records it does not understand.
+///
+/// * v1 — model/circuit/wall/calls/cache counters.
+/// * v2 — run provenance for sharded sweeps: `seed`, `jobs`, `op`,
+///   `cache`, plus this `schema_version` field itself.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
 /// One machine-readable row of a harness run: model × circuit with
-/// wall-clock and solver-call statistics. Serialized to the
+/// wall-clock and solver-call statistics plus the run provenance
+/// (seed, worker count, operator, cache on/off) needed to merge
+/// records from sharded sweeps safely. Serialized to the
 /// `BENCH_table3.json` / `BENCH_fig1.json` files that track the perf
 /// trajectory across commits.
 #[derive(Clone, Debug)]
 pub struct BenchRecord {
+    /// Record layout version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// Model name (`LJH`, `STEP-MG`, …).
     pub model: String,
     /// Circuit name.
     pub circuit: String,
-    /// Wall-clock seconds for the whole circuit.
+    /// Root operator (`OR`, `AND`, `XOR`).
+    pub op: String,
+    /// Engine base seed the run used (merging shards with different
+    /// seeds would mix incomparable partitions).
+    pub seed: u64,
+    /// Worker threads of the service the run was sharded over
+    /// (documentation of the run, not of the results — per-output
+    /// results are identical for any value).
+    pub jobs: usize,
+    /// Whether a result cache was attached to the run.
+    pub cache: bool,
+    /// Wall-clock seconds for the whole circuit. Measured first claim
+    /// to last event on service runs (`jobs` recorded here); only
+    /// compare wall clocks between records with the same `jobs`.
     pub wall_s: f64,
     /// Outputs decomposed.
     pub decomposed: usize,
@@ -388,19 +470,33 @@ pub struct BenchRecord {
     pub qbf_calls: u64,
     /// Outputs served by the result cache in this run (0 when caching
     /// is disabled).
+    ///
+    /// With `jobs > 1`, concurrent submissions containing the same
+    /// canonical cone race for the first solve, so which record books
+    /// the hit (and the matching `sat_calls`) can vary run-to-run;
+    /// the *answers* never do. Trajectory comparisons of the work
+    /// counters should use `--jobs 1` records.
     pub cache_hits: u64,
     /// Outputs that consulted the cache and missed (0 when disabled).
+    /// Scheduling-dependent under `jobs > 1` — see
+    /// [`cache_hits`](BenchRecord::cache_hits).
     pub cache_misses: u64,
     /// Whether any budget expired.
     pub timed_out: bool,
 }
 
 impl BenchRecord {
-    /// Builds the record for one model run over one circuit.
-    pub fn of(model: Model, circuit: &str, r: &CircuitResult) -> Self {
+    /// Builds the record for one model run over one circuit, stamping
+    /// the provenance fields from the harness options that drove it.
+    pub fn of(model: Model, circuit: &str, r: &CircuitResult, opts: &HarnessOpts) -> Self {
         BenchRecord {
+            schema_version: BENCH_SCHEMA_VERSION,
             model: model.to_string(),
             circuit: circuit.to_owned(),
+            op: opts.op.to_string(),
+            seed: opts.seed,
+            jobs: opts.jobs,
+            cache: opts.cache.is_some(),
             wall_s: r.cpu.as_secs_f64(),
             decomposed: r.num_decomposed(),
             outputs: r.outputs.len(),
@@ -431,12 +527,19 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
-            "  {{\"model\": \"{}\", \"circuit\": \"{}\", \"wall_s\": {:.6}, \
+            "  {{\"schema_version\": {}, \"model\": \"{}\", \"circuit\": \"{}\", \
+             \"op\": \"{}\", \"seed\": {}, \"jobs\": {}, \"cache\": {}, \
+             \"wall_s\": {:.6}, \
              \"decomposed\": {}, \"outputs\": {}, \"sat_calls\": {}, \
              \"qbf_calls\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
              \"timed_out\": {}}}{}\n",
+            r.schema_version,
             json_escape(&r.model),
             json_escape(&r.circuit),
+            json_escape(&r.op),
+            r.seed,
+            r.jobs,
+            r.cache,
             r.wall_s,
             r.decomposed,
             r.outputs,
@@ -473,12 +576,9 @@ mod tests {
         HarnessOpts {
             scale: Scale::Smoke,
             budget: BudgetPolicy::quick(),
-            op: GateOp::Or,
-            filter: None,
             partitions_only: true,
-            conflicts_per_call: None,
-            jobs: 1,
             cache: None,
+            ..HarnessOpts::default()
         }
     }
 
@@ -521,16 +621,63 @@ mod tests {
         let entry = &registry_table1()[16]; // mm9a: small
         let opts = smoke_opts();
         let r = run_model(entry, Model::MusGroup, &opts);
-        let rec = BenchRecord::of(Model::MusGroup, entry.name, &r);
+        let rec = BenchRecord::of(Model::MusGroup, entry.name, &r, &opts);
         assert_eq!(rec.model, "STEP-MG");
         assert_eq!(rec.outputs, r.outputs.len());
         assert!(rec.sat_calls > 0, "MG makes SAT calls");
+        assert_eq!(rec.schema_version, BENCH_SCHEMA_VERSION);
+        assert_eq!(rec.op, "OR");
+        assert_eq!(rec.seed, opts.seed);
+        assert_eq!(rec.jobs, 1);
+        assert!(!rec.cache, "smoke opts run uncached");
         let json = bench_records_json(&[rec.clone(), rec]);
         assert!(json.starts_with("[\n") && json.ends_with("]\n"), "{json}");
         assert_eq!(json.matches("\"circuit\": \"mm9a\"").count(), 2);
+        assert_eq!(
+            json.matches(&format!("\"schema_version\": {BENCH_SCHEMA_VERSION}"))
+                .count(),
+            2
+        );
+        assert_eq!(json.matches("\"op\": \"OR\"").count(), 2);
+        assert_eq!(json.matches("\"jobs\": 1").count(), 2);
+        assert_eq!(json.matches("\"cache\": false").count(), 2);
+        assert_eq!(json.matches(&format!("\"seed\": {}", opts.seed)).count(), 2);
         assert_eq!(json.matches("\"cache_hits\": 0").count(), 2);
         assert_eq!(json.matches("\"cache_misses\": 0").count(), 2);
         assert!(json.matches(',').count() >= 1);
+    }
+
+    #[test]
+    fn sharded_sweep_matches_per_circuit_runs() {
+        // The service-sharded submission path (what table3/fig1 use)
+        // must reproduce the one-engine-per-run legacy path exactly.
+        let opts = HarnessOpts {
+            jobs: 2,
+            ..smoke_opts()
+        };
+        let entries = [&registry_table1()[16], &registry_table1()[17]];
+        let service = opts.service();
+        let handles: Vec<_> = entries
+            .iter()
+            .flat_map(|e| {
+                [Model::MusGroup, Model::QbfDisjoint]
+                    .map(|m| (m, *e, submit_model(&service, e, m, &opts)))
+            })
+            .collect();
+        for (model, entry, handle) in handles {
+            let sharded = handle.join().expect("sharded run");
+            let legacy = run_model(entry, model, &opts);
+            assert_eq!(sharded.outputs.len(), legacy.outputs.len());
+            for (s, l) in sharded.outputs.iter().zip(&legacy.outputs) {
+                assert_eq!(
+                    s.partition, l.partition,
+                    "{model} {} {}",
+                    entry.name, s.name
+                );
+                assert_eq!(s.solved, l.solved);
+                assert_eq!(s.sat_calls, l.sat_calls);
+            }
+        }
     }
 
     #[test]
@@ -545,7 +692,7 @@ mod tests {
         };
         let cold = run_model(entry, Model::MusGroup, &opts);
         let warm = run_model(entry, Model::MusGroup, &opts);
-        let rec = BenchRecord::of(Model::MusGroup, entry.name, &warm);
+        let rec = BenchRecord::of(Model::MusGroup, entry.name, &warm, &opts);
         assert_eq!(rec.cache_hits as usize, warm.outputs.len());
         assert_eq!(rec.cache_misses, 0, "everything was cached by run 1");
         assert!(warm.total_sat_calls() < cold.total_sat_calls());

@@ -12,13 +12,17 @@
 //!   per-model search, selected by
 //!   [`strategy_for`](crate::strategy::strategy_for).
 //!
-//! [`BiDecomposer::decompose_circuit`] runs the queue with
-//! [`DecompConfig::jobs`] worker threads (`std::thread::scope`):
-//! workers claim output indices from a shared atomic counter, all
-//! workers honor one shared circuit deadline, results land in output
-//! order, and statistics aggregate at join. Per-output results are a
-//! pure function of `(cone, op, config)` — every cone is solved in
-//! canonical input order and the simulation seed derives from
+//! Circuit-wide runs are driven by the persistent
+//! [`StepService`] worker pool:
+//! [`BiDecomposer::decompose_circuit`] is a compatibility wrapper that
+//! submits to an ephemeral service with [`DecompConfig::jobs`] workers
+//! and joins (long-running callers submit to a shared service
+//! instead — see [`crate::service`]). Workers claim output indices
+//! from a per-submission atomic counter, all honor one circuit
+//! deadline, results land in output order, and statistics aggregate at
+//! join. Per-output results are a pure function of
+//! `(cone, op, config)` — every cone is solved in canonical input
+//! order and the simulation seed derives from
 //! [`cone_seed`](crate::job::cone_seed) over the cone's canonical
 //! fingerprint, never from visitation order — so `jobs = 1` and
 //! `jobs = N` produce identical results (wall-clock timeouts aside),
@@ -28,7 +32,6 @@
 
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -38,19 +41,32 @@ use crate::cache::{CacheLookup, ResultCache};
 use crate::extract::Decomposition;
 use crate::job::OutputJob;
 use crate::partition::VarPartition;
+use crate::service::StepService;
 use crate::session::SolveSession;
 use crate::spec::{DecompConfig, GateOp};
 
-/// Errors from the decomposition driver.
-#[derive(Debug)]
+/// Errors from the decomposition driver and service.
+///
+/// Marked `#[non_exhaustive]`: the service front-end grows error kinds
+/// over time (Cancelled arrived with [`StepService`]), so downstream
+/// matches need a wildcard arm.
+///
+/// [`StepService`]: crate::service::StepService
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
 pub enum StepError {
     /// The circuit has latches; convert with [`Aig::comb`] first (the
     /// circuit-level API does this automatically).
     NotCombinational,
     /// The output index is out of range.
     OutputOutOfRange(usize),
+    /// The submission was cancelled (via
+    /// [`SubmissionHandle::cancel`](crate::service::SubmissionHandle::cancel)
+    /// or by dropping its service) before this work completed.
+    Cancelled,
     /// An internal invariant failed (a bug — e.g. a verified partition
-    /// failed extraction).
+    /// failed extraction), or a worker panic caught at the service's
+    /// pool boundary.
     Internal(String),
 }
 
@@ -59,6 +75,7 @@ impl fmt::Display for StepError {
         match self {
             StepError::NotCombinational => write!(f, "circuit has latches; run comb() first"),
             StepError::OutputOutOfRange(i) => write!(f, "output index {i} out of range"),
+            StepError::Cancelled => write!(f, "submission cancelled"),
             StepError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -277,137 +294,134 @@ impl BiDecomposer {
         SolveSession::new(aig, job, &self.config, self.cache.as_deref())?.run()
     }
 
-    /// Claims and runs one output of a circuit-wide run. Internal
-    /// errors are tagged with the output they came from, so a failure
-    /// deep in a many-output circuit stays locatable.
-    fn run_queued(
-        &self,
-        aig: &Aig,
-        out_idx: usize,
-        op: GateOp,
-        circuit_deadline: Instant,
-    ) -> Result<OutputResult, StepError> {
-        let output = &aig.outputs()[out_idx];
-        let name = output.name().to_owned();
-        if Instant::now() >= circuit_deadline {
-            // Skipped, not solved: report the real cone support so the
-            // output doesn't masquerade as a constant function in
-            // per-support statistics (the support walk is linear in the
-            // cone, cheap next to what was just saved).
-            let support = aig.support(output.lit()).len();
-            return Ok(OutputResult::budget_exhausted(name, out_idx, support));
-        }
-        let job = OutputJob::new(&self.config, out_idx, op).with_circuit_deadline(circuit_deadline);
-        SolveSession::new(aig, job, &self.config, self.cache.as_deref())?
-            .run()
-            .map_err(|e| match e {
-                StepError::Internal(m) => {
-                    StepError::Internal(format!("output {out_idx} ({name}): {m}"))
-                }
-                other => other,
-            })
-    }
-
     /// Decomposes every primary output of `circuit` under `op`,
     /// converting sequential circuits combinationally (the paper's ABC
     /// `comb` step) and enforcing the per-circuit budget.
     ///
-    /// With [`DecompConfig::jobs`] ` > 1`, outputs are claimed by a
-    /// pool of scoped worker threads from a shared atomic counter; the
-    /// per-output computation is deterministic regardless of scheduling
-    /// (see the module docs), results are returned in output order, and
-    /// the shared circuit deadline bounds all workers.
+    /// This is a thin compatibility wrapper over the service API: with
+    /// `jobs > 1` it spins up an ephemeral [`StepService`] (workers
+    /// clamped to the output count, sharing this engine's result
+    /// cache), submits the circuit and joins; `jobs <= 1` runs the
+    /// same per-output claims inline with no threads at all.
+    /// Per-output computation is deterministic regardless of
+    /// scheduling (see the module docs), so the result is identical
+    /// for any `jobs` value; long-running callers should keep one
+    /// [`StepService`] and use
+    /// [`decompose_circuit_on`](BiDecomposer::decompose_circuit_on) (or
+    /// [`StepService::submit`] directly) to amortize the pool.
     ///
     /// # Errors
     ///
     /// [`StepError::Internal`] on internal inconsistencies (dangling
-    /// latches surface here too). Errors fail fast: the sequential
-    /// path returns at the first failing output, and parallel workers
-    /// stop claiming new outputs once any worker has failed (the error
-    /// reported is the one from the lowest-indexed failing output).
+    /// latches surface here too). Errors fail fast: workers stop
+    /// claiming new outputs once any output has failed, and the error
+    /// reported is the one from the lowest-indexed failing output.
+    /// `CircuitResult::cpu` on the inline `jobs <= 1` path is the
+    /// legacy full-call duration (comb conversion included); on the
+    /// service path it is the submission's first-claim-to-last-event
+    /// wall clock (comb/clone/pool-spawn excluded) — compare wall
+    /// clocks only between runs with the same `jobs` regime.
     pub fn decompose_circuit(&self, circuit: &Aig, op: GateOp) -> Result<CircuitResult, StepError> {
         let start = Instant::now();
-        let comb;
-        let aig = if circuit.is_comb() {
-            circuit
-        } else {
-            comb = circuit
-                .comb()
-                .map_err(|e| StepError::Internal(format!("comb conversion failed: {e}")))?;
-            &comb
-        };
-        let circuit_deadline = start + self.config.budget.per_circuit;
-        let n_out = aig.num_outputs();
+        let mut owned: Option<Aig> = None;
+        if !circuit.is_comb() {
+            owned = Some(
+                circuit
+                    .comb()
+                    .map_err(|e| StepError::Internal(format!("comb conversion failed: {e}")))?,
+            );
+        }
+        let n_out = owned.as_ref().unwrap_or(circuit).num_outputs();
         let workers = self.config.jobs.max(1).min(n_out.max(1));
-
-        let mut slots: Vec<Option<Result<OutputResult, StepError>>> =
-            (0..n_out).map(|_| None).collect();
         if workers <= 1 {
-            for (idx, slot) in slots.iter_mut().enumerate() {
-                match self.run_queued(aig, idx, op, circuit_deadline) {
-                    Err(e) => return Err(e),
-                    r => *slot = Some(r),
-                }
+            // Inline fast path: the hot default (`jobs = 1`, used in
+            // tight benchmark loops) pays no thread spawn. Same claim
+            // logic, same fail-fast semantics, same results.
+            let aig = owned.as_ref().unwrap_or(circuit);
+            let circuit_deadline = start + self.config.budget.per_circuit;
+            let mut outputs = Vec::with_capacity(n_out);
+            let mut timed_out = false;
+            for idx in 0..n_out {
+                let r = run_queued(
+                    aig,
+                    &self.config,
+                    self.cache.as_deref(),
+                    idx,
+                    op,
+                    circuit_deadline,
+                )?;
+                timed_out |= r.timed_out;
+                outputs.push(r);
             }
-        } else {
-            // Work queue: each worker claims the next unclaimed output
-            // index; claimed results come back tagged and land in their
-            // output-order slot after the join. A failure poisons the
-            // queue so other workers stop claiming (in-flight sessions
-            // still run to completion before the join).
-            let next = AtomicUsize::new(0);
-            let poisoned = AtomicBool::new(false);
-            let completed = std::thread::scope(|s| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        s.spawn(|| {
-                            let mut local = Vec::new();
-                            loop {
-                                if poisoned.load(Ordering::Relaxed) {
-                                    break;
-                                }
-                                let idx = next.fetch_add(1, Ordering::Relaxed);
-                                if idx >= n_out {
-                                    break;
-                                }
-                                let r = self.run_queued(aig, idx, op, circuit_deadline);
-                                if r.is_err() {
-                                    poisoned.store(true, Ordering::Relaxed);
-                                }
-                                local.push((idx, r));
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("decomposition worker panicked"))
-                    .collect::<Vec<_>>()
+            return Ok(CircuitResult {
+                outputs,
+                cpu: start.elapsed(),
+                timed_out,
             });
-            for (idx, r) in completed {
-                slots[idx] = Some(r);
-            }
-            // Deterministic error reporting: the lowest-indexed failure
-            // wins, regardless of which worker hit it first.
-            for slot in &mut slots {
-                if let Some(Err(_)) = slot {
-                    return Err(slot.take().unwrap().unwrap_err());
-                }
-            }
         }
-
-        let mut outputs = Vec::with_capacity(n_out);
-        let mut timed_out = false;
-        for slot in slots {
-            let r = slot.expect("every output index was claimed")?;
-            timed_out |= r.timed_out;
-            outputs.push(r);
-        }
-        Ok(CircuitResult {
-            outputs,
-            cpu: start.elapsed(),
-            timed_out,
-        })
+        let service = StepService::spawn(workers, self.cache.clone());
+        // Move the comb-converted copy into the submission when we own
+        // one; a single clone only when the caller's circuit was
+        // already combinational.
+        let shared = Arc::new(match owned {
+            Some(comb) => comb,
+            None => circuit.clone(),
+        });
+        service
+            .submit_shared(shared, op, self.config.clone())?
+            .join()
     }
+
+    /// [`decompose_circuit`](BiDecomposer::decompose_circuit) on a
+    /// caller-supplied (typically long-running) service: submit with
+    /// this engine's configuration and block for the output-ordered
+    /// result. Sessions use the *service's* result cache — the shared
+    /// pool owns the shared cache; an engine-attached cache only serves
+    /// [`decompose_output`](BiDecomposer::decompose_output) and the
+    /// ephemeral pools of
+    /// [`decompose_circuit`](BiDecomposer::decompose_circuit).
+    pub fn decompose_circuit_on(
+        &self,
+        service: &StepService,
+        circuit: &Aig,
+        op: GateOp,
+    ) -> Result<CircuitResult, StepError> {
+        // One clone into the submission's shared allocation (and no
+        // second comb conversion when the caller already converted).
+        let aig = StepService::comb_arc(circuit)?;
+        service.submit_shared(aig, op, self.config.clone())?.join()
+    }
+}
+
+/// Claims and runs one output of a circuit-wide run (the unit of work
+/// a service worker executes). Internal errors are tagged with the
+/// output they came from, so a failure deep in a many-output circuit
+/// stays locatable.
+pub(crate) fn run_queued(
+    aig: &Aig,
+    config: &DecompConfig,
+    cache: Option<&ResultCache>,
+    out_idx: usize,
+    op: GateOp,
+    circuit_deadline: Instant,
+) -> Result<OutputResult, StepError> {
+    let output = &aig.outputs()[out_idx];
+    let name = output.name().to_owned();
+    if Instant::now() >= circuit_deadline {
+        // Skipped, not solved: report the real cone support so the
+        // output doesn't masquerade as a constant function in
+        // per-support statistics (the support walk is linear in the
+        // cone, cheap next to what was just saved).
+        let support = aig.support(output.lit()).len();
+        return Ok(OutputResult::budget_exhausted(name, out_idx, support));
+    }
+    let job = OutputJob::new(config, out_idx, op).with_circuit_deadline(circuit_deadline);
+    SolveSession::new(aig, job, config, cache)?
+        .run()
+        .map_err(|e| match e {
+            StepError::Internal(m) => {
+                StepError::Internal(format!("output {out_idx} ({name}): {m}"))
+            }
+            other => other,
+        })
 }

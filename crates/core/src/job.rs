@@ -4,8 +4,10 @@
 //! A job carries everything a worker needs to decompose one primary
 //! output — the output index, the root operator and the wall-clock
 //! budgets — and nothing else. Jobs are `Copy`, contain no solver
-//! state, and are safe to hand to any thread; the mutable solving
-//! machinery lives in [`crate::session::SolveSession`].
+//! state, and are safe to hand to any thread: they are the unit of
+//! work a [`StepService`](crate::service::StepService) worker claims
+//! from a submission's queue. The mutable solving machinery lives in
+//! [`crate::session::SolveSession`].
 
 use std::time::{Duration, Instant};
 

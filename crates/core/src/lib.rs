@@ -32,8 +32,12 @@
 //! * [`engine`] — the circuit driver with the paper's budget
 //!   structure, built as a solve-session pipeline: a pure [`job`]
 //!   description per output, a stateful [`session`] that executes it,
-//!   a pluggable [`strategy`] per roster model, and a work-queue
-//!   parallel driver ([`DecompConfig::jobs`]);
+//!   and a pluggable [`strategy`] per roster model;
+//! * [`service`] — the primary circuit-scale API: a persistent
+//!   [`StepService`] worker pool with job submission, streaming
+//!   per-output results and cancellation
+//!   ([`BiDecomposer::decompose_circuit`] is a submit-and-join
+//!   compatibility wrapper over it);
 //! * [`cache`] — the per-op result cache: sessions solve every cone in
 //!   canonical input order (`step_aig::canonicalize`), so definitive
 //!   outcomes are memoizable by `(fingerprint, op, config)` and
@@ -53,6 +57,7 @@ pub mod oracle;
 pub mod partition;
 pub mod qbf_model;
 pub mod qdimacs_export;
+pub mod service;
 pub mod session;
 pub mod spec;
 pub mod strategy;
@@ -64,20 +69,26 @@ pub use extract::{extract, extract_by_quantification, Decomposition, ExtractErro
 pub use job::{cone_seed, OutputJob};
 pub use network::{decompose_tree, DecompTree, TreeNode, TreeOptions};
 pub use partition::{VarClass, VarPartition};
+pub use service::{OutputEvent, StepService, SubmissionHandle, SubmissionId};
 pub use session::SolveSession;
 pub use spec::{BudgetPolicy, DecompConfig, GateOp, Model, SearchStrategy};
 pub use strategy::{strategy_for, ModelStrategy, StrategyOutcome};
 pub use verify::{verify, VerifyError};
 
-// Compile-time audit of the parallel solve path: workers share one
-// `&BiDecomposer` (`Sync`), own a `PartitionOracle` each, and send
-// `OutputResult`s / `StepError`s back across the join.
+// Compile-time audit of the parallel solve path: the service is
+// submitted to from any thread (`Sync`), its handles move to consumer
+// threads (`Send`; the mpsc receiver keeps them `!Sync`), workers own
+// a `PartitionOracle` each, and `OutputResult`s / `StepError`s travel
+// across the event channel.
 const _: fn() = || {
     fn assert_sync<T: Sync>() {}
     fn assert_send<T: Send>() {}
     assert_sync::<BiDecomposer>();
+    assert_sync::<StepService>();
     assert_sync::<spec::DecompConfig>();
     assert_sync::<ResultCache>();
+    assert_send::<SubmissionHandle>();
+    assert_send::<OutputEvent>();
     assert_send::<oracle::PartitionOracle>();
     assert_send::<OutputResult>();
     assert_send::<StepError>();

@@ -1,0 +1,930 @@
+//! [`StepService`] — the persistent decomposition service: job
+//! submission, streaming results and cancellation.
+//!
+//! The one-shot [`BiDecomposer::decompose_circuit`] used to spin a
+//! scoped worker pool up and down per call. The paper's workload
+//! (sweeps of many circuits × five models) is embarrassingly parallel
+//! *across* calls too, so the service inverts the ownership: a
+//! `StepService`
+//! owns a pool of worker threads **spawned once** and a queue of
+//! submissions, each submission being one `(circuit, op, config)`
+//! decomposition request. Workers claim [`OutputJob`]-shaped units
+//! (one primary output at a time) from the front submission, so a
+//! single large circuit fans out over the pool exactly like the old
+//! scoped driver — and independent submissions drain through the same
+//! pool back-to-back, which is what lets the `table3`/`fig1` harnesses
+//! shard their whole model × circuit product instead of parallelizing
+//! only within a circuit.
+//!
+//! [`StepService::submit`] returns a [`SubmissionHandle`]:
+//!
+//! * **streaming** — [`SubmissionHandle::recv`] (or the handle's
+//!   [`Iterator`] impl) yields one [`OutputEvent`] per primary output
+//!   in *completion* order, as results land;
+//! * **blocking** — [`SubmissionHandle::join`] waits for the whole
+//!   circuit and reproduces the output-ordered [`CircuitResult`] of
+//!   the legacy `decompose_circuit` exactly (events already consumed
+//!   via `recv` are folded back in — mixing the two styles is fine);
+//! * **cancellation** — [`SubmissionHandle::cancel`] stops further
+//!   outputs of that submission from being claimed; `join` then
+//!   returns [`StepError::Cancelled`]. In-flight outputs run to
+//!   completion (they are bounded by their per-output budgets), and
+//!   the pool immediately moves on to other submissions — cancelling
+//!   one job never wedges the service.
+//!
+//! **Determinism.** Per-output results are a pure function of
+//! `(cone, op, config)` (canonical solving order + fingerprint-derived
+//! sim seeds, see [`crate::session`]), so a service with any worker
+//! count returns byte-identical per-output results — `jobs = 1` ≡
+//! `jobs = N`, with or without the shared [`ResultCache`], queued
+//! behind any other submissions. The per-circuit wall-clock budget
+//! anchors when a submission's *first* output is claimed, not at
+//! submit time, so queue wait never eats a submission's budget.
+//!
+//! **Fault containment.** A panicking solve is caught at the pool
+//! boundary ([`std::panic::catch_unwind`]) and surfaced as
+//! [`StepError::Internal`] on the owning submission only; the worker
+//! thread and the service survive and keep serving other submissions.
+//!
+//! [`BiDecomposer::decompose_circuit`]: crate::BiDecomposer::decompose_circuit
+//! [`OutputJob`]: crate::job::OutputJob
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use step_aig::Aig;
+
+use crate::cache::ResultCache;
+use crate::engine::{run_queued, CircuitResult, OutputResult, StepError};
+use crate::spec::{DecompConfig, GateOp};
+
+/// Identifies one submission within its service (monotonically
+/// increasing per service instance; shown in logs and events).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SubmissionId(u64);
+
+impl fmt::Display for SubmissionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub#{}", self.0)
+    }
+}
+
+/// One streamed result: a primary output of a submission finished (or
+/// failed, or was skipped by cancellation).
+#[derive(Clone, Debug)]
+pub struct OutputEvent {
+    /// The submission this output belongs to.
+    pub submission: SubmissionId,
+    /// Index of the primary output within the submitted circuit.
+    pub output_index: usize,
+    /// The output's result. `Err(StepError::Cancelled)` marks an
+    /// output skipped because the submission was cancelled (or its
+    /// service dropped) before this output was solved; other errors
+    /// are real failures of this output's solve.
+    pub result: Result<OutputResult, StepError>,
+}
+
+/// How a submission's circuit-wide deadline is derived.
+enum DeadlinePolicy {
+    /// `first claim + config.budget.per_circuit` (the legacy rule).
+    Budget,
+    /// An absolute caller-supplied instant, additionally capped by the
+    /// per-circuit budget.
+    Explicit(Instant),
+}
+
+/// Shared state of one submission: the work description plus the claim
+/// counter, flags and the event channel workers report through.
+struct Submission {
+    id: SubmissionId,
+    aig: Arc<Aig>,
+    op: GateOp,
+    config: DecompConfig,
+    deadline_policy: DeadlinePolicy,
+    /// Anchored when the first output is claimed (so queue wait does
+    /// not consume the per-circuit budget).
+    started: OnceLock<Instant>,
+    /// Stamped when the last event is delivered, so a handle joined
+    /// long after completion still reports the true wall clock.
+    finished: OnceLock<Instant>,
+    submitted: Instant,
+    n_out: usize,
+    /// Claim counter: `fetch_add` hands out output indices.
+    next: AtomicUsize,
+    /// Set by [`SubmissionHandle::cancel`] (or service drop).
+    cancelled: AtomicBool,
+    /// Set when any output of this submission failed; remaining
+    /// outputs are skipped (the legacy fail-fast rule).
+    poisoned: AtomicBool,
+    /// Events delivered so far; the sender drops (closing the channel)
+    /// when this reaches `n_out`.
+    sent: AtomicUsize,
+    events: Mutex<Option<Sender<OutputEvent>>>,
+}
+
+impl Submission {
+    /// The circuit-wide deadline, anchoring the per-circuit budget at
+    /// the first claim.
+    fn deadline(&self) -> Instant {
+        let start = *self.started.get_or_init(Instant::now);
+        let budget = start + self.config.budget.per_circuit;
+        match self.deadline_policy {
+            DeadlinePolicy::Budget => budget,
+            DeadlinePolicy::Explicit(d) => d.min(budget),
+        }
+    }
+
+    /// Whether claimed outputs should be skipped instead of solved.
+    fn skip_work(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire) || self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Delivers one event and closes the channel after the last one.
+    /// Exactly one event is sent per claimed output index, so the
+    /// channel closes if and only if every output is accounted for.
+    fn send_event(&self, output_index: usize, result: Result<OutputResult, StepError>) {
+        let mut guard = self.events.lock().expect("event sender lock");
+        if let Some(tx) = guard.as_ref() {
+            // The receiver may be gone (handle dropped without join);
+            // delivery is best-effort, accounting still proceeds.
+            let _ = tx.send(OutputEvent {
+                submission: self.id,
+                output_index,
+                result,
+            });
+        }
+        if self.sent.fetch_add(1, Ordering::AcqRel) + 1 == self.n_out {
+            let _ = self.finished.set(Instant::now());
+            *guard = None;
+        }
+    }
+
+    /// Claims and skips every remaining output (cancellation path).
+    fn drain_cancelled(&self) {
+        loop {
+            let idx = self.next.fetch_add(1, Ordering::AcqRel);
+            if idx >= self.n_out {
+                break;
+            }
+            self.send_event(idx, Err(StepError::Cancelled));
+        }
+    }
+}
+
+/// State shared between the service front-end and its workers.
+struct ServiceShared {
+    queue: Mutex<VecDeque<Arc<Submission>>>,
+    work: Condvar,
+    shutdown: AtomicBool,
+    cache: Option<Arc<ResultCache>>,
+    next_id: AtomicU64,
+}
+
+/// A long-running decomposition service: a persistent worker pool fed
+/// by a FIFO queue of circuit submissions. See the module docs.
+///
+/// ```
+/// use step_aig::Aig;
+/// use step_core::{DecompConfig, GateOp, Model, StepService};
+///
+/// let mut aig = Aig::new();
+/// let inputs: Vec<_> = (0..4).map(|i| aig.add_input(format!("x{i}"))).collect();
+/// let ab = aig.and(inputs[0], inputs[1]);
+/// let cd = aig.and(inputs[2], inputs[3]);
+/// let f = aig.or(ab, cd);
+/// aig.add_output("f", f);
+///
+/// let service = StepService::new(2);
+/// let config = DecompConfig::new(Model::QbfDisjoint);
+/// let mut handle = service.submit(&aig, GateOp::Or, config).unwrap();
+/// // Stream results in completion order...
+/// while let Some(event) = handle.recv() {
+///     let r = event.result.unwrap();
+///     println!("output {} solved: {}", r.name, r.solved);
+/// }
+/// // ...and/or join for the output-ordered CircuitResult.
+/// let result = handle.join().unwrap();
+/// assert_eq!(result.outputs.len(), 1);
+/// assert!(result.outputs[0].is_decomposed());
+/// ```
+pub struct StepService {
+    shared: Arc<ServiceShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for StepService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StepService")
+            .field("workers", &self.workers.len())
+            .field("cache", &self.shared.cache.is_some())
+            .finish()
+    }
+}
+
+impl StepService {
+    /// Spawns a service with `workers` persistent worker threads (at
+    /// least one) and no result cache.
+    pub fn new(workers: usize) -> Self {
+        Self::spawn(workers, None)
+    }
+
+    /// Spawns a service whose sessions share `cache` across every
+    /// submission — the long-running analogue of
+    /// [`BiDecomposer::set_cache`](crate::BiDecomposer::set_cache).
+    pub fn with_cache(workers: usize, cache: Arc<ResultCache>) -> Self {
+        Self::spawn(workers, Some(cache))
+    }
+
+    /// The general constructor behind [`new`](StepService::new) and
+    /// [`with_cache`](StepService::with_cache): `workers` persistent
+    /// threads (at least one) and an optional shared result cache —
+    /// for callers that already hold an `Option<Arc<ResultCache>>`.
+    pub fn spawn(workers: usize, cache: Option<Arc<ResultCache>>) -> Self {
+        let shared = Arc::new(ServiceShared {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cache,
+            next_id: AtomicU64::new(0),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("step-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        StepService { shared, workers }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The cache shared by every submission, if one was attached.
+    pub fn cache(&self) -> Option<&Arc<ResultCache>> {
+        self.shared.cache.as_ref()
+    }
+
+    /// Enqueues one decomposition request: every primary output of
+    /// `circuit` under `op` with `config`. Sequential circuits are
+    /// converted combinationally first (the paper's ABC `comb` step).
+    /// Returns immediately; consume results through the handle.
+    ///
+    /// Clones the circuit into the submission; callers submitting the
+    /// same circuit many times (e.g. one per model) should use
+    /// [`submit_shared`](StepService::submit_shared) to share one copy.
+    ///
+    /// # Errors
+    ///
+    /// [`StepError::Internal`] if the combinational conversion fails.
+    pub fn submit(
+        &self,
+        circuit: &Aig,
+        op: GateOp,
+        config: DecompConfig,
+    ) -> Result<SubmissionHandle, StepError> {
+        let aig = Self::comb_arc(circuit)?;
+        self.submit_inner(aig, op, config, DeadlinePolicy::Budget)
+    }
+
+    /// Like [`submit`](StepService::submit), but shares an
+    /// already-combinational circuit across submissions without
+    /// cloning — sweep harnesses submit one `Arc` per circuit for all
+    /// five models.
+    ///
+    /// # Errors
+    ///
+    /// [`StepError::NotCombinational`] if the circuit has latches
+    /// (convert with [`Aig::comb`] before wrapping in the `Arc`).
+    pub fn submit_shared(
+        &self,
+        circuit: Arc<Aig>,
+        op: GateOp,
+        config: DecompConfig,
+    ) -> Result<SubmissionHandle, StepError> {
+        if !circuit.is_comb() {
+            return Err(StepError::NotCombinational);
+        }
+        self.submit_inner(circuit, op, config, DeadlinePolicy::Budget)
+    }
+
+    /// Like [`submit`](StepService::submit), with an absolute
+    /// per-submission deadline: outputs not solved by `deadline` are
+    /// reported as timed out, exactly as if the per-circuit budget had
+    /// expired then. The deadline only tightens the configured
+    /// per-circuit budget, never extends it.
+    pub fn submit_with_deadline(
+        &self,
+        circuit: &Aig,
+        op: GateOp,
+        config: DecompConfig,
+        deadline: Instant,
+    ) -> Result<SubmissionHandle, StepError> {
+        let aig = Self::comb_arc(circuit)?;
+        self.submit_inner(aig, op, config, DeadlinePolicy::Explicit(deadline))
+    }
+
+    /// Clones `circuit` (converting combinationally if needed) into
+    /// the shared allocation a submission carries — the one-time
+    /// preparation step for
+    /// [`submit_shared`](StepService::submit_shared).
+    ///
+    /// # Errors
+    ///
+    /// [`StepError::Internal`] if the combinational conversion fails.
+    pub fn comb_arc(circuit: &Aig) -> Result<Arc<Aig>, StepError> {
+        Ok(Arc::new(if circuit.is_comb() {
+            circuit.clone()
+        } else {
+            circuit
+                .comb()
+                .map_err(|e| StepError::Internal(format!("comb conversion failed: {e}")))?
+        }))
+    }
+
+    fn submit_inner(
+        &self,
+        aig: Arc<Aig>,
+        op: GateOp,
+        config: DecompConfig,
+        deadline_policy: DeadlinePolicy,
+    ) -> Result<SubmissionHandle, StepError> {
+        let submitted = Instant::now();
+        let n_out = aig.num_outputs();
+        let (tx, rx) = channel();
+        let sub = Arc::new(Submission {
+            id: SubmissionId(self.shared.next_id.fetch_add(1, Ordering::Relaxed)),
+            aig,
+            op,
+            config,
+            deadline_policy,
+            started: OnceLock::new(),
+            finished: OnceLock::new(),
+            submitted,
+            n_out,
+            next: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            sent: AtomicUsize::new(0),
+            // A zero-output circuit has nothing to report: close the
+            // channel immediately so recv/join see completion.
+            events: Mutex::new(if n_out == 0 { None } else { Some(tx) }),
+        });
+        if n_out == 0 {
+            // Complete on the spot, so cpu measures ~zero rather than
+            // however long the caller sits on the handle before join.
+            let _ = sub.started.set(submitted);
+            let _ = sub.finished.set(Instant::now());
+        }
+        if n_out > 0 {
+            self.shared
+                .queue
+                .lock()
+                .expect("service queue lock")
+                .push_back(Arc::clone(&sub));
+            self.shared.work.notify_all();
+        }
+        Ok(SubmissionHandle {
+            sub,
+            rx,
+            slots: (0..n_out).map(|_| None).collect(),
+        })
+    }
+
+    /// Shuts the service down: cancels queued submissions (their
+    /// handles observe [`StepError::Cancelled`]), lets in-flight
+    /// outputs finish and joins the worker threads. Dropping the
+    /// service does the same.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for StepService {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Drain the queue so no pending handle blocks forever: every
+        // unclaimed output of every queued submission gets a Cancelled
+        // event (claims are atomic, so this never races a worker into
+        // double-reporting an index).
+        let drained: Vec<_> = {
+            let mut queue = self.shared.queue.lock().expect("service queue lock");
+            queue.drain(..).collect()
+        };
+        for sub in drained {
+            sub.cancelled.store(true, Ordering::Release);
+            sub.drain_cancelled();
+        }
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The worker loop: claim the next output index from the front
+/// submission, solve it, report the event; park on the condvar when
+/// the queue is empty.
+fn worker_loop(shared: &ServiceShared) {
+    loop {
+        let claimed = {
+            let mut queue = shared.queue.lock().expect("service queue lock");
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let mut found = None;
+                while let Some(front) = queue.front() {
+                    let idx = front.next.fetch_add(1, Ordering::AcqRel);
+                    if idx < front.n_out {
+                        found = Some((Arc::clone(front), idx));
+                        break;
+                    }
+                    // Every index handed out: this submission is fully
+                    // claimed (not necessarily finished) — retire it.
+                    queue.pop_front();
+                }
+                if let Some(claimed) = found {
+                    break claimed;
+                }
+                queue = shared.work.wait(queue).expect("service queue lock");
+            }
+        };
+        let (sub, idx) = claimed;
+        run_claimed(shared, &sub, idx);
+    }
+}
+
+/// Solves one claimed output and reports it, catching panics at this
+/// pool boundary so a poisoned job can never take a worker (or the
+/// service) down with it.
+fn run_claimed(shared: &ServiceShared, sub: &Submission, idx: usize) {
+    if sub.skip_work() {
+        sub.send_event(idx, Err(StepError::Cancelled));
+        return;
+    }
+    let deadline = sub.deadline();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if sub.config.panic_on_output == Some(idx) {
+            panic!("injected fault on output {idx}");
+        }
+        run_queued(
+            &sub.aig,
+            &sub.config,
+            shared.cache.as_deref(),
+            idx,
+            sub.op,
+            deadline,
+        )
+    }));
+    let result = match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            Err(StepError::Internal(format!(
+                "worker panicked on output {idx}: {msg}"
+            )))
+        }
+    };
+    if result.is_err() {
+        // Fail fast within the submission (the legacy poisoning rule):
+        // outputs claimed after this point are skipped as Cancelled.
+        sub.poisoned.store(true, Ordering::Release);
+    }
+    sub.send_event(idx, result);
+}
+
+/// The caller's side of one submission: stream events with
+/// [`recv`](SubmissionHandle::recv) (completion order), block with
+/// [`join`](SubmissionHandle::join) (output order), or abort with
+/// [`cancel`](SubmissionHandle::cancel). The two consumption styles
+/// compose: `join` folds in everything `recv` already returned.
+pub struct SubmissionHandle {
+    sub: Arc<Submission>,
+    rx: Receiver<OutputEvent>,
+    /// Results gathered so far, indexed by output; `join` completes
+    /// and consumes them.
+    slots: Vec<Option<Result<OutputResult, StepError>>>,
+}
+
+impl fmt::Debug for SubmissionHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SubmissionHandle")
+            .field("id", &self.sub.id)
+            .field("outputs", &self.sub.n_out)
+            .field(
+                "received",
+                &self.slots.iter().filter(|s| s.is_some()).count(),
+            )
+            .finish()
+    }
+}
+
+impl SubmissionHandle {
+    /// This submission's id within its service.
+    pub fn id(&self) -> SubmissionId {
+        self.sub.id
+    }
+
+    /// Number of primary outputs the submission will report (after
+    /// combinational conversion).
+    pub fn num_outputs(&self) -> usize {
+        self.sub.n_out
+    }
+
+    /// Requests cancellation: no further outputs of this submission
+    /// will be solved (in-flight ones finish under their budgets), and
+    /// [`join`](SubmissionHandle::join) will return
+    /// [`StepError::Cancelled`]. The remaining outputs are drained
+    /// (claimed and skipped) right here, so a cancelled submission
+    /// resolves immediately even while the pool is busy with work
+    /// queued ahead of it. Idempotent; never blocks on solving.
+    pub fn cancel(&self) {
+        self.sub.cancelled.store(true, Ordering::Release);
+        // Claims are atomic, so racing the workers (or a second
+        // cancel) is fine: every index is reported exactly once,
+        // whether by a worker (in-flight solve or skip-marker) or by
+        // this drain.
+        self.sub.drain_cancelled();
+    }
+
+    /// Whether [`cancel`](SubmissionHandle::cancel) was called (or the
+    /// service was dropped with this submission still queued). A
+    /// cancel that landed after every output had already completed
+    /// still reads `true` here, but [`join`](SubmissionHandle::join)
+    /// will return the full result — it reports
+    /// [`StepError::Cancelled`] only when an output was really
+    /// skipped.
+    pub fn is_cancelled(&self) -> bool {
+        self.sub.cancelled.load(Ordering::Acquire)
+    }
+
+    fn record(&mut self, event: &OutputEvent) {
+        self.slots[event.output_index] = Some(event.result.clone());
+    }
+
+    /// Blocks for the next completed output, in completion order.
+    /// Returns `None` once every output has been reported.
+    pub fn recv(&mut self) -> Option<OutputEvent> {
+        match self.rx.recv() {
+            Ok(event) => {
+                self.record(&event);
+                Some(event)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Non-blocking [`recv`](SubmissionHandle::recv): `None` when no
+    /// event is ready right now (which does not mean the submission is
+    /// finished — use `recv` or [`join`](SubmissionHandle::join) to
+    /// drain to completion).
+    pub fn try_recv(&mut self) -> Option<OutputEvent> {
+        match self.rx.try_recv() {
+            Ok(event) => {
+                self.record(&event);
+                Some(event)
+            }
+            Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocks until the whole submission is done and returns the
+    /// output-ordered [`CircuitResult`] — exactly what the legacy
+    /// [`decompose_circuit`] returns for the same `(circuit, op,
+    /// config)`, wall-clock cells aside.
+    ///
+    /// # Errors
+    ///
+    /// [`StepError::Cancelled`] if cancellation actually skipped any
+    /// output (a cancel that lost the race — every output had already
+    /// completed — returns the full result instead of discarding it);
+    /// otherwise the lowest-indexed failing output's error (the legacy
+    /// fail-fast rule), [`StepError::Internal`] for caught worker
+    /// panics included.
+    ///
+    /// [`decompose_circuit`]: crate::BiDecomposer::decompose_circuit
+    pub fn join(mut self) -> Result<CircuitResult, StepError> {
+        while self.recv().is_some() {}
+        // Deterministic error reporting, a pure function of the
+        // delivered events: a real failure on the lowest-indexed
+        // output wins over skip-markers regardless of completion
+        // order, and Cancelled is reported only when some output was
+        // really skipped — not when a cancel (or service drop) raced
+        // in after the last output had already finished.
+        let mut skipped = false;
+        for slot in &mut self.slots {
+            match slot {
+                Some(Err(StepError::Cancelled)) => skipped = true,
+                Some(Err(_)) => return Err(slot.take().expect("checked Some").unwrap_err()),
+                _ => {}
+            }
+        }
+        if skipped {
+            return Err(StepError::Cancelled);
+        }
+        let mut outputs = Vec::with_capacity(self.slots.len());
+        let mut timed_out = false;
+        for slot in &mut self.slots {
+            let r = slot.take().expect("every output produced an event")?;
+            timed_out |= r.timed_out;
+            outputs.push(r);
+        }
+        // True wall clock of the submission: first claim to last
+        // event, not to this (possibly much later) join call — sweep
+        // harnesses join handles in table order long after the pool
+        // finished them.
+        let started = self
+            .sub
+            .started
+            .get()
+            .copied()
+            .unwrap_or(self.sub.submitted);
+        let cpu = self
+            .sub
+            .finished
+            .get()
+            .map_or_else(|| started.elapsed(), |f| f.duration_since(started));
+        Ok(CircuitResult {
+            outputs,
+            cpu,
+            timed_out,
+        })
+    }
+}
+
+/// Streaming consumption as an iterator (completion order); iterate
+/// `&mut handle` to keep the handle for a final
+/// [`join`](SubmissionHandle::join).
+impl Iterator for SubmissionHandle {
+    type Item = OutputEvent;
+
+    fn next(&mut self) -> Option<OutputEvent> {
+        self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Model;
+    use std::time::Duration;
+
+    /// `f = (a&b)|(c&d)`, `g = (a&c)|(b&d)` — two decomposable,
+    /// structurally identical (permuted-input) outputs.
+    fn twin_aig() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let d = aig.add_input("d");
+        let ab = aig.and(a, b);
+        let cd = aig.and(c, d);
+        let f = aig.or(ab, cd);
+        aig.add_output("f", f);
+        let ac = aig.and(a, c);
+        let bd = aig.and(b, d);
+        let g = aig.or(ac, bd);
+        aig.add_output("g", g);
+        aig
+    }
+
+    fn config(model: Model) -> DecompConfig {
+        DecompConfig::new(model)
+    }
+
+    #[test]
+    fn submit_join_matches_the_engine() {
+        let aig = twin_aig();
+        let service = StepService::new(2);
+        let handle = service
+            .submit(&aig, GateOp::Or, config(Model::QbfDisjoint))
+            .unwrap();
+        let via_service = handle.join().unwrap();
+        let via_engine = crate::BiDecomposer::new(config(Model::QbfDisjoint))
+            .decompose_circuit(&aig, GateOp::Or)
+            .unwrap();
+        assert_eq!(via_service.outputs.len(), via_engine.outputs.len());
+        for (s, e) in via_service.outputs.iter().zip(&via_engine.outputs) {
+            assert_eq!(s.name, e.name);
+            assert_eq!(s.partition, e.partition);
+            assert_eq!(s.solved, e.solved);
+            assert_eq!(s.proved_optimal, e.proved_optimal);
+            assert_eq!(s.sat_calls, e.sat_calls);
+        }
+    }
+
+    #[test]
+    fn streaming_reports_every_output_exactly_once() {
+        let aig = twin_aig();
+        let service = StepService::new(2);
+        let mut handle = service
+            .submit(&aig, GateOp::Or, config(Model::MusGroup))
+            .unwrap();
+        assert_eq!(handle.num_outputs(), 2);
+        let mut seen = vec![0usize; 2];
+        while let Some(event) = handle.recv() {
+            assert_eq!(event.submission, handle.id());
+            seen[event.output_index] += 1;
+            assert!(event.result.unwrap().solved);
+        }
+        assert_eq!(seen, vec![1, 1], "one event per output");
+        // recv() drained everything; join still reproduces the full
+        // output-ordered result from its slots.
+        let result = handle.join().unwrap();
+        assert_eq!(result.outputs.len(), 2);
+        assert_eq!(result.num_decomposed(), 2);
+    }
+
+    #[test]
+    fn join_reports_completion_time_not_join_time() {
+        // Sweep harnesses join handles long after the pool finished
+        // them; cpu must be first-claim → last-event, not → join().
+        let aig = twin_aig();
+        let service = StepService::new(2);
+        let mut handle = service
+            .submit(&aig, GateOp::Or, config(Model::MusGroup))
+            .unwrap();
+        // Drain the stream so the submission is provably finished...
+        while handle.recv().is_some() {}
+        // ...then sit on the handle before joining.
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        let result = handle.join().unwrap();
+        assert!(
+            result.cpu < std::time::Duration::from_millis(100),
+            "cpu {:?} must not include the idle wait before join",
+            result.cpu
+        );
+    }
+
+    #[test]
+    fn cancel_drains_the_stream_synchronously() {
+        // cancel() claims and skips every not-yet-claimed output right
+        // away, so a cancelled submission resolves without waiting for
+        // the pool to reach it in FIFO order: after cancel() returns,
+        // draining the stream terminates and join is immediate.
+        let aig = twin_aig();
+        let service = StepService::new(1);
+        // Queue several submissions ahead so the single worker is busy
+        // (or at least behind) when the last one is cancelled.
+        let ahead: Vec<_> = (0..4)
+            .map(|_| {
+                service
+                    .submit(&aig, GateOp::Or, config(Model::QbfDisjoint))
+                    .unwrap()
+            })
+            .collect();
+        let mut last = service
+            .submit(&aig, GateOp::Or, config(Model::QbfDisjoint))
+            .unwrap();
+        last.cancel();
+        // Every event is deliverable now (worker-solved or drained as
+        // Cancelled by cancel itself) — recv() must terminate.
+        let mut events = 0;
+        while last.recv().is_some() {
+            events += 1;
+        }
+        assert_eq!(events, 2, "one event per output, cancelled included");
+        match last.join() {
+            Err(StepError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        for h in ahead {
+            assert_eq!(h.join().unwrap().num_decomposed(), 2);
+        }
+    }
+
+    #[test]
+    fn zero_output_circuits_complete_immediately() {
+        let mut aig = Aig::new();
+        aig.add_input("a");
+        let service = StepService::new(1);
+        let mut handle = service
+            .submit(&aig, GateOp::Or, config(Model::MusGroup))
+            .unwrap();
+        assert!(handle.recv().is_none());
+        let result = handle.join().unwrap();
+        assert!(result.outputs.is_empty());
+        assert!(!result.timed_out);
+    }
+
+    #[test]
+    fn cancelled_submission_returns_cancelled_and_pool_survives() {
+        let aig = twin_aig();
+        let service = StepService::new(1);
+        // A guard submission occupies the single worker, so the cancel
+        // below provably lands before any of the target's outputs is
+        // claimed (join reports Cancelled only for real skips).
+        let guard = service
+            .submit(&aig, GateOp::Or, config(Model::QbfDisjoint))
+            .unwrap();
+        let handle = service
+            .submit(&aig, GateOp::Or, config(Model::QbfDisjoint))
+            .unwrap();
+        handle.cancel();
+        assert!(handle.is_cancelled());
+        match handle.join() {
+            Err(StepError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert_eq!(guard.join().unwrap().num_decomposed(), 2);
+        // The pool keeps serving later submissions.
+        let after = service
+            .submit(&aig, GateOp::Or, config(Model::QbfDisjoint))
+            .unwrap()
+            .join()
+            .unwrap();
+        assert_eq!(after.num_decomposed(), 2);
+    }
+
+    #[test]
+    fn worker_panic_is_contained_to_its_submission() {
+        // Quiet the default panic-to-stderr hook for the injected
+        // fault, restoring it afterwards.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let aig = twin_aig();
+        let service = StepService::new(2);
+        let mut poisoned = config(Model::MusGroup);
+        poisoned.panic_on_output = Some(0);
+        let bad = service.submit(&aig, GateOp::Or, poisoned).unwrap();
+        let err = bad.join().unwrap_err();
+        std::panic::set_hook(hook);
+        match &err {
+            StepError::Internal(msg) => {
+                assert!(msg.contains("panicked on output 0"), "{msg}");
+                assert!(msg.contains("injected fault"), "{msg}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        // The same service (same worker threads) still serves clean
+        // submissions afterwards.
+        let good = service
+            .submit(&aig, GateOp::Or, config(Model::MusGroup))
+            .unwrap()
+            .join()
+            .unwrap();
+        assert_eq!(good.num_decomposed(), 2);
+    }
+
+    #[test]
+    fn expired_deadline_reports_timeouts_not_errors() {
+        let aig = twin_aig();
+        let service = StepService::new(1);
+        let handle = service
+            .submit_with_deadline(
+                &aig,
+                GateOp::Or,
+                config(Model::QbfDisjoint),
+                Instant::now() - Duration::from_secs(1),
+            )
+            .unwrap();
+        let result = handle.join().unwrap();
+        assert!(result.timed_out);
+        for out in &result.outputs {
+            assert!(out.timed_out, "output {} skipped by deadline", out.name);
+            assert!(!out.solved);
+            assert_eq!(out.support, 4, "real cone support still reported");
+        }
+    }
+
+    #[test]
+    fn dropping_the_service_cancels_queued_submissions() {
+        let aig = twin_aig();
+        let service = StepService::new(1);
+        // Enqueue more work than one worker can finish instantly, then
+        // drop the service; every handle must resolve (no wedged
+        // receivers), either with a result or with Cancelled.
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                service
+                    .submit(&aig, GateOp::Or, config(Model::QbfDisjoint))
+                    .unwrap()
+            })
+            .collect();
+        service.shutdown();
+        let mut cancelled = 0;
+        for handle in handles {
+            match handle.join() {
+                Ok(r) => assert_eq!(r.outputs.len(), 2),
+                Err(StepError::Cancelled) => cancelled += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(cancelled > 0, "the drop must have caught some submissions");
+    }
+}

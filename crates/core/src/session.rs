@@ -25,7 +25,9 @@
 //!
 //! Sessions are created and consumed by one worker thread; nothing in
 //! them is shared except the (internally synchronized) cache, which is
-//! what lets the circuit driver run many of them concurrently.
+//! what lets the [`StepService`](crate::service::StepService) pool run
+//! many of them concurrently — across outputs of one submission and
+//! across submissions alike.
 
 use std::time::Instant;
 

@@ -160,10 +160,11 @@ pub struct DecompConfig {
     /// models (`None` = unlimited). Complements the wall-clock budgets
     /// for reproducible Table-IV-style experiments.
     pub conflicts_per_call: Option<u64>,
-    /// Worker threads for [`decompose_circuit`]: outputs are claimed
-    /// from a shared work queue by `jobs` scoped threads. `1` (the
-    /// default) runs inline with no threads. Per-output results are
-    /// identical for any value (see [`crate::job::cone_seed`]).
+    /// Worker threads for [`decompose_circuit`]: the ephemeral
+    /// [`StepService`](crate::service::StepService) it spins up gets
+    /// `jobs` persistent workers claiming outputs from the submission
+    /// queue. Per-output results are identical for any value (see
+    /// [`crate::job::cone_seed`]).
     ///
     /// [`decompose_circuit`]: crate::BiDecomposer::decompose_circuit
     pub jobs: usize,
@@ -173,6 +174,12 @@ pub struct DecompConfig {
     /// are visited nor on where in a circuit a cone appears —
     /// structurally identical cones always simulate the same patterns.
     pub seed: u64,
+    /// Fault injection for the service's panic-containment regression
+    /// tests: a worker panics right before solving this output index,
+    /// exercising the pool-boundary `catch_unwind`. Always `None` in
+    /// real configurations; excluded from the result-cache key.
+    #[doc(hidden)]
+    pub panic_on_output: Option<usize>,
 }
 
 impl DecompConfig {
@@ -192,6 +199,7 @@ impl DecompConfig {
             conflicts_per_call: None,
             jobs: 1,
             seed: 0x5DEECE66D,
+            panic_on_output: None,
         }
     }
 

@@ -9,6 +9,8 @@
 //!   --weights <wd> <wb>         weighted cost target (implies QBF model)
 //!   --output <index>            decompose a single PO
 //!   --jobs <n>                  worker threads for whole-circuit runs (default 1)
+//!   --progress                  stream one line per output to stderr as results
+//!                               land (whole-circuit runs; completion order)
 //!   --seed <n>                  engine base seed (default 0x5DEECE66D)
 //!   --cache / --no-cache        per-op result cache keyed by canonical cone
 //!                               fingerprints (default on)
@@ -22,13 +24,18 @@
 //!   --per-output-s <n>          per-output budget (default 60)
 //! ```
 //!
-//! Whole-circuit runs go through the parallel work-queue driver;
-//! per-output results are identical for any `--jobs` value, so
-//! `--no-timing` output can be diffed across worker counts (the CI
-//! smoke step does exactly that). The engine solves every cone in
-//! canonical input order whether or not the cache is on, so `--cache`
-//! and `--no-cache` are byte-identical under `--no-timing` too — the
-//! cache changes how much work a run does, never what it answers.
+//! Whole-circuit runs submit to a [`StepService`] worker pool and
+//! stream per-output events off the submission handle (`--progress`
+//! narrates them on stderr in completion order; the stdout table stays
+//! output-ordered). Per-output results are identical for any `--jobs`
+//! value, so `--no-timing` stdout can be diffed across worker counts
+//! and against `--progress` runs (the CI smoke steps do exactly that).
+//! The engine solves every cone in canonical input order whether or
+//! not the cache is on, so `--cache` and `--no-cache` are
+//! byte-identical under `--no-timing` too — the cache changes how much
+//! work a run does, never what it answers.
+//!
+//! [`StepService`]: qbf_bidec::step::StepService
 
 use std::path::Path;
 use std::time::Duration;
@@ -38,7 +45,9 @@ use qbf_bidec::step::optimum::Metric;
 use qbf_bidec::step::oracle::CoreFormula;
 use qbf_bidec::step::qbf_model::Target;
 use qbf_bidec::step::qdimacs_export::{export_qdimacs, ExportOptions};
-use qbf_bidec::step::{BiDecomposer, DecompConfig, GateOp, Model, OutputResult, ResultCache};
+use qbf_bidec::step::{
+    BiDecomposer, DecompConfig, GateOp, Model, OutputResult, ResultCache, StepService,
+};
 
 struct Cli {
     path: String,
@@ -47,6 +56,7 @@ struct Cli {
     weights: Option<(u32, u32)>,
     output: Option<usize>,
     jobs: usize,
+    progress: bool,
     seed: Option<u64>,
     cache: bool,
     cache_cap: Option<usize>,
@@ -59,8 +69,9 @@ struct Cli {
 
 const USAGE: &str = "usage: step <circuit.{bench,blif,aag}> [--model ljh|mg|qd|qb|qdb] \
                      [--op or|and|xor] [--weights wd wb] [--output idx] [--jobs n] \
-                     [--seed n] [--cache] [--no-cache] [--cache-cap n] [--no-timing] \
-                     [--emit-qdimacs] [--emit-blif] [--per-call-ms n] [--per-output-s n]";
+                     [--progress] [--seed n] [--cache] [--no-cache] [--cache-cap n] \
+                     [--no-timing] [--emit-qdimacs] [--emit-blif] [--per-call-ms n] \
+                     [--per-output-s n]";
 
 /// Bad invocation: usage on stderr, exit 2.
 fn usage() -> ! {
@@ -83,6 +94,7 @@ fn parse_cli() -> Cli {
         weights: None,
         output: None,
         jobs: 1,
+        progress: false,
         seed: None,
         cache: true,
         cache_cap: None,
@@ -138,6 +150,7 @@ fn parse_cli() -> Cli {
                     _ => usage(),
                 }
             }
+            "--progress" => cli.progress = true,
             "--seed" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse().ok()) {
@@ -314,13 +327,12 @@ fn main() {
     if let Some(seed) = cli.seed {
         config.seed = seed;
     }
-    let mut engine = BiDecomposer::new(config);
-    if cli.cache {
-        engine.set_cache(std::sync::Arc::new(match cli.cache_cap {
+    let cache: Option<std::sync::Arc<ResultCache>> = cli.cache.then(|| {
+        std::sync::Arc::new(match cli.cache_cap {
             Some(cap) => ResultCache::with_capacity(cap),
             None => ResultCache::new(),
-        }));
-    }
+        })
+    });
 
     println!(
         "{:<16} {:>8} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9} {:>9}",
@@ -329,31 +341,80 @@ fn main() {
     let mut decomposed = 0usize;
     match cli.output {
         // Single output: one session, no queue.
-        Some(idx) => match engine.decompose_output(&comb, idx, cli.op) {
-            Ok(out) => {
-                if print_result(&cli, &out) {
-                    decomposed += 1;
-                }
+        Some(idx) => {
+            let mut engine = BiDecomposer::new(config);
+            if let Some(c) = &cache {
+                engine.set_cache(std::sync::Arc::clone(c));
             }
-            Err(e) => {
-                eprintln!("error on output {idx}: {e}");
-                std::process::exit(1);
-            }
-        },
-        // Whole circuit: the work-queue driver with `--jobs` workers.
-        None => match engine.decompose_circuit(&comb, cli.op) {
-            Ok(result) => {
-                for out in &result.outputs {
-                    if print_result(&cli, out) {
+            match engine.decompose_output(&comb, idx, cli.op) {
+                Ok(out) => {
+                    if print_result(&cli, &out) {
                         decomposed += 1;
                     }
                 }
+                Err(e) => {
+                    eprintln!("error on output {idx}: {e}");
+                    std::process::exit(1);
+                }
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
+        }
+        // Whole circuit: submit to a service worker pool and stream
+        // per-output events off the handle (`--progress` narrates them
+        // on stderr in completion order; the stdout table is printed
+        // output-ordered at join, so stdout stays byte-identical to a
+        // non-progress run).
+        None => {
+            // Clamp the pool to the output count — extra workers would
+            // only idle on the queue.
+            let workers = cli.jobs.min(comb.num_outputs()).max(1);
+            let service = StepService::spawn(workers, cache.clone());
+            let mut handle = match service.submit(&comb, cli.op, config) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let total = handle.num_outputs();
+            let mut done = 0usize;
+            while let Some(event) = handle.recv() {
+                done += 1;
+                if cli.progress {
+                    match &event.result {
+                        Ok(out) => eprintln!(
+                            "progress: {done}/{total} {} {}",
+                            out.name,
+                            if out.partition.is_some() {
+                                "decomposed"
+                            } else if out.timed_out {
+                                "timeout"
+                            } else {
+                                "not decomposable"
+                            }
+                        ),
+                        Err(e) => {
+                            eprintln!(
+                                "progress: {done}/{total} output {}: {e}",
+                                event.output_index
+                            )
+                        }
+                    }
+                }
             }
-        },
+            match handle.join() {
+                Ok(result) => {
+                    for out in &result.outputs {
+                        if print_result(&cli, out) {
+                            decomposed += 1;
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
     println!(
         "\ndecomposed {decomposed} output function(s) with {}",
@@ -362,7 +423,7 @@ fn main() {
     // Cache statistics vary with what earlier runs populated, so the
     // line hides behind --no-timing together with the wall clocks.
     if !cli.no_timing {
-        if let Some(cache) = engine.cache() {
+        if let Some(cache) = &cache {
             println!(
                 "cache: {} hits, {} misses, {} inserts, {} evictions, {} entries",
                 cache.hits(),

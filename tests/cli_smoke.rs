@@ -43,6 +43,7 @@ fn help_prints_usage_to_stdout_and_exits_0() {
             "--weights",
             "--output",
             "--jobs",
+            "--progress",
             "--seed",
             "--cache",
             "--no-cache",
@@ -132,6 +133,37 @@ fn jobs_flag_is_output_stable() {
     );
     // --no-timing replaces the cpu cell with `-`.
     assert!(one.contains(" -"), "stable cpu cell: {one}");
+}
+
+#[test]
+fn progress_streams_on_stderr_and_leaves_stdout_identical() {
+    // --progress narrates one line per output on stderr (completion
+    // order) through the service handle; the stdout table must stay
+    // byte-identical to a non-progress run under --no-timing.
+    let path = write_two_outputs("progress");
+    let plain = run(step().arg(&path).args(["--model", "qd", "--no-timing"]));
+    assert!(plain.status.success(), "stderr: {:?}", plain.stderr);
+    let streamed =
+        run(step()
+            .arg(&path)
+            .args(["--model", "qd", "--no-timing", "--jobs", "2", "--progress"]));
+    assert!(streamed.status.success(), "stderr: {:?}", streamed.stderr);
+    assert_eq!(
+        String::from_utf8(plain.stdout).unwrap(),
+        String::from_utf8(streamed.stdout).unwrap(),
+        "--progress must not change the stdout table"
+    );
+    let err = String::from_utf8(streamed.stderr).unwrap();
+    let progress: Vec<&str> = err
+        .lines()
+        .filter(|l| l.starts_with("progress: "))
+        .collect();
+    assert_eq!(progress.len(), 2, "one line per output: {err}");
+    assert!(
+        progress.iter().any(|l| l.contains("/2 f decomposed"))
+            && progress.iter().any(|l| l.contains("/2 g decomposed")),
+        "named verdict lines: {err}"
+    );
 }
 
 #[test]
