@@ -42,7 +42,9 @@ fn bench_symmetry(c: &mut Criterion) {
                     symmetry_breaking: sym,
                     ..ModelOptions::default()
                 };
-                let (outcome, _) = solve_partition(&core, Target::DisjointAtMost(1), &opts);
+                let mut meter = step_core::EffortMeter::unlimited();
+                let (outcome, _) =
+                    solve_partition(&core, Target::DisjointAtMost(1), &opts, &mut meter);
                 assert!(matches!(outcome, QbfModelOutcome::Partition(_)));
             })
         });
@@ -62,7 +64,9 @@ fn bench_allow_both(c: &mut Criterion) {
                     allow_both: both,
                     ..ModelOptions::default()
                 };
-                let (outcome, _) = solve_partition(&core, Target::DisjointAtMost(1), &opts);
+                let mut meter = step_core::EffortMeter::unlimited();
+                let (outcome, _) =
+                    solve_partition(&core, Target::DisjointAtMost(1), &opts, &mut meter);
                 assert!(matches!(outcome, QbfModelOutcome::Partition(_)));
             })
         });
@@ -79,7 +83,8 @@ fn bench_sim_filter(c: &mut Criterion) {
             let core = CoreFormula::build(&aig, f, GateOp::Or);
             let candidates = sim_filter_pairs(&aig, f, GateOp::Or, 4, 7);
             let mut oracle = PartitionOracle::new(core);
-            let r = mg::decompose(&mut oracle, Some(&candidates), None);
+            let mut meter = step_core::EffortMeter::unlimited();
+            let r = mg::decompose(&mut oracle, Some(&candidates), &mut meter);
             assert!(matches!(r, mg::MgOutcome::Partition(_)));
         })
     });
@@ -87,7 +92,8 @@ fn bench_sim_filter(c: &mut Criterion) {
         b.iter(|| {
             let core = CoreFormula::build(&aig, f, GateOp::Or);
             let mut oracle = PartitionOracle::new(core);
-            let r = mg::decompose(&mut oracle, None, None);
+            let mut meter = step_core::EffortMeter::unlimited();
+            let r = mg::decompose(&mut oracle, None, &mut meter);
             assert!(matches!(r, mg::MgOutcome::Partition(_)));
         })
     });
@@ -101,7 +107,8 @@ fn bench_strategy(c: &mut Criterion) {
     let core = CoreFormula::build(&aig, f, GateOp::Or);
     let bootstrap = {
         let mut oracle = PartitionOracle::new(core.clone());
-        match mg::decompose(&mut oracle, None, None) {
+        let mut meter = step_core::EffortMeter::unlimited();
+        match mg::decompose(&mut oracle, None, &mut meter) {
             mg::MgOutcome::Partition(p) => p,
             other => panic!("{other:?}"),
         }
@@ -114,12 +121,14 @@ fn bench_strategy(c: &mut Criterion) {
     ] {
         g.bench_function(label, |b| {
             b.iter(|| {
+                let mut meter = step_core::EffortMeter::unlimited();
                 let r = optimum::search(
                     &core,
                     Metric::Disjointness,
                     Some(&bootstrap),
                     strategy,
                     &ModelOptions::default(),
+                    &mut meter,
                 );
                 assert!(r.proved_optimal);
             })

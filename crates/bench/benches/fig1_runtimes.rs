@@ -20,7 +20,6 @@ fn bench(c: &mut Criterion) {
         op: GateOp::Or,
         filter: None,
         partitions_only: true,
-        conflicts_per_call: None,
         jobs: 1,
         cache: None,
         ..HarnessOpts::default()

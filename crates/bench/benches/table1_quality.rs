@@ -14,7 +14,6 @@ fn opts() -> HarnessOpts {
         op: step_core::GateOp::Or,
         filter: None,
         partitions_only: true,
-        conflicts_per_call: None,
         jobs: 1,
         cache: None,
         ..HarnessOpts::default()

@@ -5,8 +5,13 @@
 //! Prints a CSV of per-circuit runtimes followed by six ASCII log-log
 //! scatter panels.
 //!
-//! Usage: `fig1 [--scale smoke|default|full] [--op ...] [--jobs n]
-//! [--seed n] [--no-cache] [--cache-cap n]`
+//! Usage: `fig1 [--scale smoke|default|full] [--op ...]
+//! [--budget <spec>] [--circuit-budget <spec>] [--qbf-budget <spec>]
+//! [--jobs n] [--seed n] [--no-cache] [--cache-cap n]`
+//!
+//! `--budget work:<n>` makes the sweep's verdicts (not the plotted
+//! wall clocks) machine-independent — see the README's "Budgets and
+//! determinism" section.
 //!
 //! The 145-circuit × 5-model product is sharded over one shared
 //! [`StepService`](step_core::StepService) with `--jobs` workers and

@@ -3,7 +3,13 @@
 //! STEP-MG and STEP-{QD,QB,QDB}.
 //!
 //! Usage: `table3 [--scale ...] [--op ...] [--filter <name>] [--fast]
+//! [--budget <spec>] [--circuit-budget <spec>] [--qbf-budget <spec>]
 //! [--jobs n] [--seed n] [--no-cache] [--cache-cap n]`
+//!
+//! `--budget work:<n>` swaps the wall-clock per-output limit for a
+//! deterministic conflict budget: the printed `#Dec` cells — and the
+//! `BENCH_table3.json` records — become byte-identical across
+//! machines and `--jobs` values (wall columns aside).
 //!
 //! The model × circuit product is sharded over one shared
 //! [`StepService`](step_core::StepService) with `--jobs` workers

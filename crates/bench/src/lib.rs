@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use step_circuits::{CircuitEntry, Scale};
 use step_core::{
-    BiDecomposer, BudgetPolicy, CircuitResult, DecompConfig, GateOp, Model, OutputResult,
+    BiDecomposer, Budget, BudgetPolicy, CircuitResult, DecompConfig, GateOp, Model, OutputResult,
     ResultCache, StepService, SubmissionHandle,
 };
 
@@ -37,10 +37,6 @@ pub struct HarnessOpts {
     pub filter: Option<String>,
     /// Disable extraction+verification for speed (partitions only).
     pub partitions_only: bool,
-    /// Deterministic conflicts-per-SAT-call budget for the QBF models
-    /// (`--conflicts`), the reproducible analogue of the paper's
-    /// 4-second per-call timeout.
-    pub conflicts_per_call: Option<u64>,
     /// Worker threads (`--jobs`) of the shared [`StepService`] the
     /// sweep harnesses submit to: the outer model × circuit product is
     /// sharded over one persistent pool, so workers cross circuit
@@ -64,14 +60,13 @@ impl Default for HarnessOpts {
         HarnessOpts {
             scale: Scale::Default,
             budget: BudgetPolicy {
-                per_qbf_call: Duration::from_millis(500),
-                per_output: Duration::from_secs(10),
-                per_circuit: Duration::from_secs(120),
+                per_qbf_call: Budget::Wall(Duration::from_millis(500)),
+                per_output: Budget::Wall(Duration::from_secs(10)),
+                per_circuit: Budget::Wall(Duration::from_secs(120)),
             },
             op: GateOp::Or,
             filter: None,
             partitions_only: false,
-            conflicts_per_call: None,
             jobs: 1,
             seed: DecompConfig::new(Model::QbfDisjoint).seed,
             cache: None,
@@ -83,14 +78,22 @@ impl HarnessOpts {
     /// Parses harness options from `std::env::args`.
     ///
     /// Flags: `--scale smoke|default|full`, `--paper` (paper budgets),
+    /// `--budget <spec>` (per-output [`Budget`], e.g. `work:200k` for
+    /// a deterministic sweep), `--circuit-budget <spec>`,
+    /// `--qbf-budget <spec>` (per QBF call),
     /// `--op or|and|xor`, `--filter <substr>`, `--fast`
     /// (partitions only), `--jobs <n>` (parallel output workers),
     /// `--cache`/`--no-cache` (sweep-wide result cache, default on),
-    /// `--cache-cap <n>` (bound it), `--help`.
+    /// `--cache-cap <n>` (bound it), `--help`. `--conflicts <n>` is a
+    /// deprecated alias for `--qbf-budget work:<n>` (it used to limit
+    /// each *inner* SAT call; it now bounds the QBF call's total
+    /// inner-SAT conflicts, composed onto any wall component).
     pub fn from_args() -> HarnessOpts {
         let mut opts = HarnessOpts::default();
         let mut cache_on = true;
         let mut cache_cap: Option<usize> = None;
+        let mut qbf_budget_set = false;
+        let mut circuit_budget_set = false;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -108,6 +111,32 @@ impl HarnessOpts {
                     };
                 }
                 "--paper" => opts.budget = BudgetPolicy::paper(),
+                "--budget" | "--circuit-budget" | "--qbf-budget" => {
+                    let flag = args[i].clone();
+                    i += 1;
+                    let spec = args
+                        .get(i)
+                        .map(String::as_str)
+                        .map(Budget::parse)
+                        .unwrap_or_else(|| Err(format!("{flag} needs a value")));
+                    match spec {
+                        Ok(b) => match flag.as_str() {
+                            "--budget" => opts.budget.per_output = b,
+                            "--circuit-budget" => {
+                                opts.budget.per_circuit = b;
+                                circuit_budget_set = true;
+                            }
+                            _ => {
+                                opts.budget.per_qbf_call = b;
+                                qbf_budget_set = true;
+                            }
+                        },
+                        Err(e) => {
+                            eprintln!("{flag}: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 "--op" => {
                     i += 1;
                     opts.op = match args.get(i).map(String::as_str) {
@@ -136,11 +165,18 @@ impl HarnessOpts {
                     };
                 }
                 "--conflicts" => {
+                    // Deprecated alias for `--qbf-budget work:<n>` —
+                    // counts as explicitly setting the per-call scope.
                     i += 1;
-                    opts.conflicts_per_call = args.get(i).and_then(|s| s.parse().ok());
-                    if opts.conflicts_per_call.is_none() {
-                        eprintln!("--conflicts needs a number");
-                        std::process::exit(2);
+                    match args.get(i).and_then(|s| s.parse().ok()) {
+                        Some(n) => {
+                            opts.budget.per_qbf_call = opts.budget.per_qbf_call.with_work(n);
+                            qbf_budget_set = true;
+                        }
+                        None => {
+                            eprintln!("--conflicts needs a number");
+                            std::process::exit(2);
+                        }
                     }
                 }
                 "--seed" => {
@@ -168,9 +204,11 @@ impl HarnessOpts {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: --scale smoke|default|full  --paper  --op or|and|xor  \
-                         --filter <substr>  --fast  --conflicts <n>  --jobs <n>  \
-                         --seed <n>  --cache  --no-cache  --cache-cap <n>"
+                        "options: --scale smoke|default|full  --paper  \
+                         --budget <spec>  --circuit-budget <spec>  --qbf-budget <spec>  \
+                         --op or|and|xor  --filter <substr>  --fast  --jobs <n>  \
+                         --seed <n>  --cache  --no-cache  --cache-cap <n>  \
+                         (budget spec: wall:<dur> | work:<n> | both:<dur>,<n> | unlimited)"
                     );
                     std::process::exit(0);
                 }
@@ -187,6 +225,8 @@ impl HarnessOpts {
                 None => ResultCache::new(),
             }));
         }
+        opts.budget
+            .lift_unset_walls_for_pure_work(qbf_budget_set, circuit_budget_set);
         opts
     }
 
@@ -228,7 +268,6 @@ impl HarnessOpts {
             c.extract = false;
             c.verify = false;
         }
-        c.conflicts_per_call = self.conflicts_per_call;
         c.jobs = self.jobs;
         c.seed = self.seed;
         c
@@ -429,7 +468,11 @@ pub fn secs(d: Duration) -> String {
 /// * v1 — model/circuit/wall/calls/cache counters.
 /// * v2 — run provenance for sharded sweeps: `seed`, `jobs`, `op`,
 ///   `cache`, plus this `schema_version` field itself.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+/// * v3 — effort provenance for deterministic work budgets:
+///   `effort_conflicts` (total solver conflicts of the run) and
+///   `budget` (the [`BudgetPolicy`] the run was truncated under;
+///   shards are only mergeable when they agree on it).
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// One machine-readable row of a harness run: model × circuit with
 /// wall-clock and solver-call statistics plus the run provenance
@@ -456,6 +499,11 @@ pub struct BenchRecord {
     pub jobs: usize,
     /// Whether a result cache was attached to the run.
     pub cache: bool,
+    /// The budget policy the run was truncated under
+    /// (`call=…;output=…;circuit=…`, each component in
+    /// [`Budget::parse`] syntax). Records truncated under different
+    /// budgets are not comparable — merge tooling must match on this.
+    pub budget: String,
     /// Wall-clock seconds for the whole circuit. Measured first claim
     /// to last event on service runs (`jobs` recorded here); only
     /// compare wall clocks between records with the same `jobs`.
@@ -468,6 +516,12 @@ pub struct BenchRecord {
     pub sat_calls: u64,
     /// QBF solves across all outputs.
     pub qbf_calls: u64,
+    /// Total solver conflicts across all outputs
+    /// ([`CircuitResult::total_effort`]) — the machine-independent
+    /// cost of the run, comparable across hosts unlike `wall_s`.
+    /// Scheduling-dependent under `jobs > 1` with a shared cache
+    /// (like the cache counters); exact under `--jobs 1`.
+    pub effort_conflicts: u64,
     /// Outputs served by the result cache in this run (0 when caching
     /// is disabled).
     ///
@@ -497,11 +551,13 @@ impl BenchRecord {
             seed: opts.seed,
             jobs: opts.jobs,
             cache: opts.cache.is_some(),
+            budget: opts.budget.to_string(),
             wall_s: r.cpu.as_secs_f64(),
             decomposed: r.num_decomposed(),
             outputs: r.outputs.len(),
             sat_calls: r.total_sat_calls(),
             qbf_calls: r.total_qbf_calls(),
+            effort_conflicts: r.total_effort().conflicts,
             cache_hits: r.cache_hits(),
             cache_misses: r.cache_misses(),
             timed_out: r.timed_out,
@@ -529,9 +585,10 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
         out.push_str(&format!(
             "  {{\"schema_version\": {}, \"model\": \"{}\", \"circuit\": \"{}\", \
              \"op\": \"{}\", \"seed\": {}, \"jobs\": {}, \"cache\": {}, \
-             \"wall_s\": {:.6}, \
+             \"budget\": \"{}\", \"wall_s\": {:.6}, \
              \"decomposed\": {}, \"outputs\": {}, \"sat_calls\": {}, \
-             \"qbf_calls\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"qbf_calls\": {}, \"effort_conflicts\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \
              \"timed_out\": {}}}{}\n",
             r.schema_version,
             json_escape(&r.model),
@@ -540,11 +597,13 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
             r.seed,
             r.jobs,
             r.cache,
+            json_escape(&r.budget),
             r.wall_s,
             r.decomposed,
             r.outputs,
             r.sat_calls,
             r.qbf_calls,
+            r.effort_conflicts,
             r.cache_hits,
             r.cache_misses,
             r.timed_out,
@@ -553,6 +612,172 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
     }
     out.push_str("]\n");
     out
+}
+
+/// One parsed `"key": value` pair of a record object: the value text
+/// plus whether it was a (already unescaped) JSON string.
+type JsonField = (String, bool);
+
+/// Scans one flat record object (`{ "k": v, ... }`, no nesting) into
+/// key → value pairs, unescaping string values.
+fn parse_json_object(obj: &str) -> Result<Vec<(String, JsonField)>, String> {
+    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated string".to_owned()),
+                Some('"') => return Ok(out),
+                Some('\\') => match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('u') => {
+                        let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| format!("bad code point {code}"))?,
+                        );
+                    }
+                    other => return Err(format!("unsupported escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+    let mut fields = Vec::new();
+    let mut chars = obj.chars().peekable();
+    loop {
+        while chars.peek().is_some_and(|c| c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        match chars.next() {
+            None => return Ok(fields),
+            Some('"') => {
+                let key = parse_string(&mut chars)?;
+                while chars.peek().is_some_and(|c| c.is_whitespace()) {
+                    chars.next();
+                }
+                if chars.next() != Some(':') {
+                    return Err(format!("expected `:` after key `{key}`"));
+                }
+                while chars.peek().is_some_and(|c| c.is_whitespace()) {
+                    chars.next();
+                }
+                let value = if chars.peek() == Some(&'"') {
+                    chars.next();
+                    (parse_string(&mut chars)?, true)
+                } else {
+                    let mut raw = String::new();
+                    while chars.peek().is_some_and(|c| *c != ',') {
+                        raw.push(chars.next().expect("peeked"));
+                    }
+                    (raw.trim().to_owned(), false)
+                };
+                fields.push((key, value));
+            }
+            Some(c) => return Err(format!("expected a key, found `{c}`")),
+        }
+    }
+}
+
+/// Parses a `BENCH_*.json` array written by [`bench_records_json`]
+/// back into records — the reader half for tooling that merges or
+/// diffs sharded sweep outputs. Minimal by design: it understands the
+/// flat object layout this crate writes, not arbitrary JSON.
+///
+/// # Errors
+///
+/// A description of the first malformed record, missing field, or
+/// record whose `schema_version` differs from
+/// [`BENCH_SCHEMA_VERSION`] (merging across layouts is exactly what
+/// the version field exists to prevent).
+pub fn parse_bench_records_json(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('[')
+        .and_then(|b| b.strip_suffix(']'))
+        .ok_or_else(|| "expected a JSON array".to_owned())?;
+    let mut records = Vec::new();
+    // Our writer emits flat objects (no nesting), so objects end at
+    // the first `}` outside a string.
+    let mut rest = body.trim_start().trim_start_matches(',').trim_start();
+    while !rest.is_empty() {
+        let open = rest
+            .strip_prefix('{')
+            .ok_or_else(|| format!("expected `{{`, found `{rest:.8}`"))?;
+        let mut end = None;
+        let mut in_string = false;
+        let mut escaped = false;
+        for (i, c) in open.char_indices() {
+            match (in_string, escaped, c) {
+                (true, true, _) => escaped = false,
+                (true, false, '\\') => escaped = true,
+                (true, false, '"') => in_string = false,
+                (false, _, '"') => in_string = true,
+                (false, _, '}') => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let end = end.ok_or_else(|| "unterminated record object".to_owned())?;
+        let fields = parse_json_object(&open[..end])?;
+        let get = |key: &str| -> Result<&JsonField, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("record is missing `{key}`"))
+        };
+        let string = |key: &str| -> Result<String, String> {
+            let (v, is_str) = get(key)?;
+            if !is_str {
+                return Err(format!("`{key}` must be a string"));
+            }
+            Ok(v.clone())
+        };
+        let number = |key: &str| -> Result<u64, String> {
+            get(key)?.0.parse().map_err(|_| format!("bad `{key}`"))
+        };
+        let boolean = |key: &str| -> Result<bool, String> {
+            get(key)?.0.parse().map_err(|_| format!("bad `{key}`"))
+        };
+        let schema_version = number("schema_version")? as u32;
+        if schema_version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "record has schema_version {schema_version}, reader understands \
+                 {BENCH_SCHEMA_VERSION} only"
+            ));
+        }
+        records.push(BenchRecord {
+            schema_version,
+            model: string("model")?,
+            circuit: string("circuit")?,
+            op: string("op")?,
+            seed: number("seed")?,
+            jobs: number("jobs")? as usize,
+            cache: boolean("cache")?,
+            budget: string("budget")?,
+            wall_s: get("wall_s")?
+                .0
+                .parse()
+                .map_err(|_| "bad `wall_s`".to_owned())?,
+            decomposed: number("decomposed")? as usize,
+            outputs: number("outputs")? as usize,
+            sat_calls: number("sat_calls")?,
+            qbf_calls: number("qbf_calls")?,
+            effort_conflicts: number("effort_conflicts")?,
+            cache_hits: number("cache_hits")?,
+            cache_misses: number("cache_misses")?,
+            timed_out: boolean("timed_out")?,
+        });
+        rest = open[end + 1..]
+            .trim_start()
+            .trim_start_matches(',')
+            .trim_start();
+    }
+    Ok(records)
 }
 
 /// Writes records to `path` as JSON, reporting the destination on
@@ -645,6 +870,67 @@ mod tests {
         assert_eq!(json.matches("\"cache_hits\": 0").count(), 2);
         assert_eq!(json.matches("\"cache_misses\": 0").count(), 2);
         assert!(json.matches(',').count() >= 1);
+        // Schema-3 effort provenance.
+        assert_eq!(
+            json.matches(&format!("\"budget\": \"{}\"", opts.budget))
+                .count(),
+            2
+        );
+        assert!(json.contains("\"effort_conflicts\": "), "{json}");
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_the_reader() {
+        // The schema-3 fields must survive write → parse exactly, so
+        // merge tooling reading sharded sweep outputs sees what the
+        // harness wrote (budget and effort provenance included).
+        let entry = &registry_table1()[16]; // mm9a: small
+        let mut opts = smoke_opts();
+        opts.budget.per_output = step_core::Budget::Work(50_000);
+        let r = run_model(entry, Model::MusGroup, &opts);
+        let mut rec = BenchRecord::of(Model::MusGroup, entry.name, &r, &opts);
+        rec.circuit = "odd \"name\"\\with escapes".to_owned();
+        let records = vec![
+            rec,
+            BenchRecord::of(Model::QbfDisjoint, entry.name, &r, &opts),
+        ];
+        let parsed = parse_bench_records_json(&bench_records_json(&records)).expect("parse");
+        assert_eq!(parsed.len(), records.len());
+        for (p, w) in parsed.iter().zip(&records) {
+            assert_eq!(p.schema_version, w.schema_version);
+            assert_eq!(p.model, w.model);
+            assert_eq!(p.circuit, w.circuit, "escapes survive the round trip");
+            assert_eq!(p.op, w.op);
+            assert_eq!(p.seed, w.seed);
+            assert_eq!(p.jobs, w.jobs);
+            assert_eq!(p.cache, w.cache);
+            assert_eq!(p.budget, w.budget, "budget provenance round-trips");
+            assert!(
+                p.budget.contains("output=work:50000"),
+                "work budget recorded: {}",
+                p.budget
+            );
+            assert_eq!(p.decomposed, w.decomposed);
+            assert_eq!(p.outputs, w.outputs);
+            assert_eq!(p.sat_calls, w.sat_calls);
+            assert_eq!(p.qbf_calls, w.qbf_calls);
+            assert_eq!(p.effort_conflicts, w.effort_conflicts);
+            assert_eq!(p.cache_hits, w.cache_hits);
+            assert_eq!(p.cache_misses, w.cache_misses);
+            assert_eq!(p.timed_out, w.timed_out);
+            // The writer rounds wall_s to six decimals.
+            assert!((p.wall_s - w.wall_s).abs() <= 5e-7, "wall_s to 1e-6");
+        }
+        // Empty arrays round-trip too.
+        assert!(parse_bench_records_json("[\n]\n")
+            .expect("empty")
+            .is_empty());
+        // Foreign schema versions are rejected, not misread.
+        let old = bench_records_json(&records).replace(
+            &format!("\"schema_version\": {BENCH_SCHEMA_VERSION}"),
+            "\"schema_version\": 2",
+        );
+        assert!(parse_bench_records_json(&old).is_err());
     }
 
     #[test]

@@ -37,8 +37,10 @@ pub const NUM_SHARDS: usize = 16;
 
 /// Everything a solved outcome depends on: the canonical cone identity
 /// plus the configuration fields that steer the search. Budgets are
-/// deliberately absent — they only decide *whether* a definitive
-/// outcome is reached, never which one.
+/// deliberately absent — wall *and* work alike, they only decide
+/// *whether* a definitive outcome is reached, never which one (a
+/// budget-truncated outcome is never cached), so entries are shared
+/// across runs with different [`crate::spec::BudgetPolicy`] values.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct CacheKey {
     /// Canonical structural identity of the cone.
@@ -57,9 +59,6 @@ pub struct CacheKey {
     pub sim_filter: bool,
     /// Pre-filter rounds.
     pub sim_rounds: usize,
-    /// Deterministic conflicts budget (part of the outcome for the QBF
-    /// models' inner SAT calls).
-    pub conflicts_per_call: Option<u64>,
     /// Engine base seed (feeds the canonical simulation seed).
     pub seed: u64,
 }
@@ -76,7 +75,6 @@ impl CacheKey {
             allow_both: config.allow_both,
             sim_filter: config.sim_filter,
             sim_rounds: config.sim_rounds,
-            conflicts_per_call: config.conflicts_per_call,
             seed: config.seed,
         }
     }

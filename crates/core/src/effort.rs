@@ -1,0 +1,336 @@
+//! The effort-metering layer: one charge/check surface for every
+//! budget a solve runs under.
+//!
+//! The paper truncates runs with wall-clock limits (4 s per QBF call,
+//! 6000 s per circuit), which makes results machine- and
+//! load-dependent. [`Budget::Work`] replaces the clock with solver
+//! **conflicts** — the portable currency of SAT/QBF effort — and this
+//! module is where those budgets are enforced:
+//!
+//! * [`EffortMeter`] — owned by a
+//!   [`SolveSession`](crate::session::SolveSession); strategies and
+//!   the [`PartitionOracle`](crate::oracle::PartitionOracle) consult
+//!   it instead of doing raw `Instant` math. Every solver call charges
+//!   the effort it spent ([`EffortMeter::charge`]) and derives its own
+//!   limits from what remains ([`EffortMeter::call_limits`]), so a
+//!   budgeted truncation falls on the same call at the same conflict
+//!   count on every machine.
+//! * [`WorkPool`] — the shared per-circuit work budget: an atomic pool
+//!   every output of a submission debits. The analogue of the shared
+//!   circuit deadline (and like it, scheduling-dependent under
+//!   `jobs > 1` — see the determinism notes below).
+//! * [`CircuitBudget`] — the circuit-scope limits a job carries: the
+//!   shared deadline (wall component, anchored at the submission's
+//!   first claim) plus the shared [`WorkPool`] (work component).
+//!
+//! **Determinism.** Per-output `Work` budgets are fully deterministic:
+//! each output's meter is private, so which outputs run out of budget
+//! — and the partial results they report — are byte-identical across
+//! machines, `--jobs` values and background load. The per-*circuit*
+//! work pool is debited in completion order, which under `jobs > 1`
+//! depends on scheduling (exactly like the shared wall deadline it
+//! parallels); at `jobs = 1` it too is deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use step_sat::EffortStats;
+
+use crate::spec::Budget;
+
+/// The tighter of two optional limits (`None` = unlimited): the one
+/// combining rule every budget scope in this module composes with.
+fn tighter<T: Ord>(a: Option<T>, b: Option<T>) -> Option<T> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// A shared, saturating work budget (conflicts): the per-circuit
+/// analogue of a shared deadline. Outputs debit the work they spent;
+/// once the pool is empty, remaining outputs are truncated.
+#[derive(Debug)]
+pub struct WorkPool {
+    remaining: AtomicU64,
+}
+
+impl WorkPool {
+    /// A pool holding `limit` conflicts.
+    pub fn new(limit: u64) -> Self {
+        WorkPool {
+            remaining: AtomicU64::new(limit),
+        }
+    }
+
+    /// Conflicts left in the pool.
+    pub fn remaining(&self) -> u64 {
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    /// Whether the pool is spent.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Debits `work` conflicts, saturating at zero.
+    pub fn debit(&self, work: u64) {
+        if work == 0 {
+            return;
+        }
+        let mut cur = self.remaining.load(Ordering::Acquire);
+        loop {
+            let next = cur.saturating_sub(work);
+            match self.remaining.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// The circuit-scope limits one output job runs under: the shared
+/// deadline (wall component of the per-circuit budget, possibly capped
+/// by an explicit per-submission deadline) and the shared work pool.
+/// Cheap to clone — the pool is shared, not copied.
+#[derive(Clone, Debug, Default)]
+pub struct CircuitBudget {
+    /// The shared circuit deadline, if the per-circuit budget has a
+    /// wall component (anchored at the submission's first claim).
+    pub deadline: Option<Instant>,
+    /// The shared work pool, if the per-circuit budget has a work
+    /// component.
+    pub work: Option<Arc<WorkPool>>,
+}
+
+impl CircuitBudget {
+    /// The circuit budget for `budget` anchored at `start` (the
+    /// inline, single-caller path; the service anchors the wall
+    /// component lazily at first claim instead).
+    pub fn anchored(budget: Budget, start: Instant) -> Self {
+        CircuitBudget {
+            deadline: budget.wall().map(|d| start + d),
+            work: budget.work().map(|w| Arc::new(WorkPool::new(w))),
+        }
+    }
+
+    /// Whether the circuit budget is spent (deadline passed or pool
+    /// empty) — outputs claimed after this point are skipped.
+    pub fn expired(&self) -> bool {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        self.work.as_deref().is_some_and(WorkPool::is_exhausted)
+    }
+}
+
+/// Limits for one solver call, derived from a meter and a per-call
+/// budget: hand `deadline` to `set_deadline` and `conflicts` to
+/// `set_effort_budget`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CallLimits {
+    /// Wall-clock deadline for the call.
+    pub deadline: Option<Instant>,
+    /// Conflict budget for the call.
+    pub conflicts: Option<u64>,
+}
+
+/// The per-output budget meter: tracks the effort spent on one
+/// output's solve and answers the two questions every solving layer
+/// asks — *may I keep going?* ([`EffortMeter::exhausted`]) and *how
+/// much may the next call cost?* ([`EffortMeter::call_limits`]).
+///
+/// The meter owns the output's wall deadline (per-output ∩ circuit)
+/// and work limit, and holds the circuit's shared [`WorkPool`];
+/// [`EffortMeter::charge`] feeds both. See the module docs for the
+/// determinism contract.
+#[derive(Debug, Default)]
+pub struct EffortMeter {
+    deadline: Option<Instant>,
+    work_limit: Option<u64>,
+    spent: EffortStats,
+    pool: Option<Arc<WorkPool>>,
+}
+
+impl EffortMeter {
+    /// A meter for one output starting at `start`: wall deadline from
+    /// the budgets' wall components (tighter of per-output and
+    /// circuit), work limit from the per-output work component, shared
+    /// pool from the circuit budget.
+    pub fn new(start: Instant, per_output: Budget, circuit: &CircuitBudget) -> Self {
+        let deadline = tighter(per_output.wall().map(|d| start + d), circuit.deadline);
+        EffortMeter {
+            deadline,
+            work_limit: per_output.work(),
+            spent: EffortStats::default(),
+            pool: circuit.work.clone(),
+        }
+    }
+
+    /// A meter with no limits at all (standalone solves, tests).
+    pub fn unlimited() -> Self {
+        EffortMeter::default()
+    }
+
+    /// The effective wall deadline (`None` under pure work budgets —
+    /// nothing on the solve path consults a clock then).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The effort charged to this meter so far.
+    pub fn spent(&self) -> EffortStats {
+        self.spent
+    }
+
+    /// Conflicts left before a work budget trips: the tighter of the
+    /// per-output limit and the circuit pool (`None` = no work budget).
+    pub fn remaining_work(&self) -> Option<u64> {
+        let own = self
+            .work_limit
+            .map(|l| l.saturating_sub(self.spent.conflicts));
+        tighter(own, self.pool.as_ref().map(|p| p.remaining()))
+    }
+
+    /// Whether any budget is spent: the wall deadline passed, or a
+    /// work budget (own or circuit pool) ran out. Solving layers check
+    /// this between calls and report a timeout when it trips.
+    pub fn exhausted(&self) -> bool {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        self.remaining_work() == Some(0)
+    }
+
+    /// Charges solver effort to this meter (and debits the circuit
+    /// pool). Every solver call on the session's solve path reports
+    /// its work here — that single stream is what the work budgets
+    /// meter.
+    pub fn charge(&mut self, work: EffortStats) {
+        self.spent += work;
+        if let Some(pool) = &self.pool {
+            pool.debit(work.conflicts);
+        }
+    }
+
+    /// The limits for one solver call under `per_call`: the call's
+    /// deadline is the tighter of the meter deadline and `now +
+    /// per_call.wall()`; its conflict budget is the per-call work
+    /// component capped by [`EffortMeter::remaining_work`]. With no
+    /// per-call budget, pass [`Budget::Unlimited`] — the call still
+    /// inherits the meter's own limits.
+    pub fn call_limits(&self, per_call: Budget) -> CallLimits {
+        CallLimits {
+            deadline: tighter(self.deadline, per_call.wall().map(|d| Instant::now() + d)),
+            conflicts: tighter(per_call.work(), self.remaining_work()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn effort(conflicts: u64) -> EffortStats {
+        EffortStats {
+            conflicts,
+            decisions: 2 * conflicts,
+            propagations: 10 * conflicts,
+        }
+    }
+
+    #[test]
+    fn work_pool_debits_and_saturates() {
+        let pool = WorkPool::new(10);
+        assert_eq!(pool.remaining(), 10);
+        pool.debit(4);
+        assert_eq!(pool.remaining(), 6);
+        pool.debit(100);
+        assert_eq!(pool.remaining(), 0);
+        assert!(pool.is_exhausted());
+    }
+
+    #[test]
+    fn meter_trips_on_own_work_limit() {
+        let mut m = EffortMeter::new(Instant::now(), Budget::Work(10), &CircuitBudget::default());
+        assert!(!m.exhausted());
+        assert_eq!(m.remaining_work(), Some(10));
+        assert_eq!(m.deadline(), None, "pure work budget never sets a clock");
+        m.charge(effort(7));
+        assert_eq!(m.remaining_work(), Some(3));
+        m.charge(effort(3));
+        assert!(m.exhausted());
+        assert_eq!(m.spent().conflicts, 10);
+    }
+
+    #[test]
+    fn meter_trips_on_the_shared_pool() {
+        let circuit = CircuitBudget {
+            deadline: None,
+            work: Some(Arc::new(WorkPool::new(5))),
+        };
+        let mut a = EffortMeter::new(Instant::now(), Budget::Unlimited, &circuit);
+        let b = EffortMeter::new(Instant::now(), Budget::Unlimited, &circuit);
+        a.charge(effort(5));
+        assert!(a.exhausted());
+        assert!(b.exhausted(), "siblings share the pool");
+        assert!(circuit.expired());
+    }
+
+    #[test]
+    fn meter_combines_wall_components() {
+        let start = Instant::now();
+        let circuit = CircuitBudget {
+            deadline: Some(start + Duration::from_secs(1)),
+            work: None,
+        };
+        let m = EffortMeter::new(start, Budget::Wall(Duration::from_secs(60)), &circuit);
+        assert_eq!(
+            m.deadline(),
+            Some(start + Duration::from_secs(1)),
+            "circuit deadline caps the per-output one"
+        );
+        assert_eq!(m.remaining_work(), None);
+    }
+
+    #[test]
+    fn call_limits_cap_per_call_work_by_remaining() {
+        let mut m = EffortMeter::new(Instant::now(), Budget::Work(10), &CircuitBudget::default());
+        m.charge(effort(7));
+        let limits = m.call_limits(Budget::Work(100));
+        assert_eq!(limits.conflicts, Some(3));
+        assert_eq!(limits.deadline, None);
+        let limits = m.call_limits(Budget::Work(2));
+        assert_eq!(limits.conflicts, Some(2), "per-call limit can be tighter");
+        let limits = m.call_limits(Budget::Unlimited);
+        assert_eq!(limits.conflicts, Some(3), "meter limits apply regardless");
+    }
+
+    #[test]
+    fn anchored_circuit_budget_splits_components() {
+        let start = Instant::now();
+        let b = CircuitBudget::anchored(
+            Budget::Both {
+                wall: Duration::from_secs(5),
+                work: 42,
+            },
+            start,
+        );
+        assert_eq!(b.deadline, Some(start + Duration::from_secs(5)));
+        assert_eq!(b.work.as_ref().map(|p| p.remaining()), Some(42));
+        assert!(!b.expired());
+        let unlimited = CircuitBudget::anchored(Budget::Unlimited, start);
+        assert!(unlimited.deadline.is_none() && unlimited.work.is_none());
+    }
+}

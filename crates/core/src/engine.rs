@@ -25,7 +25,9 @@
 //! order and the simulation seed derives from
 //! [`cone_seed`](crate::job::cone_seed) over the cone's canonical
 //! fingerprint, never from visitation order — so `jobs = 1` and
-//! `jobs = N` produce identical results (wall-clock timeouts aside),
+//! `jobs = N` produce identical results (wall-clock timeouts aside —
+//! and under pure [`Budget::Work`](crate::spec::Budget::Work) budgets
+//! even the timeouts are identical, see [`crate::effort`]),
 //! and structurally identical cones produce identical results wherever
 //! they appear. The optional [`ResultCache`] exploits exactly that
 //! purity (see [`crate::cache`]).
@@ -36,8 +38,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use step_aig::Aig;
+use step_sat::EffortStats;
 
 use crate::cache::{CacheLookup, ResultCache};
+use crate::effort::CircuitBudget;
 use crate::extract::Decomposition;
 use crate::job::OutputJob;
 use crate::partition::VarPartition;
@@ -115,6 +119,11 @@ pub struct OutputResult {
     pub qbf_calls: u32,
     /// Total CEGAR iterations across QBF solves.
     pub cegar_iterations: u64,
+    /// Solver effort this output's search spent (oracle SAT calls, MUS
+    /// extraction and QBF inner-SAT work alike) — the quantity `Work`
+    /// budgets meter, machine-independent unlike `cpu`. Zero when the
+    /// result was served from the cache.
+    pub effort: EffortStats,
     /// How this output's solve interacted with the result cache.
     pub cache: CacheLookup,
 }
@@ -136,6 +145,7 @@ impl OutputResult {
             sat_calls: 0,
             qbf_calls: 0,
             cegar_iterations: 0,
+            effort: EffortStats::default(),
             cache: CacheLookup::Bypass,
         }
     }
@@ -199,6 +209,16 @@ impl CircuitResult {
     /// Total CEGAR iterations across all outputs.
     pub fn total_cegar_iterations(&self) -> u64 {
         self.outputs.iter().map(|o| o.cegar_iterations).sum()
+    }
+
+    /// Total solver effort across all outputs — the work-budget
+    /// analogue of `cpu`. (Like the cache counters, scheduling can
+    /// shift *where* effort is booked under `jobs > 1` with a shared
+    /// cache; the per-output answers never change.)
+    pub fn total_effort(&self) -> EffortStats {
+        self.outputs
+            .iter()
+            .fold(EffortStats::default(), |acc, o| acc + o.effort)
     }
 
     /// Outputs served from the result cache in this run.
@@ -338,18 +358,11 @@ impl BiDecomposer {
             // tight benchmark loops) pays no thread spawn. Same claim
             // logic, same fail-fast semantics, same results.
             let aig = owned.as_ref().unwrap_or(circuit);
-            let circuit_deadline = start + self.config.budget.per_circuit;
+            let circuit = CircuitBudget::anchored(self.config.budget.per_circuit, start);
             let mut outputs = Vec::with_capacity(n_out);
             let mut timed_out = false;
             for idx in 0..n_out {
-                let r = run_queued(
-                    aig,
-                    &self.config,
-                    self.cache.as_deref(),
-                    idx,
-                    op,
-                    circuit_deadline,
-                )?;
+                let r = run_queued(aig, &self.config, self.cache.as_deref(), idx, op, &circuit)?;
                 timed_out |= r.timed_out;
                 outputs.push(r);
             }
@@ -403,11 +416,11 @@ pub(crate) fn run_queued(
     cache: Option<&ResultCache>,
     out_idx: usize,
     op: GateOp,
-    circuit_deadline: Instant,
+    circuit: &CircuitBudget,
 ) -> Result<OutputResult, StepError> {
     let output = &aig.outputs()[out_idx];
     let name = output.name().to_owned();
-    if Instant::now() >= circuit_deadline {
+    if circuit.expired() {
         // Skipped, not solved: report the real cone support so the
         // output doesn't masquerade as a constant function in
         // per-support statistics (the support walk is linear in the
@@ -415,7 +428,7 @@ pub(crate) fn run_queued(
         let support = aig.support(output.lit()).len();
         return Ok(OutputResult::budget_exhausted(name, out_idx, support));
     }
-    let job = OutputJob::new(config, out_idx, op).with_circuit_deadline(circuit_deadline);
+    let job = OutputJob::new(config, out_idx, op).with_circuit(circuit.clone());
     SolveSession::new(aig, job, config, cache)?
         .run()
         .map_err(|e| match e {

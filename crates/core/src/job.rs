@@ -2,16 +2,17 @@
 //! decomposition work.
 //!
 //! A job carries everything a worker needs to decompose one primary
-//! output — the output index, the root operator and the wall-clock
-//! budgets — and nothing else. Jobs are `Copy`, contain no solver
-//! state, and are safe to hand to any thread: they are the unit of
+//! output — the output index, the root operator and the budgets (its
+//! own per-output [`Budget`] plus the shared circuit-scope
+//! [`CircuitBudget`]) — and nothing else. Jobs contain no solver
+//! state and are safe to hand to any thread: they are the unit of
 //! work a [`StepService`](crate::service::StepService) worker claims
 //! from a submission's queue. The mutable solving machinery lives in
-//! [`crate::session::SolveSession`].
+//! [`crate::session::SolveSession`], which turns the job's budgets
+//! into an [`EffortMeter`](crate::effort::EffortMeter).
 
-use std::time::{Duration, Instant};
-
-use crate::spec::{DecompConfig, GateOp};
+use crate::effort::CircuitBudget;
+use crate::spec::{Budget, DecompConfig, GateOp};
 
 /// Derives the simulation seed for a cone from the engine's base seed
 /// and the cone's canonical fingerprint hash.
@@ -37,45 +38,41 @@ pub fn cone_seed(base: u64, fingerprint: u128) -> u64 {
 ///
 /// Pure description only — no cone, no formulas, no solvers. Workers
 /// turn a job into a [`crate::session::SolveSession`] when they claim
-/// it from the queue.
-#[derive(Clone, Copy, Debug)]
+/// it from the queue. Cloning is cheap: the circuit budget shares its
+/// work pool rather than copying it.
+#[derive(Clone, Debug)]
 pub struct OutputJob {
     /// Index of the primary output to decompose.
     pub output_index: usize,
     /// Root operator of the bi-decomposition.
     pub op: GateOp,
-    /// Wall-clock budget for this output (the session anchors its
-    /// deadline at construction time, before cone extraction).
-    pub per_output: Duration,
-    /// Shared whole-circuit deadline, if the job is part of a circuit
-    /// run; the effective per-output deadline is capped by it.
-    pub circuit_deadline: Option<Instant>,
+    /// Budget for this output (the session anchors the wall component
+    /// at construction time, before cone extraction; the work
+    /// component meters solver conflicts).
+    pub per_output: Budget,
+    /// Shared circuit-scope limits, if the job is part of a circuit
+    /// run: the shared deadline caps the per-output one, and the
+    /// shared work pool is debited by every sibling output.
+    pub circuit: CircuitBudget,
 }
 
 impl OutputJob {
-    /// Builds the job for output `output_index` under `config`.
+    /// Builds the job for output `output_index` under `config` (no
+    /// circuit-scope limits; attach them with
+    /// [`with_circuit`](OutputJob::with_circuit)).
     pub fn new(config: &DecompConfig, output_index: usize, op: GateOp) -> Self {
         OutputJob {
             output_index,
             op,
             per_output: config.budget.per_output,
-            circuit_deadline: None,
+            circuit: CircuitBudget::default(),
         }
     }
 
-    /// Caps the job by a shared whole-circuit deadline.
-    pub fn with_circuit_deadline(mut self, deadline: Instant) -> Self {
-        self.circuit_deadline = Some(deadline);
+    /// Caps the job by the shared circuit-scope budget.
+    pub fn with_circuit(mut self, circuit: CircuitBudget) -> Self {
+        self.circuit = circuit;
         self
-    }
-
-    /// The effective deadline for a session starting at `start`.
-    pub fn deadline_from(&self, start: Instant) -> Instant {
-        let own = start + self.per_output;
-        match self.circuit_deadline {
-            Some(c) => own.min(c),
-            None => own,
-        }
     }
 }
 
@@ -102,14 +99,19 @@ mod tests {
     }
 
     #[test]
-    fn deadline_capped_by_circuit() {
-        let start = Instant::now();
-        let job = OutputJob {
-            output_index: 0,
-            op: GateOp::Or,
-            per_output: Duration::from_secs(60),
-            circuit_deadline: Some(start + Duration::from_secs(1)),
-        };
-        assert_eq!(job.deadline_from(start), start + Duration::from_secs(1));
+    fn job_carries_its_budgets() {
+        use crate::spec::Model;
+        let mut config = DecompConfig::new(Model::QbfDisjoint);
+        config.budget.per_output = Budget::Work(123);
+        let start = std::time::Instant::now();
+        let circuit =
+            CircuitBudget::anchored(Budget::Wall(std::time::Duration::from_secs(1)), start);
+        let job = OutputJob::new(&config, 3, GateOp::Or).with_circuit(circuit);
+        assert_eq!(job.output_index, 3);
+        assert_eq!(job.per_output, Budget::Work(123));
+        assert_eq!(
+            job.circuit.deadline,
+            Some(start + std::time::Duration::from_secs(1))
+        );
     }
 }

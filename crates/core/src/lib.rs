@@ -46,6 +46,7 @@
 //! See the crate-level example on [`BiDecomposer`].
 
 pub mod cache;
+pub mod effort;
 pub mod engine;
 pub mod extract;
 pub mod job;
@@ -64,6 +65,7 @@ pub mod strategy;
 pub mod verify;
 
 pub use cache::{CacheKey, CacheLookup, CachedResult, ResultCache};
+pub use effort::{CallLimits, CircuitBudget, EffortMeter, WorkPool};
 pub use engine::{BiDecomposer, CircuitResult, OutputResult, StepError};
 pub use extract::{extract, extract_by_quantification, Decomposition, ExtractError};
 pub use job::{cone_seed, OutputJob};
@@ -71,7 +73,9 @@ pub use network::{decompose_tree, DecompTree, TreeNode, TreeOptions};
 pub use partition::{VarClass, VarPartition};
 pub use service::{OutputEvent, StepService, SubmissionHandle, SubmissionId};
 pub use session::SolveSession;
-pub use spec::{BudgetPolicy, DecompConfig, GateOp, Model, SearchStrategy};
+pub use spec::{Budget, BudgetPolicy, DecompConfig, GateOp, Model, SearchStrategy};
+// The effort-counter vocabulary is shared with the solver layers.
+pub use step_sat::EffortStats;
 pub use strategy::{strategy_for, ModelStrategy, StrategyOutcome};
 pub use verify::{verify, VerifyError};
 

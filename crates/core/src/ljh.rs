@@ -10,8 +10,7 @@
 //! of `XC` — preferring the smaller block to keep the result balanced,
 //! exactly the quality-directed variant the paper benchmarks.
 
-use std::time::Instant;
-
+use crate::effort::EffortMeter;
 use crate::oracle::PartitionOracle;
 use crate::partition::{VarClass, VarPartition};
 
@@ -27,14 +26,16 @@ pub enum LjhOutcome {
     Timeout,
 }
 
-/// Runs the LJH heuristic on the oracle's core.
+/// Runs the LJH heuristic on the oracle's core, charging every SAT
+/// call to `meter` (a timeout is reported when any of its budgets —
+/// wall or work — runs out).
 ///
 /// `candidates[i][j]` (from [`crate::oracle::sim_filter_pairs`])
 /// pre-filters seed pairs; pass `None` to try all pairs.
 pub fn decompose(
     oracle: &mut PartitionOracle,
     candidates: Option<&[Vec<bool>]>,
-    deadline: Option<Instant>,
+    meter: &mut EffortMeter,
 ) -> LjhOutcome {
     let n = oracle.core().n;
     if n < 2 {
@@ -52,7 +53,7 @@ pub fn decompose(
                     continue;
                 }
             }
-            match oracle.check_seed(i, j, deadline) {
+            match oracle.check_seed(i, j, meter) {
                 Some(true) => {
                     seed = Some((i, j));
                     break 'seeds;
@@ -86,7 +87,7 @@ pub fn decompose(
         for target in order {
             classes[v] = target;
             let p = VarPartition::new(classes.clone());
-            match oracle.check(&p, deadline) {
+            match oracle.check(&p, meter) {
                 Some(true) => {
                     if target == VarClass::A {
                         num_a += 1;

@@ -12,11 +12,10 @@
 //! which is why STEP-MG is the fastest model in the paper's Table III
 //! and is used to bootstrap the QBF search bounds.
 
-use std::time::Instant;
-
 use step_cnf::{tseitin::AigCnf, Cnf, Lit};
-use step_mus::{group_mus, MusConfig};
+use step_mus::{group_mus_with_effort, MusConfig};
 
+use crate::effort::EffortMeter;
 use crate::oracle::{CoreFormula, PartitionOracle};
 use crate::partition::{VarClass, VarPartition};
 use crate::spec::GateOp;
@@ -24,21 +23,29 @@ use crate::spec::GateOp;
 /// Outcome of a STEP-MG run.
 #[derive(Clone, Debug, PartialEq)]
 pub enum MgOutcome {
-    /// A partition was found.
+    /// A partition was found by a complete MUS refinement — the
+    /// definitive STEP-MG answer for this cone (a pure function of the
+    /// core, cacheable).
     Partition(VarPartition),
+    /// A budget truncated the MUS refinement: the partition is valid
+    /// but possibly cruder than an unbudgeted run's (the bare seed
+    /// pair in the worst case). Budget-dependent — callers must report
+    /// it as a timeout and never cache it as the cone's answer.
+    TruncatedPartition(VarPartition),
     /// No non-trivial partition exists for this operator.
     NotDecomposable,
-    /// The budget expired.
+    /// The budget expired before any partition was found.
     Timeout,
 }
 
-/// Runs STEP-MG. `oracle` supplies the seed search (and must wrap the
-/// same core the groups are built from); `candidates` optionally
-/// pre-filters seed pairs.
+/// Runs STEP-MG, charging every SAT call (seed search and MUS
+/// extraction alike) to `meter`. `oracle` supplies the seed search
+/// (and must wrap the same core the groups are built from);
+/// `candidates` optionally pre-filters seed pairs.
 pub fn decompose(
     oracle: &mut PartitionOracle,
     candidates: Option<&[Vec<bool>]>,
-    deadline: Option<Instant>,
+    meter: &mut EffortMeter,
 ) -> MgOutcome {
     let n = oracle.core().n;
     if n < 2 {
@@ -57,7 +64,7 @@ pub fn decompose(
                     continue;
                 }
             }
-            match oracle.check_seed(i, j, deadline) {
+            match oracle.check_seed(i, j, meter) {
                 Some(true) => {
                     seed = Some((i, j));
                     break 'seeds;
@@ -71,25 +78,34 @@ pub fn decompose(
         return MgOutcome::NotDecomposable;
     };
 
-    match partition_from_mus(oracle.core(), si, sj, deadline) {
-        Some(p) => MgOutcome::Partition(p),
+    match partition_from_mus(oracle.core(), si, sj, meter) {
+        Some((p, true)) => MgOutcome::Partition(p),
+        // Non-minimal MUS: sound, but a budget cut the refinement
+        // short — a different budget would refine further.
+        Some((p, false)) => MgOutcome::TruncatedPartition(p),
         None => {
-            // MUS budget ran out; the seed partition is still valid.
+            // Even the initial MUS solve was truncated (the instance is
+            // UNSAT by construction once a seed validates, so `None`
+            // can only mean budget); the seed partition is still valid.
             let mut classes = vec![VarClass::C; n];
             classes[si] = VarClass::A;
             classes[sj] = VarClass::B;
-            MgOutcome::Partition(VarPartition::new(classes))
+            MgOutcome::TruncatedPartition(VarPartition::new(classes))
         }
     }
 }
 
-/// Builds the group-MUS instance and maps its result to a partition.
+/// Builds the group-MUS instance and maps its result to a partition
+/// plus whether minimality was fully established (budgets may cut the
+/// refinement short — such partitions are budget-dependent). The
+/// extraction runs under `meter`'s limits (deadline plus remaining
+/// work) and charges the effort it spent.
 fn partition_from_mus(
     core: &CoreFormula,
     seed_a: usize,
     seed_b: usize,
-    deadline: Option<Instant>,
-) -> Option<VarPartition> {
+    meter: &mut EffortMeter,
+) -> Option<(VarPartition, bool)> {
     let n = core.n;
     // Hard part: the operator body (copies of f), *without* the
     // equality constraints — those become the groups.
@@ -147,10 +163,14 @@ fn partition_from_mus(
     }
 
     let config = MusConfig {
-        deadline,
+        deadline: meter.deadline(),
         conflicts_per_call: None,
+        effort_budget: meter.remaining_work(),
     };
-    let mus = group_mus(&cnf, &groups, &config)?;
+    let (mus, effort) = group_mus_with_effort(&cnf, &groups, &config);
+    meter.charge(effort);
+    let mus = mus?;
+    let minimal = mus.minimal;
 
     // Kept group ⇒ the equality stays ⇒ the variable is NOT freed on
     // that side. Dropped α-group ⇒ variable may join XA, etc.
@@ -200,5 +220,5 @@ fn partition_from_mus(
             (false, false) => VarClass::C,
         };
     }
-    Some(VarPartition::new(classes))
+    Some((VarPartition::new(classes), minimal))
 }

@@ -9,8 +9,7 @@
 //! and **MD→Bin→MI** follows the paper's best-for-disjointness
 //! pipeline.
 
-use std::time::Instant;
-
+use crate::effort::EffortMeter;
 use crate::oracle::CoreFormula;
 use crate::partition::VarPartition;
 use crate::qbf_model::{solve_partition, ModelOptions, QbfModelOutcome, Target};
@@ -81,19 +80,27 @@ pub struct OptimumResult {
     pub qbf_calls: u32,
     /// QBF solves that timed out.
     pub timeouts: u32,
+    /// A budget truncated the search before optimality was settled —
+    /// either a probe timed out, or the meter ran dry between probes.
+    /// (`timeouts == 0 && truncated` is possible: the budget can trip
+    /// on the bootstrap's last SAT call, leaving nothing for QBF.)
+    pub truncated: bool,
     /// Total CEGAR iterations across calls.
     pub cegar_iterations: u64,
 }
 
 /// Searches the optimum `k` for `metric`, starting from an optional
 /// bootstrap partition (the paper bootstraps with STEP-MG, so the
-/// result is never worse than the bootstrap).
+/// result is never worse than the bootstrap). Every QBF probe runs
+/// under `meter` (which also supplies the per-call limits via
+/// `opts.per_call`) and charges its inner-SAT effort to it.
 pub fn search(
     core: &CoreFormula,
     metric: Metric,
     bootstrap: Option<&VarPartition>,
     strategy: SearchStrategy,
     opts: &ModelOptions,
+    meter: &mut EffortMeter,
 ) -> OptimumResult {
     let n = core.n;
     let mut result = OptimumResult {
@@ -101,6 +108,7 @@ pub fn search(
         proved_optimal: false,
         qbf_calls: 0,
         timeouts: 0,
+        truncated: false,
         cegar_iterations: 0,
     };
     if n < 2 {
@@ -114,7 +122,7 @@ pub fn search(
         None => {
             // No bootstrap: establish existence at the loosest bound.
             let k = metric.k_max(n);
-            match probe(core, metric, k, opts, &mut result) {
+            match probe(core, metric, k, opts, meter, &mut result) {
                 ProbeResult::Feasible(p) => {
                     let kk = metric.k_of(&p);
                     result.partition = Some(p);
@@ -133,10 +141,9 @@ pub fn search(
     let mut mi_mode = false;
 
     while lo < best_k {
-        if let Some(d) = opts.deadline {
-            if Instant::now() >= d {
-                return result;
-            }
+        if meter.exhausted() {
+            result.truncated = true;
+            return result;
         }
         let k = match strategy {
             SearchStrategy::MonotoneIncreasing => lo,
@@ -154,7 +161,7 @@ pub fn search(
                 }
             }
         };
-        match probe(core, metric, k, opts, &mut result) {
+        match probe(core, metric, k, opts, meter, &mut result) {
             ProbeResult::Feasible(p) => {
                 best_k = metric.k_of(&p).min(k);
                 result.partition = Some(p);
@@ -180,16 +187,18 @@ fn probe(
     metric: Metric,
     k: usize,
     opts: &ModelOptions,
+    meter: &mut EffortMeter,
     result: &mut OptimumResult,
 ) -> ProbeResult {
     result.qbf_calls += 1;
-    let (outcome, stats) = solve_partition(core, metric.target(k), opts);
+    let (outcome, stats) = solve_partition(core, metric.target(k), opts, meter);
     result.cegar_iterations += stats.cegar_iterations;
     match outcome {
         QbfModelOutcome::Partition(p) => ProbeResult::Feasible(p.normalized()),
         QbfModelOutcome::NoPartition => ProbeResult::Infeasible,
         QbfModelOutcome::Timeout => {
             result.timeouts += 1;
+            result.truncated = true;
             ProbeResult::Timeout
         }
     }

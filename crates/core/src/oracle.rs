@@ -19,18 +19,21 @@
 //! [`PartitionOracle`] Tseitin-encodes the core once into an
 //! incremental SAT solver and answers per-partition queries through
 //! assumptions — the engine behind the LJH baseline, seed-pair search
-//! and decomposability checks. [`sim_filter_pairs`] is the 64-bit
+//! and decomposability checks. Every query runs under an
+//! [`EffortMeter`]: the oracle derives the call's deadline and
+//! conflict budget from it and charges the work the call spent, so
+//! truncation under a [`Work`](crate::spec::Budget::Work) budget is
+//! deterministic. [`sim_filter_pairs`] is the 64-bit
 //! random-simulation pre-filter that discards seed pairs with a
 //! simulated counterexample before any SAT call.
-
-use std::time::Instant;
 
 use step_aig::{Aig, AigLit};
 use step_cnf::{tseitin::AigCnf, Cnf, Lit};
 use step_sat::{SolveResult, Solver};
 
+use crate::effort::EffortMeter;
 use crate::partition::{VarClass, VarPartition};
-use crate::spec::GateOp;
+use crate::spec::{Budget, GateOp};
 
 /// The paper's core formula as an AIG with designated control inputs.
 #[derive(Clone, Debug)]
@@ -225,21 +228,26 @@ impl PartitionOracle {
     /// Checks a full partition. `Some(true)` = valid bi-decomposition
     /// partition (core UNSAT), `Some(false)` = invalid, `None` = budget
     /// expired.
-    pub fn check(&mut self, p: &VarPartition, deadline: Option<Instant>) -> Option<bool> {
+    pub fn check(&mut self, p: &VarPartition, meter: &mut EffortMeter) -> Option<bool> {
         debug_assert_eq!(p.len(), self.core.n);
         let alpha: Vec<bool> = p.classes().iter().map(|&c| c == VarClass::A).collect();
         let beta: Vec<bool> = p.classes().iter().map(|&c| c == VarClass::B).collect();
-        self.check_raw(&alpha, &beta, deadline)
+        self.check_raw(&alpha, &beta, meter)
     }
 
     /// Checks raw `α`/`β` vectors (a variable may be relaxed in both
-    /// copies).
+    /// copies). The call runs under `meter`'s limits and charges the
+    /// effort it spent; an exhausted meter short-circuits to `None`
+    /// without touching the solver.
     pub fn check_raw(
         &mut self,
         alpha: &[bool],
         beta: &[bool],
-        deadline: Option<Instant>,
+        meter: &mut EffortMeter,
     ) -> Option<bool> {
+        if meter.exhausted() {
+            return None;
+        }
         let assumptions: Vec<Lit> = self
             .alpha_lits
             .iter()
@@ -252,9 +260,14 @@ impl PartitionOracle {
                     .map(|(&l, &v)| l.xor_sign(!v)),
             )
             .collect();
-        self.solver.set_deadline(deadline);
+        let limits = meter.call_limits(Budget::Unlimited);
+        self.solver.set_deadline(limits.deadline);
+        self.solver.set_effort_budget(limits.conflicts);
         self.sat_calls += 1;
-        match self.solver.solve_with_assumptions(&assumptions) {
+        let before = self.solver.effort();
+        let result = self.solver.solve_with_assumptions(&assumptions);
+        meter.charge(self.solver.effort().since(before));
+        match result {
             SolveResult::Unsat => Some(true),
             SolveResult::Sat => Some(false),
             SolveResult::Unknown => None,
@@ -262,12 +275,12 @@ impl PartitionOracle {
     }
 
     /// Checks the seed partition `XA = {i}`, `XB = {j}`, rest shared.
-    pub fn check_seed(&mut self, i: usize, j: usize, deadline: Option<Instant>) -> Option<bool> {
+    pub fn check_seed(&mut self, i: usize, j: usize, meter: &mut EffortMeter) -> Option<bool> {
         let mut alpha = vec![false; self.core.n];
         let mut beta = vec![false; self.core.n];
         alpha[i] = true;
         beta[j] = true;
-        self.check_raw(&alpha, &beta, deadline)
+        self.check_raw(&alpha, &beta, meter)
     }
 }
 

@@ -20,14 +20,14 @@
 //! (`step-qbf`) solves the ∃∀ form directly and returns the witness,
 //! which is the same object.
 
-use std::time::Instant;
-
 use step_cnf::card::{assert_count_dominates, assert_diff_le, at_least_one, Totalizer};
 use step_cnf::{Cnf, Lit};
 use step_qbf::{ExistsForall, Qbf2Config, Qbf2Result};
 
+use crate::effort::EffortMeter;
 use crate::oracle::CoreFormula;
 use crate::partition::{VarClass, VarPartition};
+use crate::spec::Budget;
 
 /// The `fT` target constraint attached to formulation (4).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -55,20 +55,20 @@ pub enum Target {
     },
 }
 
-/// Options shared by all QBF model solves.
+/// Options shared by all QBF model solves. Run-scope limits (the
+/// per-output deadline and work budget) live in the
+/// [`EffortMeter`] handed to [`solve_partition`]; the options only
+/// carry the per-call budget.
 #[derive(Clone, Copy, Debug)]
 pub struct ModelOptions {
     /// Add `|XA| ≥ |XB|` (implied by the balanced/combined windows).
     pub symmetry_breaking: bool,
     /// Allow `(αᵢ, βᵢ) = (1,1)` (see DESIGN.md §3.3).
     pub allow_both: bool,
-    /// Overall wall-clock deadline (e.g. the per-output budget).
-    pub deadline: Option<Instant>,
-    /// Wall-clock limit for one QBF solve — the paper's 4-second
-    /// per-call timeout.
-    pub per_call_timeout: Option<std::time::Duration>,
-    /// Conflict budget per inner SAT call.
-    pub conflicts_per_call: Option<u64>,
+    /// Budget for one QBF solve — the paper's 4-second per-call
+    /// timeout, or its deterministic [`Budget::Work`] analogue (total
+    /// inner-SAT conflicts of the CEGAR call).
+    pub per_call: Budget,
 }
 
 impl Default for ModelOptions {
@@ -76,21 +76,7 @@ impl Default for ModelOptions {
         ModelOptions {
             symmetry_breaking: true,
             allow_both: false,
-            deadline: None,
-            per_call_timeout: None,
-            conflicts_per_call: None,
-        }
-    }
-}
-
-impl ModelOptions {
-    /// The deadline for a QBF solve starting now: the tighter of the
-    /// global deadline and the per-call timeout.
-    fn call_deadline(&self) -> Option<Instant> {
-        let per_call = self.per_call_timeout.map(|d| Instant::now() + d);
-        match (self.deadline, per_call) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
+            per_call: Budget::Unlimited,
         }
     }
 }
@@ -113,19 +99,29 @@ pub struct QbfModelStats {
     pub cegar_iterations: u64,
 }
 
-/// Solves formulation (4) for the given target.
+/// Solves formulation (4) for the given target. The call's limits are
+/// the per-call budget in `opts` capped by what remains of `meter`
+/// (deadline and work alike), and the whole CEGAR run's inner-SAT
+/// effort is charged to `meter` afterwards — so per-output work
+/// budgets account QBF solving exactly like oracle SAT calls.
 pub fn solve_partition(
     core: &CoreFormula,
     target: Target,
     opts: &ModelOptions,
+    meter: &mut EffortMeter,
 ) -> (QbfModelOutcome, QbfModelStats) {
+    if meter.exhausted() {
+        return (QbfModelOutcome::Timeout, QbfModelStats::default());
+    }
     let n = core.n;
     let matrix = !core.root; // ∀Y. ¬core
     let mut solver = ExistsForall::new(core.aig.clone(), matrix, core.e_pis(), core.y_pis());
+    let limits = meter.call_limits(opts.per_call);
     solver.set_config(Qbf2Config {
         max_iterations: None,
-        deadline: opts.call_deadline(),
-        conflicts_per_call: opts.conflicts_per_call,
+        deadline: limits.deadline,
+        conflicts_per_call: None,
+        effort_budget: limits.conflicts,
     });
 
     let symmetry = opts.symmetry_breaking;
@@ -216,6 +212,8 @@ pub fn solve_partition(
         Qbf2Result::Invalid => QbfModelOutcome::NoPartition,
         Qbf2Result::Unknown => QbfModelOutcome::Timeout,
     };
+    // Charge the CEGAR iterations' inner-SAT work to the QBF call.
+    meter.charge(solver.effort());
     let stats = QbfModelStats {
         cegar_iterations: solver.stats().iterations,
     };

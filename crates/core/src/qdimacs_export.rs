@@ -309,7 +309,8 @@ mod tests {
         ] {
             let model = export_qdimacs(&core, target, &ExportOptions::default());
             assert!(parse_qdimacs(&model.text).is_ok());
-            let (outcome, _) = solve_partition(&core, target, &ModelOptions::default());
+            let mut meter = crate::effort::EffortMeter::unlimited();
+            let (outcome, _) = solve_partition(&core, target, &ModelOptions::default(), &mut meter);
             assert_eq!(
                 matches!(outcome, QbfModelOutcome::Partition(_)),
                 feasible,
@@ -329,10 +330,12 @@ mod tests {
         let t = aig.or(a, b);
         let f = aig.and(s, t);
         let core = CoreFormula::build(&aig, f, crate::GateOp::Or);
+        let mut meter = crate::effort::EffortMeter::unlimited();
         let (outcome, _) = solve_partition(
             &core,
             Target::Weighted { wd: 3, wb: 1, k: 3 },
             &ModelOptions::default(),
+            &mut meter,
         );
         match outcome {
             QbfModelOutcome::Partition(p) => {
@@ -346,6 +349,7 @@ mod tests {
             &core,
             Target::Weighted { wd: 3, wb: 1, k: 2 },
             &ModelOptions::default(),
+            &mut meter,
         );
         assert_eq!(outcome, QbfModelOutcome::NoPartition);
     }

@@ -9,10 +9,15 @@
 //! owns a pool of worker threads **spawned once** and a queue of
 //! submissions, each submission being one `(circuit, op, config)`
 //! decomposition request. Workers claim [`OutputJob`]-shaped units
-//! (one primary output at a time) from the front submission, so a
-//! single large circuit fans out over the pool exactly like the old
-//! scoped driver — and independent submissions drain through the same
-//! pool back-to-back, which is what lets the `table3`/`fig1` harnesses
+//! (one primary output at a time) from the highest-priority queued
+//! submission: already-started submissions drain first (the pop is
+//! non-preemptive — a started submission's per-circuit budget is
+//! anchored and ticking, so nothing may jump ahead of it), then
+//! earliest explicit deadline ([`StepService::submit_with_deadline`]),
+//! then FIFO among submissions without deadlines. A single large
+//! circuit thus fans out over the pool exactly like the old scoped
+//! driver, and independent submissions drain through the same pool
+//! back-to-back, which is what lets the `table3`/`fig1` harnesses
 //! shard their whole model × circuit product instead of parallelizing
 //! only within a circuit.
 //!
@@ -37,9 +42,13 @@
 //! sim seeds, see [`crate::session`]), so a service with any worker
 //! count returns byte-identical per-output results — `jobs = 1` ≡
 //! `jobs = N`, with or without the shared [`ResultCache`], queued
-//! behind any other submissions. The per-circuit wall-clock budget
-//! anchors when a submission's *first* output is claimed, not at
-//! submit time, so queue wait never eats a submission's budget.
+//! behind any other submissions. The per-circuit budget anchors when
+//! a submission's *first* output is claimed, not at submit time (its
+//! work component is a pool only this submission's outputs debit), so
+//! queue wait never eats a submission's budget; under a pure
+//! [`Budget::Work`](crate::spec::Budget::Work) per-output budget even
+//! truncation verdicts are identical for any worker count (see
+//! [`crate::effort`]).
 //!
 //! **Fault containment.** A panicking solve is caught at the pool
 //! boundary ([`std::panic::catch_unwind`]) and surfaced as
@@ -61,6 +70,7 @@ use std::time::Instant;
 use step_aig::Aig;
 
 use crate::cache::ResultCache;
+use crate::effort::{CircuitBudget, WorkPool};
 use crate::engine::{run_queued, CircuitResult, OutputResult, StepError};
 use crate::spec::{DecompConfig, GateOp};
 
@@ -95,7 +105,8 @@ enum DeadlinePolicy {
     /// `first claim + config.budget.per_circuit` (the legacy rule).
     Budget,
     /// An absolute caller-supplied instant, additionally capped by the
-    /// per-circuit budget.
+    /// per-circuit budget. Also the submission's queue priority:
+    /// deadlined submissions are claimed earliest-deadline-first.
     Explicit(Instant),
 }
 
@@ -107,6 +118,10 @@ struct Submission {
     op: GateOp,
     config: DecompConfig,
     deadline_policy: DeadlinePolicy,
+    /// The work component of the per-circuit budget: a pool shared by
+    /// every output of this submission, debited as they solve. Created
+    /// at submit (work needs no anchoring — queue wait costs none).
+    work_pool: Option<Arc<WorkPool>>,
     /// Anchored when the first output is claimed (so queue wait does
     /// not consume the per-circuit budget).
     started: OnceLock<Instant>,
@@ -129,15 +144,63 @@ struct Submission {
 }
 
 impl Submission {
-    /// The circuit-wide deadline, anchoring the per-circuit budget at
-    /// the first claim.
-    fn deadline(&self) -> Instant {
+    /// The circuit-scope limits, anchoring the wall component of the
+    /// per-circuit budget at the first claim (the work pool was
+    /// created at submit; it needs no anchor).
+    fn circuit_budget(&self) -> CircuitBudget {
         let start = *self.started.get_or_init(Instant::now);
-        let budget = start + self.config.budget.per_circuit;
-        match self.deadline_policy {
+        let budget = self.config.budget.per_circuit.wall().map(|d| start + d);
+        let deadline = match self.deadline_policy {
             DeadlinePolicy::Budget => budget,
-            DeadlinePolicy::Explicit(d) => d.min(budget),
+            DeadlinePolicy::Explicit(d) => Some(match budget {
+                Some(b) => d.min(b),
+                None => d,
+            }),
+        };
+        CircuitBudget {
+            deadline,
+            work: self.work_pool.clone(),
         }
+    }
+
+    /// The queue priority: an explicit deadline, if the caller set
+    /// one. Queued submissions are claimed earliest-deadline-first;
+    /// submissions without deadlines keep FIFO order (by id) among
+    /// themselves, behind any deadlined ones.
+    fn queue_deadline(&self) -> Option<Instant> {
+        match self.deadline_policy {
+            DeadlinePolicy::Budget => None,
+            DeadlinePolicy::Explicit(d) => Some(d),
+        }
+    }
+
+    /// The queue ordering key (smaller claims first): *started*
+    /// submissions drain before anything else starts, then earliest
+    /// explicit deadline (deadlined before deadline-less), then FIFO
+    /// by id.
+    ///
+    /// The started-first rule makes the EDF pop **non-preemptive**: a
+    /// submission's per-circuit budget anchors at its first claim, so
+    /// once any output has been claimed, letting later (even tighter-
+    /// deadline) arrivals jump ahead would bill the started submission
+    /// for time it never got — the starvation the budget anchoring
+    /// exists to prevent. Until that first claim, jumping the queue is
+    /// free, which is exactly the window EDF reorders.
+    #[allow(clippy::type_complexity)]
+    fn queue_rank(&self) -> (bool, u8, Option<Instant>, u64) {
+        // `false < true`, so started submissions (some claim handed
+        // out) rank first.
+        let unstarted = self.next.load(Ordering::Acquire) == 0;
+        match self.queue_deadline() {
+            Some(d) => (unstarted, 0, Some(d), self.id.0),
+            None => (unstarted, 1, None, self.id.0),
+        }
+    }
+
+    /// Whether `self` should be claimed before `other` (the
+    /// non-preemptive EDF rule — see [`Submission::queue_rank`]).
+    fn claims_before(&self, other: &Submission) -> bool {
+        self.queue_rank() < other.queue_rank()
     }
 
     /// Whether claimed outputs should be skipped instead of solved.
@@ -187,7 +250,9 @@ struct ServiceShared {
 }
 
 /// A long-running decomposition service: a persistent worker pool fed
-/// by a FIFO queue of circuit submissions. See the module docs.
+/// by a queue of circuit submissions (non-preemptive
+/// earliest-deadline-first: started submissions drain first, then
+/// deadlined ones by deadline, then FIFO). See the module docs.
 ///
 /// ```
 /// use step_aig::Aig;
@@ -362,12 +427,18 @@ impl StepService {
         let submitted = Instant::now();
         let n_out = aig.num_outputs();
         let (tx, rx) = channel();
+        let work_pool = config
+            .budget
+            .per_circuit
+            .work()
+            .map(|w| Arc::new(WorkPool::new(w)));
         let sub = Arc::new(Submission {
             id: SubmissionId(self.shared.next_id.fetch_add(1, Ordering::Relaxed)),
             aig,
             op,
             config,
             deadline_policy,
+            work_pool,
             started: OnceLock::new(),
             finished: OnceLock::new(),
             submitted,
@@ -432,9 +503,11 @@ impl Drop for StepService {
     }
 }
 
-/// The worker loop: claim the next output index from the front
-/// submission, solve it, report the event; park on the condvar when
-/// the queue is empty.
+/// The worker loop: claim the next output index from the
+/// highest-priority queued submission (started first, then earliest
+/// explicit deadline, then FIFO — see [`Submission::queue_rank`]),
+/// solve it, report the event; park on the condvar when the queue is
+/// empty.
 fn worker_loop(shared: &ServiceShared) {
     loop {
         let claimed = {
@@ -443,21 +516,33 @@ fn worker_loop(shared: &ServiceShared) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                let mut found = None;
-                while let Some(front) = queue.front() {
-                    let idx = front.next.fetch_add(1, Ordering::AcqRel);
-                    if idx < front.n_out {
-                        found = Some((Arc::clone(front), idx));
-                        break;
+                // Retire submissions whose every index has been handed
+                // out (claims also happen outside this lock, on the
+                // cancellation drain path).
+                queue.retain(|s| s.next.load(Ordering::Acquire) < s.n_out);
+                let mut best: Option<usize> = None;
+                for (i, s) in queue.iter().enumerate() {
+                    if best.is_none_or(|b| s.claims_before(&queue[b])) {
+                        best = Some(i);
                     }
-                    // Every index handed out: this submission is fully
-                    // claimed (not necessarily finished) — retire it.
-                    queue.pop_front();
+                }
+                let mut found = None;
+                if let Some(b) = best {
+                    let sub = Arc::clone(&queue[b]);
+                    let idx = sub.next.fetch_add(1, Ordering::AcqRel);
+                    if idx < sub.n_out {
+                        found = Some((sub, idx));
+                    }
+                    // Else a concurrent cancel drain beat us to the
+                    // last index; the retain above collects it next
+                    // iteration.
                 }
                 if let Some(claimed) = found {
                     break claimed;
                 }
-                queue = shared.work.wait(queue).expect("service queue lock");
+                if best.is_none() {
+                    queue = shared.work.wait(queue).expect("service queue lock");
+                }
             }
         };
         let (sub, idx) = claimed;
@@ -473,7 +558,7 @@ fn run_claimed(shared: &ServiceShared, sub: &Submission, idx: usize) {
         sub.send_event(idx, Err(StepError::Cancelled));
         return;
     }
-    let deadline = sub.deadline();
+    let circuit = sub.circuit_budget();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         if sub.config.panic_on_output == Some(idx) {
             panic!("injected fault on output {idx}");
@@ -484,7 +569,7 @@ fn run_claimed(shared: &ServiceShared, sub: &Submission, idx: usize) {
             shared.cache.as_deref(),
             idx,
             sub.op,
-            deadline,
+            &circuit,
         )
     }));
     let result = match outcome {
@@ -900,6 +985,107 @@ mod tests {
             assert!(!out.solved);
             assert_eq!(out.support, 4, "real cone support still reported");
         }
+    }
+
+    /// A detached submission shell for exercising the queue-ordering
+    /// rule in isolation (never enqueued on a live service).
+    fn rank_sub(id: u64, deadline: Option<Instant>) -> Submission {
+        let (tx, _rx) = channel();
+        Submission {
+            id: SubmissionId(id),
+            aig: Arc::new(twin_aig()),
+            op: GateOp::Or,
+            config: config(Model::MusGroup),
+            deadline_policy: deadline.map_or(DeadlinePolicy::Budget, DeadlinePolicy::Explicit),
+            work_pool: None,
+            started: OnceLock::new(),
+            finished: OnceLock::new(),
+            submitted: Instant::now(),
+            n_out: 2,
+            next: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            sent: AtomicUsize::new(0),
+            events: Mutex::new(Some(tx)),
+        }
+    }
+
+    #[test]
+    fn queue_rank_is_nonpreemptive_edf() {
+        let now = Instant::now();
+        let fifo_old = rank_sub(0, None);
+        let fifo_new = rank_sub(3, None);
+        let loose = rank_sub(1, Some(now + Duration::from_secs(3600)));
+        let tight = rank_sub(2, Some(now + Duration::from_secs(60)));
+        // EDF among unstarted: tighter deadline first, deadlined before
+        // deadline-less, FIFO by id among the deadline-less.
+        assert!(tight.claims_before(&loose), "earlier deadline wins");
+        assert!(loose.claims_before(&fifo_old), "deadlined before FIFO");
+        assert!(fifo_old.claims_before(&fifo_new), "FIFO by submit order");
+        assert!(!fifo_new.claims_before(&fifo_old));
+        // Non-preemption: once a submission has a claim out, its
+        // per-circuit budget is anchored and ticking — nothing jumps
+        // ahead of it, not even a tighter deadline.
+        fifo_old.next.fetch_add(1, Ordering::AcqRel);
+        assert!(
+            fifo_old.claims_before(&tight),
+            "a started submission is never preempted"
+        );
+        tight.next.fetch_add(1, Ordering::AcqRel);
+        assert!(
+            tight.claims_before(&fifo_old),
+            "among started submissions the deadline rules again"
+        );
+    }
+
+    #[test]
+    fn tighter_deadline_is_claimed_first() {
+        // Earliest-deadline-first queue pop: with the single worker
+        // pinned on guard submissions, a later-submitted but
+        // tighter-deadline submission must start before an earlier,
+        // looser one.
+        let aig = twin_aig();
+        let service = StepService::new(1);
+        // Several guards keep the worker busy long enough for the
+        // enqueues below to land while it is still solving.
+        let guards: Vec<_> = (0..3)
+            .map(|_| {
+                service
+                    .submit(&aig, GateOp::Or, config(Model::QbfDisjoint))
+                    .unwrap()
+            })
+            .collect();
+        let far = Instant::now() + Duration::from_secs(3600);
+        let near = Instant::now() + Duration::from_secs(600);
+        let mut loose = service
+            .submit_with_deadline(&aig, GateOp::Or, config(Model::QbfDisjoint), far)
+            .unwrap();
+        let mut tight = service
+            .submit_with_deadline(&aig, GateOp::Or, config(Model::QbfDisjoint), near)
+            .unwrap();
+        let mut fifo = service
+            .submit(&aig, GateOp::Or, config(Model::QbfDisjoint))
+            .unwrap();
+        // Drain the streams (join would consume the handles).
+        while tight.recv().is_some() {}
+        while loose.recv().is_some() {}
+        while fifo.recv().is_some() {}
+        for g in guards {
+            g.join().unwrap();
+        }
+        // `started` stamps the first claim of each submission; with
+        // one worker those claims are strictly ordered: the tight
+        // deadline before the loose one, both before the deadline-less
+        // FIFO straggler.
+        let started = |h: &SubmissionHandle| *h.sub.started.get().expect("submission ran");
+        assert!(
+            started(&tight) < started(&loose),
+            "tighter deadline must be claimed first"
+        );
+        assert!(
+            started(&loose) < started(&fifo),
+            "deadlined submissions go before deadline-less ones"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ use std::time::Instant;
 use step_aig::{canonicalize, Aig, CanonicalCone, Cone};
 
 use crate::cache::{CacheKey, CacheLookup, CachedResult, ResultCache};
+use crate::effort::EffortMeter;
 use crate::engine::{OutputResult, StepError};
 use crate::extract::{extract, ExtractError};
 use crate::job::{cone_seed, OutputJob};
@@ -52,7 +53,7 @@ pub struct SolveSession<'a> {
     name: String,
     cone: Cone,
     start: Instant,
-    deadline: Option<Instant>,
+    meter: EffortMeter,
     candidates: Option<Vec<Vec<bool>>>,
     oracle: Option<PartitionOracle>,
 }
@@ -88,7 +89,7 @@ impl<'a> SolveSession<'a> {
             .get(job.output_index)
             .ok_or(StepError::OutputOutOfRange(job.output_index))?;
         let name = output.name().to_owned();
-        let deadline = Some(job.deadline_from(start));
+        let meter = EffortMeter::new(start, job.per_output, &job.circuit);
         let cone = aig.cone(output.lit());
         Ok(SolveSession {
             config,
@@ -97,7 +98,7 @@ impl<'a> SolveSession<'a> {
             name,
             cone,
             start,
-            deadline,
+            meter,
             candidates: None,
             oracle: None,
         })
@@ -114,9 +115,9 @@ impl<'a> SolveSession<'a> {
         self.config
     }
 
-    /// The effective per-output deadline.
+    /// The effective wall deadline (`None` under pure work budgets).
     pub fn deadline(&self) -> Option<Instant> {
-        self.deadline
+        self.meter.deadline()
     }
 
     /// Support size of the output cone.
@@ -125,19 +126,23 @@ impl<'a> SolveSession<'a> {
     }
 
     /// Splits the session into the pieces a strategy needs: the
-    /// incremental oracle (mutable) and the surviving seed-pair
-    /// candidates (shared).
+    /// incremental oracle (mutable), the surviving seed-pair
+    /// candidates (shared) and the budget meter (mutable) — one
+    /// borrow per disjoint field, so a strategy can drive the oracle
+    /// while charging the meter.
     ///
     /// # Panics
     ///
     /// Panics if called before [`run`](SolveSession::run) has built the
     /// oracle — strategies are only ever invoked from `run`.
-    pub fn oracle_parts(&mut self) -> (&mut PartitionOracle, Option<&[Vec<bool>]>) {
+    pub fn solve_parts(
+        &mut self,
+    ) -> (&mut PartitionOracle, Option<&[Vec<bool>]>, &mut EffortMeter) {
         let oracle = self
             .oracle
             .as_mut()
             .expect("oracle is built before the strategy runs");
-        (oracle, self.candidates.as_deref())
+        (oracle, self.candidates.as_deref(), &mut self.meter)
     }
 
     /// Translates a canonical-order partition into this session's cone
@@ -168,11 +173,11 @@ impl<'a> SolveSession<'a> {
                 self.cone.root,
                 self.job.op,
                 &p,
-                self.deadline,
+                self.meter.deadline(),
             ) {
                 Ok(d) => {
                     if self.config.verify {
-                        verify(&d, self.deadline).map_err(|e| {
+                        verify(&d, self.meter.deadline()).map_err(|e| {
                             StepError::Internal(format!(
                                 "extracted decomposition failed verification: {e}"
                             ))
@@ -213,10 +218,11 @@ impl<'a> SolveSession<'a> {
             return Ok(result);
         }
         // The budget (anchored before cone extraction) may already be
-        // gone — typically a shared circuit deadline that expired while
-        // this output waited in the queue. Report it honestly instead
-        // of opening solvers that would only confirm the timeout.
-        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+        // gone — typically a shared circuit deadline or work pool that
+        // expired while this output waited in the queue. Report it
+        // honestly instead of opening solvers that would only confirm
+        // the timeout.
+        if self.meter.exhausted() {
             result.timed_out = true;
             result.cpu = self.start.elapsed();
             return Ok(result);
@@ -256,6 +262,7 @@ impl<'a> SolveSession<'a> {
 
         let outcome = strategy_for(self.config.model).solve(&mut self);
         result.sat_calls = self.oracle.as_ref().map_or(0, |o| o.sat_calls);
+        result.effort = self.meter.spent();
         result.qbf_calls = outcome.qbf_calls;
         result.cegar_iterations = outcome.cegar_iterations;
         result.proved_optimal = outcome.proved_optimal;

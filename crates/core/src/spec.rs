@@ -1,6 +1,16 @@
 //! Configuration types: gate operators, models, targets, budgets and
 //! search strategies.
+//!
+//! Budgets are expressed with the [`Budget`] type at three scopes
+//! ([`BudgetPolicy`]): per QBF call, per primary output and per
+//! circuit. A budget limits **wall clock**, **work** (solver
+//! conflicts, the machine-independent unit), or both (whichever trips
+//! first). Under a pure [`Budget::Work`] policy a run is fully
+//! deterministic — which outputs time out, and with what partial
+//! results, is byte-identical across machines, `--jobs` values and
+//! background load — because no decision anywhere consults a clock.
 
+use std::fmt;
 use std::time::Duration;
 
 /// The two-input gate at the root of the bi-decomposition.
@@ -85,25 +95,186 @@ pub enum SearchStrategy {
     MdBinMi,
 }
 
-/// Wall-clock budgets mirroring the paper's experimental setup
-/// (4 s per QBF call, 6000 s per circuit on their hardware; scaled
-/// defaults here).
-#[derive(Clone, Copy, Debug)]
+/// One budget: how much a unit of solving (a QBF call, an output, a
+/// circuit) may cost before it is truncated.
+///
+/// * [`Budget::Wall`] — elapsed wall-clock time, the paper's setup.
+///   Fast to check but machine- and load-dependent: the same run can
+///   time out on one host and finish on another.
+/// * [`Budget::Work`] — solver **conflicts**, the portable currency of
+///   SAT/QBF effort (see [`step_sat::EffortStats`]). Deterministic:
+///   truncation falls on the same solver call at the same conflict
+///   count everywhere.
+/// * [`Budget::Both`] — whichever trips first (a wall-clock safety net
+///   over a deterministic work budget).
+/// * [`Budget::Unlimited`] — no truncation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Budget {
+    /// No limit.
+    Unlimited,
+    /// Wall-clock limit.
+    Wall(Duration),
+    /// Work limit, in solver conflicts.
+    Work(u64),
+    /// Both limits; whichever trips first truncates.
+    Both {
+        /// The wall-clock component.
+        wall: Duration,
+        /// The work component, in solver conflicts.
+        work: u64,
+    },
+}
+
+impl Budget {
+    /// The wall-clock component, if any.
+    pub fn wall(&self) -> Option<Duration> {
+        match *self {
+            Budget::Wall(d) | Budget::Both { wall: d, .. } => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The work component (conflicts), if any.
+    pub fn work(&self) -> Option<u64> {
+        match *self {
+            Budget::Work(w) | Budget::Both { work: w, .. } => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Whether results under this budget are machine-independent: the
+    /// budget never consults a clock (`Work` or `Unlimited`).
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, Budget::Work(_) | Budget::Unlimited)
+    }
+
+    /// This budget with its work component set to `work` (keeping any
+    /// wall component) — the migration shim for callers of the old
+    /// `conflicts_per_call` knob.
+    pub fn with_work(self, work: u64) -> Budget {
+        match self {
+            Budget::Wall(wall) | Budget::Both { wall, .. } => Budget::Both { wall, work },
+            Budget::Work(_) | Budget::Unlimited => Budget::Work(work),
+        }
+    }
+
+    /// Parses a budget specification:
+    ///
+    /// * `unlimited` (or `none`);
+    /// * `wall:<n><ms|s|m|h>` — e.g. `wall:60s`, `wall:500ms`;
+    /// * `work:<n>[k|m|g]` — conflicts, e.g. `work:200k`;
+    /// * `both:<dur>,<n>` — e.g. `both:60s,200k`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed component.
+    pub fn parse(s: &str) -> Result<Budget, String> {
+        fn duration(s: &str) -> Result<Duration, String> {
+            let (num, mul_ms) = if let Some(n) = s.strip_suffix("ms") {
+                (n, 1u64)
+            } else if let Some(n) = s.strip_suffix('s') {
+                (n, 1000)
+            } else if let Some(n) = s.strip_suffix('m') {
+                (n, 60_000)
+            } else if let Some(n) = s.strip_suffix('h') {
+                (n, 3_600_000)
+            } else {
+                return Err(format!("duration `{s}` needs a unit (ms, s, m, h)"));
+            };
+            let n: u64 = num
+                .parse()
+                .map_err(|_| format!("bad duration value `{s}`"))?;
+            Ok(Duration::from_millis(n.saturating_mul(mul_ms)))
+        }
+        fn work(s: &str) -> Result<u64, String> {
+            let (num, mul) = if let Some(n) = s.strip_suffix(['k', 'K']) {
+                (n, 1_000u64)
+            } else if let Some(n) = s.strip_suffix(['m', 'M']) {
+                (n, 1_000_000)
+            } else if let Some(n) = s.strip_suffix(['g', 'G']) {
+                (n, 1_000_000_000)
+            } else {
+                (s, 1)
+            };
+            let n: u64 = num
+                .parse()
+                .map_err(|_| format!("bad work (conflict) count `{s}`"))?;
+            Ok(n.saturating_mul(mul))
+        }
+        match s {
+            "unlimited" | "none" => Ok(Budget::Unlimited),
+            _ => match s.split_once(':') {
+                Some(("wall", d)) => Ok(Budget::Wall(duration(d)?)),
+                Some(("work", w)) => Ok(Budget::Work(work(w)?)),
+                Some(("both", rest)) => {
+                    let (d, w) = rest
+                        .split_once(',')
+                        .ok_or_else(|| format!("`both:{rest}` needs `<duration>,<work>`"))?;
+                    Ok(Budget::Both {
+                        wall: duration(d)?,
+                        work: work(w)?,
+                    })
+                }
+                _ => Err(format!(
+                    "bad budget `{s}` (expected wall:<dur>, work:<n>, both:<dur>,<n> \
+                     or unlimited)"
+                )),
+            },
+        }
+    }
+}
+
+/// Round-trips through [`Budget::parse`].
+impl fmt::Display for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn dur(f: &mut fmt::Formatter<'_>, d: Duration) -> fmt::Result {
+            let ms = d.as_millis();
+            if ms.is_multiple_of(1000) {
+                write!(f, "{}s", ms / 1000)
+            } else {
+                write!(f, "{ms}ms")
+            }
+        }
+        match *self {
+            Budget::Unlimited => write!(f, "unlimited"),
+            Budget::Wall(d) => {
+                write!(f, "wall:")?;
+                dur(f, d)
+            }
+            Budget::Work(w) => write!(f, "work:{w}"),
+            Budget::Both { wall, work } => {
+                write!(f, "both:")?;
+                dur(f, wall)?;
+                write!(f, ",{work}")
+            }
+        }
+    }
+}
+
+/// Budgets at the three scopes of a run, mirroring the paper's
+/// experimental setup (4 s per QBF call, 6000 s per circuit on their
+/// hardware; scaled wall-clock defaults here). Any scope can instead
+/// carry a deterministic [`Budget::Work`] limit — see the module docs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct BudgetPolicy {
-    /// Limit per QBF (CEGAR) solve.
-    pub per_qbf_call: Duration,
+    /// Limit per QBF (CEGAR) solve; the work component bounds the
+    /// total inner-SAT conflicts of the call (CEGAR iterations charge
+    /// their inner-SAT work to the QBF call).
+    pub per_qbf_call: Budget,
     /// Limit per primary output.
-    pub per_output: Duration,
-    /// Limit per circuit.
-    pub per_circuit: Duration,
+    pub per_output: Budget,
+    /// Limit per circuit. The wall component anchors when the
+    /// circuit's first output starts; the work component is a shared
+    /// pool every output of the circuit debits.
+    pub per_circuit: Budget,
 }
 
 impl Default for BudgetPolicy {
     fn default() -> Self {
         BudgetPolicy {
-            per_qbf_call: Duration::from_secs(4),
-            per_output: Duration::from_secs(60),
-            per_circuit: Duration::from_secs(6000),
+            per_qbf_call: Budget::Wall(Duration::from_secs(4)),
+            per_output: Budget::Wall(Duration::from_secs(60)),
+            per_circuit: Budget::Wall(Duration::from_secs(6000)),
         }
     }
 }
@@ -112,19 +283,72 @@ impl BudgetPolicy {
     /// The paper's exact setup.
     pub fn paper() -> Self {
         BudgetPolicy {
-            per_qbf_call: Duration::from_secs(4),
-            per_output: Duration::from_secs(6000),
-            per_circuit: Duration::from_secs(6000),
+            per_qbf_call: Budget::Wall(Duration::from_secs(4)),
+            per_output: Budget::Wall(Duration::from_secs(6000)),
+            per_circuit: Budget::Wall(Duration::from_secs(6000)),
         }
     }
 
     /// A tight budget for smoke tests and CI.
     pub fn quick() -> Self {
         BudgetPolicy {
-            per_qbf_call: Duration::from_millis(500),
-            per_output: Duration::from_secs(5),
-            per_circuit: Duration::from_secs(60),
+            per_qbf_call: Budget::Wall(Duration::from_millis(500)),
+            per_output: Budget::Wall(Duration::from_secs(5)),
+            per_circuit: Budget::Wall(Duration::from_secs(60)),
         }
+    }
+
+    /// A pure-work policy: `per_output` conflicts per output, no
+    /// wall-clock or per-call/per-circuit limits — the fully
+    /// deterministic configuration (results are byte-identical across
+    /// machines and worker counts).
+    pub fn work(per_output: u64) -> Self {
+        BudgetPolicy {
+            per_qbf_call: Budget::Unlimited,
+            per_output: Budget::Work(per_output),
+            per_circuit: Budget::Unlimited,
+        }
+    }
+
+    /// Whether every scope is deterministic (no wall-clock component
+    /// anywhere): the precondition for the byte-identical-results
+    /// guarantee.
+    pub fn is_deterministic(&self) -> bool {
+        self.per_qbf_call.is_deterministic()
+            && self.per_output.is_deterministic()
+            && self.per_circuit.is_deterministic()
+    }
+
+    /// The command-line rule shared by the `step` CLI and the harness
+    /// binaries: a pure-work per-output budget promises
+    /// machine-independent results, which the default *wall* limits on
+    /// the other scopes would silently break (a slow host trips the
+    /// per-call wall inside a QBF solve where a fast one finishes).
+    /// So when `per_output` is pure [`Budget::Work`], lift any wall
+    /// default the user did not explicitly override (`qbf_set` /
+    /// `circuit_set` say which scopes were set on the command line).
+    pub fn lift_unset_walls_for_pure_work(&mut self, qbf_set: bool, circuit_set: bool) {
+        if !matches!(self.per_output, Budget::Work(_)) {
+            return;
+        }
+        if !qbf_set {
+            self.per_qbf_call = Budget::Unlimited;
+        }
+        if !circuit_set {
+            self.per_circuit = Budget::Unlimited;
+        }
+    }
+}
+
+/// `call=…;output=…;circuit=…` — the provenance string recorded in
+/// `BENCH_*.json` (each component round-trips [`Budget::parse`]).
+impl fmt::Display for BudgetPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "call={};output={};circuit={}",
+            self.per_qbf_call, self.per_output, self.per_circuit
+        )
     }
 }
 
@@ -156,10 +380,6 @@ pub struct DecompConfig {
     pub sim_filter: bool,
     /// Random-simulation rounds for the pre-filter.
     pub sim_rounds: usize,
-    /// Deterministic budget: conflicts per inner SAT call of the QBF
-    /// models (`None` = unlimited). Complements the wall-clock budgets
-    /// for reproducible Table-IV-style experiments.
-    pub conflicts_per_call: Option<u64>,
     /// Worker threads for [`decompose_circuit`]: the ephemeral
     /// [`StepService`](crate::service::StepService) it spins up gets
     /// `jobs` persistent workers claiming outputs from the submission
@@ -196,7 +416,6 @@ impl DecompConfig {
             verify: true,
             sim_filter: true,
             sim_rounds: 4,
-            conflicts_per_call: None,
             jobs: 1,
             seed: 0x5DEECE66D,
             panic_on_output: None,
@@ -212,5 +431,103 @@ impl DecompConfig {
             Model::QbfDisjoint => SearchStrategy::MdBinMi,
             _ => SearchStrategy::MonotoneIncreasing,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_parse_accepts_the_documented_grammar() {
+        assert_eq!(Budget::parse("unlimited"), Ok(Budget::Unlimited));
+        assert_eq!(Budget::parse("none"), Ok(Budget::Unlimited));
+        assert_eq!(
+            Budget::parse("wall:60s"),
+            Ok(Budget::Wall(Duration::from_secs(60)))
+        );
+        assert_eq!(
+            Budget::parse("wall:500ms"),
+            Ok(Budget::Wall(Duration::from_millis(500)))
+        );
+        assert_eq!(
+            Budget::parse("wall:2m"),
+            Ok(Budget::Wall(Duration::from_secs(120)))
+        );
+        assert_eq!(Budget::parse("work:200k"), Ok(Budget::Work(200_000)));
+        assert_eq!(Budget::parse("work:1500"), Ok(Budget::Work(1500)));
+        assert_eq!(Budget::parse("work:2M"), Ok(Budget::Work(2_000_000)));
+        assert_eq!(
+            Budget::parse("both:4s,10k"),
+            Ok(Budget::Both {
+                wall: Duration::from_secs(4),
+                work: 10_000
+            })
+        );
+    }
+
+    #[test]
+    fn budget_parse_rejects_malformed_specs() {
+        for bad in [
+            "", "wall:", "wall:60", "wall:xs", "work:", "work:abc", "both:4s", "both:,5", "secs:4",
+            "60s",
+        ] {
+            assert!(Budget::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn budget_display_round_trips_through_parse() {
+        for b in [
+            Budget::Unlimited,
+            Budget::Wall(Duration::from_secs(60)),
+            Budget::Wall(Duration::from_millis(1500)),
+            Budget::Work(200_000),
+            Budget::Both {
+                wall: Duration::from_millis(500),
+                work: 123,
+            },
+        ] {
+            assert_eq!(Budget::parse(&b.to_string()), Ok(b), "{b}");
+        }
+    }
+
+    #[test]
+    fn budget_components_and_determinism() {
+        let both = Budget::Both {
+            wall: Duration::from_secs(1),
+            work: 5,
+        };
+        assert_eq!(both.wall(), Some(Duration::from_secs(1)));
+        assert_eq!(both.work(), Some(5));
+        assert_eq!(Budget::Unlimited.wall(), None);
+        assert_eq!(Budget::Work(7).work(), Some(7));
+        assert!(Budget::Work(7).is_deterministic());
+        assert!(Budget::Unlimited.is_deterministic());
+        assert!(!both.is_deterministic());
+        assert!(!Budget::Wall(Duration::ZERO).is_deterministic());
+        assert_eq!(
+            Budget::Wall(Duration::from_secs(1)).with_work(9),
+            Budget::Both {
+                wall: Duration::from_secs(1),
+                work: 9
+            }
+        );
+        assert_eq!(Budget::Unlimited.with_work(9), Budget::Work(9));
+        assert!(BudgetPolicy::work(100).is_deterministic());
+        assert!(!BudgetPolicy::default().is_deterministic());
+    }
+
+    #[test]
+    fn budget_policy_display_names_every_scope() {
+        let p = BudgetPolicy::work(200_000);
+        assert_eq!(
+            p.to_string(),
+            "call=unlimited;output=work:200000;circuit=unlimited"
+        );
+        assert_eq!(
+            BudgetPolicy::default().to_string(),
+            "call=wall:4s;output=wall:60s;circuit=wall:6000s"
+        );
     }
 }

@@ -19,10 +19,9 @@ impl ModelStrategy for LjhStrategy {
     }
 
     fn solve(&self, session: &mut SolveSession<'_>) -> StrategyOutcome {
-        let deadline = session.deadline();
-        let (oracle, candidates) = session.oracle_parts();
+        let (oracle, candidates, meter) = session.solve_parts();
         let mut out = StrategyOutcome::default();
-        match ljh::decompose(oracle, candidates, deadline) {
+        match ljh::decompose(oracle, candidates, meter) {
             LjhOutcome::Partition(p) => {
                 out.solved = true;
                 out.partition = Some(p);

@@ -19,12 +19,20 @@ impl ModelStrategy for MgStrategy {
     }
 
     fn solve(&self, session: &mut SolveSession<'_>) -> StrategyOutcome {
-        let deadline = session.deadline();
-        let (oracle, candidates) = session.oracle_parts();
+        let (oracle, candidates, meter) = session.solve_parts();
         let mut out = StrategyOutcome::default();
-        match mg::decompose(oracle, candidates, deadline) {
+        match mg::decompose(oracle, candidates, meter) {
             MgOutcome::Partition(p) => {
                 out.solved = true;
+                out.partition = Some(p);
+            }
+            MgOutcome::TruncatedPartition(p) => {
+                // Budget-degraded: keep the (valid) partition but
+                // report the truncation — the session caches only
+                // `solved && !timed_out` outcomes, and a partition
+                // whose quality depends on the budget must never be
+                // served as this cone's definitive answer.
+                out.timed_out = true;
                 out.partition = Some(p);
             }
             MgOutcome::NotDecomposable => out.solved = true,

@@ -8,14 +8,19 @@ use crate::qbf_model::ModelOptions;
 use crate::session::SolveSession;
 
 /// Bootstraps with STEP-MG (as in the paper), then searches the
-/// optimum bound for `metric`.
+/// optimum bound for `metric`. Both phases charge the session's
+/// [`EffortMeter`](crate::effort::EffortMeter), so wall and work
+/// budgets apply uniformly across the bootstrap's SAT/MUS calls and
+/// the search's QBF probes.
 pub(super) fn solve_with_metric(session: &mut SolveSession<'_>, metric: Metric) -> StrategyOutcome {
-    let deadline = session.deadline();
     let mut out = StrategyOutcome::default();
     let bootstrap = {
-        let (oracle, candidates) = session.oracle_parts();
-        match mg::decompose(oracle, candidates, deadline) {
-            MgOutcome::Partition(p) => Some(p),
+        let (oracle, candidates, meter) = session.solve_parts();
+        match mg::decompose(oracle, candidates, meter) {
+            // A truncated bootstrap is still a sound starting bound;
+            // the meter is (near-)exhausted, so the search below will
+            // immediately report the truncation.
+            MgOutcome::Partition(p) | MgOutcome::TruncatedPartition(p) => Some(p),
             MgOutcome::NotDecomposable => {
                 // Proved undecomposable — the QBF search is unnecessary.
                 out.solved = true;
@@ -33,18 +38,23 @@ pub(super) fn solve_with_metric(session: &mut SolveSession<'_>, metric: Metric) 
     let opts = ModelOptions {
         symmetry_breaking: config.symmetry_breaking,
         allow_both: config.allow_both,
-        deadline,
-        per_call_timeout: Some(config.budget.per_qbf_call),
-        conflicts_per_call: config.conflicts_per_call,
+        per_call: config.budget.per_qbf_call,
     };
     let strategy = config.effective_strategy();
-    let (oracle, _) = session.oracle_parts();
-    let search = optimum::search(oracle.core(), metric, bootstrap.as_ref(), strategy, &opts);
+    let (oracle, _, meter) = session.solve_parts();
+    let search = optimum::search(
+        oracle.core(),
+        metric,
+        bootstrap.as_ref(),
+        strategy,
+        &opts,
+        meter,
+    );
     out.qbf_calls = search.qbf_calls;
     out.cegar_iterations = search.cegar_iterations;
     out.proved_optimal = search.proved_optimal;
     out.solved = search.proved_optimal;
-    out.timed_out = search.timeouts > 0;
+    out.timed_out = search.truncated;
     out.partition = search.partition.or(bootstrap);
     out
 }

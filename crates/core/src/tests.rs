@@ -1,6 +1,7 @@
 use step_aig::{Aig, AigLit};
 use step_bdd::Manager;
 
+use crate::effort::EffortMeter;
 use crate::engine::BiDecomposer;
 use crate::extract::{extract, extract_by_quantification};
 use crate::ljh::{self, LjhOutcome};
@@ -9,7 +10,7 @@ use crate::optimum::{self, Metric};
 use crate::oracle::{sim_filter_pairs, CoreFormula, PartitionOracle};
 use crate::partition::{VarClass, VarPartition};
 use crate::qbf_model::{solve_partition, ModelOptions, QbfModelOutcome, Target};
-use crate::spec::{BudgetPolicy, DecompConfig, GateOp, Model, SearchStrategy};
+use crate::spec::{Budget, BudgetPolicy, DecompConfig, GateOp, Model, SearchStrategy};
 use crate::verify::verify;
 
 /// f = (a∧b) ∨ (c∧d): disjointly OR-decomposable.
@@ -142,8 +143,8 @@ fn spec_types_behave() {
     assert_eq!(Model::Ljh.to_string(), "LJH");
     assert_eq!(Model::QbfCombined.to_string(), "STEP-QDB");
     let paper = BudgetPolicy::paper();
-    assert_eq!(paper.per_qbf_call, Duration::from_secs(4));
-    assert_eq!(paper.per_circuit, Duration::from_secs(6000));
+    assert_eq!(paper.per_qbf_call, Budget::Wall(Duration::from_secs(4)));
+    assert_eq!(paper.per_circuit, Budget::Wall(Duration::from_secs(6000)));
     // Default strategy follows the paper: MD→Bin→MI for QD, MI else.
     let qd = DecompConfig::new(Model::QbfDisjoint);
     assert_eq!(qd.effective_strategy(), SearchStrategy::MdBinMi);
@@ -196,12 +197,13 @@ fn oracle_matches_bdd_on_known_functions() {
         let core = CoreFormula::build(&aig, f, op);
         let mut oracle = PartitionOracle::new(core);
         // Try a handful of partitions exhaustively for n ≤ 4.
+        let mut meter = EffortMeter::unlimited();
         for p in enumerate_partitions(aig.num_inputs()) {
             if !p.is_nontrivial() {
                 continue;
             }
             let want = bdd_decomposable(&aig, f, op, &p);
-            let got = oracle.check(&p, None).expect("no budget set");
+            let got = oracle.check(&p, &mut meter).expect("no budget set");
             assert_eq!(got, want, "op={op} partition={p}");
         }
     }
@@ -241,10 +243,15 @@ fn and_core_is_dual_of_or() {
     let f = aig.and(ab, cd);
     let core = CoreFormula::build(&aig, f, GateOp::And);
     let mut oracle = PartitionOracle::new(core);
+    let mut meter = EffortMeter::unlimited();
     let p = VarPartition::from_sets(4, &[0, 1], &[2, 3]);
-    assert_eq!(oracle.check(&p, None), Some(true));
+    assert_eq!(oracle.check(&p, &mut meter), Some(true));
     let bad = VarPartition::from_sets(4, &[0, 2], &[1, 3]);
-    assert_eq!(oracle.check(&bad, None), Some(false));
+    assert_eq!(oracle.check(&bad, &mut meter), Some(false));
+    assert!(
+        meter.spent().propagations > 0,
+        "oracle calls charge their effort to the meter"
+    );
 }
 
 #[test]
@@ -259,11 +266,12 @@ fn sim_filter_is_sound() {
         let alive = sim_filter_pairs(&aig, f, op, 8, 12345);
         let core = CoreFormula::build(&aig, f, op);
         let mut oracle = PartitionOracle::new(core);
+        let mut meter = EffortMeter::unlimited();
         for i in 0..n {
             for j in 0..n {
                 if i != j && !alive[i][j] {
                     assert_eq!(
-                        oracle.check_seed(i, j, None),
+                        oracle.check_seed(i, j, &mut meter),
                         Some(false),
                         "sim killed a valid seed ({i},{j}) op={op}"
                     );
@@ -282,7 +290,7 @@ fn ljh_finds_disjoint_partition() {
     let (aig, f) = or_of_ands();
     let core = CoreFormula::build(&aig, f, GateOp::Or);
     let mut oracle = PartitionOracle::new(core);
-    match ljh::decompose(&mut oracle, None, None) {
+    match ljh::decompose(&mut oracle, None, &mut EffortMeter::unlimited()) {
         LjhOutcome::Partition(p) => {
             assert!(p.is_nontrivial());
             assert!(bdd_decomposable(&aig, f, GateOp::Or, &p));
@@ -299,7 +307,7 @@ fn ljh_rejects_undecomposable() {
     let core = CoreFormula::build(&aig, f, GateOp::Or);
     let mut oracle = PartitionOracle::new(core);
     assert_eq!(
-        ljh::decompose(&mut oracle, None, None),
+        ljh::decompose(&mut oracle, None, &mut EffortMeter::unlimited()),
         LjhOutcome::NotDecomposable
     );
 }
@@ -313,7 +321,7 @@ fn mg_finds_valid_partition() {
     ] {
         let core = CoreFormula::build(&aig, f, op);
         let mut oracle = PartitionOracle::new(core);
-        match mg::decompose(&mut oracle, None, None) {
+        match mg::decompose(&mut oracle, None, &mut EffortMeter::unlimited()) {
             MgOutcome::Partition(p) => {
                 assert!(p.is_nontrivial());
                 assert!(bdd_decomposable(&aig, f, op, &p), "op={op} partition={p}");
@@ -329,7 +337,7 @@ fn mg_rejects_undecomposable() {
     let core = CoreFormula::build(&aig, f, GateOp::Or);
     let mut oracle = PartitionOracle::new(core);
     assert_eq!(
-        mg::decompose(&mut oracle, None, None),
+        mg::decompose(&mut oracle, None, &mut EffortMeter::unlimited()),
         MgOutcome::NotDecomposable
     );
 }
@@ -342,7 +350,12 @@ fn mg_rejects_undecomposable() {
 fn qbf_any_finds_partition_or_proves_none() {
     let (aig, f) = or_of_ands();
     let core = CoreFormula::build(&aig, f, GateOp::Or);
-    let (outcome, stats) = solve_partition(&core, Target::Any, &ModelOptions::default());
+    let (outcome, stats) = solve_partition(
+        &core,
+        Target::Any,
+        &ModelOptions::default(),
+        &mut EffortMeter::unlimited(),
+    );
     match outcome {
         QbfModelOutcome::Partition(p) => {
             assert!(p.is_nontrivial());
@@ -354,7 +367,12 @@ fn qbf_any_finds_partition_or_proves_none() {
 
     let (aig, f) = maj3();
     let core = CoreFormula::build(&aig, f, GateOp::Or);
-    let (outcome, _) = solve_partition(&core, Target::Any, &ModelOptions::default());
+    let (outcome, _) = solve_partition(
+        &core,
+        Target::Any,
+        &ModelOptions::default(),
+        &mut EffortMeter::unlimited(),
+    );
     assert_eq!(outcome, QbfModelOutcome::NoPartition);
 }
 
@@ -363,7 +381,12 @@ fn qbf_disjointness_bound_is_respected() {
     let (aig, f) = shared_var_fn();
     let core = CoreFormula::build(&aig, f, GateOp::Or);
     // k = 1: partition with at most one shared variable exists ({s}).
-    let (outcome, _) = solve_partition(&core, Target::DisjointAtMost(1), &ModelOptions::default());
+    let (outcome, _) = solve_partition(
+        &core,
+        Target::DisjointAtMost(1),
+        &ModelOptions::default(),
+        &mut EffortMeter::unlimited(),
+    );
     match outcome {
         QbfModelOutcome::Partition(p) => {
             assert!(p.num_shared() <= 1);
@@ -373,7 +396,12 @@ fn qbf_disjointness_bound_is_respected() {
         other => panic!("{other:?}"),
     }
     // k = 0: no disjoint partition exists for s∧(a∨b).
-    let (outcome, _) = solve_partition(&core, Target::DisjointAtMost(0), &ModelOptions::default());
+    let (outcome, _) = solve_partition(
+        &core,
+        Target::DisjointAtMost(0),
+        &ModelOptions::default(),
+        &mut EffortMeter::unlimited(),
+    );
     assert_eq!(outcome, QbfModelOutcome::NoPartition);
 }
 
@@ -386,7 +414,12 @@ fn qbf_balancedness_window() {
     let t2 = aig.and(ins[3], ins[4]);
     let f = aig.or(t1, t2);
     let core = CoreFormula::build(&aig, f, GateOp::Or);
-    let (outcome, _) = solve_partition(&core, Target::BalancedWindow(0), &ModelOptions::default());
+    let (outcome, _) = solve_partition(
+        &core,
+        Target::BalancedWindow(0),
+        &ModelOptions::default(),
+        &mut EffortMeter::unlimited(),
+    );
     match outcome {
         QbfModelOutcome::Partition(p) => {
             assert_eq!(p.k_balance(), 0, "{p}");
@@ -401,7 +434,12 @@ fn qbf_combined_target() {
     let (aig, f) = or_of_ands();
     let core = CoreFormula::build(&aig, f, GateOp::Or);
     // (ab)|(cd): k = 0 achievable (|XC|=0, |XA|=|XB|=2).
-    let (outcome, _) = solve_partition(&core, Target::CombinedAtMost(0), &ModelOptions::default());
+    let (outcome, _) = solve_partition(
+        &core,
+        Target::CombinedAtMost(0),
+        &ModelOptions::default(),
+        &mut EffortMeter::unlimited(),
+    );
     match outcome {
         QbfModelOutcome::Partition(p) => {
             assert_eq!(p.k_combined(), 0, "{p}");
@@ -420,7 +458,7 @@ fn all_strategies_agree_on_optimum() {
     let core = CoreFormula::build(&aig, f, GateOp::Or);
     let bootstrap = {
         let mut oracle = PartitionOracle::new(core.clone());
-        match mg::decompose(&mut oracle, None, None) {
+        match mg::decompose(&mut oracle, None, &mut EffortMeter::unlimited()) {
             MgOutcome::Partition(p) => p,
             other => panic!("{other:?}"),
         }
@@ -438,6 +476,7 @@ fn all_strategies_agree_on_optimum() {
             Some(&bootstrap),
             strategy,
             &ModelOptions::default(),
+            &mut EffortMeter::unlimited(),
         );
         assert!(r.proved_optimal, "{strategy:?}");
         optima.push(Metric::Disjointness.k_of(r.partition.as_ref().unwrap()));
@@ -459,6 +498,7 @@ fn optimum_without_bootstrap_detects_undecomposable() {
         None,
         SearchStrategy::MonotoneIncreasing,
         &ModelOptions::default(),
+        &mut EffortMeter::unlimited(),
     );
     assert!(r.partition.is_none());
     assert!(r.proved_optimal);
@@ -601,9 +641,9 @@ fn engine_respects_output_budget() {
     aig.add_output("f", f);
     let mut config = DecompConfig::new(Model::QbfDisjoint);
     config.budget = BudgetPolicy {
-        per_qbf_call: std::time::Duration::ZERO,
-        per_output: std::time::Duration::ZERO,
-        per_circuit: std::time::Duration::from_secs(60),
+        per_qbf_call: Budget::Wall(std::time::Duration::ZERO),
+        per_output: Budget::Wall(std::time::Duration::ZERO),
+        per_circuit: Budget::Wall(std::time::Duration::from_secs(60)),
     };
     let engine = BiDecomposer::new(config);
     let r = engine.decompose_output(&aig, 0, GateOp::Or).unwrap();
@@ -726,7 +766,7 @@ fn skipped_outputs_report_their_real_support() {
     aig.add_output("g", g);
 
     let mut config = DecompConfig::new(Model::MusGroup);
-    config.budget.per_circuit = std::time::Duration::ZERO;
+    config.budget.per_circuit = Budget::Wall(std::time::Duration::ZERO);
     let r = BiDecomposer::new(config)
         .decompose_circuit(&aig, GateOp::Or)
         .unwrap();
@@ -751,8 +791,10 @@ fn expired_deadline_short_circuits_before_any_solver_work() {
     // The clock anchors at session construction, before cone
     // extraction; a circuit deadline that already passed must surface
     // as a timeout with the real support and zero oracle calls.
-    let job =
-        OutputJob::new(&config, 0, GateOp::Or).with_circuit_deadline(std::time::Instant::now());
+    let job = OutputJob::new(&config, 0, GateOp::Or).with_circuit(crate::effort::CircuitBudget {
+        deadline: Some(std::time::Instant::now()),
+        work: None,
+    });
     let r = SolveSession::new(&aig, job, &config, None)
         .unwrap()
         .run()
@@ -828,12 +870,13 @@ mod props {
             for op in GateOp::ALL {
                 let core = CoreFormula::build(&aig, f, op);
                 let mut oracle = PartitionOracle::new(core);
+                let mut meter = EffortMeter::unlimited();
                 for p in enumerate_partitions(4) {
                     if !p.is_nontrivial() {
                         continue;
                     }
                     let want = bdd_decomposable(&aig, f, op, &p);
-                    let got = oracle.check(&p, None).unwrap();
+                    let got = oracle.check(&p, &mut meter).unwrap();
                     prop_assert_eq!(got, want, "op={} p={}", op, p);
                 }
             }

@@ -32,7 +32,7 @@
 use std::time::Instant;
 
 use step_cnf::{Cnf, Lit};
-use step_sat::{SolveResult, Solver};
+use step_sat::{EffortStats, SolveResult, Solver};
 
 /// Budgets for MUS extraction.
 #[derive(Clone, Copy, Debug, Default)]
@@ -44,6 +44,12 @@ pub struct MusConfig {
     /// Conflict budget per SAT call (`None` = unlimited). A call that
     /// exhausts its budget is treated as "keep the group" (sound).
     pub conflicts_per_call: Option<u64>,
+    /// Total conflict budget for the whole extraction (`None` =
+    /// unlimited): each SAT call is capped by what remains of it, and
+    /// the deletion loop stops (soundly, `minimal = false`) once it is
+    /// spent. The deterministic analogue of `deadline` — the cut-off
+    /// falls on the same call on every machine.
+    pub effort_budget: Option<u64>,
 }
 
 /// Result of a group-MUS extraction.
@@ -63,6 +69,46 @@ pub struct MusResult {
 /// Returns `None` if `hard ∧ ⋃ groups` is satisfiable (no MUS exists)
 /// or a budget expired before the initial solve finished.
 pub fn group_mus(hard: &Cnf, groups: &[Vec<Vec<Lit>>], config: &MusConfig) -> Option<MusResult> {
+    group_mus_with_effort(hard, groups, config).0
+}
+
+/// The conflict budget for the next SAT call: the per-call limit
+/// capped by what remains of the whole-extraction effort budget.
+fn call_budget(config: &MusConfig, solver: &Solver) -> Option<u64> {
+    let remaining = config
+        .effort_budget
+        .map(|b| b.saturating_sub(solver.effort().conflicts));
+    match (config.conflicts_per_call, remaining) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, None) => a,
+        (None, b) => b,
+    }
+}
+
+/// Whether a budget (wall or effort) is spent.
+fn out_of_budget(config: &MusConfig, solver: &Solver) -> bool {
+    if let Some(d) = config.deadline {
+        if Instant::now() >= d {
+            return true;
+        }
+    }
+    if let Some(b) = config.effort_budget {
+        if solver.effort().conflicts >= b {
+            return true;
+        }
+    }
+    false
+}
+
+/// [`group_mus`] plus the effort the extraction expended, so callers
+/// charging solver work to an external budget can account it even when
+/// no MUS exists. The effort counters start at zero for each call (the
+/// extraction owns a fresh solver).
+pub fn group_mus_with_effort(
+    hard: &Cnf,
+    groups: &[Vec<Vec<Lit>>],
+    config: &MusConfig,
+) -> (Option<MusResult>, EffortStats) {
     let mut solver = Solver::new();
     solver.add_cnf(hard);
     solver.set_deadline(config.deadline);
@@ -85,9 +131,9 @@ pub fn group_mus(hard: &Cnf, groups: &[Vec<Vec<Lit>>], config: &MusConfig) -> Op
         .collect();
 
     let all: Vec<Lit> = selectors.clone();
-    solver.set_conflict_budget(config.conflicts_per_call);
+    solver.set_effort_budget(call_budget(config, &solver));
     let mut current: Vec<usize> = match solver.solve_with_assumptions(&all) {
-        SolveResult::Sat | SolveResult::Unknown => return None,
+        SolveResult::Sat | SolveResult::Unknown => return (None, solver.effort()),
         SolveResult::Unsat => {
             // Trim to the initial core.
             core_groups(&solver, &selectors)
@@ -99,11 +145,9 @@ pub fn group_mus(hard: &Cnf, groups: &[Vec<Vec<Lit>>], config: &MusConfig) -> Op
     let mut minimal = true;
     let mut i = 0;
     while i < current.len() {
-        if let Some(d) = config.deadline {
-            if Instant::now() >= d {
-                minimal = false;
-                break;
-            }
+        if out_of_budget(config, &solver) {
+            minimal = false;
+            break;
         }
         let candidate = current[i];
         let assumptions: Vec<Lit> = current
@@ -111,7 +155,7 @@ pub fn group_mus(hard: &Cnf, groups: &[Vec<Vec<Lit>>], config: &MusConfig) -> Op
             .filter(|&&g| g != candidate)
             .map(|&g| selectors[g])
             .collect();
-        solver.set_conflict_budget(config.conflicts_per_call);
+        solver.set_effort_budget(call_budget(config, &solver));
         match solver.solve_with_assumptions(&assumptions) {
             SolveResult::Sat => {
                 // Necessary: keep it, move on.
@@ -138,10 +182,13 @@ pub fn group_mus(hard: &Cnf, groups: &[Vec<Vec<Lit>>], config: &MusConfig) -> Op
             }
         }
     }
-    Some(MusResult {
-        groups: current,
-        minimal,
-    })
+    (
+        Some(MusResult {
+            groups: current,
+            minimal,
+        }),
+        solver.effort(),
+    )
 }
 
 fn core_groups(solver: &Solver, selectors: &[Lit]) -> Vec<usize> {
@@ -308,7 +355,7 @@ mod tests {
         ];
         let config = MusConfig {
             deadline: Some(Instant::now()),
-            conflicts_per_call: None,
+            ..MusConfig::default()
         };
         // Deadline hits after the initial UNSAT call: either None (if
         // even that was cut) or a sound over-approximation.

@@ -2,7 +2,7 @@ use std::time::Instant;
 
 use step_aig::{Aig, AigLit};
 use step_cnf::{tseitin::AigCnf, Cnf, Lit, Var};
-use step_sat::{SolveResult, Solver};
+use step_sat::{EffortStats, SolveResult, Solver};
 
 /// Result of a 2QBF solve.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -25,6 +25,14 @@ pub struct Qbf2Config {
     pub deadline: Option<Instant>,
     /// Conflict budget per underlying SAT call (`None` = unlimited).
     pub conflicts_per_call: Option<u64>,
+    /// Total conflict budget for the whole QBF call (`None` =
+    /// unlimited): every CEGAR iteration's inner-SAT work — candidate
+    /// *and* counterexample solves — is charged against it, and the
+    /// solve returns [`Qbf2Result::Unknown`] once it is spent. Unlike
+    /// `deadline`, the cut-off is deterministic (conflicts, not wall
+    /// clock), so a budgeted `Unknown` falls in the same place on
+    /// every machine.
+    pub effort_budget: Option<u64>,
 }
 
 /// Counters from a CEGAR run.
@@ -145,6 +153,23 @@ impl ExistsForall {
         self.stats
     }
 
+    /// A monotone snapshot of the inner-SAT effort expended so far,
+    /// summed over the abstraction and counterexample solvers — the
+    /// per-QBF-call analogue of [`Solver::effort`](step_sat::Solver::effort).
+    /// This is the quantity [`Qbf2Config::effort_budget`] bounds:
+    /// CEGAR iterations charge their inner-SAT work to the QBF call.
+    pub fn effort(&self) -> EffortStats {
+        self.abs.effort() + self.check.effort()
+    }
+
+    /// Sets the total conflict budget for subsequent
+    /// [`solve`](ExistsForall::solve) work (the deterministic analogue
+    /// of a per-call wall-clock timeout; see
+    /// [`Qbf2Config::effort_budget`]).
+    pub fn set_effort_budget(&mut self, conflicts: Option<u64>) {
+        self.config.effort_budget = conflicts;
+    }
+
     /// The abstraction-solver variable carrying existential input
     /// `e_index` (position in the `e_pis` vector).
     pub fn exists_var(&self, e_index: usize) -> Var {
@@ -182,10 +207,28 @@ impl ExistsForall {
         self.abs_sent = self.abs_cnf.num_clauses();
     }
 
+    /// The conflict budget for the next inner SAT call: the per-call
+    /// limit capped by what is left of the whole-call effort budget.
+    fn inner_budget(&self, effort_start: u64) -> Option<u64> {
+        let remaining = self
+            .config
+            .effort_budget
+            .map(|b| b.saturating_sub(self.effort().conflicts - effort_start));
+        match (self.config.conflicts_per_call, remaining) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
+    }
+
     /// Runs CEGAR to completion (or budget exhaustion).
     pub fn solve(&mut self) -> Qbf2Result {
         self.abs.set_deadline(self.config.deadline);
         self.check.set_deadline(self.config.deadline);
+        // Baseline for the whole-call effort budget: every inner SAT
+        // call below is capped by what remains of it, so the solve
+        // stops at a deterministic, machine-independent conflict count.
+        let effort_start = self.effort().conflicts;
         loop {
             if let Some(max) = self.config.max_iterations {
                 if self.stats.iterations >= max {
@@ -197,10 +240,16 @@ impl ExistsForall {
                     return Qbf2Result::Unknown;
                 }
             }
+            if let Some(b) = self.config.effort_budget {
+                if self.effort().conflicts - effort_start >= b {
+                    return Qbf2Result::Unknown;
+                }
+            }
             self.stats.iterations += 1;
 
             // 1. Candidate from the abstraction.
-            self.abs.set_conflict_budget(self.config.conflicts_per_call);
+            let budget = self.inner_budget(effort_start);
+            self.abs.set_effort_budget(budget);
             let candidate = match self.abs.solve() {
                 SolveResult::Unsat => return Qbf2Result::Invalid,
                 SolveResult::Unknown => return Qbf2Result::Unknown,
@@ -215,8 +264,8 @@ impl ExistsForall {
             };
 
             // 2. Counterexample check: ∃U. ¬φ(candidate, U)?
-            self.check
-                .set_conflict_budget(self.config.conflicts_per_call);
+            let budget = self.inner_budget(effort_start);
+            self.check.set_effort_budget(budget);
             let assumptions: Vec<Lit> = self
                 .check_e_vars
                 .iter()

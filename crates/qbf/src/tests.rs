@@ -158,6 +158,61 @@ fn iteration_budget_reports_unknown() {
 }
 
 #[test]
+fn effort_budget_truncates_deterministically_and_charges_inner_work() {
+    // A pigeonhole matrix (5 pigeons, 4 holes) over the existential
+    // block: once a refinement copies it into the abstraction, the
+    // refutation needs real conflicts. Under a total-conflict budget
+    // the solve must stop at the same effort snapshot every time (the
+    // machine-independence the Work budgets of step-core rely on).
+    let build = || {
+        let (pigeons, holes) = (5, 4);
+        let mut aig = Aig::new();
+        let x: Vec<Vec<_>> = (0..pigeons)
+            .map(|p| {
+                (0..holes)
+                    .map(|h| aig.add_input(format!("x{p}_{h}")))
+                    .collect()
+            })
+            .collect();
+        let mut parts = Vec::new();
+        for p in 0..pigeons {
+            let row = x[p].clone();
+            parts.push(aig.or_many(&row));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    let both = aig.and(x[p1][h], x[p2][h]);
+                    parts.push(!both);
+                }
+            }
+        }
+        let m = aig.and_many(&parts);
+        let n = aig.num_inputs();
+        ExistsForall::new(aig, m, (0..n).collect(), Vec::new())
+    };
+    // Unbudgeted: Invalid, with nonzero effort across the solvers.
+    let mut free = build();
+    assert_eq!(free.solve(), Qbf2Result::Invalid);
+    let full = free.effort();
+    assert!(full.conflicts > 0, "refutation needs conflicts: {full:?}");
+    assert!(full.propagations > 0);
+    // Budget one conflict below the full cost: Unknown, at an exact,
+    // reproducible truncation point.
+    let run_budgeted = || {
+        let mut s = build();
+        s.set_effort_budget(Some(full.conflicts - 1));
+        let r = s.solve();
+        (r, s.effort())
+    };
+    let (r1, e1) = run_budgeted();
+    let (r2, e2) = run_budgeted();
+    assert_eq!(r1, Qbf2Result::Unknown);
+    assert_eq!((r1, e1), (r2, e2), "truncation point must be exact");
+    assert!(e1.conflicts < full.conflicts, "budget is a hard cap");
+}
+
+#[test]
 fn deadline_reports_unknown() {
     let mut aig = Aig::new();
     let x = aig.add_input("x");

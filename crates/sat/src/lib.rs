@@ -14,8 +14,11 @@
 //! * **resolution proof logging** ([`Solver::enable_proof`],
 //!   [`Proof`]) — the input to Craig interpolation (`step-itp`),
 //!   which extracts the decomposition functions `fA`/`fB`;
-//! * **budgets** (conflict budget, wall-clock deadline) mirroring the
-//!   paper's 4-second per-QBF-call and 6000-second per-circuit limits.
+//! * **budgets** — wall-clock deadlines mirroring the paper's 4-second
+//!   per-QBF-call and 6000-second per-circuit limits, plus
+//!   deterministic *effort* budgets ([`Solver::set_effort_budget`],
+//!   [`EffortStats`]) that truncate at an exact conflict count — the
+//!   machine-independent currency `step-core`'s `Work` budgets meter.
 //!
 //! # Example
 //!
@@ -38,7 +41,7 @@ mod solver;
 pub mod proof;
 
 pub use proof::{ClauseId, Proof, ProofStep};
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{EffortStats, SolveResult, Solver, SolverStats};
 
 // Compile-time audit: solver instances are created and driven inside
 // worker threads of the parallel circuit driver (step-core), so they

@@ -32,6 +32,56 @@ pub struct SolverStats {
     pub learnts: u64,
 }
 
+/// A monotone snapshot of the *effort* a solver has expended: the
+/// machine-independent counters that make solver work comparable
+/// across hosts, `--jobs` values and background load (unlike wall
+/// clock). Conflicts are the deterministic budgeting unit —
+/// [`Solver::set_effort_budget`] truncates a call at an exact conflict
+/// count, so a budgeted `Unknown` falls on the same call on every
+/// machine.
+///
+/// Snapshots are cumulative over a solver's lifetime; diff two with
+/// [`EffortStats::since`] to charge one call's work to a budget.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct EffortStats {
+    /// Conflicts encountered (the budgeting currency).
+    pub conflicts: u64,
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+}
+
+impl EffortStats {
+    /// The effort expended since an `earlier` snapshot of the same
+    /// solver (saturating, so a stale snapshot can never underflow).
+    pub fn since(self, earlier: EffortStats) -> EffortStats {
+        EffortStats {
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+        }
+    }
+}
+
+impl std::ops::Add for EffortStats {
+    type Output = EffortStats;
+
+    fn add(self, rhs: EffortStats) -> EffortStats {
+        EffortStats {
+            conflicts: self.conflicts + rhs.conflicts,
+            decisions: self.decisions + rhs.decisions,
+            propagations: self.propagations + rhs.propagations,
+        }
+    }
+}
+
+impl std::ops::AddAssign for EffortStats {
+    fn add_assign(&mut self, rhs: EffortStats) {
+        *self = *self + rhs;
+    }
+}
+
 const LBOOL_TRUE: u8 = 1;
 const LBOOL_FALSE: u8 = 0;
 const LBOOL_UNDEF: u8 = 2;
@@ -185,10 +235,33 @@ impl Solver {
         self.stats
     }
 
-    /// Limits the *next* solve call to roughly `conflicts` conflicts
-    /// (`None` = unlimited). The budget is consumed per call.
-    pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
+    /// A monotone snapshot of the effort expended so far (conflicts,
+    /// decisions, propagations). Snapshots only grow across solve
+    /// calls; diff two with [`EffortStats::since`] to account one
+    /// call's work.
+    pub fn effort(&self) -> EffortStats {
+        EffortStats {
+            conflicts: self.stats.conflicts,
+            decisions: self.stats.decisions,
+            propagations: self.stats.propagations,
+        }
+    }
+
+    /// Limits the *next* solve call to `conflicts` conflicts
+    /// (`None` = unlimited); an exhausted call returns
+    /// [`SolveResult::Unknown`] at that exact count. Unlike a
+    /// wall-clock deadline, the cut-off point is machine-independent:
+    /// it is the deterministic budgeting surface underneath
+    /// `step-core`'s `Work` budgets. The budget applies per call (it
+    /// persists until replaced, resetting its baseline each call).
+    pub fn set_effort_budget(&mut self, conflicts: Option<u64>) {
         self.conflict_budget = conflicts;
+    }
+
+    /// Alias of [`Solver::set_effort_budget`], kept for callers of the
+    /// original conflict-budget name.
+    pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
+        self.set_effort_budget(conflicts);
     }
 
     /// Sets a wall-clock deadline for subsequent solve calls

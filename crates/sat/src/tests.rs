@@ -1,6 +1,6 @@
 use step_cnf::{Cnf, Lit, Var};
 
-use crate::{SolveResult, Solver};
+use crate::{EffortStats, SolveResult, Solver};
 
 fn lit(v: i64) -> Lit {
     Lit::from_dimacs(v)
@@ -313,6 +313,62 @@ fn conflict_budget_reports_unknown() {
     // Remove the budget: solvable again.
     s.set_conflict_budget(None);
     assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn effort_snapshots_are_monotone_across_solves() {
+    // EffortStats is the budgeting currency of the deterministic Work
+    // budgets: snapshots must only ever grow, call after call, so
+    // `since` diffs charge each call's work exactly once.
+    let (nv, clauses) = pigeonhole(6);
+    let mut s = Solver::new();
+    s.ensure_vars(nv);
+    for c in &clauses {
+        s.add_clause(c.iter().copied());
+    }
+    let mut prev = s.effort();
+    assert_eq!(
+        prev,
+        EffortStats::default(),
+        "fresh solver has spent nothing"
+    );
+    let mut total = EffortStats::default();
+    for round in 0..4 {
+        s.set_effort_budget(Some(3));
+        let _ = s.solve();
+        let now = s.effort();
+        assert!(now.conflicts >= prev.conflicts, "round {round}: conflicts");
+        assert!(now.decisions >= prev.decisions, "round {round}: decisions");
+        assert!(
+            now.propagations >= prev.propagations,
+            "round {round}: propagations"
+        );
+        let delta = now.since(prev);
+        assert!(delta.conflicts <= 3, "budget caps each call exactly");
+        total += delta;
+        prev = now;
+    }
+    assert_eq!(total, prev, "per-call deltas sum back to the snapshot");
+    assert!(prev.conflicts > 0, "pigeonhole forces real conflicts");
+}
+
+#[test]
+fn effort_budget_truncates_at_a_deterministic_point() {
+    // Two identical solvers given the same budget must stop with
+    // identical counters — the machine-independence Work budgets rely
+    // on (a wall-clock deadline could never promise this).
+    let (nv, clauses) = pigeonhole(7);
+    let mk = || {
+        let mut s = Solver::new();
+        s.ensure_vars(nv);
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        s.set_effort_budget(Some(11));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.effort()
+    };
+    assert_eq!(mk(), mk());
 }
 
 #[test]

@@ -20,9 +20,20 @@
 //!                               line (stable output)
 //!   --emit-qdimacs              print the 3QCNF of formulation (4) and exit
 //!   --emit-blif                 print decomposed netlists as BLIF
-//!   --per-call-ms <n>           per-QBF-call budget (default 4000, paper)
-//!   --per-output-s <n>          per-output budget (default 60)
+//!   --budget <spec>             per-output budget (default wall:60s)
+//!   --circuit-budget <spec>     per-circuit budget (default wall:6000s)
+//!   --qbf-budget <spec>         per-QBF-call budget (default wall:4s, paper)
+//!   --per-call-ms <n>           legacy spelling of --qbf-budget wall:<n>ms
+//!   --per-output-s <n>          legacy spelling of --budget wall:<n>s
 //! ```
+//!
+//! A budget `<spec>` is `wall:<dur>`, `work:<conflicts>`,
+//! `both:<dur>,<conflicts>` or `unlimited`
+//! ([`Budget::parse`](qbf_bidec::step::Budget::parse)). A pure-work
+//! `--budget work:<n>` makes the run deterministic — byte-identical
+//! results (timeouts included) across machines and `--jobs` values —
+//! and therefore lifts the default *wall* limits on the per-call and
+//! per-circuit scopes unless those are set explicitly.
 //!
 //! Whole-circuit runs submit to a [`StepService`] worker pool and
 //! stream per-output events off the submission handle (`--progress`
@@ -46,7 +57,8 @@ use qbf_bidec::step::oracle::CoreFormula;
 use qbf_bidec::step::qbf_model::Target;
 use qbf_bidec::step::qdimacs_export::{export_qdimacs, ExportOptions};
 use qbf_bidec::step::{
-    BiDecomposer, DecompConfig, GateOp, Model, OutputResult, ResultCache, StepService,
+    BiDecomposer, Budget, BudgetPolicy, DecompConfig, EffortMeter, GateOp, Model, OutputResult,
+    ResultCache, StepService,
 };
 
 struct Cli {
@@ -63,15 +75,17 @@ struct Cli {
     no_timing: bool,
     emit_qdimacs: bool,
     emit_blif: bool,
-    per_call: Duration,
-    per_output: Duration,
+    budget: BudgetPolicy,
 }
 
 const USAGE: &str = "usage: step <circuit.{bench,blif,aag}> [--model ljh|mg|qd|qb|qdb] \
                      [--op or|and|xor] [--weights wd wb] [--output idx] [--jobs n] \
                      [--progress] [--seed n] [--cache] [--no-cache] [--cache-cap n] \
-                     [--no-timing] [--emit-qdimacs] [--emit-blif] [--per-call-ms n] \
-                     [--per-output-s n]";
+                     [--no-timing] [--emit-qdimacs] [--emit-blif] \
+                     [--budget spec] [--circuit-budget spec] [--qbf-budget spec] \
+                     [--per-call-ms n] [--per-output-s n]\n\
+                     budget spec: wall:<dur> | work:<conflicts> | both:<dur>,<conflicts> \
+                     | unlimited (e.g. --budget work:200k for deterministic truncation)";
 
 /// Bad invocation: usage on stderr, exit 2.
 fn usage() -> ! {
@@ -101,9 +115,13 @@ fn parse_cli() -> Cli {
         no_timing: false,
         emit_qdimacs: false,
         emit_blif: false,
-        per_call: Duration::from_millis(4000),
-        per_output: Duration::from_secs(60),
+        budget: BudgetPolicy::default(),
     };
+    // Whether the user explicitly chose per-call/per-circuit budgets
+    // (any spelling): a pure-work `--budget` lifts unset wall defaults
+    // below so the determinism promise holds.
+    let mut qbf_budget_set = false;
+    let mut circuit_budget_set = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -173,17 +191,45 @@ fn parse_cli() -> Cli {
             "--no-timing" => cli.no_timing = true,
             "--emit-qdimacs" => cli.emit_qdimacs = true,
             "--emit-blif" => cli.emit_blif = true,
+            // Budgets: `--budget` is the per-output limit, the paper's
+            // central truncation knob; a malformed spec reports why and
+            // exits 2 with the usage message (never a panic).
+            flag @ ("--budget" | "--circuit-budget" | "--qbf-budget") => {
+                i += 1;
+                match args.get(i).map(|s| Budget::parse(s)) {
+                    Some(Ok(b)) => match flag {
+                        "--budget" => cli.budget.per_output = b,
+                        "--circuit-budget" => {
+                            cli.budget.per_circuit = b;
+                            circuit_budget_set = true;
+                        }
+                        _ => {
+                            cli.budget.per_qbf_call = b;
+                            qbf_budget_set = true;
+                        }
+                    },
+                    Some(Err(e)) => {
+                        eprintln!("{flag}: {e}");
+                        usage();
+                    }
+                    None => usage(),
+                }
+            }
+            // Legacy wall-clock spellings of the same knobs.
             "--per-call-ms" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(ms) => cli.per_call = Duration::from_millis(ms),
+                    Some(ms) => {
+                        cli.budget.per_qbf_call = Budget::Wall(Duration::from_millis(ms));
+                        qbf_budget_set = true;
+                    }
                     None => usage(),
                 }
             }
             "--per-output-s" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(s) => cli.per_output = Duration::from_secs(s),
+                    Some(s) => cli.budget.per_output = Budget::Wall(Duration::from_secs(s)),
                     None => usage(),
                 }
             }
@@ -198,6 +244,8 @@ fn parse_cli() -> Cli {
     if cli.path.is_empty() {
         usage();
     }
+    cli.budget
+        .lift_unset_walls_for_pure_work(qbf_budget_set, circuit_budget_set);
     cli
 }
 
@@ -321,8 +369,7 @@ fn main() {
     }
 
     let mut config = DecompConfig::new(cli.model);
-    config.budget.per_qbf_call = cli.per_call;
-    config.budget.per_output = cli.per_output;
+    config.budget = cli.budget;
     config.jobs = cli.jobs;
     if let Some(seed) = cli.seed {
         config.seed = seed;
@@ -458,8 +505,9 @@ fn run_weighted(cli: &Cli, comb: &qbf_bidec::aig::Aig, wd: u32, wb: u32) {
         let core = CoreFormula::build(&cone.aig, cone.root, cli.op);
         let mut oracle = qbf_bidec::step::oracle::PartitionOracle::new(core.clone());
         let start = std::time::Instant::now();
-        let boot = match mg::decompose(&mut oracle, None, None) {
-            mg::MgOutcome::Partition(p) => Some(p),
+        let mut meter = EffortMeter::unlimited();
+        let boot = match mg::decompose(&mut oracle, None, &mut meter) {
+            mg::MgOutcome::Partition(p) | mg::MgOutcome::TruncatedPartition(p) => Some(p),
             _ => None,
         };
         let search = qbf_bidec::step::optimum::search(
@@ -468,6 +516,7 @@ fn run_weighted(cli: &Cli, comb: &qbf_bidec::aig::Aig, wd: u32, wb: u32) {
             boot.as_ref(),
             qbf_bidec::step::SearchStrategy::MonotoneIncreasing,
             &qbf_bidec::step::qbf_model::ModelOptions::default(),
+            &mut meter,
         );
         match search.partition {
             Some(p) => {

@@ -51,8 +51,12 @@ fn help_prints_usage_to_stdout_and_exits_0() {
             "--no-timing",
             "--emit-qdimacs",
             "--emit-blif",
+            "--budget",
+            "--circuit-budget",
+            "--qbf-budget",
             "--per-call-ms",
             "--per-output-s",
+            "work:",
         ] {
             assert!(usage.contains(opt), "usage must mention {opt}: {usage}");
         }
@@ -219,6 +223,70 @@ fn cache_flags_report_stats_and_never_change_output() {
     assert!(out.status.success());
     let out = run(step().arg(&path).args(["--cache-cap", "0"]));
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn budget_flags_parse_and_malformed_values_exit_2_with_usage() {
+    let path = write_two_outputs("budget");
+    // Well-formed specs in every shape run fine.
+    for spec in ["wall:60s", "work:200k", "both:60s,200k", "unlimited"] {
+        let out = run(step().arg(&path).args(["--model", "mg", "--budget", spec]));
+        assert!(out.status.success(), "--budget {spec}: {:?}", out.stderr);
+    }
+    let out = run(step()
+        .arg(&path)
+        .args(["--model", "mg", "--circuit-budget", "work:1m"]));
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let out = run(step()
+        .arg(&path)
+        .args(["--model", "qd", "--qbf-budget", "both:500ms,10k"]));
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+
+    // Malformed values exit 2 with the usage message — never a panic.
+    for (flag, bad) in [
+        ("--budget", "60"),
+        ("--budget", "wall:"),
+        ("--budget", "work:abc"),
+        ("--budget", "both:4s"),
+        ("--circuit-budget", "secs:4"),
+        ("--qbf-budget", ""),
+        ("--cache-cap", "lots"),
+        ("--jobs", "-3"),
+    ] {
+        let out = run(step().arg(&path).args([flag, bad]));
+        assert_eq!(out.status.code(), Some(2), "{flag} {bad:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains("usage: step"),
+            "{flag} {bad:?} must print usage: {err}"
+        );
+    }
+    // A trailing flag with no value at all is the same usage error.
+    for flag in ["--budget", "--circuit-budget", "--cache-cap", "--jobs"] {
+        let out = run(step().arg(&path).arg(flag));
+        assert_eq!(out.status.code(), Some(2), "bare {flag}");
+    }
+}
+
+#[test]
+fn work_budget_runs_are_byte_identical_across_jobs() {
+    // The new determinism guarantee at the CLI surface: under a pure
+    // work budget, stdout (with --no-timing) is byte-identical for any
+    // --jobs value and cache mode — including which outputs truncate.
+    let path = write_two_outputs("workdet");
+    let run_with = |extra: &[&str]| -> String {
+        let mut cmd = step();
+        cmd.arg(&path)
+            .args(["--model", "qd", "--no-timing", "--budget", "work:1"]);
+        cmd.args(extra);
+        let out = run(&mut cmd);
+        assert!(out.status.success(), "stderr: {:?}", out.stderr);
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let base = run_with(&["--jobs", "1"]);
+    assert_eq!(base, run_with(&["--jobs", "2"]), "jobs=2");
+    assert_eq!(base, run_with(&["--jobs", "3"]), "jobs=3");
+    assert_eq!(base, run_with(&["--jobs", "2", "--no-cache"]), "no-cache");
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! stand-in population too (not the absolute numbers — the shape).
 
 use qbf_bidec::circuits::{registry_all, registry_table1, Scale};
-use qbf_bidec::step::{BiDecomposer, BudgetPolicy, DecompConfig, GateOp, Model};
+use qbf_bidec::step::{BiDecomposer, Budget, BudgetPolicy, DecompConfig, GateOp, Model};
 
 fn run(
     entry: &qbf_bidec::circuits::CircuitEntry,
@@ -84,9 +84,9 @@ fn solved_ratio_tracks_budget() {
 
     let mut c = DecompConfig::new(Model::QbfDisjoint);
     c.budget = BudgetPolicy {
-        per_qbf_call: std::time::Duration::ZERO,
-        per_output: std::time::Duration::ZERO,
-        per_circuit: std::time::Duration::from_secs(30),
+        per_qbf_call: Budget::Wall(std::time::Duration::ZERO),
+        per_output: Budget::Wall(std::time::Duration::ZERO),
+        per_circuit: Budget::Wall(std::time::Duration::from_secs(30)),
     };
     c.extract = false;
     c.verify = false;
