@@ -7,7 +7,10 @@
 //!   the candidate space;
 //! * **the simulation pre-filter** for seed pairs;
 //! * **`k`-search strategy**: MI vs the paper's MD→Bin→MI pipeline for
-//!   disjointness.
+//!   disjointness;
+//! * **SAT kernel knobs**: restart policy (Luby vs LBD-EMA) and the
+//!   bounded preprocessing pass, measured through a full QBF model
+//!   solve so the ablation reflects end-to-end cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use step_aig::{Aig, AigLit};
@@ -137,11 +140,40 @@ fn bench_strategy(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_sat_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sat_kernel");
+    g.sample_size(10);
+    let (aig, f) = testbed();
+    let core = CoreFormula::build(&aig, f, GateOp::Or);
+    for (label, restarts, preprocess) in [
+        ("luby", step_sat::RestartPolicy::Luby, false),
+        ("ema", step_sat::RestartPolicy::Ema, false),
+        ("luby_preprocess", step_sat::RestartPolicy::Luby, true),
+        ("ema_preprocess", step_sat::RestartPolicy::Ema, true),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let opts = ModelOptions {
+                    restarts,
+                    preprocess,
+                    ..ModelOptions::default()
+                };
+                let mut meter = step_core::EffortMeter::unlimited();
+                let (outcome, _) =
+                    solve_partition(&core, Target::DisjointAtMost(1), &opts, &mut meter);
+                assert!(matches!(outcome, QbfModelOutcome::Partition(_)));
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_symmetry,
     bench_allow_both,
     bench_sim_filter,
-    bench_strategy
+    bench_strategy,
+    bench_sat_kernel
 );
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use step_cnf::{Lit, Var};
-use step_sat::{SolveResult, Solver};
+use step_sat::{ClauseDbPolicy, RestartPolicy, SolveResult, Solver};
 
 fn pigeonhole(n: usize) -> (usize, Vec<Vec<Lit>>) {
     let pigeons = n + 1;
@@ -87,5 +87,93 @@ fn bench_sat(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sat);
+/// Builds a solver with the given kernel knobs over a clause list.
+fn configured(
+    nv: usize,
+    clauses: &[Vec<Lit>],
+    restarts: RestartPolicy,
+    db: ClauseDbPolicy,
+    preprocess: bool,
+) -> Solver {
+    let mut s = Solver::new();
+    s.set_restart_policy(restarts);
+    s.set_clause_db_policy(db);
+    s.set_preprocess(preprocess);
+    s.ensure_vars(nv);
+    for cl in clauses {
+        s.add_clause(cl.iter().copied());
+    }
+    s
+}
+
+/// One ablation group per kernel heuristic, on a shared hard-UNSAT +
+/// phase-transition workload: flip exactly one knob against the
+/// defaults so a regression names the heuristic that caused it.
+fn bench_kernel_ablations(c: &mut Criterion) {
+    let (php_nv, php) = pigeonhole(6);
+    // Ratio ~4.2: near the phase transition, where restarts matter.
+    let hard = random_3sat(110, 462, 7);
+
+    let mut g = c.benchmark_group("sat_restart_policy");
+    g.sample_size(10);
+    for policy in [RestartPolicy::Luby, RestartPolicy::Ema] {
+        g.bench_function(format!("php6/{policy}"), |b| {
+            b.iter(|| {
+                let mut s = configured(php_nv, &php, policy, ClauseDbPolicy::Tiered, false);
+                assert_eq!(s.solve(), SolveResult::Unsat);
+            })
+        });
+        g.bench_function(format!("random3sat_hard/{policy}"), |b| {
+            b.iter(|| {
+                let mut s = configured(110, &hard, policy, ClauseDbPolicy::Tiered, false);
+                let _ = s.solve();
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("sat_clause_db");
+    g.sample_size(10);
+    for db in [ClauseDbPolicy::Tiered, ClauseDbPolicy::SortHalf] {
+        g.bench_function(format!("php6/{db:?}"), |b| {
+            b.iter(|| {
+                let mut s = configured(php_nv, &php, RestartPolicy::Luby, db, false);
+                assert_eq!(s.solve(), SolveResult::Unsat);
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("sat_preprocess");
+    g.sample_size(10);
+    for preprocess in [false, true] {
+        g.bench_function(format!("php6/pp={preprocess}"), |b| {
+            b.iter(|| {
+                let mut s = configured(
+                    php_nv,
+                    &php,
+                    RestartPolicy::Luby,
+                    ClauseDbPolicy::Tiered,
+                    preprocess,
+                );
+                assert_eq!(s.solve(), SolveResult::Unsat);
+            })
+        });
+        g.bench_function(format!("random3sat_hard/pp={preprocess}"), |b| {
+            b.iter(|| {
+                let mut s = configured(
+                    110,
+                    &hard,
+                    RestartPolicy::Luby,
+                    ClauseDbPolicy::Tiered,
+                    preprocess,
+                );
+                let _ = s.solve();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sat, bench_kernel_ablations);
 criterion_main!(benches);

@@ -21,7 +21,7 @@ use std::time::Duration;
 use step_circuits::{CircuitEntry, Scale};
 use step_core::{
     BiDecomposer, Budget, BudgetPolicy, CircuitResult, DecompConfig, GateOp, Model, OutputResult,
-    ResultCache, StepService, SubmissionHandle,
+    RestartPolicy, ResultCache, StepService, SubmissionHandle,
 };
 
 /// Command-line options shared by the harness binaries.
@@ -53,6 +53,12 @@ pub struct HarnessOpts {
     /// (`--no-cache`); [`HarnessOpts::from_args`] enables it by
     /// default.
     pub cache: Option<Arc<ResultCache>>,
+    /// SAT restart policy (`--sat-restarts luby|ema`), forwarded to
+    /// every solver the sweep builds and recorded in the BENCH JSON.
+    pub sat_restarts: RestartPolicy,
+    /// Bounded root-level SAT preprocessing (`--sat-preprocess`),
+    /// recorded in the BENCH JSON.
+    pub sat_preprocess: bool,
 }
 
 impl Default for HarnessOpts {
@@ -70,6 +76,8 @@ impl Default for HarnessOpts {
             jobs: 1,
             seed: DecompConfig::new(Model::QbfDisjoint).seed,
             cache: None,
+            sat_restarts: RestartPolicy::default(),
+            sat_preprocess: false,
         }
     }
 }
@@ -189,6 +197,17 @@ impl HarnessOpts {
                         }
                     };
                 }
+                "--sat-restarts" => {
+                    i += 1;
+                    opts.sat_restarts = match args.get(i).and_then(|s| s.parse().ok()) {
+                        Some(p) => p,
+                        None => {
+                            eprintln!("--sat-restarts needs luby or ema");
+                            std::process::exit(2);
+                        }
+                    };
+                }
+                "--sat-preprocess" => opts.sat_preprocess = true,
                 "--cache" => cache_on = true,
                 "--no-cache" => cache_on = false,
                 "--cache-cap" => {
@@ -207,7 +226,8 @@ impl HarnessOpts {
                         "options: --scale smoke|default|full  --paper  \
                          --budget <spec>  --circuit-budget <spec>  --qbf-budget <spec>  \
                          --op or|and|xor  --filter <substr>  --fast  --jobs <n>  \
-                         --seed <n>  --cache  --no-cache  --cache-cap <n>  \
+                         --seed <n>  --sat-restarts luby|ema  --sat-preprocess  \
+                         --cache  --no-cache  --cache-cap <n>  \
                          (budget spec: wall:<dur> | work:<n> | both:<dur>,<n> | unlimited)"
                     );
                     std::process::exit(0);
@@ -270,6 +290,8 @@ impl HarnessOpts {
         }
         c.jobs = self.jobs;
         c.seed = self.seed;
+        c.sat_restarts = self.sat_restarts;
+        c.sat_preprocess = self.sat_preprocess;
         c
     }
 
@@ -472,7 +494,10 @@ pub fn secs(d: Duration) -> String {
 ///   `effort_conflicts` (total solver conflicts of the run) and
 ///   `budget` (the [`BudgetPolicy`] the run was truncated under;
 ///   shards are only mergeable when they agree on it).
-pub const BENCH_SCHEMA_VERSION: u32 = 3;
+/// * v4 — SAT kernel provenance: `sat_restarts` (restart policy) and
+///   `sat_preprocess` — result-relevant knobs (they are part of the
+///   result-cache key), so shards must agree on them too.
+pub const BENCH_SCHEMA_VERSION: u32 = 4;
 
 /// One machine-readable row of a harness run: model × circuit with
 /// wall-clock and solver-call statistics plus the run provenance
@@ -504,6 +529,12 @@ pub struct BenchRecord {
     /// [`Budget::parse`] syntax). Records truncated under different
     /// budgets are not comparable — merge tooling must match on this.
     pub budget: String,
+    /// SAT restart policy of the run (`luby`/`ema`). Result-relevant:
+    /// records with different policies are different experiments.
+    pub sat_restarts: String,
+    /// Whether SAT preprocessing was on (result-relevant, like
+    /// `sat_restarts`).
+    pub sat_preprocess: bool,
     /// Wall-clock seconds for the whole circuit. Measured first claim
     /// to last event on service runs (`jobs` recorded here); only
     /// compare wall clocks between records with the same `jobs`.
@@ -552,6 +583,8 @@ impl BenchRecord {
             jobs: opts.jobs,
             cache: opts.cache.is_some(),
             budget: opts.budget.to_string(),
+            sat_restarts: opts.sat_restarts.to_string(),
+            sat_preprocess: opts.sat_preprocess,
             wall_s: r.cpu.as_secs_f64(),
             decomposed: r.num_decomposed(),
             outputs: r.outputs.len(),
@@ -585,7 +618,8 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
         out.push_str(&format!(
             "  {{\"schema_version\": {}, \"model\": \"{}\", \"circuit\": \"{}\", \
              \"op\": \"{}\", \"seed\": {}, \"jobs\": {}, \"cache\": {}, \
-             \"budget\": \"{}\", \"wall_s\": {:.6}, \
+             \"budget\": \"{}\", \"sat_restarts\": \"{}\", \"sat_preprocess\": {}, \
+             \"wall_s\": {:.6}, \
              \"decomposed\": {}, \"outputs\": {}, \"sat_calls\": {}, \
              \"qbf_calls\": {}, \"effort_conflicts\": {}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \
@@ -598,6 +632,8 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
             r.jobs,
             r.cache,
             json_escape(&r.budget),
+            json_escape(&r.sat_restarts),
+            r.sat_preprocess,
             r.wall_s,
             r.decomposed,
             r.outputs,
@@ -759,6 +795,8 @@ pub fn parse_bench_records_json(text: &str) -> Result<Vec<BenchRecord>, String> 
             jobs: number("jobs")? as usize,
             cache: boolean("cache")?,
             budget: string("budget")?,
+            sat_restarts: string("sat_restarts")?,
+            sat_preprocess: boolean("sat_preprocess")?,
             wall_s: get("wall_s")?
                 .0
                 .parse()
@@ -877,16 +915,22 @@ mod tests {
             2
         );
         assert!(json.contains("\"effort_conflicts\": "), "{json}");
+        // Schema-4 SAT kernel provenance.
+        assert_eq!(json.matches("\"sat_restarts\": \"luby\"").count(), 2);
+        assert_eq!(json.matches("\"sat_preprocess\": false").count(), 2);
     }
 
     #[test]
     fn bench_json_round_trips_through_the_reader() {
-        // The schema-3 fields must survive write → parse exactly, so
+        // The schema fields must survive write → parse exactly, so
         // merge tooling reading sharded sweep outputs sees what the
-        // harness wrote (budget and effort provenance included).
+        // harness wrote (budget, effort and SAT-kernel provenance
+        // included).
         let entry = &registry_table1()[16]; // mm9a: small
         let mut opts = smoke_opts();
         opts.budget.per_output = step_core::Budget::Work(50_000);
+        opts.sat_restarts = RestartPolicy::Ema;
+        opts.sat_preprocess = true;
         let r = run_model(entry, Model::MusGroup, &opts);
         let mut rec = BenchRecord::of(Model::MusGroup, entry.name, &r, &opts);
         rec.circuit = "odd \"name\"\\with escapes".to_owned();
@@ -905,6 +949,8 @@ mod tests {
             assert_eq!(p.jobs, w.jobs);
             assert_eq!(p.cache, w.cache);
             assert_eq!(p.budget, w.budget, "budget provenance round-trips");
+            assert_eq!(p.sat_restarts, "ema", "restart provenance round-trips");
+            assert!(p.sat_preprocess, "preprocess provenance round-trips");
             assert!(
                 p.budget.contains("output=work:50000"),
                 "work budget recorded: {}",

@@ -61,6 +61,12 @@ pub struct CacheKey {
     pub sim_rounds: usize,
     /// Engine base seed (feeds the canonical simulation seed).
     pub seed: u64,
+    /// SAT restart policy: steers which partition the search finds
+    /// first, so runs with different policies must not share entries.
+    pub sat_restarts: step_sat::RestartPolicy,
+    /// SAT root-level preprocessing on/off (result-relevant for the
+    /// same reason).
+    pub sat_preprocess: bool,
 }
 
 impl CacheKey {
@@ -76,6 +82,8 @@ impl CacheKey {
             sim_filter: config.sim_filter,
             sim_rounds: config.sim_rounds,
             seed: config.seed,
+            sat_restarts: config.sat_restarts,
+            sat_preprocess: config.sat_preprocess,
         }
     }
 }

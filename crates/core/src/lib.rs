@@ -74,8 +74,9 @@ pub use partition::{VarClass, VarPartition};
 pub use service::{OutputEvent, StepService, SubmissionHandle, SubmissionId};
 pub use session::SolveSession;
 pub use spec::{Budget, BudgetPolicy, DecompConfig, GateOp, Model, SearchStrategy};
-// The effort-counter vocabulary is shared with the solver layers.
-pub use step_sat::EffortStats;
+// The effort-counter vocabulary is shared with the solver layers, as
+// is the restart-policy knob `DecompConfig::sat_restarts` takes.
+pub use step_sat::{EffortStats, RestartPolicy};
 pub use strategy::{strategy_for, ModelStrategy, StrategyOutcome};
 pub use verify::{verify, VerifyError};
 

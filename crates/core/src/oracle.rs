@@ -185,8 +185,19 @@ pub struct PartitionOracle {
 }
 
 impl PartitionOracle {
-    /// Encodes `core` into a fresh incremental solver.
+    /// Encodes `core` into a fresh incremental solver with the default
+    /// kernel knobs (Luby restarts, no preprocessing).
     pub fn new(core: CoreFormula) -> Self {
+        Self::with_options(core, step_sat::RestartPolicy::default(), false)
+    }
+
+    /// Encodes `core` into a fresh incremental solver with the given
+    /// restart policy and preprocessing flag.
+    pub fn with_options(
+        core: CoreFormula,
+        restarts: step_sat::RestartPolicy,
+        preprocess: bool,
+    ) -> Self {
         let mut cnf = Cnf::new();
         let mut enc = AigCnf::new();
         let alpha_lits: Vec<Lit> = core
@@ -210,6 +221,8 @@ impl PartitionOracle {
         let r = enc.encode(&mut cnf, &core.aig, core.root);
         cnf.add_unit(r);
         let mut solver = Solver::new();
+        solver.set_restart_policy(restarts);
+        solver.set_preprocess(preprocess);
         solver.add_cnf(&cnf);
         PartitionOracle {
             core,

@@ -69,6 +69,10 @@ pub struct ModelOptions {
     /// timeout, or its deterministic [`Budget::Work`] analogue (total
     /// inner-SAT conflicts of the CEGAR call).
     pub per_call: Budget,
+    /// Restart policy for the CEGAR engine's inner SAT solvers.
+    pub restarts: step_sat::RestartPolicy,
+    /// Bounded root-level preprocessing in the inner SAT solvers.
+    pub preprocess: bool,
 }
 
 impl Default for ModelOptions {
@@ -77,6 +81,8 @@ impl Default for ModelOptions {
             symmetry_breaking: true,
             allow_both: false,
             per_call: Budget::Unlimited,
+            restarts: step_sat::RestartPolicy::default(),
+            preprocess: false,
         }
     }
 }
@@ -122,6 +128,8 @@ pub fn solve_partition(
         deadline: limits.deadline,
         conflicts_per_call: None,
         effort_budget: limits.conflicts,
+        restarts: opts.restarts,
+        preprocess: opts.preprocess,
     });
 
     let symmetry = opts.symmetry_breaking;

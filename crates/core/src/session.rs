@@ -258,7 +258,11 @@ impl<'a> SolveSession<'a> {
             ));
         }
         let core = CoreFormula::build(&canon.aig, canon.root, self.job.op);
-        self.oracle = Some(PartitionOracle::new(core));
+        self.oracle = Some(PartitionOracle::with_options(
+            core,
+            self.config.sat_restarts,
+            self.config.sat_preprocess,
+        ));
 
         let outcome = strategy_for(self.config.model).solve(&mut self);
         result.sat_calls = self.oracle.as_ref().map_or(0, |o| o.sat_calls);

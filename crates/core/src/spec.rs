@@ -13,6 +13,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use step_sat::RestartPolicy;
+
 /// The two-input gate at the root of the bi-decomposition.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum GateOp {
@@ -380,6 +382,17 @@ pub struct DecompConfig {
     pub sim_filter: bool,
     /// Random-simulation rounds for the pre-filter.
     pub sim_rounds: usize,
+    /// Restart policy for every underlying SAT solver (the QBF models'
+    /// inner CEGAR solvers and the LJH/MUS oracles). Both choices are
+    /// deterministic; part of the result-cache key.
+    pub sat_restarts: RestartPolicy,
+    /// Enable the SAT solvers' bounded root-level preprocessing pass
+    /// (subsumption, self-subsuming resolution, failed-literal
+    /// probing). Off by default: the CEGAR loop's incremental re-solves
+    /// usually lose more to re-preprocessing than they gain. Charged in
+    /// conflict-equivalents, so `Work` budgets stay exact; part of the
+    /// result-cache key.
+    pub sat_preprocess: bool,
     /// Worker threads for [`decompose_circuit`]: the ephemeral
     /// [`StepService`](crate::service::StepService) it spins up gets
     /// `jobs` persistent workers claiming outputs from the submission
@@ -416,6 +429,8 @@ impl DecompConfig {
             verify: true,
             sim_filter: true,
             sim_rounds: 4,
+            sat_restarts: RestartPolicy::default(),
+            sat_preprocess: false,
             jobs: 1,
             seed: 0x5DEECE66D,
             panic_on_output: None,

@@ -39,6 +39,8 @@ pub(super) fn solve_with_metric(session: &mut SolveSession<'_>, metric: Metric) 
         symmetry_breaking: config.symmetry_breaking,
         allow_both: config.allow_both,
         per_call: config.budget.per_qbf_call,
+        restarts: config.sat_restarts,
+        preprocess: config.sat_preprocess,
     };
     let strategy = config.effective_strategy();
     let (oracle, _, meter) = session.solve_parts();

@@ -2,7 +2,7 @@ use std::time::Instant;
 
 use step_aig::{Aig, AigLit};
 use step_cnf::{tseitin::AigCnf, Cnf, Lit, Var};
-use step_sat::{EffortStats, SolveResult, Solver};
+use step_sat::{EffortStats, RestartPolicy, SolveResult, Solver};
 
 /// Result of a 2QBF solve.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -33,6 +33,13 @@ pub struct Qbf2Config {
     /// clock), so a budgeted `Unknown` falls in the same place on
     /// every machine.
     pub effort_budget: Option<u64>,
+    /// Restart policy for both inner SAT solvers (candidate and
+    /// counterexample). Deterministic either way.
+    pub restarts: RestartPolicy,
+    /// Enables the inner solvers' bounded root-level preprocessing
+    /// pass. Off by default: CEGAR re-solves the same formulas
+    /// incrementally, where re-preprocessing rarely pays for itself.
+    pub preprocess: bool,
 }
 
 /// Counters from a CEGAR run.
@@ -225,6 +232,10 @@ impl ExistsForall {
     pub fn solve(&mut self) -> Qbf2Result {
         self.abs.set_deadline(self.config.deadline);
         self.check.set_deadline(self.config.deadline);
+        self.abs.set_restart_policy(self.config.restarts);
+        self.check.set_restart_policy(self.config.restarts);
+        self.abs.set_preprocess(self.config.preprocess);
+        self.check.set_preprocess(self.config.preprocess);
         // Baseline for the whole-call effort budget: every inner SAT
         // call below is capped by what remains of it, so the solve
         // stops at a deterministic, machine-independent conflict count.

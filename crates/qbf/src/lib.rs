@@ -48,7 +48,9 @@ pub use cegar::{ExistsForall, Qbf2Config, Qbf2Result, Qbf2Stats};
 pub use qdimacs::{solve_qdimacs, QbfOutcome, QdimacsError};
 // The effort-counter vocabulary is shared with the SAT layer: a QBF
 // call's effort is the sum of its inner solvers' (`ExistsForall::effort`).
-pub use step_sat::EffortStats;
+// Likewise the restart-policy knob, which `Qbf2Config` forwards to the
+// inner candidate and counterexample solvers.
+pub use step_sat::{EffortStats, RestartPolicy};
 
 // Compile-time audit: CEGAR solvers run inside worker threads of the
 // parallel circuit driver (step-core), so they must stay

@@ -2,8 +2,13 @@
 //!
 //! This crate plays the role of the MiniSat-class engine underneath the
 //! original STEP tool: conflict-driven clause learning with two-watched
-//! literals, VSIDS branching with phase saving, Luby restarts and
-//! LBD-based learnt-clause database reduction.
+//! literals, VSIDS branching with phase saving, selectable restart
+//! policies ([`RestartPolicy`]: Luby, or Glucose-style LBD-EMA dynamic
+//! restarts with trail-size blocking), three-tier LBD-based
+//! learnt-clause database management ([`ClauseDbPolicy`]) and an
+//! optional bounded root-level preprocessing pass (subsumption,
+//! self-subsuming resolution, failed-literal probing) charged in
+//! conflict-equivalents ([`Solver::set_preprocess`]).
 //!
 //! Features the rest of the workspace builds on:
 //!
@@ -41,7 +46,7 @@ mod solver;
 pub mod proof;
 
 pub use proof::{ClauseId, Proof, ProofStep};
-pub use solver::{EffortStats, SolveResult, Solver, SolverStats};
+pub use solver::{ClauseDbPolicy, EffortStats, RestartPolicy, SolveResult, Solver, SolverStats};
 
 // Compile-time audit: solver instances are created and driven inside
 // worker threads of the parallel circuit driver (step-core), so they

@@ -82,6 +82,107 @@ impl std::ops::AddAssign for EffortStats {
     }
 }
 
+/// Restart scheduling policy of the CDCL search loop.
+///
+/// Both policies measure progress purely in **conflicts**, never wall
+/// clock, so either one preserves the determinism contract of
+/// [`Solver::set_effort_budget`]: a budgeted run truncates at the same
+/// conflict on every machine.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum RestartPolicy {
+    /// MiniSat-style static restarts on the Luby sequence with a
+    /// 100-conflict unit. The historical default.
+    #[default]
+    Luby,
+    /// Glucose-style dynamic restarts: restart when the fast
+    /// exponential moving average of learnt-clause LBD rises above the
+    /// slow one (search is producing unusually poor clauses), blocked
+    /// while the trail is much longer than its long-run average (the
+    /// solver may be closing in on a model).
+    Ema,
+}
+
+impl std::fmt::Display for RestartPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RestartPolicy::Luby => "luby",
+            RestartPolicy::Ema => "ema",
+        })
+    }
+}
+
+impl std::str::FromStr for RestartPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "luby" => Ok(RestartPolicy::Luby),
+            "ema" => Ok(RestartPolicy::Ema),
+            other => Err(format!("unknown restart policy `{other}` (luby|ema)")),
+        }
+    }
+}
+
+/// Learnt-clause database reduction policy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ClauseDbPolicy {
+    /// Three-tier management: *core* clauses (LBD ≤ 2) are kept
+    /// forever, *tier-2* clauses (LBD ≤ 6) survive while recently used
+    /// and are demoted on inactivity, *local* clauses are aggressively
+    /// halved at every reduction. The default.
+    #[default]
+    Tiered,
+    /// The historical single-DB policy: sort everything by
+    /// `(LBD, activity)` and delete the worse half. Kept as an
+    /// ablation baseline for `benches/sat_kernels.rs`.
+    SortHalf,
+}
+
+// EMA restart tuning (Glucose-lineage constants). All thresholds are
+// conflict counts or pure ratios — nothing here consults a clock.
+/// Minimum conflicts between dynamic restarts.
+const EMA_MIN_CONFLICTS: u64 = 50;
+/// Restart when `fast > EMA_MARGIN * slow`.
+const EMA_MARGIN: f64 = 1.35;
+/// Block a pending restart while `trail > BLOCK_MARGIN * trail_ema`.
+const BLOCK_MARGIN: f64 = 1.4;
+/// Smoothing window of the fast LBD average.
+const EMA_FAST_WINDOW: f64 = 32.0;
+/// Smoothing window of the slow LBD / trail averages.
+const EMA_SLOW_WINDOW: f64 = 4096.0;
+
+// Clause-DB reduction scheduling. The tiered policy reduces early and
+// often (Glucose lineage: core clauses are exempt, so frequent
+// reductions only shed the local tier); the sort-half baseline keeps
+// its historical lazy geometric schedule.
+/// First tiered reduction fires when the learnt DB reaches this size.
+const TIERED_FIRST_REDUCE: f64 = 2000.0;
+/// Linear growth of the tiered reduction threshold.
+const TIERED_REDUCE_INC: f64 = 500.0;
+/// First sort-half reduction threshold (historical default).
+const SORT_HALF_FIRST_REDUCE: f64 = 8000.0;
+
+// Clause tiers.
+const TIER_CORE: u8 = 0;
+const TIER_MID: u8 = 1;
+const TIER_LOCAL: u8 = 2;
+/// Learn-time LBD bound for the core tier.
+const CORE_LBD: u32 = 2;
+/// Learn-time LBD bound for tier 2.
+const MID_LBD: u32 = 6;
+
+// Preprocessing effort accounting: bookkeeping ticks are converted to
+// conflict-equivalents so the pass charges [`EffortStats`] in the same
+// deterministic currency as search.
+/// Ticks (≈ literal visits) charged as one conflict-equivalent.
+const PP_TICKS_PER_CONFLICT: u64 = 512;
+/// Cap on the conflict-equivalents one preprocessing pass may spend.
+const PP_MAX_CONFLICTS: u64 = 2000;
+/// Occurrence-list bound for self-subsumption candidate scans.
+const PP_STRENGTHEN_OCC_CAP: usize = 32;
+/// Clauses longer than this are not used as subsumption sources.
+const PP_SUBSUME_MAX_LEN: usize = 32;
+
 const LBOOL_TRUE: u8 = 1;
 const LBOOL_FALSE: u8 = 0;
 const LBOOL_UNDEF: u8 = 2;
@@ -97,6 +198,12 @@ struct Clause {
     activity: f64,
     lbd: u32,
     proof_id: ClauseId,
+    /// [`TIER_CORE`] / [`TIER_MID`] / [`TIER_LOCAL`] (learnt only).
+    tier: u8,
+    /// Recent-use credit of tier-2 clauses: set when the clause takes
+    /// part in conflict analysis, decremented at each reduction;
+    /// hitting zero demotes the clause to the local tier.
+    used: u8,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -137,6 +244,25 @@ pub struct Solver {
     conflict_budget: Option<u64>,
     deadline: Option<Instant>,
     proof: Option<Proof>,
+    restart_policy: RestartPolicy,
+    db_policy: ClauseDbPolicy,
+    preprocess: bool,
+    /// Original (non-learnt) clauses allocated so far; the
+    /// preprocessing pass reruns only when this has grown by ≥ 25%
+    /// since the last pass, so incremental callers that trickle in
+    /// refinement clauses (the CEGAR loop) pay for one pass up front
+    /// rather than one per `solve()`.
+    num_originals: usize,
+    /// `num_originals` already seen by preprocessing.
+    pp_seen_originals: usize,
+    /// Fast EMA of learnt-clause LBD (EMA restarts).
+    lbd_ema_fast: f64,
+    /// Slow EMA of learnt-clause LBD (EMA restarts).
+    lbd_ema_slow: f64,
+    /// Slow EMA of the trail size at conflicts (restart blocking).
+    trail_ema: f64,
+    /// Conflicts that have fed the EMAs (0 = cold averages).
+    ema_samples: u64,
 }
 
 impl Default for Solver {
@@ -166,12 +292,60 @@ impl Solver {
             model: Vec::new(),
             conflict_core: Vec::new(),
             learnt_refs: Vec::new(),
-            max_learnts: 8000.0,
+            max_learnts: TIERED_FIRST_REDUCE,
             stats: SolverStats::default(),
             conflict_budget: None,
             deadline: None,
             proof: None,
+            restart_policy: RestartPolicy::default(),
+            db_policy: ClauseDbPolicy::default(),
+            preprocess: false,
+            num_originals: 0,
+            pp_seen_originals: 0,
+            lbd_ema_fast: 0.0,
+            lbd_ema_slow: 0.0,
+            trail_ema: 0.0,
+            ema_samples: 0,
         }
+    }
+
+    /// Selects the restart policy for subsequent solve calls (default
+    /// [`RestartPolicy::Luby`]). Both policies are deterministic in
+    /// conflicts; they merely walk different search trajectories.
+    pub fn set_restart_policy(&mut self, policy: RestartPolicy) {
+        self.restart_policy = policy;
+    }
+
+    /// The active restart policy.
+    pub fn restart_policy(&self) -> RestartPolicy {
+        self.restart_policy
+    }
+
+    /// Selects the learnt-clause database reduction policy (default
+    /// [`ClauseDbPolicy::Tiered`]) and resets the reduction schedule to
+    /// the policy's first threshold, so switching policies mid-life
+    /// restarts the schedule rather than inheriting the other policy's
+    /// grown one.
+    pub fn set_clause_db_policy(&mut self, policy: ClauseDbPolicy) {
+        self.db_policy = policy;
+        self.max_learnts = match policy {
+            ClauseDbPolicy::Tiered => TIERED_FIRST_REDUCE,
+            ClauseDbPolicy::SortHalf => SORT_HALF_FIRST_REDUCE,
+        };
+    }
+
+    /// Enables the bounded root-level preprocessing pass (subsumption,
+    /// self-subsuming resolution, failed-literal probing) at the entry
+    /// of each solve call that sees new original clauses. Off by
+    /// default: incremental callers that re-solve a slowly growing
+    /// formula many times — the CEGAR loop above all — usually lose
+    /// more to re-preprocessing than they gain.
+    ///
+    /// The pass charges its work to [`EffortStats`] as
+    /// conflict-equivalents, so effort budgets stay exact and
+    /// machine-independent.
+    pub fn set_preprocess(&mut self, on: bool) {
+        self.preprocess = on;
     }
 
     /// Turns on resolution proof logging (must be called before any
@@ -233,6 +407,18 @@ impl Solver {
     /// Solver statistics.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Test-only snapshot of the live learnt clauses as
+    /// `(clause ref, lbd)` pairs, used to pin the Glucose invariant
+    /// that a clause's LBD only ever decreases.
+    #[cfg(test)]
+    pub(crate) fn learnt_lbds(&self) -> Vec<(u32, u32)> {
+        self.learnt_refs
+            .iter()
+            .filter(|&&r| !self.clauses[r as usize].deleted)
+            .map(|&r| (r, self.clauses[r as usize].lbd))
+            .collect()
     }
 
     /// A monotone snapshot of the effort expended so far (conflicts,
@@ -391,12 +577,27 @@ impl Solver {
             activity: 0.0,
             lbd: 0,
             proof_id,
+            tier: TIER_LOCAL,
+            used: 0,
         });
         if learnt {
             self.learnt_refs.push(cref);
             self.stats.learnts += 1;
+        } else {
+            self.num_originals += 1;
         }
         cref
+    }
+
+    /// The tier a learnt clause of the given LBD starts in.
+    fn tier_for_lbd(lbd: u32) -> u8 {
+        if lbd <= CORE_LBD {
+            TIER_CORE
+        } else if lbd <= MID_LBD {
+            TIER_MID
+        } else {
+            TIER_LOCAL
+        }
     }
 
     fn attach(&mut self, cref: ClauseRef) {
@@ -556,10 +757,28 @@ impl Solver {
         let cur_level = self.decision_level();
 
         loop {
+            let lits = self.clauses[cref as usize].lits.clone();
             if self.clauses[cref as usize].learnt {
                 self.bump_clause(cref);
+                // Glucose-style LBD update on use: every literal of a
+                // conflict-side clause is assigned here, so its block
+                // count is well-defined — refresh it, keeping the
+                // stored value monotone non-increasing (the original
+                // learn-time LBD goes stale once later conflicts and
+                // minimization reshape the level structure).
+                let fresh = self.compute_lbd(&lits);
+                let c = &mut self.clauses[cref as usize];
+                if fresh < c.lbd {
+                    c.lbd = fresh;
+                    let promoted = Self::tier_for_lbd(fresh);
+                    if promoted < c.tier {
+                        c.tier = promoted;
+                    }
+                }
+                if c.tier == TIER_MID {
+                    c.used = 2;
+                }
             }
-            let lits = self.clauses[cref as usize].lits.clone();
             for &q in &lits {
                 // Skip the pivot literal of this resolution step.
                 if let Some(pl) = p {
@@ -770,7 +989,72 @@ impl Solver {
         None
     }
 
+    /// Whether `r` is the reason of a currently true first literal
+    /// (and must therefore survive any reduction).
+    fn locked(&self, r: ClauseRef) -> bool {
+        let l0 = self.clauses[r as usize].lits[0];
+        self.value_lit(l0) == LBOOL_TRUE && self.reason(l0.var()) == r
+    }
+
     fn reduce_db(&mut self) {
+        match self.db_policy {
+            ClauseDbPolicy::Tiered => self.reduce_db_tiered(),
+            ClauseDbPolicy::SortHalf => self.reduce_db_sort_half(),
+        }
+    }
+
+    /// Three-tier reduction: core clauses are untouchable, tier-2
+    /// clauses lose one use credit (demoting to local once it runs
+    /// out), and the worse half of the local tier is deleted, ordered
+    /// by `(LBD, activity)` with the clause index as a deterministic
+    /// tie-break.
+    fn reduce_db_tiered(&mut self) {
+        self.learnt_refs
+            .retain(|&r| !self.clauses[r as usize].deleted);
+        let mut local: Vec<ClauseRef> = Vec::new();
+        for &r in &self.learnt_refs {
+            let c = &mut self.clauses[r as usize];
+            match c.tier {
+                TIER_MID => {
+                    if c.used > 0 {
+                        c.used -= 1;
+                    } else {
+                        c.tier = TIER_LOCAL;
+                        local.push(r);
+                    }
+                }
+                TIER_LOCAL => local.push(r),
+                _ => {}
+            }
+        }
+        local.sort_by(|&a, &b| {
+            let (ca, cb) = (&self.clauses[a as usize], &self.clauses[b as usize]);
+            ca.lbd
+                .cmp(&cb.lbd)
+                .then(
+                    cb.activity
+                        .partial_cmp(&ca.activity)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(a.cmp(&b))
+        });
+        let keep_from = local.len() / 2;
+        for &r in &local[keep_from..] {
+            if self.locked(r) {
+                continue;
+            }
+            let c = &mut self.clauses[r as usize];
+            if c.lits.len() > 2 {
+                c.deleted = true;
+                self.stats.learnts -= 1;
+            }
+        }
+        self.learnt_refs
+            .retain(|&r| !self.clauses[r as usize].deleted);
+    }
+
+    /// The historical sort-half reduction (ablation baseline).
+    fn reduce_db_sort_half(&mut self) {
         let act = |c: &Clause| c.activity;
         self.learnt_refs
             .retain(|&r| !self.clauses[r as usize].deleted);
@@ -786,11 +1070,7 @@ impl Solver {
         // Delete the worse half, keeping locked clauses and LBD <= 2.
         let keep_from = refs.len() / 2;
         for &r in &refs[keep_from..] {
-            let locked = {
-                let c = &self.clauses[r as usize];
-                let l0 = c.lits[0];
-                self.value_lit(l0) == LBOOL_TRUE && self.reason(l0.var()) == r
-            };
+            let locked = self.locked(r);
             let c = &mut self.clauses[r as usize];
             if !locked && c.lbd > 2 && c.lits.len() > 2 {
                 c.deleted = true;
@@ -853,6 +1133,14 @@ impl Solver {
             return SolveResult::Unsat;
         }
         let conflicts_at_start = self.stats.conflicts;
+        if self.preprocess
+            && self.num_originals > self.pp_seen_originals + self.pp_seen_originals / 4
+        {
+            if let Some(early) = self.run_preprocess(conflicts_at_start) {
+                return early;
+            }
+            self.pp_seen_originals = self.num_originals;
+        }
         let mut restart_num = 0u64;
         let mut restart_budget = 100 * Self::luby(restart_num);
         let mut conflicts_this_restart = 0u64;
@@ -880,27 +1168,71 @@ impl Solver {
                 let asserting = learnt[0];
                 let len = learnt.len();
                 let cref = self.alloc_clause(learnt, true, pid);
-                self.clauses[cref as usize].lbd = lbd;
+                {
+                    let c = &mut self.clauses[cref as usize];
+                    c.lbd = lbd;
+                    c.tier = Self::tier_for_lbd(lbd);
+                    c.used = 2;
+                }
                 if len >= 2 {
                     self.attach(cref);
                 }
                 self.enqueue(asserting, cref);
                 self.var_inc /= 0.95;
                 self.cla_inc /= 0.999;
+                if self.restart_policy == RestartPolicy::Ema {
+                    // Feed the restart heuristics. The trail length is
+                    // sampled *after* backtracking to the assertion
+                    // level, the moment comparable across conflicts.
+                    let (l, t) = (lbd as f64, self.trail.len() as f64);
+                    if self.ema_samples == 0 {
+                        self.lbd_ema_fast = l;
+                        self.lbd_ema_slow = l;
+                        self.trail_ema = t;
+                    } else {
+                        self.lbd_ema_fast += (l - self.lbd_ema_fast) / EMA_FAST_WINDOW;
+                        self.lbd_ema_slow += (l - self.lbd_ema_slow) / EMA_SLOW_WINDOW;
+                        self.trail_ema += (t - self.trail_ema) / EMA_SLOW_WINDOW;
+                    }
+                    self.ema_samples += 1;
+                    // Blocking: an unusually long trail suggests the
+                    // search is closing in on a model — postpone any
+                    // pending restart rather than throw it away.
+                    if conflicts_this_restart >= EMA_MIN_CONFLICTS
+                        && t > BLOCK_MARGIN * self.trail_ema
+                    {
+                        conflicts_this_restart = 0;
+                    }
+                }
                 if self.out_of_budget(conflicts_at_start) {
                     self.backtrack(0);
                     return SolveResult::Unknown;
                 }
                 if self.stats.learnts as f64 > self.max_learnts {
                     self.reduce_db();
-                    self.max_learnts *= 1.3;
+                    match self.db_policy {
+                        ClauseDbPolicy::Tiered => self.max_learnts += TIERED_REDUCE_INC,
+                        ClauseDbPolicy::SortHalf => self.max_learnts *= 1.3,
+                    }
                 }
             } else {
-                if conflicts_this_restart >= restart_budget {
+                let restart_now = match self.restart_policy {
+                    RestartPolicy::Luby => conflicts_this_restart >= restart_budget,
+                    RestartPolicy::Ema => {
+                        conflicts_this_restart >= EMA_MIN_CONFLICTS
+                            && self.lbd_ema_fast > EMA_MARGIN * self.lbd_ema_slow
+                    }
+                };
+                if restart_now && self.decision_level() > 0 {
                     restart_num += 1;
                     restart_budget = 100 * Self::luby(restart_num);
                     conflicts_this_restart = 0;
                     self.stats.restarts += 1;
+                    if self.restart_policy == RestartPolicy::Ema {
+                        // Discharge the trigger so the next restart
+                        // needs fresh evidence of stalling.
+                        self.lbd_ema_fast = self.lbd_ema_slow;
+                    }
                     self.backtrack(0);
                     continue;
                 }
@@ -947,11 +1279,321 @@ impl Solver {
         }
     }
 
-    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
         let mut levels: Vec<u32> = lits.iter().map(|l| self.level(l.var())).collect();
         levels.sort_unstable();
         levels.dedup();
         levels.len() as u32
+    }
+
+    // ------------------------------------------------------------------
+    // bounded root-level preprocessing
+    // ------------------------------------------------------------------
+
+    /// Charges `amount` bookkeeping ticks to the preprocessing pass,
+    /// converting whole [`PP_TICKS_PER_CONFLICT`] blocks into
+    /// conflict-equivalents on [`SolverStats::conflicts`]. Returns
+    /// `true` once the pass must stop: either its own cap
+    /// ([`PP_MAX_CONFLICTS`]) is reached or — the caller then ends the
+    /// whole solve — the call's effort budget ran out.
+    fn pp_charge(&mut self, ticks: &mut u64, amount: u64, conflicts_at_start: u64) -> bool {
+        *ticks += amount;
+        while *ticks >= PP_TICKS_PER_CONFLICT {
+            *ticks -= PP_TICKS_PER_CONFLICT;
+            self.stats.conflicts += 1;
+        }
+        self.out_of_budget(conflicts_at_start)
+            || self.stats.conflicts - conflicts_at_start >= PP_MAX_CONFLICTS
+    }
+
+    /// The bounded root-level preprocessing pass: forward subsumption,
+    /// self-subsuming resolution and failed-literal probing, run at
+    /// decision level 0 before search when [`Solver::set_preprocess`]
+    /// is on and new original clauses have arrived.
+    ///
+    /// Every simplification is proof-safe: subsumed clauses are only
+    /// *deleted* (proof steps persist, so chains referring to them
+    /// stay checkable), strengthened clauses are re-derived as fresh
+    /// clauses with a logged resolution chain, and failed literals are
+    /// learnt through the regular conflict-analysis path. Returns
+    /// `Some(result)` when preprocessing itself decided the call
+    /// (refutation found, or the effort budget expired mid-pass).
+    fn run_preprocess(&mut self, conflicts_at_start: u64) -> Option<SolveResult> {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut ticks = 0u64;
+        if let Some(r) = self.pp_subsume(&mut ticks, conflicts_at_start) {
+            return Some(r);
+        }
+        if self.out_of_budget(conflicts_at_start) {
+            return Some(SolveResult::Unknown);
+        }
+        if let Some(r) = self.pp_probe(&mut ticks, conflicts_at_start) {
+            return Some(r);
+        }
+        if self.out_of_budget(conflicts_at_start) {
+            return Some(SolveResult::Unknown);
+        }
+        None
+    }
+
+    /// Forward subsumption and self-subsuming resolution over the
+    /// current clause database (root-satisfied and deleted clauses are
+    /// skipped; locked clauses are never touched because a level-0
+    /// reason clause is always root-satisfied).
+    fn pp_subsume(&mut self, ticks: &mut u64, conflicts_at_start: u64) -> Option<SolveResult> {
+        let n_clauses = self.clauses.len();
+        // Occurrence lists over the snapshot; clauses created by
+        // strengthening below are appended after `n_clauses` and are
+        // deliberately not re-queued (one bounded pass, not a fixpoint).
+        let mut occ: Vec<Vec<ClauseRef>> = vec![Vec::new(); 2 * self.num_vars()];
+        let mut total_lits = 0u64;
+        for (i, c) in self.clauses.iter().enumerate() {
+            if c.deleted || c.lits.len() < 2 {
+                continue;
+            }
+            total_lits += c.lits.len() as u64;
+            for &l in &c.lits {
+                occ[l.code() as usize].push(i as ClauseRef);
+            }
+        }
+        if self.pp_charge(ticks, total_lits, conflicts_at_start) {
+            return self.pp_stop(conflicts_at_start);
+        }
+        for ci in 0..n_clauses {
+            let c_lits = {
+                let c = &self.clauses[ci];
+                if c.deleted || c.lits.len() < 2 || c.lits.len() > PP_SUBSUME_MAX_LEN {
+                    continue;
+                }
+                if c.lits.iter().any(|&l| self.value_lit(l) == LBOOL_TRUE) {
+                    continue; // root-satisfied
+                }
+                c.lits.clone()
+            };
+            // Subsumption targets: clauses sharing C's rarest literal.
+            let lmin = *c_lits
+                .iter()
+                .min_by_key(|l| occ[l.code() as usize].len())
+                .expect("non-empty clause");
+            let mut targets: Vec<ClauseRef> = occ[lmin.code() as usize].clone();
+            // Strengthening targets: clauses containing a negation of
+            // one of C's literals (bounded scan).
+            for &l in &c_lits {
+                let neg = &occ[(!l).code() as usize];
+                if neg.len() <= PP_STRENGTHEN_OCC_CAP {
+                    targets.extend_from_slice(neg);
+                }
+            }
+            for dj in targets {
+                if dj as usize == ci {
+                    continue;
+                }
+                let cost = {
+                    let d = &self.clauses[dj as usize];
+                    if d.deleted
+                        || d.lits.len() < c_lits.len()
+                        || d.lits.iter().any(|&l| self.value_lit(l) == LBOOL_TRUE)
+                    {
+                        continue;
+                    }
+                    (c_lits.len() + d.lits.len()) as u64
+                };
+                if self.pp_charge(ticks, cost, conflicts_at_start) {
+                    return self.pp_stop(conflicts_at_start);
+                }
+                // C ⊆ D (subsumes) or C ⊆ D with exactly one literal
+                // negated (self-subsuming resolution on that literal).
+                let mut flip: Option<Lit> = None;
+                let mut matched = true;
+                for &l in &c_lits {
+                    if self.clauses[dj as usize].lits.contains(&l) {
+                        continue;
+                    }
+                    if self.clauses[dj as usize].lits.contains(&!l) && flip.is_none() {
+                        flip = Some(l);
+                    } else {
+                        matched = false;
+                        break;
+                    }
+                }
+                if !matched {
+                    continue;
+                }
+                match flip {
+                    None => {
+                        // D is subsumed by C: delete it.
+                        let d = &mut self.clauses[dj as usize];
+                        d.deleted = true;
+                        if d.learnt {
+                            self.stats.learnts -= 1;
+                        }
+                    }
+                    Some(l) => {
+                        if let Some(r) = self.pp_strengthen(ci as ClauseRef, dj, l) {
+                            return Some(r);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The `Unknown`/`Unsat` result to surface when preprocessing hits
+    /// a budget wall (`None` when only the pass cap was reached — the
+    /// solve continues with search).
+    fn pp_stop(&mut self, conflicts_at_start: u64) -> Option<SolveResult> {
+        if self.out_of_budget(conflicts_at_start) {
+            self.backtrack(0);
+            Some(SolveResult::Unknown)
+        } else {
+            None
+        }
+    }
+
+    /// Self-subsuming resolution: resolving `C` (containing `l`) with
+    /// `D` (containing `¬l`) yields `D \ {¬l}`, which replaces `D` as
+    /// a fresh clause with a logged chain. May propagate and thus
+    /// refute the formula outright.
+    fn pp_strengthen(&mut self, ci: ClauseRef, dj: ClauseRef, l: Lit) -> Option<SolveResult> {
+        let mut lits: Vec<Lit> = self.clauses[dj as usize]
+            .lits
+            .iter()
+            .copied()
+            .filter(|&q| q != !l)
+            .collect();
+        debug_assert!(!lits.is_empty());
+        let pid = {
+            let start = self.clauses[dj as usize].proof_id;
+            let other = self.clauses[ci as usize].proof_id;
+            self.proof
+                .as_mut()
+                .map(|p| {
+                    p.push(ProofStep::Chain {
+                        lits: lits.clone(),
+                        start,
+                        resolutions: vec![(l.var(), other)],
+                    })
+                })
+                .unwrap_or(0)
+        };
+        // Retire D; the strengthened clause takes over its duties.
+        {
+            let d = &mut self.clauses[dj as usize];
+            d.deleted = true;
+            if d.learnt {
+                self.stats.learnts -= 1;
+            }
+        }
+        let learnt = self.clauses[dj as usize].learnt;
+        let old_lbd = self.clauses[dj as usize].lbd;
+        // Order non-false literals first so the watches are sound (no
+        // literal is true here: a root-satisfied D was skipped).
+        lits.sort_by_key(|&q| self.value_lit(q) == LBOOL_FALSE);
+        let n_watchable = lits
+            .iter()
+            .filter(|&&q| self.value_lit(q) != LBOOL_FALSE)
+            .count();
+        let len = lits.len();
+        let cref = self.alloc_clause(lits, learnt, pid);
+        if learnt {
+            let lbd = old_lbd.min(len as u32).max(1);
+            let c = &mut self.clauses[cref as usize];
+            c.lbd = lbd;
+            c.tier = Self::tier_for_lbd(lbd);
+            c.used = 2;
+        }
+        match n_watchable {
+            0 => {
+                // Every literal false at level 0: refutation.
+                self.record_level0_refutation_from(cref);
+                self.ok = false;
+                Some(SolveResult::Unsat)
+            }
+            1 => {
+                let unit = self.clauses[cref as usize].lits[0];
+                if len >= 2 {
+                    self.attach(cref);
+                }
+                if self.value_lit(unit) == LBOOL_UNDEF {
+                    self.enqueue(unit, cref);
+                    if let Some(confl) = self.propagate() {
+                        self.record_level0_refutation_from(confl);
+                        self.ok = false;
+                        return Some(SolveResult::Unsat);
+                    }
+                }
+                None
+            }
+            _ => {
+                self.attach(cref);
+                None
+            }
+        }
+    }
+
+    /// Failed-literal probing: assume each unassigned literal at a
+    /// throwaway decision level; a conflict makes its negation a
+    /// proof-logged learnt unit (via the regular analysis path, which
+    /// at level 1 always yields a unit clause).
+    fn pp_probe(&mut self, ticks: &mut u64, conflicts_at_start: u64) -> Option<SolveResult> {
+        debug_assert_eq!(self.decision_level(), 0);
+        for v in 0..self.num_vars() {
+            for neg in [false, true] {
+                if self.assigns[v] != LBOOL_UNDEF {
+                    break;
+                }
+                let probe = Lit::new(Var::new(v), neg);
+                let lim = self.trail.len();
+                self.trail_lim.push(lim);
+                self.enqueue(probe, NO_REASON);
+                let confl = self.propagate();
+                let work = (self.trail.len() - lim) as u64 + 1;
+                match confl {
+                    None => {
+                        self.backtrack(0);
+                        if self.pp_charge(ticks, work, conflicts_at_start) {
+                            return self.pp_stop(conflicts_at_start);
+                        }
+                    }
+                    Some(confl) => {
+                        self.stats.conflicts += 1;
+                        let (learnt, bt, chain) = self.analyze(confl);
+                        debug_assert_eq!(learnt.len(), 1, "level-1 analysis yields a unit");
+                        debug_assert_eq!(bt, 0);
+                        self.backtrack(0);
+                        let pid = match (self.proof.as_mut(), chain) {
+                            (Some(p), Some((start, resolutions))) => p.push(ProofStep::Chain {
+                                lits: learnt.clone(),
+                                start,
+                                resolutions,
+                            }),
+                            _ => 0,
+                        };
+                        let asserting = learnt[0];
+                        let cref = self.alloc_clause(learnt, true, pid);
+                        {
+                            let c = &mut self.clauses[cref as usize];
+                            c.lbd = 1;
+                            c.tier = TIER_CORE;
+                        }
+                        self.enqueue(asserting, cref);
+                        if let Some(confl2) = self.propagate() {
+                            self.record_level0_refutation_from(confl2);
+                            self.ok = false;
+                            return Some(SolveResult::Unsat);
+                        }
+                        if self.out_of_budget(conflicts_at_start) {
+                            return Some(SolveResult::Unknown);
+                        }
+                        if self.pp_charge(ticks, work, conflicts_at_start) {
+                            return self.pp_stop(conflicts_at_start);
+                        }
+                    }
+                }
+            }
+        }
+        None
     }
 
     // ------------------------------------------------------------------

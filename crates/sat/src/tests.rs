@@ -1,6 +1,6 @@
 use step_cnf::{Cnf, Lit, Var};
 
-use crate::{EffortStats, SolveResult, Solver};
+use crate::{ClauseDbPolicy, EffortStats, RestartPolicy, SolveResult, Solver};
 
 fn lit(v: i64) -> Lit {
     Lit::from_dimacs(v)
@@ -466,6 +466,185 @@ fn drat_output_ends_with_empty_clause() {
             "every DRAT line is 0-terminated: {line}"
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// modern-kernel determinism lockdown (EMA restarts, tiering,
+// preprocessing)
+// ---------------------------------------------------------------------
+
+/// The heuristic knobs must not leak nondeterminism into the effort
+/// currency: an exact-conflict-cap truncation under EMA restarts +
+/// tiered clause management lands on identical verdicts and counters
+/// run-to-run — with preprocessing opted out and opted in alike.
+#[test]
+fn ema_tiering_truncation_is_deterministic() {
+    let (nv, clauses) = pigeonhole(7);
+    for preprocess in [false, true] {
+        let mk = || {
+            let mut s = Solver::new();
+            s.set_restart_policy(RestartPolicy::Ema);
+            s.set_clause_db_policy(ClauseDbPolicy::Tiered);
+            s.set_preprocess(preprocess);
+            s.ensure_vars(nv);
+            for c in &clauses {
+                s.add_clause(c.iter().copied());
+            }
+            s.set_effort_budget(Some(40));
+            let r = s.solve();
+            (r, s.effort())
+        };
+        let (r1, e1) = mk();
+        let (r2, e2) = mk();
+        assert_eq!(r1, r2, "preprocess={preprocess}: verdicts");
+        assert_eq!(e1, e2, "preprocess={preprocess}: EffortStats");
+        assert!(
+            e1.conflicts <= 40,
+            "preprocess={preprocess}: the cap stays exact ({} conflicts)",
+            e1.conflicts
+        );
+    }
+}
+
+/// Same lockdown on the SAT side: a satisfiable instance solved under
+/// EMA + tiering + preprocessing yields the same model run-to-run.
+#[test]
+fn ema_with_preprocess_model_is_deterministic() {
+    // A satisfiable formula with enough structure to learn from:
+    // pigeonhole with as many holes as pigeons.
+    let n = 5usize;
+    let var = |p: usize, h: usize| lit((p * n + h + 1) as i64);
+    let mk = || {
+        let mut s = Solver::new();
+        s.set_restart_policy(RestartPolicy::Ema);
+        s.set_preprocess(true);
+        s.ensure_vars(n * n);
+        for p in 0..n {
+            s.add_clause((0..n).map(|h| var(p, h)));
+        }
+        for h in 0..n {
+            for p1 in 0..n {
+                for p2 in p1 + 1..n {
+                    s.add_clause([!var(p1, h), !var(p2, h)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model: Vec<Option<bool>> = (1..=(n * n) as i64)
+            .map(|v| s.model_value(lit(v)))
+            .collect();
+        (model, s.effort())
+    };
+    assert_eq!(mk(), mk());
+}
+
+/// Preprocessing charges its work in conflict-equivalents, so even a
+/// budget spent *entirely inside the pass* truncates exactly and
+/// deterministically.
+#[test]
+fn preprocessing_effort_is_charged_and_capped() {
+    let (nv, clauses) = pigeonhole(9);
+    let mk = |budget| {
+        let mut s = Solver::new();
+        s.set_preprocess(true);
+        s.ensure_vars(nv);
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        s.set_effort_budget(Some(budget));
+        let r = s.solve();
+        (r, s.effort())
+    };
+    // A 1-conflict budget dies inside (or right after) the pass.
+    let (r1, e1) = mk(1);
+    assert_eq!(r1, SolveResult::Unknown);
+    assert!(e1.conflicts >= 1, "the pass must charge effort");
+    assert_eq!((r1, e1), mk(1), "truncation point is deterministic");
+}
+
+/// The Glucose LBD-recompute-on-use update: a learnt clause's LBD is
+/// monotone non-increasing over its lifetime (it is only rewritten
+/// when the recomputed value is smaller).
+#[test]
+fn learnt_lbd_is_monotone_non_increasing() {
+    let (nv, clauses) = pigeonhole(7);
+    let mut s = Solver::new();
+    s.set_restart_policy(RestartPolicy::Ema);
+    s.ensure_vars(nv);
+    for c in &clauses {
+        s.add_clause(c.iter().copied());
+    }
+    let mut snapshots: Vec<std::collections::HashMap<u32, u32>> = Vec::new();
+    for _ in 0..6 {
+        s.set_effort_budget(Some(25));
+        if s.solve() != SolveResult::Unknown {
+            break;
+        }
+        snapshots.push(s.learnt_lbds().into_iter().collect());
+    }
+    assert!(snapshots.len() >= 2, "need surviving learnts to compare");
+    let mut compared = 0;
+    for w in snapshots.windows(2) {
+        for (cref, lbd_before) in &w[0] {
+            if let Some(lbd_after) = w[1].get(cref) {
+                compared += 1;
+                assert!(
+                    lbd_after <= lbd_before,
+                    "clause {cref}: LBD rose {lbd_before} -> {lbd_after}"
+                );
+            }
+        }
+    }
+    assert!(compared > 0, "no clause survived between snapshots");
+}
+
+/// The tiered reducer never deletes core-tier (LBD ≤ 2) or locked
+/// clauses, and both DB policies agree on verdicts.
+#[test]
+fn db_policies_agree_on_verdicts() {
+    let (nv, clauses) = pigeonhole(7);
+    for policy in [ClauseDbPolicy::Tiered, ClauseDbPolicy::SortHalf] {
+        let mut s = Solver::new();
+        s.set_clause_db_policy(policy);
+        s.ensure_vars(nv);
+        for c in &clauses {
+            s.add_clause(c.iter().copied());
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat, "{policy:?}");
+    }
+}
+
+/// The restart-policy and preprocessing knobs round-trip through their
+/// string forms (the CLI surface).
+#[test]
+fn restart_policy_parses_and_displays() {
+    assert_eq!("luby".parse::<RestartPolicy>(), Ok(RestartPolicy::Luby));
+    assert_eq!("ema".parse::<RestartPolicy>(), Ok(RestartPolicy::Ema));
+    assert!("glucose".parse::<RestartPolicy>().is_err());
+    assert_eq!(RestartPolicy::Luby.to_string(), "luby");
+    assert_eq!(RestartPolicy::Ema.to_string(), "ema");
+    let mut s = Solver::new();
+    assert_eq!(s.restart_policy(), RestartPolicy::Luby);
+    s.set_restart_policy(RestartPolicy::Ema);
+    assert_eq!(s.restart_policy(), RestartPolicy::Ema);
+}
+
+/// Incremental gating: with no new original clauses since the last
+/// pass, an enabled preprocessor is skipped outright (the CEGAR
+/// re-solve fast path) — observable as zero extra conflicts on an
+/// immediate re-solve of a satisfiable formula.
+#[test]
+fn preprocess_skips_resolve_without_new_clauses() {
+    let mut s = solver_with(4, &[&[1, 2], &[-1, 3], &[-2, 4], &[3, 4]]);
+    s.set_preprocess(true);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    let spent = s.effort();
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(
+        s.effort().since(spent).conflicts,
+        0,
+        "re-solve with no new clauses must not re-preprocess"
+    );
 }
 
 // ---------------------------------------------------------------------

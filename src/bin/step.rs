@@ -12,6 +12,10 @@
 //!   --progress                  stream one line per output to stderr as results
 //!                               land (whole-circuit runs; completion order)
 //!   --seed <n>                  engine base seed (default 0x5DEECE66D)
+//!   --sat-restarts luby|ema     SAT restart policy (default luby); ema is the
+//!                               Glucose-style LBD-EMA dynamic policy
+//!   --sat-preprocess            bounded root-level SAT preprocessing (off by
+//!                               default; charged in conflict-equivalents)
 //!   --cache / --no-cache        per-op result cache keyed by canonical cone
 //!                               fingerprints (default on)
 //!   --cache-cap <n>             bound the cache to n entries (second-chance
@@ -58,7 +62,7 @@ use qbf_bidec::step::qbf_model::Target;
 use qbf_bidec::step::qdimacs_export::{export_qdimacs, ExportOptions};
 use qbf_bidec::step::{
     BiDecomposer, Budget, BudgetPolicy, DecompConfig, EffortMeter, GateOp, Model, OutputResult,
-    ResultCache, StepService,
+    RestartPolicy, ResultCache, StepService,
 };
 
 struct Cli {
@@ -70,6 +74,8 @@ struct Cli {
     jobs: usize,
     progress: bool,
     seed: Option<u64>,
+    sat_restarts: RestartPolicy,
+    sat_preprocess: bool,
     cache: bool,
     cache_cap: Option<usize>,
     no_timing: bool,
@@ -80,7 +86,8 @@ struct Cli {
 
 const USAGE: &str = "usage: step <circuit.{bench,blif,aag}> [--model ljh|mg|qd|qb|qdb] \
                      [--op or|and|xor] [--weights wd wb] [--output idx] [--jobs n] \
-                     [--progress] [--seed n] [--cache] [--no-cache] [--cache-cap n] \
+                     [--progress] [--seed n] [--sat-restarts luby|ema] [--sat-preprocess] \
+                     [--cache] [--no-cache] [--cache-cap n] \
                      [--no-timing] [--emit-qdimacs] [--emit-blif] \
                      [--budget spec] [--circuit-budget spec] [--qbf-budget spec] \
                      [--per-call-ms n] [--per-output-s n]\n\
@@ -110,6 +117,8 @@ fn parse_cli() -> Cli {
         jobs: 1,
         progress: false,
         seed: None,
+        sat_restarts: RestartPolicy::default(),
+        sat_preprocess: false,
         cache: true,
         cache_cap: None,
         no_timing: false,
@@ -176,6 +185,14 @@ fn parse_cli() -> Cli {
                     None => usage(),
                 }
             }
+            "--sat-restarts" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(p) => cli.sat_restarts = p,
+                    None => usage(),
+                }
+            }
+            "--sat-preprocess" => cli.sat_preprocess = true,
             "--cache" => cli.cache = true,
             "--no-cache" => cli.cache = false,
             "--cache-cap" => {
@@ -371,6 +388,8 @@ fn main() {
     let mut config = DecompConfig::new(cli.model);
     config.budget = cli.budget;
     config.jobs = cli.jobs;
+    config.sat_restarts = cli.sat_restarts;
+    config.sat_preprocess = cli.sat_preprocess;
     if let Some(seed) = cli.seed {
         config.seed = seed;
     }
@@ -503,7 +522,11 @@ fn run_weighted(cli: &Cli, comb: &qbf_bidec::aig::Aig, wd: u32, wb: u32) {
         };
         let cone = comb.cone(out.lit());
         let core = CoreFormula::build(&cone.aig, cone.root, cli.op);
-        let mut oracle = qbf_bidec::step::oracle::PartitionOracle::new(core.clone());
+        let mut oracle = qbf_bidec::step::oracle::PartitionOracle::with_options(
+            core.clone(),
+            cli.sat_restarts,
+            cli.sat_preprocess,
+        );
         let start = std::time::Instant::now();
         let mut meter = EffortMeter::unlimited();
         let boot = match mg::decompose(&mut oracle, None, &mut meter) {
@@ -515,7 +538,11 @@ fn run_weighted(cli: &Cli, comb: &qbf_bidec::aig::Aig, wd: u32, wb: u32) {
             Metric::Weighted { wd, wb },
             boot.as_ref(),
             qbf_bidec::step::SearchStrategy::MonotoneIncreasing,
-            &qbf_bidec::step::qbf_model::ModelOptions::default(),
+            &qbf_bidec::step::qbf_model::ModelOptions {
+                restarts: cli.sat_restarts,
+                preprocess: cli.sat_preprocess,
+                ..Default::default()
+            },
             &mut meter,
         );
         match search.partition {

@@ -91,6 +91,45 @@ fn tight_work_budget_truncates_identically_across_jobs_and_cache() {
 }
 
 #[test]
+fn ema_restarts_truncate_identically_across_jobs_and_cache() {
+    // The modern-kernel knobs must uphold the same guarantee: with
+    // `--sat-restarts ema` (LBD-EMA dynamic restarts feeding on
+    // floating-point averages) the truncation point is still measured
+    // in conflicts only, so jobs ∈ {1,2,3} × cache on/off stay
+    // byte-identical. Floats are fine here — every solver computes the
+    // same EMA sequence in the same order; what is banned is the
+    // clock, not arithmetic.
+    let entry = &registry_table1()[2];
+    assert_eq!(entry.name, "s38584.1");
+    let aig = entry.build(Scale::Default);
+    let mk = |jobs: usize, cache: bool| {
+        let mut c = work_config(Model::QbfDisjoint, 10, jobs);
+        c.sat_restarts = qbf_bidec::step::RestartPolicy::Ema;
+        let mut engine = BiDecomposer::new(c);
+        if cache {
+            engine.set_cache(Arc::new(ResultCache::new()));
+        }
+        engine.decompose_circuit(&aig, GateOp::Or).expect("run")
+    };
+    let baseline = mk(1, false);
+    assert!(
+        baseline.outputs.iter().any(|o| o.timed_out),
+        "work:10 must truncate under EMA restarts too"
+    );
+    let want = verdicts(&baseline);
+    for jobs in [2, 3] {
+        for cache in [false, true] {
+            let r = mk(jobs, cache);
+            assert_eq!(
+                verdicts(&r),
+                want,
+                "jobs={jobs} cache={cache}: EMA-restart truncation must be deterministic"
+            );
+        }
+    }
+}
+
+#[test]
 fn work_budget_bounds_the_effort_actually_spent() {
     // The meter caps every solver call by the remaining budget, so the
     // charged effort can never overshoot the limit — that exactness is
