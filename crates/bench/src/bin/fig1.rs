@@ -68,7 +68,12 @@ fn main() {
             runs[4].cpu.as_secs_f64(),
         ];
         for (m, r) in Model::ALL.iter().zip(&runs) {
-            records.push(BenchRecord::of(*m, entry.name, r, &opts));
+            records.push(BenchRecord::of(
+                *m,
+                &opts.circuit_label(entry.name),
+                r,
+                &opts,
+            ));
         }
         println!(
             "{},{:.4},{:.4},{:.4},{:.4},{:.4}",

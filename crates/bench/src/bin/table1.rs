@@ -40,7 +40,7 @@ fn main() {
     println!("{}", "-".repeat(152));
 
     for entry in &entries {
-        let aig = entry.build(opts.scale);
+        let aig = opts.build(entry);
         let inm = aig
             .outputs()
             .iter()

@@ -80,7 +80,12 @@ fn main() {
             *t += r.cpu.as_secs_f64();
         }
         for (m, r) in Model::ALL.iter().zip(&runs) {
-            records.push(BenchRecord::of(*m, entry.name, r, &opts));
+            records.push(BenchRecord::of(
+                *m,
+                &opts.circuit_label(entry.name),
+                r,
+                &opts,
+            ));
         }
         let cell = |r: &step_core::CircuitResult| {
             let cpu = if r.timed_out {

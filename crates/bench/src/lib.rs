@@ -20,8 +20,8 @@ use std::time::Duration;
 
 use step_circuits::{CircuitEntry, Scale};
 use step_core::{
-    BiDecomposer, Budget, BudgetPolicy, CircuitResult, DecompConfig, GateOp, Model, OutputResult,
-    RestartPolicy, ResultCache, StepService, SubmissionHandle,
+    BiDecomposer, Budget, BudgetPolicy, CircuitResult, ClauseBank, DecompConfig, GateOp, Model,
+    OutputResult, RestartPolicy, ResultCache, StepService, SubmissionHandle,
 };
 
 /// Command-line options shared by the harness binaries.
@@ -35,6 +35,20 @@ pub struct HarnessOpts {
     pub op: GateOp,
     /// Substring filter on circuit names.
     pub filter: Option<String>,
+    /// Grow every sweep circuit with `k − 1` permuted-input twins of
+    /// each output (`--copies k`, default 1 = off) — the exact-twin
+    /// population the result cache and the clause bank's exact channel
+    /// serve. Grown runs annotate the circuit name in the BENCH JSON
+    /// (`name+p<k>s<k>`), so their records never mix with ungrown ones.
+    pub copies: usize,
+    /// Grow every sweep circuit with `k − 1` same-support near-twin
+    /// variants of each output (`--shared-substructure k`, default 1 =
+    /// off) — near-twins miss the exact-result cache but share cone
+    /// structure, the population the clause bank's vetted cluster
+    /// channel exists for. Applied after [`copies`](HarnessOpts::copies)
+    /// so every permuted twin gets near-twins too; annotated in the
+    /// BENCH JSON circuit name like `copies`.
+    pub shared_substructure: usize,
     /// Disable extraction+verification for speed (partitions only).
     pub partitions_only: bool,
     /// Worker threads (`--jobs`) of the shared [`StepService`] the
@@ -59,6 +73,19 @@ pub struct HarnessOpts {
     /// Bounded root-level SAT preprocessing (`--sat-preprocess`),
     /// recorded in the BENCH JSON.
     pub sat_preprocess: bool,
+    /// Cross-output clause reuse (`--clause-reuse`): completed outputs
+    /// donate their pinned learnt clauses to a bank keyed by canonical
+    /// fingerprint, and later structural (near-)twins start pre-seeded.
+    /// Verdicts and partitions are byte-identical either way; the work
+    /// counters are what it improves. Off by default, recorded in the
+    /// BENCH JSON.
+    pub clause_reuse: bool,
+    /// The clause bank shared by every engine the harness builds when
+    /// [`clause_reuse`](HarnessOpts::clause_reuse) is on, so donations
+    /// cross circuit (and model) boundaries like the result cache does.
+    /// `None` with reuse off; [`HarnessOpts::from_args`] builds one
+    /// (bounded by `--clause-bank-cap`) when `--clause-reuse` is given.
+    pub clause_bank: Option<Arc<ClauseBank>>,
 }
 
 impl Default for HarnessOpts {
@@ -72,12 +99,16 @@ impl Default for HarnessOpts {
             },
             op: GateOp::Or,
             filter: None,
+            copies: 1,
+            shared_substructure: 1,
             partitions_only: false,
             jobs: 1,
             seed: DecompConfig::new(Model::QbfDisjoint).seed,
             cache: None,
             sat_restarts: RestartPolicy::default(),
             sat_preprocess: false,
+            clause_reuse: false,
+            clause_bank: None,
         }
     }
 }
@@ -89,7 +120,9 @@ impl HarnessOpts {
     /// `--budget <spec>` (per-output [`Budget`], e.g. `work:200k` for
     /// a deterministic sweep), `--circuit-budget <spec>`,
     /// `--qbf-budget <spec>` (per QBF call),
-    /// `--op or|and|xor`, `--filter <substr>`, `--fast`
+    /// `--op or|and|xor`, `--filter <substr>`, `--copies <k>` /
+    /// `--shared-substructure <k>` (twin-heavy circuit growth, see the
+    /// fields), `--fast`
     /// (partitions only), `--jobs <n>` (parallel output workers),
     /// `--cache`/`--no-cache` (sweep-wide result cache, default on),
     /// `--cache-cap <n>` (bound it), `--help`. `--conflicts <n>` is a
@@ -100,6 +133,7 @@ impl HarnessOpts {
         let mut opts = HarnessOpts::default();
         let mut cache_on = true;
         let mut cache_cap: Option<usize> = None;
+        let mut bank_cap: Option<usize> = None;
         let mut qbf_budget_set = false;
         let mut circuit_budget_set = false;
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -161,6 +195,22 @@ impl HarnessOpts {
                     i += 1;
                     opts.filter = args.get(i).cloned();
                 }
+                "--copies" | "--shared-substructure" => {
+                    let flag = args[i].clone();
+                    i += 1;
+                    let k = match args.get(i).and_then(|s| s.parse().ok()) {
+                        Some(n) if n >= 1 => n,
+                        _ => {
+                            eprintln!("{flag} needs a positive integer");
+                            std::process::exit(2);
+                        }
+                    };
+                    if flag == "--copies" {
+                        opts.copies = k;
+                    } else {
+                        opts.shared_substructure = k;
+                    }
+                }
                 "--fast" => opts.partitions_only = true,
                 "--jobs" => {
                     i += 1;
@@ -210,6 +260,19 @@ impl HarnessOpts {
                 "--sat-preprocess" => opts.sat_preprocess = true,
                 "--cache" => cache_on = true,
                 "--no-cache" => cache_on = false,
+                "--clause-reuse" => opts.clause_reuse = true,
+                "--no-clause-reuse" => opts.clause_reuse = false,
+                "--clause-bank-cap" => {
+                    i += 1;
+                    bank_cap = match args.get(i).and_then(|s| s.parse().ok()) {
+                        Some(n) if n >= 1 => Some(n),
+                        _ => {
+                            eprintln!("--clause-bank-cap needs a positive integer");
+                            std::process::exit(2);
+                        }
+                    };
+                    opts.clause_reuse = true;
+                }
                 "--cache-cap" => {
                     i += 1;
                     cache_cap = match args.get(i).and_then(|s| s.parse().ok()) {
@@ -225,9 +288,11 @@ impl HarnessOpts {
                     eprintln!(
                         "options: --scale smoke|default|full  --paper  \
                          --budget <spec>  --circuit-budget <spec>  --qbf-budget <spec>  \
-                         --op or|and|xor  --filter <substr>  --fast  --jobs <n>  \
+                         --op or|and|xor  --filter <substr>  --copies <k>  \
+                         --shared-substructure <k>  --fast  --jobs <n>  \
                          --seed <n>  --sat-restarts luby|ema  --sat-preprocess  \
                          --cache  --no-cache  --cache-cap <n>  \
+                         --clause-reuse  --no-clause-reuse  --clause-bank-cap <n>  \
                          (budget spec: wall:<dur> | work:<n> | both:<dur>,<n> | unlimited)"
                     );
                     std::process::exit(0);
@@ -245,9 +310,42 @@ impl HarnessOpts {
                 None => ResultCache::new(),
             }));
         }
+        if opts.clause_reuse {
+            opts.clause_bank = Some(Arc::new(match bank_cap {
+                Some(cap) => ClauseBank::with_capacity(cap),
+                None => ClauseBank::new(),
+            }));
+        }
         opts.budget
             .lift_unset_walls_for_pure_work(qbf_budget_set, circuit_budget_set);
         opts
+    }
+
+    /// Builds one sweep circuit at this option set's scale, grown with
+    /// the `--copies` / `--shared-substructure` twin populations
+    /// (copies first, so every permuted twin gets near-twins too —
+    /// matching `gen_circuit`).
+    pub fn build(&self, entry: &CircuitEntry) -> step_aig::Aig {
+        let mut aig = entry.build(self.scale);
+        if self.copies > 1 {
+            aig = step_circuits::with_permuted_copies(&aig, self.copies);
+        }
+        if self.shared_substructure > 1 {
+            aig = step_circuits::with_shared_substructure(&aig, self.shared_substructure);
+        }
+        aig
+    }
+
+    /// The circuit name to record in the BENCH JSON: the entry name,
+    /// annotated with the growth knobs when they are active
+    /// (`s15850.1+p2s2`) so grown records never merge with ungrown
+    /// ones.
+    pub fn circuit_label(&self, name: &str) -> String {
+        if self.copies > 1 || self.shared_substructure > 1 {
+            format!("{}+p{}s{}", name, self.copies, self.shared_substructure)
+        } else {
+            name.to_owned()
+        }
     }
 
     /// Applies the name filter.
@@ -268,6 +366,20 @@ impl HarnessOpts {
                 cache.hits(),
                 cache.misses(),
                 cache.len()
+            );
+        }
+        if let Some(bank) = &self.clause_bank {
+            eprintln!(
+                "clause bank: {} hits ({} exact, {} cluster), {} misses, \
+                 {} donations, {} entries, {} probe hits, {} probe records",
+                bank.hits(),
+                bank.exact_hits(),
+                bank.cluster_hits(),
+                bank.misses(),
+                bank.donations(),
+                bank.len(),
+                bank.probe_hits(),
+                bank.probe_records()
             );
         }
     }
@@ -292,6 +404,7 @@ impl HarnessOpts {
         c.seed = self.seed;
         c.sat_restarts = self.sat_restarts;
         c.sat_preprocess = self.sat_preprocess;
+        c.clause_reuse = self.clause_reuse;
         c
     }
 
@@ -299,7 +412,7 @@ impl HarnessOpts {
     /// `jobs` persistent workers, sharing this option set's result
     /// cache across every model × circuit submission.
     pub fn service(&self) -> StepService {
-        StepService::spawn(self.jobs, self.cache.clone())
+        StepService::spawn_with_bank(self.jobs, self.cache.clone(), self.clause_bank.clone())
     }
 }
 
@@ -311,7 +424,7 @@ pub fn submit_model(
     model: Model,
     opts: &HarnessOpts,
 ) -> SubmissionHandle {
-    let aig = entry.build(opts.scale);
+    let aig = opts.build(entry);
     service
         .submit(&aig, opts.op, opts.config(model))
         .expect("stand-in circuits are well-formed")
@@ -326,7 +439,7 @@ pub fn submit_sweep_entry(
     entry: &CircuitEntry,
     opts: &HarnessOpts,
 ) -> [SubmissionHandle; 5] {
-    let aig = StepService::comb_arc(&entry.build(opts.scale))
+    let aig = StepService::comb_arc(&opts.build(entry))
         .expect("stand-in circuits convert combinationally");
     Model::ALL.map(|m| {
         service
@@ -347,10 +460,13 @@ pub fn run_model_op(
     op: GateOp,
     opts: &HarnessOpts,
 ) -> CircuitResult {
-    let aig = entry.build(opts.scale);
+    let aig = opts.build(entry);
     let mut engine = BiDecomposer::new(opts.config(model));
     if let Some(cache) = &opts.cache {
         engine.set_cache(cache.clone());
+    }
+    if let Some(bank) = &opts.clause_bank {
+        engine.set_clause_bank(bank.clone());
     }
     engine
         .decompose_circuit(&aig, op)
@@ -497,7 +613,14 @@ pub fn secs(d: Duration) -> String {
 /// * v4 — SAT kernel provenance: `sat_restarts` (restart policy) and
 ///   `sat_preprocess` — result-relevant knobs (they are part of the
 ///   result-cache key), so shards must agree on them too.
-pub const BENCH_SCHEMA_VERSION: u32 = 4;
+/// * v5 — clause-reuse provenance: `clause_reuse` (the knob; verdicts
+///   are identical either way, but the work counters of reuse-on and
+///   reuse-off records are different experiments) plus the
+///   `bank_hits`/`donated_clauses` counters. Twin-heavy circuit growth
+///   (`--copies` / `--shared-substructure`) annotates the `circuit`
+///   name (`s15850.1+p2s2`) instead of adding fields, so grown and
+///   ungrown records never silently merge.
+pub const BENCH_SCHEMA_VERSION: u32 = 5;
 
 /// One machine-readable row of a harness run: model × circuit with
 /// wall-clock and solver-call statistics plus the run provenance
@@ -535,6 +658,12 @@ pub struct BenchRecord {
     /// Whether SAT preprocessing was on (result-relevant, like
     /// `sat_restarts`).
     pub sat_preprocess: bool,
+    /// Whether cross-output clause reuse was on. Verdicts and
+    /// partitions are identical either way, but the work counters
+    /// (`sat_calls`, `effort_conflicts`) of reuse-on and reuse-off
+    /// records are different experiments — merge tooling must match on
+    /// this like on `budget`.
+    pub clause_reuse: bool,
     /// Wall-clock seconds for the whole circuit. Measured first claim
     /// to last event on service runs (`jobs` recorded here); only
     /// compare wall clocks between records with the same `jobs`.
@@ -566,6 +695,14 @@ pub struct BenchRecord {
     /// Scheduling-dependent under `jobs > 1` — see
     /// [`cache_hits`](BenchRecord::cache_hits).
     pub cache_misses: u64,
+    /// Outputs seeded by the clause bank or a pooled sibling oracle in
+    /// this run (0 with reuse off). Scheduling-dependent under
+    /// `jobs > 1` — which sibling completes first decides who donates
+    /// and who imports — see [`cache_hits`](BenchRecord::cache_hits).
+    pub bank_hits: u64,
+    /// Clauses this run donated to the clause bank (0 with reuse off).
+    /// Scheduling-dependent under `jobs > 1` like `bank_hits`.
+    pub donated_clauses: u64,
     /// Whether any budget expired.
     pub timed_out: bool,
 }
@@ -585,6 +722,7 @@ impl BenchRecord {
             budget: opts.budget.to_string(),
             sat_restarts: opts.sat_restarts.to_string(),
             sat_preprocess: opts.sat_preprocess,
+            clause_reuse: opts.clause_reuse,
             wall_s: r.cpu.as_secs_f64(),
             decomposed: r.num_decomposed(),
             outputs: r.outputs.len(),
@@ -593,6 +731,8 @@ impl BenchRecord {
             effort_conflicts: r.total_effort().conflicts,
             cache_hits: r.cache_hits(),
             cache_misses: r.cache_misses(),
+            bank_hits: r.clause_bank_hits(),
+            donated_clauses: r.donated_clauses(),
             timed_out: r.timed_out,
         }
     }
@@ -619,10 +759,11 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
             "  {{\"schema_version\": {}, \"model\": \"{}\", \"circuit\": \"{}\", \
              \"op\": \"{}\", \"seed\": {}, \"jobs\": {}, \"cache\": {}, \
              \"budget\": \"{}\", \"sat_restarts\": \"{}\", \"sat_preprocess\": {}, \
-             \"wall_s\": {:.6}, \
+             \"clause_reuse\": {}, \"wall_s\": {:.6}, \
              \"decomposed\": {}, \"outputs\": {}, \"sat_calls\": {}, \
              \"qbf_calls\": {}, \"effort_conflicts\": {}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"bank_hits\": {}, \"donated_clauses\": {}, \
              \"timed_out\": {}}}{}\n",
             r.schema_version,
             json_escape(&r.model),
@@ -634,6 +775,7 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
             json_escape(&r.budget),
             json_escape(&r.sat_restarts),
             r.sat_preprocess,
+            r.clause_reuse,
             r.wall_s,
             r.decomposed,
             r.outputs,
@@ -642,6 +784,8 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
             r.effort_conflicts,
             r.cache_hits,
             r.cache_misses,
+            r.bank_hits,
+            r.donated_clauses,
             r.timed_out,
             if i + 1 < records.len() { "," } else { "" }
         ));
@@ -797,6 +941,7 @@ pub fn parse_bench_records_json(text: &str) -> Result<Vec<BenchRecord>, String> 
             budget: string("budget")?,
             sat_restarts: string("sat_restarts")?,
             sat_preprocess: boolean("sat_preprocess")?,
+            clause_reuse: boolean("clause_reuse")?,
             wall_s: get("wall_s")?
                 .0
                 .parse()
@@ -808,6 +953,8 @@ pub fn parse_bench_records_json(text: &str) -> Result<Vec<BenchRecord>, String> 
             effort_conflicts: number("effort_conflicts")?,
             cache_hits: number("cache_hits")?,
             cache_misses: number("cache_misses")?,
+            bank_hits: number("bank_hits")?,
+            donated_clauses: number("donated_clauses")?,
             timed_out: boolean("timed_out")?,
         });
         rest = open[end + 1..]
@@ -918,6 +1065,10 @@ mod tests {
         // Schema-4 SAT kernel provenance.
         assert_eq!(json.matches("\"sat_restarts\": \"luby\"").count(), 2);
         assert_eq!(json.matches("\"sat_preprocess\": false").count(), 2);
+        // Schema-5 clause-reuse provenance.
+        assert_eq!(json.matches("\"clause_reuse\": false").count(), 2);
+        assert_eq!(json.matches("\"bank_hits\": 0").count(), 2);
+        assert_eq!(json.matches("\"donated_clauses\": 0").count(), 2);
     }
 
     #[test]
@@ -931,6 +1082,7 @@ mod tests {
         opts.budget.per_output = step_core::Budget::Work(50_000);
         opts.sat_restarts = RestartPolicy::Ema;
         opts.sat_preprocess = true;
+        opts.clause_reuse = true;
         let r = run_model(entry, Model::MusGroup, &opts);
         let mut rec = BenchRecord::of(Model::MusGroup, entry.name, &r, &opts);
         rec.circuit = "odd \"name\"\\with escapes".to_owned();
@@ -963,6 +1115,9 @@ mod tests {
             assert_eq!(p.effort_conflicts, w.effort_conflicts);
             assert_eq!(p.cache_hits, w.cache_hits);
             assert_eq!(p.cache_misses, w.cache_misses);
+            assert_eq!(p.clause_reuse, w.clause_reuse);
+            assert_eq!(p.bank_hits, w.bank_hits);
+            assert_eq!(p.donated_clauses, w.donated_clauses);
             assert_eq!(p.timed_out, w.timed_out);
             // The writer rounds wall_s to six decimals.
             assert!((p.wall_s - w.wall_s).abs() <= 5e-7, "wall_s to 1e-6");
@@ -1035,6 +1190,60 @@ mod tests {
         // A different model must not see the MG entries.
         let other = run_model(entry, Model::QbfDisjoint, &opts);
         assert_eq!(other.cache_hits(), 0, "cache keys separate models");
+    }
+
+    #[test]
+    fn clause_reuse_changes_no_answers_and_hits_the_bank() {
+        // The determinism contract: with non-binding budgets, reuse on
+        // vs off gives byte-identical verdicts and partitions at any
+        // worker count — only the work counters move. The circuit
+        // carries both reuse populations: permuted copies (exact
+        // channel / oracle pool) and near-twins (cluster channel).
+        let e = &registry_table1()[16]; // mm9a: small
+        let base = e.build(Scale::Smoke);
+        let aig = step_circuits::with_shared_substructure(
+            &step_circuits::with_permuted_copies(&base, 2),
+            2,
+        );
+        let unlimited = BudgetPolicy {
+            per_qbf_call: Budget::Unlimited,
+            per_output: Budget::Unlimited,
+            per_circuit: Budget::Unlimited,
+        };
+        for jobs in [1usize, 2] {
+            let run = |clause_reuse: bool| {
+                let opts = HarnessOpts {
+                    jobs,
+                    clause_reuse,
+                    clause_bank: clause_reuse.then(|| Arc::new(ClauseBank::new())),
+                    budget: unlimited,
+                    ..smoke_opts()
+                };
+                let service = opts.service();
+                let r = service
+                    .submit(&aig, opts.op, opts.config(Model::QbfDisjoint))
+                    .expect("stand-in circuits are well-formed")
+                    .join()
+                    .expect("run completes");
+                (r, opts)
+            };
+            let (off, _) = run(false);
+            let (on, on_opts) = run(true);
+            assert_eq!(off.outputs.len(), on.outputs.len());
+            for (x, y) in off.outputs.iter().zip(&on.outputs) {
+                assert_eq!(x.partition, y.partition, "jobs={jobs} output {}", x.name);
+                assert_eq!(x.solved, y.solved, "jobs={jobs} output {}", x.name);
+                assert_eq!(x.proved_optimal, y.proved_optimal);
+            }
+            assert_eq!(off.clause_bank_hits(), 0, "reuse off books no hits");
+            assert!(
+                on.clause_bank_hits() > 0,
+                "jobs={jobs}: the twin population must hit the bank"
+            );
+            assert!(on.donated_clauses() > 0, "completed outputs donate");
+            let bank = on_opts.clause_bank.expect("reuse on builds a bank");
+            assert!(bank.donations() > 0 && !bank.is_empty());
+        }
     }
 
     #[test]

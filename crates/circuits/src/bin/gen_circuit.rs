@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! gen_circuit <name> [--scale smoke|default|full] [--format bench|blif]
-//!             [--copies k] [--list]
+//!             [--copies k] [--shared-substructure k] [--list]
 //! ```
 //!
 //! `<name>` is a registry entry (`C7552`, `mm9a`, `small042`, …; see
@@ -12,12 +12,17 @@
 //! directly. `--copies k` appends `k−1` permuted-input twins of every
 //! output cone (see [`step_circuits::with_permuted_copies`]) — the
 //! repeated-cone population the engine's result cache exploits, used
-//! by the CI cache smoke step.
+//! by the CI cache smoke step. `--shared-substructure k` then appends
+//! `k−1` *near-twin* variants of every output (same support, shared
+//! subcones, different function — see
+//! [`step_circuits::with_shared_substructure`]), the population the
+//! clause bank's cluster channel reuses across; combined with
+//! `--copies` it stresses both reuse channels at once.
 
-use step_circuits::{registry_all, with_permuted_copies, Scale};
+use step_circuits::{registry_all, with_permuted_copies, with_shared_substructure, Scale};
 
 const USAGE: &str = "usage: gen_circuit <name> [--scale smoke|default|full] \
-                     [--format bench|blif] [--copies k] [--list]";
+                     [--format bench|blif] [--copies k] [--shared-substructure k] [--list]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -31,6 +36,7 @@ fn main() {
     let mut blif = false;
     let mut list = false;
     let mut copies = 1usize;
+    let mut shared = 1usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -54,6 +60,13 @@ fn main() {
             "--copies" => {
                 i += 1;
                 copies = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(k) if k >= 1 => k,
+                    _ => usage(),
+                };
+            }
+            "--shared-substructure" => {
+                i += 1;
+                shared = match args.get(i).and_then(|s| s.parse().ok()) {
                     Some(k) if k >= 1 => k,
                     _ => usage(),
                 };
@@ -92,6 +105,11 @@ fn main() {
     let mut aig = entry.build(scale);
     if copies > 1 {
         aig = with_permuted_copies(&aig, copies);
+    }
+    if shared > 1 {
+        // After --copies, so every permuted twin gets near-twins too:
+        // exact-channel and cluster-channel populations in one circuit.
+        aig = with_shared_substructure(&aig, shared);
     }
     if blif {
         print!("{}", step_aig::blif::write(&aig, entry.name));

@@ -93,5 +93,46 @@ pub fn with_permuted_copies(aig: &Aig, copies: usize) -> Aig {
     out
 }
 
+/// Extends `aig` with `k − 1` *near-twin* variants of every primary
+/// output whose cone has at least two support inputs: variant `j`
+/// (added as output `<name>_s<j>`) is the original root XORed with a
+/// single AND of two support inputs, rotated through the support so
+/// each variant differs.
+///
+/// A near-twin shares the original's entire cone as substructure and
+/// keeps its exact input support — but computes a different function,
+/// so its canonical fingerprint differs. That is precisely the
+/// population the clause bank's *cluster* channel (keyed on op +
+/// support size, clauses vetted before import) targets, and what the
+/// exact channel and result cache — both fingerprint-keyed — cannot
+/// serve (`gen_circuit --shared-substructure`).
+///
+/// Variants are pairwise distinct while `k − 1` stays below the cone's
+/// support size (the AND rotates through consecutive support pairs);
+/// beyond that the rotation wraps and twins may repeat.
+pub fn with_shared_substructure(aig: &Aig, k: usize) -> Aig {
+    let mut out = aig.clone();
+    let originals: Vec<(String, step_aig::AigLit)> = aig
+        .outputs()
+        .iter()
+        .map(|o| (o.name().to_owned(), o.lit()))
+        .collect();
+    for (name, root) in &originals {
+        let support = out.support(*root);
+        let m = support.len();
+        if m < 2 {
+            continue; // constant or single-input cone: no near-twin
+        }
+        for j in 1..k.max(1) {
+            let a = out.input(support[(j - 1) % m]);
+            let b = out.input(support[j % m]);
+            let bump = out.and(a, b);
+            let twin = out.xor(*root, bump);
+            out.add_output(format!("{name}_s{j}"), twin);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests;

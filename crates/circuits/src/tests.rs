@@ -312,6 +312,51 @@ fn load_file_parses_bench() {
 }
 
 #[test]
+fn shared_substructure_twins_share_support_but_not_fingerprints() {
+    let e = &registry_table1()[16]; // mm9a: small
+    let base = e.build(Scale::Smoke);
+    let n_out = base.num_outputs();
+    let grown = crate::with_shared_substructure(&base, 3);
+    assert_eq!(grown.num_inputs(), base.num_inputs());
+    assert!(grown.num_outputs() > n_out, "near-twins were planted");
+    for (k, out) in grown.outputs().iter().enumerate().skip(n_out) {
+        assert!(out.name().contains("_s"), "near-twin names are tagged");
+        let original = grown
+            .outputs()
+            .iter()
+            .take(n_out)
+            .find(|o| out.name().starts_with(&format!("{}_s", o.name())))
+            .unwrap_or_else(|| panic!("no original for near-twin {}", out.name()));
+        // Same input support (the cluster-channel key) ...
+        assert_eq!(
+            grown.support(out.lit()),
+            grown.support(original.lit()),
+            "near-twin {} must keep its original's support",
+            out.name()
+        );
+        // ... but a different function, hence a different fingerprint
+        // (the exact channel and result cache must both miss).
+        let cone = grown.cone(out.lit());
+        let orig_cone = grown.cone(original.lit());
+        assert_ne!(
+            step_aig::canonicalize(&cone.aig, cone.root).fingerprint,
+            step_aig::canonicalize(&orig_cone.aig, orig_cone.root).fingerprint,
+            "near-twin {} must not be a structural twin of {} (k={k})",
+            out.name(),
+            original.name()
+        );
+    }
+    // Original outputs are untouched: the grown circuit computes the
+    // same functions on its shared inputs.
+    for trial in 0..16u64 {
+        let bits: Vec<bool> = (0..base.num_inputs())
+            .map(|i| (trial >> (i % 64)) & 1 == 1)
+            .collect();
+        assert_eq!(grown.eval(&bits)[..n_out], base.eval(&bits)[..]);
+    }
+}
+
+#[test]
 fn permuted_copies_are_fingerprint_twins_of_their_originals() {
     let e = &registry_table1()[16]; // mm9a: small
     let base = e.build(Scale::Smoke);

@@ -1,0 +1,837 @@
+//! Cross-output clause reuse: the sharded [`ClauseBank`] of donated
+//! learnt clauses and the per-submission [`OraclePool`] of live
+//! incremental oracles.
+//!
+//! Sessions solve every cone in *canonical* input order (PR 3), so a
+//! [`PartitionOracle`]'s CNF is a pure function of
+//! `(canonical fingerprint, op)`: `α` variables first, then `β`, then
+//! Tseitin auxiliaries in deterministic AIG order. A completed
+//! session's tier-core learnt clauses are therefore already expressed
+//! in canonical-cone variable space and can be handed to any later
+//! oracle with no mapping at all. The bank stores them on two
+//! channels:
+//!
+//! * **exact** — keyed by `(fingerprint, op)`. The recipient's CNF is
+//!   var-for-var identical to the donor's, so clauses import verbatim
+//!   ([`PartitionOracle::import_learnts`]). Deliberately *looser* than
+//!   the result cache's key (no model/strategy/seed): a sweep running
+//!   five models over the same circuit gets verbatim imports the
+//!   exact-result cache can never serve.
+//! * **cluster** — keyed by `(op, support size)`, a small ring of
+//!   recent donors per cluster. A *near*-twin cone (shared
+//!   substructure, different fingerprint) carries no implication
+//!   guarantee, so every clause is **vetted** before use
+//!   ([`PartitionOracle::import_vetted`]): a bounded refutation probe
+//!   proves the recipient's own clauses imply it, or it is discarded.
+//! * **probe certificates** — keyed by `(fingerprint, op, solver
+//!   knobs, target)`. A QBF probe's outcome is a pure function of
+//!   that key when no budget truncates it (the CEGAR engine is
+//!   deterministic), so a definitive verdict — infeasible, or
+//!   *exactly this partition* — replays into any later session's
+//!   optimum search with no solving at all ([`ProbeLedger`]). This is
+//!   where twin-heavy circuits win big: a twin cone's `k`-search
+//!   re-runs its sibling's probes as lookups, skipping the
+//!   abstraction-side UNSAT proofs that dominate QBF-model cost.
+//!
+//! Both channels add only clauses *implied by the recipient's CNF*,
+//! so verdicts and partitions are byte-identical with reuse on or off
+//! — reuse changes how much work an answer costs, never the answer.
+//! At `jobs = 1` even the conflict counts are deterministic (bank
+//! content evolves in output order); at `jobs > 1` the bank's content
+//! when a given output looks up depends on sibling completion order,
+//! so conflict *counts* may vary run-to-run exactly like cache-hit
+//! accounting under the shared wall deadline. Under a *binding*
+//! `Work` budget, fewer conflicts per verdict can also shift which
+//! call a truncation lands on — the reuse analogue of comparing runs
+//! across budgets.
+//!
+//! The CEGAR abstraction solvers of the QBF models are deliberately
+//! **not** seeded: a QBF partition *is* the abstraction solver's
+//! model, and importing clauses there would steer which equally-valid
+//! witness is found first — violating the identical-partitions
+//! contract. The [`PartitionOracle`] is safe to seed because every
+//! strategy consumes only its SAT/UNSAT verdicts. The CEGAR layer
+//! instead participates through its *check side*: exact-channel
+//! entries carry an optional second snapshot of counterexample-check
+//! learnt clauses, harvested from a session's persistent
+//! [`CounterexampleRefuter`](step_qbf::CounterexampleRefuter) and used
+//! to warm the next session's refuter over the identical check CNF.
+//! The refuter contributes only UNSAT answers (semantically
+//! determined), so this too changes cost, never answers. Check-side
+//! clauses ride the exact channel only — they live in the check CNF's
+//! variable space, not the oracle's, so cluster-channel vetting could
+//! never apply to them.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use step_aig::ConeFingerprint;
+use step_sat::{LearntExport, RestartPolicy};
+
+use crate::oracle::PartitionOracle;
+use crate::partition::VarClass;
+use crate::qbf_model::Target;
+use crate::spec::GateOp;
+
+/// Number of independently-locked bank shards.
+pub const NUM_SHARDS: usize = 16;
+
+/// Donors retained per `(op, support)` cluster ring.
+const CLUSTER_DONORS: usize = 4;
+
+/// Live oracles retained per [`OraclePool`].
+const POOL_CAPACITY: usize = 32;
+
+/// Probe certificates retained per shard (FIFO beyond this).
+const PROBES_PER_SHARD: usize = 4096;
+
+/// Identity of one donation: the canonical cone and the operator its
+/// oracle CNF encodes. Everything else (model, strategy, seed,
+/// budgets) is irrelevant — the oracle CNF does not depend on it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BankKey {
+    /// Canonical structural identity of the cone.
+    pub fingerprint: ConeFingerprint,
+    /// Root operator (selects the core formula).
+    pub op: GateOp,
+}
+
+/// A successful bank lookup: the donated snapshot plus which channel
+/// served it (exact donors import verbatim, cluster donors must be
+/// vetted clause-by-clause).
+#[derive(Clone, Debug)]
+pub struct BankHit {
+    /// The donated clauses and activity hints.
+    pub export: Arc<LearntExport>,
+    /// `true` = exact channel (identical CNF, verbatim import).
+    pub exact: bool,
+    /// Counterexample-check learnt clauses (exact channel only): a
+    /// snapshot of the donor session's refuter, expressed over the
+    /// check CNF's own variable space.
+    pub check: Option<Arc<LearntExport>>,
+}
+
+/// How one output's solve interacted with the clause bank and oracle
+/// pool.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BankLookup {
+    /// Clause reuse disabled, or the output never reached the bank
+    /// (trivial cone, result-cache hit, expired budget).
+    #[default]
+    Bypass,
+    /// Looked up, no donor available; solved cold (and donated after).
+    Miss,
+    /// Seeded verbatim from an exact (same-fingerprint) donor.
+    Exact,
+    /// Seeded from a near-twin donor after per-clause vetting.
+    Cluster,
+    /// Re-used a live pooled oracle from a sibling with the same
+    /// fingerprint — no rebuild, no bank lookup needed.
+    Pooled,
+}
+
+impl BankLookup {
+    /// Whether this output was seeded or re-used at all.
+    pub fn is_hit(self) -> bool {
+        matches!(
+            self,
+            BankLookup::Exact | BankLookup::Cluster | BankLookup::Pooled
+        )
+    }
+}
+
+/// Everything besides the cone identity that a QBF probe's outcome
+/// depends on: the CEGAR engine is deterministic, so the result of
+/// [`solve_partition`](crate::qbf_model::solve_partition) is a pure
+/// function of `(canonical cone, op, target, these knobs)` whenever no
+/// budget truncates the solve.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ProbeCfg {
+    /// `|XA| ≥ |XB|` symmetry breaking.
+    pub symmetry_breaking: bool,
+    /// Allow `(αᵢ, βᵢ) = (1,1)`.
+    pub allow_both: bool,
+    /// Restart policy of the inner SAT solvers.
+    pub restarts: RestartPolicy,
+    /// Bounded root-level preprocessing in the inner SAT solvers.
+    pub preprocess: bool,
+}
+
+/// A recorded probe outcome — a *semantic certificate* about the cone,
+/// never a heuristic: `Infeasible` is an UNSAT proof of formulation
+/// (4) at the target, `Feasible` is the exact partition the
+/// deterministic solve returns.
+#[derive(Clone, Debug)]
+pub enum ProbeVerdict {
+    /// The cone admits no partition meeting the target.
+    Infeasible,
+    /// The deterministic CEGAR solve returns exactly this partition
+    /// (canonical input order, pre-normalization).
+    Feasible(Vec<VarClass>),
+}
+
+/// A session's handle for probe-certificate reuse: the bank plus the
+/// cone identity and solver knobs every probe of the session shares.
+/// Built by [`SolveSession`](crate::session::SolveSession) and
+/// threaded through the optimum search alongside the refuter.
+pub struct ProbeLedger {
+    bank: Arc<ClauseBank>,
+    fingerprint: ConeFingerprint,
+    op: GateOp,
+    cfg: ProbeCfg,
+}
+
+impl ProbeLedger {
+    /// A ledger for one session's probes.
+    pub fn new(
+        bank: Arc<ClauseBank>,
+        fingerprint: ConeFingerprint,
+        op: GateOp,
+        cfg: ProbeCfg,
+    ) -> Self {
+        ProbeLedger {
+            bank,
+            fingerprint,
+            op,
+            cfg,
+        }
+    }
+
+    /// The recorded verdict for `target`, if any sibling solved it.
+    pub fn lookup(&self, target: Target) -> Option<ProbeVerdict> {
+        self.bank
+            .lookup_probe(self.fingerprint, self.op, self.cfg, target)
+    }
+
+    /// Records a definitive probe outcome (never record timeouts: a
+    /// truncation is budget state, not a fact about the cone).
+    pub fn record(&self, target: Target, verdict: ProbeVerdict) {
+        self.bank
+            .record_probe(self.fingerprint, self.op, self.cfg, target, verdict);
+    }
+}
+
+struct ExactSlot {
+    export: Arc<LearntExport>,
+    /// Check-side (refuter) snapshot, if the donor ran a QBF model.
+    check: Option<Arc<LearntExport>>,
+    /// Second-chance bit: set on every hit, cleared once by the clock
+    /// hand before the entry becomes evictable.
+    referenced: bool,
+}
+
+/// Key of one probe certificate: the cone, the solver knobs and the
+/// target probed.
+type ProbeKey = (BankKey, ProbeCfg, Target);
+
+/// One cluster's donor ring: `(fingerprint hash, export)`, newest at
+/// the back.
+type ClusterRing = VecDeque<(u128, Arc<LearntExport>)>;
+
+#[derive(Default)]
+struct BankShard {
+    exact: HashMap<BankKey, ExactSlot>,
+    /// Insertion ring for the exact channel's clock hand.
+    ring: VecDeque<BankKey>,
+    /// Cluster rings: most recent donors per `(op, support)`, newest
+    /// at the back, deduplicated by fingerprint hash.
+    clusters: HashMap<(GateOp, u32), ClusterRing>,
+    /// Probe certificates, FIFO-bounded at [`PROBES_PER_SHARD`].
+    probes: HashMap<ProbeKey, ProbeVerdict>,
+    probe_ring: VecDeque<ProbeKey>,
+}
+
+/// The sharded clause bank. See the module docs.
+///
+/// Create one, wrap it in an [`Arc`] and attach it to engines
+/// ([`crate::BiDecomposer::set_clause_bank`]) or services
+/// ([`crate::StepService::spawn_with_bank`]) to share donations across
+/// outputs, circuits, models and whole sweeps.
+pub struct ClauseBank {
+    shards: Vec<Mutex<BankShard>>,
+    /// Per-shard bound on exact entries (`None` = unbounded). Cluster
+    /// rings are bounded by construction ([`CLUSTER_DONORS`] donors
+    /// per distinct `(op, support)` pair).
+    shard_capacity: Option<usize>,
+    exact_hits: AtomicU64,
+    cluster_hits: AtomicU64,
+    misses: AtomicU64,
+    donations: AtomicU64,
+    evictions: AtomicU64,
+    probe_hits: AtomicU64,
+    probe_records: AtomicU64,
+}
+
+impl Default for ClauseBank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClauseBank {
+    /// An unbounded bank.
+    pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// A bank holding at most `capacity` exact entries (rounded up to
+    /// a multiple of [`NUM_SHARDS`]), evicting with second chance.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::build(Some(capacity.div_ceil(NUM_SHARDS).max(1)))
+    }
+
+    fn build(shard_capacity: Option<usize>) -> Self {
+        ClauseBank {
+            shards: (0..NUM_SHARDS)
+                .map(|_| Mutex::new(BankShard::default()))
+                .collect(),
+            shard_capacity,
+            exact_hits: AtomicU64::new(0),
+            cluster_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            donations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            probe_hits: AtomicU64::new(0),
+            probe_records: AtomicU64::new(0),
+        }
+    }
+
+    /// Shard by `(op, support)` so a cluster ring and every exact key
+    /// that could feed it live under one lock.
+    fn shard(&self, op: GateOp, support: u32) -> &Mutex<BankShard> {
+        let op_ix = match op {
+            GateOp::Or => 0usize,
+            GateOp::And => 1,
+            GateOp::Xor => 2,
+        };
+        &self.shards[((support as usize).wrapping_mul(3) + op_ix) % NUM_SHARDS]
+    }
+
+    /// Publishes a completed session's snapshot on both channels:
+    /// oracle clauses on exact + cluster, the optional check-side
+    /// (refuter) snapshot on exact only — it lives in the check CNF's
+    /// variable space and could never be vetted against an oracle CNF.
+    /// Snapshots empty on both sides are dropped — they could only
+    /// evict something useful.
+    pub fn donate(
+        &self,
+        fingerprint: ConeFingerprint,
+        op: GateOp,
+        export: LearntExport,
+        check: Option<LearntExport>,
+    ) {
+        let check = check.filter(|c| !c.is_empty()).map(Arc::new);
+        if export.is_empty() && check.is_none() {
+            return;
+        }
+        let key = BankKey { fingerprint, op };
+        let export = Arc::new(export);
+        let mut shard = self
+            .shard(op, fingerprint.inputs)
+            .lock()
+            .expect("bank shard poisoned");
+        // Cluster channel: newest donor at the back, one entry per
+        // fingerprint (a re-donation refreshes in place).
+        if !export.is_empty() {
+            let ring = shard.clusters.entry((op, fingerprint.inputs)).or_default();
+            ring.retain(|(h, _)| *h != fingerprint.hash);
+            ring.push_back((fingerprint.hash, Arc::clone(&export)));
+            while ring.len() > CLUSTER_DONORS {
+                ring.pop_front();
+            }
+        }
+        // Exact channel, second-chance bounded like the result cache.
+        // A re-donation refreshes each side it actually carries, so a
+        // later SAT-only model never wipes a QBF donor's check payload.
+        if let Some(slot) = shard.exact.get_mut(&key) {
+            if !export.is_empty() {
+                slot.export = export;
+            }
+            if check.is_some() {
+                slot.check = check;
+            }
+            self.donations.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if let Some(cap) = self.shard_capacity {
+            while shard.exact.len() >= cap {
+                let Some(victim) = shard.ring.pop_front() else {
+                    break;
+                };
+                let evict = match shard.exact.get_mut(&victim) {
+                    Some(slot) if slot.referenced => {
+                        slot.referenced = false;
+                        false
+                    }
+                    Some(_) => true,
+                    None => continue,
+                };
+                if evict {
+                    shard.exact.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shard.ring.push_back(victim);
+                }
+            }
+        }
+        shard.ring.push_back(key);
+        shard.exact.insert(
+            key,
+            ExactSlot {
+                export,
+                check,
+                referenced: false,
+            },
+        );
+        self.donations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Finds the best donor for `(fingerprint, op)`: the exact channel
+    /// first (identical CNF), then the most recent cluster donor with
+    /// a *different* fingerprint (the same one would have hit exact).
+    pub fn lookup(&self, fingerprint: ConeFingerprint, op: GateOp) -> Option<BankHit> {
+        let key = BankKey { fingerprint, op };
+        let mut shard = self
+            .shard(op, fingerprint.inputs)
+            .lock()
+            .expect("bank shard poisoned");
+        if let Some(slot) = shard.exact.get_mut(&key) {
+            slot.referenced = true;
+            self.exact_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(BankHit {
+                export: Arc::clone(&slot.export),
+                exact: true,
+                check: slot.check.as_ref().map(Arc::clone),
+            });
+        }
+        if let Some(ring) = shard.clusters.get(&(op, fingerprint.inputs)) {
+            if let Some((_, export)) = ring.iter().rev().find(|(h, _)| *h != fingerprint.hash) {
+                self.cluster_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(BankHit {
+                    export: Arc::clone(export),
+                    exact: false,
+                    check: None,
+                });
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores a probe certificate for `(fingerprint, op, cfg, target)`
+    /// (last writer wins — all writers hold the same certificate, the
+    /// outcome being a pure function of the key).
+    pub fn record_probe(
+        &self,
+        fingerprint: ConeFingerprint,
+        op: GateOp,
+        cfg: ProbeCfg,
+        target: Target,
+        verdict: ProbeVerdict,
+    ) {
+        let key = (BankKey { fingerprint, op }, cfg, target);
+        let mut shard = self
+            .shard(op, fingerprint.inputs)
+            .lock()
+            .expect("bank shard poisoned");
+        if shard.probes.insert(key, verdict).is_none() {
+            shard.probe_ring.push_back(key);
+        }
+        while shard.probes.len() > PROBES_PER_SHARD {
+            let Some(victim) = shard.probe_ring.pop_front() else {
+                break;
+            };
+            shard.probes.remove(&victim);
+        }
+        self.probe_records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The recorded certificate for `(fingerprint, op, cfg, target)`.
+    pub fn lookup_probe(
+        &self,
+        fingerprint: ConeFingerprint,
+        op: GateOp,
+        cfg: ProbeCfg,
+        target: Target,
+    ) -> Option<ProbeVerdict> {
+        let key = (BankKey { fingerprint, op }, cfg, target);
+        let shard = self
+            .shard(op, fingerprint.inputs)
+            .lock()
+            .expect("bank shard poisoned");
+        let hit = shard.probes.get(&key).cloned();
+        if hit.is_some() {
+            self.probe_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Probe-certificate hits since creation.
+    pub fn probe_hits(&self) -> u64 {
+        self.probe_hits.load(Ordering::Relaxed)
+    }
+
+    /// Probe certificates recorded since creation.
+    pub fn probe_records(&self) -> u64 {
+        self.probe_records.load(Ordering::Relaxed)
+    }
+
+    /// Exact-channel hits since creation.
+    pub fn exact_hits(&self) -> u64 {
+        self.exact_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cluster-channel (vetted near-twin) hits since creation.
+    pub fn cluster_hits(&self) -> u64 {
+        self.cluster_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total hits on either channel.
+    pub fn hits(&self) -> u64 {
+        self.exact_hits() + self.cluster_hits()
+    }
+
+    /// Lookups that found no donor.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots donated since creation.
+    pub fn donations(&self) -> u64 {
+        self.donations.load(Ordering::Relaxed)
+    }
+
+    /// Exact entries evicted by the capacity bound since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Exact entries currently resident.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("bank shard poisoned").exact.len())
+            .sum()
+    }
+
+    /// Whether the exact channel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured exact-channel capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.shard_capacity.map(|c| c * NUM_SHARDS)
+    }
+}
+
+impl fmt::Debug for ClauseBank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClauseBank")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .field("exact_hits", &self.exact_hits())
+            .field("cluster_hits", &self.cluster_hits())
+            .field("misses", &self.misses())
+            .field("donations", &self.donations())
+            .field("evictions", &self.evictions())
+            .field("probe_hits", &self.probe_hits())
+            .field("probe_records", &self.probe_records())
+            .finish()
+    }
+}
+
+struct PoolInner {
+    map: HashMap<(u128, GateOp), PartitionOracle>,
+    /// Insertion order for FIFO eviction.
+    ring: VecDeque<(u128, GateOp)>,
+}
+
+/// A bounded pool of *live* incremental oracles, keyed by
+/// `(canonical fingerprint hash, op)`.
+///
+/// Within one submission (or one inline circuit run) a completed
+/// session parks its oracle here instead of dropping it; a sibling
+/// with the same fingerprint takes it and re-solves under assumptions
+/// — no CNF rebuild, no clause replay, all learnt state intact. An
+/// oracle is removed while in use, so concurrent same-fingerprint
+/// workers fall back to fresh construction (plus a bank seed) rather
+/// than blocking. The pool is scoped to one `DecompConfig`, so every
+/// pooled oracle was built with the same restart/preprocess knobs.
+pub struct OraclePool {
+    inner: Mutex<PoolInner>,
+    capacity: usize,
+    reuses: AtomicU64,
+}
+
+impl Default for OraclePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OraclePool {
+    /// A pool retaining up to `POOL_CAPACITY` (32) oracles.
+    pub fn new() -> Self {
+        Self::with_capacity(POOL_CAPACITY)
+    }
+
+    /// A pool retaining up to `capacity` oracles (at least one),
+    /// evicting the oldest.
+    pub fn with_capacity(capacity: usize) -> Self {
+        OraclePool {
+            inner: Mutex::new(PoolInner {
+                map: HashMap::new(),
+                ring: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+            reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes the live oracle for `(hash, op)`, if one is parked.
+    pub fn take(&self, hash: u128, op: GateOp) -> Option<PartitionOracle> {
+        let mut inner = self.inner.lock().expect("oracle pool poisoned");
+        let oracle = inner.map.remove(&(hash, op));
+        if oracle.is_some() {
+            inner.ring.retain(|k| *k != (hash, op));
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        oracle
+    }
+
+    /// Parks an oracle for later siblings (latest donation wins),
+    /// evicting the oldest parked oracle beyond capacity.
+    pub fn put(&self, hash: u128, op: GateOp, oracle: PartitionOracle) {
+        let mut inner = self.inner.lock().expect("oracle pool poisoned");
+        if inner.map.insert((hash, op), oracle).is_none() {
+            inner.ring.push_back((hash, op));
+        }
+        while inner.map.len() > self.capacity {
+            let Some(victim) = inner.ring.pop_front() else {
+                break;
+            };
+            inner.map.remove(&victim);
+        }
+    }
+
+    /// Oracles taken (re-used) since creation.
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+
+    /// Oracles currently parked.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("oracle pool poisoned").map.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for OraclePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OraclePool")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("reuses", &self.reuses())
+            .finish()
+    }
+}
+
+/// The reuse handles one session needs: the (possibly run-scoped,
+/// possibly sweep-wide) clause bank and the submission-scoped oracle
+/// pool. Cheap to clone; built by the engine/service when
+/// [`DecompConfig::clause_reuse`](crate::spec::DecompConfig::clause_reuse)
+/// is on.
+#[derive(Clone, Debug)]
+pub struct ReuseCtx {
+    /// Donated-clause storage, shared as widely as the caller wants.
+    pub bank: Arc<ClauseBank>,
+    /// Live-oracle pool, scoped to one submission / circuit run (one
+    /// `DecompConfig`, so pooled oracles share solver knobs).
+    pub pool: Arc<OraclePool>,
+}
+
+impl ReuseCtx {
+    /// A context over `bank` with a fresh (empty) oracle pool.
+    pub fn over(bank: Arc<ClauseBank>) -> Self {
+        ReuseCtx {
+            bank,
+            pool: Arc::new(OraclePool::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use step_cnf::{Lit, Var};
+
+    fn fp(hash: u128, inputs: u32) -> ConeFingerprint {
+        ConeFingerprint {
+            hash,
+            inputs,
+            ands: 3,
+        }
+    }
+
+    fn export(tag: u32) -> LearntExport {
+        LearntExport {
+            clauses: vec![vec![
+                Lit::pos(Var::new(tag as usize)),
+                Lit::neg(Var::new(0)),
+            ]],
+            activities: vec![(Var::new(0), 1.0)],
+        }
+    }
+
+    #[test]
+    fn exact_hit_beats_cluster_and_counters_track() {
+        let bank = ClauseBank::new();
+        assert!(bank.lookup(fp(1, 4), GateOp::Or).is_none());
+        bank.donate(fp(1, 4), GateOp::Or, export(1), None);
+        bank.donate(fp(2, 4), GateOp::Or, export(2), None);
+        let hit = bank.lookup(fp(1, 4), GateOp::Or).expect("exact donor");
+        assert!(hit.exact);
+        assert_eq!(hit.export.clauses, export(1).clauses);
+        // A fingerprint never donated, same (op, support): the newest
+        // *other* donor serves it on the cluster channel.
+        let near = bank.lookup(fp(9, 4), GateOp::Or).expect("cluster donor");
+        assert!(!near.exact);
+        assert_eq!(near.export.clauses, export(2).clauses);
+        assert_eq!(
+            (bank.exact_hits(), bank.cluster_hits(), bank.misses()),
+            (1, 1, 1)
+        );
+        assert_eq!(bank.donations(), 2);
+    }
+
+    #[test]
+    fn channels_are_keyed_by_op_and_support() {
+        let bank = ClauseBank::new();
+        bank.donate(fp(1, 4), GateOp::Or, export(1), None);
+        assert!(bank.lookup(fp(1, 4), GateOp::And).is_none(), "other op");
+        assert!(bank.lookup(fp(9, 5), GateOp::Or).is_none(), "other support");
+    }
+
+    #[test]
+    fn empty_donations_are_dropped() {
+        let bank = ClauseBank::new();
+        bank.donate(fp(1, 4), GateOp::Or, LearntExport::default(), None);
+        assert_eq!(bank.donations(), 0);
+        assert!(bank.lookup(fp(2, 4), GateOp::Or).is_none());
+    }
+
+    #[test]
+    fn cluster_ring_is_bounded_and_dedups_by_fingerprint() {
+        let bank = ClauseBank::new();
+        for i in 0..10u32 {
+            bank.donate(fp(u128::from(i % 5), 4), GateOp::Or, export(i), None);
+        }
+        // Ten donations over five fingerprints: the ring holds the
+        // most recent CLUSTER_DONORS distinct donors. A lookup from a
+        // fresh fingerprint gets the newest donor back.
+        let hit = bank.lookup(fp(99, 4), GateOp::Or).expect("donors exist");
+        assert!(!hit.exact);
+        assert_eq!(hit.export.clauses, export(9).clauses);
+    }
+
+    #[test]
+    fn exact_capacity_evicts_with_second_chance() {
+        // Keys with the same (op, support) land in one shard, so a
+        // 2-per-shard bound is exercised directly.
+        let bank = ClauseBank::with_capacity(2 * NUM_SHARDS);
+        bank.donate(fp(1, 4), GateOp::Or, export(1), None);
+        bank.donate(fp(2, 4), GateOp::Or, export(2), None);
+        // Touch 1 so it owns a second chance.
+        assert!(bank.lookup(fp(1, 4), GateOp::Or).unwrap().exact);
+        bank.donate(fp(3, 4), GateOp::Or, export(3), None);
+        assert!(bank.lookup(fp(1, 4), GateOp::Or).unwrap().exact);
+        assert!(
+            !bank.lookup(fp(2, 4), GateOp::Or).unwrap().exact,
+            "cold entry evicted from exact; cluster ring still serves it"
+        );
+        assert!(bank.lookup(fp(3, 4), GateOp::Or).unwrap().exact);
+        assert_eq!(bank.evictions(), 1);
+    }
+
+    #[test]
+    fn check_payload_rides_the_exact_channel_only() {
+        let bank = ClauseBank::new();
+        bank.donate(fp(1, 4), GateOp::Or, export(1), Some(export(7)));
+        let hit = bank.lookup(fp(1, 4), GateOp::Or).expect("exact donor");
+        assert_eq!(
+            hit.check.expect("check payload round-trips").clauses,
+            export(7).clauses
+        );
+        // A near-twin gets clauses but never the check snapshot: it
+        // lives in the donor's check CNF variable space.
+        let near = bank.lookup(fp(9, 4), GateOp::Or).expect("cluster donor");
+        assert!(near.check.is_none());
+        // Re-donation without a check snapshot keeps the earlier one.
+        bank.donate(fp(1, 4), GateOp::Or, export(2), None);
+        let hit = bank.lookup(fp(1, 4), GateOp::Or).unwrap();
+        assert!(hit.check.is_some());
+        assert_eq!(hit.export.clauses, export(2).clauses);
+    }
+
+    #[test]
+    fn probe_certificates_round_trip_and_key_on_cfg() {
+        let bank = ClauseBank::new();
+        let cfg = ProbeCfg {
+            symmetry_breaking: true,
+            allow_both: false,
+            restarts: RestartPolicy::Luby,
+            preprocess: false,
+        };
+        let t = Target::DisjointAtMost(2);
+        assert!(bank.lookup_probe(fp(1, 4), GateOp::Or, cfg, t).is_none());
+        bank.record_probe(fp(1, 4), GateOp::Or, cfg, t, ProbeVerdict::Infeasible);
+        bank.record_probe(
+            fp(1, 4),
+            GateOp::Or,
+            cfg,
+            Target::DisjointAtMost(3),
+            ProbeVerdict::Feasible(vec![VarClass::A, VarClass::B, VarClass::C, VarClass::C]),
+        );
+        assert!(matches!(
+            bank.lookup_probe(fp(1, 4), GateOp::Or, cfg, t),
+            Some(ProbeVerdict::Infeasible)
+        ));
+        match bank.lookup_probe(fp(1, 4), GateOp::Or, cfg, Target::DisjointAtMost(3)) {
+            Some(ProbeVerdict::Feasible(classes)) => {
+                assert_eq!(
+                    classes,
+                    vec![VarClass::A, VarClass::B, VarClass::C, VarClass::C]
+                );
+            }
+            other => panic!("expected feasible certificate, got {other:?}"),
+        }
+        // A verdict is a fact about (cone, op, cfg, target) — any other
+        // coordinate must miss.
+        let other_cfg = ProbeCfg {
+            symmetry_breaking: false,
+            ..cfg
+        };
+        assert!(bank
+            .lookup_probe(fp(1, 4), GateOp::Or, other_cfg, t)
+            .is_none());
+        assert!(bank.lookup_probe(fp(2, 4), GateOp::Or, cfg, t).is_none());
+        assert!(bank.lookup_probe(fp(1, 4), GateOp::And, cfg, t).is_none());
+        assert_eq!((bank.probe_hits(), bank.probe_records()), (2, 2));
+    }
+
+    #[test]
+    fn bank_lookup_hit_classification() {
+        assert!(!BankLookup::Bypass.is_hit());
+        assert!(!BankLookup::Miss.is_hit());
+        assert!(BankLookup::Exact.is_hit());
+        assert!(BankLookup::Cluster.is_hit());
+        assert!(BankLookup::Pooled.is_hit());
+    }
+}

@@ -41,6 +41,7 @@ use step_aig::Aig;
 use step_sat::EffortStats;
 
 use crate::cache::{CacheLookup, ResultCache};
+use crate::clause_bank::{BankLookup, ClauseBank, ReuseCtx};
 use crate::effort::CircuitBudget;
 use crate::extract::Decomposition;
 use crate::job::OutputJob;
@@ -126,6 +127,14 @@ pub struct OutputResult {
     pub effort: EffortStats,
     /// How this output's solve interacted with the result cache.
     pub cache: CacheLookup,
+    /// How this output's solve interacted with the clause bank /
+    /// oracle pool (always `Bypass` when clause reuse is off).
+    pub bank: BankLookup,
+    /// Donated clauses imported (verbatim or vetted-through) before
+    /// this output's first oracle check.
+    pub imported_clauses: u64,
+    /// Clauses this output donated to the bank after solving.
+    pub donated_clauses: u64,
 }
 
 impl OutputResult {
@@ -147,6 +156,9 @@ impl OutputResult {
             cegar_iterations: 0,
             effort: EffortStats::default(),
             cache: CacheLookup::Bypass,
+            bank: BankLookup::Bypass,
+            imported_clauses: 0,
+            donated_clauses: 0,
         }
     }
 
@@ -234,6 +246,22 @@ impl CircuitResult {
     fn count_cache(&self, want: CacheLookup) -> u64 {
         self.outputs.iter().filter(|o| o.cache == want).count() as u64
     }
+
+    /// Outputs seeded from the clause bank or a pooled oracle in this
+    /// run (exact, cluster and pooled reuse alike).
+    pub fn clause_bank_hits(&self) -> u64 {
+        self.outputs.iter().filter(|o| o.bank.is_hit()).count() as u64
+    }
+
+    /// Total clauses imported from donors across all outputs.
+    pub fn imported_clauses(&self) -> u64 {
+        self.outputs.iter().map(|o| o.imported_clauses).sum()
+    }
+
+    /// Total clauses donated to the bank across all outputs.
+    pub fn donated_clauses(&self) -> u64 {
+        self.outputs.iter().map(|o| o.donated_clauses).sum()
+    }
 }
 
 /// The STEP bi-decomposition engine.
@@ -262,6 +290,7 @@ impl CircuitResult {
 pub struct BiDecomposer {
     config: DecompConfig,
     cache: Option<Arc<ResultCache>>,
+    bank: Option<Arc<ClauseBank>>,
 }
 
 impl BiDecomposer {
@@ -271,6 +300,7 @@ impl BiDecomposer {
         BiDecomposer {
             config,
             cache: None,
+            bank: None,
         }
     }
 
@@ -285,6 +315,30 @@ impl BiDecomposer {
     /// The attached result cache, if any.
     pub fn cache(&self) -> Option<&Arc<ResultCache>> {
         self.cache.as_ref()
+    }
+
+    /// Attaches a clause bank for cross-output reuse
+    /// ([`DecompConfig::clause_reuse`] must also be on for sessions to
+    /// consult it). Sharing one `Arc` across engines extends donation
+    /// reach across circuits and models, exactly like the result
+    /// cache; when clause reuse is enabled without an attached bank, a
+    /// run-scoped bank is created per circuit run.
+    pub fn set_clause_bank(&mut self, bank: Arc<ClauseBank>) {
+        self.bank = Some(bank);
+    }
+
+    /// The attached clause bank, if any.
+    pub fn clause_bank(&self) -> Option<&Arc<ClauseBank>> {
+        self.bank.as_ref()
+    }
+
+    /// The reuse handles for one circuit run (or single-output call):
+    /// the attached bank — or a fresh run-scoped one — plus a fresh
+    /// oracle pool. `None` when clause reuse is off.
+    fn reuse_ctx(&self) -> Option<ReuseCtx> {
+        self.config
+            .clause_reuse
+            .then(|| ReuseCtx::over(self.bank.clone().unwrap_or_default()))
     }
 
     /// The active configuration.
@@ -311,7 +365,15 @@ impl BiDecomposer {
         op: GateOp,
     ) -> Result<OutputResult, StepError> {
         let job = OutputJob::new(&self.config, out_idx, op);
-        SolveSession::new(aig, job, &self.config, self.cache.as_deref())?.run()
+        let reuse = self.reuse_ctx();
+        SolveSession::new(
+            aig,
+            job,
+            &self.config,
+            self.cache.as_deref(),
+            reuse.as_ref(),
+        )?
+        .run()
     }
 
     /// Decomposes every primary output of `circuit` under `op`,
@@ -359,10 +421,21 @@ impl BiDecomposer {
             // logic, same fail-fast semantics, same results.
             let aig = owned.as_ref().unwrap_or(circuit);
             let circuit = CircuitBudget::anchored(self.config.budget.per_circuit, start);
+            // One oracle pool for the whole circuit run, so the inline
+            // path reuses exactly like a one-worker service would.
+            let reuse = self.reuse_ctx();
             let mut outputs = Vec::with_capacity(n_out);
             let mut timed_out = false;
             for idx in 0..n_out {
-                let r = run_queued(aig, &self.config, self.cache.as_deref(), idx, op, &circuit)?;
+                let r = run_queued(
+                    aig,
+                    &self.config,
+                    self.cache.as_deref(),
+                    reuse.as_ref(),
+                    idx,
+                    op,
+                    &circuit,
+                )?;
                 timed_out |= r.timed_out;
                 outputs.push(r);
             }
@@ -372,7 +445,7 @@ impl BiDecomposer {
                 timed_out,
             });
         }
-        let service = StepService::spawn(workers, self.cache.clone());
+        let service = StepService::spawn_with_bank(workers, self.cache.clone(), self.bank.clone());
         // Move the comb-converted copy into the submission when we own
         // one; a single clone only when the caller's circuit was
         // already combinational.
@@ -414,6 +487,7 @@ pub(crate) fn run_queued(
     aig: &Aig,
     config: &DecompConfig,
     cache: Option<&ResultCache>,
+    reuse: Option<&ReuseCtx>,
     out_idx: usize,
     op: GateOp,
     circuit: &CircuitBudget,
@@ -429,7 +503,7 @@ pub(crate) fn run_queued(
         return Ok(OutputResult::budget_exhausted(name, out_idx, support));
     }
     let job = OutputJob::new(config, out_idx, op).with_circuit(circuit.clone());
-    SolveSession::new(aig, job, config, cache)?
+    SolveSession::new(aig, job, config, cache, reuse)?
         .run()
         .map_err(|e| match e {
             StepError::Internal(m) => {

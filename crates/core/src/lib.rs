@@ -41,11 +41,18 @@
 //! * [`cache`] — the per-op result cache: sessions solve every cone in
 //!   canonical input order (`step_aig::canonicalize`), so definitive
 //!   outcomes are memoizable by `(fingerprint, op, config)` and
-//!   translate to any permuted-input twin of the cone.
+//!   translate to any permuted-input twin of the cone;
+//! * [`clause_bank`] — cross-output clause reuse: completed sessions
+//!   donate tier-core learnt clauses (keyed by `(fingerprint, op)`
+//!   exactly, and by `(op, support)` for vetted near-twin seeding) and
+//!   park live oracles for same-fingerprint siblings — answers are
+//!   identical with reuse on or off, only the conflicts to reach them
+//!   drop.
 //!
 //! See the crate-level example on [`BiDecomposer`].
 
 pub mod cache;
+pub mod clause_bank;
 pub mod effort;
 pub mod engine;
 pub mod extract;
@@ -65,6 +72,7 @@ pub mod strategy;
 pub mod verify;
 
 pub use cache::{CacheKey, CacheLookup, CachedResult, ResultCache};
+pub use clause_bank::{BankHit, BankKey, BankLookup, ClauseBank, OraclePool, ReuseCtx};
 pub use effort::{CallLimits, CircuitBudget, EffortMeter, WorkPool};
 pub use engine::{BiDecomposer, CircuitResult, OutputResult, StepError};
 pub use extract::{extract, extract_by_quantification, Decomposition, ExtractError};
@@ -92,6 +100,11 @@ const _: fn() = || {
     assert_sync::<StepService>();
     assert_sync::<spec::DecompConfig>();
     assert_sync::<ResultCache>();
+    // Clause reuse crosses the same thread boundaries the cache does:
+    // the bank is shared by every worker, pooled oracles migrate
+    // between them.
+    assert_sync::<ClauseBank>();
+    assert_sync::<OraclePool>();
     assert_send::<SubmissionHandle>();
     assert_send::<OutputEvent>();
     assert_send::<oracle::PartitionOracle>();

@@ -9,11 +9,13 @@
 //! and **MD→Bin→MI** follows the paper's best-for-disjointness
 //! pipeline.
 
+use crate::clause_bank::{ProbeLedger, ProbeVerdict};
 use crate::effort::EffortMeter;
 use crate::oracle::CoreFormula;
 use crate::partition::VarPartition;
-use crate::qbf_model::{solve_partition, ModelOptions, QbfModelOutcome, Target};
+use crate::qbf_model::{solve_partition_with_refuter, ModelOptions, QbfModelOutcome, Target};
 use crate::spec::SearchStrategy;
+use step_qbf::CounterexampleRefuter;
 
 /// Which metric the bound `k` constrains.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -102,6 +104,38 @@ pub fn search(
     opts: &ModelOptions,
     meter: &mut EffortMeter,
 ) -> OptimumResult {
+    let mut no_refuter = None;
+    search_with_reuse(
+        core,
+        metric,
+        bootstrap,
+        strategy,
+        opts,
+        meter,
+        &mut no_refuter,
+        None,
+    )
+}
+
+/// [`search`] with the clause-reuse machinery threaded through every
+/// probe. The [`CounterexampleRefuter`] persists across probes (the
+/// CEGAR engine rebuilds its own solvers each time), so each probe's
+/// final UNSAT counterexample check can be answered from accumulated
+/// check-side learnt clauses. The [`ProbeLedger`] replays definitive
+/// probe verdicts recorded by sibling sessions over the same canonical
+/// cone — the searched `k` sequence, the verdicts and the returned
+/// partition are identical either way, only the solving is skipped.
+#[allow(clippy::too_many_arguments)]
+pub fn search_with_reuse(
+    core: &CoreFormula,
+    metric: Metric,
+    bootstrap: Option<&VarPartition>,
+    strategy: SearchStrategy,
+    opts: &ModelOptions,
+    meter: &mut EffortMeter,
+    refuter: &mut Option<CounterexampleRefuter>,
+    ledger: Option<&ProbeLedger>,
+) -> OptimumResult {
     let n = core.n;
     let mut result = OptimumResult {
         partition: bootstrap.map(|p| p.normalized()),
@@ -122,7 +156,7 @@ pub fn search(
         None => {
             // No bootstrap: establish existence at the loosest bound.
             let k = metric.k_max(n);
-            match probe(core, metric, k, opts, meter, &mut result) {
+            match probe(core, metric, k, opts, meter, refuter, ledger, &mut result) {
                 ProbeResult::Feasible(p) => {
                     let kk = metric.k_of(&p);
                     result.partition = Some(p);
@@ -161,7 +195,7 @@ pub fn search(
                 }
             }
         };
-        match probe(core, metric, k, opts, meter, &mut result) {
+        match probe(core, metric, k, opts, meter, refuter, ledger, &mut result) {
             ProbeResult::Feasible(p) => {
                 best_k = metric.k_of(&p).min(k);
                 result.partition = Some(p);
@@ -182,20 +216,44 @@ enum ProbeResult {
     Timeout,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn probe(
     core: &CoreFormula,
     metric: Metric,
     k: usize,
     opts: &ModelOptions,
     meter: &mut EffortMeter,
+    refuter: &mut Option<CounterexampleRefuter>,
+    ledger: Option<&ProbeLedger>,
     result: &mut OptimumResult,
 ) -> ProbeResult {
     result.qbf_calls += 1;
-    let (outcome, stats) = solve_partition(core, metric.target(k), opts, meter);
+    let target = metric.target(k);
+    // A sibling's certificate replays the exact outcome the
+    // deterministic solve below would produce — see the ledger docs.
+    if let Some(verdict) = ledger.and_then(|l| l.lookup(target)) {
+        return match verdict {
+            ProbeVerdict::Infeasible => ProbeResult::Infeasible,
+            ProbeVerdict::Feasible(classes) => {
+                ProbeResult::Feasible(VarPartition::new(classes).normalized())
+            }
+        };
+    }
+    let (outcome, stats) = solve_partition_with_refuter(core, target, opts, meter, refuter);
     result.cegar_iterations += stats.cegar_iterations;
     match outcome {
-        QbfModelOutcome::Partition(p) => ProbeResult::Feasible(p.normalized()),
-        QbfModelOutcome::NoPartition => ProbeResult::Infeasible,
+        QbfModelOutcome::Partition(p) => {
+            if let Some(l) = ledger {
+                l.record(target, ProbeVerdict::Feasible(p.classes().to_vec()));
+            }
+            ProbeResult::Feasible(p.normalized())
+        }
+        QbfModelOutcome::NoPartition => {
+            if let Some(l) = ledger {
+                l.record(target, ProbeVerdict::Infeasible);
+            }
+            ProbeResult::Infeasible
+        }
         QbfModelOutcome::Timeout => {
             result.timeouts += 1;
             result.truncated = true;

@@ -29,11 +29,21 @@
 
 use step_aig::{Aig, AigLit};
 use step_cnf::{tseitin::AigCnf, Cnf, Lit};
-use step_sat::{SolveResult, Solver};
+use step_sat::{LearntExport, SolveResult, Solver};
 
 use crate::effort::EffortMeter;
 use crate::partition::{VarClass, VarPartition};
 use crate::spec::{Budget, GateOp};
+
+/// Cap on clauses one oracle donates to the clause bank.
+pub const BANK_MAX_CLAUSES: usize = 512;
+/// Cap on variable activities carried in one donation.
+pub const BANK_MAX_ACTIVITIES: usize = 256;
+/// Per-clause conflict budget when vetting a near-twin donation
+/// ([`PartitionOracle::import_vetted`]). A clause the recipient's unit
+/// propagation (plus a few conflicts) cannot refute the negation of is
+/// discarded, never trusted.
+const VET_CONFLICTS: u64 = 8;
 
 /// The paper's core formula as an AIG with designated control inputs.
 #[derive(Clone, Debug)]
@@ -294,6 +304,73 @@ impl PartitionOracle {
         alpha[i] = true;
         beta[j] = true;
         self.check_raw(&alpha, &beta, meter)
+    }
+
+    /// Snapshots this oracle's pinned (tier-core) learnt clauses and
+    /// hottest variable activities for donation to the clause bank.
+    ///
+    /// Because the oracle CNF is a pure function of the *canonical*
+    /// cone and the operator — `α` variables first, then `β`, then
+    /// Tseitin auxiliaries in deterministic AIG order — the snapshot is
+    /// already expressed in canonical-cone variable space: any oracle
+    /// built for the same `(fingerprint, op)` has the identical CNF
+    /// var-for-var, and the export needs no further mapping.
+    pub fn export_learnts(&self) -> LearntExport {
+        self.solver
+            .export_learnts(BANK_MAX_CLAUSES, BANK_MAX_ACTIVITIES)
+    }
+
+    /// Seeds this oracle verbatim from a donor built over the
+    /// *identical* CNF (same canonical fingerprint, same operator).
+    ///
+    /// Learnt clauses are implied by the donor's clause database alone
+    /// (assumption literals persist in clauses learnt under them), so
+    /// replaying them into an identical database adds only implied
+    /// clauses: verdicts and partitions cannot change, only the work
+    /// needed to reach them. Returns the number of clauses added.
+    pub fn import_learnts(&mut self, export: &LearntExport) -> u64 {
+        self.solver.import_learnts(export)
+    }
+
+    /// Seeds this oracle from a *near-twin* donor (same operator and
+    /// support size, different fingerprint), vetting every clause.
+    ///
+    /// The donor's CNF is not identical, so its clauses carry no
+    /// implication guarantee here. Each candidate `C` is probed by
+    /// solving under the assumptions `¬C` with a tiny conflict budget:
+    /// UNSAT proves the recipient's own clauses imply `C`, so adding it
+    /// is answer-preserving; SAT or an exhausted probe discards it.
+    /// Probes run under `meter` and charge the effort they spend; they
+    /// are bookkeeping, not partition queries, so [`sat_calls`] is not
+    /// incremented. Returns the number of clauses that survived vetting
+    /// and were added.
+    ///
+    /// [`sat_calls`]: PartitionOracle::sat_calls
+    pub fn import_vetted(&mut self, export: &LearntExport, meter: &mut EffortMeter) -> u64 {
+        let nvars = self.solver.num_vars();
+        let mut kept = LearntExport::default();
+        for clause in &export.clauses {
+            if meter.exhausted() {
+                break;
+            }
+            if clause.iter().any(|l| l.var().index() >= nvars) {
+                continue;
+            }
+            let limits = meter.call_limits(Budget::Work(VET_CONFLICTS));
+            self.solver.set_deadline(limits.deadline);
+            self.solver.set_effort_budget(limits.conflicts);
+            let before = self.solver.effort();
+            let negated: Vec<Lit> = clause.iter().map(|&l| !l).collect();
+            let result = self.solver.solve_with_assumptions(&negated);
+            meter.charge(self.solver.effort().since(before));
+            if result == SolveResult::Unsat {
+                kept.clauses.push(clause.clone());
+            }
+        }
+        // Activity hints only steer branching order; merging them is
+        // heuristically useful and needs no vetting.
+        kept.activities = export.activities.clone();
+        self.solver.import_learnts(&kept)
     }
 }
 

@@ -22,7 +22,7 @@
 
 use step_cnf::card::{assert_count_dominates, assert_diff_le, at_least_one, Totalizer};
 use step_cnf::{Cnf, Lit};
-use step_qbf::{ExistsForall, Qbf2Config, Qbf2Result};
+use step_qbf::{CounterexampleRefuter, ExistsForall, Qbf2Config, Qbf2Result};
 
 use crate::effort::EffortMeter;
 use crate::oracle::CoreFormula;
@@ -30,7 +30,7 @@ use crate::partition::{VarClass, VarPartition};
 use crate::spec::Budget;
 
 /// The `fT` target constraint attached to formulation (4).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Target {
     /// No target — plain existence, formulation (3) + `fN`.
     Any,
@@ -116,6 +116,22 @@ pub fn solve_partition(
     opts: &ModelOptions,
     meter: &mut EffortMeter,
 ) -> (QbfModelOutcome, QbfModelStats) {
+    let mut no_refuter = None;
+    solve_partition_with_refuter(core, target, opts, meter, &mut no_refuter)
+}
+
+/// [`solve_partition`] with a persistent [`CounterexampleRefuter`]
+/// threaded through: the refuter (if any) is attached to the CEGAR
+/// engine for this call and handed back afterwards, warm with the
+/// call's check-side learnt clauses. Its conflicts are charged to
+/// `meter` alongside the CEGAR engine's own effort.
+pub fn solve_partition_with_refuter(
+    core: &CoreFormula,
+    target: Target,
+    opts: &ModelOptions,
+    meter: &mut EffortMeter,
+    refuter: &mut Option<CounterexampleRefuter>,
+) -> (QbfModelOutcome, QbfModelStats) {
     if meter.exhausted() {
         return (QbfModelOutcome::Timeout, QbfModelStats::default());
     }
@@ -131,6 +147,8 @@ pub fn solve_partition(
         restarts: opts.restarts,
         preprocess: opts.preprocess,
     });
+    let refuter_before = refuter.as_ref().map(|r| r.effort()).unwrap_or_default();
+    solver.set_refuter(refuter.take());
 
     let symmetry = opts.symmetry_breaking;
     let allow_both = opts.allow_both;
@@ -220,8 +238,15 @@ pub fn solve_partition(
         Qbf2Result::Invalid => QbfModelOutcome::NoPartition,
         Qbf2Result::Unknown => QbfModelOutcome::Timeout,
     };
-    // Charge the CEGAR iterations' inner-SAT work to the QBF call.
+    // Charge the CEGAR iterations' inner-SAT work to the QBF call,
+    // plus what the refuter fast path spent during it (the refuter is
+    // not part of `ExistsForall::effort`, so this never double-counts
+    // across probes sharing one refuter).
+    *refuter = solver.take_refuter();
     meter.charge(solver.effort());
+    if let Some(r) = refuter.as_ref() {
+        meter.charge(r.effort().since(refuter_before));
+    }
     let stats = QbfModelStats {
         cegar_iterations: solver.stats().iterations,
     };

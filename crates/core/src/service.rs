@@ -70,6 +70,7 @@ use std::time::Instant;
 use step_aig::Aig;
 
 use crate::cache::ResultCache;
+use crate::clause_bank::{ClauseBank, ReuseCtx};
 use crate::effort::{CircuitBudget, WorkPool};
 use crate::engine::{run_queued, CircuitResult, OutputResult, StepError};
 use crate::spec::{DecompConfig, GateOp};
@@ -132,6 +133,12 @@ struct Submission {
     n_out: usize,
     /// Claim counter: `fetch_add` hands out output indices.
     next: AtomicUsize,
+    /// Clause-reuse handles (`Some` iff `config.clause_reuse`): the
+    /// bank — the service-wide one, or a submission-scoped fallback —
+    /// plus this submission's own oracle pool. The pool is
+    /// per-submission by design: pooled oracles embed solver knobs
+    /// from one `DecompConfig` and may not cross submissions.
+    reuse: Option<ReuseCtx>,
     /// Set by [`SubmissionHandle::cancel`] (or service drop).
     cancelled: AtomicBool,
     /// Set when any output of this submission failed; remaining
@@ -246,6 +253,10 @@ struct ServiceShared {
     work: Condvar,
     shutdown: AtomicBool,
     cache: Option<Arc<ResultCache>>,
+    /// Clause bank shared by every clause-reuse submission (donations
+    /// cross circuits and models, like cache entries do). `None` =
+    /// each reuse submission gets its own submission-scoped bank.
+    bank: Option<Arc<ClauseBank>>,
     next_id: AtomicU64,
 }
 
@@ -311,11 +322,27 @@ impl StepService {
     /// threads (at least one) and an optional shared result cache —
     /// for callers that already hold an `Option<Arc<ResultCache>>`.
     pub fn spawn(workers: usize, cache: Option<Arc<ResultCache>>) -> Self {
+        Self::spawn_with_bank(workers, cache, None)
+    }
+
+    /// [`spawn`](StepService::spawn) with an optional service-wide
+    /// clause bank: submissions with
+    /// [`DecompConfig::clause_reuse`](crate::spec::DecompConfig::clause_reuse)
+    /// set donate and draw learnt clauses through it, sharing them
+    /// across circuits and models the way the result cache shares
+    /// solved outcomes. Without a bank, each reuse submission still
+    /// gets a submission-scoped one.
+    pub fn spawn_with_bank(
+        workers: usize,
+        cache: Option<Arc<ResultCache>>,
+        bank: Option<Arc<ClauseBank>>,
+    ) -> Self {
         let shared = Arc::new(ServiceShared {
             queue: Mutex::new(VecDeque::new()),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
             cache,
+            bank,
             next_id: AtomicU64::new(0),
         });
         let workers = (0..workers.max(1))
@@ -338,6 +365,12 @@ impl StepService {
     /// The cache shared by every submission, if one was attached.
     pub fn cache(&self) -> Option<&Arc<ResultCache>> {
         self.shared.cache.as_ref()
+    }
+
+    /// The clause bank shared by every clause-reuse submission, if one
+    /// was attached.
+    pub fn clause_bank(&self) -> Option<&Arc<ClauseBank>> {
+        self.shared.bank.as_ref()
     }
 
     /// Enqueues one decomposition request: every primary output of
@@ -432,6 +465,9 @@ impl StepService {
             .per_circuit
             .work()
             .map(|w| Arc::new(WorkPool::new(w)));
+        let reuse = config
+            .clause_reuse
+            .then(|| ReuseCtx::over(self.shared.bank.clone().unwrap_or_default()));
         let sub = Arc::new(Submission {
             id: SubmissionId(self.shared.next_id.fetch_add(1, Ordering::Relaxed)),
             aig,
@@ -443,6 +479,7 @@ impl StepService {
             finished: OnceLock::new(),
             submitted,
             n_out,
+            reuse,
             next: AtomicUsize::new(0),
             cancelled: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
@@ -567,6 +604,7 @@ fn run_claimed(shared: &ServiceShared, sub: &Submission, idx: usize) {
             &sub.aig,
             &sub.config,
             shared.cache.as_deref(),
+            sub.reuse.as_ref(),
             idx,
             sub.op,
             &circuit,
@@ -1002,6 +1040,7 @@ mod tests {
             finished: OnceLock::new(),
             submitted: Instant::now(),
             n_out: 2,
+            reuse: None,
             next: AtomicUsize::new(0),
             cancelled: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),

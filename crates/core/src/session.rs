@@ -29,16 +29,22 @@
 //! many of them concurrently — across outputs of one submission and
 //! across submissions alike.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use step_aig::{canonicalize, Aig, CanonicalCone, Cone};
+use step_aig::{canonicalize, Aig, CanonicalCone, Cone, ConeFingerprint};
+use step_qbf::CounterexampleRefuter;
+use step_sat::LearntExport;
 
 use crate::cache::{CacheKey, CacheLookup, CachedResult, ResultCache};
+use crate::clause_bank::{BankLookup, ProbeCfg, ProbeLedger, ReuseCtx};
 use crate::effort::EffortMeter;
 use crate::engine::{OutputResult, StepError};
 use crate::extract::{extract, ExtractError};
 use crate::job::{cone_seed, OutputJob};
-use crate::oracle::{sim_filter_pairs, CoreFormula, PartitionOracle};
+use crate::oracle::{
+    sim_filter_pairs, CoreFormula, PartitionOracle, BANK_MAX_ACTIVITIES, BANK_MAX_CLAUSES,
+};
 use crate::partition::VarPartition;
 use crate::spec::DecompConfig;
 use crate::strategy::strategy_for;
@@ -49,6 +55,7 @@ use crate::verify::verify;
 pub struct SolveSession<'a> {
     config: &'a DecompConfig,
     cache: Option<&'a ResultCache>,
+    reuse: Option<&'a ReuseCtx>,
     job: OutputJob,
     name: String,
     cone: Cone,
@@ -56,6 +63,19 @@ pub struct SolveSession<'a> {
     meter: EffortMeter,
     candidates: Option<Vec<Vec<bool>>>,
     oracle: Option<PartitionOracle>,
+    /// Check-side donor snapshot from an exact bank hit, held until a
+    /// QBF strategy asks for a refuter to warm with it.
+    check_seed: Option<Arc<LearntExport>>,
+    /// The persistent counterexample refuter, handed back by the
+    /// strategy after its optimum search for donation at session end.
+    refuter: Option<CounterexampleRefuter>,
+    /// Clauses imported into the refuter from the bank's check payload.
+    refuter_imported: u64,
+    /// Canonical fingerprint of the cone, set by [`run`] once the cone
+    /// is canonicalized — the probe ledger keys on it.
+    ///
+    /// [`run`]: SolveSession::run
+    fingerprint: Option<ConeFingerprint>,
 }
 
 impl<'a> SolveSession<'a> {
@@ -79,6 +99,7 @@ impl<'a> SolveSession<'a> {
         job: OutputJob,
         config: &'a DecompConfig,
         cache: Option<&'a ResultCache>,
+        reuse: Option<&'a ReuseCtx>,
     ) -> Result<Self, StepError> {
         let start = Instant::now();
         if !aig.is_comb() {
@@ -94,6 +115,7 @@ impl<'a> SolveSession<'a> {
         Ok(SolveSession {
             config,
             cache,
+            reuse,
             job,
             name,
             cone,
@@ -101,6 +123,10 @@ impl<'a> SolveSession<'a> {
             meter,
             candidates: None,
             oracle: None,
+            check_seed: None,
+            refuter: None,
+            refuter_imported: 0,
+            fingerprint: None,
         })
     }
 
@@ -143,6 +169,50 @@ impl<'a> SolveSession<'a> {
             .as_mut()
             .expect("oracle is built before the strategy runs");
         (oracle, self.candidates.as_deref(), &mut self.meter)
+    }
+
+    /// Builds the session's persistent [`CounterexampleRefuter`] (QBF
+    /// strategies only), warm from an exact donor's check-side payload
+    /// when the bank carried one. `None` when clause reuse is off: the
+    /// refuter is part of the reuse machinery, and keeping it off the
+    /// baseline path keeps reuse-off runs work-comparable with earlier
+    /// versions.
+    pub fn make_refuter(&mut self) -> Option<CounterexampleRefuter> {
+        self.reuse?;
+        let core = self.oracle.as_ref()?.core();
+        let mut refuter =
+            CounterexampleRefuter::new(&core.aig, !core.root, &core.e_pis(), &core.y_pis());
+        if let Some(seed) = self.check_seed.take() {
+            self.refuter_imported += refuter.import_learnts(&seed);
+        }
+        Some(refuter)
+    }
+
+    /// Hands the refuter back after the strategy's search, so the
+    /// session can donate its check-side learnt clauses at the end.
+    pub fn set_refuter(&mut self, refuter: Option<CounterexampleRefuter>) {
+        self.refuter = refuter;
+    }
+
+    /// Builds the session's [`ProbeLedger`] over the shared bank (QBF
+    /// strategies only, `None` when clause reuse is off). Solved
+    /// outcomes are a pure function of `(fingerprint, op, config)`, so
+    /// the ledger keys on the fingerprint plus every configuration knob
+    /// a probe's verdict can depend on.
+    pub fn make_probe_ledger(&self) -> Option<ProbeLedger> {
+        let reuse = self.reuse?;
+        let fingerprint = self.fingerprint?;
+        Some(ProbeLedger::new(
+            Arc::clone(&reuse.bank),
+            fingerprint,
+            self.job.op,
+            ProbeCfg {
+                symmetry_breaking: self.config.symmetry_breaking,
+                allow_both: self.config.allow_both,
+                restarts: self.config.sat_restarts,
+                preprocess: self.config.sat_preprocess,
+            },
+        ))
     }
 
     /// Translates a canonical-order partition into this session's cone
@@ -229,6 +299,7 @@ impl<'a> SolveSession<'a> {
         }
 
         let canon = canonicalize(&self.cone.aig, self.cone.root);
+        self.fingerprint = Some(canon.fingerprint);
         let key = self
             .cache
             .map(|_| CacheKey::new(canon.fingerprint, self.job.op, self.config));
@@ -257,15 +328,54 @@ impl<'a> SolveSession<'a> {
                 cone_seed(self.config.seed, canon.fingerprint.hash),
             ));
         }
-        let core = CoreFormula::build(&canon.aig, canon.root, self.job.op);
-        self.oracle = Some(PartitionOracle::with_options(
-            core,
-            self.config.sat_restarts,
-            self.config.sat_preprocess,
-        ));
+        // Clause reuse, layer by layer: a parked sibling oracle for
+        // this exact fingerprint skips CNF construction entirely;
+        // otherwise a fresh oracle is seeded from the bank — verbatim
+        // from an exact donor (identical CNF by canonicalization),
+        // clause-by-clause vetted from a near-twin. Every path adds
+        // only clauses implied by this oracle's own CNF, so the
+        // strategy sees identical verdicts either way.
+        let mut pooled_calls = 0;
+        if let Some(reuse) = self.reuse {
+            if let Some(oracle) = reuse.pool.take(canon.fingerprint.hash, self.job.op) {
+                pooled_calls = oracle.sat_calls;
+                result.bank = BankLookup::Pooled;
+                self.oracle = Some(oracle);
+            }
+        }
+        if self.oracle.is_none() {
+            let core = CoreFormula::build(&canon.aig, canon.root, self.job.op);
+            let mut oracle = PartitionOracle::with_options(
+                core,
+                self.config.sat_restarts,
+                self.config.sat_preprocess,
+            );
+            if let Some(reuse) = self.reuse {
+                match reuse.bank.lookup(canon.fingerprint, self.job.op) {
+                    Some(hit) if hit.exact => {
+                        result.imported_clauses = oracle.import_learnts(&hit.export);
+                        self.check_seed = hit.check;
+                        result.bank = BankLookup::Exact;
+                    }
+                    Some(hit) => {
+                        result.imported_clauses =
+                            oracle.import_vetted(&hit.export, &mut self.meter);
+                        result.bank = BankLookup::Cluster;
+                    }
+                    None => result.bank = BankLookup::Miss,
+                }
+            }
+            self.oracle = Some(oracle);
+        }
 
         let outcome = strategy_for(self.config.model).solve(&mut self);
-        result.sat_calls = self.oracle.as_ref().map_or(0, |o| o.sat_calls);
+        // A pooled oracle arrives with its donor's call count; report
+        // only this output's own share.
+        result.sat_calls = self
+            .oracle
+            .as_ref()
+            .map_or(0, |o| o.sat_calls - pooled_calls);
+        result.imported_clauses += self.refuter_imported;
         result.effort = self.meter.spent();
         result.qbf_calls = outcome.qbf_calls;
         result.cegar_iterations = outcome.cegar_iterations;
@@ -284,6 +394,29 @@ impl<'a> SolveSession<'a> {
                         proved_optimal: outcome.proved_optimal,
                     },
                 );
+            }
+        }
+
+        // Donate the oracle's pinned clauses — timeouts included, a
+        // learnt clause is implied by the CNF no matter how the search
+        // ended, which is exactly how truncated siblings still pay
+        // forward — plus the refuter's check-side snapshot if a QBF
+        // strategy ran one, and park the live oracle for the next
+        // sibling with this fingerprint.
+        if let Some(reuse) = self.reuse {
+            if let Some(oracle) = self.oracle.take() {
+                let export = oracle.export_learnts();
+                let check = self
+                    .refuter
+                    .take()
+                    .map(|r| r.export_learnts(BANK_MAX_CLAUSES, BANK_MAX_ACTIVITIES))
+                    .filter(|c| !c.is_empty());
+                result.donated_clauses = export.num_clauses() as u64
+                    + check.as_ref().map_or(0, |c| c.num_clauses() as u64);
+                reuse
+                    .bank
+                    .donate(canon.fingerprint, self.job.op, export, check);
+                reuse.pool.put(canon.fingerprint.hash, self.job.op, oracle);
             }
         }
 

@@ -393,6 +393,17 @@ pub struct DecompConfig {
     /// conflict-equivalents, so `Work` budgets stay exact; part of the
     /// result-cache key.
     pub sat_preprocess: bool,
+    /// Cross-output clause reuse: completed sessions donate their
+    /// oracle's pinned learnt clauses to a shared
+    /// [`ClauseBank`](crate::clause_bank::ClauseBank) and park live
+    /// oracles in a per-submission pool for same-fingerprint siblings.
+    /// Only *implied* clauses ever flow (exact donors share an
+    /// identical CNF; near-twin donations are vetted per clause), so
+    /// verdicts and partitions are byte-identical with this on or off;
+    /// conflict counts drop, and at `jobs > 1` may vary with sibling
+    /// completion order (see [`crate::clause_bank`]). Off by default;
+    /// excluded from the result-cache key (it never changes answers).
+    pub clause_reuse: bool,
     /// Worker threads for [`decompose_circuit`]: the ephemeral
     /// [`StepService`](crate::service::StepService) it spins up gets
     /// `jobs` persistent workers claiming outputs from the submission
@@ -431,6 +442,7 @@ impl DecompConfig {
             sim_rounds: 4,
             sat_restarts: RestartPolicy::default(),
             sat_preprocess: false,
+            clause_reuse: false,
             jobs: 1,
             seed: 0x5DEECE66D,
             panic_on_output: None,

@@ -795,7 +795,7 @@ fn expired_deadline_short_circuits_before_any_solver_work() {
         deadline: Some(std::time::Instant::now()),
         work: None,
     });
-    let r = SolveSession::new(&aig, job, &config, None)
+    let r = SolveSession::new(&aig, job, &config, None, None)
         .unwrap()
         .run()
         .unwrap();
@@ -804,6 +804,60 @@ fn expired_deadline_short_circuits_before_any_solver_work() {
     assert_eq!(r.sat_calls, 0);
     assert_eq!(r.qbf_calls, 0);
     assert!(r.partition.is_none());
+}
+
+#[test]
+fn sessions_reuse_pooled_oracles_and_bank_exports() {
+    use std::sync::Arc;
+
+    use crate::clause_bank::{BankLookup, ClauseBank, ReuseCtx};
+    use crate::job::OutputJob;
+    use crate::session::SolveSession;
+
+    // maj3 is not OR-decomposable: proving that takes real conflicts,
+    // so the oracle has tier-core clauses to donate.
+    // MG drives the partition oracle directly (seed-pair checks plus
+    // the UNSAT sweep), so refuting decomposability pins clauses.
+    let (mut aig, f) = maj3();
+    aig.add_output("f", f);
+    aig.add_output("g", f); // same root: identical canonical cone
+    let mut config = DecompConfig::new(Model::MusGroup);
+    config.clause_reuse = true;
+    // The sim pre-filter refutes maj3 outright (no surviving seed
+    // pairs means no oracle work at all) — turn it off so the oracle
+    // actually searches, conflicts, and has something to donate.
+    config.sim_filter = false;
+    let reuse = ReuseCtx::over(Arc::new(ClauseBank::new()));
+    let run = |idx: usize, reuse: &ReuseCtx| {
+        let job = OutputJob::new(&config, idx, GateOp::Or);
+        SolveSession::new(&aig, job, &config, None, Some(reuse))
+            .unwrap()
+            .run()
+            .unwrap()
+    };
+
+    let r0 = run(0, &reuse);
+    assert_eq!(r0.bank, BankLookup::Miss, "empty bank, empty pool");
+    assert!(r0.solved && r0.partition.is_none());
+    assert!(r0.donated_clauses > 0, "the UNSAT proof pins clauses");
+    assert_eq!(reuse.bank.donations(), 1);
+
+    // The twin takes over the parked oracle — no CNF rebuild, and its
+    // sat_calls report only its own share.
+    let r1 = run(1, &reuse);
+    assert_eq!(r1.bank, BankLookup::Pooled);
+    assert_eq!(r1.partition, r0.partition, "reuse never changes answers");
+    assert_eq!(r1.solved, r0.solved);
+    assert_eq!(reuse.pool.reuses(), 1);
+
+    // Same bank, fresh pool (a new submission): the donor's export now
+    // serves the exact channel, imported verbatim.
+    let fresh_pool = ReuseCtx::over(reuse.bank.clone());
+    let r2 = run(0, &fresh_pool);
+    assert_eq!(r2.bank, BankLookup::Exact);
+    assert!(r2.imported_clauses > 0, "verbatim import from the donor");
+    assert_eq!(r2.partition, r0.partition);
+    assert_eq!(r2.solved, r0.solved);
 }
 
 #[test]

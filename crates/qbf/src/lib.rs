@@ -44,7 +44,9 @@
 mod cegar;
 mod qdimacs;
 
-pub use cegar::{ExistsForall, Qbf2Config, Qbf2Result, Qbf2Stats};
+pub use cegar::{
+    CounterexampleRefuter, ExistsForall, Qbf2Config, Qbf2Result, Qbf2Stats, REFUTER_CONFLICTS,
+};
 pub use qdimacs::{solve_qdimacs, QbfOutcome, QdimacsError};
 // The effort-counter vocabulary is shared with the SAT layer: a QBF
 // call's effort is the sum of its inner solvers' (`ExistsForall::effort`).

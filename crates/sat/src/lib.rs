@@ -19,6 +19,11 @@
 //! * **resolution proof logging** ([`Solver::enable_proof`],
 //!   [`Proof`]) — the input to Craig interpolation (`step-itp`),
 //!   which extracts the decomposition functions `fA`/`fB`;
+//! * **learnt-clause export/import** ([`Solver::export_learnts`],
+//!   [`Solver::import_learnts`], [`LearntExport`]) — a `Send + Clone`
+//!   snapshot of the pinned core-tier clauses and hottest activities,
+//!   replayable into another solver over the same clause set — the
+//!   kernel surface behind `step-core`'s cross-output clause reuse;
 //! * **budgets** — wall-clock deadlines mirroring the paper's 4-second
 //!   per-QBF-call and 6000-second per-circuit limits, plus
 //!   deterministic *effort* budgets ([`Solver::set_effort_budget`],
@@ -46,7 +51,9 @@ mod solver;
 pub mod proof;
 
 pub use proof::{ClauseId, Proof, ProofStep};
-pub use solver::{ClauseDbPolicy, EffortStats, RestartPolicy, SolveResult, Solver, SolverStats};
+pub use solver::{
+    ClauseDbPolicy, EffortStats, LearntExport, RestartPolicy, SolveResult, Solver, SolverStats,
+};
 
 // Compile-time audit: solver instances are created and driven inside
 // worker threads of the parallel circuit driver (step-core), so they
@@ -56,6 +63,9 @@ const _: fn() = || {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Solver>();
     assert_send_sync::<Proof>();
+    // Learnt-clause exports travel between worker threads through the
+    // clause bank in step-core.
+    assert_send_sync::<LearntExport>();
 };
 
 #[cfg(test)]

@@ -82,6 +82,49 @@ impl std::ops::AddAssign for EffortStats {
     }
 }
 
+/// A portable snapshot of the clauses a solver considers permanently
+/// valuable: its *core-tier* learnt clauses (learn-time or refreshed
+/// LBD ≤ 2 — the tier [`ClauseDbPolicy::Tiered`] never deletes) plus
+/// its hottest VSIDS variable activities, expressed over this solver's
+/// variable indices.
+///
+/// Produced by [`Solver::export_learnts`] and replayed into another
+/// solver with [`Solver::import_learnts`]. The snapshot is plain data
+/// (`Send + Clone`), so it can cross threads — the transport for
+/// cross-solver clause reuse in `step-core`'s clause bank.
+///
+/// The content is deterministic for a deterministic search: clause
+/// literals and the clause list itself are sorted (watch maintenance
+/// permutes literals in trajectory-dependent ways, so the raw order
+/// would not be reproducible), and activities are normalized to the
+/// donor's maximum with the variable index as tie-break.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LearntExport {
+    /// Core-tier learnt clauses, each sorted; the list is sorted and
+    /// deduplicated. Every clause is a logical consequence of the
+    /// donor's *clause set alone* — clauses learnt under assumptions
+    /// keep the relevant assumption literals (assumptions have no
+    /// reason clause, so analysis cannot resolve them away), which is
+    /// what makes verbatim re-import into any solver holding the same
+    /// clauses sound.
+    pub clauses: Vec<Vec<Lit>>,
+    /// The donor's top variable activities, normalized to `(0, 1]` by
+    /// the maximum, highest first.
+    pub activities: Vec<(Var, f64)>,
+}
+
+impl LearntExport {
+    /// Whether the snapshot carries nothing worth importing.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty() && self.activities.is_empty()
+    }
+
+    /// Number of exported clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+}
+
 /// Restart scheduling policy of the CDCL search loop.
 ///
 /// Both policies measure progress purely in **conflicts**, never wall
@@ -1247,6 +1290,13 @@ impl Solver {
                         }
                         LBOOL_FALSE => {
                             self.analyze_final(a);
+                            // Unwind before returning: leaving the
+                            // assumption levels on the trail would make
+                            // a later `add_clause`/`import_learnts`
+                            // trip the level-0 assertion, and their
+                            // stale propagations must not leak into the
+                            // next call's state.
+                            self.backtrack(0);
                             return SolveResult::Unsat;
                         }
                         _ => {
@@ -1594,6 +1644,103 @@ impl Solver {
             }
         }
         None
+    }
+
+    // ------------------------------------------------------------------
+    // clause export / import
+    // ------------------------------------------------------------------
+
+    /// Snapshots the solver's pinned knowledge for reuse elsewhere: up
+    /// to `max_clauses` core-tier learnt clauses (LBD ≤ 2 — the
+    /// clauses tiered reduction keeps forever) and up to
+    /// `max_activities` of the hottest VSIDS activities, normalized to
+    /// the maximum. See [`LearntExport`] for the determinism and
+    /// soundness contract.
+    ///
+    /// Clauses are selected lowest-LBD first (ties broken by sorted
+    /// literal content), so a cap keeps the strongest ones.
+    pub fn export_learnts(&self, max_clauses: usize, max_activities: usize) -> LearntExport {
+        let mut clauses: Vec<(u32, Vec<Lit>)> = self
+            .learnt_refs
+            .iter()
+            .map(|&r| &self.clauses[r as usize])
+            .filter(|c| !c.deleted && c.tier == TIER_CORE)
+            .map(|c| {
+                let mut lits = c.lits.clone();
+                lits.sort_unstable();
+                (c.lbd, lits)
+            })
+            .collect();
+        clauses.sort_unstable();
+        clauses.dedup_by(|a, b| a.1 == b.1);
+        clauses.truncate(max_clauses);
+        let mut activities: Vec<(Var, f64)> = self
+            .activity
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a > 0.0)
+            .map(|(v, &a)| (Var::new(v), a))
+            .collect();
+        activities.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        activities.truncate(max_activities);
+        if let Some(&(_, max)) = activities.first() {
+            for (_, a) in &mut activities {
+                *a /= max;
+            }
+        }
+        LearntExport {
+            clauses: clauses.into_iter().map(|(_, lits)| lits).collect(),
+            activities,
+        }
+    }
+
+    /// Replays a [`LearntExport`] into this solver as regular clauses,
+    /// returning how many were added. Clauses mentioning variables this
+    /// solver has not allocated are skipped.
+    ///
+    /// **Soundness is the caller's contract**: every imported clause
+    /// must be implied by this solver's clause set (guaranteed when the
+    /// donor solved the same clauses — see [`LearntExport::clauses`]).
+    /// With proof logging on, imports are recorded as
+    /// [`ProofStep::Original`] steps, i.e. as axioms: chains resolving
+    /// on them replay unchanged, and the proof certifies the formula
+    /// *extended with the imported lemmas* — equisatisfiable with the
+    /// original exactly when the caller's contract holds.
+    ///
+    /// Donor activities are merged by maximum (scaled to this solver's
+    /// current bump increment), steering early branching toward the
+    /// donor's hot variables without erasing local knowledge. Resets
+    /// [`Solver::failed_assumptions`]: a core computed before the
+    /// import could cite literals whose status the new clauses changed.
+    pub fn import_learnts(&mut self, export: &LearntExport) -> u64 {
+        self.backtrack(0);
+        self.conflict_core.clear();
+        let mut added = 0u64;
+        for clause in &export.clauses {
+            if !self.ok {
+                break;
+            }
+            if clause.iter().any(|l| l.var().index() >= self.num_vars()) {
+                continue;
+            }
+            self.add_clause(clause.iter().copied());
+            added += 1;
+        }
+        for &(v, a) in &export.activities {
+            if v.index() >= self.num_vars() {
+                continue;
+            }
+            let scaled = a * self.var_inc;
+            if scaled > self.activity[v.index()] {
+                self.activity[v.index()] = scaled;
+                self.heap.decrease_key(v, &self.activity);
+            }
+        }
+        added
     }
 
     // ------------------------------------------------------------------

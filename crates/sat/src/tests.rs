@@ -647,6 +647,140 @@ fn preprocess_skips_resolve_without_new_clauses() {
     );
 }
 
+/// `export_learnts` is a pure function of solver state: clauses come
+/// out lit-sorted and (lbd, lits)-ordered, activities normalized to
+/// the hottest variable, and a second export is byte-identical.
+#[test]
+fn export_learnts_is_deterministic_and_canonical() {
+    let (nv, clauses) = pigeonhole(7);
+    let mut s = Solver::new();
+    s.ensure_vars(nv);
+    for c in &clauses {
+        s.add_clause(c.iter().copied());
+    }
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let e1 = s.export_learnts(64, 16);
+    let e2 = s.export_learnts(64, 16);
+    assert_eq!(e1, e2, "same state, same snapshot");
+    assert!(!e1.is_empty(), "php7 pins core-tier clauses");
+    assert!(e1.num_clauses() <= 64 && e1.activities.len() <= 16);
+    for c in &e1.clauses {
+        assert!(c.windows(2).all(|w| w[0] <= w[1]), "lits sorted: {c:?}");
+    }
+    let acts = &e1.activities;
+    assert_eq!(acts.first().map(|&(_, a)| a), Some(1.0), "normalized");
+    assert!(acts.windows(2).all(|w| w[0].1 >= w[1].1), "hottest first");
+}
+
+/// A verbatim import into a twin solver (identical clause set) adds
+/// only implied clauses: the verdict is unchanged and the recipient
+/// reaches it — here, with the full UNSAT proof replaying.
+#[test]
+fn import_learnts_preserves_verdicts_and_proofs() {
+    let (nv, clauses) = pigeonhole(6);
+    let mut donor = Solver::new();
+    donor.ensure_vars(nv);
+    for c in &clauses {
+        donor.add_clause(c.iter().copied());
+    }
+    assert_eq!(donor.solve(), SolveResult::Unsat);
+    let export = donor.export_learnts(256, 64);
+    assert!(!export.is_empty());
+
+    let mut twin = Solver::new();
+    twin.enable_proof();
+    twin.ensure_vars(nv);
+    for c in &clauses {
+        twin.add_clause(c.iter().copied());
+    }
+    // The donor's lemma set for an UNSAT formula may propagate to a
+    // root conflict mid-import, stopping the replay early — that is
+    // the fast path, not a failure.
+    let added = twin.import_learnts(&export);
+    assert!(added > 0 && added <= export.num_clauses() as u64);
+    assert_eq!(twin.solve(), SolveResult::Unsat);
+    let proof = twin.proof().unwrap();
+    assert!(proof.empty_clause().is_some());
+    assert!(proof.check(), "proof must replay across imported lemmas");
+}
+
+/// Clauses over variables the recipient does not have are skipped, not
+/// trusted; activity hints for unknown variables are ignored too.
+#[test]
+fn import_skips_out_of_range_variables() {
+    let mut donor = solver_with(6, &[&[5, 6], &[-5, 6], &[5, -6], &[-5, -6], &[1, 2]]);
+    assert_eq!(donor.solve(), SolveResult::Unsat);
+    let export = donor.export_learnts(64, 16);
+    let mut small = solver_with(2, &[&[1, 2]]);
+    let added = small.import_learnts(&export);
+    let in_range = export
+        .clauses
+        .iter()
+        .filter(|c| c.iter().all(|l| l.var().index() < 2))
+        .count() as u64;
+    assert_eq!(added, in_range);
+    assert_eq!(small.solve(), SolveResult::Sat);
+}
+
+/// Regression: an interior `import_learnts` between incremental calls
+/// must clear the previous call's failed-assumption core (its literals
+/// describe a pre-import trail) and must not trip the level-0
+/// `add_clause` assertion — the failed-assumption return path now
+/// unwinds the assumption levels before returning.
+#[test]
+fn interior_import_resets_failed_assumption_state() {
+    let mut s = solver_with(3, &[&[-1, -2, -3]]);
+    let assumptions = [lit(1), lit(2), lit(3)];
+    assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Unsat);
+    assert!(!s.failed_assumptions().is_empty(), "a core was extracted");
+
+    // Adding clauses right after an assumption-UNSAT must work (the
+    // solver is back at level 0, stale propagations unwound).
+    let mut unit = crate::LearntExport::default();
+    unit.clauses.push(vec![lit(-1)]);
+    assert_eq!(s.import_learnts(&unit), 1);
+    assert!(
+        s.failed_assumptions().is_empty(),
+        "pre-import core must not survive the import"
+    );
+
+    // Re-solving now fails on the first assumption alone: ¬x1 is
+    // level-0 implied, so the minimal core is exactly [x1] — not the
+    // stale three-literal core of the pre-import trail.
+    assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Unsat);
+    assert_eq!(s.failed_assumptions(), &[lit(1)]);
+}
+
+/// Seeding a budget-truncated twin with donor clauses only ever helps:
+/// the seeded solver needs no more conflicts than the cold one to
+/// reach the same verdict on an identical formula.
+#[test]
+fn seeded_resolve_spends_no_more_conflicts() {
+    let (nv, clauses) = pigeonhole(7);
+    let mut donor = Solver::new();
+    donor.ensure_vars(nv);
+    for c in &clauses {
+        donor.add_clause(c.iter().copied());
+    }
+    assert_eq!(donor.solve(), SolveResult::Unsat);
+    let cold = donor.effort().conflicts;
+    let export = donor.export_learnts(512, 128);
+
+    let mut seeded = Solver::new();
+    seeded.ensure_vars(nv);
+    for c in &clauses {
+        seeded.add_clause(c.iter().copied());
+    }
+    seeded.import_learnts(&export);
+    let before = seeded.effort();
+    assert_eq!(seeded.solve(), SolveResult::Unsat);
+    let warm = seeded.effort().since(before).conflicts;
+    assert!(
+        warm <= cold,
+        "seeded solve took {warm} conflicts vs {cold} cold"
+    );
+}
+
 // ---------------------------------------------------------------------
 // randomized cross-checking
 // ---------------------------------------------------------------------

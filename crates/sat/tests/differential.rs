@@ -313,6 +313,110 @@ fn preprocessing_never_drops_a_clause_the_proof_needs() {
     }
 }
 
+/// Randomized incremental sequences: interleaved `add_clause`,
+/// `solve_with_assumptions` and `import_learnts` — the exact call shape
+/// of the clause-reuse layer — cross-checked against the oracle at
+/// every solve. Imports come from a donor kernel solving the same
+/// clause set (the soundness contract of [`Solver::import_learnts`]),
+/// and the recipient's proof must keep replaying after each splice:
+/// imports are axioms, so a chain resolving on one must still check.
+#[test]
+fn incremental_import_sequences_match_oracle() {
+    let mut rng = XorShift(0x2545_F491_4F6C_DD1D);
+    for case in 0..100u64 {
+        let nvars = 7 + (case as usize % 5);
+        let (restarts, preprocess, db) = CONFIGS[case as usize % CONFIGS.len()];
+        let mut s = Solver::new();
+        s.enable_proof();
+        s.set_restart_policy(restarts);
+        s.set_preprocess(preprocess);
+        s.set_clause_db_policy(db);
+        s.ensure_vars(nvars);
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        'rounds: for round in 0..6 {
+            let ctx = format!("case={case} round={round}");
+            let k = 2 + rng.below(3) as usize;
+            let batch = random_kcnf(&mut rng, nvars, nvars / 2 + 2, k);
+            for c in &batch {
+                s.add_clause(c.iter().copied());
+            }
+            clauses.extend(batch);
+            if rng.below(2) == 0 {
+                // Donor over the identical clause set; its learnts are
+                // implied, so splicing them in must change nothing the
+                // oracle can observe.
+                let (_, donor) = kernel(
+                    nvars,
+                    &clauses,
+                    restarts,
+                    false,
+                    ClauseDbPolicy::Tiered,
+                    false,
+                );
+                let export = donor.export_learnts(64, 16);
+                s.import_learnts(&export);
+                assert!(
+                    s.proof().expect("proof enabled").check(),
+                    "{ctx}: proof must replay across an interior import"
+                );
+            }
+            let mut assumptions: Vec<Lit> = Vec::new();
+            for _ in 0..rng.below(4) {
+                let v = rng.below(nvars as u64) as usize;
+                if !assumptions.iter().any(|l| l.var().index() == v) {
+                    assumptions.push(Lit::new(Var::new(v), rng.below(2) == 0));
+                }
+            }
+            let mut with_units = clauses.clone();
+            with_units.extend(assumptions.iter().map(|&l| vec![l]));
+            let want = oracle_sat(nvars, &with_units);
+            match s.solve_with_assumptions(&assumptions) {
+                SolveResult::Sat => {
+                    assert!(want, "{ctx}: kernel SAT, oracle UNSAT");
+                    for (i, c) in clauses.iter().enumerate() {
+                        assert!(
+                            c.iter().any(|&l| s.model_value(l) == Some(true)),
+                            "{ctx}: model falsifies clause {i}"
+                        );
+                    }
+                    for &a in &assumptions {
+                        assert_eq!(
+                            s.model_value(a),
+                            Some(true),
+                            "{ctx}: model breaks assumption"
+                        );
+                    }
+                }
+                SolveResult::Unsat => {
+                    assert!(!want, "{ctx}: kernel UNSAT, oracle SAT");
+                    let core = s.failed_assumptions().to_vec();
+                    assert!(
+                        core.iter().all(|l| assumptions.contains(l)),
+                        "{ctx}: core {core:?} cites a non-assumption"
+                    );
+                    let mut with_core = clauses.clone();
+                    with_core.extend(core.iter().map(|&l| vec![l]));
+                    assert!(
+                        !oracle_sat(nvars, &with_core),
+                        "{ctx}: failed-assumption core is not contradictory"
+                    );
+                    if core.is_empty() {
+                        // Root-level UNSAT: the sequence is over, and
+                        // the whole refutation — imports included —
+                        // must replay.
+                        assert!(
+                            s.proof().expect("proof enabled").check(),
+                            "{ctx}: final refutation must replay"
+                        );
+                        break 'rounds;
+                    }
+                }
+                SolveResult::Unknown => panic!("{ctx}: unbudgeted solve returned Unknown"),
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Property-based layer: free-form clause shapes (duplicate literals,
 // tautologies, repeated clauses) on top of the uniform k-CNF sweeps.

@@ -20,8 +20,15 @@
 //!                               fingerprints (default on)
 //!   --cache-cap <n>             bound the cache to n entries (second-chance
 //!                               eviction; default unbounded)
-//!   --no-timing                 suppress wall-clock cells and the cache stats
-//!                               line (stable output)
+//!   --clause-reuse              cross-output clause reuse: completed outputs
+//!                               donate pinned learnt clauses to a bank keyed by
+//!                               canonical fingerprint, and structural
+//!                               (near-)twins start pre-seeded (off by default)
+//!   --no-clause-reuse           disable it explicitly
+//!   --clause-bank-cap <n>       bound the bank's exact channel to n entries
+//!                               (second-chance eviction; implies --clause-reuse)
+//!   --no-timing                 suppress wall-clock cells and the cache and
+//!                               clause-bank stats lines (stable output)
 //!   --emit-qdimacs              print the 3QCNF of formulation (4) and exit
 //!   --emit-blif                 print decomposed netlists as BLIF
 //!   --budget <spec>             per-output budget (default wall:60s)
@@ -48,7 +55,11 @@
 //! The engine solves every cone in canonical input order whether or
 //! not the cache is on, so `--cache` and `--no-cache` are
 //! byte-identical under `--no-timing` too — the cache changes how much
-//! work a run does, never what it answers.
+//! work a run does, never what it answers. The same contract covers
+//! `--clause-reuse`: imported clauses are implied by each oracle's own
+//! CNF, so verdicts and partitions match a reuse-off run byte for byte
+//! (the CI clause-reuse smoke step diffs exactly that); only the work
+//! counters move.
 //!
 //! [`StepService`]: qbf_bidec::step::StepService
 
@@ -61,8 +72,8 @@ use qbf_bidec::step::oracle::CoreFormula;
 use qbf_bidec::step::qbf_model::Target;
 use qbf_bidec::step::qdimacs_export::{export_qdimacs, ExportOptions};
 use qbf_bidec::step::{
-    BiDecomposer, Budget, BudgetPolicy, DecompConfig, EffortMeter, GateOp, Model, OutputResult,
-    RestartPolicy, ResultCache, StepService,
+    BiDecomposer, Budget, BudgetPolicy, ClauseBank, DecompConfig, EffortMeter, GateOp, Model,
+    OutputResult, RestartPolicy, ResultCache, StepService,
 };
 
 struct Cli {
@@ -78,6 +89,8 @@ struct Cli {
     sat_preprocess: bool,
     cache: bool,
     cache_cap: Option<usize>,
+    clause_reuse: bool,
+    clause_bank_cap: Option<usize>,
     no_timing: bool,
     emit_qdimacs: bool,
     emit_blif: bool,
@@ -88,6 +101,7 @@ const USAGE: &str = "usage: step <circuit.{bench,blif,aag}> [--model ljh|mg|qd|q
                      [--op or|and|xor] [--weights wd wb] [--output idx] [--jobs n] \
                      [--progress] [--seed n] [--sat-restarts luby|ema] [--sat-preprocess] \
                      [--cache] [--no-cache] [--cache-cap n] \
+                     [--clause-reuse] [--no-clause-reuse] [--clause-bank-cap n] \
                      [--no-timing] [--emit-qdimacs] [--emit-blif] \
                      [--budget spec] [--circuit-budget spec] [--qbf-budget spec] \
                      [--per-call-ms n] [--per-output-s n]\n\
@@ -121,6 +135,8 @@ fn parse_cli() -> Cli {
         sat_preprocess: false,
         cache: true,
         cache_cap: None,
+        clause_reuse: false,
+        clause_bank_cap: None,
         no_timing: false,
         emit_qdimacs: false,
         emit_blif: false,
@@ -201,6 +217,18 @@ fn parse_cli() -> Cli {
                     Some(n) if n >= 1 => {
                         cli.cache = true;
                         cli.cache_cap = Some(n);
+                    }
+                    _ => usage(),
+                }
+            }
+            "--clause-reuse" => cli.clause_reuse = true,
+            "--no-clause-reuse" => cli.clause_reuse = false,
+            "--clause-bank-cap" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => {
+                        cli.clause_reuse = true;
+                        cli.clause_bank_cap = Some(n);
                     }
                     _ => usage(),
                 }
@@ -390,6 +418,7 @@ fn main() {
     config.jobs = cli.jobs;
     config.sat_restarts = cli.sat_restarts;
     config.sat_preprocess = cli.sat_preprocess;
+    config.clause_reuse = cli.clause_reuse;
     if let Some(seed) = cli.seed {
         config.seed = seed;
     }
@@ -397,6 +426,12 @@ fn main() {
         std::sync::Arc::new(match cli.cache_cap {
             Some(cap) => ResultCache::with_capacity(cap),
             None => ResultCache::new(),
+        })
+    });
+    let bank: Option<std::sync::Arc<ClauseBank>> = cli.clause_reuse.then(|| {
+        std::sync::Arc::new(match cli.clause_bank_cap {
+            Some(cap) => ClauseBank::with_capacity(cap),
+            None => ClauseBank::new(),
         })
     });
 
@@ -411,6 +446,9 @@ fn main() {
             let mut engine = BiDecomposer::new(config);
             if let Some(c) = &cache {
                 engine.set_cache(std::sync::Arc::clone(c));
+            }
+            if let Some(b) = &bank {
+                engine.set_clause_bank(std::sync::Arc::clone(b));
             }
             match engine.decompose_output(&comb, idx, cli.op) {
                 Ok(out) => {
@@ -433,7 +471,7 @@ fn main() {
             // Clamp the pool to the output count — extra workers would
             // only idle on the queue.
             let workers = cli.jobs.min(comb.num_outputs()).max(1);
-            let service = StepService::spawn(workers, cache.clone());
+            let service = StepService::spawn_with_bank(workers, cache.clone(), bank.clone());
             let mut handle = match service.submit(&comb, cli.op, config) {
                 Ok(h) => h,
                 Err(e) => {
@@ -486,8 +524,8 @@ fn main() {
         "\ndecomposed {decomposed} output function(s) with {}",
         cli.model
     );
-    // Cache statistics vary with what earlier runs populated, so the
-    // line hides behind --no-timing together with the wall clocks.
+    // Cache and bank statistics vary with scheduling under --jobs, so
+    // the lines hide behind --no-timing together with the wall clocks.
     if !cli.no_timing {
         if let Some(cache) = &cache {
             println!(
@@ -497,6 +535,20 @@ fn main() {
                 cache.inserts(),
                 cache.evictions(),
                 cache.len()
+            );
+        }
+        if let Some(bank) = &bank {
+            println!(
+                "clause bank: {} hits ({} exact, {} cluster), {} misses, \
+                 {} donations, {} entries, {} probe hits, {} probe records",
+                bank.hits(),
+                bank.exact_hits(),
+                bank.cluster_hits(),
+                bank.misses(),
+                bank.donations(),
+                bank.len(),
+                bank.probe_hits(),
+                bank.probe_records()
             );
         }
     }
