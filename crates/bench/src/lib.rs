@@ -21,7 +21,7 @@ use std::time::Duration;
 use step_circuits::{CircuitEntry, Scale};
 use step_core::{
     BiDecomposer, Budget, BudgetPolicy, CircuitResult, ClauseBank, DecompConfig, GateOp, Model,
-    OutputResult, RestartPolicy, ResultCache, StepService, SubmissionHandle,
+    OutputResult, RestartPolicy, ResultCache, StepService, SubmissionHandle, TieredStore,
 };
 
 /// Command-line options shared by the harness binaries.
@@ -86,6 +86,19 @@ pub struct HarnessOpts {
     /// `None` with reuse off; [`HarnessOpts::from_args`] builds one
     /// (bounded by `--clause-bank-cap`) when `--clause-reuse` is given.
     pub clause_bank: Option<Arc<ClauseBank>>,
+    /// Persistent store directory (`--cache-dir`): solved results,
+    /// donated clauses and probe certificates load from here before the
+    /// sweep and flush back after it, so repeated sweeps (and sharded
+    /// replicas, via `step cache merge`) start warm. Vetted writable at
+    /// parse time; `None` keeps the sweep memory-only.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// The tiered store every engine/service of the sweep shares —
+    /// tier 0 is [`cache`](HarnessOpts::cache) +
+    /// [`clause_bank`](HarnessOpts::clause_bank), tier 1 the
+    /// [`cache_dir`](HarnessOpts::cache_dir) disk tier when given.
+    /// Built by [`HarnessOpts::from_args`]; `None` falls back to the
+    /// bare cache/bank attachment.
+    pub store: Option<Arc<TieredStore>>,
 }
 
 impl Default for HarnessOpts {
@@ -109,6 +122,8 @@ impl Default for HarnessOpts {
             sat_preprocess: false,
             clause_reuse: false,
             clause_bank: None,
+            cache_dir: None,
+            store: None,
         }
     }
 }
@@ -125,7 +140,9 @@ impl HarnessOpts {
     /// fields), `--fast`
     /// (partitions only), `--jobs <n>` (parallel output workers),
     /// `--cache`/`--no-cache` (sweep-wide result cache, default on),
-    /// `--cache-cap <n>` (bound it), `--help`. `--conflicts <n>` is a
+    /// `--cache-cap <n>` (bound it), `--cache-dir <path>` (persistent
+    /// warm-start store; a non-directory or unwritable path is a usage
+    /// error, exit 2, before any solving), `--help`. `--conflicts <n>` is a
     /// deprecated alias for `--qbf-budget work:<n>` (it used to limit
     /// each *inner* SAT call; it now bounds the QBF call's total
     /// inner-SAT conflicts, composed onto any wall component).
@@ -284,6 +301,18 @@ impl HarnessOpts {
                     };
                     cache_on = true;
                 }
+                "--cache-dir" => {
+                    i += 1;
+                    match args.get(i) {
+                        Some(p) => {
+                            opts.cache_dir = Some(validated_cache_dir(std::path::Path::new(p)))
+                        }
+                        None => {
+                            eprintln!("--cache-dir needs a path");
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --scale smoke|default|full  --paper  \
@@ -291,7 +320,7 @@ impl HarnessOpts {
                          --op or|and|xor  --filter <substr>  --copies <k>  \
                          --shared-substructure <k>  --fast  --jobs <n>  \
                          --seed <n>  --sat-restarts luby|ema  --sat-preprocess  \
-                         --cache  --no-cache  --cache-cap <n>  \
+                         --cache  --no-cache  --cache-cap <n>  --cache-dir <path>  \
                          --clause-reuse  --no-clause-reuse  --clause-bank-cap <n>  \
                          (budget spec: wall:<dur> | work:<n> | both:<dur>,<n> | unlimited)"
                     );
@@ -315,6 +344,17 @@ impl HarnessOpts {
                 Some(cap) => ClauseBank::with_capacity(cap),
                 None => ClauseBank::new(),
             }));
+        }
+        // The sweep-wide store wraps the cache/bank built above; the
+        // disk tier loads here, once, before any circuit is built.
+        if let Some(dir) = &opts.cache_dir {
+            match TieredStore::with_disk(opts.cache.clone(), opts.clause_bank.clone(), dir) {
+                Ok(s) => opts.store = Some(Arc::new(s)),
+                Err(e) => {
+                    eprintln!("--cache-dir {}: {e}", dir.display());
+                    std::process::exit(2);
+                }
+            }
         }
         opts.budget
             .lift_unset_walls_for_pure_work(qbf_budget_set, circuit_budget_set);
@@ -382,6 +422,25 @@ impl HarnessOpts {
                 bank.probe_records()
             );
         }
+        if let Some(store) = &self.store {
+            // Persist before reporting so the flushed count is the
+            // final one; a failure costs the warm start, not the sweep.
+            if let Err(e) = store.flush() {
+                eprintln!("warning: cache flush failed: {e}");
+            }
+            if let Some(disk) = store.disk() {
+                eprintln!(
+                    "store: {} record(s) loaded, disk hits {} results / {} clauses / \
+                     {} probes, {} flushed, {} corrupt",
+                    disk.loaded_records(),
+                    store.disk_result_hits(),
+                    store.disk_clause_hits(),
+                    store.disk_probe_hits(),
+                    disk.flushed_records(),
+                    disk.corrupt_records()
+                );
+            }
+        }
     }
 
     /// The engine configuration for `model` under these options.
@@ -410,10 +469,44 @@ impl HarnessOpts {
 
     /// Spawns the shared [`StepService`] a sweep harness submits to:
     /// `jobs` persistent workers, sharing this option set's result
-    /// cache across every model × circuit submission.
+    /// cache (and, under `--cache-dir`, the persistent store) across
+    /// every model × circuit submission.
     pub fn service(&self) -> StepService {
-        StepService::spawn_with_bank(self.jobs, self.cache.clone(), self.clause_bank.clone())
+        match &self.store {
+            Some(store) => StepService::spawn_with_store(self.jobs, Arc::clone(store)),
+            None => StepService::spawn_with_bank(
+                self.jobs,
+                self.cache.clone(),
+                self.clause_bank.clone(),
+            ),
+        }
     }
+}
+
+/// Vets a `--cache-dir` argument up front: the path must be (or
+/// become) a writable directory, and a bad one exits 2 before the
+/// sweep starts. The write probe matters because permission bits lie
+/// to privileged users and read-only mounts fail only on actual writes.
+fn validated_cache_dir(path: &std::path::Path) -> std::path::PathBuf {
+    if path.exists() && !path.is_dir() {
+        eprintln!("--cache-dir: {} is not a directory", path.display());
+        std::process::exit(2);
+    }
+    if let Err(e) = std::fs::create_dir_all(path) {
+        eprintln!("--cache-dir: cannot create {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    let probe = path.join(".stepstore-probe");
+    match std::fs::write(&probe, b"probe") {
+        Ok(()) => {
+            let _ = std::fs::remove_file(&probe);
+        }
+        Err(e) => {
+            eprintln!("--cache-dir: {} is not writable: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    path.to_owned()
 }
 
 /// Submits one model × circuit run to a shared sweep service; pair
@@ -462,11 +555,17 @@ pub fn run_model_op(
 ) -> CircuitResult {
     let aig = opts.build(entry);
     let mut engine = BiDecomposer::new(opts.config(model));
-    if let Some(cache) = &opts.cache {
-        engine.set_cache(cache.clone());
-    }
-    if let Some(bank) = &opts.clause_bank {
-        engine.set_clause_bank(bank.clone());
+    // The store, when built, already wraps the cache and bank as its
+    // tier 0 — attach one or the other, never both.
+    if let Some(store) = &opts.store {
+        engine.set_store(Arc::clone(store));
+    } else {
+        if let Some(cache) = &opts.cache {
+            engine.set_cache(cache.clone());
+        }
+        if let Some(bank) = &opts.clause_bank {
+            engine.set_clause_bank(bank.clone());
+        }
     }
     engine
         .decompose_circuit(&aig, op)
@@ -620,7 +719,13 @@ pub fn secs(d: Duration) -> String {
 ///   (`--copies` / `--shared-substructure`) annotates the `circuit`
 ///   name (`s15850.1+p2s2`) instead of adding fields, so grown and
 ///   ungrown records never silently merge.
-pub const BENCH_SCHEMA_VERSION: u32 = 5;
+/// * v6 — persistent-store provenance: `disk_hits` (artifacts served
+///   from the `--cache-dir` disk tier in this run — results, clauses
+///   and probe certificates combined; 0 on cold or memory-only runs)
+///   and `store_loaded` (records the store had loaded when the sweep
+///   started). Warm and cold records answer identically — the fields
+///   exist so trajectory tooling can tell the two cost profiles apart.
+pub const BENCH_SCHEMA_VERSION: u32 = 6;
 
 /// One machine-readable row of a harness run: model × circuit with
 /// wall-clock and solver-call statistics plus the run provenance
@@ -703,6 +808,15 @@ pub struct BenchRecord {
     /// Clauses this run donated to the clause bank (0 with reuse off).
     /// Scheduling-dependent under `jobs > 1` like `bank_hits`.
     pub donated_clauses: u64,
+    /// Artifacts this run was served from the `--cache-dir` disk tier
+    /// (results, clause exports and probe certificates combined; 0 on
+    /// cold or memory-only runs). Answers are identical warm or cold —
+    /// this separates the two cost profiles, like `clause_reuse`.
+    /// Scheduling-dependent under `jobs > 1` like `cache_hits`.
+    pub disk_hits: u64,
+    /// Records the persistent store had loaded when the sweep started
+    /// (0 without `--cache-dir`) — warm-start provenance for the run.
+    pub store_loaded: u64,
     /// Whether any budget expired.
     pub timed_out: bool,
 }
@@ -733,6 +847,12 @@ impl BenchRecord {
             cache_misses: r.cache_misses(),
             bank_hits: r.clause_bank_hits(),
             donated_clauses: r.donated_clauses(),
+            disk_hits: r.disk_hits(),
+            store_loaded: opts
+                .store
+                .as_ref()
+                .and_then(|s| s.disk())
+                .map_or(0, |d| d.loaded_records()),
             timed_out: r.timed_out,
         }
     }
@@ -764,6 +884,7 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
              \"qbf_calls\": {}, \"effort_conflicts\": {}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \
              \"bank_hits\": {}, \"donated_clauses\": {}, \
+             \"disk_hits\": {}, \"store_loaded\": {}, \
              \"timed_out\": {}}}{}\n",
             r.schema_version,
             json_escape(&r.model),
@@ -786,6 +907,8 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
             r.cache_misses,
             r.bank_hits,
             r.donated_clauses,
+            r.disk_hits,
+            r.store_loaded,
             r.timed_out,
             if i + 1 < records.len() { "," } else { "" }
         ));
@@ -955,6 +1078,8 @@ pub fn parse_bench_records_json(text: &str) -> Result<Vec<BenchRecord>, String> 
             cache_misses: number("cache_misses")?,
             bank_hits: number("bank_hits")?,
             donated_clauses: number("donated_clauses")?,
+            disk_hits: number("disk_hits")?,
+            store_loaded: number("store_loaded")?,
             timed_out: boolean("timed_out")?,
         });
         rest = open[end + 1..]
@@ -1069,6 +1194,9 @@ mod tests {
         assert_eq!(json.matches("\"clause_reuse\": false").count(), 2);
         assert_eq!(json.matches("\"bank_hits\": 0").count(), 2);
         assert_eq!(json.matches("\"donated_clauses\": 0").count(), 2);
+        // Schema-6 persistent-store provenance.
+        assert_eq!(json.matches("\"disk_hits\": 0").count(), 2);
+        assert_eq!(json.matches("\"store_loaded\": 0").count(), 2);
     }
 
     #[test]
@@ -1118,6 +1246,8 @@ mod tests {
             assert_eq!(p.clause_reuse, w.clause_reuse);
             assert_eq!(p.bank_hits, w.bank_hits);
             assert_eq!(p.donated_clauses, w.donated_clauses);
+            assert_eq!(p.disk_hits, w.disk_hits);
+            assert_eq!(p.store_loaded, w.store_loaded);
             assert_eq!(p.timed_out, w.timed_out);
             // The writer rounds wall_s to six decimals.
             assert!((p.wall_s - w.wall_s).abs() <= 5e-7, "wall_s to 1e-6");
@@ -1244,6 +1374,53 @@ mod tests {
             let bank = on_opts.clause_bank.expect("reuse on builds a bank");
             assert!(bank.donations() > 0 && !bank.is_empty());
         }
+    }
+
+    #[test]
+    fn persistent_store_warms_a_second_sweep() {
+        // Two sweeps sharing a --cache-dir store through fresh
+        // HarnessOpts each time (no shared memory tier): the second
+        // sweep's records report disk hits and a warm store_loaded
+        // count, and its answers match the cold sweep exactly.
+        let dir = std::env::temp_dir().join(format!(
+            "step-bench-warm-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let entry = &registry_table1()[16]; // mm9a: small
+        let run = || {
+            let mut opts = HarnessOpts {
+                cache: Some(Arc::new(ResultCache::new())),
+                ..smoke_opts()
+            };
+            opts.cache_dir = Some(dir.clone());
+            opts.store = Some(Arc::new(
+                TieredStore::with_disk(opts.cache.clone(), None, &dir).expect("temp store"),
+            ));
+            let r = run_model(entry, Model::MusGroup, &opts);
+            opts.store
+                .as_ref()
+                .expect("store built")
+                .flush()
+                .expect("flush");
+            let rec = BenchRecord::of(Model::MusGroup, entry.name, &r, &opts);
+            (r, rec)
+        };
+        let (cold, cold_rec) = run();
+        let (warm, warm_rec) = run();
+        assert_eq!(cold_rec.disk_hits, 0, "nothing on disk yet");
+        assert_eq!(cold_rec.store_loaded, 0);
+        assert!(
+            warm_rec.disk_hits > 0,
+            "the second sweep must be served from disk"
+        );
+        assert!(warm_rec.store_loaded > 0, "the store loaded the flush");
+        for (c, w) in cold.outputs.iter().zip(&warm.outputs) {
+            assert_eq!(c.partition, w.partition, "output {}", c.name);
+            assert_eq!(c.solved, w.solved);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -172,44 +172,63 @@ pub enum ProbeVerdict {
     Feasible(Vec<VarClass>),
 }
 
-/// A session's handle for probe-certificate reuse: the bank plus the
-/// cone identity and solver knobs every probe of the session shares.
-/// Built by [`SolveSession`](crate::session::SolveSession) and
+/// A session's handle for probe-certificate reuse: the tiered store
+/// plus the cone identity and solver knobs every probe of the session
+/// shares. Built by [`SolveSession`](crate::session::SolveSession) and
 /// threaded through the optimum search alongside the refuter.
 pub struct ProbeLedger {
-    bank: Arc<ClauseBank>,
+    store: Arc<crate::store::TieredStore>,
+    ns: crate::store::Namespace,
     fingerprint: ConeFingerprint,
     op: GateOp,
-    cfg: ProbeCfg,
+    /// Probe certificates served from the disk tier, shared with the
+    /// owning session (the ledger is strategy-local and dropped before
+    /// the session aggregates statistics).
+    disk_hits: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl ProbeLedger {
     /// A ledger for one session's probes.
     pub fn new(
-        bank: Arc<ClauseBank>,
+        store: Arc<crate::store::TieredStore>,
         fingerprint: ConeFingerprint,
         op: GateOp,
         cfg: ProbeCfg,
+        disk_hits: Arc<std::sync::atomic::AtomicU64>,
     ) -> Self {
         ProbeLedger {
-            bank,
+            store,
+            ns: crate::store::Namespace::probes(cfg),
             fingerprint,
             op,
-            cfg,
+            disk_hits,
         }
     }
 
-    /// The recorded verdict for `target`, if any sibling solved it.
+    /// The recorded verdict for `target`, if any sibling (or a prior
+    /// run, through the disk tier) solved it.
     pub fn lookup(&self, target: Target) -> Option<ProbeVerdict> {
-        self.bank
-            .lookup_probe(self.fingerprint, self.op, self.cfg, target)
+        use crate::store::{Artifact, ArtifactKey, ArtifactStore};
+        let key = ArtifactKey::probe(self.fingerprint, self.op, target)?;
+        let hit = self.store.get(&self.ns, &key)?;
+        if hit.from_disk {
+            self.disk_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        match hit.artifact {
+            Artifact::Probe(v) => Some(v),
+            _ => None,
+        }
     }
 
     /// Records a definitive probe outcome (never record timeouts: a
     /// truncation is budget state, not a fact about the cone).
     pub fn record(&self, target: Target, verdict: ProbeVerdict) {
-        self.bank
-            .record_probe(self.fingerprint, self.op, self.cfg, target, verdict);
+        use crate::store::{Artifact, ArtifactKey, ArtifactStore};
+        let Some(key) = ArtifactKey::probe(self.fingerprint, self.op, target) else {
+            return;
+        };
+        self.store.put(&self.ns, &key, Artifact::Probe(verdict));
     }
 }
 
@@ -643,27 +662,38 @@ impl fmt::Debug for OraclePool {
     }
 }
 
-/// The reuse handles one session needs: the (possibly run-scoped,
-/// possibly sweep-wide) clause bank and the submission-scoped oracle
+/// The reuse handles one session needs: the tiered artifact store
+/// (whose tier-0 bank may be run-scoped or sweep-wide, and whose disk
+/// tier — if any — spans processes) and the submission-scoped oracle
 /// pool. Cheap to clone; built by the engine/service when
 /// [`DecompConfig::clause_reuse`](crate::spec::DecompConfig::clause_reuse)
 /// is on.
 #[derive(Clone, Debug)]
 pub struct ReuseCtx {
-    /// Donated-clause storage, shared as widely as the caller wants.
-    pub bank: Arc<ClauseBank>,
+    /// Donated-clause and probe-certificate storage, shared as widely
+    /// as the caller wants. Always carries a clause bank (see
+    /// [`TieredStore::reuse_ctx`](crate::store::TieredStore::reuse_ctx)).
+    pub store: Arc<crate::store::TieredStore>,
     /// Live-oracle pool, scoped to one submission / circuit run (one
     /// `DecompConfig`, so pooled oracles share solver knobs).
     pub pool: Arc<OraclePool>,
 }
 
 impl ReuseCtx {
-    /// A context over `bank` with a fresh (empty) oracle pool.
+    /// A memory-only context over `bank` with a fresh (empty) oracle
+    /// pool.
     pub fn over(bank: Arc<ClauseBank>) -> Self {
         ReuseCtx {
-            bank,
+            store: Arc::new(crate::store::TieredStore::memory(None, Some(bank))),
             pool: Arc::new(OraclePool::new()),
         }
+    }
+
+    /// The tier-0 clause bank (always present by construction).
+    pub fn bank(&self) -> &Arc<ClauseBank> {
+        self.store
+            .bank()
+            .expect("ReuseCtx stores always carry a bank")
     }
 }
 

@@ -49,6 +49,7 @@ use crate::partition::VarPartition;
 use crate::service::StepService;
 use crate::session::SolveSession;
 use crate::spec::{DecompConfig, GateOp};
+use crate::store::TieredStore;
 
 /// Errors from the decomposition driver and service.
 ///
@@ -135,6 +136,10 @@ pub struct OutputResult {
     pub imported_clauses: u64,
     /// Clauses this output donated to the bank after solving.
     pub donated_clauses: u64,
+    /// Artifacts this output was served from the persistent store tier
+    /// (results, clause snapshots and probe certificates alike; always
+    /// zero without a [`DecompConfig::cache_dir`]).
+    pub disk_hits: u64,
 }
 
 impl OutputResult {
@@ -159,6 +164,7 @@ impl OutputResult {
             bank: BankLookup::Bypass,
             imported_clauses: 0,
             donated_clauses: 0,
+            disk_hits: 0,
         }
     }
 
@@ -262,6 +268,12 @@ impl CircuitResult {
     pub fn donated_clauses(&self) -> u64 {
         self.outputs.iter().map(|o| o.donated_clauses).sum()
     }
+
+    /// Total artifacts served from the persistent store tier across
+    /// all outputs (results + clause snapshots + probe certificates).
+    pub fn disk_hits(&self) -> u64 {
+        self.outputs.iter().map(|o| o.disk_hits).sum()
+    }
 }
 
 /// The STEP bi-decomposition engine.
@@ -291,6 +303,7 @@ pub struct BiDecomposer {
     config: DecompConfig,
     cache: Option<Arc<ResultCache>>,
     bank: Option<Arc<ClauseBank>>,
+    store: Option<Arc<TieredStore>>,
 }
 
 impl BiDecomposer {
@@ -301,6 +314,7 @@ impl BiDecomposer {
             config,
             cache: None,
             bank: None,
+            store: None,
         }
     }
 
@@ -332,13 +346,49 @@ impl BiDecomposer {
         self.bank.as_ref()
     }
 
+    /// Attaches a fully built [`TieredStore`], overriding the default
+    /// per-run assembly from the attached cache/bank and
+    /// [`DecompConfig::cache_dir`]. Use when several engines should
+    /// share one already-loaded disk tier (the CLI and bench harness
+    /// do this, so the store loads once per process).
+    pub fn set_store(&mut self, store: Arc<TieredStore>) {
+        self.store = Some(store);
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&Arc<TieredStore>> {
+        self.store.as_ref()
+    }
+
+    /// The store every run of this engine routes through: the attached
+    /// one, or a fresh assembly of the attached cache/bank plus a disk
+    /// tier loaded from [`DecompConfig::cache_dir`] when set.
+    ///
+    /// # Errors
+    ///
+    /// [`StepError::Internal`] if the cache directory cannot be
+    /// created or listed (corrupt store *files* never error).
+    fn effective_store(&self) -> Result<Arc<TieredStore>, StepError> {
+        if let Some(store) = &self.store {
+            return Ok(Arc::clone(store));
+        }
+        match &self.config.cache_dir {
+            Some(dir) => TieredStore::with_disk(self.cache.clone(), self.bank.clone(), dir)
+                .map(Arc::new)
+                .map_err(|e| StepError::Internal(format!("cache dir {}: {e}", dir.display()))),
+            None => Ok(Arc::new(TieredStore::memory(
+                self.cache.clone(),
+                self.bank.clone(),
+            ))),
+        }
+    }
+
     /// The reuse handles for one circuit run (or single-output call):
-    /// the attached bank — or a fresh run-scoped one — plus a fresh
-    /// oracle pool. `None` when clause reuse is off.
-    fn reuse_ctx(&self) -> Option<ReuseCtx> {
-        self.config
-            .clause_reuse
-            .then(|| ReuseCtx::over(self.bank.clone().unwrap_or_default()))
+    /// the store's tiers — with a fresh run-scoped bank overlaid when
+    /// none is attached — plus a fresh oracle pool. `None` when clause
+    /// reuse is off.
+    fn reuse_ctx(&self, store: &TieredStore) -> Option<ReuseCtx> {
+        self.config.clause_reuse.then(|| store.reuse_ctx())
     }
 
     /// The active configuration.
@@ -365,15 +415,20 @@ impl BiDecomposer {
         op: GateOp,
     ) -> Result<OutputResult, StepError> {
         let job = OutputJob::new(&self.config, out_idx, op);
-        let reuse = self.reuse_ctx();
-        SolveSession::new(
+        let store = self.effective_store()?;
+        let reuse = self.reuse_ctx(&store);
+        let result = SolveSession::new(
             aig,
             job,
             &self.config,
-            self.cache.as_deref(),
+            store.serves_results().then_some(&*store),
             reuse.as_ref(),
         )?
-        .run()
+        .run();
+        // Persist what this call learned (best-effort: a full disk must
+        // not turn a solved output into an error).
+        let _ = store.flush();
+        result
     }
 
     /// Decomposes every primary output of `circuit` under `op`,
@@ -423,14 +478,15 @@ impl BiDecomposer {
             let circuit = CircuitBudget::anchored(self.config.budget.per_circuit, start);
             // One oracle pool for the whole circuit run, so the inline
             // path reuses exactly like a one-worker service would.
-            let reuse = self.reuse_ctx();
+            let store = self.effective_store()?;
+            let reuse = self.reuse_ctx(&store);
             let mut outputs = Vec::with_capacity(n_out);
             let mut timed_out = false;
             for idx in 0..n_out {
                 let r = run_queued(
                     aig,
                     &self.config,
-                    self.cache.as_deref(),
+                    store.serves_results().then_some(&*store),
                     reuse.as_ref(),
                     idx,
                     op,
@@ -439,13 +495,14 @@ impl BiDecomposer {
                 timed_out |= r.timed_out;
                 outputs.push(r);
             }
+            let _ = store.flush();
             return Ok(CircuitResult {
                 outputs,
                 cpu: start.elapsed(),
                 timed_out,
             });
         }
-        let service = StepService::spawn_with_bank(workers, self.cache.clone(), self.bank.clone());
+        let service = StepService::spawn_with_store(workers, self.effective_store()?);
         // Move the comb-converted copy into the submission when we own
         // one; a single clone only when the caller's circuit was
         // already combinational.
@@ -486,7 +543,7 @@ impl BiDecomposer {
 pub(crate) fn run_queued(
     aig: &Aig,
     config: &DecompConfig,
-    cache: Option<&ResultCache>,
+    store: Option<&TieredStore>,
     reuse: Option<&ReuseCtx>,
     out_idx: usize,
     op: GateOp,
@@ -503,7 +560,7 @@ pub(crate) fn run_queued(
         return Ok(OutputResult::budget_exhausted(name, out_idx, support));
     }
     let job = OutputJob::new(config, out_idx, op).with_circuit(circuit.clone());
-    SolveSession::new(aig, job, config, cache, reuse)?
+    SolveSession::new(aig, job, config, store, reuse)?
         .run()
         .map_err(|e| match e {
             StepError::Internal(m) => {

@@ -47,7 +47,12 @@
 //!   exactly, and by `(op, support)` for vetted near-twin seeding) and
 //!   park live oracles for same-fingerprint siblings — answers are
 //!   identical with reuse on or off, only the conflicts to reach them
-//!   drop.
+//!   drop;
+//! * [`store`] — the tiered [`ArtifactStore`] unifying all three reuse
+//!   surfaces (results, clause donations, probe certificates) behind
+//!   one get/put/scan interface, with the in-memory structures as
+//!   tier 0 and an optional persistent, mergeable disk tier
+//!   ([`DecompConfig::cache_dir`]) that warm-starts later runs.
 //!
 //! See the crate-level example on [`BiDecomposer`].
 
@@ -68,6 +73,7 @@ pub mod qdimacs_export;
 pub mod service;
 pub mod session;
 pub mod spec;
+pub mod store;
 pub mod strategy;
 pub mod verify;
 
@@ -82,6 +88,10 @@ pub use partition::{VarClass, VarPartition};
 pub use service::{OutputEvent, StepService, SubmissionHandle, SubmissionId};
 pub use session::SolveSession;
 pub use spec::{Budget, BudgetPolicy, DecompConfig, GateOp, Model, SearchStrategy};
+pub use store::{
+    Artifact, ArtifactKey, ArtifactKind, ArtifactStore, ClausePayload, ConfigKey, DiskTier,
+    Namespace, StoreHit, TieredStore,
+};
 // The effort-counter vocabulary is shared with the solver layers, as
 // is the restart-policy knob `DecompConfig::sat_restarts` takes.
 pub use step_sat::{EffortStats, RestartPolicy};
@@ -105,6 +115,10 @@ const _: fn() = || {
     // between them.
     assert_sync::<ClauseBank>();
     assert_sync::<OraclePool>();
+    // The tiered store (and its disk tier) is the one object every
+    // worker of a persistent service shares.
+    assert_sync::<TieredStore>();
+    assert_sync::<DiskTier>();
     assert_send::<SubmissionHandle>();
     assert_send::<OutputEvent>();
     assert_send::<oracle::PartitionOracle>();

@@ -74,6 +74,7 @@ use crate::clause_bank::{ClauseBank, ReuseCtx};
 use crate::effort::{CircuitBudget, WorkPool};
 use crate::engine::{run_queued, CircuitResult, OutputResult, StepError};
 use crate::spec::{DecompConfig, GateOp};
+use crate::store::TieredStore;
 
 /// Identifies one submission within its service (monotonically
 /// increasing per service instance; shown in logs and events).
@@ -252,11 +253,13 @@ struct ServiceShared {
     queue: Mutex<VecDeque<Arc<Submission>>>,
     work: Condvar,
     shutdown: AtomicBool,
-    cache: Option<Arc<ResultCache>>,
-    /// Clause bank shared by every clause-reuse submission (donations
-    /// cross circuits and models, like cache entries do). `None` =
-    /// each reuse submission gets its own submission-scoped bank.
-    bank: Option<Arc<ClauseBank>>,
+    /// The tiered artifact store every session of every submission
+    /// routes through: the service-wide result cache and clause bank
+    /// as tier 0 (either may be absent — a store without a bank gives
+    /// each reuse submission its own submission-scoped one), plus the
+    /// persistent tier when the service was spawned over one. Loaded
+    /// at spawn, flushed at shutdown.
+    store: Arc<TieredStore>,
     next_id: AtomicU64,
 }
 
@@ -298,7 +301,8 @@ impl fmt::Debug for StepService {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("StepService")
             .field("workers", &self.workers.len())
-            .field("cache", &self.shared.cache.is_some())
+            .field("cache", &self.shared.store.cache().is_some())
+            .field("disk", &self.shared.store.disk().is_some())
             .finish()
     }
 }
@@ -337,12 +341,21 @@ impl StepService {
         cache: Option<Arc<ResultCache>>,
         bank: Option<Arc<ClauseBank>>,
     ) -> Self {
+        Self::spawn_with_store(workers, Arc::new(TieredStore::memory(cache, bank)))
+    }
+
+    /// The most general constructor: `workers` persistent threads over
+    /// an already-assembled [`TieredStore`] — the way to give a service
+    /// a persistent tier (build the store with
+    /// [`TieredStore::with_disk`], which loads the directory once; the
+    /// service flushes dirty entries at shutdown and on
+    /// [`flush`](StepService::flush)).
+    pub fn spawn_with_store(workers: usize, store: Arc<TieredStore>) -> Self {
         let shared = Arc::new(ServiceShared {
             queue: Mutex::new(VecDeque::new()),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            cache,
-            bank,
+            store,
             next_id: AtomicU64::new(0),
         });
         let workers = (0..workers.max(1))
@@ -364,13 +377,29 @@ impl StepService {
 
     /// The cache shared by every submission, if one was attached.
     pub fn cache(&self) -> Option<&Arc<ResultCache>> {
-        self.shared.cache.as_ref()
+        self.shared.store.cache()
     }
 
     /// The clause bank shared by every clause-reuse submission, if one
     /// was attached.
     pub fn clause_bank(&self) -> Option<&Arc<ClauseBank>> {
-        self.shared.bank.as_ref()
+        self.shared.store.bank()
+    }
+
+    /// The tiered store every session of this service routes through.
+    pub fn store(&self) -> &Arc<TieredStore> {
+        &self.shared.store
+    }
+
+    /// Flushes the store's dirty persistent-tier entries now (also
+    /// done automatically at shutdown); returns the number of records
+    /// appended (always 0 without a disk tier).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the store files.
+    pub fn flush(&self) -> std::io::Result<u64> {
+        self.shared.store.flush()
     }
 
     /// Enqueues one decomposition request: every primary output of
@@ -465,9 +494,7 @@ impl StepService {
             .per_circuit
             .work()
             .map(|w| Arc::new(WorkPool::new(w)));
-        let reuse = config
-            .clause_reuse
-            .then(|| ReuseCtx::over(self.shared.bank.clone().unwrap_or_default()));
+        let reuse = config.clause_reuse.then(|| self.shared.store.reuse_ctx());
         let sub = Arc::new(Submission {
             id: SubmissionId(self.shared.next_id.fetch_add(1, Ordering::Relaxed)),
             aig,
@@ -537,6 +564,9 @@ impl Drop for StepService {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        // Workers are gone; persist what the service learned. Best
+        // effort — shutdown must not panic over a full disk.
+        let _ = self.shared.store.flush();
     }
 }
 
@@ -603,7 +633,7 @@ fn run_claimed(shared: &ServiceShared, sub: &Submission, idx: usize) {
         run_queued(
             &sub.aig,
             &sub.config,
-            shared.cache.as_deref(),
+            shared.store.serves_results().then_some(&*shared.store),
             sub.reuse.as_ref(),
             idx,
             sub.op,

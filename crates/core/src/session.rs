@@ -29,6 +29,7 @@
 //! many of them concurrently — across outputs of one submission and
 //! across submissions alike.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -36,7 +37,7 @@ use step_aig::{canonicalize, Aig, CanonicalCone, Cone, ConeFingerprint};
 use step_qbf::CounterexampleRefuter;
 use step_sat::LearntExport;
 
-use crate::cache::{CacheKey, CacheLookup, CachedResult, ResultCache};
+use crate::cache::{CacheLookup, CachedResult};
 use crate::clause_bank::{BankLookup, ProbeCfg, ProbeLedger, ReuseCtx};
 use crate::effort::EffortMeter;
 use crate::engine::{OutputResult, StepError};
@@ -47,6 +48,7 @@ use crate::oracle::{
 };
 use crate::partition::VarPartition;
 use crate::spec::DecompConfig;
+use crate::store::{Artifact, ArtifactKey, ArtifactStore, ClausePayload, Namespace, TieredStore};
 use crate::strategy::strategy_for;
 use crate::verify::verify;
 
@@ -54,7 +56,7 @@ use crate::verify::verify;
 /// candidates and budgets. See the module docs.
 pub struct SolveSession<'a> {
     config: &'a DecompConfig,
-    cache: Option<&'a ResultCache>,
+    store: Option<&'a TieredStore>,
     reuse: Option<&'a ReuseCtx>,
     job: OutputJob,
     name: String,
@@ -76,11 +78,16 @@ pub struct SolveSession<'a> {
     ///
     /// [`run`]: SolveSession::run
     fingerprint: Option<ConeFingerprint>,
+    /// Probe certificates served from the disk tier. The ledger is
+    /// strategy-local, so it shares this counter with the session and
+    /// the session folds it into the output statistics after the
+    /// strategy returns.
+    probe_disk_hits: Arc<AtomicU64>,
 }
 
 impl<'a> SolveSession<'a> {
-    /// Opens a session for `job` on `aig`, consulting `cache` (if any)
-    /// before solving.
+    /// Opens a session for `job` on `aig`, consulting `store` (if any)
+    /// for a solved result before solving.
     ///
     /// The wall clock anchors **first**, so cone extraction — which can
     /// dominate on huge outputs — is charged against the per-output
@@ -98,7 +105,7 @@ impl<'a> SolveSession<'a> {
         aig: &Aig,
         job: OutputJob,
         config: &'a DecompConfig,
-        cache: Option<&'a ResultCache>,
+        store: Option<&'a TieredStore>,
         reuse: Option<&'a ReuseCtx>,
     ) -> Result<Self, StepError> {
         let start = Instant::now();
@@ -114,7 +121,7 @@ impl<'a> SolveSession<'a> {
         let cone = aig.cone(output.lit());
         Ok(SolveSession {
             config,
-            cache,
+            store,
             reuse,
             job,
             name,
@@ -127,6 +134,7 @@ impl<'a> SolveSession<'a> {
             refuter: None,
             refuter_imported: 0,
             fingerprint: None,
+            probe_disk_hits: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -194,7 +202,7 @@ impl<'a> SolveSession<'a> {
         self.refuter = refuter;
     }
 
-    /// Builds the session's [`ProbeLedger`] over the shared bank (QBF
+    /// Builds the session's [`ProbeLedger`] over the shared store (QBF
     /// strategies only, `None` when clause reuse is off). Solved
     /// outcomes are a pure function of `(fingerprint, op, config)`, so
     /// the ledger keys on the fingerprint plus every configuration knob
@@ -203,7 +211,7 @@ impl<'a> SolveSession<'a> {
         let reuse = self.reuse?;
         let fingerprint = self.fingerprint?;
         Some(ProbeLedger::new(
-            Arc::clone(&reuse.bank),
+            Arc::clone(&reuse.store),
             fingerprint,
             self.job.op,
             ProbeCfg {
@@ -212,6 +220,7 @@ impl<'a> SolveSession<'a> {
                 restarts: self.config.sat_restarts,
                 preprocess: self.config.sat_preprocess,
             },
+            Arc::clone(&self.probe_disk_hits),
         ))
     }
 
@@ -300,13 +309,13 @@ impl<'a> SolveSession<'a> {
 
         let canon = canonicalize(&self.cone.aig, self.cone.root);
         self.fingerprint = Some(canon.fingerprint);
-        let key = self
-            .cache
-            .map(|_| CacheKey::new(canon.fingerprint, self.job.op, self.config));
+        let result_ns = self.store.map(|_| Namespace::results(self.config));
 
-        if let (Some(cache), Some(key)) = (self.cache, &key) {
-            if let Some(hit) = cache.lookup(key) {
+        if let (Some(store), Some(ns)) = (self.store, &result_ns) {
+            if let Some((hit, from_disk)) = store.lookup_result(ns, canon.fingerprint, self.job.op)
+            {
                 result.cache = CacheLookup::Hit;
+                result.disk_hits += u64::from(from_disk);
                 result.solved = true;
                 result.proved_optimal = hit.proved_optimal;
                 if let Some(classes) = &hit.partition {
@@ -351,16 +360,22 @@ impl<'a> SolveSession<'a> {
                 self.config.sat_preprocess,
             );
             if let Some(reuse) = self.reuse {
-                match reuse.bank.lookup(canon.fingerprint, self.job.op) {
-                    Some(hit) if hit.exact => {
-                        result.imported_clauses = oracle.import_learnts(&hit.export);
-                        self.check_seed = hit.check;
-                        result.bank = BankLookup::Exact;
-                    }
+                let cns = Namespace::clauses();
+                let ckey = ArtifactKey::of(canon.fingerprint, self.job.op);
+                match reuse.store.get(&cns, &ckey) {
                     Some(hit) => {
-                        result.imported_clauses =
-                            oracle.import_vetted(&hit.export, &mut self.meter);
-                        result.bank = BankLookup::Cluster;
+                        result.disk_hits += u64::from(hit.from_disk);
+                        if let Artifact::Clauses(payload) = hit.artifact {
+                            if payload.exact {
+                                result.imported_clauses = oracle.import_learnts(&payload.export);
+                                self.check_seed = payload.check;
+                                result.bank = BankLookup::Exact;
+                            } else {
+                                result.imported_clauses =
+                                    oracle.import_vetted(&payload.export, &mut self.meter);
+                                result.bank = BankLookup::Cluster;
+                            }
+                        }
                     }
                     None => result.bank = BankLookup::Miss,
                 }
@@ -382,13 +397,16 @@ impl<'a> SolveSession<'a> {
         result.proved_optimal = outcome.proved_optimal;
         result.solved = outcome.solved;
         result.timed_out = outcome.timed_out;
+        result.disk_hits += self.probe_disk_hits.load(Ordering::Relaxed);
 
-        // Only definitive, budget-free outcomes enter the cache: they
+        // Only definitive, budget-free outcomes enter the store: they
         // are pure functions of the key, a timeout is not.
-        if let (Some(cache), Some(key)) = (self.cache, key) {
+        if let (Some(store), Some(ns)) = (self.store, &result_ns) {
             if outcome.solved && !outcome.timed_out {
-                cache.insert(
-                    key,
+                store.insert_result(
+                    ns,
+                    canon.fingerprint,
+                    self.job.op,
                     CachedResult {
                         partition: outcome.partition.as_ref().map(|p| p.classes().to_vec()),
                         proved_optimal: outcome.proved_optimal,
@@ -413,9 +431,15 @@ impl<'a> SolveSession<'a> {
                     .filter(|c| !c.is_empty());
                 result.donated_clauses = export.num_clauses() as u64
                     + check.as_ref().map_or(0, |c| c.num_clauses() as u64);
-                reuse
-                    .bank
-                    .donate(canon.fingerprint, self.job.op, export, check);
+                reuse.store.put(
+                    &Namespace::clauses(),
+                    &ArtifactKey::of(canon.fingerprint, self.job.op),
+                    Artifact::Clauses(ClausePayload {
+                        export: Arc::new(export),
+                        check: check.map(Arc::new),
+                        exact: true,
+                    }),
+                );
                 reuse.pool.put(canon.fingerprint.hash, self.job.op, oracle);
             }
         }

@@ -840,7 +840,7 @@ fn sessions_reuse_pooled_oracles_and_bank_exports() {
     assert_eq!(r0.bank, BankLookup::Miss, "empty bank, empty pool");
     assert!(r0.solved && r0.partition.is_none());
     assert!(r0.donated_clauses > 0, "the UNSAT proof pins clauses");
-    assert_eq!(reuse.bank.donations(), 1);
+    assert_eq!(reuse.bank().donations(), 1);
 
     // The twin takes over the parked oracle — no CNF rebuild, and its
     // sat_calls report only its own share.
@@ -852,7 +852,7 @@ fn sessions_reuse_pooled_oracles_and_bank_exports() {
 
     // Same bank, fresh pool (a new submission): the donor's export now
     // serves the exact channel, imported verbatim.
-    let fresh_pool = ReuseCtx::over(reuse.bank.clone());
+    let fresh_pool = ReuseCtx::over(Arc::clone(reuse.bank()));
     let r2 = run(0, &fresh_pool);
     assert_eq!(r2.bank, BankLookup::Exact);
     assert!(r2.imported_clauses > 0, "verbatim import from the donor");

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! step <circuit.{bench,blif,aag}> [options]
+//! step cache stats|merge|verify ...
 //!   --model ljh|mg|qd|qb|qdb    engine (default qd)
 //!   --op or|and|xor             root operator (default or)
 //!   --weights <wd> <wb>         weighted cost target (implies QBF model)
@@ -27,8 +28,13 @@
 //!   --no-clause-reuse           disable it explicitly
 //!   --clause-bank-cap <n>       bound the bank's exact channel to n entries
 //!                               (second-chance eviction; implies --clause-reuse)
-//!   --no-timing                 suppress wall-clock cells and the cache and
-//!                               clause-bank stats lines (stable output)
+//!   --cache-dir <path>          persistent artifact store: solved results,
+//!                               donated clauses and probe certificates load from
+//!                               <path> at startup and flush back at exit, so a
+//!                               later run (or another replica) starts warm —
+//!                               byte-identical answers, fewer conflicts
+//!   --no-timing                 suppress wall-clock cells and the cache,
+//!                               clause-bank and store stats lines (stable output)
 //!   --emit-qdimacs              print the 3QCNF of formulation (4) and exit
 //!   --emit-blif                 print decomposed netlists as BLIF
 //!   --budget <spec>             per-output budget (default wall:60s)
@@ -59,7 +65,18 @@
 //! `--clause-reuse`: imported clauses are implied by each oracle's own
 //! CNF, so verdicts and partitions match a reuse-off run byte for byte
 //! (the CI clause-reuse smoke step diffs exactly that); only the work
-//! counters move.
+//! counters move. `--cache-dir` extends all three reuse surfaces across
+//! processes under the same contract — a warm run is byte-identical to
+//! a cold one under `--no-timing` (the CI warm-start smoke step diffs
+//! that too).
+//!
+//! The `step cache` subcommand manages store directories:
+//!
+//! ```text
+//! step cache stats  <dir>           per-namespace entry counts + load health
+//! step cache merge  <out> <in>...   pool many stores into one (dedup by key)
+//! step cache verify <dir>           exit 1 if any record failed to load
+//! ```
 //!
 //! [`StepService`]: qbf_bidec::step::StepService
 
@@ -72,8 +89,8 @@ use qbf_bidec::step::oracle::CoreFormula;
 use qbf_bidec::step::qbf_model::Target;
 use qbf_bidec::step::qdimacs_export::{export_qdimacs, ExportOptions};
 use qbf_bidec::step::{
-    BiDecomposer, Budget, BudgetPolicy, ClauseBank, DecompConfig, EffortMeter, GateOp, Model,
-    OutputResult, RestartPolicy, ResultCache, StepService,
+    BiDecomposer, Budget, BudgetPolicy, ClauseBank, DecompConfig, DiskTier, EffortMeter, GateOp,
+    Model, OutputResult, RestartPolicy, ResultCache, StepService, TieredStore,
 };
 
 struct Cli {
@@ -91,6 +108,7 @@ struct Cli {
     cache_cap: Option<usize>,
     clause_reuse: bool,
     clause_bank_cap: Option<usize>,
+    cache_dir: Option<std::path::PathBuf>,
     no_timing: bool,
     emit_qdimacs: bool,
     emit_blif: bool,
@@ -102,9 +120,11 @@ const USAGE: &str = "usage: step <circuit.{bench,blif,aag}> [--model ljh|mg|qd|q
                      [--progress] [--seed n] [--sat-restarts luby|ema] [--sat-preprocess] \
                      [--cache] [--no-cache] [--cache-cap n] \
                      [--clause-reuse] [--no-clause-reuse] [--clause-bank-cap n] \
+                     [--cache-dir path] \
                      [--no-timing] [--emit-qdimacs] [--emit-blif] \
                      [--budget spec] [--circuit-budget spec] [--qbf-budget spec] \
                      [--per-call-ms n] [--per-output-s n]\n\
+                     or:    step cache stats <dir> | merge <out> <in>... | verify <dir>\n\
                      budget spec: wall:<dur> | work:<conflicts> | both:<dur>,<conflicts> \
                      | unlimited (e.g. --budget work:200k for deterministic truncation)";
 
@@ -137,6 +157,7 @@ fn parse_cli() -> Cli {
         cache_cap: None,
         clause_reuse: false,
         clause_bank_cap: None,
+        cache_dir: None,
         no_timing: false,
         emit_qdimacs: false,
         emit_blif: false,
@@ -233,6 +254,13 @@ fn parse_cli() -> Cli {
                     _ => usage(),
                 }
             }
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => cli.cache_dir = Some(validated_cache_dir(Path::new(p))),
+                    None => usage(),
+                }
+            }
             "--no-timing" => cli.no_timing = true,
             "--emit-qdimacs" => cli.emit_qdimacs = true,
             "--emit-blif" => cli.emit_blif = true,
@@ -292,6 +320,102 @@ fn parse_cli() -> Cli {
     cli.budget
         .lift_unset_walls_for_pure_work(qbf_budget_set, circuit_budget_set);
     cli
+}
+
+/// Vets a `--cache-dir` argument up front: the path must be (or become)
+/// a writable directory, and a bad one is a usage error (exit 2) before
+/// any solving starts — not a surprise after an hour of work.
+fn validated_cache_dir(path: &Path) -> std::path::PathBuf {
+    if path.exists() && !path.is_dir() {
+        eprintln!("--cache-dir: {} is not a directory", path.display());
+        usage();
+    }
+    if let Err(e) = std::fs::create_dir_all(path) {
+        eprintln!("--cache-dir: cannot create {}: {e}", path.display());
+        usage();
+    }
+    // An explicit write probe: permission bits alone lie to privileged
+    // users, and read-only filesystems only fail on the actual write.
+    let probe = path.join(".stepstore-probe");
+    match std::fs::write(&probe, b"probe") {
+        Ok(()) => {
+            let _ = std::fs::remove_file(&probe);
+        }
+        Err(e) => {
+            eprintln!("--cache-dir: {} is not writable: {e}", path.display());
+            usage();
+        }
+    }
+    path.to_owned()
+}
+
+/// `step cache <verb> ...` — persistent-store management. Always exits.
+fn cache_command(args: &[String]) -> ! {
+    let open = |dir: &str| match DiskTier::open(Path::new(dir)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cache dir {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match (args.first().map(String::as_str), args.len()) {
+        (Some("stats"), 2) => {
+            let tier = open(&args[1]);
+            println!("store: {} — {} entries", args[1], tier.len());
+            for (kind, config, n) in tier.summaries() {
+                println!("  {:<8} {n:>8}  [{config}]", kind.label());
+            }
+            println!(
+                "  loaded {} record(s), {} corrupt, {} flushed",
+                tier.loaded_records(),
+                tier.corrupt_records(),
+                tier.flushed_records()
+            );
+            std::process::exit(0);
+        }
+        (Some("merge"), n) if n >= 3 => {
+            let out = open(&args[1]);
+            let mut adopted = 0u64;
+            for src in &args[2..] {
+                adopted += out.merge_from(&open(src));
+            }
+            match out.flush() {
+                Ok(written) => {
+                    println!(
+                        "merged {} store(s) into {}: {adopted} adopted, \
+                         {written} written, {} entries total",
+                        args.len() - 2,
+                        args[1],
+                        out.len()
+                    );
+                    std::process::exit(0);
+                }
+                Err(e) => {
+                    eprintln!("error: flush {}: {e}", args[1]);
+                    std::process::exit(1);
+                }
+            }
+        }
+        (Some("verify"), 2) => {
+            let tier = open(&args[1]);
+            if tier.corrupt_records() > 0 {
+                eprintln!(
+                    "{}: {} corrupt record(s) skipped, {} loaded",
+                    args[1],
+                    tier.corrupt_records(),
+                    tier.loaded_records()
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "{}: ok — {} record(s) loaded cleanly",
+                args[1],
+                tier.loaded_records()
+            );
+            std::process::exit(0);
+        }
+        _ => usage(),
+    }
 }
 
 /// The wall-clock cell: milliseconds, or `-` under `--no-timing` so
@@ -356,6 +480,13 @@ fn print_result(cli: &Cli, out: &OutputResult) -> bool {
 }
 
 fn main() {
+    // `step cache ...` is a subcommand, not a circuit path; dispatch on
+    // the raw argument list before flag parsing would swallow `cache`
+    // as the positional circuit argument.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("cache") {
+        cache_command(&raw[1..]);
+    }
     let cli = parse_cli();
     let circuit = match load_file(Path::new(&cli.path)) {
         Ok(c) => c,
@@ -434,6 +565,20 @@ fn main() {
             None => ClauseBank::new(),
         })
     });
+    // One tiered store serves the whole run: the cache/bank Arcs above
+    // as tier 0, plus the persistent tier when --cache-dir was given
+    // (already vetted writable in parse_cli; a load failure here means
+    // the directory changed under us and is worth an exit, not a warn).
+    let store: std::sync::Arc<TieredStore> = match &cli.cache_dir {
+        Some(dir) => match TieredStore::with_disk(cache.clone(), bank.clone(), dir) {
+            Ok(s) => std::sync::Arc::new(s),
+            Err(e) => {
+                eprintln!("error: cache dir {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        },
+        None => std::sync::Arc::new(TieredStore::memory(cache.clone(), bank.clone())),
+    };
 
     println!(
         "{:<16} {:>8} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9} {:>9}",
@@ -444,12 +589,7 @@ fn main() {
         // Single output: one session, no queue.
         Some(idx) => {
             let mut engine = BiDecomposer::new(config);
-            if let Some(c) = &cache {
-                engine.set_cache(std::sync::Arc::clone(c));
-            }
-            if let Some(b) = &bank {
-                engine.set_clause_bank(std::sync::Arc::clone(b));
-            }
+            engine.set_store(std::sync::Arc::clone(&store));
             match engine.decompose_output(&comb, idx, cli.op) {
                 Ok(out) => {
                     if print_result(&cli, &out) {
@@ -471,7 +611,7 @@ fn main() {
             // Clamp the pool to the output count — extra workers would
             // only idle on the queue.
             let workers = cli.jobs.min(comb.num_outputs()).max(1);
-            let service = StepService::spawn_with_bank(workers, cache.clone(), bank.clone());
+            let service = StepService::spawn_with_store(workers, std::sync::Arc::clone(&store));
             let mut handle = match service.submit(&comb, cli.op, config) {
                 Ok(h) => h,
                 Err(e) => {
@@ -524,6 +664,12 @@ fn main() {
         "\ndecomposed {decomposed} output function(s) with {}",
         cli.model
     );
+    // Persist whatever the run learnt. A flush failure (disk full,
+    // directory removed mid-run) costs the warm start, not the answers
+    // already printed — warn, don't fail.
+    if let Err(e) = store.flush() {
+        eprintln!("warning: cache flush failed: {e}");
+    }
     // Cache and bank statistics vary with scheduling under --jobs, so
     // the lines hide behind --no-timing together with the wall clocks.
     if !cli.no_timing {
@@ -549,6 +695,18 @@ fn main() {
                 bank.len(),
                 bank.probe_hits(),
                 bank.probe_records()
+            );
+        }
+        if let Some(disk) = store.disk() {
+            println!(
+                "store: {} record(s) loaded, disk hits {} results / {} clauses / \
+                 {} probes, {} flushed, {} corrupt",
+                disk.loaded_records(),
+                store.disk_result_hits(),
+                store.disk_clause_hits(),
+                store.disk_probe_hits(),
+                disk.flushed_records(),
+                disk.corrupt_records()
             );
         }
     }

@@ -48,6 +48,8 @@ fn help_prints_usage_to_stdout_and_exits_0() {
             "--cache",
             "--no-cache",
             "--cache-cap",
+            "--cache-dir",
+            "cache stats",
             "--no-timing",
             "--emit-qdimacs",
             "--emit-blif",
@@ -287,6 +289,172 @@ fn work_budget_runs_are_byte_identical_across_jobs() {
     assert_eq!(base, run_with(&["--jobs", "2"]), "jobs=2");
     assert_eq!(base, run_with(&["--jobs", "3"]), "jobs=3");
     assert_eq!(base, run_with(&["--jobs", "2", "--no-cache"]), "no-cache");
+}
+
+/// A fresh, empty directory under the target tmp dir.
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("cli_smoke_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+#[test]
+fn bad_cache_dir_is_an_upfront_usage_error() {
+    let path = write_two_outputs("badcachedir");
+    let dir = tmp_dir("badcachedir");
+
+    // A regular file where the directory should be.
+    let file = dir.join("occupied");
+    std::fs::write(&file, "not a directory").expect("write blocker file");
+    let out = run(step()
+        .arg(&path)
+        .args(["--cache-dir", file.to_str().unwrap()]));
+    assert_eq!(out.status.code(), Some(2), "regular file");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("not a directory") && err.contains("usage: step"),
+        "why + usage on stderr: {err}"
+    );
+    // The run must not have started: an up-front check, not a
+    // post-solve surprise.
+    assert!(
+        String::from_utf8(out.stdout).unwrap().is_empty(),
+        "no output before the validation error"
+    );
+
+    // A path whose parent is a regular file cannot be created.
+    let nested = file.join("sub");
+    let out = run(step()
+        .arg(&path)
+        .args(["--cache-dir", nested.to_str().unwrap()]));
+    assert_eq!(out.status.code(), Some(2), "uncreatable path");
+
+    // A bare --cache-dir with no value is the usual usage error.
+    let out = run(step().arg(&path).arg("--cache-dir"));
+    assert_eq!(out.status.code(), Some(2), "bare --cache-dir");
+}
+
+#[test]
+fn cache_subcommand_usage_errors_exit_2() {
+    for bad in [
+        vec!["cache"],
+        vec!["cache", "frobnicate"],
+        vec!["cache", "stats"],
+        vec!["cache", "merge"],
+        vec!["cache", "merge", "only-out"],
+        vec!["cache", "verify"],
+    ] {
+        let out = run(step().args(&bad));
+        assert_eq!(out.status.code(), Some(2), "step {bad:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("usage: step"), "step {bad:?}: {err}");
+    }
+}
+
+#[test]
+fn cache_dir_warms_a_second_run_byte_identically() {
+    let path = write_two_outputs("warm");
+    let dir = tmp_dir("warm");
+    let run_with = |extra: &[&str]| -> String {
+        let mut cmd = step();
+        cmd.arg(&path).args([
+            "--model",
+            "qd",
+            "--no-timing",
+            "--cache-dir",
+            dir.to_str().unwrap(),
+        ]);
+        cmd.args(extra);
+        let out = run(&mut cmd);
+        assert!(out.status.success(), "stderr: {:?}", out.stderr);
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let cold = run_with(&[]);
+    let warm = run_with(&[]);
+    assert_eq!(cold, warm, "a warm run must answer byte-identically");
+    assert!(!warm.contains("store:"), "stats hidden under --no-timing");
+
+    // With timing on, the warm run reports nonzero disk hits.
+    let out = run(step()
+        .arg(&path)
+        .args(["--model", "qd", "--cache-dir", dir.to_str().unwrap()]));
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let text = String::from_utf8(out.stdout).unwrap();
+    let store_line = text
+        .lines()
+        .find(|l| l.starts_with("store:"))
+        .unwrap_or_else(|| panic!("store stats line in: {text}"));
+    assert!(
+        !store_line.contains("disk hits 0 results"),
+        "warm run serves results from disk: {store_line}"
+    );
+
+    // `step cache verify` agrees the store is healthy.
+    let out = run(step().args(["cache", "verify", dir.to_str().unwrap()]));
+    assert_eq!(out.status.code(), Some(0), "verify: {:?}", out.stderr);
+    let ok = String::from_utf8(out.stdout).unwrap();
+    assert!(ok.contains("ok"), "verify verdict: {ok}");
+}
+
+#[test]
+fn cache_merge_pools_stores_and_serves_both_histories() {
+    // Two runs with *different* result-relevant configs populate two
+    // separate stores; the merged store warm-starts both configs.
+    let path = write_two_outputs("merge");
+    let a = tmp_dir("merge_a");
+    let b = tmp_dir("merge_b");
+    let pooled = tmp_dir("merge_pooled");
+    let solve = |dir: &PathBuf, seed: &str| -> Output {
+        run(step().arg(&path).args([
+            "--model",
+            "qd",
+            "--seed",
+            seed,
+            "--cache-dir",
+            dir.to_str().unwrap(),
+        ]))
+    };
+    assert!(solve(&a, "1").status.success());
+    assert!(solve(&b, "2").status.success());
+
+    let out = run(step().args([
+        "cache",
+        "merge",
+        pooled.to_str().unwrap(),
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]));
+    assert!(out.status.success(), "merge: {:?}", out.stderr);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("2 adopted"), "both inputs adopted: {text}");
+
+    // Merging the same inputs again adopts nothing new (dedup by key).
+    let out = run(step().args([
+        "cache",
+        "merge",
+        pooled.to_str().unwrap(),
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]));
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("0 adopted"), "idempotent merge: {text}");
+
+    // The pooled store serves both seeds from disk.
+    for seed in ["1", "2"] {
+        let out = solve(&pooled, seed);
+        assert!(out.status.success(), "seed {seed}: {:?}", out.stderr);
+        let text = String::from_utf8(out.stdout).unwrap();
+        let store_line = text
+            .lines()
+            .find(|l| l.starts_with("store:"))
+            .unwrap_or_else(|| panic!("store stats line in: {text}"));
+        assert!(
+            !store_line.contains("disk hits 0 results"),
+            "seed {seed} warm from the pooled store: {store_line}"
+        );
+    }
 }
 
 #[test]
