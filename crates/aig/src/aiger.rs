@@ -44,6 +44,18 @@ pub fn parse(text: &str) -> Result<Aig, ParseError> {
     let l = parse_n(head[3], 1)?;
     let o = parse_n(head[4], 1)?;
     let a = parse_n(head[5], 1)?;
+    // Untrusted-input guard: every declared input/latch/output/AND
+    // takes at least one body line (≥ 2 bytes), so header counts that
+    // exceed the file size are lies — reject them before they drive
+    // `with_capacity` or node-creation loops into an allocation abort.
+    let declared = i
+        .checked_add(l)
+        .and_then(|t| t.checked_add(o))
+        .and_then(|t| t.checked_add(a))
+        .ok_or_else(|| ParseError::new(1, "header counts overflow"))?;
+    if declared > text.len() {
+        return Err(ParseError::new(1, "header counts exceed file size"));
+    }
 
     let mut aig = Aig::new();
     // AIGER var -> our literal (for the positive literal of that var).
@@ -259,6 +271,19 @@ pub fn parse_binary(bytes: &[u8]) -> Result<Aig, ParseError> {
     let l = parse_n(head[3])?;
     let o = parse_n(head[4])?;
     let a = parse_n(head[5])?;
+    // Untrusted-input guard, as in the ASCII reader. Latches, outputs
+    // and ANDs each take at least 2 body bytes; binary inputs are
+    // *implicit* (zero bytes), so allow generous slack for them — the
+    // bound only has to stop header lies from driving gigabyte
+    // allocations, not meter honest files precisely.
+    let declared = i
+        .checked_add(l)
+        .and_then(|t| t.checked_add(o))
+        .and_then(|t| t.checked_add(a))
+        .ok_or_else(|| ParseError::new(1, "header counts overflow"))?;
+    if declared > bytes.len().saturating_mul(8).saturating_add(1024) {
+        return Err(ParseError::new(1, "header counts exceed file size"));
+    }
 
     let mut pos = nl + 1;
     let read_line = |pos: &mut usize| -> Result<String, ParseError> {
@@ -269,7 +294,12 @@ pub fn parse_binary(bytes: &[u8]) -> Result<Aig, ParseError> {
         let s = std::str::from_utf8(&bytes[start..*pos])
             .map_err(|_| ParseError::new(0, "non-UTF8 text line"))?
             .to_owned();
-        *pos += 1;
+        // Step over the newline but never past EOF: a final line
+        // without one must not push `pos` out of range for the next
+        // call (found by the parser-hardening fuzz suite).
+        if *pos < bytes.len() {
+            *pos += 1;
+        }
         Ok(s)
     };
 

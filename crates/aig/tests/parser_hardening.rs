@@ -1,0 +1,148 @@
+//! Untrusted-input hardening for the circuit readers.
+//!
+//! The readers sit behind the network front-end (`step serve` accepts
+//! circuit uploads from remote clients), so malformed input must come
+//! back as a [`ParseError`], **never** a panic or an
+//! allocation-driven abort. The headline hazard this suite pins is
+//! AIGER header lies: `aag M I L O A` counts used to drive
+//! `Vec::with_capacity` and node-creation loops unchecked, so a
+//! 30-byte file could demand gigabytes. The suite fuzzes all four
+//! readers (BENCH, BLIF, ASCII AIGER, binary AIGER) with byte soup,
+//! format-shaped prefixes, truncations and point mutations of valid
+//! files, plus targeted regressions for the header bounds.
+
+use proptest::prelude::*;
+use step_aig::{aiger, bench_io, blif, Aig};
+
+/// Every reader must return (`Ok` or `Err`) on arbitrary bytes — a
+/// panic fails the test, an allocation abort kills the runner.
+fn all_readers_survive(bytes: &[u8]) {
+    let text = String::from_utf8_lossy(bytes);
+    let _ = bench_io::parse(&text);
+    let _ = blif::parse(&text);
+    let _ = aiger::parse(&text);
+    let _ = aiger::parse_binary(bytes);
+}
+
+/// A small valid circuit exercising inputs, sharing and negation.
+fn sample_circuit() -> Aig {
+    let mut aig = Aig::new();
+    let a = aig.add_input("a");
+    let b = aig.add_input("b");
+    let c = aig.add_input("c");
+    let ab = aig.and(a, b);
+    let bc = aig.and(b, c);
+    let f = aig.or(ab, bc);
+    aig.add_output("f", f);
+    aig.add_output("g", !ab);
+    aig
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pure byte soup.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..96)) {
+        all_readers_survive(&bytes);
+    }
+
+    /// Byte soup behind a format-shaped prefix, to get past the cheap
+    /// header rejections and into the body parsers.
+    #[test]
+    fn format_shaped_garbage_never_panics(
+        prefix in 0usize..6,
+        bytes in proptest::collection::vec(0u8..=255, 0..96),
+    ) {
+        let head: &[u8] = [
+            b"aag 9 2 1 2 4\n".as_slice(),
+            b"aig 9 2 1 2 4\n".as_slice(),
+            b"INPUT(a)\nOUTPUT(f)\n".as_slice(),
+            b".model m\n.inputs a b\n.outputs f\n".as_slice(),
+            b"aag ".as_slice(),
+            b"".as_slice(),
+        ][prefix];
+        let mut input = head.to_vec();
+        input.extend_from_slice(&bytes);
+        all_readers_survive(&input);
+    }
+
+    /// Truncations and point mutations of valid files in every format.
+    #[test]
+    fn corrupted_valid_files_never_panic(cut in 0usize..512, flip in 0usize..512, value in 0u8..=255) {
+        let aig = sample_circuit();
+        let files: [Vec<u8>; 4] = [
+            bench_io::write(&aig).into_bytes(),
+            blif::write(&aig, "m").into_bytes(),
+            aiger::write(&aig).into_bytes(),
+            aiger::write_binary(&aig),
+        ];
+        for file in files {
+            let mut truncated = file.clone();
+            truncated.truncate(cut % (file.len() + 1));
+            all_readers_survive(&truncated);
+            let mut mutated = file.clone();
+            let at = flip % file.len();
+            mutated[at] = value;
+            all_readers_survive(&mutated);
+        }
+    }
+}
+
+#[test]
+fn ascii_header_lies_are_rejected_fast() {
+    // Each lying count alone must trip the bound before any
+    // allocation: these calls return quickly with an error rather
+    // than attempting a gigabyte reservation.
+    for header in [
+        "aag 1000000000 1000000000 0 0 0\n",
+        "aag 1000000000 0 1000000000 0 0\n",
+        "aag 1000000000 0 0 1000000000 0\n",
+        "aag 1000000000 0 0 0 1000000000\n",
+    ] {
+        let err = aiger::parse(header).unwrap_err();
+        assert!(
+            err.to_string().contains("exceed file size"),
+            "{header:?} gave {err}"
+        );
+    }
+    // Counts that overflow a usize sum are their own error.
+    let overflow = format!("aag {0} {0} {0} {0} {0}\n", usize::MAX);
+    assert!(aiger::parse(&overflow).is_err());
+}
+
+#[test]
+fn binary_header_lies_are_rejected_fast() {
+    let err = aiger::parse_binary(b"aig 1000000000 1000000000 0 0 0\n").unwrap_err();
+    assert!(
+        err.to_string().contains("exceed file size"),
+        "binary header lie gave {err}"
+    );
+    let err = aiger::parse_binary(b"aig 1000000000 0 0 0 1000000000\n").unwrap_err();
+    assert!(err.to_string().contains("exceed file size"));
+}
+
+#[test]
+fn binary_varint_truncation_and_overflow_are_errors() {
+    // One AND declared; body is a dangling continuation-bit varint.
+    let mut truncated = b"aig 3 2 0 1 1\n6\n".to_vec();
+    truncated.push(0x80);
+    assert!(aiger::parse_binary(&truncated).is_err());
+    // A varint wider than 32 bits must error, not wrap.
+    let mut overflow = b"aig 3 2 0 1 1\n6\n".to_vec();
+    overflow.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff]);
+    assert!(aiger::parse_binary(&overflow).is_err());
+}
+
+#[test]
+fn honest_files_still_parse_after_the_bounds() {
+    let aig = sample_circuit();
+    let ascii = aiger::parse(&aiger::write(&aig)).expect("ascii round-trip");
+    assert_eq!(ascii.num_outputs(), 2);
+    let binary = aiger::parse_binary(&aiger::write_binary(&aig)).expect("binary round-trip");
+    assert_eq!(binary.num_outputs(), 2);
+    let bench = bench_io::parse(&bench_io::write(&aig)).expect("bench round-trip");
+    assert_eq!(bench.num_outputs(), 2);
+    let b = blif::parse(&blif::write(&aig, "m")).expect("blif round-trip");
+    assert_eq!(b.num_outputs(), 2);
+}

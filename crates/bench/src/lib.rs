@@ -99,6 +99,14 @@ pub struct HarnessOpts {
     /// Built by [`HarnessOpts::from_args`]; `None` falls back to the
     /// bare cache/bank attachment.
     pub store: Option<Arc<TieredStore>>,
+    /// Tenant name stamped into the BENCH JSON (`local` for in-process
+    /// harness runs; the `step serve` front-end substitutes the
+    /// client's tenant when it books records).
+    pub tenant: String,
+    /// Admission path stamped into the BENCH JSON: `direct` for
+    /// in-process harness runs, `served` when a network front-end
+    /// admitted the work.
+    pub admission: String,
 }
 
 impl Default for HarnessOpts {
@@ -124,6 +132,8 @@ impl Default for HarnessOpts {
             clause_bank: None,
             cache_dir: None,
             store: None,
+            tenant: "local".to_owned(),
+            admission: "direct".to_owned(),
         }
     }
 }
@@ -725,7 +735,16 @@ pub fn secs(d: Duration) -> String {
 ///   and `store_loaded` (records the store had loaded when the sweep
 ///   started). Warm and cold records answer identically — the fields
 ///   exist so trajectory tooling can tell the two cost profiles apart.
-pub const BENCH_SCHEMA_VERSION: u32 = 6;
+/// * v7 — service provenance for runs driven through the `step serve`
+///   front-end: `tenant` (whose quota the run was charged to; `local`
+///   for in-process runs), `queue_wait_s` (submission-to-first-claim
+///   wall seconds — the scheduling-latency component of `wall_s`,
+///   relevant when comparing records from loaded multi-tenant servers
+///   against idle local runs) and `admission` (`direct` for in-process
+///   runs, `served` for runs admitted over the wire). Per-output
+///   answers are identical on every path — these fields keep the cost
+///   profiles apart, like `jobs` and `disk_hits`.
+pub const BENCH_SCHEMA_VERSION: u32 = 7;
 
 /// One machine-readable row of a harness run: model × circuit with
 /// wall-clock and solver-call statistics plus the run provenance
@@ -817,6 +836,21 @@ pub struct BenchRecord {
     /// Records the persistent store had loaded when the sweep started
     /// (0 without `--cache-dir`) — warm-start provenance for the run.
     pub store_loaded: u64,
+    /// Tenant the run's work was charged to: `local` for in-process
+    /// harness runs, the client's tenant name for runs admitted by the
+    /// `step serve` front-end. Answers are tenant-independent; quotas
+    /// only decide *whether* a run was admitted, never its results.
+    pub tenant: String,
+    /// Submission-to-first-claim wall seconds
+    /// ([`CircuitResult::queue_wait`]) — the scheduling-latency
+    /// component of `wall_s`. Near zero on idle `--jobs 1` runs;
+    /// meaningful on loaded multi-tenant servers, where comparing raw
+    /// `wall_s` across records would conflate solving with waiting.
+    pub queue_wait_s: f64,
+    /// How the run entered the system: `direct` for in-process harness
+    /// runs, `served` for runs admitted over the wire by `step serve`.
+    /// Like `jobs`, documentation of the run, not of the results.
+    pub admission: String,
     /// Whether any budget expired.
     pub timed_out: bool,
 }
@@ -853,6 +887,9 @@ impl BenchRecord {
                 .as_ref()
                 .and_then(|s| s.disk())
                 .map_or(0, |d| d.loaded_records()),
+            tenant: opts.tenant.clone(),
+            queue_wait_s: r.queue_wait.as_secs_f64(),
+            admission: opts.admission.clone(),
             timed_out: r.timed_out,
         }
     }
@@ -885,6 +922,8 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
              \"cache_hits\": {}, \"cache_misses\": {}, \
              \"bank_hits\": {}, \"donated_clauses\": {}, \
              \"disk_hits\": {}, \"store_loaded\": {}, \
+             \"tenant\": \"{}\", \"queue_wait_s\": {:.6}, \
+             \"admission\": \"{}\", \
              \"timed_out\": {}}}{}\n",
             r.schema_version,
             json_escape(&r.model),
@@ -909,6 +948,9 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
             r.donated_clauses,
             r.disk_hits,
             r.store_loaded,
+            json_escape(&r.tenant),
+            r.queue_wait_s,
+            json_escape(&r.admission),
             r.timed_out,
             if i + 1 < records.len() { "," } else { "" }
         ));
@@ -1080,6 +1122,12 @@ pub fn parse_bench_records_json(text: &str) -> Result<Vec<BenchRecord>, String> 
             donated_clauses: number("donated_clauses")?,
             disk_hits: number("disk_hits")?,
             store_loaded: number("store_loaded")?,
+            tenant: string("tenant")?,
+            queue_wait_s: get("queue_wait_s")?
+                .0
+                .parse()
+                .map_err(|_| "bad `queue_wait_s`".to_owned())?,
+            admission: string("admission")?,
             timed_out: boolean("timed_out")?,
         });
         rest = open[end + 1..]
@@ -1197,6 +1245,10 @@ mod tests {
         // Schema-6 persistent-store provenance.
         assert_eq!(json.matches("\"disk_hits\": 0").count(), 2);
         assert_eq!(json.matches("\"store_loaded\": 0").count(), 2);
+        // Schema-7 service provenance.
+        assert_eq!(json.matches("\"tenant\": \"local\"").count(), 2);
+        assert_eq!(json.matches("\"admission\": \"direct\"").count(), 2);
+        assert_eq!(json.matches("\"queue_wait_s\": ").count(), 2);
     }
 
     #[test]
@@ -1214,6 +1266,9 @@ mod tests {
         let r = run_model(entry, Model::MusGroup, &opts);
         let mut rec = BenchRecord::of(Model::MusGroup, entry.name, &r, &opts);
         rec.circuit = "odd \"name\"\\with escapes".to_owned();
+        rec.tenant = "acme \"quoted\"".to_owned();
+        rec.admission = "served".to_owned();
+        rec.queue_wait_s = 0.125;
         let records = vec![
             rec,
             BenchRecord::of(Model::QbfDisjoint, entry.name, &r, &opts),
@@ -1248,9 +1303,15 @@ mod tests {
             assert_eq!(p.donated_clauses, w.donated_clauses);
             assert_eq!(p.disk_hits, w.disk_hits);
             assert_eq!(p.store_loaded, w.store_loaded);
+            assert_eq!(p.tenant, w.tenant, "tenant escapes survive the round trip");
+            assert_eq!(p.admission, w.admission);
             assert_eq!(p.timed_out, w.timed_out);
-            // The writer rounds wall_s to six decimals.
+            // The writer rounds wall_s (and queue_wait_s) to six decimals.
             assert!((p.wall_s - w.wall_s).abs() <= 5e-7, "wall_s to 1e-6");
+            assert!(
+                (p.queue_wait_s - w.queue_wait_s).abs() <= 5e-7,
+                "queue_wait_s to 1e-6"
+            );
         }
         // Empty arrays round-trip too.
         assert!(parse_bench_records_json("[\n]\n")

@@ -15,24 +15,38 @@
 //!   limits from what remains ([`EffortMeter::call_limits`]), so a
 //!   budgeted truncation falls on the same call at the same conflict
 //!   count on every machine.
-//! * [`WorkPool`] — the shared per-circuit work budget: an atomic pool
-//!   every output of a submission debits. The analogue of the shared
-//!   circuit deadline (and like it, scheduling-dependent under
-//!   `jobs > 1` — see the determinism notes below).
+//! * [`WorkPool`] — a saturating conflict pool. Each output job holds
+//!   a *private* pool carrying its reserved slice of the per-circuit
+//!   work budget (see [`WorkLedger`]); standalone callers may still
+//!   share one pool directly.
+//! * [`WorkLedger`] — the two-phase reservation ledger over the
+//!   per-circuit work budget: each output *reserves* its slice before
+//!   solving and *commits* its actual spend after, and the slice
+//!   handed out is, by construction, the one a sequential `jobs = 1`
+//!   run would have seen — which is what makes per-circuit `Work`
+//!   budgets deterministic at any worker count.
 //! * [`CircuitBudget`] — the circuit-scope limits a job carries: the
 //!   shared deadline (wall component, anchored at the submission's
-//!   first claim) plus the shared [`WorkPool`] (work component).
+//!   first claim) plus the output's work-pool slice (work component).
 //!
 //! **Determinism.** Per-output `Work` budgets are fully deterministic:
 //! each output's meter is private, so which outputs run out of budget
 //! — and the partial results they report — are byte-identical across
-//! machines, `--jobs` values and background load. The per-*circuit*
-//! work pool is debited in completion order, which under `jobs > 1`
-//! depends on scheduling (exactly like the shared wall deadline it
-//! parallels); at `jobs = 1` it too is deterministic.
+//! machines, `--jobs` values and background load. Per-*circuit* work
+//! budgets go through the [`WorkLedger`]: output `i`'s slice is
+//! `min(per-output cap, limit − Σ spend of outputs 0..i)`, a pure
+//! function of earlier outputs' (themselves deterministic) spends, so
+//! truncation verdicts match the sequential run byte for byte under
+//! `jobs > 1` too. The price is ordering: an output whose slice
+//! depends on its predecessors waits for their commits. With a finite
+//! per-output work cap `c` the wait only starts past the *independent
+//! prefix* (outputs `i` with `(i+1)·c ≤ limit`, whose slice is
+//! provably `c` no matter what predecessors spend); without one, the
+//! ledger serializes outputs — the documented price of a deterministic
+//! uncapped circuit pool.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use step_sat::EffortStats;
@@ -92,6 +106,121 @@ impl WorkPool {
                 Err(now) => cur = now,
             }
         }
+    }
+}
+
+/// The two-phase (reserve → commit) work-reservation ledger that makes
+/// per-circuit [`Budget::Work`] budgets deterministic under `jobs > 1`.
+///
+/// The ledger replays the sequential debit order: output `i`'s slice
+/// of the circuit pool is `limit − Σ_{j<i} spent_j`, exactly what a
+/// `jobs = 1` run's shared pool would hold when output `i` starts.
+/// Workers therefore:
+///
+/// 1. [`reserve`](WorkLedger::reserve) their output's slice (blocking
+///    until it is deterministic — see below), wrap it in a private
+///    [`WorkPool`] and solve under it;
+/// 2. [`commit`](WorkLedger::commit) the actual conflicts spent
+///    (commit `0` on every skip path — cancellation, drains, panics —
+///    so blocked reservations always wake).
+///
+/// **Independent prefix.** With a finite per-output work cap `c`, no
+/// output can spend more than `c`, so every output `i` with
+/// `(i+1)·c ≤ limit` provably still finds at least `c` in the pool —
+/// its slice is `c` regardless of scheduling, and `reserve` returns
+/// immediately. Past that prefix (and always, without a per-output
+/// cap) `reserve(i)` waits until outputs `0..i` have committed, which
+/// serializes the tail: determinism is bought with ordering, never
+/// with changed answers.
+#[derive(Debug)]
+pub struct WorkLedger {
+    /// The per-circuit work budget being sliced.
+    limit: u64,
+    /// The per-output work cap bounding any single output's spend —
+    /// the invariant the independent-prefix fast path rests on.
+    per_output_cap: Option<u64>,
+    state: Mutex<LedgerState>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+struct LedgerState {
+    /// Committed spend per output index (`None` = outstanding).
+    committed: Vec<Option<u64>>,
+    /// First index without a committed spend; `reserve(i)` outside the
+    /// independent prefix waits for this to reach `i`.
+    prefix: usize,
+}
+
+impl WorkLedger {
+    /// A ledger slicing `limit` conflicts across `n_out` outputs whose
+    /// individual spends are bounded by `per_output_cap` (the work
+    /// component of the per-output budget, if any).
+    pub fn new(limit: u64, per_output_cap: Option<u64>, n_out: usize) -> Self {
+        WorkLedger {
+            limit,
+            per_output_cap,
+            state: Mutex::new(LedgerState {
+                committed: vec![None; n_out],
+                prefix: 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Reserves output `idx`'s slice of the circuit pool: the
+    /// conflicts a sequential run would find remaining when this
+    /// output starts. Blocks until the slice is deterministic (never
+    /// for outputs in the independent prefix, nor once every earlier
+    /// output has committed).
+    pub fn reserve(&self, idx: usize) -> u64 {
+        if self.limit == 0 {
+            return 0;
+        }
+        if let Some(cap) = self.per_output_cap {
+            let fits = (idx as u64)
+                .checked_add(1)
+                .and_then(|k| k.checked_mul(cap))
+                .is_some_and(|need| need <= self.limit);
+            if fits {
+                // Predecessors each spend at most `cap`, so at least
+                // `cap` of the pool provably survives to this output
+                // whatever they do. The `max(1)` keeps a zero cap from
+                // reading as an exhausted *circuit* pool: the
+                // per-output meter enforces the zero, exactly as it
+                // would against the true (positive) pool remainder.
+                return cap.max(1);
+            }
+        }
+        let mut st = self.state.lock().expect("work ledger lock");
+        while st.prefix < idx {
+            st = self.ready.wait(st).expect("work ledger lock");
+        }
+        let spent: u64 = st.committed[..idx].iter().map(|c| c.unwrap_or(0)).sum();
+        self.limit.saturating_sub(spent)
+    }
+
+    /// Commits output `idx`'s actual spend (its meter's conflict
+    /// count; `0` for skipped, cancelled or failed outputs), waking
+    /// reservations waiting on it. Idempotent — the first commit for
+    /// an index wins, so racing a cancellation drain is harmless.
+    pub fn commit(&self, idx: usize, spent: u64) {
+        // Cap at the per-output cap: the meter already bounds real
+        // spend this way, and the independent-prefix grant depends on
+        // the invariant.
+        let spent = match self.per_output_cap {
+            Some(cap) => spent.min(cap),
+            None => spent,
+        };
+        let mut st = self.state.lock().expect("work ledger lock");
+        if idx >= st.committed.len() || st.committed[idx].is_some() {
+            return;
+        }
+        st.committed[idx] = Some(spent);
+        while st.prefix < st.committed.len() && st.committed[st.prefix].is_some() {
+            st.prefix += 1;
+        }
+        self.ready.notify_all();
     }
 }
 
@@ -315,6 +444,71 @@ mod tests {
         assert_eq!(limits.conflicts, Some(2), "per-call limit can be tighter");
         let limits = m.call_limits(Budget::Unlimited);
         assert_eq!(limits.conflicts, Some(3), "meter limits apply regardless");
+    }
+
+    #[test]
+    fn ledger_replays_the_sequential_debit_order() {
+        // limit 10, per-output cap 4: outputs 0 and 1 are in the
+        // independent prefix ((i+1)*4 <= 10); output 2 gets what the
+        // sequential run would leave it; output 3 gets the rest.
+        let ledger = WorkLedger::new(10, Some(4), 4);
+        assert_eq!(ledger.reserve(0), 4);
+        assert_eq!(ledger.reserve(1), 4, "independent prefix needs no waits");
+        ledger.commit(0, 3);
+        ledger.commit(1, 4);
+        assert_eq!(ledger.reserve(2), 3, "10 - (3 + 4)");
+        ledger.commit(2, 3);
+        assert_eq!(ledger.reserve(3), 0, "pool exhausted, output skipped");
+        ledger.commit(3, 0);
+    }
+
+    #[test]
+    fn ledger_reservation_waits_for_predecessor_commits() {
+        // No per-output cap: reserve(1) must block until output 0
+        // commits (the serialized tail).
+        let ledger = Arc::new(WorkLedger::new(100, None, 2));
+        let l2 = Arc::clone(&ledger);
+        let waiter = std::thread::spawn(move || l2.reserve(1));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "reserve(1) must wait for commit(0)");
+        ledger.commit(0, 60);
+        assert_eq!(waiter.join().unwrap(), 40);
+    }
+
+    #[test]
+    fn ledger_commit_is_idempotent_and_first_wins() {
+        let ledger = WorkLedger::new(10, None, 2);
+        assert_eq!(ledger.reserve(0), 10);
+        ledger.commit(0, 4);
+        ledger.commit(0, 9); // a racing second commit is ignored
+        assert_eq!(ledger.reserve(1), 6);
+    }
+
+    #[test]
+    fn ledger_zero_cap_grant_does_not_fake_circuit_exhaustion() {
+        // A per-output cap of 0 means every output's own meter trips
+        // immediately, but the *circuit* pool is untouched: the grant
+        // must stay positive so expired() reflects the real pool.
+        let ledger = WorkLedger::new(10, Some(0), 3);
+        let slice = ledger.reserve(2);
+        assert!(slice >= 1);
+        let circuit = CircuitBudget {
+            deadline: None,
+            work: Some(Arc::new(WorkPool::new(slice))),
+        };
+        assert!(!circuit.expired());
+        let m = EffortMeter::new(Instant::now(), Budget::Work(0), &circuit);
+        assert!(
+            m.exhausted(),
+            "the per-output meter still enforces the zero"
+        );
+    }
+
+    #[test]
+    fn ledger_zero_limit_is_exhausted_for_every_output() {
+        let ledger = WorkLedger::new(0, Some(5), 2);
+        assert_eq!(ledger.reserve(0), 0);
+        assert_eq!(ledger.reserve(1), 0);
     }
 
     #[test]

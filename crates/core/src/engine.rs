@@ -42,7 +42,7 @@ use step_sat::EffortStats;
 
 use crate::cache::{CacheLookup, ResultCache};
 use crate::clause_bank::{BankLookup, ClauseBank, ReuseCtx};
-use crate::effort::CircuitBudget;
+use crate::effort::{CircuitBudget, WorkLedger, WorkPool};
 use crate::extract::Decomposition;
 use crate::job::OutputJob;
 use crate::partition::VarPartition;
@@ -140,6 +140,11 @@ pub struct OutputResult {
     /// (results, clause snapshots and probe certificates alike; always
     /// zero without a [`DecompConfig::cache_dir`]).
     pub disk_hits: u64,
+    /// The cone's canonical fingerprint hash (the cache/store key),
+    /// when the solve got far enough to canonicalize — the exact-match
+    /// key of the service's cost model. `None` for trivial cones and
+    /// budget-skipped outputs.
+    pub fingerprint: Option<u128>,
 }
 
 impl OutputResult {
@@ -165,6 +170,7 @@ impl OutputResult {
             imported_clauses: 0,
             donated_clauses: 0,
             disk_hits: 0,
+            fingerprint: None,
         }
     }
 
@@ -191,6 +197,10 @@ pub struct CircuitResult {
     pub outputs: Vec<OutputResult>,
     /// Total wall-clock time.
     pub cpu: Duration,
+    /// Time the submission sat queued before its first output was
+    /// claimed (always zero on the inline `jobs <= 1` path) — the
+    /// provenance signal behind the bench harness's `queue_wait_s`.
+    pub queue_wait: Duration,
     /// A budget expired somewhere (the circuit deadline, or any
     /// per-output budget).
     pub timed_out: bool,
@@ -475,7 +485,17 @@ impl BiDecomposer {
             // tight benchmark loops) pays no thread spawn. Same claim
             // logic, same fail-fast semantics, same results.
             let aig = owned.as_ref().unwrap_or(circuit);
-            let circuit = CircuitBudget::anchored(self.config.budget.per_circuit, start);
+            let deadline = self.config.budget.per_circuit.wall().map(|d| start + d);
+            // The per-circuit work budget goes through the same
+            // two-phase ledger the service uses (reservations never
+            // block here — commits land in index order), so inline and
+            // service runs share one debit order by construction.
+            let ledger = self
+                .config
+                .budget
+                .per_circuit
+                .work()
+                .map(|w| WorkLedger::new(w, self.config.budget.per_output.work(), n_out));
             // One oracle pool for the whole circuit run, so the inline
             // path reuses exactly like a one-worker service would.
             let store = self.effective_store()?;
@@ -483,6 +503,12 @@ impl BiDecomposer {
             let mut outputs = Vec::with_capacity(n_out);
             let mut timed_out = false;
             for idx in 0..n_out {
+                let circuit = CircuitBudget {
+                    deadline,
+                    work: ledger
+                        .as_ref()
+                        .map(|l| Arc::new(WorkPool::new(l.reserve(idx)))),
+                };
                 let r = run_queued(
                     aig,
                     &self.config,
@@ -492,6 +518,9 @@ impl BiDecomposer {
                     op,
                     &circuit,
                 )?;
+                if let Some(l) = &ledger {
+                    l.commit(idx, r.effort.conflicts);
+                }
                 timed_out |= r.timed_out;
                 outputs.push(r);
             }
@@ -499,6 +528,7 @@ impl BiDecomposer {
             return Ok(CircuitResult {
                 outputs,
                 cpu: start.elapsed(),
+                queue_wait: Duration::ZERO,
                 timed_out,
             });
         }

@@ -52,7 +52,12 @@
 //!   surfaces (results, clause donations, probe certificates) behind
 //!   one get/put/scan interface, with the in-memory structures as
 //!   tier 0 and an optional persistent, mergeable disk tier
-//!   ([`DecompConfig::cache_dir`]) that warm-starts later runs.
+//!   ([`DecompConfig::cache_dir`]) that warm-starts later runs;
+//! * [`predict`] / [`tenant`] — the multi-tenant layer under the
+//!   `step-serve` network front-end: a conflict-cost estimator
+//!   (fingerprint history + support-bucket EWMAs) feeding the
+//!   service's deficit-round-robin fair-share pop, and the per-tenant
+//!   quota ledger behind admission control.
 //!
 //! See the crate-level example on [`BiDecomposer`].
 
@@ -68,6 +73,7 @@ pub mod network;
 pub mod optimum;
 pub mod oracle;
 pub mod partition;
+pub mod predict;
 pub mod qbf_model;
 pub mod qdimacs_export;
 pub mod service;
@@ -75,23 +81,28 @@ pub mod session;
 pub mod spec;
 pub mod store;
 pub mod strategy;
+pub mod tenant;
 pub mod verify;
 
 pub use cache::{CacheKey, CacheLookup, CachedResult, ResultCache};
 pub use clause_bank::{BankHit, BankKey, BankLookup, ClauseBank, OraclePool, ReuseCtx};
-pub use effort::{CallLimits, CircuitBudget, EffortMeter, WorkPool};
+pub use effort::{CallLimits, CircuitBudget, EffortMeter, WorkLedger, WorkPool};
 pub use engine::{BiDecomposer, CircuitResult, OutputResult, StepError};
 pub use extract::{extract, extract_by_quantification, Decomposition, ExtractError};
 pub use job::{cone_seed, OutputJob};
 pub use network::{decompose_tree, DecompTree, TreeNode, TreeOptions};
 pub use partition::{VarClass, VarPartition};
-pub use service::{OutputEvent, StepService, SubmissionHandle, SubmissionId};
+pub use predict::CostModel;
+pub use service::{
+    Canceller, OutputEvent, StepService, SubmissionHandle, SubmissionId, SubmitOptions,
+};
 pub use session::SolveSession;
 pub use spec::{Budget, BudgetPolicy, DecompConfig, GateOp, Model, SearchStrategy};
 pub use store::{
     Artifact, ArtifactKey, ArtifactKind, ArtifactStore, ClausePayload, ConfigKey, DiskTier,
     Namespace, StoreHit, TieredStore,
 };
+pub use tenant::{OverQuota, TenantLedger, WorkReservation};
 // The effort-counter vocabulary is shared with the solver layers, as
 // is the restart-policy knob `DecompConfig::sat_restarts` takes.
 pub use step_sat::{EffortStats, RestartPolicy};
@@ -121,6 +132,13 @@ const _: fn() = || {
     assert_sync::<DiskTier>();
     assert_send::<SubmissionHandle>();
     assert_send::<OutputEvent>();
+    // The multi-tenant layer: the ledger and cost model are shared by
+    // every serve connection thread; cancellers migrate to readers.
+    assert_sync::<TenantLedger>();
+    assert_sync::<CostModel>();
+    assert_sync::<WorkLedger>();
+    assert_send::<Canceller>();
+    assert_sync::<Canceller>();
     assert_send::<oracle::PartitionOracle>();
     assert_send::<OutputResult>();
     assert_send::<StepError>();

@@ -37,18 +37,36 @@
 //!   the pool immediately moves on to other submissions — cancelling
 //!   one job never wedges the service.
 //!
+//! **Multi-tenant scheduling.** [`StepService::submit_with`] tags a
+//! submission with a tenant name and a predicted cost
+//! ([`SubmitOptions`]). Among queued *deadline-less, unstarted*
+//! submissions from two or more distinct tenants, the pop switches
+//! from FIFO to **deficit round-robin**: tenants take turns, each
+//! turn's deficit grows by a quantum derived from the queued head
+//! costs, and a tenant's cheapest head runs when its deficit covers
+//! it — so a tenant flooding the queue with expensive circuits cannot
+//! starve another's small ones. Costs come from the
+//! [`CostModel`] (fingerprint history and
+//! support-bucket EWMAs learned from every completed solve). Untagged
+//! submissions keep plain FIFO among themselves and participate in
+//! the rotation as one anonymous group. Started submissions still
+//! drain first and explicit deadlines still beat everything unstarted
+//! — fairness reorders the idle tail, never a ticking budget.
+//!
 //! **Determinism.** Per-output results are a pure function of
 //! `(cone, op, config)` (canonical solving order + fingerprint-derived
 //! sim seeds, see [`crate::session`]), so a service with any worker
 //! count returns byte-identical per-output results — `jobs = 1` ≡
 //! `jobs = N`, with or without the shared [`ResultCache`], queued
 //! behind any other submissions. The per-circuit budget anchors when
-//! a submission's *first* output is claimed, not at submit time (its
-//! work component is a pool only this submission's outputs debit), so
-//! queue wait never eats a submission's budget; under a pure
-//! [`Budget::Work`](crate::spec::Budget::Work) per-output budget even
-//! truncation verdicts are identical for any worker count (see
-//! [`crate::effort`]).
+//! a submission's *first* output is claimed, not at submit time, so
+//! queue wait never eats a submission's budget; its work component is
+//! sliced per output through a two-phase
+//! [`WorkLedger`] reservation that replays
+//! the sequential debit order, so under pure
+//! [`Budget::Work`](crate::spec::Budget::Work) budgets — per-output
+//! *and* per-circuit — even truncation verdicts are identical for any
+//! worker count (see [`crate::effort`]).
 //!
 //! **Fault containment.** A panicking solve is caught at the pool
 //! boundary ([`std::panic::catch_unwind`]) and surfaced as
@@ -58,7 +76,7 @@
 //! [`BiDecomposer::decompose_circuit`]: crate::BiDecomposer::decompose_circuit
 //! [`OutputJob`]: crate::job::OutputJob
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -69,10 +87,11 @@ use std::time::Instant;
 
 use step_aig::Aig;
 
-use crate::cache::ResultCache;
+use crate::cache::{CacheLookup, ResultCache};
 use crate::clause_bank::{ClauseBank, ReuseCtx};
-use crate::effort::{CircuitBudget, WorkPool};
+use crate::effort::{CircuitBudget, WorkLedger, WorkPool};
 use crate::engine::{run_queued, CircuitResult, OutputResult, StepError};
+use crate::predict::CostModel;
 use crate::spec::{DecompConfig, GateOp};
 use crate::store::TieredStore;
 
@@ -102,6 +121,26 @@ pub struct OutputEvent {
     pub result: Result<OutputResult, StepError>,
 }
 
+/// Per-submission scheduling options for
+/// [`StepService::submit_with`]: everything [`StepService::submit`]
+/// defaults, in one bag.
+#[derive(Clone, Debug, Default)]
+pub struct SubmitOptions {
+    /// Absolute completion deadline (EDF queue priority; outputs not
+    /// solved by it report as timed out). Only ever tightens the
+    /// per-circuit budget.
+    pub deadline: Option<Instant>,
+    /// The submitting tenant, for deficit-round-robin fair-share
+    /// ordering against other tenants' queued work. `None` keeps the
+    /// legacy FIFO behaviour.
+    pub tenant: Option<Arc<str>>,
+    /// Predicted total conflicts for this submission. `None` asks the
+    /// service to estimate from its [`CostModel`] (support-size walk
+    /// over every output); ignored for untagged submissions, which do
+    /// not participate in cost-aware ordering.
+    pub cost_hint: Option<u64>,
+}
+
 /// How a submission's circuit-wide deadline is derived.
 enum DeadlinePolicy {
     /// `first claim + config.budget.per_circuit` (the legacy rule).
@@ -120,10 +159,20 @@ struct Submission {
     op: GateOp,
     config: DecompConfig,
     deadline_policy: DeadlinePolicy,
-    /// The work component of the per-circuit budget: a pool shared by
-    /// every output of this submission, debited as they solve. Created
-    /// at submit (work needs no anchoring — queue wait costs none).
-    work_pool: Option<Arc<WorkPool>>,
+    /// The work component of the per-circuit budget: a two-phase
+    /// reservation ledger slicing the budget across outputs in
+    /// sequential order, so truncation verdicts are deterministic at
+    /// any worker count. Created at submit (work needs no anchoring —
+    /// queue wait costs none).
+    ledger: Option<Arc<WorkLedger>>,
+    /// The submitting tenant, if the caller tagged one
+    /// ([`SubmitOptions::tenant`]) — the deficit-round-robin grouping
+    /// key.
+    tenant: Option<Arc<str>>,
+    /// Predicted total conflicts (0 for untagged submissions, which
+    /// keep pure FIFO order) — the cost-aware ordering key and the
+    /// DRR deficit currency.
+    cost: u64,
     /// Anchored when the first output is claimed (so queue wait does
     /// not consume the per-circuit budget).
     started: OnceLock<Instant>,
@@ -152,10 +201,13 @@ struct Submission {
 }
 
 impl Submission {
-    /// The circuit-scope limits, anchoring the wall component of the
-    /// per-circuit budget at the first claim (the work pool was
-    /// created at submit; it needs no anchor).
-    fn circuit_budget(&self) -> CircuitBudget {
+    /// The circuit-scope limits for output `idx`, anchoring the wall
+    /// component of the per-circuit budget at the first claim. The
+    /// work component is this output's slice of the per-circuit pool,
+    /// reserved from the [`WorkLedger`] (may block until predecessors
+    /// commit — see [`crate::effort`]) and wrapped in a private
+    /// [`WorkPool`] so the session's meter needs no new plumbing.
+    fn circuit_budget_for(&self, idx: usize) -> CircuitBudget {
         let start = *self.started.get_or_init(Instant::now);
         let budget = self.config.budget.per_circuit.wall().map(|d| start + d);
         let deadline = match self.deadline_policy {
@@ -165,9 +217,18 @@ impl Submission {
                 None => d,
             }),
         };
-        CircuitBudget {
-            deadline,
-            work: self.work_pool.clone(),
+        let work = self
+            .ledger
+            .as_ref()
+            .map(|l| Arc::new(WorkPool::new(l.reserve(idx))));
+        CircuitBudget { deadline, work }
+    }
+
+    /// Commits output `idx`'s spend to the work ledger (0 on every
+    /// skip path, so blocked reservations always wake).
+    fn commit_work(&self, idx: usize, spent: u64) {
+        if let Some(ledger) = &self.ledger {
+            ledger.commit(idx, spent);
         }
     }
 
@@ -184,8 +245,15 @@ impl Submission {
 
     /// The queue ordering key (smaller claims first): *started*
     /// submissions drain before anything else starts, then earliest
-    /// explicit deadline (deadlined before deadline-less), then FIFO
-    /// by id.
+    /// explicit deadline (deadlined before deadline-less), then
+    /// predicted cost (cheapest first; always 0 for untagged
+    /// submissions, so they keep pure FIFO), then submission id.
+    ///
+    /// The trailing id is the documented deterministic tie-break: ids
+    /// are monotone per service, so two submissions with equal
+    /// deadlines (or equal costs, or none of either) are always
+    /// claimed in submission order — the pop is a total order with no
+    /// scheduling-dependent coin flips.
     ///
     /// The started-first rule makes the EDF pop **non-preemptive**: a
     /// submission's per-circuit budget anchors at its first claim, so
@@ -193,15 +261,19 @@ impl Submission {
     /// deadline) arrivals jump ahead would bill the started submission
     /// for time it never got — the starvation the budget anchoring
     /// exists to prevent. Until that first claim, jumping the queue is
-    /// free, which is exactly the window EDF reorders.
+    /// free, which is exactly the window EDF (and the deficit
+    /// round-robin layered above it, see the module docs) reorders.
     #[allow(clippy::type_complexity)]
-    fn queue_rank(&self) -> (bool, u8, Option<Instant>, u64) {
+    fn queue_rank(&self) -> (bool, u8, Option<Instant>, u64, u64) {
         // `false < true`, so started submissions (some claim handed
         // out) rank first.
         let unstarted = self.next.load(Ordering::Acquire) == 0;
+        // Cost participates only for tenant-tagged submissions:
+        // untagged ones promised FIFO, and their cost field is 0.
+        let cost = if self.tenant.is_some() { self.cost } else { 0 };
         match self.queue_deadline() {
-            Some(d) => (unstarted, 0, Some(d), self.id.0),
-            None => (unstarted, 1, None, self.id.0),
+            Some(d) => (unstarted, 0, Some(d), cost, self.id.0),
+            None => (unstarted, 1, None, cost, self.id.0),
         }
     }
 
@@ -237,22 +309,132 @@ impl Submission {
     }
 
     /// Claims and skips every remaining output (cancellation path).
+    /// Each skipped index commits zero spend to the work ledger so
+    /// reservations blocked on it wake up.
     fn drain_cancelled(&self) {
         loop {
             let idx = self.next.fetch_add(1, Ordering::AcqRel);
             if idx >= self.n_out {
                 break;
             }
+            self.commit_work(idx, 0);
             self.send_event(idx, Err(StepError::Cancelled));
         }
     }
 }
 
+/// Deficit-round-robin bookkeeping for tenant fair-share (guarded by
+/// the queue mutex; `None` keys are the anonymous untagged group).
+#[derive(Default)]
+struct DrrState {
+    /// Tenant visiting order; the front is served next, a served
+    /// tenant rotates to the back.
+    rotation: VecDeque<Option<Arc<str>>>,
+    /// Unspent credit per tenant, in predicted conflicts. Removed
+    /// (reset to zero) whenever a tenant's queue empties — the classic
+    /// DRR rule that stops idle tenants from banking unbounded credit.
+    deficit: HashMap<Option<Arc<str>>, u64>,
+}
+
+/// The submission queue plus the scheduling state that must move in
+/// lockstep with it.
+struct QueueState {
+    items: VecDeque<Arc<Submission>>,
+    drr: DrrState,
+}
+
+/// Picks the queue index to claim from next, or `None` when idle:
+/// started submissions first, then EDF among deadlined unstarted
+/// ones, then — when two or more distinct tenants have deadline-less
+/// unstarted work queued — deficit round-robin across tenants;
+/// otherwise the plain rank order (FIFO for untagged, cheapest-first
+/// within a single tenant).
+fn select_next(state: &mut QueueState) -> Option<usize> {
+    let items = &state.items;
+    let mut best: Option<usize> = None;
+    for (i, s) in items.iter().enumerate() {
+        if best.is_none_or(|b| s.claims_before(&items[b])) {
+            best = Some(i);
+        }
+    }
+    let b = best?;
+    let (unstarted, group, ..) = items[b].queue_rank();
+    if !unstarted || group == 0 {
+        // A started submission is draining, or a deadline is in play:
+        // fairness never overrides either.
+        return Some(b);
+    }
+    // Head (best-ranked submission) and its cost per tenant group
+    // among the deadline-less unstarted candidates.
+    let mut heads: Vec<(Option<Arc<str>>, usize)> = Vec::new();
+    for (i, s) in items.iter().enumerate() {
+        let (unstarted, group, ..) = s.queue_rank();
+        if !unstarted || group != 1 {
+            continue;
+        }
+        match heads.iter_mut().find(|(t, _)| *t == s.tenant) {
+            Some((_, head)) => {
+                if s.claims_before(&items[*head]) {
+                    *head = i;
+                }
+            }
+            None => heads.push((s.tenant.clone(), i)),
+        }
+    }
+    let tenants = heads.iter().filter(|(t, _)| t.is_some()).count();
+    if tenants < 2 {
+        return Some(b);
+    }
+    let drr = &mut state.drr;
+    // Tenants with nothing queued leave the rotation and forfeit any
+    // banked deficit; new ones join at the back in first-seen order.
+    drr.rotation.retain(|t| heads.iter().any(|(ht, _)| ht == t));
+    drr.deficit
+        .retain(|t, _| heads.iter().any(|(ht, _)| ht == t));
+    for (t, _) in &heads {
+        if !drr.rotation.contains(t) {
+            drr.rotation.push_back(t.clone());
+        }
+    }
+    let cost_of = |i: usize| {
+        if items[i].tenant.is_some() {
+            items[i].cost
+        } else {
+            0
+        }
+    };
+    let min_cost = heads.iter().map(|&(_, i)| cost_of(i)).min().unwrap_or(0);
+    let max_cost = heads.iter().map(|&(_, i)| cost_of(i)).max().unwrap_or(0);
+    // Large enough that the cheapest queued head always fits within
+    // one visit, and that even the dearest fits within ~64 rotations.
+    let quantum = 1u64.max(min_cost).max(max_cost / 64);
+    loop {
+        let tenant = drr.rotation.front().cloned().expect("nonempty rotation");
+        let head = heads
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|&(_, i)| i)
+            .expect("rotation pruned to queued tenants");
+        let credit = drr.deficit.entry(tenant).or_insert(0);
+        *credit = credit.saturating_add(quantum);
+        if cost_of(head) <= *credit {
+            *credit -= cost_of(head);
+            drr.rotation.rotate_left(1);
+            return Some(head);
+        }
+        drr.rotation.rotate_left(1);
+    }
+}
+
 /// State shared between the service front-end and its workers.
 struct ServiceShared {
-    queue: Mutex<VecDeque<Arc<Submission>>>,
+    queue: Mutex<QueueState>,
     work: Condvar,
     shutdown: AtomicBool,
+    /// Conflict-cost estimator fed by every completed solve; prices
+    /// untagged cost estimates at submit and the serve front-end's
+    /// admission charges.
+    cost_model: Arc<CostModel>,
     /// The tiered artifact store every session of every submission
     /// routes through: the service-wide result cache and clause bank
     /// as tier 0 (either may be absent — a store without a bank gives
@@ -352,9 +534,13 @@ impl StepService {
     /// [`flush`](StepService::flush)).
     pub fn spawn_with_store(workers: usize, store: Arc<TieredStore>) -> Self {
         let shared = Arc::new(ServiceShared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                drr: DrrState::default(),
+            }),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            cost_model: Arc::new(CostModel::new()),
             store,
             next_id: AtomicU64::new(0),
         });
@@ -391,6 +577,26 @@ impl StepService {
         &self.shared.store
     }
 
+    /// The conflict-cost estimator this service learns from every
+    /// completed solve — serve front-ends price admission charges with
+    /// it.
+    pub fn cost_model(&self) -> &Arc<CostModel> {
+        &self.shared.cost_model
+    }
+
+    /// Number of submissions queued but not yet started (no output
+    /// claimed) — the admission-control depth signal.
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("service queue lock")
+            .items
+            .iter()
+            .filter(|s| s.next.load(Ordering::Acquire) == 0)
+            .count()
+    }
+
     /// Flushes the store's dirty persistent-tier entries now (also
     /// done automatically at shutdown); returns the number of records
     /// appended (always 0 without a disk tier).
@@ -420,8 +626,25 @@ impl StepService {
         op: GateOp,
         config: DecompConfig,
     ) -> Result<SubmissionHandle, StepError> {
+        self.submit_with(circuit, op, config, SubmitOptions::default())
+    }
+
+    /// [`submit`](StepService::submit) with explicit scheduling
+    /// options: an absolute deadline, a tenant tag for fair-share
+    /// ordering, and/or a predicted cost (see [`SubmitOptions`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StepError::Internal`] if the combinational conversion fails.
+    pub fn submit_with(
+        &self,
+        circuit: &Aig,
+        op: GateOp,
+        config: DecompConfig,
+        options: SubmitOptions,
+    ) -> Result<SubmissionHandle, StepError> {
         let aig = Self::comb_arc(circuit)?;
-        self.submit_inner(aig, op, config, DeadlinePolicy::Budget)
+        self.submit_inner(aig, op, config, options)
     }
 
     /// Like [`submit`](StepService::submit), but shares an
@@ -442,7 +665,27 @@ impl StepService {
         if !circuit.is_comb() {
             return Err(StepError::NotCombinational);
         }
-        self.submit_inner(circuit, op, config, DeadlinePolicy::Budget)
+        self.submit_inner(circuit, op, config, SubmitOptions::default())
+    }
+
+    /// [`submit_shared`](StepService::submit_shared) with explicit
+    /// scheduling options ([`SubmitOptions`]) — the serve front-end's
+    /// entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`StepError::NotCombinational`] if the circuit has latches.
+    pub fn submit_shared_with(
+        &self,
+        circuit: Arc<Aig>,
+        op: GateOp,
+        config: DecompConfig,
+        options: SubmitOptions,
+    ) -> Result<SubmissionHandle, StepError> {
+        if !circuit.is_comb() {
+            return Err(StepError::NotCombinational);
+        }
+        self.submit_inner(circuit, op, config, options)
     }
 
     /// Like [`submit`](StepService::submit), with an absolute
@@ -457,8 +700,15 @@ impl StepService {
         config: DecompConfig,
         deadline: Instant,
     ) -> Result<SubmissionHandle, StepError> {
-        let aig = Self::comb_arc(circuit)?;
-        self.submit_inner(aig, op, config, DeadlinePolicy::Explicit(deadline))
+        self.submit_with(
+            circuit,
+            op,
+            config,
+            SubmitOptions {
+                deadline: Some(deadline),
+                ..SubmitOptions::default()
+            },
+        )
     }
 
     /// Clones `circuit` (converting combinationally if needed) into
@@ -484,16 +734,34 @@ impl StepService {
         aig: Arc<Aig>,
         op: GateOp,
         config: DecompConfig,
-        deadline_policy: DeadlinePolicy,
+        options: SubmitOptions,
     ) -> Result<SubmissionHandle, StepError> {
         let submitted = Instant::now();
         let n_out = aig.num_outputs();
         let (tx, rx) = channel();
-        let work_pool = config
+        let ledger = config
             .budget
             .per_circuit
             .work()
-            .map(|w| Arc::new(WorkPool::new(w)));
+            .map(|w| Arc::new(WorkLedger::new(w, config.budget.per_output.work(), n_out)));
+        let deadline_policy = options
+            .deadline
+            .map_or(DeadlinePolicy::Budget, DeadlinePolicy::Explicit);
+        // Cost-aware ordering only applies to tenant-tagged
+        // submissions; the estimate is the caller's hint, else a
+        // support-size walk priced by the service's cost model.
+        let cost = match &options.tenant {
+            Some(_) => options.cost_hint.unwrap_or_else(|| {
+                aig.outputs()
+                    .iter()
+                    .map(|o| {
+                        let support = aig.support(o.lit()).len();
+                        self.shared.cost_model.predict(None, support)
+                    })
+                    .sum()
+            }),
+            None => 0,
+        };
         let reuse = config.clause_reuse.then(|| self.shared.store.reuse_ctx());
         let sub = Arc::new(Submission {
             id: SubmissionId(self.shared.next_id.fetch_add(1, Ordering::Relaxed)),
@@ -501,7 +769,9 @@ impl StepService {
             op,
             config,
             deadline_policy,
-            work_pool,
+            ledger,
+            tenant: options.tenant,
+            cost,
             started: OnceLock::new(),
             finished: OnceLock::new(),
             submitted,
@@ -526,6 +796,7 @@ impl StepService {
                 .queue
                 .lock()
                 .expect("service queue lock")
+                .items
                 .push_back(Arc::clone(&sub));
             self.shared.work.notify_all();
         }
@@ -554,7 +825,7 @@ impl Drop for StepService {
         // double-reporting an index).
         let drained: Vec<_> = {
             let mut queue = self.shared.queue.lock().expect("service queue lock");
-            queue.drain(..).collect()
+            queue.items.drain(..).collect()
         };
         for sub in drained {
             sub.cancelled.store(true, Ordering::Release);
@@ -572,9 +843,9 @@ impl Drop for StepService {
 
 /// The worker loop: claim the next output index from the
 /// highest-priority queued submission (started first, then earliest
-/// explicit deadline, then FIFO — see [`Submission::queue_rank`]),
-/// solve it, report the event; park on the condvar when the queue is
-/// empty.
+/// explicit deadline, then the tenant fair-share order — see
+/// [`Submission::queue_rank`] and [`select_next`]), solve it, report
+/// the event; park on the condvar when the queue is empty.
 fn worker_loop(shared: &ServiceShared) {
     loop {
         let claimed = {
@@ -586,16 +857,13 @@ fn worker_loop(shared: &ServiceShared) {
                 // Retire submissions whose every index has been handed
                 // out (claims also happen outside this lock, on the
                 // cancellation drain path).
-                queue.retain(|s| s.next.load(Ordering::Acquire) < s.n_out);
-                let mut best: Option<usize> = None;
-                for (i, s) in queue.iter().enumerate() {
-                    if best.is_none_or(|b| s.claims_before(&queue[b])) {
-                        best = Some(i);
-                    }
-                }
+                queue
+                    .items
+                    .retain(|s| s.next.load(Ordering::Acquire) < s.n_out);
+                let best = select_next(&mut queue);
                 let mut found = None;
                 if let Some(b) = best {
-                    let sub = Arc::clone(&queue[b]);
+                    let sub = Arc::clone(&queue.items[b]);
                     let idx = sub.next.fetch_add(1, Ordering::AcqRel);
                     if idx < sub.n_out {
                         found = Some((sub, idx));
@@ -622,10 +890,11 @@ fn worker_loop(shared: &ServiceShared) {
 /// service) down with it.
 fn run_claimed(shared: &ServiceShared, sub: &Submission, idx: usize) {
     if sub.skip_work() {
+        sub.commit_work(idx, 0);
         sub.send_event(idx, Err(StepError::Cancelled));
         return;
     }
-    let circuit = sub.circuit_budget();
+    let circuit = sub.circuit_budget_for(idx);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         if sub.config.panic_on_output == Some(idx) {
             panic!("injected fault on output {idx}");
@@ -653,6 +922,21 @@ fn run_claimed(shared: &ServiceShared, sub: &Submission, idx: usize) {
             )))
         }
     };
+    // Resolve the two-phase work reservation: the actual conflicts on
+    // success, zero on failure (a panic loses its meter; the
+    // submission is poisoned either way, so remaining outputs skip).
+    sub.commit_work(idx, result.as_ref().map_or(0, |r| r.effort.conflicts));
+    if let Ok(r) = &result {
+        // Feed the cost model: exact history for this cone, bucket
+        // EWMA for its support class (cache hits only update the
+        // former — they say nothing about intrinsic difficulty).
+        shared.cost_model.record(
+            r.fingerprint,
+            r.support,
+            r.effort.conflicts,
+            r.cache == CacheLookup::Hit,
+        );
+    }
     if result.is_err() {
         // Fail fast within the submission (the legacy poisoning rule):
         // outputs claimed after this point are skipped as Cancelled.
@@ -713,6 +997,16 @@ impl SubmissionHandle {
         // whether by a worker (in-flight solve or skip-marker) or by
         // this drain.
         self.sub.drain_cancelled();
+    }
+
+    /// A detachable cancellation token for this submission: lets
+    /// another thread (e.g. a serve connection reader) cancel while
+    /// this handle blocks in [`recv`](SubmissionHandle::recv) or
+    /// [`join`](SubmissionHandle::join).
+    pub fn canceller(&self) -> Canceller {
+        Canceller {
+            sub: Arc::clone(&self.sub),
+        }
     }
 
     /// Whether [`cancel`](SubmissionHandle::cancel) was called (or the
@@ -815,8 +1109,40 @@ impl SubmissionHandle {
         Ok(CircuitResult {
             outputs,
             cpu,
+            queue_wait: started.saturating_duration_since(self.sub.submitted),
             timed_out,
         })
+    }
+}
+
+/// A cloneable cancellation token detached from its
+/// [`SubmissionHandle`] (which is consumed by `join` and not `Sync`):
+/// serve front-ends hand one to the connection reader so a client's
+/// cancel frame can stop a submission mid-stream.
+#[derive(Clone)]
+pub struct Canceller {
+    sub: Arc<Submission>,
+}
+
+impl fmt::Debug for Canceller {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Canceller")
+            .field("id", &self.sub.id)
+            .finish()
+    }
+}
+
+impl Canceller {
+    /// The submission this token cancels.
+    pub fn id(&self) -> SubmissionId {
+        self.sub.id
+    }
+
+    /// Same semantics as [`SubmissionHandle::cancel`]: idempotent,
+    /// never blocks on solving.
+    pub fn cancel(&self) {
+        self.sub.cancelled.store(true, Ordering::Release);
+        self.sub.drain_cancelled();
     }
 }
 
@@ -1058,6 +1384,17 @@ mod tests {
     /// A detached submission shell for exercising the queue-ordering
     /// rule in isolation (never enqueued on a live service).
     fn rank_sub(id: u64, deadline: Option<Instant>) -> Submission {
+        tenant_sub(id, deadline, None, 0)
+    }
+
+    /// [`rank_sub`] with a tenant tag and predicted cost, for the
+    /// fair-share ordering tests.
+    fn tenant_sub(
+        id: u64,
+        deadline: Option<Instant>,
+        tenant: Option<&str>,
+        cost: u64,
+    ) -> Submission {
         let (tx, _rx) = channel();
         Submission {
             id: SubmissionId(id),
@@ -1065,7 +1402,9 @@ mod tests {
             op: GateOp::Or,
             config: config(Model::MusGroup),
             deadline_policy: deadline.map_or(DeadlinePolicy::Budget, DeadlinePolicy::Explicit),
-            work_pool: None,
+            ledger: None,
+            tenant: tenant.map(Arc::from),
+            cost,
             started: OnceLock::new(),
             finished: OnceLock::new(),
             submitted: Instant::now(),
@@ -1104,6 +1443,117 @@ mod tests {
         assert!(
             tight.claims_before(&fifo_old),
             "among started submissions the deadline rules again"
+        );
+    }
+
+    #[test]
+    fn equal_deadlines_tie_break_by_submission_id() {
+        // The documented stable order: among equal (or absent)
+        // deadlines, the monotone submission id decides — never
+        // insertion accidents or pointer order.
+        let d = Instant::now() + Duration::from_secs(60);
+        let first = rank_sub(1, Some(d));
+        let second = rank_sub(2, Some(d));
+        assert!(
+            first.claims_before(&second),
+            "equal deadlines: lower id first"
+        );
+        assert!(!second.claims_before(&first));
+        // The same rule holds among started submissions...
+        first.next.fetch_add(1, Ordering::AcqRel);
+        second.next.fetch_add(1, Ordering::AcqRel);
+        assert!(first.claims_before(&second));
+        // ...and the rank is a strict total order: a submission never
+        // claims before itself.
+        assert!(!first.claims_before(&first));
+        assert_eq!(first.queue_rank(), first.queue_rank());
+    }
+
+    #[test]
+    fn drr_alternates_tenants_instead_of_fifo() {
+        // Tenant A floods the queue first; tenant B arrives later.
+        // Plain FIFO would drain all of A before B; DRR alternates.
+        let mut state = QueueState {
+            items: VecDeque::new(),
+            drr: DrrState::default(),
+        };
+        for id in 0..3 {
+            state
+                .items
+                .push_back(Arc::new(tenant_sub(id, None, Some("a"), 100)));
+        }
+        for id in 3..6 {
+            state
+                .items
+                .push_back(Arc::new(tenant_sub(id, None, Some("b"), 100)));
+        }
+        let mut order = Vec::new();
+        for _ in 0..6 {
+            let i = select_next(&mut state).expect("work queued");
+            let sub = state.items.remove(i).expect("selected index valid");
+            order.push(sub.tenant.as_deref().expect("tagged").to_owned());
+        }
+        assert_eq!(
+            order,
+            ["a", "b", "a", "b", "a", "b"],
+            "equal-cost tenants must alternate"
+        );
+    }
+
+    #[test]
+    fn drr_gives_cheap_tenant_more_turns_than_expensive_one() {
+        // Tenant "big" queues 1000-conflict circuits, tenant "small"
+        // 10-conflict ones: over one big service, the small tenant
+        // should get through many submissions per big one.
+        let mut state = QueueState {
+            items: VecDeque::new(),
+            drr: DrrState::default(),
+        };
+        for id in 0..4 {
+            state
+                .items
+                .push_back(Arc::new(tenant_sub(id, None, Some("big"), 1000)));
+        }
+        for id in 4..12 {
+            state
+                .items
+                .push_back(Arc::new(tenant_sub(id, None, Some("small"), 10)));
+        }
+        let mut small_before_second_big = 0;
+        let mut bigs = 0;
+        while bigs < 2 {
+            let i = select_next(&mut state).expect("work queued");
+            let sub = state.items.remove(i).expect("selected index valid");
+            match sub.tenant.as_deref() {
+                Some("big") => bigs += 1,
+                Some("small") if bigs < 2 => small_before_second_big += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            small_before_second_big >= 4,
+            "cheap tenant got only {small_before_second_big} turns before the second expensive one"
+        );
+    }
+
+    #[test]
+    fn single_tenant_and_untagged_keep_plain_order() {
+        // DRR must not engage below two distinct tenants: untagged
+        // submissions keep FIFO, a lone tenant gets cheapest-first.
+        let mut state = QueueState {
+            items: VecDeque::new(),
+            drr: DrrState::default(),
+        };
+        state
+            .items
+            .push_back(Arc::new(tenant_sub(0, None, None, 0)));
+        state
+            .items
+            .push_back(Arc::new(tenant_sub(1, None, Some("solo"), 5)));
+        let i = select_next(&mut state).expect("work queued");
+        assert_eq!(
+            state.items[i].id.0, 0,
+            "one tagged tenant is not enough for DRR"
         );
     }
 

@@ -309,6 +309,7 @@ impl<'a> SolveSession<'a> {
 
         let canon = canonicalize(&self.cone.aig, self.cone.root);
         self.fingerprint = Some(canon.fingerprint);
+        result.fingerprint = Some(canon.fingerprint.hash);
         let result_ns = self.store.map(|_| Namespace::results(self.config));
 
         if let (Some(store), Some(ns)) = (self.store, &result_ns) {

@@ -1,0 +1,238 @@
+//! Per-tenant work accounting: quotas, two-phase reservations and the
+//! typed over-quota verdict the serve front-end turns into an error
+//! frame.
+//!
+//! A [`TenantLedger`] tracks, per tenant, a conflict **quota** and two
+//! counters against it: work **reserved** by admitted-but-unfinished
+//! requests and work **spent** by finished ones. Admission is
+//! two-phase, mirroring the [`WorkLedger`](crate::effort::WorkLedger)
+//! shape:
+//!
+//! 1. [`reserve`](TenantLedger::reserve) the request's estimated
+//!    charge up front — refused with a typed [`OverQuota`] when it
+//!    does not fit;
+//! 2. [`commit`](WorkReservation::commit) the actual effort when the
+//!    request finishes (releasing the reservation), or
+//!    [`rollback`](WorkReservation::rollback) on failure or
+//!    cancellation. Dropping an unresolved reservation rolls back, so
+//!    error paths cannot leak quota.
+//!
+//! The ledger is pure accounting: it decides *admission*, never
+//! results — an admitted request runs under exactly the budgets the
+//! client asked for, so a decomposition answered through the service
+//! stays byte-identical to the same run in-process.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// A refused reservation: the typed payload of the serve front-end's
+/// `over_quota` error frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OverQuota {
+    /// The tenant whose quota was insufficient.
+    pub tenant: String,
+    /// Conflicts the request tried to reserve.
+    pub requested: u64,
+    /// Conflicts still available under the tenant's quota.
+    pub available: u64,
+}
+
+impl fmt::Display for OverQuota {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tenant {} over quota: requested {} conflicts, {} available",
+            self.tenant, self.requested, self.available
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct Account {
+    /// Explicit quota override (else the ledger default applies).
+    quota: Option<u64>,
+    reserved: u64,
+    spent: u64,
+}
+
+/// The per-tenant quota ledger. Cheap to share (`Arc`); all methods
+/// take `&self`.
+#[derive(Debug)]
+pub struct TenantLedger {
+    default_quota: u64,
+    accounts: Mutex<HashMap<Arc<str>, Account>>,
+}
+
+impl TenantLedger {
+    /// A ledger granting every tenant `default_quota` conflicts unless
+    /// overridden with [`set_quota`](TenantLedger::set_quota).
+    pub fn new(default_quota: u64) -> Self {
+        TenantLedger {
+            default_quota,
+            accounts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Overrides one tenant's quota.
+    pub fn set_quota(&self, tenant: &str, quota: u64) {
+        let mut accounts = self.accounts.lock().expect("tenant ledger lock");
+        accounts.entry(Arc::from(tenant)).or_default().quota = Some(quota);
+    }
+
+    /// Conflicts still available to `tenant` (quota − spent − reserved).
+    pub fn available(&self, tenant: &str) -> u64 {
+        let accounts = self.accounts.lock().expect("tenant ledger lock");
+        match accounts.get(tenant) {
+            Some(a) => a
+                .quota
+                .unwrap_or(self.default_quota)
+                .saturating_sub(a.spent)
+                .saturating_sub(a.reserved),
+            None => self.default_quota,
+        }
+    }
+
+    /// Conflicts `tenant` has committed as spent so far.
+    pub fn spent(&self, tenant: &str) -> u64 {
+        let accounts = self.accounts.lock().expect("tenant ledger lock");
+        accounts.get(tenant).map_or(0, |a| a.spent)
+    }
+
+    /// Phase one of admission: reserves `amount` conflicts against
+    /// `tenant`'s quota, to be resolved by
+    /// [`commit`](WorkReservation::commit) or
+    /// [`rollback`](WorkReservation::rollback).
+    ///
+    /// # Errors
+    ///
+    /// [`OverQuota`] when the amount exceeds what remains under the
+    /// quota; the ledger is unchanged.
+    pub fn reserve(
+        self: &Arc<Self>,
+        tenant: &str,
+        amount: u64,
+    ) -> Result<WorkReservation, OverQuota> {
+        let key: Arc<str> = Arc::from(tenant);
+        let mut accounts = self.accounts.lock().expect("tenant ledger lock");
+        let account = accounts.entry(Arc::clone(&key)).or_default();
+        let available = account
+            .quota
+            .unwrap_or(self.default_quota)
+            .saturating_sub(account.spent)
+            .saturating_sub(account.reserved);
+        if amount > available {
+            return Err(OverQuota {
+                tenant: tenant.to_owned(),
+                requested: amount,
+                available,
+            });
+        }
+        account.reserved += amount;
+        Ok(WorkReservation {
+            ledger: Arc::clone(self),
+            tenant: key,
+            amount,
+            resolved: false,
+        })
+    }
+
+    fn resolve(&self, tenant: &Arc<str>, amount: u64, spent: Option<u64>) {
+        let mut accounts = self.accounts.lock().expect("tenant ledger lock");
+        if let Some(account) = accounts.get_mut(tenant) {
+            account.reserved = account.reserved.saturating_sub(amount);
+            if let Some(spent) = spent {
+                account.spent = account.spent.saturating_add(spent);
+            }
+        }
+    }
+}
+
+/// An outstanding quota reservation (phase one of two-phase
+/// admission). Resolve it with [`commit`](WorkReservation::commit) or
+/// [`rollback`](WorkReservation::rollback); dropping an unresolved
+/// reservation rolls back.
+#[derive(Debug)]
+pub struct WorkReservation {
+    ledger: Arc<TenantLedger>,
+    tenant: Arc<str>,
+    amount: u64,
+    resolved: bool,
+}
+
+impl WorkReservation {
+    /// The reserved amount.
+    pub fn amount(&self) -> u64 {
+        self.amount
+    }
+
+    /// Phase two, success: release the reservation and charge the
+    /// request's *actual* spend against the quota.
+    pub fn commit(mut self, actual: u64) {
+        self.resolved = true;
+        self.ledger.resolve(&self.tenant, self.amount, Some(actual));
+    }
+
+    /// Phase two, failure: release the reservation, charging nothing.
+    pub fn rollback(mut self) {
+        self.resolved = true;
+        self.ledger.resolve(&self.tenant, self.amount, None);
+    }
+}
+
+impl Drop for WorkReservation {
+    fn drop(&mut self) {
+        if !self.resolved {
+            self.ledger.resolve(&self.tenant, self.amount, None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_commit_charges_actual_spend() {
+        let ledger = Arc::new(TenantLedger::new(100));
+        let r = ledger.reserve("acme", 60).unwrap();
+        assert_eq!(ledger.available("acme"), 40);
+        r.commit(35);
+        assert_eq!(ledger.spent("acme"), 35);
+        assert_eq!(ledger.available("acme"), 65);
+    }
+
+    #[test]
+    fn over_quota_is_typed_and_leaves_ledger_unchanged() {
+        let ledger = Arc::new(TenantLedger::new(100));
+        let _held = ledger.reserve("acme", 80).unwrap();
+        let err = ledger.reserve("acme", 30).unwrap_err();
+        assert_eq!(err.tenant, "acme");
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.available, 20);
+        assert_eq!(
+            ledger.available("acme"),
+            20,
+            "failed reserve charges nothing"
+        );
+    }
+
+    #[test]
+    fn rollback_and_drop_release_the_reservation() {
+        let ledger = Arc::new(TenantLedger::new(100));
+        ledger.reserve("a", 70).unwrap().rollback();
+        assert_eq!(ledger.available("a"), 100);
+        drop(ledger.reserve("a", 70).unwrap());
+        assert_eq!(ledger.available("a"), 100, "drop must not leak quota");
+    }
+
+    #[test]
+    fn quotas_are_per_tenant_with_overrides() {
+        let ledger = Arc::new(TenantLedger::new(50));
+        ledger.set_quota("big", 1000);
+        assert_eq!(ledger.available("big"), 1000);
+        assert_eq!(ledger.available("small"), 50);
+        assert!(ledger.reserve("small", 51).is_err());
+        assert!(ledger.reserve("big", 51).is_ok());
+    }
+}

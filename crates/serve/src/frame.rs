@@ -1,0 +1,96 @@
+//! The frame codec: each protocol message is a 4-byte big-endian
+//! length followed by that many bytes of UTF-8 JSON text.
+//!
+//! Length-prefixing (rather than newline-delimiting) keeps circuit
+//! uploads trivial — BENCH/BLIF/AIGER text rides inside a JSON string
+//! and the reader never scans for terminators. Frames are capped at
+//! [`MAX_FRAME`] bytes so a hostile length word cannot drive an
+//! allocation: the connection errors out instead.
+
+use std::io::{self, Read, Write};
+
+/// Maximum frame payload (32 MiB — comfortably above the largest
+/// registry circuit, far below an allocation attack).
+pub const MAX_FRAME: usize = 32 << 20;
+
+/// Writes one frame and flushes it (the protocol is interactive; a
+/// buffered unflushed frame would deadlock both sides).
+///
+/// # Errors
+///
+/// [`io::Error`] from the underlying writer, or `InvalidInput` if the
+/// payload exceeds [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME}-byte cap",
+                payload.len()
+            ),
+        ));
+    }
+    let len = u32::try_from(payload.len()).expect("MAX_FRAME fits in u32");
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean EOF at a frame boundary
+/// (the peer closed the connection between messages).
+///
+/// # Errors
+///
+/// [`io::Error`] from the underlying reader; `InvalidData` for a
+/// truncated frame, an over-cap length word, or non-UTF-8 payload.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_bytes = [0u8; 4];
+    // A clean EOF before the first length byte ends the stream; EOF
+    // anywhere later truncates a frame and is an error.
+    match r.read(&mut len_bytes[..1])? {
+        0 => return Ok(None),
+        1 => {}
+        _ => unreachable!("read of a 1-byte buffer"),
+    }
+    r.read_exact(&mut len_bytes[1..])?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean_at_boundaries() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"a\":1}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("{\"a\":1}"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"a\":1}").unwrap();
+        let mut r = &buf[..buf.len() - 2];
+        assert!(read_frame(&mut r).is_err(), "truncated payload");
+        let mut r = &buf[..2];
+        assert!(read_frame(&mut r).is_err(), "truncated length word");
+        let huge = (u32::MAX).to_be_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err(), "hostile length word");
+    }
+}

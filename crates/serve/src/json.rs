@@ -1,0 +1,476 @@
+//! A minimal JSON reader/writer for the wire protocol — std-only, no
+//! external crates (the repo's dependency policy bars crates.io).
+//!
+//! Numbers are kept as **raw text** in both directions: the writer
+//! emits `u64`/`f64` through their `Display` impls (Rust's `f64`
+//! display is shortest-round-trip), and the reader stores the lexeme
+//! untouched until an accessor parses it. That is what lets the client
+//! reprint server-measured `disjointness`/`balancedness` values
+//! byte-identically to an in-process run: no intermediate decimal
+//! representation is ever re-rounded.
+
+use std::fmt::Write as _;
+
+/// Maximum nesting depth the parser accepts — the protocol uses flat
+/// objects, so anything deep is garbage (or an attack), not a frame.
+const MAX_DEPTH: u32 = 16;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw lexeme (see module docs).
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order (duplicate keys: last wins on
+    /// [`get`](Value::get) lookups never happens — `get` returns the
+    /// first match; the protocol never emits duplicates).
+    Obj(Vec<(String, Value)>),
+}
+
+/// A malformed-JSON verdict with a byte offset for diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where it went wrong.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl Value {
+    /// Parses one JSON document (trailing non-whitespace is an error).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] on any syntax violation, nesting deeper than 16
+    /// levels, or trailing garbage.
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing garbage"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Renders the value back to compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(raw) => out.push_str(raw),
+            Value::Str(s) => write_escaped(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Convenience constructor: an object from `(key, value)` pairs.
+pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// Convenience constructor: a string value.
+pub fn s(text: &str) -> Value {
+    Value::Str(text.to_owned())
+}
+
+/// Convenience constructor: a `u64` number value.
+pub fn num(n: u64) -> Value {
+    Value::Num(n.to_string())
+}
+
+/// Convenience constructor: an `f64` number value (must be finite —
+/// JSON has no NaN/Inf; the protocol only carries metrics in `[0,1]`).
+pub fn float(x: f64) -> Value {
+    debug_assert!(x.is_finite(), "JSON has no non-finite numbers");
+    Value::Num(format!("{x}"))
+}
+
+/// Convenience constructor: a boolean value.
+pub fn boolean(b: bool) -> Value {
+    Value::Bool(b)
+}
+
+fn write_escaped(text: &str, out: &mut String) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("unexpected character"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return Err(self.err("malformed number"));
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii lexeme");
+        // Validate by the strictest consumer we have; the raw lexeme is
+        // what gets stored (see module docs).
+        if raw.parse::<f64>().is_err() {
+            return Err(self.err("malformed number"));
+        }
+        Ok(Value::Num(raw.to_owned()))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        debug_assert_eq!(self.bytes.get(self.pos), Some(&b'"'));
+        self.pos += 1;
+        let mut out = String::new();
+        let mut run = self.pos;
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(self.utf8_run(run)?);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.utf8_run(run)?);
+                    self.pos += 1;
+                    let c = match self.bytes.get(self.pos) {
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        Some(b'/') => '/',
+                        Some(b'b') => '\u{8}',
+                        Some(b'f') => '\u{c}',
+                        Some(b'n') => '\n',
+                        Some(b'r') => '\r',
+                        Some(b't') => '\t',
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            run = self.pos;
+                            continue;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    };
+                    out.push(c);
+                    self.pos += 1;
+                    run = self.pos;
+                }
+                Some(c) if *c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn utf8_run(&self, from: usize) -> Result<&str, JsonError> {
+        std::str::from_utf8(&self.bytes[from..self.pos]).map_err(|_| JsonError {
+            message: "invalid UTF-8 in string".to_owned(),
+            offset: from,
+        })
+    }
+
+    /// Parses the 4 hex digits after `\u` (and a low surrogate pair
+    /// when the first unit is a high surrogate). Leaves `pos` after the
+    /// last consumed digit.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            if self.bytes.get(self.pos) == Some(&b'\\')
+                && self.bytes.get(self.pos + 1) == Some(&b'u')
+            {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..0xE000).contains(&lo) {
+                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(c).ok_or_else(|| self.err("bad surrogate pair"));
+                }
+            }
+            return Err(self.err("unpaired surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("bad unicode escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.bytes.get(self.pos) {
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                _ => return Err(self.err("bad unicode escape")),
+            };
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn object(&mut self, depth: u32) -> Result<Value, JsonError> {
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: u32) -> Result<Value, JsonError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_reprints_a_flat_frame() {
+        let text = r#"{"type":"submit","req":1,"seed":25214903917,"ed":0.333,"ok":true,"x":null}"#;
+        let v = Value::parse(text).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("submit"));
+        assert_eq!(v.get("req").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("seed").unwrap().as_u64(), Some(25_214_903_917));
+        assert_eq!(v.get("ed").unwrap().as_f64(), Some(0.333));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("x"), Some(&Value::Null));
+        assert_eq!(v.render(), text, "numbers round-trip as raw lexemes");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly_through_display() {
+        // 1/3 has no finite decimal expansion; shortest-round-trip
+        // display + raw-lexeme storage must still recover it exactly.
+        let x = 1.0f64 / 3.0;
+        let v = Value::parse(&obj(vec![("x", float(x))]).render()).unwrap();
+        assert_eq!(v.get("x").unwrap().as_f64(), Some(x));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let nasty = "a\"b\\c\nd\te\u{1}f — π𝄞";
+        let rendered = obj(vec![("s", s(nasty))]).render();
+        let v = Value::parse(&rendered).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some(nasty));
+        // Escape forms parse too (incl. a surrogate pair).
+        let v = Value::parse(r#"{"s":"\u0041\u00e9\ud834\udd1e\/"}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("Aé𝄞/"));
+    }
+
+    #[test]
+    fn malformed_inputs_error_instead_of_panicking() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[",
+            "nul",
+            "tru",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1,]",
+            "\"",
+            "\"\\",
+            "\"\\u12",
+            "\"\\ud800\"",
+            "01a",
+            "-",
+            "1e",
+            "{\"a\":1}x",
+            "\u{1}",
+            "[[[[[[[[[[[[[[[[[[[[[[1]]]]]]]]]]]]]]]]]]]]]]",
+        ] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! The typed protocol spoken inside [`frame`](crate::frame)d JSON:
+//! client frames (`hello`, `submit`, `cancel`, `shutdown`) and server
+//! frames (`hello_ok`, `accepted`, `output`, `done`, `error`).
+//!
+//! Every frame is a flat JSON object with a `"type"` discriminator.
+//! Circuits travel as their **original file text** plus a format tag;
+//! the server parses them with the same `step-aig` readers the CLI
+//! uses, which is one half of the byte-parity story (the other half is
+//! [`table`](crate::table), shared by the CLI and the client).
+//!
+//! A `submit` carries budgets as the CLI's own `--budget` spec strings
+//! (`wall:60s`, `work:200k`, …) and only when the user set them — the
+//! server applies the same defaulting rules as the CLI, including the
+//! pure-work wall-lift, so a remote run is configured identically to a
+//! local one.
+
+use crate::json::{self, obj, Value};
+
+/// Protocol version; bumped on any incompatible frame change.
+pub const PROTO_VERSION: u64 = 1;
+
+/// A malformed or unexpected frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Machine-readable error category carried by an `error` frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Admission refused: the tenant's quota cannot cover the charge.
+    OverQuota,
+    /// Admission refused: the service queue is too deep.
+    QueueFull,
+    /// A malformed or unparseable frame / flag value.
+    BadRequest,
+    /// The circuit text failed to parse (or is not convertible).
+    BadCircuit,
+    /// The submission was cancelled before completing.
+    Cancelled,
+    /// A server-side failure.
+    Internal,
+    /// Protocol version or feature not supported.
+    Unsupported,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCode::OverQuota => "over_quota",
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::BadCircuit => "bad_circuit",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::Internal => "internal",
+            ErrorCode::Unsupported => "unsupported",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "over_quota" => ErrorCode::OverQuota,
+            "queue_full" => ErrorCode::QueueFull,
+            "bad_request" => ErrorCode::BadRequest,
+            "bad_circuit" => ErrorCode::BadCircuit,
+            "cancelled" => ErrorCode::Cancelled,
+            "internal" => ErrorCode::Internal,
+            "unsupported" => ErrorCode::Unsupported,
+            _ => return None,
+        })
+    }
+}
+
+/// A decomposition request: the original circuit text plus the same
+/// knobs the CLI exposes (absent optional fields mean "CLI default").
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmitRequest {
+    /// Client-chosen request id, echoed on every response frame.
+    pub req: u64,
+    /// Circuit format: `bench`, `blif` or `aag` (binary AIGER does not
+    /// travel — the client refuses `.aig` files up front).
+    pub format: String,
+    /// The circuit file text, verbatim.
+    pub circuit: String,
+    /// Root operator: `or`, `and` or `xor`.
+    pub op: String,
+    /// Engine model: `ljh`, `mg`, `qd`, `qb` or `qdb`.
+    pub model: String,
+    /// `--budget` spec, when explicitly set.
+    pub budget: Option<String>,
+    /// `--circuit-budget` spec, when explicitly set.
+    pub circuit_budget: Option<String>,
+    /// `--qbf-budget` spec, when explicitly set.
+    pub qbf_budget: Option<String>,
+    /// `--seed`, when explicitly set.
+    pub seed: Option<u64>,
+    /// `--sat-restarts` policy name, when explicitly set.
+    pub sat_restarts: Option<String>,
+    /// `--sat-preprocess`.
+    pub sat_preprocess: bool,
+    /// Relative deadline in milliseconds (the server anchors it at
+    /// admission). Deadlines change which outputs time out, so parity
+    /// checks never set one.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Frames the client sends.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientFrame {
+    /// Connection handshake: protocol version + optional tenant tag.
+    Hello {
+        /// The version the client speaks. Carried (not enforced) by
+        /// the parser so the server can answer a mismatch with a typed
+        /// `unsupported` error frame instead of a parse failure.
+        proto: u64,
+        /// Tenant name for quota accounting and fair-share scheduling.
+        tenant: Option<String>,
+    },
+    /// A decomposition request (boxed: the payload dwarfs the other
+    /// variants).
+    Submit(Box<SubmitRequest>),
+    /// Cancel an in-flight request by id.
+    Cancel {
+        /// The request id to cancel.
+        req: u64,
+    },
+    /// Stop the server (drains nothing: in-flight work is cancelled by
+    /// service shutdown). Loopback deployments only — there is no auth.
+    Shutdown,
+}
+
+/// One per-output result row (the wire image of the fields
+/// [`table`](crate::table) prints).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutputRow {
+    /// Echoed request id.
+    pub req: u64,
+    /// Output index (client reorders by this; events arrive in
+    /// completion order).
+    pub index: u64,
+    /// Output name.
+    pub name: String,
+    /// Support size of the output cone.
+    pub support: u64,
+    /// Partition metrics when the output decomposed.
+    pub partition: Option<PartitionRow>,
+    /// The partition was proved metric-optimal.
+    pub proved_optimal: bool,
+    /// A budget expired on this output.
+    pub timed_out: bool,
+    /// Server-side wall-clock milliseconds (suppressed by the client
+    /// under `--no-timing`).
+    pub cpu_ms: u64,
+}
+
+/// The partition numbers of a decomposed output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionRow {
+    /// `|XA|`.
+    pub num_a: u64,
+    /// `|XB|`.
+    pub num_b: u64,
+    /// `|XC|`.
+    pub num_shared: u64,
+    /// Disjointness metric `eD`.
+    pub disjointness: f64,
+    /// Balancedness metric `eB`.
+    pub balancedness: f64,
+}
+
+/// Frames the server sends.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerFrame {
+    /// Handshake accepted.
+    HelloOk,
+    /// Submission admitted and queued.
+    Accepted {
+        /// Echoed request id.
+        req: u64,
+        /// Inputs after combinational conversion.
+        inputs: u64,
+        /// Outputs after combinational conversion.
+        outputs: u64,
+        /// AND nodes after combinational conversion.
+        ands: u64,
+        /// Conflicts reserved against the tenant's quota.
+        charge: u64,
+    },
+    /// One output finished (completion order).
+    Output(OutputRow),
+    /// All outputs finished; the request is complete.
+    Done {
+        /// Echoed request id.
+        req: u64,
+        /// How long the submission waited before a worker started it.
+        queue_wait_ms: u64,
+    },
+    /// The request (or connection) failed.
+    Error {
+        /// Request id, when the error is tied to one.
+        req: Option<u64>,
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, ProtoError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ProtoError(format!("missing or non-integer field {key:?}")))
+}
+
+fn get_str(v: &Value, key: &str) -> Result<String, ProtoError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| ProtoError(format!("missing or non-string field {key:?}")))
+}
+
+fn opt_str(v: &Value, key: &str) -> Option<String> {
+    v.get(key).and_then(Value::as_str).map(str::to_owned)
+}
+
+fn get_f64(v: &Value, key: &str) -> Result<f64, ProtoError> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| ProtoError(format!("missing or non-number field {key:?}")))
+}
+
+fn get_bool(v: &Value, key: &str) -> Result<bool, ProtoError> {
+    v.get(key)
+        .and_then(Value::as_bool)
+        .ok_or_else(|| ProtoError(format!("missing or non-boolean field {key:?}")))
+}
+
+impl ClientFrame {
+    /// Renders the frame to JSON text.
+    pub fn render(&self) -> String {
+        match self {
+            ClientFrame::Hello { proto, tenant } => {
+                let mut fields = vec![("type", json::s("hello")), ("proto", json::num(*proto))];
+                if let Some(t) = tenant {
+                    fields.push(("tenant", json::s(t)));
+                }
+                obj(fields).render()
+            }
+            ClientFrame::Submit(r) => {
+                let mut fields = vec![
+                    ("type", json::s("submit")),
+                    ("req", json::num(r.req)),
+                    ("format", json::s(&r.format)),
+                    ("op", json::s(&r.op)),
+                    ("model", json::s(&r.model)),
+                    ("sat_preprocess", json::boolean(r.sat_preprocess)),
+                ];
+                if let Some(b) = &r.budget {
+                    fields.push(("budget", json::s(b)));
+                }
+                if let Some(b) = &r.circuit_budget {
+                    fields.push(("circuit_budget", json::s(b)));
+                }
+                if let Some(b) = &r.qbf_budget {
+                    fields.push(("qbf_budget", json::s(b)));
+                }
+                if let Some(seed) = r.seed {
+                    fields.push(("seed", json::num(seed)));
+                }
+                if let Some(p) = &r.sat_restarts {
+                    fields.push(("sat_restarts", json::s(p)));
+                }
+                if let Some(ms) = r.deadline_ms {
+                    fields.push(("deadline_ms", json::num(ms)));
+                }
+                // The big payload goes last so frame prefixes stay
+                // human-readable in logs.
+                fields.push(("circuit", json::s(&r.circuit)));
+                obj(fields).render()
+            }
+            ClientFrame::Cancel { req } => {
+                obj(vec![("type", json::s("cancel")), ("req", json::num(*req))]).render()
+            }
+            ClientFrame::Shutdown => obj(vec![("type", json::s("shutdown"))]).render(),
+        }
+    }
+
+    /// Parses a frame the server received.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on malformed JSON, an unknown `type` or a
+    /// missing required field.
+    pub fn parse(text: &str) -> Result<ClientFrame, ProtoError> {
+        let v = Value::parse(text).map_err(|e| ProtoError(format!("bad JSON: {e}")))?;
+        match v.get("type").and_then(Value::as_str) {
+            Some("hello") => Ok(ClientFrame::Hello {
+                proto: get_u64(&v, "proto")?,
+                tenant: opt_str(&v, "tenant"),
+            }),
+            Some("submit") => Ok(ClientFrame::Submit(Box::new(SubmitRequest {
+                req: get_u64(&v, "req")?,
+                format: get_str(&v, "format")?,
+                circuit: get_str(&v, "circuit")?,
+                op: get_str(&v, "op")?,
+                model: get_str(&v, "model")?,
+                budget: opt_str(&v, "budget"),
+                circuit_budget: opt_str(&v, "circuit_budget"),
+                qbf_budget: opt_str(&v, "qbf_budget"),
+                seed: v.get("seed").and_then(Value::as_u64),
+                sat_restarts: opt_str(&v, "sat_restarts"),
+                sat_preprocess: get_bool(&v, "sat_preprocess")?,
+                deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
+            }))),
+            Some("cancel") => Ok(ClientFrame::Cancel {
+                req: get_u64(&v, "req")?,
+            }),
+            Some("shutdown") => Ok(ClientFrame::Shutdown),
+            Some(other) => Err(ProtoError(format!("unknown frame type {other:?}"))),
+            None => Err(ProtoError("frame has no \"type\" field".to_owned())),
+        }
+    }
+}
+
+impl ServerFrame {
+    /// Renders the frame to JSON text.
+    pub fn render(&self) -> String {
+        match self {
+            ServerFrame::HelloOk => obj(vec![
+                ("type", json::s("hello_ok")),
+                ("proto", json::num(PROTO_VERSION)),
+            ])
+            .render(),
+            ServerFrame::Accepted {
+                req,
+                inputs,
+                outputs,
+                ands,
+                charge,
+            } => obj(vec![
+                ("type", json::s("accepted")),
+                ("req", json::num(*req)),
+                ("inputs", json::num(*inputs)),
+                ("outputs", json::num(*outputs)),
+                ("ands", json::num(*ands)),
+                ("charge", json::num(*charge)),
+            ])
+            .render(),
+            ServerFrame::Output(row) => {
+                let mut fields = vec![
+                    ("type", json::s("output")),
+                    ("req", json::num(row.req)),
+                    ("index", json::num(row.index)),
+                    ("name", json::s(&row.name)),
+                    ("support", json::num(row.support)),
+                    ("proved_optimal", json::boolean(row.proved_optimal)),
+                    ("timed_out", json::boolean(row.timed_out)),
+                    ("cpu_ms", json::num(row.cpu_ms)),
+                ];
+                if let Some(p) = &row.partition {
+                    fields.push(("num_a", json::num(p.num_a)));
+                    fields.push(("num_b", json::num(p.num_b)));
+                    fields.push(("num_shared", json::num(p.num_shared)));
+                    fields.push(("disjointness", json::float(p.disjointness)));
+                    fields.push(("balancedness", json::float(p.balancedness)));
+                }
+                obj(fields).render()
+            }
+            ServerFrame::Done { req, queue_wait_ms } => obj(vec![
+                ("type", json::s("done")),
+                ("req", json::num(*req)),
+                ("queue_wait_ms", json::num(*queue_wait_ms)),
+            ])
+            .render(),
+            ServerFrame::Error { req, code, message } => {
+                let mut fields = vec![("type", json::s("error"))];
+                if let Some(req) = req {
+                    fields.push(("req", json::num(*req)));
+                }
+                fields.push(("code", json::s(code.label())));
+                fields.push(("message", json::s(message)));
+                obj(fields).render()
+            }
+        }
+    }
+
+    /// Parses a frame the client received.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on malformed JSON, an unknown `type` or error
+    /// code, or a missing required field.
+    pub fn parse(text: &str) -> Result<ServerFrame, ProtoError> {
+        let v = Value::parse(text).map_err(|e| ProtoError(format!("bad JSON: {e}")))?;
+        match v.get("type").and_then(Value::as_str) {
+            Some("hello_ok") => Ok(ServerFrame::HelloOk),
+            Some("accepted") => Ok(ServerFrame::Accepted {
+                req: get_u64(&v, "req")?,
+                inputs: get_u64(&v, "inputs")?,
+                outputs: get_u64(&v, "outputs")?,
+                ands: get_u64(&v, "ands")?,
+                charge: get_u64(&v, "charge")?,
+            }),
+            Some("output") => {
+                let partition = match v.get("num_a") {
+                    Some(_) => Some(PartitionRow {
+                        num_a: get_u64(&v, "num_a")?,
+                        num_b: get_u64(&v, "num_b")?,
+                        num_shared: get_u64(&v, "num_shared")?,
+                        disjointness: get_f64(&v, "disjointness")?,
+                        balancedness: get_f64(&v, "balancedness")?,
+                    }),
+                    None => None,
+                };
+                Ok(ServerFrame::Output(OutputRow {
+                    req: get_u64(&v, "req")?,
+                    index: get_u64(&v, "index")?,
+                    name: get_str(&v, "name")?,
+                    support: get_u64(&v, "support")?,
+                    partition,
+                    proved_optimal: get_bool(&v, "proved_optimal")?,
+                    timed_out: get_bool(&v, "timed_out")?,
+                    cpu_ms: get_u64(&v, "cpu_ms")?,
+                }))
+            }
+            Some("done") => Ok(ServerFrame::Done {
+                req: get_u64(&v, "req")?,
+                queue_wait_ms: get_u64(&v, "queue_wait_ms")?,
+            }),
+            Some("error") => Ok(ServerFrame::Error {
+                req: v.get("req").and_then(Value::as_u64),
+                code: {
+                    let label = get_str(&v, "code")?;
+                    ErrorCode::parse(&label)
+                        .ok_or_else(|| ProtoError(format!("unknown error code {label:?}")))?
+                },
+                message: get_str(&v, "message")?,
+            }),
+            Some(other) => Err(ProtoError(format!("unknown frame type {other:?}"))),
+            None => Err(ProtoError("frame has no \"type\" field".to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_frames_round_trip() {
+        let frames = [
+            ClientFrame::Hello {
+                proto: PROTO_VERSION,
+                tenant: Some("acme".to_owned()),
+            },
+            ClientFrame::Hello {
+                proto: 2,
+                tenant: None,
+            },
+            ClientFrame::Submit(Box::new(SubmitRequest {
+                req: 7,
+                format: "bench".to_owned(),
+                circuit: "INPUT(a)\nOUTPUT(f)\nf = NOT(a)\n".to_owned(),
+                op: "or".to_owned(),
+                model: "qd".to_owned(),
+                budget: Some("work:200k".to_owned()),
+                circuit_budget: None,
+                qbf_budget: Some("work:10k".to_owned()),
+                seed: Some(0x5DEECE66D),
+                sat_restarts: Some("ema".to_owned()),
+                sat_preprocess: true,
+                deadline_ms: Some(1500),
+            })),
+            ClientFrame::Cancel { req: 7 },
+            ClientFrame::Shutdown,
+        ];
+        for f in frames {
+            assert_eq!(ClientFrame::parse(&f.render()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn server_frames_round_trip() {
+        let frames = [
+            ServerFrame::HelloOk,
+            ServerFrame::Accepted {
+                req: 1,
+                inputs: 14,
+                outputs: 8,
+                ands: 98,
+                charge: 448,
+            },
+            ServerFrame::Output(OutputRow {
+                req: 1,
+                index: 3,
+                name: "G17".to_owned(),
+                support: 5,
+                partition: Some(PartitionRow {
+                    num_a: 2,
+                    num_b: 2,
+                    num_shared: 1,
+                    disjointness: 0.8,
+                    balancedness: 1.0 / 3.0,
+                }),
+                proved_optimal: true,
+                timed_out: false,
+                cpu_ms: 12,
+            }),
+            ServerFrame::Output(OutputRow {
+                req: 1,
+                index: 4,
+                name: "G18".to_owned(),
+                support: 9,
+                partition: None,
+                proved_optimal: false,
+                timed_out: true,
+                cpu_ms: 4000,
+            }),
+            ServerFrame::Done {
+                req: 1,
+                queue_wait_ms: 3,
+            },
+            ServerFrame::Error {
+                req: Some(2),
+                code: ErrorCode::OverQuota,
+                message: "tenant acme over quota: requested 9 conflicts, 1 available".to_owned(),
+            },
+        ];
+        for f in frames {
+            assert_eq!(ServerFrame::parse(&f.render()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn version_travels_for_the_server_to_judge() {
+        match ClientFrame::parse(r#"{"type":"hello","proto":9}"#).unwrap() {
+            ClientFrame::Hello { proto, tenant } => {
+                assert_eq!(proto, 9);
+                assert_eq!(tenant, None);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The pinned result-table format, shared by the `step` CLI and the
+//! network client.
+//!
+//! Byte-parity between `step circuit.bench --no-timing` and
+//! `step client <addr> circuit.bench --no-timing` is an acceptance
+//! criterion (the CI serve-smoke step diffs exactly that), so the
+//! format strings live here **once** and both front-ends call them —
+//! parity is structural, not a convention two copies have to keep.
+
+/// The `circuit: …` banner line.
+pub fn circuit_line(path: &str, inputs: u64, outputs: u64, ands: u64) -> String {
+    format!("circuit: {path} — {inputs} inputs, {outputs} outputs, {ands} AND nodes")
+}
+
+/// The column-header row of the result table.
+pub fn header() -> String {
+    format!(
+        "{:<16} {:>8} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9} {:>9}",
+        "output", "support", "|XA|", "|XB|", "|XC|", "eD", "eB", "optimal?", "cpu(ms)"
+    )
+}
+
+/// A decomposed-output row.
+#[allow(clippy::too_many_arguments)] // mirrors the column list exactly
+pub fn partition_row(
+    name: &str,
+    support: u64,
+    num_a: u64,
+    num_b: u64,
+    num_shared: u64,
+    disjointness: f64,
+    balancedness: f64,
+    proved_optimal: bool,
+    cpu: &str,
+) -> String {
+    format!(
+        "{name:<16} {support:>8} {num_a:>6} {num_b:>6} {num_shared:>6} \
+         {disjointness:>8.3} {balancedness:>8.3} {proved_optimal:>9} {cpu:>9}"
+    )
+}
+
+/// A failed-output row (`timeout` or `not decomposable`).
+pub fn failure_row(name: &str, support: u64, timed_out: bool) -> String {
+    format!(
+        "{name:<16} {support:>8} {}",
+        if timed_out {
+            "timeout"
+        } else {
+            "not decomposable"
+        }
+    )
+}
+
+/// The trailing summary line (includes its own leading blank line).
+pub fn footer(decomposed: usize, model: &str) -> String {
+    format!("\ndecomposed {decomposed} output function(s) with {model}")
+}
+
+/// The wall-clock cell: milliseconds, or `-` under `--no-timing` so
+/// output is byte-identical across runs, machines and `--jobs` values.
+pub fn cpu_cell(cpu_ms: u64, no_timing: bool) -> String {
+    if no_timing {
+        "-".to_owned()
+    } else {
+        cpu_ms.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The exact bytes the CLI has always printed — a change here is a
+    // breaking change to every diff-based smoke test downstream.
+    #[test]
+    fn formats_are_pinned() {
+        assert_eq!(
+            circuit_line("c17.bench", 5, 2, 6),
+            "circuit: c17.bench — 5 inputs, 2 outputs, 6 AND nodes"
+        );
+        assert_eq!(
+            header(),
+            "output            support   |XA|   |XB|   |XC|       eD       eB  optimal?   cpu(ms)"
+        );
+        assert_eq!(
+            partition_row("G16", 4, 2, 1, 1, 0.75, 1.0 / 3.0, true, "-"),
+            "G16                     4      2      1      1    0.750    0.333      true         -"
+        );
+        assert_eq!(
+            partition_row("G17", 4, 2, 2, 0, 1.0, 1.0, false, "12"),
+            "G17                     4      2      2      0    1.000    1.000     false        12"
+        );
+        assert_eq!(
+            failure_row("G17", 9, true),
+            "G17                     9 timeout"
+        );
+        assert_eq!(
+            failure_row("G17", 9, false),
+            "G17                     9 not decomposable"
+        );
+        assert_eq!(
+            footer(2, "STEP-QD"),
+            "\ndecomposed 2 output function(s) with STEP-QD"
+        );
+        assert_eq!(cpu_cell(12, false), "12");
+        assert_eq!(cpu_cell(12, true), "-");
+    }
+}

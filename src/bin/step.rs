@@ -5,6 +5,8 @@
 //! ```text
 //! step <circuit.{bench,blif,aag}> [options]
 //! step cache stats|merge|verify ...
+//! step serve [--addr host:port] [--jobs n] [--quota n] ...
+//! step client <host:port> <circuit> [options]
 //!   --model ljh|mg|qd|qb|qdb    engine (default qd)
 //!   --op or|and|xor             root operator (default or)
 //!   --weights <wd> <wb>         weighted cost target (implies QBF model)
@@ -78,12 +80,22 @@
 //! step cache verify <dir>           exit 1 if any record failed to load
 //! ```
 //!
+//! The `step serve` / `step client` subcommands put the same engine
+//! behind a TCP front-end (framed JSON, per-tenant quotas, admission
+//! control — see the [`qbf_bidec::serve`] crate and the README's
+//! "Network service" section). A circuit decomposed through
+//! `step client` prints byte-identically to an in-process run under
+//! `--no-timing`: both front-ends print through
+//! [`qbf_bidec::serve::table`], and the engine's answers are
+//! scheduling-independent.
+//!
 //! [`StepService`]: qbf_bidec::step::StepService
 
 use std::path::Path;
 use std::time::Duration;
 
 use qbf_bidec::circuits::load_file;
+use qbf_bidec::serve::table;
 use qbf_bidec::step::optimum::Metric;
 use qbf_bidec::step::oracle::CoreFormula;
 use qbf_bidec::step::qbf_model::Target;
@@ -125,6 +137,8 @@ const USAGE: &str = "usage: step <circuit.{bench,blif,aag}> [--model ljh|mg|qd|q
                      [--budget spec] [--circuit-budget spec] [--qbf-budget spec] \
                      [--per-call-ms n] [--per-output-s n]\n\
                      or:    step cache stats <dir> | merge <out> <in>... | verify <dir>\n\
+                     or:    step serve [--addr host:port] ... (see step serve --help)\n\
+                     or:    step client <host:port> <circuit> ... (see step client --help)\n\
                      budget spec: wall:<dur> | work:<conflicts> | both:<dur>,<conflicts> \
                      | unlimited (e.g. --budget work:200k for deterministic truncation)";
 
@@ -421,28 +435,28 @@ fn cache_command(args: &[String]) -> ! {
 /// The wall-clock cell: milliseconds, or `-` under `--no-timing` so
 /// output is byte-identical across runs and `--jobs` values.
 fn cpu_cell(cpu: Duration, no_timing: bool) -> String {
-    if no_timing {
-        "-".to_owned()
-    } else {
-        cpu.as_millis().to_string()
-    }
+    table::cpu_cell(cpu.as_millis() as u64, no_timing)
 }
 
 /// Prints one per-output row; returns whether the output decomposed.
+/// The row formats live in [`table`], shared with the network client
+/// so `step client` output is byte-identical by construction.
 fn print_result(cli: &Cli, out: &OutputResult) -> bool {
     match &out.partition {
         Some(p) => {
             println!(
-                "{:<16} {:>8} {:>6} {:>6} {:>6} {:>8.3} {:>8.3} {:>9} {:>9}",
-                out.name,
-                out.support,
-                p.num_a(),
-                p.num_b(),
-                p.num_shared(),
-                p.disjointness(),
-                p.balancedness(),
-                out.proved_optimal,
-                cpu_cell(out.cpu, cli.no_timing)
+                "{}",
+                table::partition_row(
+                    &out.name,
+                    out.support as u64,
+                    p.num_a() as u64,
+                    p.num_b() as u64,
+                    p.num_shared() as u64,
+                    p.disjointness(),
+                    p.balancedness(),
+                    out.proved_optimal,
+                    &cpu_cell(out.cpu, cli.no_timing)
+                )
             );
             if cli.emit_blif {
                 if let Some(d) = &out.decomposition {
@@ -465,14 +479,8 @@ fn print_result(cli: &Cli, out: &OutputResult) -> bool {
         }
         None => {
             println!(
-                "{:<16} {:>8} {}",
-                out.name,
-                out.support,
-                if out.timed_out {
-                    "timeout"
-                } else {
-                    "not decomposable"
-                }
+                "{}",
+                table::failure_row(&out.name, out.support as u64, out.timed_out)
             );
             false
         }
@@ -484,8 +492,11 @@ fn main() {
     // the raw argument list before flag parsing would swallow `cache`
     // as the positional circuit argument.
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    if raw.first().map(String::as_str) == Some("cache") {
-        cache_command(&raw[1..]);
+    match raw.first().map(String::as_str) {
+        Some("cache") => cache_command(&raw[1..]),
+        Some("serve") => qbf_bidec::serve::server::main(&raw[1..]),
+        Some("client") => qbf_bidec::serve::client::main(&raw[1..]),
+        _ => {}
     }
     let cli = parse_cli();
     let circuit = match load_file(Path::new(&cli.path)) {
@@ -508,11 +519,13 @@ fn main() {
         }
     };
     println!(
-        "circuit: {} — {} inputs, {} outputs, {} AND nodes",
-        cli.path,
-        comb.num_inputs(),
-        comb.num_outputs(),
-        comb.and_count()
+        "{}",
+        table::circuit_line(
+            &cli.path,
+            comb.num_inputs() as u64,
+            comb.num_outputs() as u64,
+            comb.and_count() as u64
+        )
     );
 
     if cli.emit_qdimacs {
@@ -580,10 +593,7 @@ fn main() {
         None => std::sync::Arc::new(TieredStore::memory(cache.clone(), bank.clone())),
     };
 
-    println!(
-        "{:<16} {:>8} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9} {:>9}",
-        "output", "support", "|XA|", "|XB|", "|XC|", "eD", "eB", "optimal?", "cpu(ms)"
-    );
+    println!("{}", table::header());
     let mut decomposed = 0usize;
     match cli.output {
         // Single output: one session, no queue.
@@ -660,10 +670,7 @@ fn main() {
             }
         }
     }
-    println!(
-        "\ndecomposed {decomposed} output function(s) with {}",
-        cli.model
-    );
+    println!("{}", table::footer(decomposed, &cli.model.to_string()));
     // Persist whatever the run learnt. A flush failure (disk full,
     // directory removed mid-run) costs the warm start, not the answers
     // already printed — warn, don't fail.
@@ -720,10 +727,7 @@ fn run_weighted(cli: &Cli, comb: &qbf_bidec::aig::Aig, wd: u32, wb: u32) {
         Some(i) => vec![i],
         None => (0..comb.num_outputs()).collect(),
     };
-    println!(
-        "{:<16} {:>8} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9} {:>9}",
-        "output", "support", "|XA|", "|XB|", "|XC|", "eD", "eB", "optimal?", "cpu(ms)"
-    );
+    println!("{}", table::header());
     let mut decomposed = 0usize;
     for idx in indices {
         let Some(out) = comb.outputs().get(idx) else {
@@ -758,24 +762,23 @@ fn run_weighted(cli: &Cli, comb: &qbf_bidec::aig::Aig, wd: u32, wb: u32) {
         match search.partition {
             Some(p) => {
                 println!(
-                    "{:<16} {:>8} {:>6} {:>6} {:>6} {:>8.3} {:>8.3} {:>9} {:>9}",
-                    out.name(),
-                    cone.support_size(),
-                    p.num_a(),
-                    p.num_b(),
-                    p.num_shared(),
-                    p.disjointness(),
-                    p.balancedness(),
-                    search.proved_optimal,
-                    cpu_cell(start.elapsed(), cli.no_timing)
+                    "{}",
+                    table::partition_row(
+                        out.name(),
+                        cone.support_size() as u64,
+                        p.num_a() as u64,
+                        p.num_b() as u64,
+                        p.num_shared() as u64,
+                        p.disjointness(),
+                        p.balancedness(),
+                        search.proved_optimal,
+                        &cpu_cell(start.elapsed(), cli.no_timing)
+                    )
                 );
                 decomposed += 1;
             }
             None => println!("{:<16} not decomposable", out.name()),
         }
     }
-    println!(
-        "\ndecomposed {decomposed} output function(s) with {}",
-        cli.model
-    );
+    println!("{}", table::footer(decomposed, &cli.model.to_string()));
 }

@@ -15,6 +15,8 @@
 //! * [`bdd`] — BDD package (verification oracle / related work)
 //! * [`step`] — the STEP bi-decomposition engine itself
 //! * [`circuits`] — benchmark circuit generators and registry
+//! * [`serve`] — the framed-JSON network front-end (`step serve` /
+//!   `step client`) with per-tenant quotas and admission control
 //!
 //! # Quickstart
 //!
@@ -48,3 +50,4 @@ pub use step_itp as itp;
 pub use step_mus as mus;
 pub use step_qbf as qbf;
 pub use step_sat as sat;
+pub use step_serve as serve;

@@ -197,6 +197,45 @@ fn circuit_work_pool_skips_trailing_outputs() {
 }
 
 #[test]
+fn circuit_work_pool_is_byte_identical_across_jobs() {
+    // The parallel half of the guarantee above: the per-circuit pool
+    // is drained through two-phase ledger reservations (reserve a
+    // deterministic slice before solving, commit actual conflicts
+    // after), so *which* outputs starve is fixed by the reservation
+    // schedule, not by racing workers — jobs ∈ {1,2,3} report
+    // identical verdicts even though the pool is shared.
+    let entry = &registry_table1()[2];
+    assert_eq!(entry.name, "s38584.1");
+    let aig = entry.build(Scale::Default);
+    let mk = |jobs: usize| {
+        let mut c = DecompConfig::new(Model::QbfDisjoint);
+        c.budget = BudgetPolicy {
+            per_qbf_call: Budget::Unlimited,
+            per_output: Budget::Unlimited,
+            per_circuit: Budget::Work(50),
+        };
+        c.jobs = jobs;
+        BiDecomposer::new(c)
+            .decompose_circuit(&aig, GateOp::Or)
+            .expect("run")
+    };
+    let baseline = mk(1);
+    assert!(baseline.timed_out, "the pool must run out");
+    assert!(
+        baseline.outputs.iter().any(|o| o.solved),
+        "the pool must also admit some work"
+    );
+    let want = verdicts(&baseline);
+    for jobs in [2usize, 3] {
+        assert_eq!(
+            verdicts(&mk(jobs)),
+            want,
+            "jobs={jobs}: the shared circuit pool must truncate deterministically"
+        );
+    }
+}
+
+#[test]
 fn budget_degraded_mg_partitions_are_reported_and_never_cached() {
     // STEP-MG under a tight work budget falls back to a cruder
     // partition when the MUS refinement is truncated (the bare seed
