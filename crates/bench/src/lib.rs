@@ -23,6 +23,7 @@ use step_core::{
     BiDecomposer, Budget, BudgetPolicy, CircuitResult, ClauseBank, DecompConfig, GateOp, Model,
     OutputResult, RestartPolicy, ResultCache, StepService, SubmissionHandle, TieredStore,
 };
+use step_synth::{SynthOptions, SynthOutput};
 
 /// Command-line options shared by the harness binaries.
 #[derive(Clone, Debug)]
@@ -491,6 +492,20 @@ impl HarnessOpts {
             ),
         }
     }
+
+    /// The synthesis stopping rules this option set implies
+    /// (`table_synth` support): the per-output budget scope becomes
+    /// the per-node scope and the per-circuit scope the
+    /// whole-synthesis pool, so the same `--budget work:<n>` that
+    /// makes a decomposition sweep deterministic does the same for a
+    /// synthesis sweep.
+    pub fn synth_options(&self) -> SynthOptions {
+        SynthOptions {
+            per_node: self.budget.per_output,
+            synthesis: self.budget.per_circuit,
+            ..SynthOptions::default()
+        }
+    }
 }
 
 /// Vets a `--cache-dir` argument up front: the path must be (or
@@ -744,7 +759,16 @@ pub fn secs(d: Duration) -> String {
 ///   runs, `served` for runs admitted over the wire). Per-output
 ///   answers are identical on every path — these fields keep the cost
 ///   profiles apart, like `jobs` and `disk_hits`.
-pub const BENCH_SCHEMA_VERSION: u32 = 7;
+/// * v8 — multi-level synthesis provenance (`table_synth` records):
+///   `synth_gates` (two-input gates of the emitted networks, summed
+///   over POs), `synth_depth` (deepest gate tree across POs),
+///   `synth_leaf_max_support` (largest leaf support any network kept)
+///   and `synth_nodes_expanded` (frontier cones the recursion
+///   submitted to the engine). All four are 0 on plain decomposition
+///   records; synthesis and decomposition records are different
+///   experiments even on the same circuit, which the nonzero
+///   `synth_nodes_expanded` marks.
+pub const BENCH_SCHEMA_VERSION: u32 = 8;
 
 /// One machine-readable row of a harness run: model × circuit with
 /// wall-clock and solver-call statistics plus the run provenance
@@ -851,6 +875,21 @@ pub struct BenchRecord {
     /// runs, `served` for runs admitted over the wire by `step serve`.
     /// Like `jobs`, documentation of the run, not of the results.
     pub admission: String,
+    /// Two-input gates of the synthesized networks, summed over POs
+    /// (0 on plain decomposition records). Deterministic under
+    /// deterministic budgets, like the network itself.
+    pub synth_gates: u64,
+    /// Deepest gate tree across the circuit's synthesized POs (0 on
+    /// decomposition records).
+    pub synth_depth: u64,
+    /// Largest leaf support any synthesized network kept — the
+    /// "simplicity" measure synthesis drives down (0 on decomposition
+    /// records).
+    pub synth_leaf_max_support: u64,
+    /// Frontier cones the recursion submitted to the engine (0 on
+    /// decomposition records — the field that marks a record as a
+    /// synthesis experiment).
+    pub synth_nodes_expanded: u64,
     /// Whether any budget expired.
     pub timed_out: bool,
 }
@@ -890,7 +929,64 @@ impl BenchRecord {
             tenant: opts.tenant.clone(),
             queue_wait_s: r.queue_wait.as_secs_f64(),
             admission: opts.admission.clone(),
+            synth_gates: 0,
+            synth_depth: 0,
+            synth_leaf_max_support: 0,
+            synth_nodes_expanded: 0,
             timed_out: r.timed_out,
+        }
+    }
+
+    /// Builds the record for one multi-level synthesis run over one
+    /// circuit (`table_synth`): the per-output [`SynthOutput`]s fold
+    /// into the v8 synthesis fields, and the engine-side counters
+    /// (SAT calls, effort, reuse hits) aggregate across every probe
+    /// the recursion submitted.
+    pub fn of_synth(
+        model: Model,
+        circuit: &str,
+        outputs: &[SynthOutput],
+        wall: Duration,
+        opts: &HarnessOpts,
+    ) -> Self {
+        let fold = |f: fn(&SynthOutput) -> u64| outputs.iter().map(f).sum::<u64>();
+        let max = |f: fn(&SynthOutput) -> u64| outputs.iter().map(f).max().unwrap_or(0);
+        BenchRecord {
+            schema_version: BENCH_SCHEMA_VERSION,
+            model: model.to_string(),
+            circuit: circuit.to_owned(),
+            op: opts.op.to_string(),
+            seed: opts.seed,
+            jobs: opts.jobs,
+            cache: opts.cache.is_some(),
+            budget: opts.budget.to_string(),
+            sat_restarts: opts.sat_restarts.to_string(),
+            sat_preprocess: opts.sat_preprocess,
+            clause_reuse: opts.clause_reuse,
+            wall_s: wall.as_secs_f64(),
+            decomposed: outputs.iter().filter(|o| !o.stats.truncated).count(),
+            outputs: outputs.len(),
+            sat_calls: fold(|o| o.stats.sat_calls),
+            qbf_calls: 0,
+            effort_conflicts: fold(|o| o.stats.effort.conflicts),
+            cache_hits: fold(|o| o.stats.cache_hits),
+            cache_misses: fold(|o| o.stats.cache_misses),
+            bank_hits: fold(|o| o.stats.bank_hits),
+            donated_clauses: fold(|o| o.stats.donated_clauses),
+            disk_hits: fold(|o| o.stats.disk_hits),
+            store_loaded: opts
+                .store
+                .as_ref()
+                .and_then(|s| s.disk())
+                .map_or(0, |d| d.loaded_records()),
+            tenant: opts.tenant.clone(),
+            queue_wait_s: 0.0,
+            admission: opts.admission.clone(),
+            synth_gates: fold(|o| o.tree.num_gates() as u64),
+            synth_depth: max(|o| o.tree.depth() as u64),
+            synth_leaf_max_support: max(|o| o.tree.max_leaf_support() as u64),
+            synth_nodes_expanded: fold(|o| o.stats.nodes_expanded),
+            timed_out: outputs.iter().any(|o| o.stats.truncated),
         }
     }
 }
@@ -924,6 +1020,8 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
              \"disk_hits\": {}, \"store_loaded\": {}, \
              \"tenant\": \"{}\", \"queue_wait_s\": {:.6}, \
              \"admission\": \"{}\", \
+             \"synth_gates\": {}, \"synth_depth\": {}, \
+             \"synth_leaf_max_support\": {}, \"synth_nodes_expanded\": {}, \
              \"timed_out\": {}}}{}\n",
             r.schema_version,
             json_escape(&r.model),
@@ -951,6 +1049,10 @@ pub fn bench_records_json(records: &[BenchRecord]) -> String {
             json_escape(&r.tenant),
             r.queue_wait_s,
             json_escape(&r.admission),
+            r.synth_gates,
+            r.synth_depth,
+            r.synth_leaf_max_support,
+            r.synth_nodes_expanded,
             r.timed_out,
             if i + 1 < records.len() { "," } else { "" }
         ));
@@ -1128,6 +1230,10 @@ pub fn parse_bench_records_json(text: &str) -> Result<Vec<BenchRecord>, String> 
                 .parse()
                 .map_err(|_| "bad `queue_wait_s`".to_owned())?,
             admission: string("admission")?,
+            synth_gates: number("synth_gates")?,
+            synth_depth: number("synth_depth")?,
+            synth_leaf_max_support: number("synth_leaf_max_support")?,
+            synth_nodes_expanded: number("synth_nodes_expanded")?,
             timed_out: boolean("timed_out")?,
         });
         rest = open[end + 1..]
@@ -1249,6 +1355,12 @@ mod tests {
         assert_eq!(json.matches("\"tenant\": \"local\"").count(), 2);
         assert_eq!(json.matches("\"admission\": \"direct\"").count(), 2);
         assert_eq!(json.matches("\"queue_wait_s\": ").count(), 2);
+        // Schema-8 synthesis provenance — all zero on decomposition
+        // records.
+        assert_eq!(json.matches("\"synth_gates\": 0").count(), 2);
+        assert_eq!(json.matches("\"synth_depth\": 0").count(), 2);
+        assert_eq!(json.matches("\"synth_leaf_max_support\": 0").count(), 2);
+        assert_eq!(json.matches("\"synth_nodes_expanded\": 0").count(), 2);
     }
 
     #[test]
@@ -1269,6 +1381,11 @@ mod tests {
         rec.tenant = "acme \"quoted\"".to_owned();
         rec.admission = "served".to_owned();
         rec.queue_wait_s = 0.125;
+        // Schema-8 synthesis fields must survive the round trip too.
+        rec.synth_gates = 95;
+        rec.synth_depth = 9;
+        rec.synth_leaf_max_support = 2;
+        rec.synth_nodes_expanded = 83;
         let records = vec![
             rec,
             BenchRecord::of(Model::QbfDisjoint, entry.name, &r, &opts),
@@ -1305,6 +1422,10 @@ mod tests {
             assert_eq!(p.store_loaded, w.store_loaded);
             assert_eq!(p.tenant, w.tenant, "tenant escapes survive the round trip");
             assert_eq!(p.admission, w.admission);
+            assert_eq!(p.synth_gates, w.synth_gates, "synthesis fields round-trip");
+            assert_eq!(p.synth_depth, w.synth_depth);
+            assert_eq!(p.synth_leaf_max_support, w.synth_leaf_max_support);
+            assert_eq!(p.synth_nodes_expanded, w.synth_nodes_expanded);
             assert_eq!(p.timed_out, w.timed_out);
             // The writer rounds wall_s (and queue_wait_s) to six decimals.
             assert!((p.wall_s - w.wall_s).abs() <= 5e-7, "wall_s to 1e-6");
@@ -1317,12 +1438,51 @@ mod tests {
         assert!(parse_bench_records_json("[\n]\n")
             .expect("empty")
             .is_empty());
-        // Foreign schema versions are rejected, not misread.
-        let old = bench_records_json(&records).replace(
-            &format!("\"schema_version\": {BENCH_SCHEMA_VERSION}"),
-            "\"schema_version\": 2",
+        // Foreign schema versions are rejected, not misread — both the
+        // ancient v2 layout and the immediately preceding v7 (which
+        // lacked the synthesis fields).
+        for foreign in [2u32, BENCH_SCHEMA_VERSION - 1] {
+            let old = bench_records_json(&records).replace(
+                &format!("\"schema_version\": {BENCH_SCHEMA_VERSION}"),
+                &format!("\"schema_version\": {foreign}"),
+            );
+            assert!(
+                parse_bench_records_json(&old).is_err(),
+                "v{foreign} records must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn synth_records_carry_the_v8_fields() {
+        // A real synthesis run books nonzero v8 fields, and they
+        // survive the JSON round trip.
+        let entry = &registry_table1()[16]; // mm9a: small
+        let opts = smoke_opts();
+        let aig = opts.build(entry);
+        let service = opts.service();
+        let driver = step_synth::SynthDriver::new(
+            &service,
+            opts.config(Model::QbfDisjoint),
+            opts.synth_options(),
         );
-        assert!(parse_bench_records_json(&old).is_err());
+        let outputs = driver.synthesize_circuit(&aig).expect("synthesizes");
+        let rec = BenchRecord::of_synth(
+            Model::QbfDisjoint,
+            entry.name,
+            &outputs,
+            Duration::from_millis(1),
+            &opts,
+        );
+        assert!(rec.synth_nodes_expanded > 0, "recursion expanded cones");
+        assert!(rec.synth_gates > 0, "networks carry gates");
+        assert!(rec.synth_leaf_max_support > 0);
+        assert_eq!(rec.outputs, aig.num_outputs());
+        let parsed = parse_bench_records_json(&bench_records_json(std::slice::from_ref(&rec)))
+            .expect("parse");
+        assert_eq!(parsed[0].synth_gates, rec.synth_gates);
+        assert_eq!(parsed[0].synth_depth, rec.synth_depth);
+        assert_eq!(parsed[0].synth_nodes_expanded, rec.synth_nodes_expanded);
     }
 
     #[test]

@@ -3,10 +3,21 @@
 //! iteratively split with two-input OR/AND/XOR gates until the leaves
 //! are simple, yielding a gate network.
 //!
+//! Uses the production `step-synth` driver: the recursion runs through
+//! a shared [`StepService`] worker pool (every frontier cone hits the
+//! result cache like any other submission), and every emitted network
+//! is verified equivalent by a single SAT miter check — not by
+//! enumerating all `2^n` input patterns.
+//!
 //! Run with: `cargo run --release --example multilevel_synthesis`
+//!
+//! [`StepService`]: qbf_bidec::step::StepService
+
+use std::sync::Arc;
 
 use qbf_bidec::circuits::generators;
-use qbf_bidec::step::{decompose_tree, BiDecomposer, DecompConfig, Model, TreeOptions};
+use qbf_bidec::step::{DecompConfig, Model, ResultCache, StepService};
+use qbf_bidec::synth::{network_equivalent, SynthDriver, SynthOptions};
 
 fn main() {
     // An 8-cube DNF over 12 variables with block structure.
@@ -22,8 +33,13 @@ fn main() {
     let f = aig.or_many(&cubes);
     aig.add_output("f", f);
 
-    let mut engine = BiDecomposer::new(DecompConfig::new(Model::QbfCombined));
-    let tree = decompose_tree(&mut engine, &aig, 0, &TreeOptions::default()).expect("engine run");
+    let service = StepService::spawn(2, Some(Arc::new(ResultCache::new())));
+    let driver = SynthDriver::new(
+        &service,
+        DecompConfig::new(Model::QbfCombined),
+        SynthOptions::default(),
+    );
+    let out = driver.synthesize(&aig, 0).expect("engine run");
 
     println!(
         "original: single PO over {} inputs, {} AND nodes",
@@ -32,38 +48,36 @@ fn main() {
     );
     println!(
         "network:  {} two-input gates, {} leaves, depth {}, max leaf support {}",
-        tree.num_gates(),
-        tree.num_leaves(),
-        tree.depth(),
-        tree.max_leaf_support()
+        out.tree.num_gates(),
+        out.tree.num_leaves(),
+        out.tree.depth(),
+        out.tree.max_leaf_support()
     );
-    println!("\nstructure:\n{}", tree.render());
+    println!("\nstructure:\n{}", out.tree.render());
 
-    // Rebuild and spot-check equivalence.
-    let net = tree.to_aig();
-    let mut mismatch = 0;
-    for m in 0..1u32 << 12 {
-        let v: Vec<bool> = (0..12).map(|i| m >> i & 1 == 1).collect();
-        if net.eval(&v)[0] != aig.eval(&v)[0] {
-            mismatch += 1;
-        }
-    }
-    assert_eq!(mismatch, 0);
-    println!("rebuilt network verified equivalent on all 4096 input patterns");
+    // The driver already SAT-verified the network (out.stats.verified);
+    // run the miter check once more explicitly to show the API — one
+    // Unsat answer replaces the old 4096-pattern simulation loop.
+    assert!(out.stats.verified);
+    network_equivalent(&aig, 0, &out.tree, None).expect("SAT miter proves equivalence");
+    println!("rebuilt network verified equivalent by a single SAT miter check");
 
-    // The adder carry chain is a harder customer: leaves stay wider.
+    // The adder carry chain is a harder customer: its majority cores
+    // resist bi-decomposition, and the BDD Shannon fallback splits
+    // them until the target leaf support is reached.
     let adder = generators::ripple_adder(4);
     let cout = adder
         .outputs()
         .iter()
         .position(|o| o.name() == "cout")
         .unwrap();
-    let tree =
-        decompose_tree(&mut engine, &adder, cout, &TreeOptions::default()).expect("engine run");
+    let out = driver.synthesize(&adder, cout).expect("engine run");
     println!(
-        "\n4-bit adder carry-out: {} gates, max leaf support {} (majority cores resist \
-         bi-decomposition)",
-        tree.num_gates(),
-        tree.max_leaf_support()
+        "\n4-bit adder carry-out: {} gates ({} from bi-decomposition, {} Shannon splits), \
+         max leaf support {}",
+        out.tree.num_gates(),
+        out.stats.qbf_gates,
+        out.stats.bdd_splits,
+        out.tree.max_leaf_support()
     );
 }

@@ -7,6 +7,7 @@
 //! step cache stats|merge|verify ...
 //! step serve [--addr host:port] [--jobs n] [--quota n] ...
 //! step client <host:port> <circuit> [options]
+//! step synthesize <circuit> [options]
 //!   --model ljh|mg|qd|qb|qdb    engine (default qd)
 //!   --op or|and|xor             root operator (default or)
 //!   --weights <wd> <wb>         weighted cost target (implies QBF model)
@@ -89,9 +90,21 @@
 //! [`qbf_bidec::serve::table`], and the engine's answers are
 //! scheduling-independent.
 //!
+//! The `step synthesize` subcommand recursively bi-decomposes every
+//! primary output into a network of two-input OR/AND/XOR gates over
+//! small leaf functions (the [`qbf_bidec::synth`] crate): every
+//! frontier cone is submitted through the same service worker pool, so
+//! the recursion parallelizes across `--jobs` workers and hits every
+//! reuse surface above. Each emitted network is SAT-verified
+//! equivalent to its cone, and the subcommand's default budgets are
+//! pure work, so its stdout under `--no-timing` is byte-identical
+//! across `--jobs` values (the CI synthesize smoke step diffs that).
+//! See `step synthesize --help`.
+//!
 //! [`StepService`]: qbf_bidec::step::StepService
 
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 use qbf_bidec::circuits::load_file;
@@ -104,6 +117,7 @@ use qbf_bidec::step::{
     BiDecomposer, Budget, BudgetPolicy, ClauseBank, DecompConfig, DiskTier, EffortMeter, GateOp,
     Model, OutputResult, RestartPolicy, ResultCache, StepService, TieredStore,
 };
+use qbf_bidec::synth::{SynthDriver, SynthOptions, SynthOutput};
 
 struct Cli {
     path: String,
@@ -139,6 +153,7 @@ const USAGE: &str = "usage: step <circuit.{bench,blif,aag}> [--model ljh|mg|qd|q
                      or:    step cache stats <dir> | merge <out> <in>... | verify <dir>\n\
                      or:    step serve [--addr host:port] ... (see step serve --help)\n\
                      or:    step client <host:port> <circuit> ... (see step client --help)\n\
+                     or:    step synthesize <circuit> ... (see step synthesize --help)\n\
                      budget spec: wall:<dur> | work:<conflicts> | both:<dur>,<conflicts> \
                      | unlimited (e.g. --budget work:200k for deterministic truncation)";
 
@@ -432,6 +447,100 @@ fn cache_command(args: &[String]) -> ! {
     }
 }
 
+/// The reuse-surface flags shared by the decompose and synthesize
+/// front-ends: result cache, clause bank, persistent store.
+struct ReuseOpts {
+    cache: bool,
+    cache_cap: Option<usize>,
+    clause_reuse: bool,
+    clause_bank_cap: Option<usize>,
+    cache_dir: Option<std::path::PathBuf>,
+}
+
+impl ReuseOpts {
+    /// Builds the run's tiered store: the cache/bank Arcs as tier 0,
+    /// plus the persistent tier when `--cache-dir` was given (already
+    /// vetted writable at parse time; a load failure here means the
+    /// directory changed under us and is worth an exit, not a warn).
+    fn build_store(
+        &self,
+    ) -> (
+        Option<Arc<ResultCache>>,
+        Option<Arc<ClauseBank>>,
+        Arc<TieredStore>,
+    ) {
+        let cache: Option<Arc<ResultCache>> = self.cache.then(|| {
+            Arc::new(match self.cache_cap {
+                Some(cap) => ResultCache::with_capacity(cap),
+                None => ResultCache::new(),
+            })
+        });
+        let bank: Option<Arc<ClauseBank>> = self.clause_reuse.then(|| {
+            Arc::new(match self.clause_bank_cap {
+                Some(cap) => ClauseBank::with_capacity(cap),
+                None => ClauseBank::new(),
+            })
+        });
+        let store: Arc<TieredStore> = match &self.cache_dir {
+            Some(dir) => match TieredStore::with_disk(cache.clone(), bank.clone(), dir) {
+                Ok(s) => Arc::new(s),
+                Err(e) => {
+                    eprintln!("error: cache dir {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            },
+            None => Arc::new(TieredStore::memory(cache.clone(), bank.clone())),
+        };
+        (cache, bank, store)
+    }
+}
+
+/// The cache, clause-bank and store statistics lines. They vary with
+/// scheduling under `--jobs`, so callers gate this behind
+/// `--no-timing` together with the wall clocks.
+fn print_reuse_stats(
+    cache: &Option<Arc<ResultCache>>,
+    bank: &Option<Arc<ClauseBank>>,
+    store: &TieredStore,
+) {
+    if let Some(cache) = cache {
+        println!(
+            "cache: {} hits, {} misses, {} inserts, {} evictions, {} entries",
+            cache.hits(),
+            cache.misses(),
+            cache.inserts(),
+            cache.evictions(),
+            cache.len()
+        );
+    }
+    if let Some(bank) = bank {
+        println!(
+            "clause bank: {} hits ({} exact, {} cluster), {} misses, \
+             {} donations, {} entries, {} probe hits, {} probe records",
+            bank.hits(),
+            bank.exact_hits(),
+            bank.cluster_hits(),
+            bank.misses(),
+            bank.donations(),
+            bank.len(),
+            bank.probe_hits(),
+            bank.probe_records()
+        );
+    }
+    if let Some(disk) = store.disk() {
+        println!(
+            "store: {} record(s) loaded, disk hits {} results / {} clauses / \
+             {} probes, {} flushed, {} corrupt",
+            disk.loaded_records(),
+            store.disk_result_hits(),
+            store.disk_clause_hits(),
+            store.disk_probe_hits(),
+            disk.flushed_records(),
+            disk.corrupt_records()
+        );
+    }
+}
+
 /// The wall-clock cell: milliseconds, or `-` under `--no-timing` so
 /// output is byte-identical across runs and `--jobs` values.
 fn cpu_cell(cpu: Duration, no_timing: bool) -> String {
@@ -487,6 +596,320 @@ fn print_result(cli: &Cli, out: &OutputResult) -> bool {
     }
 }
 
+const SYNTH_USAGE: &str = "usage: step synthesize <circuit.{bench,blif,aag}> \
+    [--model ljh|mg|qd|qb|qdb] [--output idx] [--jobs n] [--seed n] \
+    [--target-support n] [--max-depth n] [--budget spec] [--synth-budget spec] \
+    [--qbf-budget spec] [--no-bdd-fallback] [--bdd-max-support n] [--no-verify] \
+    [--render] [--sat-restarts luby|ema] [--sat-preprocess] \
+    [--cache] [--no-cache] [--cache-cap n] \
+    [--clause-reuse] [--no-clause-reuse] [--clause-bank-cap n] \
+    [--cache-dir path] [--no-timing]\n\
+    recursively bi-decomposes every output into a network of two-input \
+    OR/AND/XOR gates over small leaves, SAT-verified equivalent.\n\
+    --budget is the per-node scope (default work:20k), --synth-budget the \
+    whole-synthesis pool (default unlimited), --qbf-budget the per-QBF-call \
+    scope (default unlimited here, unlike plain step): every default is pure \
+    work, so stdout under --no-timing is byte-identical across --jobs values";
+
+/// Bad `step synthesize` invocation: usage on stderr, exit 2.
+fn synth_usage() -> ! {
+    eprintln!("{SYNTH_USAGE}");
+    std::process::exit(2)
+}
+
+struct SynthCli {
+    path: String,
+    model: Model,
+    output: Option<usize>,
+    jobs: usize,
+    seed: Option<u64>,
+    sat_restarts: RestartPolicy,
+    sat_preprocess: bool,
+    reuse: ReuseOpts,
+    no_timing: bool,
+    render: bool,
+    opts: SynthOptions,
+    qbf_budget: Budget,
+}
+
+fn parse_synth_cli(args: &[String]) -> SynthCli {
+    let mut cli = SynthCli {
+        path: String::new(),
+        model: Model::QbfDisjoint,
+        output: None,
+        jobs: 1,
+        seed: None,
+        sat_restarts: RestartPolicy::default(),
+        sat_preprocess: false,
+        reuse: ReuseOpts {
+            cache: true,
+            cache_cap: None,
+            clause_reuse: false,
+            clause_bank_cap: None,
+            cache_dir: None,
+        },
+        no_timing: false,
+        render: false,
+        opts: SynthOptions {
+            // Deterministic defaults: a pure-work per-node scope keeps
+            // the emitted network independent of machine and --jobs.
+            per_node: Budget::Work(20_000),
+            ..SynthOptions::default()
+        },
+        qbf_budget: Budget::Unlimited,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--model" => {
+                i += 1;
+                cli.model = match args.get(i).map(String::as_str) {
+                    Some("ljh") => Model::Ljh,
+                    Some("mg") => Model::MusGroup,
+                    Some("qd") => Model::QbfDisjoint,
+                    Some("qb") => Model::QbfBalanced,
+                    Some("qdb") => Model::QbfCombined,
+                    _ => synth_usage(),
+                };
+            }
+            "--output" => {
+                i += 1;
+                cli.output = args.get(i).and_then(|s| s.parse().ok());
+                if cli.output.is_none() {
+                    synth_usage();
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => cli.jobs = n,
+                    _ => synth_usage(),
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => cli.seed = Some(s),
+                    None => synth_usage(),
+                }
+            }
+            "--sat-restarts" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(p) => cli.sat_restarts = p,
+                    None => synth_usage(),
+                }
+            }
+            "--sat-preprocess" => cli.sat_preprocess = true,
+            "--target-support" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => cli.opts.target_support = n,
+                    _ => synth_usage(),
+                }
+            }
+            "--max-depth" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => cli.opts.max_depth = Some(n),
+                    None => synth_usage(),
+                }
+            }
+            "--no-bdd-fallback" => cli.opts.bdd_fallback = false,
+            "--bdd-max-support" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => cli.opts.bdd_max_support = n,
+                    None => synth_usage(),
+                }
+            }
+            "--no-verify" => cli.opts.verify = false,
+            "--render" => cli.render = true,
+            "--cache" => cli.reuse.cache = true,
+            "--no-cache" => cli.reuse.cache = false,
+            "--cache-cap" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => {
+                        cli.reuse.cache = true;
+                        cli.reuse.cache_cap = Some(n);
+                    }
+                    _ => synth_usage(),
+                }
+            }
+            "--clause-reuse" => cli.reuse.clause_reuse = true,
+            "--no-clause-reuse" => cli.reuse.clause_reuse = false,
+            "--clause-bank-cap" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => {
+                        cli.reuse.clause_reuse = true;
+                        cli.reuse.clause_bank_cap = Some(n);
+                    }
+                    _ => synth_usage(),
+                }
+            }
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => cli.reuse.cache_dir = Some(validated_cache_dir(Path::new(p))),
+                    None => synth_usage(),
+                }
+            }
+            "--no-timing" => cli.no_timing = true,
+            flag @ ("--budget" | "--synth-budget" | "--qbf-budget") => {
+                i += 1;
+                match args.get(i).map(|s| Budget::parse(s)) {
+                    Some(Ok(b)) => match flag {
+                        "--budget" => cli.opts.per_node = b,
+                        "--synth-budget" => cli.opts.synthesis = b,
+                        _ => cli.qbf_budget = b,
+                    },
+                    Some(Err(e)) => {
+                        eprintln!("{flag}: {e}");
+                        synth_usage();
+                    }
+                    None => synth_usage(),
+                }
+            }
+            "--help" | "-h" => {
+                println!("{SYNTH_USAGE}");
+                std::process::exit(0)
+            }
+            other if cli.path.is_empty() && !other.starts_with('-') => {
+                cli.path = other.to_owned();
+            }
+            _ => synth_usage(),
+        }
+        i += 1;
+    }
+    if cli.path.is_empty() {
+        synth_usage();
+    }
+    cli
+}
+
+/// One deterministic row of the synthesis table: network metrics and
+/// expansion counters are pure functions of `(circuit, config,
+/// options)` under deterministic budgets; only the cpu cell moves (and
+/// `--no-timing` blanks it).
+fn synth_row(out: &SynthOutput, no_timing: bool) -> String {
+    format!(
+        "{:<16} {:>4} {:>6} {:>7} {:>6} {:>8} {:>7} {:>4} {:>4}  {:<6} {:>8}",
+        out.name,
+        out.support,
+        out.tree.num_gates(),
+        out.tree.num_leaves(),
+        out.tree.depth(),
+        out.tree.max_leaf_support(),
+        out.stats.nodes_expanded,
+        out.stats.qbf_gates,
+        out.stats.bdd_splits,
+        if out.stats.truncated { "trunc" } else { "ok" },
+        cpu_cell(out.stats.cpu, no_timing)
+    )
+}
+
+/// `step synthesize <circuit> ...` — the multi-level synthesis
+/// front-end over [`qbf_bidec::synth`]. Always exits.
+fn synthesize_command(args: &[String]) -> ! {
+    let cli = parse_synth_cli(args);
+    let circuit = match load_file(Path::new(&cli.path)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let comb = if circuit.is_comb() {
+        circuit
+    } else {
+        eprintln!("note: sequential circuit, applying comb conversion");
+        match circuit.comb() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    println!(
+        "{}",
+        table::circuit_line(
+            &cli.path,
+            comb.num_inputs() as u64,
+            comb.num_outputs() as u64,
+            comb.and_count() as u64
+        )
+    );
+
+    let mut config = DecompConfig::new(cli.model);
+    config.sat_restarts = cli.sat_restarts;
+    config.sat_preprocess = cli.sat_preprocess;
+    config.clause_reuse = cli.reuse.clause_reuse;
+    config.budget.per_qbf_call = cli.qbf_budget;
+    if let Some(seed) = cli.seed {
+        config.seed = seed;
+    }
+    let (cache, bank, store) = cli.reuse.build_store();
+    // The recursion fans out well past the output count, so the pool
+    // is NOT clamped to num_outputs here (unlike plain decomposition).
+    let service = StepService::spawn_with_store(cli.jobs.max(1), Arc::clone(&store));
+    let driver = SynthDriver::new(&service, config, cli.opts.clone());
+
+    let indices: Vec<usize> = match cli.output {
+        Some(i) => vec![i],
+        None => (0..comb.num_outputs()).collect(),
+    };
+    println!(
+        "{:<16} {:>4} {:>6} {:>7} {:>6} {:>8} {:>7} {:>4} {:>4}  {:<6} {:>8}",
+        "output",
+        "sup",
+        "gates",
+        "leaves",
+        "depth",
+        "leafsup",
+        "expand",
+        "qbf",
+        "bdd",
+        "status",
+        "cpu"
+    );
+    let total = indices.len();
+    let mut gates = 0usize;
+    let mut complete = 0usize;
+    for idx in indices {
+        match driver.synthesize(&comb, idx) {
+            Ok(out) => {
+                println!("{}", synth_row(&out, cli.no_timing));
+                if cli.render {
+                    print!("{}", out.tree.render());
+                }
+                gates += out.tree.num_gates();
+                if !out.stats.truncated {
+                    complete += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("error on output {idx}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "synthesized {complete}/{total} output(s) to target support {}, {gates} gate(s) ({})",
+        driver.options().target_support.max(1),
+        cli.model
+    );
+    if let Err(e) = store.flush() {
+        eprintln!("warning: cache flush failed: {e}");
+    }
+    if !cli.no_timing {
+        print_reuse_stats(&cache, &bank, &store);
+    }
+    std::process::exit(0)
+}
+
 fn main() {
     // `step cache ...` is a subcommand, not a circuit path; dispatch on
     // the raw argument list before flag parsing would swallow `cache`
@@ -496,6 +919,7 @@ fn main() {
         Some("cache") => cache_command(&raw[1..]),
         Some("serve") => qbf_bidec::serve::server::main(&raw[1..]),
         Some("client") => qbf_bidec::serve::client::main(&raw[1..]),
+        Some("synthesize") => synthesize_command(&raw[1..]),
         _ => {}
     }
     let cli = parse_cli();
@@ -566,32 +990,16 @@ fn main() {
     if let Some(seed) = cli.seed {
         config.seed = seed;
     }
-    let cache: Option<std::sync::Arc<ResultCache>> = cli.cache.then(|| {
-        std::sync::Arc::new(match cli.cache_cap {
-            Some(cap) => ResultCache::with_capacity(cap),
-            None => ResultCache::new(),
-        })
-    });
-    let bank: Option<std::sync::Arc<ClauseBank>> = cli.clause_reuse.then(|| {
-        std::sync::Arc::new(match cli.clause_bank_cap {
-            Some(cap) => ClauseBank::with_capacity(cap),
-            None => ClauseBank::new(),
-        })
-    });
-    // One tiered store serves the whole run: the cache/bank Arcs above
-    // as tier 0, plus the persistent tier when --cache-dir was given
-    // (already vetted writable in parse_cli; a load failure here means
-    // the directory changed under us and is worth an exit, not a warn).
-    let store: std::sync::Arc<TieredStore> = match &cli.cache_dir {
-        Some(dir) => match TieredStore::with_disk(cache.clone(), bank.clone(), dir) {
-            Ok(s) => std::sync::Arc::new(s),
-            Err(e) => {
-                eprintln!("error: cache dir {}: {e}", dir.display());
-                std::process::exit(1);
-            }
-        },
-        None => std::sync::Arc::new(TieredStore::memory(cache.clone(), bank.clone())),
-    };
+    // One tiered store serves the whole run: the cache/bank Arcs as
+    // tier 0, plus the persistent tier when --cache-dir was given.
+    let (cache, bank, store) = ReuseOpts {
+        cache: cli.cache,
+        cache_cap: cli.cache_cap,
+        clause_reuse: cli.clause_reuse,
+        clause_bank_cap: cli.clause_bank_cap,
+        cache_dir: cli.cache_dir.clone(),
+    }
+    .build_store();
 
     println!("{}", table::header());
     let mut decomposed = 0usize;
@@ -677,45 +1085,8 @@ fn main() {
     if let Err(e) = store.flush() {
         eprintln!("warning: cache flush failed: {e}");
     }
-    // Cache and bank statistics vary with scheduling under --jobs, so
-    // the lines hide behind --no-timing together with the wall clocks.
     if !cli.no_timing {
-        if let Some(cache) = &cache {
-            println!(
-                "cache: {} hits, {} misses, {} inserts, {} evictions, {} entries",
-                cache.hits(),
-                cache.misses(),
-                cache.inserts(),
-                cache.evictions(),
-                cache.len()
-            );
-        }
-        if let Some(bank) = &bank {
-            println!(
-                "clause bank: {} hits ({} exact, {} cluster), {} misses, \
-                 {} donations, {} entries, {} probe hits, {} probe records",
-                bank.hits(),
-                bank.exact_hits(),
-                bank.cluster_hits(),
-                bank.misses(),
-                bank.donations(),
-                bank.len(),
-                bank.probe_hits(),
-                bank.probe_records()
-            );
-        }
-        if let Some(disk) = store.disk() {
-            println!(
-                "store: {} record(s) loaded, disk hits {} results / {} clauses / \
-                 {} probes, {} flushed, {} corrupt",
-                disk.loaded_records(),
-                store.disk_result_hits(),
-                store.disk_clause_hits(),
-                store.disk_probe_hits(),
-                disk.flushed_records(),
-                disk.corrupt_records()
-            );
-        }
+        print_reuse_stats(&cache, &bank, &store);
     }
 }
 

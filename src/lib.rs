@@ -17,6 +17,8 @@
 //! * [`circuits`] — benchmark circuit generators and registry
 //! * [`serve`] — the framed-JSON network front-end (`step serve` /
 //!   `step client`) with per-tenant quotas and admission control
+//! * [`synth`] — multi-level synthesis: recursive bi-decomposition
+//!   over the service (`step synthesize`)
 //!
 //! # Quickstart
 //!
@@ -51,3 +53,4 @@ pub use step_mus as mus;
 pub use step_qbf as qbf;
 pub use step_sat as sat;
 pub use step_serve as serve;
+pub use step_synth as synth;

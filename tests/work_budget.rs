@@ -279,6 +279,69 @@ fn budget_degraded_mg_partitions_are_reported_and_never_cached() {
     );
 }
 
+#[test]
+fn synthesis_work_pool_truncates_identically_across_jobs() {
+    // The recursive-synthesis successor of the per-circuit pool test
+    // above: the whole-synthesis `Work` pool is sliced across frontier
+    // expansions by the same two-phase WorkLedger (reserve a
+    // deterministic slice before probing, commit actual conflicts
+    // after), and the frontier is scheduled in canonical-fingerprint
+    // rounds — so *which* subtrees get truncated, the networks
+    // emitted, and the expansion counts are byte-identical at any
+    // worker count. Clause reuse stays off (the default): with reuse
+    // on, the conflicts charged to a *binding* pool are scheduling-
+    // dependent (the engine's documented reuse contract).
+    use qbf_bidec::step::StepService;
+    use qbf_bidec::synth::{SynthDriver, SynthOptions, SynthOutput};
+
+    let entry = &registry_table1()[2];
+    assert_eq!(entry.name, "s38584.1");
+    let aig = entry.build(Scale::Default);
+    let render = |outs: &[SynthOutput]| -> Vec<String> {
+        outs.iter()
+            .map(|o| {
+                format!(
+                    "{}|trunc={}|expanded={}\n{}",
+                    o.name,
+                    o.stats.truncated,
+                    o.stats.nodes_expanded,
+                    o.tree.render()
+                )
+            })
+            .collect()
+    };
+    let mk = |jobs: usize| {
+        let service = StepService::spawn(jobs, Some(Arc::new(ResultCache::new())));
+        let opts = SynthOptions {
+            per_node: Budget::Work(50),
+            synthesis: Budget::Work(120),
+            ..SynthOptions::default()
+        };
+        let driver = SynthDriver::new(&service, DecompConfig::new(Model::QbfDisjoint), opts);
+        driver.synthesize_circuit(&aig).expect("run")
+    };
+    let baseline = mk(1);
+    assert!(
+        baseline.iter().any(|o| o.stats.truncated),
+        "work:120 must truncate some subtree"
+    );
+    assert!(
+        baseline.iter().any(|o| o.tree.num_gates() > 0),
+        "work:120 must still admit some expansions"
+    );
+    for o in &baseline {
+        assert!(o.stats.verified, "truncated networks stay SAT-verified");
+    }
+    let want = render(&baseline);
+    for jobs in [2usize, 3] {
+        assert_eq!(
+            render(&mk(jobs)),
+            want,
+            "jobs={jobs}: the synthesis work pool must truncate deterministically"
+        );
+    }
+}
+
 mod props {
     use super::*;
     use proptest::prelude::*;
